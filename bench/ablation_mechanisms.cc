@@ -1,0 +1,114 @@
+// Ablation bench for the design decisions DESIGN.md calls out: which
+// simulated mechanisms the headline result (Fig. 9b's sensitive point)
+// depends on.
+//
+//  * baseline            : full simulator, scan 10 % / aggregation 100 %
+//  * no prefetcher       : scan loses its latency hiding
+//  * non-inclusive LLC   : no back-invalidation, pollution cannot reach L2
+//  * adaptive-off (join) : Fig. 10b's point with the heuristic disabled
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "engine/operators/aggregation.h"
+#include "engine/operators/column_scan.h"
+#include "engine/operators/fk_join.h"
+#include "workloads/micro.h"
+
+using namespace catdb;
+
+namespace {
+
+struct Row {
+  const char* label;
+  double agg_conc;
+  double agg_part;
+  double scan_conc;
+  double scan_part;
+};
+
+Row RunConfig(const char* label, const sim::MachineConfig& mc) {
+  sim::Machine machine(mc);
+  auto scan_data = workloads::MakeScanDataset(
+      &machine, workloads::kDefaultScanRows / 2,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+      31);
+  auto agg_data = workloads::MakeAggDataset(
+      &machine, workloads::kDefaultAggRows,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+      workloads::ScaledGroupCount(100000), 32);
+  engine::ColumnScanQuery scan(&scan_data.column, 33);
+  engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
+  scan.AttachSim(&machine);
+  agg.AttachSim(&machine);
+
+  const auto r =
+      bench::RunPair(&machine, &agg, &scan, engine::PolicyConfig{});
+  return Row{label, r.norm_conc_a(), r.norm_part_a(), r.norm_conc_b(),
+             r.norm_part_b()};
+}
+
+void Print(const Row& row) {
+  std::printf("%-22s | %8.2f -> %-8.2f | %8.2f -> %-8.2f\n", row.label,
+              row.agg_conc, row.agg_part, row.scan_conc, row.scan_part);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — Fig. 9b sensitive point (agg norm. conc -> part | scan)\n");
+  bench::PrintRule(72);
+
+  sim::MachineConfig base;
+  Print(RunConfig("baseline", base));
+
+  sim::MachineConfig no_prefetch = base;
+  no_prefetch.hierarchy.prefetcher.enabled = false;
+  Print(RunConfig("no prefetcher", no_prefetch));
+
+  sim::MachineConfig non_inclusive = base;
+  non_inclusive.hierarchy.inclusive_llc = false;
+  Print(RunConfig("non-inclusive LLC", non_inclusive));
+
+  bench::PrintRule(72);
+
+  // Adaptive-heuristic ablation on the Fig. 10b point: an LLC-sized bit
+  // vector makes the join cache-sensitive; the heuristic must choose the
+  // 60 % mask, not the polluting 10 % mask.
+  {
+    sim::Machine machine(base);
+    const uint32_t keys =
+        workloads::PkCountForRatio(machine, workloads::kPkRatios[2]);
+    auto join_data = workloads::MakeJoinDataset(
+        &machine, keys, workloads::kDefaultProbeRows / 2, 41);
+    auto agg_data = workloads::MakeAggDataset(
+        &machine, workloads::kDefaultAggRows,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+        workloads::ScaledGroupCount(1000), 42);
+    engine::FkJoinQuery join(&join_data.pk, &join_data.fk, keys);
+    engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
+    join.AttachSim(&machine);
+    agg.AttachSim(&machine);
+
+    engine::PolicyConfig heuristic;  // adaptive heuristic on (default)
+    const auto r_h = bench::RunPair(&machine, &agg, &join, heuristic);
+
+    engine::PolicyConfig forced;
+    forced.adaptive_heuristic = false;
+    forced.adaptive_force_polluting = true;
+    const auto r_f = bench::RunPair(&machine, &agg, &join, forced);
+
+    std::printf("adaptive join heuristic (Fig. 10b point, LLC-sized bit "
+                "vector):\n");
+    std::printf("  heuristic (60%% mask) : agg %.2f join %.2f (combined "
+                "%.2f)\n",
+                r_h.norm_part_a(), r_h.norm_part_b(),
+                r_h.norm_part_a() + r_h.norm_part_b());
+    std::printf("  forced 10%% mask      : agg %.2f join %.2f (combined "
+                "%.2f)\n",
+                r_f.norm_part_a(), r_f.norm_part_b(),
+                r_f.norm_part_a() + r_f.norm_part_b());
+  }
+  return 0;
+}

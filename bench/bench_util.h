@@ -1,0 +1,113 @@
+#ifndef CATDB_BENCH_BENCH_UTIL_H_
+#define CATDB_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction benchmarks. Each bench binary
+// regenerates one figure/table of the paper (see DESIGN.md experiment index)
+// and prints a paper-style table of normalized throughputs.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/runner.h"
+#include "sim/machine.h"
+
+namespace catdb::bench {
+
+/// Default core split: two streams of four job workers each. Isolated
+/// baselines use the same four cores as the concurrent run, so normalized
+/// throughput isolates cache/bandwidth interference (DESIGN.md §4.6).
+inline const std::vector<uint32_t> kCoresA = {0, 1, 2, 3};
+inline const std::vector<uint32_t> kCoresB = {4, 5, 6, 7};
+
+/// Simulated-cycle horizon for throughput runs (~90 ms at 2.2 GHz; plays
+/// the role of the paper's 90 s measurement window at simulation scale).
+inline constexpr uint64_t kDefaultHorizon = 200'000'000;
+
+/// Result of the standard 2-query experiment the paper's evaluation figures
+/// are built from: both queries isolated, concurrent, and concurrent with a
+/// given partitioning policy.
+struct PairResult {
+  double iso_a = 0;      // iterations, query A isolated
+  double iso_b = 0;      // iterations, query B isolated
+  double conc_a = 0;     // iterations, A when co-running (no partitioning)
+  double conc_b = 0;
+  double part_a = 0;     // iterations, A when co-running with partitioning
+  double part_b = 0;
+  engine::RunReport conc_report;
+  engine::RunReport part_report;
+
+  double norm_conc_a() const { return conc_a / iso_a; }
+  double norm_conc_b() const { return conc_b / iso_b; }
+  double norm_part_a() const { return part_a / iso_a; }
+  double norm_part_b() const { return part_b / iso_b; }
+};
+
+/// Runs the A/B pair in all four configurations. `partitioned` is the
+/// policy used for the partitioned run ('enabled' is forced on); isolated
+/// and concurrent baselines run with partitioning disabled.
+inline PairResult RunPair(sim::Machine* machine, engine::Query* a,
+                          engine::Query* b,
+                          const engine::PolicyConfig& partitioned,
+                          uint64_t horizon = kDefaultHorizon) {
+  engine::PolicyConfig off;
+  engine::PolicyConfig on = partitioned;
+  on.enabled = true;
+
+  PairResult r;
+  r.iso_a = engine::RunWorkload(machine, {{a, kCoresA}}, horizon, off)
+                .streams[0]
+                .iterations;
+  r.iso_b = engine::RunWorkload(machine, {{b, kCoresB}}, horizon, off)
+                .streams[0]
+                .iterations;
+  r.conc_report = engine::RunWorkload(
+      machine, {{a, kCoresA}, {b, kCoresB}}, horizon, off);
+  r.conc_a = r.conc_report.streams[0].iterations;
+  r.conc_b = r.conc_report.streams[1].iterations;
+  r.part_report = engine::RunWorkload(
+      machine, {{a, kCoresA}, {b, kCoresB}}, horizon, on);
+  r.part_a = r.part_report.streams[0].iterations;
+  r.part_b = r.part_report.streams[1].iterations;
+  return r;
+}
+
+/// Isolated warm per-iteration latency under an instance-wide cache limit
+/// (the measurement method of Figures 4-6: "we limit the size of the
+/// available LLC ... and measure end-to-end response time"). Runs
+/// `iterations` and returns the cycles of the last iteration.
+inline uint64_t WarmIterationCycles(sim::Machine* machine,
+                                    engine::Query* query, uint32_t ways,
+                                    uint64_t iterations = 3) {
+  engine::PolicyConfig cfg;
+  cfg.instance_ways = ways;
+  auto rep =
+      engine::RunQueryIterations(machine, query, kCoresA, iterations, cfg);
+  const auto& clocks = rep.streams[0].iteration_end_clocks;
+  return clocks.back() - clocks[clocks.size() - 2];
+}
+
+/// Pretty-printing helpers.
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline std::string WaysLabel(const sim::Machine& machine, uint32_t ways) {
+  const auto& llc = machine.config().hierarchy.llc;
+  const double mib = static_cast<double>(llc.CapacityBytes()) * ways /
+                     llc.num_ways / (1024.0 * 1024.0);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%2u ways (%.2f MiB)", ways, mib);
+  return buf;
+}
+
+/// The cache-size axis used by the isolated sweeps (as a fraction of the
+/// 20-way LLC, mirroring the paper's 5..55 MiB axis).
+inline const std::vector<uint32_t> kWaySweep = {20, 18, 16, 14, 12, 10,
+                                                8,  6,  4,  2,  1};
+
+}  // namespace catdb::bench
+
+#endif  // CATDB_BENCH_BENCH_UTIL_H_

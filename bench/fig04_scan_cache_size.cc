@@ -1,0 +1,50 @@
+// Reproduces Fig. 4: normalized throughput of Query 1 (column scan) at
+// varying LLC sizes, including the Section V-B note that mask 0x1 (one way)
+// behaves worse than 0x3. Also prints the LLC hit ratio and misses per
+// instruction the paper reports in the text (hit ratio < 0.08, MPI ~1.9e-2).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/operators/column_scan.h"
+#include "engine/runner.h"
+#include "workloads/micro.h"
+
+using namespace catdb;
+
+int main() {
+  sim::Machine machine{sim::MachineConfig{}};
+
+  auto data = workloads::MakeScanDataset(
+      &machine, workloads::kDefaultScanRows,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+      /*seed=*/41);
+  engine::ColumnScanQuery scan(&data.column, /*seed=*/42);
+  scan.AttachSim(&machine);
+
+  std::printf("Fig. 4 — Query 1 (column scan), isolated, varying LLC size\n");
+  bench::PrintRule(72);
+  std::printf("%-22s %10s %12s %14s\n", "cache", "norm.tput", "LLC hit",
+              "LLC miss/instr");
+  bench::PrintRule(72);
+
+  double full_cycles = 0;
+  for (uint32_t ways : bench::kWaySweep) {
+    engine::PolicyConfig cfg;
+    cfg.instance_ways = ways;
+    auto rep = engine::RunQueryIterations(&machine, &scan, bench::kCoresA,
+                                          3, cfg);
+    const auto& clocks = rep.streams[0].iteration_end_clocks;
+    const double cycles = static_cast<double>(clocks[2] - clocks[1]);
+    if (ways == 20) full_cycles = cycles;
+    std::printf("%-22s %10.3f %12.3f %14.2e\n",
+                bench::WaysLabel(machine, ways).c_str(),
+                full_cycles / cycles, rep.llc_hit_ratio, rep.llc_mpi);
+  }
+  bench::PrintRule(72);
+  std::printf(
+      "Paper: flat down to 10%% of the cache (bitmask 0x3); only the\n"
+      "single-way mask 0x1 degrades the scan. LLC hit ratio stays low.\n");
+  return 0;
+}

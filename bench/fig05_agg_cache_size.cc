@@ -1,0 +1,78 @@
+// Reproduces Fig. 5 (a, b, c): normalized throughput of Query 2
+// (aggregation with grouping) at varying LLC sizes, for the paper's three
+// dictionary scenarios (4 / 40 / 400 MiB on a 55 MiB LLC, preserved as
+// LLC ratios here) and five group counts (10^2..10^6, mapped to simulation
+// scale via ScaledGroupCount; see DESIGN.md).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/operators/aggregation.h"
+#include "workloads/micro.h"
+
+using namespace catdb;
+
+namespace {
+
+void RunScenario(sim::Machine* machine, const char* title, double dict_ratio,
+                 uint64_t seed) {
+  const uint32_t dict_entries =
+      workloads::DictEntriesForRatio(*machine, dict_ratio);
+  std::printf("\nFig. 5 %s — dictionary %.2f MiB (%u entries)\n", title,
+              dict_entries * 4.0 / (1024 * 1024), dict_entries);
+  bench::PrintRule(78);
+  std::printf("%-22s", "cache \\ groups");
+  for (uint32_t g : workloads::kGroupSizes) std::printf(" %9.0e", (double)g);
+  std::printf("\n");
+  bench::PrintRule(78);
+
+  // Build one dataset + query per group count (columns are reused across
+  // the way sweep).
+  std::vector<workloads::AggDataset> datasets;
+  // Queries hold pointers into the datasets: fix the vector's capacity up
+  // front so growth never relocates them.
+  datasets.reserve(std::size(workloads::kGroupSizes));
+  std::vector<std::unique_ptr<engine::AggregationQuery>> queries;
+  for (uint32_t g : workloads::kGroupSizes) {
+    datasets.push_back(workloads::MakeAggDataset(
+        machine, workloads::kDefaultAggRows / 4, dict_entries,
+        workloads::ScaledGroupCount(g), seed++));
+    queries.push_back(std::make_unique<engine::AggregationQuery>(
+        &datasets.back().v, &datasets.back().g));
+    queries.back()->AttachSim(machine);
+  }
+
+  std::vector<double> full(queries.size(), 0);
+  for (uint32_t ways : bench::kWaySweep) {
+    std::printf("%-22s", bench::WaysLabel(*machine, ways).c_str());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const double cycles = static_cast<double>(
+          bench::WarmIterationCycles(machine, queries[i].get(), ways));
+      if (ways == 20) full[i] = cycles;
+      std::printf(" %9.3f", full[i] / cycles);
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule(78);
+}
+
+}  // namespace
+
+int main() {
+  sim::Machine machine{sim::MachineConfig{}};
+  RunScenario(&machine, "(a) '4 MiB' dictionary", workloads::kDictRatioSmall,
+              510);
+  RunScenario(&machine, "(b) '40 MiB' dictionary",
+              workloads::kDictRatioMedium, 520);
+  RunScenario(&machine, "(c) '400 MiB' dictionary",
+              workloads::kDictRatioLarge, 530);
+  std::printf(
+      "\nPaper: (a) sensitive for mid group counts (strongest when the hash\n"
+      "tables are comparable to the LLC), (b) sensitive for all group\n"
+      "counts (the dictionary occupies most of the LLC), (c) weaker overall\n"
+      "sensitivity (dictionary far exceeds the LLC), still strongest at the\n"
+      "LLC-sized hash-table point.\n");
+  return 0;
+}

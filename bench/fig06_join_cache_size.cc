@@ -1,0 +1,60 @@
+// Reproduces Fig. 6: normalized throughput of Query 3 (foreign-key join) at
+// varying LLC sizes, for four primary-key counts whose bit vectors span the
+// paper's regimes (fits-L2 / small / comparable-to-LLC / exceeding).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/operators/fk_join.h"
+#include "workloads/micro.h"
+
+using namespace catdb;
+
+int main() {
+  sim::Machine machine{sim::MachineConfig{}};
+
+  std::vector<workloads::JoinDataset> datasets;
+  datasets.reserve(std::size(workloads::kPkRatios));
+  std::vector<std::unique_ptr<engine::FkJoinQuery>> queries;
+  for (size_t i = 0; i < std::size(workloads::kPkRatios); ++i) {
+    const uint32_t keys =
+        workloads::PkCountForRatio(machine, workloads::kPkRatios[i]);
+    datasets.push_back(workloads::MakeJoinDataset(
+        &machine, keys, workloads::kDefaultProbeRows / 4, 610 + i));
+    queries.push_back(std::make_unique<engine::FkJoinQuery>(
+        &datasets.back().pk, &datasets.back().fk, keys));
+    queries.back()->AttachSim(&machine);
+  }
+
+  std::printf(
+      "Fig. 6 — Query 3 (foreign-key join), isolated, varying LLC size\n");
+  std::printf("columns: paper primary-key count (scaled bit-vector size)\n");
+  bench::PrintRule(78);
+  std::printf("%-22s", "cache \\ PK count");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf(" %5s(%4.0fKiB)", workloads::kPkLabels[i],
+                queries[i]->bits().SizeBytes() / 1024.0);
+  }
+  std::printf("\n");
+  bench::PrintRule(78);
+
+  std::vector<double> full(queries.size(), 0);
+  for (uint32_t ways : bench::kWaySweep) {
+    std::printf("%-22s", bench::WaysLabel(machine, ways).c_str());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const double cycles = static_cast<double>(
+          bench::WarmIterationCycles(&machine, queries[i].get(), ways));
+      if (ways == 20) full[i] = cycles;
+      std::printf(" %13.3f", full[i] / cycles);
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule(78);
+  std::printf(
+      "Paper: only the '1e8' configuration (bit vector comparable to the\n"
+      "LLC) is cache-sensitive (drops up to 33%%, below ~60%% of the LLC);\n"
+      "the others lose only 5-14%%.\n");
+  return 0;
+}

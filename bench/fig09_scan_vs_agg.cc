@@ -1,0 +1,75 @@
+// Reproduces Fig. 9 (a, b, c): normalized throughput of Query 1 (column
+// scan) and Query 2 (aggregation) running concurrently, with and without
+// cache partitioning (scan restricted to 10 % of the LLC, aggregation gets
+// 100 %), for the three dictionary scenarios and five group counts.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/operators/aggregation.h"
+#include "engine/operators/column_scan.h"
+#include "workloads/micro.h"
+
+using namespace catdb;
+
+namespace {
+
+void RunScenario(sim::Machine* machine,
+                 const storage::DictColumn* scan_column, const char* title,
+                 double dict_ratio, uint64_t seed) {
+  const uint32_t dict_entries =
+      workloads::DictEntriesForRatio(*machine, dict_ratio);
+  std::printf("\nFig. 9 %s — dictionary %.2f MiB\n", title,
+              dict_entries * 4.0 / (1024 * 1024));
+  bench::PrintRule(88);
+  std::printf("%8s | %9s %9s %9s | %9s %9s %9s | %7s\n", "groups",
+              "Q2 conc", "Q2 part", "gain", "Q1 conc", "Q1 part", "gain",
+              "LLC hit");
+  bench::PrintRule(88);
+
+  for (uint32_t g : workloads::kGroupSizes) {
+    auto data = workloads::MakeAggDataset(
+        machine, workloads::kDefaultAggRows, dict_entries,
+        workloads::ScaledGroupCount(g), seed++);
+    engine::AggregationQuery agg(&data.v, &data.g);
+    agg.AttachSim(machine);
+    engine::ColumnScanQuery scan(scan_column, seed + 99);
+
+    const auto r = bench::RunPair(machine, &agg, &scan,
+                                  engine::PolicyConfig{});
+    std::printf(
+        "%8.0e | %9.2f %9.2f %8.0f%% | %9.2f %9.2f %8.0f%% | "
+        "%.2f->%.2f\n",
+        static_cast<double>(g), r.norm_conc_a(), r.norm_part_a(),
+        (r.norm_part_a() / r.norm_conc_a() - 1) * 100, r.norm_conc_b(),
+        r.norm_part_b(), (r.norm_part_b() / r.norm_conc_b() - 1) * 100,
+        r.conc_report.llc_hit_ratio, r.part_report.llc_hit_ratio);
+  }
+  bench::PrintRule(88);
+}
+
+}  // namespace
+
+int main() {
+  sim::Machine machine{sim::MachineConfig{}};
+  auto scan_data = workloads::MakeScanDataset(
+      &machine, workloads::kDefaultScanRows,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+      /*seed=*/900);
+
+  RunScenario(&machine, &scan_data.column, "(a) '4 MiB' dictionary",
+              workloads::kDictRatioSmall, 910);
+  RunScenario(&machine, &scan_data.column, "(b) '40 MiB' dictionary",
+              workloads::kDictRatioMedium, 920);
+  RunScenario(&machine, &scan_data.column, "(c) '400 MiB' dictionary",
+              workloads::kDictRatioLarge, 930);
+
+  std::printf(
+      "\nPaper: partitioning helps Q2 most when its hash tables are\n"
+      "comparable to the LLC (up to +20/21%% for (a)/(b)) and only 3-9%%\n"
+      "for (c); the scan improves slightly as well, and no configuration\n"
+      "regresses.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Fig. 10 (a, b): normalized throughput of Query 2 (aggregation)
+// and Query 3 (foreign-key join) running concurrently, comparing two
+// partitioning schemes: join restricted to 10 % (mask 0x3) or 60 % (mask
+// 0xfff) of the LLC, while the aggregation may use 100 %.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/operators/aggregation.h"
+#include "engine/operators/fk_join.h"
+#include "workloads/micro.h"
+
+using namespace catdb;
+
+namespace {
+
+void RunScenario(sim::Machine* machine, const char* title, double pk_ratio,
+                 uint64_t seed) {
+  const uint32_t keys = workloads::PkCountForRatio(*machine, pk_ratio);
+  auto join_data = workloads::MakeJoinDataset(
+      machine, keys, workloads::kDefaultProbeRows / 2, seed);
+  engine::FkJoinQuery join(&join_data.pk, &join_data.fk, keys);
+  join.AttachSim(machine);
+
+  const uint32_t dict_entries =
+      workloads::DictEntriesForRatio(*machine, workloads::kDictRatioMedium);
+
+  std::printf("\nFig. 10 %s — bit vector %.0f KiB\n", title,
+              join.bits().SizeBytes() / 1024.0);
+  bench::PrintRule(92);
+  std::printf("%8s | %8s %8s %8s | %8s %8s %8s\n", "groups", "Q2 conc",
+              "Q2 @10%", "Q2 @60%", "Q3 conc", "Q3 @10%", "Q3 @60%");
+  bench::PrintRule(92);
+
+  for (uint32_t g : workloads::kGroupSizes) {
+    auto data = workloads::MakeAggDataset(
+        machine, workloads::kDefaultAggRows, dict_entries,
+        workloads::ScaledGroupCount(g), seed + g);
+    engine::AggregationQuery agg(&data.v, &data.g);
+    agg.AttachSim(machine);
+
+    // Scheme 1: force the (adaptive) join jobs into the 10 % group.
+    engine::PolicyConfig restrict10;
+    restrict10.adaptive_heuristic = false;
+    restrict10.adaptive_force_polluting = true;
+    const auto r10 = bench::RunPair(machine, &agg, &join, restrict10);
+
+    // Scheme 2: force them into the 60 % group (the paper's second scheme:
+    // 40 % exclusive to the aggregation, 60 % shared).
+    engine::PolicyConfig restrict60;
+    restrict60.adaptive_heuristic = false;
+    restrict60.adaptive_force_polluting = false;
+    const auto r60 = bench::RunPair(machine, &agg, &join, restrict60);
+
+    std::printf("%8.0e | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f\n",
+                static_cast<double>(g), r10.norm_conc_a(), r10.norm_part_a(),
+                r60.norm_part_a(), r10.norm_conc_b(), r10.norm_part_b(),
+                r60.norm_part_b());
+  }
+  bench::PrintRule(92);
+}
+
+}  // namespace
+
+int main() {
+  sim::Machine machine{sim::MachineConfig{}};
+  RunScenario(&machine, "(a) '1e6' primary keys (bit vector << LLC)",
+              workloads::kPkRatios[0], 1010);
+  RunScenario(&machine, "(b) '1e8' primary keys (bit vector ~ LLC)",
+              workloads::kPkRatios[2], 1020);
+  std::printf(
+      "\nPaper: with a tiny bit vector (a), the 10%% restriction helps Q2 by\n"
+      "up to 38%% and even Q3 slightly. With an LLC-sized bit vector (b),\n"
+      "the 10%% restriction hurts Q3 by 15-31%% (net loss); restricting Q3\n"
+      "to 60%% instead gives Q2 up to +9%% at ~unchanged Q3 throughput.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Driving the CAT control plane directly: this example skips the engine's
+// automatic policy and programs classes of service through the emulated
+// Linux resctrl interface, exactly as an operator would on a real machine
+// (mkdir /sys/fs/resctrl/<group>; echo mask > schemata; echo tid > tasks).
+// It then shows the effect of a custom asymmetric partition on a concurrent
+// workload.
+//
+//   $ ./build/examples/custom_policy
+
+#include <cstdio>
+
+#include "cat/resctrl.h"
+#include "engine/operators/aggregation.h"
+#include "engine/operators/column_scan.h"
+#include "engine/runner.h"
+#include "workloads/micro.h"
+
+using namespace catdb;  // example code; library code never does this
+
+int main() {
+  sim::Machine machine{sim::MachineConfig{}};
+  cat::ResctrlFs& fs = machine.resctrl();
+
+  // --- 1. Raw control-plane usage -------------------------------------
+  // Create a resource group, program its capacity bitmask, move a thread
+  // in, and watch the kernel re-associate the core on a context switch.
+  cat::CatController& cat = machine.cat();
+  std::printf("LLC: %u ways, full mask %s\n",
+              cat.num_ways(),
+              cat::FormatSchemataLine(cat.full_mask()).c_str());
+
+  Status st = fs.CreateGroup("batch");
+  st = fs.WriteSchemata("batch", "L3:0=f0");  // ways 4..7, exclusive-ish
+  if (!st.ok()) {
+    std::printf("schemata write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  // Invalid masks are rejected with the hardware's rules:
+  std::printf("non-contiguous mask -> %s\n",
+              fs.WriteSchemata("batch", "L3:0=f0f").ToString().c_str());
+
+  (void)fs.AssignTask(/*tid=*/0, "batch");
+  const bool reassociated = fs.OnContextSwitch(/*tid=*/0, /*core=*/0);
+  std::printf("context switch re-associated core 0: %s (mask now %s)\n\n",
+              reassociated ? "yes" : "no",
+              cat::FormatSchemataLine(cat.CoreMask(0)).c_str());
+  fs.Reset();
+
+  // --- 2. A custom partitioning scheme on a live workload -------------
+  // The built-in policy gives polluting jobs 2 ways. Suppose we want a
+  // *stricter* split: scan 2 ways, aggregation 100 %, but additionally an
+  // asymmetric variant giving the scan 4 ways to compare.
+  auto agg_data = workloads::MakeAggDataset(
+      &machine, workloads::kDefaultAggRows,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+      workloads::ScaledGroupCount(100000), 7);
+  auto scan_data = workloads::MakeScanDataset(
+      &machine, workloads::kDefaultScanRows / 2,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+      8);
+  engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
+  engine::ColumnScanQuery scan(&scan_data.column, 9);
+  agg.AttachSim(&machine);
+  scan.AttachSim(&machine);
+
+  const std::vector<uint32_t> a = {0, 1, 2, 3};
+  const std::vector<uint32_t> b = {4, 5, 6, 7};
+  const uint64_t horizon = 150'000'000;
+
+  std::printf("%-28s %10s %10s\n", "scheme", "agg iters", "scan iters");
+  for (uint32_t scan_ways : {20u, 4u, 2u}) {
+    engine::PolicyConfig policy;
+    policy.enabled = scan_ways != 20;
+    policy.polluting_ways = scan_ways == 20 ? 2 : scan_ways;
+    auto rep = engine::RunWorkload(&machine, {{&agg, a}, {&scan, b}},
+                                   horizon, policy);
+    char label[64];
+    std::snprintf(label, sizeof(label),
+                  scan_ways == 20 ? "shared cache (no CAT)"
+                                  : "scan restricted to %u ways",
+                  scan_ways);
+    std::printf("%-28s %10.2f %10.2f\n", label, rep.streams[0].iterations,
+                rep.streams[1].iterations);
+  }
+  std::printf(
+      "\nNarrower scan masks protect the aggregation's working set; the\n"
+      "scan itself barely cares (it streams).\n");
+  return 0;
+}

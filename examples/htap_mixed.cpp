@@ -1,0 +1,103 @@
+// HTAP mixed workload: an analytical scan, a hash aggregation and an OLTP
+// point-select stream share one machine. Shows how per-job cache-usage
+// annotations let the engine protect the cache-sensitive queries while the
+// polluting scan keeps streaming — and prints the hardware metrics that
+// explain why.
+//
+//   $ ./build/examples/htap_mixed
+
+#include <cstdio>
+
+#include "engine/operators/aggregation.h"
+#include "engine/operators/column_scan.h"
+#include "engine/runner.h"
+#include "workloads/micro.h"
+#include "workloads/s4hana.h"
+
+using namespace catdb;  // example code; library code never does this
+
+namespace {
+
+void PrintRow(const char* label, const engine::RunReport& report,
+              double base_agg, double base_oltp, double base_scan) {
+  std::printf("%-16s  agg %5.2f   oltp %5.2f   scan %5.2f   "
+              "LLC hit %.2f   LLC MPI %.2e\n",
+              label, report.streams[0].iterations / base_agg,
+              report.streams[1].iterations / base_oltp,
+              report.streams[2].iterations / base_scan,
+              report.llc_hit_ratio, report.llc_mpi);
+}
+
+}  // namespace
+
+int main() {
+  sim::Machine machine{sim::MachineConfig{}};
+
+  // Datasets: an aggregation table (medium dictionary), the ACDOCA-like
+  // OLTP table, and a large scan column.
+  auto agg_data = workloads::MakeAggDataset(
+      &machine, workloads::kDefaultAggRows,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+      workloads::ScaledGroupCount(100000), 1);
+  auto acdoca = workloads::MakeAcdocaData(&machine, {});
+  auto scan_data = workloads::MakeScanDataset(
+      &machine, workloads::kDefaultScanRows,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+      2);
+
+  engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
+  auto oltp = workloads::MakeOltpQuery(*acdoca, /*big_projection=*/true,
+                                       /*num_columns=*/13, 3);
+  engine::ColumnScanQuery scan(&scan_data.column, 4);
+  agg.AttachSim(&machine);
+  oltp->AttachSim(&machine);
+  scan.AttachSim(&machine);
+
+  // Three streams sharing the 8 cores: OLAP aggregation (3 workers), OLTP
+  // (2 workers), polluting scan (3 workers).
+  const std::vector<uint32_t> agg_cores = {0, 1, 2};
+  const std::vector<uint32_t> oltp_cores = {3, 4};
+  const std::vector<uint32_t> scan_cores = {5, 6, 7};
+  const uint64_t horizon = 200'000'000;
+
+  engine::PolicyConfig off;
+  engine::PolicyConfig on;
+  on.enabled = true;
+
+  // Per-stream isolated baselines (same core counts).
+  const double base_agg =
+      engine::RunWorkload(&machine, {{&agg, agg_cores}}, horizon, off)
+          .streams[0]
+          .iterations;
+  const double base_oltp =
+      engine::RunWorkload(&machine, {{oltp.get(), oltp_cores}}, horizon, off)
+          .streams[0]
+          .iterations;
+  const double base_scan =
+      engine::RunWorkload(&machine, {{&scan, scan_cores}}, horizon, off)
+          .streams[0]
+          .iterations;
+
+  auto mixed = [&](const engine::PolicyConfig& policy) {
+    return engine::RunWorkload(&machine,
+                               {{&agg, agg_cores},
+                                {oltp.get(), oltp_cores},
+                                {&scan, scan_cores}},
+                               horizon, policy);
+  };
+
+  std::printf("HTAP mix, throughput normalized to isolated execution:\n\n");
+  const auto conc = mixed(off);
+  const auto part = mixed(on);
+  PrintRow("no partitioning", conc, base_agg, base_oltp, base_scan);
+  PrintRow("partitioned", part, base_agg, base_oltp, base_scan);
+
+  std::printf("\nkernel interactions: %llu (skipped as redundant: %llu)\n",
+              static_cast<unsigned long long>(part.group_moves),
+              static_cast<unsigned long long>(part.skipped_moves));
+  std::printf(
+      "\nThe scan is annotated cache-polluting (CUID i) and is confined to\n"
+      "10%% of the LLC; the aggregation and OLTP stream keep the default\n"
+      "cache-sensitive annotation (CUID ii) and the full cache.\n");
+  return 0;
+}

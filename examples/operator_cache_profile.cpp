@@ -1,0 +1,85 @@
+// Profiles the cache sensitivity of the three micro-benchmark operators the
+// way Section IV of the paper does: run each isolated while restricting the
+// whole instance to fewer and fewer LLC ways, and report normalized
+// throughput plus the hardware counters. Use this to decide an operator's
+// cache-usage annotation (polluting / sensitive / adaptive).
+//
+//   $ ./build/examples/operator_cache_profile
+
+#include <cstdio>
+#include <vector>
+
+#include "engine/operators/aggregation.h"
+#include "engine/operators/column_scan.h"
+#include "engine/operators/fk_join.h"
+#include "engine/runner.h"
+#include "workloads/micro.h"
+
+using namespace catdb;  // example code; library code never does this
+
+namespace {
+
+void Profile(sim::Machine* machine, engine::Query* query) {
+  std::printf("\n%s\n", query->name().c_str());
+  std::printf("  %-20s %10s %10s %14s\n", "cache", "norm.tput", "LLC hit",
+              "LLC miss/instr");
+  double full_cycles = 0;
+  for (uint32_t ways : {20u, 12u, 8u, 4u, 2u}) {
+    engine::PolicyConfig cfg;
+    cfg.instance_ways = ways;
+    auto rep = engine::RunQueryIterations(machine, query, {0, 1, 2, 3}, 3,
+                                          cfg);
+    const auto& clocks = rep.streams[0].iteration_end_clocks;
+    const double cycles = static_cast<double>(clocks[2] - clocks[1]);
+    if (ways == 20) full_cycles = cycles;
+    const double llc_mib =
+        machine->config().hierarchy.llc.CapacityBytes() * ways / 20.0 /
+        (1024.0 * 1024.0);
+    std::printf("  %2u ways (%5.2f MiB)   %10.3f %10.3f %14.2e\n", ways,
+                llc_mib, full_cycles / cycles, rep.llc_hit_ratio,
+                rep.llc_mpi);
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::Machine machine{sim::MachineConfig{}};
+
+  // Query 1: column scan (expected: insensitive -> annotate kPolluting).
+  auto scan_data = workloads::MakeScanDataset(
+      &machine, workloads::kDefaultScanRows / 2,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+      1);
+  engine::ColumnScanQuery scan(&scan_data.column, 2);
+  scan.AttachSim(&machine);
+  Profile(&machine, &scan);
+
+  // Query 2: aggregation, LLC-sized hash tables (expected: highly
+  // sensitive -> keep the default kSensitive).
+  auto agg_data = workloads::MakeAggDataset(
+      &machine, workloads::kDefaultAggRows / 2,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+      workloads::ScaledGroupCount(100000), 3);
+  engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
+  agg.AttachSim(&machine);
+  Profile(&machine, &agg);
+
+  // Query 3: foreign-key join with an LLC-comparable bit vector (expected:
+  // sensitive for this datum, polluting otherwise -> annotate kAdaptive).
+  const uint32_t keys =
+      workloads::PkCountForRatio(machine, workloads::kPkRatios[2]);
+  auto join_data = workloads::MakeJoinDataset(
+      &machine, keys, workloads::kDefaultProbeRows / 2, 4);
+  engine::FkJoinQuery join(&join_data.pk, &join_data.fk, keys);
+  join.AttachSim(&machine);
+  Profile(&machine, &join);
+
+  std::printf(
+      "\nReading the profiles: a flat curve with a low LLC hit ratio means\n"
+      "the operator streams (annotate kPolluting); a curve that breaks as\n"
+      "ways shrink means it re-uses cached state (keep kSensitive); an\n"
+      "operator whose behaviour depends on its data sizes gets kAdaptive\n"
+      "with a working-set hint.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "cat/cat_controller.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace catdb::cat {
+
+CatController::CatController(uint32_t num_ways, uint32_t num_cores,
+                             uint32_t max_clos)
+    : num_ways_(num_ways),
+      max_clos_(max_clos),
+      full_mask_(num_ways >= 64 ? ~uint64_t{0}
+                                : (uint64_t{1} << num_ways) - 1) {
+  CATDB_CHECK(num_ways >= 1 && num_ways <= 64);
+  CATDB_CHECK(max_clos >= 1);
+  CATDB_CHECK(num_cores >= 1);
+  clos_masks_.assign(max_clos_, full_mask_);
+  core_clos_.assign(num_cores, 0);
+}
+
+Status CatController::ValidateMask(uint64_t mask) const {
+  if (mask == 0) {
+    return Status::InvalidArgument("CAT capacity bitmask must be non-zero");
+  }
+  if ((mask & ~full_mask_) != 0) {
+    return Status::InvalidArgument(
+        "CAT capacity bitmask has bits beyond the LLC way count");
+  }
+  if (!IsContiguousMask(mask)) {
+    return Status::InvalidArgument(
+        "CAT capacity bitmask must be contiguous (hardware requirement)");
+  }
+  return Status::OK();
+}
+
+Status CatController::SetClosMask(ClosId clos, uint64_t mask) {
+  if (clos >= max_clos_) {
+    return Status::OutOfRange("CLOS id beyond the supported class count");
+  }
+  CATDB_RETURN_IF_ERROR(ValidateMask(mask));
+  clos_masks_[clos] = mask;
+  mask_writes_ += 1;
+  return Status::OK();
+}
+
+Result<uint64_t> CatController::GetClosMask(ClosId clos) const {
+  if (clos >= max_clos_) {
+    return Status::OutOfRange("CLOS id beyond the supported class count");
+  }
+  return clos_masks_[clos];
+}
+
+Status CatController::AssignCore(uint32_t core, ClosId clos) {
+  if (core >= core_clos_.size()) {
+    return Status::OutOfRange("core id beyond the core count");
+  }
+  if (clos >= max_clos_) {
+    return Status::OutOfRange("CLOS id beyond the supported class count");
+  }
+  core_clos_[core] = clos;
+  core_assignments_ += 1;
+  return Status::OK();
+}
+
+ClosId CatController::CoreClos(uint32_t core) const {
+  CATDB_CHECK(core < core_clos_.size());
+  return core_clos_[core];
+}
+
+uint64_t CatController::CoreMask(uint32_t core) const {
+  return clos_masks_[CoreClos(core)];
+}
+
+void CatController::Reset() {
+  clos_masks_.assign(max_clos_, full_mask_);
+  core_clos_.assign(core_clos_.size(), 0);
+  mask_writes_ = 0;
+  core_assignments_ = 0;
+}
+
+}  // namespace catdb::cat

@@ -1,0 +1,195 @@
+#include "cat/resctrl.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace catdb::cat {
+
+namespace {
+
+// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+Result<uint64_t> ParseSchemataLine(const std::string& line) {
+  const std::string t = Trim(line);
+  // Expected shape: L3:0=<hex>
+  constexpr const char* kPrefix = "L3:";
+  if (t.rfind(kPrefix, 0) != 0) {
+    return Status::InvalidArgument("schemata line must start with 'L3:'");
+  }
+  const size_t eq = t.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("schemata line is missing '='");
+  }
+  const std::string domain = Trim(t.substr(3, eq - 3));
+  if (domain != "0") {
+    return Status::InvalidArgument(
+        "only cache domain 0 exists on the simulated single-socket machine");
+  }
+  const std::string hex = Trim(t.substr(eq + 1));
+  if (hex.empty()) {
+    return Status::InvalidArgument("schemata line has an empty mask");
+  }
+  uint64_t mask = 0;
+  for (char c : hex) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return Status::InvalidArgument("schemata mask is not hexadecimal");
+    }
+    if (mask >> 60 != 0) {
+      return Status::InvalidArgument("schemata mask overflows 64 bits");
+    }
+    mask = (mask << 4) | digit;
+  }
+  return mask;
+}
+
+std::string FormatSchemataLine(uint64_t mask) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "L3:0=%llx",
+                static_cast<unsigned long long>(mask));
+  return buf;
+}
+
+ResctrlFs::ResctrlFs(CatController* cat) : cat_(cat) {
+  CATDB_CHECK(cat_ != nullptr);
+  clos_in_use_.assign(cat_->max_clos(), false);
+  clos_in_use_[0] = true;  // default group
+  groups_[""] = Group{0};
+}
+
+Status ResctrlFs::CreateGroup(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("group name must be non-empty");
+  }
+  if (groups_.count(name) != 0) {
+    return Status::AlreadyExists("resource group exists: " + name);
+  }
+  for (ClosId clos = 1; clos < cat_->max_clos(); ++clos) {
+    if (!clos_in_use_[clos]) {
+      clos_in_use_[clos] = true;
+      groups_[name] = Group{clos};
+      // Fresh groups start with the full mask, like the kernel.
+      return cat_->SetClosMask(clos, cat_->full_mask());
+    }
+  }
+  return Status::ResourceExhausted(
+      "all classes of service are in use (hardware CLOS limit)");
+}
+
+Status ResctrlFs::RemoveGroup(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("cannot remove the default group");
+  }
+  auto it = groups_.find(name);
+  if (it == groups_.end()) {
+    return Status::NotFound("no such resource group: " + name);
+  }
+  clos_in_use_[it->second.clos] = false;
+  groups_.erase(it);
+  for (auto& [tid, group] : task_group_) {
+    if (group == name) group.clear();
+  }
+  return Status::OK();
+}
+
+Status ResctrlFs::WriteSchemata(const std::string& group,
+                                const std::string& line) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Status::NotFound("no such resource group: " + group);
+  }
+  Result<uint64_t> mask = ParseSchemataLine(line);
+  if (!mask.ok()) return mask.status();
+  return cat_->SetClosMask(it->second.clos, mask.value());
+}
+
+Result<std::string> ResctrlFs::ReadSchemata(const std::string& group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Status::NotFound("no such resource group: " + group);
+  }
+  Result<uint64_t> mask = cat_->GetClosMask(it->second.clos);
+  if (!mask.ok()) return mask.status();
+  return FormatSchemataLine(mask.value());
+}
+
+Status ResctrlFs::AssignTask(ThreadId tid, const std::string& group) {
+  if (groups_.count(group) == 0) {
+    return Status::NotFound("no such resource group: " + group);
+  }
+  if (group.empty()) {
+    task_group_.erase(tid);
+  } else {
+    task_group_[tid] = group;
+  }
+  return Status::OK();
+}
+
+std::string ResctrlFs::GroupOfTask(ThreadId tid) const {
+  auto it = task_group_.find(tid);
+  return it == task_group_.end() ? std::string() : it->second;
+}
+
+Result<ClosId> ResctrlFs::ClosOfGroup(const std::string& group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Status::NotFound("no such resource group: " + group);
+  }
+  return it->second.clos;
+}
+
+ClosId ResctrlFs::ClosOfTask(ThreadId tid) const {
+  auto it = groups_.find(GroupOfTask(tid));
+  CATDB_CHECK(it != groups_.end());
+  return it->second.clos;
+}
+
+bool ResctrlFs::OnContextSwitch(ThreadId tid, uint32_t core) {
+  const ClosId clos = ClosOfTask(tid);
+  if (cat_->CoreClos(core) == clos) {
+    skipped_ += 1;
+    return false;
+  }
+  const Status st = cat_->AssignCore(core, clos);
+  CATDB_CHECK(st.ok());
+  reassociations_ += 1;
+  return true;
+}
+
+std::vector<std::string> ResctrlFs::GroupNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, group] : groups_) {
+    if (!name.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+void ResctrlFs::Reset() {
+  groups_.clear();
+  task_group_.clear();
+  clos_in_use_.assign(cat_->max_clos(), false);
+  clos_in_use_[0] = true;
+  groups_[""] = Group{0};
+  reassociations_ = 0;
+  skipped_ = 0;
+  cat_->Reset();
+}
+
+}  // namespace catdb::cat

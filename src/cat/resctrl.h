@@ -1,0 +1,100 @@
+#ifndef CATDB_CAT_RESCTRL_H_
+#define CATDB_CAT_RESCTRL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cat/cat_controller.h"
+#include "common/status.h"
+
+namespace catdb::cat {
+
+/// Thread identifier of a simulated job-worker thread.
+using ThreadId = uint32_t;
+
+/// Emulation of the Linux `resctrl` pseudo file system (kernel >= 4.10),
+/// which is how the paper's prototype programs CAT (Section V-A/V-C).
+///
+/// The model mirrors the kernel interface:
+///  * *resource groups* (directories) each own one CLOS;
+///  * a group's `schemata` file carries a line like `L3:0=fffff` holding the
+///    capacity bitmask in hex;
+///  * writing a thread id to a group's `tasks` file moves that thread into
+///    the group;
+///  * on every context switch the scheduler loads the CLOS of the incoming
+///    thread's group into the core's IA32_PQR_ASSOC register.
+///
+/// The default group always exists (name "", CLOS 0, full mask); threads not
+/// explicitly assigned belong to it.
+class ResctrlFs {
+ public:
+  explicit ResctrlFs(CatController* cat);
+
+  /// Creates a resource group backed by a fresh CLOS. Fails when all classes
+  /// of service are in use (the hardware limit, 16 on the paper's machine).
+  Status CreateGroup(const std::string& name);
+
+  /// Removes a group; its threads fall back to the default group.
+  Status RemoveGroup(const std::string& name);
+
+  /// Writes a schemata line of the form "L3:0=<hexmask>" into the group.
+  Status WriteSchemata(const std::string& group, const std::string& line);
+
+  /// Reads back the schemata line of a group.
+  Result<std::string> ReadSchemata(const std::string& group) const;
+
+  /// Moves a thread into a group (like `echo <tid> > tasks`).
+  Status AssignTask(ThreadId tid, const std::string& group);
+
+  /// Group a thread currently belongs to ("" = default group).
+  std::string GroupOfTask(ThreadId tid) const;
+
+  /// CLOS backing a thread (via its group).
+  ClosId ClosOfTask(ThreadId tid) const;
+
+  /// CLOS backing a resource group ("" = default group, CLOS 0). The CLOS
+  /// doubles as the monitoring id for the group's CMT/MBM counters.
+  Result<ClosId> ClosOfGroup(const std::string& group) const;
+
+  /// Kernel context-switch hook: thread `tid` is dispatched onto `core`.
+  /// Updates the core's CLOS if it differs from the thread's CLOS. Returns
+  /// true when a hardware re-association (MSR write) was needed — the cost
+  /// the paper's implementation avoids by comparing old and new bitmasks.
+  bool OnContextSwitch(ThreadId tid, uint32_t core);
+
+  /// Number of context switches that required a CLOS re-association versus
+  /// those that were skipped because the core already ran the right CLOS.
+  uint64_t reassociations() const { return reassociations_; }
+  uint64_t skipped_reassociations() const { return skipped_; }
+
+  /// Existing group names (excluding the default group).
+  std::vector<std::string> GroupNames() const;
+
+  /// Restores the mount state: only the default group, no task assignments.
+  void Reset();
+
+ private:
+  struct Group {
+    ClosId clos = 0;
+  };
+
+  CatController* cat_;  // not owned
+  std::map<std::string, Group> groups_;
+  std::unordered_map<ThreadId, std::string> task_group_;
+  std::vector<bool> clos_in_use_;
+  uint64_t reassociations_ = 0;
+  uint64_t skipped_ = 0;
+};
+
+/// Parses "L3:0=<hexmask>" (whitespace-tolerant). Exposed for tests.
+Result<uint64_t> ParseSchemataLine(const std::string& line);
+
+/// Formats a mask as a schemata line.
+std::string FormatSchemataLine(uint64_t mask);
+
+}  // namespace catdb::cat
+
+#endif  // CATDB_CAT_RESCTRL_H_

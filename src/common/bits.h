@@ -1,0 +1,59 @@
+#ifndef CATDB_COMMON_BITS_H_
+#define CATDB_COMMON_BITS_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace catdb {
+
+/// Returns true iff x is a power of two (and nonzero).
+inline constexpr bool IsPowerOfTwo(uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Returns ceil(log2(x)) for x >= 1; BitsFor(1) == 1 so that every value can
+/// be encoded with at least one bit (matches dictionary-code width needs).
+inline constexpr uint32_t BitsFor(uint64_t x) {
+  CATDB_DCHECK(x >= 1);
+  uint32_t bits = 1;
+  uint64_t limit = 2;
+  while (limit < x) {
+    limit <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Returns the smallest power of two >= x. Requires x >= 1.
+inline constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  CATDB_DCHECK(x >= 1);
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Returns log2 of a power of two.
+inline constexpr uint32_t Log2(uint64_t x) {
+  CATDB_DCHECK(IsPowerOfTwo(x));
+  uint32_t n = 0;
+  while ((x >>= 1) != 0) ++n;
+  return n;
+}
+
+/// Returns the number of set bits.
+inline constexpr uint32_t PopCount(uint64_t x) {
+  return static_cast<uint32_t>(__builtin_popcountll(x));
+}
+
+/// Returns true iff the set bits of `mask` form one contiguous run.
+/// Intel CAT requires capacity bitmasks to be contiguous.
+inline constexpr bool IsContiguousMask(uint64_t mask) {
+  if (mask == 0) return false;
+  while ((mask & 1) == 0) mask >>= 1;
+  return (mask & (mask + 1)) == 0;
+}
+
+}  // namespace catdb
+
+#endif  // CATDB_COMMON_BITS_H_

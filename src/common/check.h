@@ -1,0 +1,36 @@
+#ifndef CATDB_COMMON_CHECK_H_
+#define CATDB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace catdb::internal {
+
+[[noreturn]] inline void CheckFailed(const char* condition, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CATDB_CHECK failed: %s at %s:%d\n", condition, file,
+               line);
+  std::abort();
+}
+
+}  // namespace catdb::internal
+
+/// Aborts the process when an internal invariant is violated. Used for
+/// programming errors only; recoverable conditions return `Status`.
+#define CATDB_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::catdb::internal::CheckFailed(#cond, __FILE__, __LINE__);       \
+    }                                                                  \
+  } while (false)
+
+/// Like CATDB_CHECK but compiled out in NDEBUG builds; use on hot paths.
+#ifdef NDEBUG
+#define CATDB_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define CATDB_DCHECK(cond) CATDB_CHECK(cond)
+#endif
+
+#endif  // CATDB_COMMON_CHECK_H_

@@ -1,0 +1,68 @@
+#ifndef CATDB_COMMON_RNG_H_
+#define CATDB_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace catdb {
+
+/// Deterministic xorshift128+ random number generator.
+///
+/// The whole project (data generation, workload parameter draws) uses this
+/// RNG so that every experiment is bit-reproducible across platforms and
+/// standard-library versions (std::mt19937 distributions are not portable).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding, as recommended by the xorshift authors.
+    uint64_t z = seed;
+    for (int i = 0; i < 2; ++i) {
+      z += 0x9E3779B97F4A7C15ULL;
+      uint64_t s = z;
+      s = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      s = (s ^ (s >> 27)) * 0x94D049BB133111EBULL;
+      state_[i] = s ^ (s >> 31);
+    }
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t Next() {
+    uint64_t s1 = state_[0];
+    const uint64_t s0 = state_[1];
+    const uint64_t result = s0 + s1;
+    state_[0] = s0;
+    s1 ^= s1 << 23;
+    state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return result;
+  }
+
+  /// Returns a uniform integer in [0, bound). Requires bound > 0.
+  uint64_t Uniform(uint64_t bound) {
+    CATDB_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection-free mapping (slight bias is
+    // irrelevant at our bounds, and it is fast and portable).
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInRange(int64_t lo, int64_t hi) {
+    CATDB_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_[2];
+};
+
+}  // namespace catdb
+
+#endif  // CATDB_COMMON_RNG_H_

@@ -1,0 +1,108 @@
+#ifndef CATDB_COMMON_STATUS_H_
+#define CATDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace catdb {
+
+/// Error codes for recoverable failures. The project uses Status-based error
+/// handling instead of exceptions (matching the Google/Arrow/RocksDB idiom
+/// this codebase follows).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+};
+
+/// A lightweight status object: either OK or an error code plus message.
+///
+/// Functions that can fail in ways the caller is expected to handle return a
+/// `Status` (or `Result<T>`). Programming errors (broken invariants) use
+/// `CATDB_CHECK` instead and abort.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: mask must be nonzero".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function.
+#define CATDB_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::catdb::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// A value-or-error holder, analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse (`return value;` / `return Status::InvalidArgument(...)`).
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Checked in debug builds via the caller's discipline;
+  /// accessing the value of an error Result is a programming error.
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace catdb
+
+#endif  // CATDB_COMMON_STATUS_H_

@@ -1,0 +1,22 @@
+#ifndef CATDB_COMMON_UNITS_H_
+#define CATDB_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace catdb {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+/// Nominal simulated core frequency; used only to convert cycle counts into
+/// human-readable (simulated) seconds in reports.
+inline constexpr double kCyclesPerSecond = 2.2e9;
+
+inline constexpr double CyclesToSeconds(uint64_t cycles) {
+  return static_cast<double>(cycles) / kCyclesPerSecond;
+}
+
+}  // namespace catdb
+
+#endif  // CATDB_COMMON_UNITS_H_

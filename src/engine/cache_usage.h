@@ -1,0 +1,35 @@
+#ifndef CATDB_ENGINE_CACHE_USAGE_H_
+#define CATDB_ENGINE_CACHE_USAGE_H_
+
+namespace catdb::engine {
+
+/// Cache usage identifier (CUID) annotated on every job, following the
+/// paper's taxonomy (Section V-C):
+///
+///  (i)  kPolluting  — not cache-sensitive and pollutes the cache
+///                     (e.g. the column scan);
+///  (ii) kSensitive  — profits from the entire cache (e.g. aggregation with
+///                     grouping). This is the default to avoid regressions.
+///  (iii) kAdaptive  — can be either, depending on query or data (e.g. the
+///                     foreign-key join, depending on its bit-vector size).
+enum class CacheUsage {
+  kPolluting,
+  kSensitive,
+  kAdaptive,
+};
+
+inline const char* CacheUsageName(CacheUsage cuid) {
+  switch (cuid) {
+    case CacheUsage::kPolluting:
+      return "polluting";
+    case CacheUsage::kSensitive:
+      return "sensitive";
+    case CacheUsage::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+}  // namespace catdb::engine
+
+#endif  // CATDB_ENGINE_CACHE_USAGE_H_

@@ -1,0 +1,40 @@
+#include "engine/composite_query.h"
+
+#include "common/check.h"
+
+namespace catdb::engine {
+
+void CompositeQuery::AddStage(std::unique_ptr<Query> stage) {
+  CATDB_CHECK(stage != nullptr);
+  stages_.push_back(std::move(stage));
+}
+
+uint32_t CompositeQuery::num_phases() const {
+  uint32_t total = 0;
+  for (const auto& s : stages_) total += s->num_phases();
+  return total;
+}
+
+void CompositeQuery::MakePhaseJobs(uint32_t phase, uint32_t num_workers,
+                                   std::vector<std::unique_ptr<Job>>* out) {
+  for (const auto& s : stages_) {
+    if (phase < s->num_phases()) {
+      s->MakePhaseJobs(phase, num_workers, out);
+      return;
+    }
+    phase -= s->num_phases();
+  }
+  CATDB_CHECK(false);  // phase out of range
+}
+
+uint64_t CompositeQuery::TotalWorkPerIteration() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s->TotalWorkPerIteration();
+  return total;
+}
+
+void CompositeQuery::AttachSim(sim::Machine* machine) {
+  for (const auto& s : stages_) s->AttachSim(machine);
+}
+
+}  // namespace catdb::engine

@@ -1,0 +1,43 @@
+#ifndef CATDB_ENGINE_COMPOSITE_QUERY_H_
+#define CATDB_ENGINE_COMPOSITE_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/query.h"
+
+namespace catdb::engine {
+
+/// A query composed of child queries executed back to back: the phases of
+/// every child run in order, with the usual barrier between phases. Used to
+/// model multi-operator plans (e.g. TPC-H queries as scan -> join -> agg
+/// pipelines) out of the engine's physical operators.
+///
+/// Each child keeps its own job annotations, so a composite automatically
+/// mixes cache-usage classes (a plan's scan jobs stay polluting while its
+/// aggregation jobs stay sensitive) — exactly how the paper's per-job CUID
+/// integration behaves inside larger plans.
+class CompositeQuery : public Query {
+ public:
+  explicit CompositeQuery(std::string name) : Query(std::move(name)) {}
+
+  /// Appends a stage. Stages execute in insertion order.
+  void AddStage(std::unique_ptr<Query> stage);
+
+  uint32_t num_phases() const override;
+  void MakePhaseJobs(uint32_t phase, uint32_t num_workers,
+                     std::vector<std::unique_ptr<Job>>* out) override;
+  uint64_t TotalWorkPerIteration() const override;
+  void AttachSim(sim::Machine* machine) override;
+
+  size_t num_stages() const { return stages_.size(); }
+  Query* stage(size_t i) { return stages_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Query>> stages_;
+};
+
+}  // namespace catdb::engine
+
+#endif  // CATDB_ENGINE_COMPOSITE_QUERY_H_

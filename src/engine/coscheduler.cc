@@ -1,0 +1,104 @@
+#include "engine/coscheduler.h"
+
+#include "common/check.h"
+#include "engine/runner.h"
+
+namespace catdb::engine {
+
+std::vector<Round> PlanCacheAwareRounds(const std::vector<BatchItem>& batch) {
+  std::vector<size_t> polluters;
+  std::vector<size_t> sensitives;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    // Adaptive queries are treated as polluting for pairing purposes: under
+    // CAT they are safe partners either way (the policy resolves their mask
+    // from the working-set hint at dispatch).
+    if (batch[i].usage == CacheUsage::kSensitive) {
+      sensitives.push_back(i);
+    } else {
+      polluters.push_back(i);
+    }
+  }
+
+  std::vector<Round> rounds;
+  // Pair polluters with each other.
+  size_t p = 0;
+  for (; p + 1 < polluters.size(); p += 2) {
+    rounds.push_back(Round{{polluters[p], polluters[p + 1]}});
+  }
+  // A leftover polluter joins the first sensitive query, protected by CAT.
+  size_t s = 0;
+  if (p < polluters.size()) {
+    if (s < sensitives.size()) {
+      rounds.push_back(Round{{sensitives[s], polluters[p]}});
+      ++s;
+    } else {
+      rounds.push_back(Round{{polluters[p]}});
+    }
+  }
+  // Remaining sensitive queries run alone.
+  for (; s < sensitives.size(); ++s) {
+    rounds.push_back(Round{{sensitives[s]}});
+  }
+  return rounds;
+}
+
+std::vector<Round> PlanFifoRounds(const std::vector<BatchItem>& batch) {
+  std::vector<Round> rounds;
+  for (size_t i = 0; i < batch.size(); i += 2) {
+    Round round;
+    round.items.push_back(i);
+    if (i + 1 < batch.size()) round.items.push_back(i + 1);
+    rounds.push_back(round);
+  }
+  return rounds;
+}
+
+uint64_t ExecuteRounds(sim::Machine* machine,
+                       const std::vector<BatchItem>& batch,
+                       const std::vector<Round>& rounds,
+                       const PolicyConfig& policy) {
+  CATDB_CHECK(machine != nullptr);
+  const uint32_t cores = machine->num_cores();
+  CATDB_CHECK(cores >= 2);
+
+  uint64_t makespan = 0;
+  for (const Round& round : rounds) {
+    CATDB_CHECK(round.items.size() == 1 || round.items.size() == 2);
+    std::vector<StreamSpec> specs;
+    if (round.items.size() == 1) {
+      const BatchItem& item = batch[round.items[0]];
+      std::vector<uint32_t> all;
+      for (uint32_t c = 0; c < cores; ++c) all.push_back(c);
+      specs.push_back(StreamSpec{item.query, all, item.iterations});
+    } else {
+      for (size_t k = 0; k < 2; ++k) {
+        const BatchItem& item = batch[round.items[k]];
+        std::vector<uint32_t> half;
+        for (uint32_t c = static_cast<uint32_t>(k) * cores / 2;
+             c < (static_cast<uint32_t>(k) + 1) * cores / 2; ++c) {
+          half.push_back(c);
+        }
+        specs.push_back(StreamSpec{item.query, half, item.iterations});
+      }
+    }
+    // Run the round to completion (every stream reaches its iteration
+    // budget) and add its duration to the makespan.
+    machine->ResetForRun();
+    machine->resctrl().Reset();
+    JobScheduler scheduler(machine, policy);
+    CATDB_CHECK(scheduler.SetupGroups().ok());
+    sim::Executor executor(machine);
+    std::vector<std::unique_ptr<QueryStream>> streams;
+    for (const StreamSpec& spec : specs) {
+      streams.push_back(std::make_unique<QueryStream>(
+          spec.query, spec.cores, &scheduler, spec.max_iterations));
+      for (uint32_t core : spec.cores) {
+        executor.Attach(core, streams.back().get());
+      }
+    }
+    makespan += executor.RunUntilIdle();
+  }
+  return makespan;
+}
+
+}  // namespace catdb::engine

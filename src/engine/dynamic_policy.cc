@@ -1,0 +1,148 @@
+#include "engine/dynamic_policy.h"
+
+#include <memory>
+
+#include "cat/resctrl.h"
+#include "common/check.h"
+#include "common/units.h"
+#include "engine/job_scheduler.h"
+#include "sim/executor.h"
+#include "simcache/cache_geometry.h"
+
+namespace catdb::engine {
+
+namespace {
+
+std::string StreamGroupName(size_t index) {
+  return "stream" + std::to_string(index);
+}
+
+}  // namespace
+
+DynamicRunReport RunWorkloadDynamic(sim::Machine* machine,
+                                    const std::vector<StreamSpec>& specs,
+                                    uint64_t horizon_cycles,
+                                    const DynamicPolicyConfig& config) {
+  CATDB_CHECK(machine != nullptr);
+  CATDB_CHECK(!specs.empty());
+  CATDB_CHECK(config.interval_cycles >= 1);
+
+  machine->ResetForRun();
+  machine->resctrl().Reset();
+  cat::ResctrlFs& fs = machine->resctrl();
+
+  // No static annotations: the CUID policy stays disabled; every stream
+  // lives in its own full-mask monitoring group instead.
+  JobScheduler scheduler(machine, PolicyConfig{});
+  CATDB_CHECK(scheduler.SetupGroups().ok());
+
+  const uint32_t llc_ways = machine->config().hierarchy.llc.num_ways;
+  const uint64_t full_mask =
+      llc_ways >= 64 ? ~uint64_t{0} : (uint64_t{1} << llc_ways) - 1;
+  const uint64_t polluting_mask =
+      (uint64_t{1} << (config.polluting_ways < llc_ways
+                           ? config.polluting_ways
+                           : llc_ways)) -
+      1;
+
+  std::vector<cat::ClosId> stream_clos;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const std::string group = StreamGroupName(i);
+    CATDB_CHECK(fs.CreateGroup(group).ok());
+    CATDB_CHECK(
+        fs.WriteSchemata(group, cat::FormatSchemataLine(full_mask)).ok());
+    for (uint32_t core : specs[i].cores) {
+      scheduler.SetCoreGroupOverride(core, group);
+    }
+    auto clos = fs.ClosOfGroup(group);
+    CATDB_CHECK(clos.ok());
+    stream_clos.push_back(clos.value());
+  }
+
+  sim::Executor executor(machine);
+  std::vector<std::unique_ptr<QueryStream>> streams;
+  for (const StreamSpec& spec : specs) {
+    CATDB_CHECK(spec.query != nullptr);
+    streams.push_back(std::make_unique<QueryStream>(
+        spec.query, spec.cores, &scheduler, spec.max_iterations));
+    for (uint32_t core : spec.cores) {
+      executor.Attach(core, streams.back().get());
+    }
+  }
+
+  DynamicRunReport result;
+  result.restricted.assign(specs.size(), false);
+  result.restricted_at_interval.assign(specs.size(), 0);
+
+  // Per-stream monitoring baselines for interval deltas.
+  std::vector<uint64_t> prev_mbm(specs.size(), 0);
+  std::vector<uint64_t> prev_hits(specs.size(), 0);
+  std::vector<uint64_t> prev_lookups(specs.size(), 0);
+
+  const auto& hierarchy = machine->hierarchy();
+  const double channel_lines_per_interval =
+      static_cast<double>(config.interval_cycles) /
+      machine->config().hierarchy.latency.dram_transfer;
+
+  for (uint64_t t = config.interval_cycles;; t += config.interval_cycles) {
+    const uint64_t stop = t < horizon_cycles ? t : horizon_cycles;
+    executor.RunUntil(stop);
+    result.intervals += 1;
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const auto& mon = hierarchy.clos_monitor(stream_clos[i]);
+      const uint64_t mbm_delta = mon.mbm_lines - prev_mbm[i];
+      const uint64_t lookups_delta = mon.llc.lookups() - prev_lookups[i];
+      const uint64_t hits_delta = mon.llc.hits - prev_hits[i];
+      prev_mbm[i] = mon.mbm_lines;
+      prev_lookups[i] = mon.llc.lookups();
+      prev_hits[i] = mon.llc.hits;
+
+      const double bandwidth_share =
+          static_cast<double>(mbm_delta) / channel_lines_per_interval;
+      const double hit_ratio =
+          lookups_delta == 0
+              ? 1.0  // no LLC traffic: certainly not a polluter
+              : static_cast<double>(hits_delta) / lookups_delta;
+
+      const bool polluter =
+          bandwidth_share >= config.polluter_bandwidth_share &&
+          hit_ratio < config.polluter_hit_ratio;
+      if (polluter != result.restricted[i]) {
+        const uint64_t mask = polluter ? polluting_mask : full_mask;
+        CATDB_CHECK(fs.WriteSchemata(StreamGroupName(i),
+                                     cat::FormatSchemataLine(mask))
+                        .ok());
+        result.schemata_writes += 1;
+        result.restricted[i] = polluter;
+        if (polluter && result.restricted_at_interval[i] == 0) {
+          result.restricted_at_interval[i] = result.intervals;
+        }
+      }
+    }
+    if (stop >= horizon_cycles) break;
+  }
+
+  result.report.sim_seconds = CyclesToSeconds(horizon_cycles);
+  for (const auto& stream : streams) {
+    StreamResult r;
+    r.query_name = stream->query()->name();
+    r.iterations = stream->Iterations();
+    r.iterations_per_second = r.iterations / result.report.sim_seconds;
+    r.iteration_end_clocks = stream->iteration_end_clocks();
+    for (uint32_t core : stream->cores()) {
+      r.stats += hierarchy.core_stats(core);
+    }
+    result.report.streams.push_back(std::move(r));
+  }
+  result.report.stats = hierarchy.stats();
+  result.report.llc_hit_ratio = result.report.stats.llc_hit_ratio();
+  result.report.llc_mpi =
+      result.report.stats.llc_misses_per_instruction();
+  result.report.group_moves = scheduler.group_moves();
+  result.report.skipped_moves = scheduler.skipped_moves();
+  result.report.clos_reassociations = machine->resctrl().reassociations();
+  return result;
+}
+
+}  // namespace catdb::engine

@@ -1,0 +1,56 @@
+#ifndef CATDB_ENGINE_DYNAMIC_POLICY_H_
+#define CATDB_ENGINE_DYNAMIC_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/runner.h"
+
+namespace catdb::engine {
+
+/// Configuration of the *dynamic* cache-partitioning controller — the
+/// paper's outlook (Sections VII/VIII): instead of static per-operator
+/// annotations, classify running query streams online from hardware
+/// monitoring (CMT/MBM and per-class LLC counters) and program CAT masks
+/// accordingly. Related work the heuristic follows: Soares et al. (classify
+/// polluters by miss behaviour), Herdrich et al. (CMT/CAT).
+struct DynamicPolicyConfig {
+  /// Monitoring/decision interval in simulated cycles.
+  uint64_t interval_cycles = 10'000'000;
+  /// A stream is classified cache-polluting when, within one interval, it
+  /// consumed at least this share of the DRAM channel's line capacity ...
+  double polluter_bandwidth_share = 0.20;
+  /// ... while its LLC hit ratio stayed below this bound (it streams and
+  /// does not reuse what it caches).
+  double polluter_hit_ratio = 0.10;
+  /// Ways granted to streams classified polluting (mask 0x3 by default).
+  uint32_t polluting_ways = 2;
+};
+
+/// Outcome of a dynamic run: the usual workload report plus the
+/// classification trace.
+struct DynamicRunReport {
+  RunReport report;
+  /// Per stream: was it restricted when the run ended?
+  std::vector<bool> restricted;
+  /// Per stream: first interval (1-based) at which the controller
+  /// restricted it; 0 = never.
+  std::vector<uint32_t> restricted_at_interval;
+  uint32_t intervals = 0;
+  /// Mask (re)programming operations performed by the controller.
+  uint64_t schemata_writes = 0;
+};
+
+/// Runs the streams concurrently like RunWorkload, but with *no* static
+/// annotations in effect: every stream starts with the full cache in its
+/// own monitoring group, and between intervals the controller re-reads the
+/// group's MBM and LLC-hit counters and tightens or widens its CAT mask.
+DynamicRunReport RunWorkloadDynamic(sim::Machine* machine,
+                                    const std::vector<StreamSpec>& specs,
+                                    uint64_t horizon_cycles,
+                                    const DynamicPolicyConfig& config);
+
+}  // namespace catdb::engine
+
+#endif  // CATDB_ENGINE_DYNAMIC_POLICY_H_

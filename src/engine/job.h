@@ -1,0 +1,71 @@
+#ifndef CATDB_ENGINE_JOB_H_
+#define CATDB_ENGINE_JOB_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "engine/cache_usage.h"
+#include "sim/executor.h"
+#include "sim/machine.h"
+#include "simcache/cache_geometry.h"
+
+namespace catdb::engine {
+
+/// A job encapsulates (at most) one operator's work unit, executed by a job
+/// worker from the thread pool — the unit the paper attaches cache-usage
+/// annotations to ("we implement cache partitioning for jobs to enable cache
+/// optimizations per operator", Section V-C).
+///
+/// Jobs are resumable: Step() processes a bounded chunk so the discrete-event
+/// executor can interleave concurrent queries at fine granularity.
+class Job : public sim::Task {
+ public:
+  Job(std::string name, CacheUsage cuid)
+      : name_(std::move(name)), cuid_(cuid) {}
+
+  const std::string& name() const { return name_; }
+  CacheUsage cache_usage() const { return cuid_; }
+
+  /// For kAdaptive jobs: the size of the operator's frequently accessed
+  /// structure (the join's bit vector). The partitioning policy compares it
+  /// to the LLC size to decide between the polluting and the shared mask.
+  uint64_t adaptive_working_set() const { return adaptive_working_set_; }
+  void set_adaptive_working_set(uint64_t bytes) {
+    adaptive_working_set_ = bytes;
+  }
+
+  /// Work units (typically rows) completed so far; used for fractional
+  /// iteration accounting when a measurement horizon truncates a query.
+  uint64_t work_done() const { return work_done_; }
+
+  bool finished() const { return finished_; }
+  void set_finished() { finished_ = true; }
+
+ protected:
+  void AddWork(uint64_t units) { work_done_ += units; }
+
+  /// Touches `n` lines of the executing worker's hot scratch region (stack
+  /// frames, operator state). Called once per chunk by operators; this
+  /// re-used working set is what a too-narrow CAT mask (0x1) lets streaming
+  /// data thrash.
+  void TouchScratch(sim::ExecContext& ctx, uint32_t n) {
+    const uint64_t base = ctx.machine().CoreScratchVbase(ctx.core());
+    for (uint32_t i = 0; i < n; ++i) {
+      ctx.Read(base + scratch_cursor_ * simcache::kLineSize);
+      scratch_cursor_ = (scratch_cursor_ + 1) % sim::Machine::kScratchLines;
+    }
+  }
+
+ private:
+  std::string name_;
+  CacheUsage cuid_;
+  uint64_t adaptive_working_set_ = 0;
+  uint64_t work_done_ = 0;
+  uint32_t scratch_cursor_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace catdb::engine
+
+#endif  // CATDB_ENGINE_JOB_H_

@@ -1,0 +1,181 @@
+#include "engine/operators/aggregation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "simcache/cache_geometry.h"
+
+namespace catdb::engine {
+
+AggLocalJob::AggLocalJob(const storage::DictColumn* v_column,
+                         const storage::DictColumn* g_column, RowRange range,
+                         storage::AggHashTable* local_table,
+                         storage::AggFunction func)
+    : Job("agg_local", CacheUsage::kSensitive),
+      v_column_(v_column),
+      g_column_(g_column),
+      range_(range),
+      cursor_(range.begin),
+      table_(local_table),
+      func_(func) {
+  CATDB_CHECK(v_column_ != nullptr && g_column_ != nullptr);
+  CATDB_CHECK(table_ != nullptr);
+}
+
+bool AggLocalJob::Step(sim::ExecContext& ctx) {
+  if (cursor_ >= range_.end) return false;
+  const uint64_t chunk_end = std::min(range_.end, cursor_ + kRowsPerChunk);
+  const storage::BitPackedVector& v_codes = v_column_->codes();
+  const storage::BitPackedVector& g_codes = g_column_->codes();
+  const storage::Dictionary& v_dict = v_column_->dict();
+
+  for (uint64_t i = cursor_; i < chunk_end; ++i) {
+    // Sequential reads of the two packed code vectors: charge only when the
+    // row crosses into a new cache line.
+    const int64_t v_line = static_cast<int64_t>(v_codes.LineIndexOf(i));
+    if (v_line != last_v_line_) {
+      ctx.Read(v_codes.SimAddrOf(i));
+      last_v_line_ = v_line;
+    }
+    const int64_t g_line = static_cast<int64_t>(g_codes.LineIndexOf(i));
+    if (g_line != last_g_line_) {
+      ctx.Read(g_codes.SimAddrOf(i));
+      last_g_line_ = g_line;
+    }
+    const uint32_t g_code = g_codes.Get(i);
+    // Decode the aggregated value through the dictionary (random access).
+    const int32_t value = v_dict.DecodeSim(ctx, v_codes.Get(i));
+    // Upsert the running aggregate into the thread-local table (random
+    // access).
+    table_->UpsertSim(ctx, g_code, value, func_);
+    ctx.Compute(6);
+  }
+  ctx.Instructions((chunk_end - cursor_) * 24);
+  TouchScratch(ctx, 1);
+
+  AddWork(chunk_end - cursor_);
+  cursor_ = chunk_end;
+  return cursor_ < range_.end;
+}
+
+AggMergeJob::AggMergeJob(std::vector<storage::AggHashTable*> locals,
+                         storage::AggHashTable* global_table,
+                         storage::AggFunction func)
+    : Job("agg_merge", CacheUsage::kSensitive),
+      locals_(std::move(locals)),
+      global_(global_table),
+      func_(func) {
+  CATDB_CHECK(global_ != nullptr);
+  CATDB_CHECK(!locals_.empty());
+}
+
+bool AggMergeJob::Step(sim::ExecContext& ctx) {
+  if (table_index_ >= locals_.size()) return false;
+  storage::AggHashTable* local = locals_[table_index_];
+  const uint64_t end =
+      std::min(local->capacity_slots(), slot_cursor_ + kSlotsPerChunk);
+
+  int64_t last_line = -1;
+  for (uint64_t slot = slot_cursor_; slot < end; ++slot) {
+    // Sequential sweep over the local table's slot array.
+    const int64_t line =
+        static_cast<int64_t>(local->SimAddrOfSlot(slot) / simcache::kLineSize);
+    if (line != last_line) {
+      ctx.Read(local->SimAddrOfSlot(slot));
+      last_line = line;
+    }
+    if (local->SlotOccupied(slot)) {
+      global_->UpsertSim(ctx, local->SlotKey(slot), local->SlotValue(slot),
+                         func_);
+      ctx.Compute(4);
+    }
+  }
+  ctx.Instructions((end - slot_cursor_) * 4);
+  AddWork(end - slot_cursor_);
+
+  slot_cursor_ = end;
+  if (slot_cursor_ >= local->capacity_slots()) {
+    slot_cursor_ = 0;
+    table_index_ += 1;
+  }
+  return table_index_ < locals_.size();
+}
+
+AggregationQuery::AggregationQuery(const storage::DictColumn* v_column,
+                                   const storage::DictColumn* g_column,
+                                   storage::AggFunction func)
+    : Query("Q2/aggregation"),
+      v_column_(v_column),
+      g_column_(g_column),
+      func_(func) {
+  CATDB_CHECK(v_column_ != nullptr && g_column_ != nullptr);
+  CATDB_CHECK(v_column_->size() == g_column_->size());
+  global_ = storage::AggHashTable::ForExpectedKeys(g_column_->dict().size());
+}
+
+void AggregationQuery::EnsureTables(uint32_t num_workers) {
+  if (locals_.size() == num_workers) return;
+  // The worker count may change between runs (e.g. the co-scheduler runs
+  // the same query alone and paired); rebuild the local tables for the new
+  // parallelism. Never changes mid-iteration: MakePhaseJobs(0) is the only
+  // caller with a fresh count.
+  locals_.clear();
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    auto table = std::make_unique<storage::AggHashTable>(
+        storage::AggHashTable::ForExpectedKeys(g_column_->dict().size()));
+    if (machine_ != nullptr) table->AttachSim(machine_);
+    locals_.push_back(std::move(table));
+  }
+}
+
+void AggregationQuery::MakePhaseJobs(uint32_t phase, uint32_t num_workers,
+                                     std::vector<std::unique_ptr<Job>>* out) {
+  EnsureTables(num_workers);
+  if (phase == 0) {
+    for (auto& table : locals_) table->Clear();
+    global_.Clear();
+    const auto ranges = PartitionRows(v_column_->size(), num_workers);
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      out->push_back(std::make_unique<AggLocalJob>(
+          v_column_, g_column_, ranges[w], locals_[w].get(), func_));
+    }
+    return;
+  }
+  CATDB_CHECK(phase == 1);
+  std::vector<storage::AggHashTable*> locals;
+  for (auto& t : locals_) locals.push_back(t.get());
+  // COUNT partials merge by summation; the other functions merge with
+  // themselves.
+  const storage::AggFunction merge_func =
+      func_ == storage::AggFunction::kCount ? storage::AggFunction::kSum
+                                            : func_;
+  out->push_back(std::make_unique<AggMergeJob>(std::move(locals), &global_,
+                                               merge_func));
+}
+
+uint64_t AggregationQuery::TotalWorkPerIteration() const {
+  uint64_t merge_slots = 0;
+  for (const auto& t : locals_) merge_slots += t->capacity_slots();
+  // Before the first iteration the locals do not exist yet; approximate the
+  // merge share with the global table's capacity (same order of magnitude).
+  if (merge_slots == 0) merge_slots = global_.capacity_slots();
+  return v_column_->size() + merge_slots;
+}
+
+void AggregationQuery::AttachSim(sim::Machine* machine) {
+  CATDB_CHECK(machine != nullptr);
+  CATDB_CHECK(v_column_->attached() && g_column_->attached());
+  machine_ = machine;
+  if (!global_.attached()) global_.AttachSim(machine);
+  for (auto& t : locals_) {
+    if (!t->attached()) t->AttachSim(machine);
+  }
+}
+
+uint64_t AggregationQuery::HashTableFootprintBytes() const {
+  uint64_t total = global_.SizeBytes();
+  for (const auto& t : locals_) total += t->SizeBytes();
+  return total;
+}
+
+}  // namespace catdb::engine

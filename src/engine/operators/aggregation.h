@@ -1,0 +1,113 @@
+#ifndef CATDB_ENGINE_OPERATORS_AGGREGATION_H_
+#define CATDB_ENGINE_OPERATORS_AGGREGATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/job.h"
+#include "engine/query.h"
+#include "engine/row_partition.h"
+#include "storage/agg_hash_table.h"
+#include "storage/dict_column.h"
+
+namespace catdb::engine {
+
+/// Local phase of the hash aggregation (paper Query 2):
+///   SELECT MAX(B.V), B.G FROM B GROUP BY B.G
+///
+/// Each worker reads its slice of the packed V and G code vectors
+/// (sequential), *decodes* V through the dictionary (random access — this is
+/// what makes dictionary size a cache knob), and upserts the running MAX
+/// into its thread-local hash table keyed by the G code (random access —
+/// the hash-table-size knob). Section IV-B analyses exactly these two
+/// structures.
+class AggLocalJob : public Job {
+ public:
+  AggLocalJob(const storage::DictColumn* v_column,
+              const storage::DictColumn* g_column, RowRange range,
+              storage::AggHashTable* local_table,
+              storage::AggFunction func = storage::AggFunction::kMax);
+
+  bool Step(sim::ExecContext& ctx) override;
+
+  static constexpr uint64_t kRowsPerChunk = 128;
+
+ private:
+  const storage::DictColumn* v_column_;
+  const storage::DictColumn* g_column_;
+  RowRange range_;
+  uint64_t cursor_;
+  storage::AggHashTable* table_;
+  storage::AggFunction func_;
+  int64_t last_v_line_ = -1;
+  int64_t last_g_line_ = -1;
+};
+
+/// Merge phase: folds the worker-local tables into the global result table
+/// (single job; HANA merges thread-local results to build the global result,
+/// Section II).
+class AggMergeJob : public Job {
+ public:
+  /// `func` is the *merge* combinator: MAX/MIN/SUM merge with themselves,
+  /// COUNT partials merge by summation (AggregationQuery picks this).
+  AggMergeJob(std::vector<storage::AggHashTable*> locals,
+              storage::AggHashTable* global_table,
+              storage::AggFunction func = storage::AggFunction::kMax);
+
+  bool Step(sim::ExecContext& ctx) override;
+
+  static constexpr uint64_t kSlotsPerChunk = 512;
+
+ private:
+  std::vector<storage::AggHashTable*> locals_;
+  storage::AggHashTable* global_;
+  storage::AggFunction func_;
+  size_t table_index_ = 0;
+  uint64_t slot_cursor_ = 0;
+};
+
+/// Query 2: two phases (parallel local aggregation, then merge).
+class AggregationQuery : public Query {
+ public:
+  /// `v_column` is aggregated (its dictionary size is the experiment's
+  /// dictionary knob); `g_column` provides the group codes (its distinct
+  /// count is the group-size knob). `func` is the aggregate; the paper's
+  /// Query 2 computes MAX.
+  AggregationQuery(const storage::DictColumn* v_column,
+                   const storage::DictColumn* g_column,
+                   storage::AggFunction func = storage::AggFunction::kMax);
+
+  uint32_t num_phases() const override { return 2; }
+  void MakePhaseJobs(uint32_t phase, uint32_t num_workers,
+                     std::vector<std::unique_ptr<Job>>* out) override;
+
+  /// Eagerly creates (and, after AttachSim, registers) the worker-local
+  /// hash tables for a known worker count. Normally they are created lazily
+  /// at the first iteration; call this when their placement must happen
+  /// under a specific allocation regime (e.g. page coloring).
+  void PrepareWorkers(uint32_t num_workers) { EnsureTables(num_workers); }
+  uint64_t TotalWorkPerIteration() const override;
+  void AttachSim(sim::Machine* machine) override;
+
+  /// The merged result of the last completed iteration.
+  const storage::AggHashTable& global_table() const { return global_; }
+
+  /// Total simulated bytes of all hash tables (locals + global) for the
+  /// current worker count; the quantity Section IV-B relates to the LLC.
+  uint64_t HashTableFootprintBytes() const;
+
+ private:
+  void EnsureTables(uint32_t num_workers);
+
+  const storage::DictColumn* v_column_;
+  const storage::DictColumn* g_column_;
+  storage::AggFunction func_;
+  std::vector<std::unique_ptr<storage::AggHashTable>> locals_;
+  storage::AggHashTable global_;
+  sim::Machine* machine_ = nullptr;
+};
+
+}  // namespace catdb::engine
+
+#endif  // CATDB_ENGINE_OPERATORS_AGGREGATION_H_

@@ -1,0 +1,93 @@
+#ifndef CATDB_ENGINE_OPERATORS_FK_JOIN_H_
+#define CATDB_ENGINE_OPERATORS_FK_JOIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/job.h"
+#include "engine/query.h"
+#include "engine/row_partition.h"
+#include "storage/raw_column.h"
+#include "storage/sim_bitvector.h"
+
+namespace catdb::engine {
+
+/// Build phase of the OLAP-optimized foreign-key join (paper Query 3):
+///   SELECT COUNT(*) FROM R, S WHERE R.P = S.F
+///
+/// Maps the qualifying primary keys onto a bit vector of length N
+/// (Section II "bit vectors" / Section III-A). Keys are dense and ordered,
+/// so the build streams through both the key column and the bit vector.
+class FkJoinBuildJob : public Job {
+ public:
+  FkJoinBuildJob(const storage::RawColumn* pk_column, RowRange range,
+                 storage::SimBitVector* bits);
+
+  bool Step(sim::ExecContext& ctx) override;
+
+  static constexpr uint64_t kRowsPerChunk = 2048;
+
+ private:
+  const storage::RawColumn* pk_column_;
+  RowRange range_;
+  uint64_t cursor_;
+  storage::SimBitVector* bits_;
+  int64_t last_key_line_ = -1;
+  int64_t last_bit_line_ = -1;
+};
+
+/// Probe phase: one bit-vector membership test per foreign key, counting
+/// matches. Foreign keys arrive in random order, so the probe's working set
+/// is the whole bit vector — cache-sensitive exactly when that bit vector is
+/// comparable to the LLC (Section IV-C).
+class FkJoinProbeJob : public Job {
+ public:
+  FkJoinProbeJob(const storage::RawColumn* fk_column, RowRange range,
+                 const storage::SimBitVector* bits, uint64_t* result_sink);
+
+  bool Step(sim::ExecContext& ctx) override;
+
+  static constexpr uint64_t kRowsPerChunk = 512;
+
+ private:
+  const storage::RawColumn* fk_column_;
+  RowRange range_;
+  uint64_t cursor_;
+  const storage::SimBitVector* bits_;
+  uint64_t* result_sink_;
+  uint64_t matches_ = 0;
+  int64_t last_key_line_ = -1;
+};
+
+/// Query 3: two phases (parallel bit-vector build, then parallel probe).
+/// Jobs carry the kAdaptive cache-usage id with the bit-vector size as the
+/// working-set hint, feeding the policy heuristic of Section V-B.
+class FkJoinQuery : public Query {
+ public:
+  /// `key_count` is N: primary keys range over 1..N. The bit vector has N
+  /// bits.
+  FkJoinQuery(const storage::RawColumn* pk_column,
+              const storage::RawColumn* fk_column, uint32_t key_count);
+
+  uint32_t num_phases() const override { return 2; }
+  void MakePhaseJobs(uint32_t phase, uint32_t num_workers,
+                     std::vector<std::unique_ptr<Job>>* out) override;
+  uint64_t TotalWorkPerIteration() const override {
+    return pk_column_->size() + fk_column_->size();
+  }
+  void AttachSim(sim::Machine* machine) override;
+
+  uint64_t last_result() const { return result_; }
+  const storage::SimBitVector& bits() const { return bits_; }
+
+ private:
+  const storage::RawColumn* pk_column_;
+  const storage::RawColumn* fk_column_;
+  storage::SimBitVector bits_;
+  uint64_t result_ = 0;
+};
+
+}  // namespace catdb::engine
+
+#endif  // CATDB_ENGINE_OPERATORS_FK_JOIN_H_

@@ -1,0 +1,84 @@
+#ifndef CATDB_ENGINE_PARTITIONING_POLICY_H_
+#define CATDB_ENGINE_PARTITIONING_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/job.h"
+
+namespace catdb::engine {
+
+/// Resource-group names used by the engine inside the (emulated) resctrl
+/// file system. The default group "" always exists and keeps the full mask.
+inline constexpr const char* kPollutingGroup = "polluting";
+inline constexpr const char* kSharedGroup = "shared60";
+
+/// Tuning knobs of the cache partitioning scheme (Section V-B).
+struct PolicyConfig {
+  /// Master switch: disabled reproduces the paper's "not partitioned" bars.
+  bool enabled = false;
+
+  /// Ways granted to cache-polluting jobs. 2 of 20 ways = 10 % of the LLC,
+  /// the paper's bitmask "0x3".
+  uint32_t polluting_ways = 2;
+
+  /// Ways granted to adaptive jobs classified cache-sensitive (the FK join
+  /// with an LLC-sized bit vector). 12 of 20 ways = 60 %, bitmask "0xfff".
+  uint32_t shared_ways = 12;
+
+  /// The adaptive heuristic (Section V-B): the join is cache-polluting when
+  /// its bit vector either (almost) fits in the private L2 — it then never
+  /// needs the LLC ("the join operator only causes cache pollution whenever
+  /// its frequently accessed data structures fit in the L2 cache",
+  /// §VI-F) — or far exceeds the LLC. In between it is cache-sensitive.
+  ///
+  /// Lower bound: working sets <= adaptive_l2_fit x the L2 capacity are
+  /// L2-resident.
+  double adaptive_l2_fit = 0.5;
+  /// Upper bound: working sets >= adaptive_high x the LLC capacity cannot
+  /// be cached anyway.
+  double adaptive_high = 2.0;
+
+  /// When false, the heuristic is bypassed and adaptive jobs are forced to
+  /// the group selected by `adaptive_force_polluting` (used to reproduce the
+  /// deliberately bad 10 % scheme of Fig. 10 and for ablations).
+  bool adaptive_heuristic = true;
+  bool adaptive_force_polluting = false;
+
+  /// The paper's optimization: compare old and new bitmask and only call
+  /// into the kernel when they differ. Disable for the overhead ablation.
+  bool skip_redundant_assign = true;
+
+  /// Experiment support (Figures 4-6): restrict the *entire instance* —
+  /// i.e. the default CLOS — to this many LLC ways. 0 means "all ways".
+  uint32_t instance_ways = 0;
+};
+
+/// Maps a job's cache-usage annotation to a resctrl resource group according
+/// to the configured scheme.
+class PartitioningPolicy {
+ public:
+  PartitioningPolicy(const PolicyConfig& config, uint64_t llc_bytes,
+                     uint32_t llc_ways, uint64_t l2_bytes);
+
+  const PolicyConfig& config() const { return config_; }
+
+  /// Resource-group name for a job ("" = default group, full cache).
+  std::string GroupFor(const Job& job) const;
+
+  /// Capacity bitmask with the lowest `ways` bits set.
+  uint64_t MaskForWays(uint32_t ways) const;
+
+  uint64_t polluting_mask() const { return MaskForWays(config_.polluting_ways); }
+  uint64_t shared_mask() const { return MaskForWays(config_.shared_ways); }
+
+ private:
+  PolicyConfig config_;
+  uint64_t llc_bytes_;
+  uint32_t llc_ways_;
+  uint64_t l2_bytes_;
+};
+
+}  // namespace catdb::engine
+
+#endif  // CATDB_ENGINE_PARTITIONING_POLICY_H_

@@ -1,0 +1,23 @@
+#include "engine/query.h"
+
+#include "common/check.h"
+#include "engine/row_partition.h"
+
+namespace catdb::engine {
+
+std::vector<RowRange> PartitionRows(uint64_t num_rows, uint32_t num_workers) {
+  CATDB_CHECK(num_workers >= 1);
+  std::vector<RowRange> ranges;
+  ranges.reserve(num_workers);
+  const uint64_t base = num_rows / num_workers;
+  const uint64_t extra = num_rows % num_workers;
+  uint64_t begin = 0;
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    const uint64_t len = base + (w < extra ? 1 : 0);
+    ranges.push_back(RowRange{begin, begin + len});
+    begin += len;
+  }
+  return ranges;
+}
+
+}  // namespace catdb::engine

@@ -1,0 +1,56 @@
+#ifndef CATDB_ENGINE_QUERY_H_
+#define CATDB_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/job.h"
+#include "sim/machine.h"
+
+namespace catdb::engine {
+
+/// A query is a factory of per-iteration job phases. One *iteration* is one
+/// full execution of the query; measurement runs repeat iterations for a
+/// fixed simulated duration (the paper executes each query repeatedly for
+/// 90 seconds and reports throughput).
+///
+/// Phases execute in order with a barrier in between (e.g. local aggregation
+/// before the merge). Within a phase the jobs run in parallel on the
+/// stream's cores.
+class Query {
+ public:
+  explicit Query(std::string name) : name_(std::move(name)) {}
+  virtual ~Query() = default;
+
+  Query(const Query&) = delete;
+  Query& operator=(const Query&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of phases per iteration (>= 1).
+  virtual uint32_t num_phases() const = 0;
+
+  /// Appends the jobs of `phase` for a fresh pass, parallelized over
+  /// `num_workers` job workers. Called once per phase per iteration;
+  /// phase 0 starts a new iteration (queries reset per-iteration state and
+  /// draw fresh query parameters there).
+  virtual void MakePhaseJobs(uint32_t phase, uint32_t num_workers,
+                             std::vector<std::unique_ptr<Job>>* out) = 0;
+
+  /// Total work units of one iteration (for fractional-progress accounting
+  /// when the measurement horizon truncates the last iteration).
+  virtual uint64_t TotalWorkPerIteration() const = 0;
+
+  /// Registers the query's datasets and auxiliary structures with the
+  /// machine's simulated address space. Must be called once before use.
+  virtual void AttachSim(sim::Machine* machine) = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace catdb::engine
+
+#endif  // CATDB_ENGINE_QUERY_H_

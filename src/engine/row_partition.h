@@ -1,0 +1,22 @@
+#ifndef CATDB_ENGINE_ROW_PARTITION_H_
+#define CATDB_ENGINE_ROW_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace catdb::engine {
+
+/// Half-open row range [begin, end) assigned to one job.
+struct RowRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  uint64_t size() const { return end - begin; }
+};
+
+/// Splits `num_rows` rows into `num_workers` contiguous, balanced ranges
+/// (sizes differ by at most one; empty ranges possible when rows < workers).
+std::vector<RowRange> PartitionRows(uint64_t num_rows, uint32_t num_workers);
+
+}  // namespace catdb::engine
+
+#endif  // CATDB_ENGINE_ROW_PARTITION_H_

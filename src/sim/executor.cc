@@ -1,0 +1,61 @@
+#include "sim/executor.h"
+
+#include "common/check.h"
+
+namespace catdb::sim {
+
+Executor::Executor(Machine* machine) : machine_(machine) {
+  CATDB_CHECK(machine_ != nullptr);
+  cores_.resize(machine_->num_cores());
+}
+
+void Executor::Attach(uint32_t core, TaskSource* source) {
+  CATDB_CHECK(core < cores_.size());
+  cores_[core].source = source;
+}
+
+bool Executor::Replenish(uint32_t core) {
+  CoreState& cs = cores_[core];
+  if (cs.current != nullptr) return true;
+  if (cs.source == nullptr) return false;
+  Task* task = cs.source->NextTask(core);
+  if (task == nullptr) return false;
+  machine_->AdvanceClockTo(core, task->ready_time());
+  cs.source->TaskDispatched(task, core);
+  cs.current = task;
+  return true;
+}
+
+void Executor::RunUntil(uint64_t horizon) {
+  for (;;) {
+    // Pick the runnable core with the smallest clock (ties: lowest id).
+    int best = -1;
+    uint64_t best_clock = horizon;
+    for (uint32_t c = 0; c < cores_.size(); ++c) {
+      if (!Replenish(c)) continue;
+      const uint64_t clock = machine_->clock(c);
+      if (clock < best_clock) {
+        best_clock = clock;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) return;  // all idle or past the horizon
+
+    const uint32_t core = static_cast<uint32_t>(best);
+    CoreState& cs = cores_[core];
+    ExecContext ctx(machine_, core);
+    const bool more = cs.current->Step(ctx);
+    if (!more) {
+      Task* done = cs.current;
+      cs.current = nullptr;
+      cs.source->TaskFinished(done, core, machine_->clock(core));
+    }
+  }
+}
+
+uint64_t Executor::RunUntilIdle() {
+  RunUntil(~uint64_t{0});
+  return machine_->MaxClock();
+}
+
+}  // namespace catdb::sim

@@ -1,0 +1,86 @@
+#ifndef CATDB_SIM_EXECUTOR_H_
+#define CATDB_SIM_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace catdb::sim {
+
+/// A resumable unit of simulated work. Tasks are chunked state machines:
+/// every Step() call processes a bounded amount of work (charging memory
+/// accesses and compute to the context) and returns true while work remains.
+/// Chunking keeps the discrete-event interleaving across cores fine-grained
+/// and therefore the DRAM-queue ordering faithful.
+class Task {
+ public:
+  virtual ~Task() = default;
+
+  /// Processes one chunk. Returns false when the task has completed.
+  virtual bool Step(ExecContext& ctx) = 0;
+
+  /// Earliest cycle at which the task may start (used for phase barriers).
+  uint64_t ready_time() const { return ready_time_; }
+  void set_ready_time(uint64_t t) { ready_time_ = t; }
+
+ private:
+  uint64_t ready_time_ = 0;
+};
+
+/// Supplies tasks to cores and learns about their completion. Implemented by
+/// the engine's query streams.
+class TaskSource {
+ public:
+  virtual ~TaskSource() = default;
+
+  /// Returns the next task for an idle core, or nullptr if none is ready.
+  /// Called repeatedly; must be cheap.
+  virtual Task* NextTask(uint32_t core) = 0;
+
+  /// Notifies that `task` (previously handed out for `core`) finished at
+  /// cycle `clock`.
+  virtual void TaskFinished(Task* task, uint32_t core, uint64_t clock) = 0;
+
+  /// Hook invoked right before a task starts running on a core (used by the
+  /// engine to apply CAT thread re-association at dispatch). Default: no-op.
+  virtual void TaskDispatched(Task* task, uint32_t core) {
+    (void)task;
+    (void)core;
+  }
+};
+
+/// Deterministic discrete-event executor: always advances the runnable core
+/// with the smallest clock. Ties break by core id, making runs reproducible.
+class Executor {
+ public:
+  explicit Executor(Machine* machine);
+
+  /// Binds a task source to a core. Cores without a source stay idle.
+  void Attach(uint32_t core, TaskSource* source);
+
+  /// Runs until every core is idle (no current task and its source has
+  /// none ready). Returns the maximum core clock reached.
+  uint64_t RunUntilIdle();
+
+  /// Runs until all runnable cores have clocks >= `horizon` or everything is
+  /// idle. Cores never start a new Step at or beyond the horizon, so `Run`
+  /// is suitable for fixed-duration throughput measurements.
+  void RunUntil(uint64_t horizon);
+
+ private:
+  struct CoreState {
+    TaskSource* source = nullptr;
+    Task* current = nullptr;
+  };
+
+  // Tries to give an idle core work; returns true if it now has a task.
+  bool Replenish(uint32_t core);
+
+  Machine* machine_;
+  std::vector<CoreState> cores_;
+};
+
+}  // namespace catdb::sim
+
+#endif  // CATDB_SIM_EXECUTOR_H_

@@ -1,0 +1,157 @@
+#include "sim/machine.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "simcache/cache_geometry.h"
+
+namespace catdb::sim {
+
+namespace {
+
+// Bijective scramble of page indices within a color class: odd multiplier
+// modulo a power-of-two pool. 2^20 pages per color = 4 GiB per color class.
+constexpr uint64_t kPagePoolBits = 20;
+constexpr uint64_t kPagePoolMask = (uint64_t{1} << kPagePoolBits) - 1;
+constexpr uint64_t kPageScramble = 0x9E375;  // odd
+
+}  // namespace
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      hierarchy_(config.hierarchy),
+      cat_(config.hierarchy.llc.num_ways, config.hierarchy.num_cores),
+      resctrl_(&cat_),
+      clocks_(config.hierarchy.num_cores, 0),
+      next_vaddr_(1ull << 20) {
+  const uint32_t llc_sets = config.hierarchy.llc.num_sets;
+  num_colors_ = llc_sets > simcache::kPageLines
+                    ? llc_sets / static_cast<uint32_t>(simcache::kPageLines)
+                    : 1;
+  color_page_counter_.assign(num_colors_, 0);
+  for (uint32_t c = 0; c < config.hierarchy.num_cores; ++c) {
+    core_scratch_.push_back(
+        AllocVirtual(kScratchLines * simcache::kLineSize));
+  }
+}
+
+uint64_t Machine::AssignPhysicalPage(uint64_t color_mask) {
+  uint32_t color;
+  if (color_mask == 0) {
+    color = color_rr_++ % num_colors_;
+  } else {
+    // Round-robin over the set bits of the mask.
+    const uint64_t valid =
+        num_colors_ >= 64 ? ~uint64_t{0} : (uint64_t{1} << num_colors_) - 1;
+    const uint64_t usable = color_mask & valid;
+    CATDB_CHECK(usable != 0);
+    uint32_t skip = color_rr_++ % PopCount(usable);
+    color = 0;
+    for (uint32_t bit = 0; bit < num_colors_; ++bit) {
+      if ((usable >> bit & 1) == 0) continue;
+      if (skip == 0) {
+        color = bit;
+        break;
+      }
+      --skip;
+    }
+  }
+  const uint64_t index = color_page_counter_[color]++;
+  CATDB_CHECK(index <= kPagePoolMask);  // 4 GiB per color class
+  const uint64_t scrambled = (index * kPageScramble) & kPagePoolMask;
+  return scrambled * num_colors_ + color;
+}
+
+void Machine::MapRange(uint64_t vaddr_begin, uint64_t vaddr_end,
+                       uint64_t color_mask) {
+  const uint64_t first_vpage = vaddr_begin >> simcache::kPageShift;
+  const uint64_t last_vpage = (vaddr_end - 1) >> simcache::kPageShift;
+  if (page_table_.size() <= last_vpage) {
+    page_table_.resize(last_vpage + 1, 0);
+  }
+  for (uint64_t vpage = first_vpage; vpage <= last_vpage; ++vpage) {
+    if (page_table_[vpage] == 0) {
+      page_table_[vpage] = AssignPhysicalPage(color_mask) + 1;
+    }
+  }
+}
+
+uint64_t Machine::AllocVirtual(uint64_t bytes) {
+  CATDB_CHECK(bytes > 0);
+  if (alloc_color_mask_ != 0) {
+    return AllocVirtualColored(bytes, alloc_color_mask_);
+  }
+  const uint64_t base = next_vaddr_;
+  const uint64_t aligned =
+      (bytes + simcache::kLineSize - 1) & ~(simcache::kLineSize - 1);
+  next_vaddr_ += aligned + simcache::kLineSize;  // guard line between ranges
+  MapRange(base, next_vaddr_, /*color_mask=*/0);
+  return base;
+}
+
+uint64_t Machine::AllocVirtualColored(uint64_t bytes, uint64_t color_mask) {
+  CATDB_CHECK(bytes > 0);
+  CATDB_CHECK(color_mask != 0);
+  // Page-align the range so the color restriction covers it exactly and no
+  // neighbouring allocation shares its pages.
+  next_vaddr_ =
+      (next_vaddr_ + simcache::kPageBytes - 1) & ~(simcache::kPageBytes - 1);
+  const uint64_t base = next_vaddr_;
+  const uint64_t aligned =
+      (bytes + simcache::kPageBytes - 1) & ~(simcache::kPageBytes - 1);
+  next_vaddr_ += aligned;
+  MapRange(base, next_vaddr_, color_mask);
+  next_vaddr_ += simcache::kLineSize;  // guard line (maps with any color)
+  return base;
+}
+
+uint64_t Machine::Translate(uint64_t vaddr) const {
+  const uint64_t vpage = vaddr >> simcache::kPageShift;
+  CATDB_DCHECK(vpage < page_table_.size() && page_table_[vpage] != 0);
+  const uint64_t ppage = page_table_[vpage] - 1;
+  return (ppage << simcache::kPageShift) |
+         (vaddr & (simcache::kPageBytes - 1));
+}
+
+uint32_t Machine::PageColorOf(uint64_t vaddr) const {
+  const uint64_t ppage = Translate(vaddr) >> simcache::kPageShift;
+  return static_cast<uint32_t>(ppage % num_colors_);
+}
+
+void Machine::Access(uint32_t core, uint64_t addr, bool is_write) {
+  (void)is_write;  // writes are timed like reads (write-allocate)
+  const cat::ClosId clos = cat_.CoreClos(core);
+  const simcache::AccessResult r = hierarchy_.Access(
+      core, Translate(addr), clocks_[core], cat_.CoreMask(core), clos);
+  clocks_[core] += r.latency_cycles;
+}
+
+Result<uint64_t> Machine::LlcOccupancyBytes(const std::string& group) const {
+  Result<cat::ClosId> clos = resctrl_.ClosOfGroup(group);
+  if (!clos.ok()) return clos.status();
+  return hierarchy_.clos_monitor(clos.value()).occupancy_bytes();
+}
+
+Result<uint64_t> Machine::MbmTotalBytes(const std::string& group) const {
+  Result<cat::ClosId> clos = resctrl_.ClosOfGroup(group);
+  if (!clos.ok()) return clos.status();
+  return hierarchy_.clos_monitor(clos.value()).mbm_bytes();
+}
+
+Result<double> Machine::GroupLlcHitRatio(const std::string& group) const {
+  Result<cat::ClosId> clos = resctrl_.ClosOfGroup(group);
+  if (!clos.ok()) return clos.status();
+  return hierarchy_.clos_monitor(clos.value()).llc.hit_ratio();
+}
+
+uint64_t Machine::MaxClock() const {
+  uint64_t max = 0;
+  for (uint64_t c : clocks_) max = max > c ? max : c;
+  return max;
+}
+
+void Machine::ResetForRun() {
+  for (auto& c : clocks_) c = 0;
+  hierarchy_.ResetAll();
+}
+
+}  // namespace catdb::sim

@@ -1,0 +1,211 @@
+#ifndef CATDB_SIM_MACHINE_H_
+#define CATDB_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cat/cat_controller.h"
+#include "cat/resctrl.h"
+#include "simcache/hierarchy.h"
+
+namespace catdb::sim {
+
+/// Configuration of the simulated machine.
+struct MachineConfig {
+  simcache::HierarchyConfig hierarchy;
+  /// Cycle cost charged to a core when the kernel must re-associate it with
+  /// a different CLOS on a context switch (an MSR write plus syscall path;
+  /// a few microseconds at 2.2 GHz). Section V-C measures this overhead at
+  /// well under 100 us per query; the scheduler skips it when the CLOS is
+  /// unchanged.
+  uint64_t reassociation_cycles = 7000;
+  /// Cycle cost of the in-kernel IA32_PQR_ASSOC update when a context switch
+  /// lands a thread with a different CLOS on a core (cheap: one MSR write).
+  uint64_t pqr_write_cycles = 120;
+};
+
+/// The simulated single-socket machine: virtual cores with cycle clocks, the
+/// memory hierarchy, and the CAT/resctrl control plane.
+///
+/// Instrumented data structures allocate *virtual* address ranges from the
+/// machine (deterministic bump allocator) and charge their memory accesses
+/// against those addresses, so simulations are bit-reproducible regardless of
+/// host heap layout.
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  uint32_t num_cores() const { return config_.hierarchy.num_cores; }
+  const MachineConfig& config() const { return config_; }
+
+  /// Allocates `bytes` of simulated virtual address space, aligned to a
+  /// cache line, and eagerly backs it with simulated *physical* pages drawn
+  /// round-robin from all page colors. Purely a namespace operation — no
+  /// host memory is reserved.
+  uint64_t AllocVirtual(uint64_t bytes);
+
+  /// Like AllocVirtual, but backs the range only with physical pages of the
+  /// colors set in `color_mask` (bit c = color c allowed; see
+  /// num_page_colors()). This is OS page coloring — the software
+  /// cache-partitioning alternative the paper contrasts CAT against
+  /// (Section V-A / related work). The range is page-aligned so the
+  /// restriction is exact. `color_mask` must select at least one valid
+  /// color.
+  uint64_t AllocVirtualColored(uint64_t bytes, uint64_t color_mask);
+
+  /// Number of distinct page colors of the LLC: with identity set indexing
+  /// a 4 KiB page maps to a fixed group of 64 consecutive sets, so an LLC
+  /// with S sets has S/64 colors (1 if S <= 64).
+  uint32_t num_page_colors() const { return num_colors_; }
+
+  /// The page color a given *virtual* address is currently backed by.
+  uint32_t PageColorOf(uint64_t vaddr) const;
+
+  /// Sets a default color mask applied by AllocVirtual until cleared
+  /// (0 = no restriction). Lets existing AttachSim code allocate its
+  /// structures under a page-coloring regime without API changes; prefer
+  /// the ScopedPageColors RAII guard.
+  void SetAllocColorMask(uint64_t color_mask) {
+    alloc_color_mask_ = color_mask;
+  }
+  uint64_t alloc_color_mask() const { return alloc_color_mask_; }
+
+  /// Translates a simulated virtual address to its physical address.
+  uint64_t Translate(uint64_t vaddr) const;
+
+  /// Simulates a memory access by `core` to virtual address `addr`, charging
+  /// the access latency to the core's clock.
+  void Access(uint32_t core, uint64_t addr, bool is_write);
+
+  /// Charges `n` pure compute cycles to the core's clock.
+  void Compute(uint32_t core, uint64_t n) { clocks_[core] += n; }
+
+  /// Counts retired instructions (for the misses-per-instruction metric).
+  void CountInstructions(uint64_t n) { hierarchy_.CountInstructions(n); }
+
+  uint64_t clock(uint32_t core) const { return clocks_[core]; }
+  void set_clock(uint32_t core, uint64_t value) { clocks_[core] = value; }
+
+  /// Advances the core's clock to at least `t` (barrier synchronisation).
+  void AdvanceClockTo(uint32_t core, uint64_t t) {
+    if (clocks_[core] < t) clocks_[core] = t;
+  }
+
+  /// Maximum clock over all cores.
+  uint64_t MaxClock() const;
+
+  simcache::MemoryHierarchy& hierarchy() { return hierarchy_; }
+  const simcache::MemoryHierarchy& hierarchy() const { return hierarchy_; }
+  cat::CatController& cat() { return cat_; }
+  cat::ResctrlFs& resctrl() { return resctrl_; }
+
+  /// Charges the CLOS re-association cost to a core (called by the job
+  /// scheduler when a context switch actually required an MSR write).
+  void ChargeReassociation(uint32_t core) {
+    clocks_[core] += config_.reassociation_cycles;
+  }
+
+  /// Cache Monitoring Technology: current LLC occupancy of a resource
+  /// group, in bytes (resctrl's mon_data/llc_occupancy).
+  Result<uint64_t> LlcOccupancyBytes(const std::string& group) const;
+
+  /// Memory Bandwidth Monitoring: cumulative DRAM bytes transferred on
+  /// behalf of a resource group since the last statistics reset
+  /// (resctrl's mon_data/mbm_total_bytes).
+  Result<uint64_t> MbmTotalBytes(const std::string& group) const;
+
+  /// Per-group LLC demand hit ratio over the current statistics window
+  /// (a per-group PCM-style counter; used by the dynamic policy).
+  Result<double> GroupLlcHitRatio(const std::string& group) const;
+
+  /// Resets clocks, caches and statistics, but keeps CAT group setup and
+  /// virtual allocations (datasets stay "in memory").
+  void ResetForRun();
+
+  /// Base virtual address of the per-core scratch region (16 lines). Models
+  /// the job-worker thread's hot stack frames and operator metadata — the
+  /// small re-used working set that suffers when a 1-way CAT mask lets
+  /// streaming data thrash it (the paper's "0x1 degrades performance
+  /// severely" observation, Section V-B).
+  uint64_t CoreScratchVbase(uint32_t core) const {
+    return core_scratch_[core];
+  }
+  static constexpr uint32_t kScratchLines = 16;
+
+ private:
+  // Assigns a fresh physical page of one of the colors in `color_mask`
+  // (0 = any color, round-robin). Physical page numbers within each color
+  // class are dealt in a pseudo-random (but deterministic) order so equally
+  // spaced virtual streams do not phase-lock onto the same cache sets.
+  uint64_t AssignPhysicalPage(uint64_t color_mask);
+  void MapRange(uint64_t vaddr_begin, uint64_t vaddr_end,
+                uint64_t color_mask);
+
+  MachineConfig config_;
+  simcache::MemoryHierarchy hierarchy_;
+  cat::CatController cat_;
+  cat::ResctrlFs resctrl_;
+  std::vector<uint64_t> clocks_;
+  std::vector<uint64_t> core_scratch_;
+  uint64_t next_vaddr_;
+  uint32_t num_colors_ = 1;
+  // page_table_[vpage] = physical page number (+1; 0 = unmapped).
+  std::vector<uint64_t> page_table_;
+  std::vector<uint64_t> color_page_counter_;
+  uint32_t color_rr_ = 0;
+  uint64_t alloc_color_mask_ = 0;
+};
+
+/// RAII guard: all AllocVirtual calls within the scope draw physical pages
+/// only from the colors in `color_mask` (OS page coloring).
+class ScopedPageColors {
+ public:
+  ScopedPageColors(Machine* machine, uint64_t color_mask)
+      : machine_(machine), saved_(machine->alloc_color_mask()) {
+    machine_->SetAllocColorMask(color_mask);
+  }
+  ~ScopedPageColors() { machine_->SetAllocColorMask(saved_); }
+
+  ScopedPageColors(const ScopedPageColors&) = delete;
+  ScopedPageColors& operator=(const ScopedPageColors&) = delete;
+
+ private:
+  Machine* machine_;
+  uint64_t saved_;
+};
+
+/// Handle passed to jobs while they execute on a core: all simulated memory
+/// traffic and compute cost flows through this object.
+class ExecContext {
+ public:
+  ExecContext(Machine* machine, uint32_t core)
+      : machine_(machine), core_(core) {}
+
+  uint32_t core() const { return core_; }
+  uint64_t now() const { return machine_->clock(core_); }
+  Machine& machine() { return *machine_; }
+
+  /// Simulated read of the cache line holding virtual address `addr`.
+  void Read(uint64_t addr) { machine_->Access(core_, addr, false); }
+
+  /// Simulated write (timed like a read; write-allocate).
+  void Write(uint64_t addr) { machine_->Access(core_, addr, true); }
+
+  /// Charges pure compute cycles.
+  void Compute(uint64_t cycles) { machine_->Compute(core_, cycles); }
+
+  /// Counts retired instructions for the MPI metric.
+  void Instructions(uint64_t n) { machine_->CountInstructions(n); }
+
+ private:
+  Machine* machine_;
+  uint32_t core_;
+};
+
+}  // namespace catdb::sim
+
+#endif  // CATDB_SIM_MACHINE_H_

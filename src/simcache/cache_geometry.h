@@ -1,0 +1,72 @@
+#ifndef CATDB_SIMCACHE_CACHE_GEOMETRY_H_
+#define CATDB_SIMCACHE_CACHE_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace catdb::simcache {
+
+/// Cache line size in bytes. 64 B matches the Xeon E5-2699 v4 the paper uses.
+inline constexpr uint64_t kLineSize = 64;
+inline constexpr uint64_t kLineShift = 6;
+
+/// Page size of the simulated machine (4 KiB) in bytes and lines. Pages are
+/// the granularity of the machine's virtual-to-physical translation, of the
+/// prefetcher's stream boundaries, and of OS page coloring.
+inline constexpr uint64_t kPageBytes = 4096;
+inline constexpr uint64_t kPageShift = 12;
+inline constexpr uint64_t kPageLines = kPageBytes / kLineSize;
+
+/// Converts a byte address to a line address (the unit all caches work in).
+inline constexpr uint64_t LineOf(uint64_t addr) { return addr >> kLineShift; }
+
+/// Geometry of one set-associative cache level.
+struct CacheGeometry {
+  uint32_t num_sets = 0;  // must be a power of two
+  uint32_t num_ways = 0;  // associativity; <= 64
+
+  constexpr uint64_t CapacityBytes() const {
+    return static_cast<uint64_t>(num_sets) * num_ways * kLineSize;
+  }
+
+  constexpr bool Valid() const {
+    return num_sets > 0 && IsPowerOfTwo(num_sets) && num_ways >= 1 &&
+           num_ways <= 64;
+  }
+
+  /// Maps a *physical* line address to a set index (plain modulo, as in
+  /// real physically indexed caches). The scrambling that decorrelates
+  /// equally spaced virtual streams comes from the machine's physical page
+  /// allocator (sim::Machine translates virtual to physical addresses
+  /// before they reach the hierarchy), exactly as on real systems — which
+  /// is also what makes OS page coloring possible.
+  uint32_t SetOf(uint64_t line) const {
+    CATDB_DCHECK(Valid());
+    return static_cast<uint32_t>(line) & (num_sets - 1);
+  }
+};
+
+/// Access latencies in core cycles, roughly calibrated to a Broadwell-class
+/// server part (the paper's machine: 80 ns DRAM latency at 2.2 GHz ≈ 176
+/// cycles).
+struct LatencyModel {
+  uint32_t l1_hit = 4;
+  uint32_t l2_hit = 14;
+  uint32_t llc_hit = 42;
+  uint32_t dram = 180;
+  /// Cycles the single DRAM channel is busy per 64 B line transferred. This
+  /// sets the simulated memory bandwidth: with the default 24 cycles/line at
+  /// a nominal 2.2 GHz the channel moves ~5.9 GB/s, which relative to 8
+  /// simulated cores reproduces the paper's regime where a handful of
+  /// streaming scans saturate memory bandwidth.
+  uint32_t dram_transfer = 24;
+};
+
+/// Which cache level served an access (for statistics).
+enum class HitLevel : uint8_t { kL1, kL2, kLlc, kDram };
+
+}  // namespace catdb::simcache
+
+#endif  // CATDB_SIMCACHE_CACHE_GEOMETRY_H_

@@ -1,0 +1,60 @@
+#ifndef CATDB_SIMCACHE_CACHE_STATS_H_
+#define CATDB_SIMCACHE_CACHE_STATS_H_
+
+#include <cstdint>
+
+namespace catdb::simcache {
+
+/// Hit/miss counters for one cache level.
+struct LevelStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double hit_ratio() const {
+    return lookups() == 0 ? 0.0 : static_cast<double>(hits) / lookups();
+  }
+};
+
+/// Counters for the whole hierarchy plus the metrics the paper reports
+/// (LLC hit ratio, LLC misses per instruction).
+struct HierarchyStats {
+  LevelStats l1;
+  LevelStats l2;
+  LevelStats llc;
+  uint64_t dram_accesses = 0;          // demand misses served by DRAM
+  uint64_t dram_wait_cycles = 0;       // queueing delay at the DRAM channel
+  uint64_t prefetches_issued = 0;
+  uint64_t prefetches_dropped = 0;     // throttled by DRAM backpressure
+  uint64_t prefetch_hits = 0;          // demand hits on prefetched lines
+  uint64_t llc_back_invalidations = 0; // inclusive-eviction invalidations
+  uint64_t instructions = 0;           // retired-instruction proxy
+
+  double llc_hit_ratio() const { return llc.hit_ratio(); }
+  double llc_misses_per_instruction() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(llc.misses) / instructions;
+  }
+
+  HierarchyStats& operator+=(const HierarchyStats& o) {
+    l1.hits += o.l1.hits;
+    l1.misses += o.l1.misses;
+    l2.hits += o.l2.hits;
+    l2.misses += o.l2.misses;
+    llc.hits += o.llc.hits;
+    llc.misses += o.llc.misses;
+    dram_accesses += o.dram_accesses;
+    dram_wait_cycles += o.dram_wait_cycles;
+    prefetches_issued += o.prefetches_issued;
+    prefetches_dropped += o.prefetches_dropped;
+    prefetch_hits += o.prefetch_hits;
+    llc_back_invalidations += o.llc_back_invalidations;
+    instructions += o.instructions;
+    return *this;
+  }
+};
+
+}  // namespace catdb::simcache
+
+#endif  // CATDB_SIMCACHE_CACHE_STATS_H_

@@ -1,0 +1,155 @@
+#ifndef CATDB_SIMCACHE_DRAM_H_
+#define CATDB_SIMCACHE_DRAM_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "common/check.h"
+
+namespace catdb::simcache {
+
+/// A single DRAM channel with deterministic, order-tolerant bandwidth
+/// accounting.
+///
+/// Time is divided into fixed epochs; each epoch can serve
+/// `epoch_cycles / transfer_cycles` line transfers. A request booked at time
+/// `now` lands in the first non-full epoch at or after `now` and waits until
+/// that epoch starts. When concurrent queries together demand more lines per
+/// cycle than the channel sustains, epochs fill and requests spill forward —
+/// the paper's "queries compete for memory bandwidth" effect.
+///
+/// Two policies mirror real memory controllers:
+///  * *demand priority*: prefetch requests may use at most
+///    kPrefetchShare of an epoch's slots, so demand misses always find
+///    residual bandwidth near their issue time instead of queueing behind a
+///    streamer that runs ahead;
+///  * *prefetch throttling*: a prefetch that could only be scheduled more
+///    than kMaxPrefetchAheadEpochs into the future is dropped (the hardware
+///    prefetch queue is full) — a saturated streamer cannot reserve
+///    unbounded future bandwidth.
+///
+/// Epoch bucketing (rather than a strict FCFS cursor) also makes the model
+/// robust to the bounded clock skew between virtual cores in the
+/// discrete-event executor.
+class DramChannel {
+ public:
+  DramChannel(uint32_t base_latency, uint32_t transfer_cycles)
+      : base_latency_(base_latency), transfer_cycles_(transfer_cycles) {
+    CATDB_CHECK(transfer_cycles_ >= 1);
+    capacity_per_epoch_ = kEpochCycles / transfer_cycles_;
+    CATDB_CHECK(capacity_per_epoch_ >= 2);
+    prefetch_capacity_ =
+        static_cast<uint32_t>(capacity_per_epoch_ * kPrefetchShare);
+    if (prefetch_capacity_ == 0) prefetch_capacity_ = 1;
+  }
+
+  /// Books a demand line transfer requested at time `now` (cycles). Returns
+  /// the total latency the requester observes (queue wait + DRAM latency).
+  uint64_t RequestLine(uint64_t now, uint64_t* wait_out = nullptr) {
+    const uint64_t slot = FindSlot(now, /*is_prefetch=*/false);
+    buckets_[slot].total += 1;
+    const uint64_t wait = StartWait(now, slot);
+    total_lines_ += 1;
+    total_wait_cycles_ += wait;
+    if (wait_out != nullptr) *wait_out = wait;
+    return wait + base_latency_;
+  }
+
+  /// Books a prefetch line transfer. Returns true and sets `*ready_time` to
+  /// the arrival time on success; returns false when the prefetch is dropped
+  /// because the channel is backed up beyond the throttling horizon.
+  bool RequestPrefetchLine(uint64_t now, uint64_t* ready_time) {
+    const uint64_t slot = FindSlot(now, /*is_prefetch=*/true);
+    const uint64_t now_epoch = now / kEpochCycles;
+    const uint64_t slot_epoch = base_epoch_ + slot;
+    if (slot_epoch > now_epoch + kMaxPrefetchAheadEpochs) {
+      dropped_prefetches_ += 1;
+      return false;
+    }
+    buckets_[slot].total += 1;
+    buckets_[slot].prefetch += 1;
+    const uint64_t wait = StartWait(now, slot);
+    total_lines_ += 1;
+    *ready_time = now + wait + base_latency_;
+    return true;
+  }
+
+  /// Resets the channel (between experiment runs).
+  void Reset() {
+    buckets_.clear();
+    base_epoch_ = 0;
+    total_lines_ = 0;
+    total_wait_cycles_ = 0;
+    dropped_prefetches_ = 0;
+  }
+
+  uint64_t total_lines() const { return total_lines_; }
+  uint64_t total_wait_cycles() const { return total_wait_cycles_; }
+  uint64_t dropped_prefetches() const { return dropped_prefetches_; }
+  uint32_t transfer_cycles() const { return transfer_cycles_; }
+  uint32_t capacity_per_epoch() const { return capacity_per_epoch_; }
+
+  /// Epoch granularity of the bandwidth accounting.
+  static constexpr uint64_t kEpochCycles = 2048;
+  /// Maximum representable backlog window, in epochs.
+  static constexpr uint64_t kMaxWindow = 4096;
+  /// Fraction of an epoch's slots prefetches may occupy.
+  static constexpr double kPrefetchShare = 0.8;
+  /// Prefetches that would land further ahead than this are dropped.
+  static constexpr uint64_t kMaxPrefetchAheadEpochs = 4;
+
+ private:
+  struct Bucket {
+    uint32_t total = 0;
+    uint32_t prefetch = 0;
+  };
+
+  // Returns the bucket index (relative to base_epoch_) of the first epoch
+  // at or after `now` with room for this request class, growing the window
+  // as needed.
+  uint64_t FindSlot(uint64_t now, bool is_prefetch) {
+    uint64_t epoch = now / kEpochCycles;
+
+    if (buckets_.empty() || epoch >= base_epoch_ + kMaxWindow) {
+      const uint64_t new_base =
+          epoch >= kMaxWindow / 2 ? epoch - kMaxWindow / 2 : 0;
+      while (!buckets_.empty() && base_epoch_ < new_base) {
+        buckets_.pop_front();
+        ++base_epoch_;
+      }
+      if (buckets_.empty()) base_epoch_ = new_base;
+    }
+    if (epoch < base_epoch_) epoch = base_epoch_;  // late straggler
+
+    uint64_t slot = epoch - base_epoch_;
+    for (;;) {
+      while (slot >= buckets_.size()) buckets_.push_back(Bucket{});
+      const Bucket& b = buckets_[slot];
+      const bool fits = is_prefetch
+                            ? (b.total < capacity_per_epoch_ &&
+                               b.prefetch < prefetch_capacity_)
+                            : b.total < capacity_per_epoch_;
+      if (fits) return slot;
+      ++slot;
+    }
+  }
+
+  uint64_t StartWait(uint64_t now, uint64_t slot) const {
+    const uint64_t start = (base_epoch_ + slot) * kEpochCycles;
+    return start > now ? start - now : 0;
+  }
+
+  uint32_t base_latency_;
+  uint32_t transfer_cycles_;
+  uint32_t capacity_per_epoch_;
+  uint32_t prefetch_capacity_;
+  std::deque<Bucket> buckets_;
+  uint64_t base_epoch_ = 0;
+  uint64_t total_lines_ = 0;
+  uint64_t total_wait_cycles_ = 0;
+  uint64_t dropped_prefetches_ = 0;
+};
+
+}  // namespace catdb::simcache
+
+#endif  // CATDB_SIMCACHE_DRAM_H_

@@ -1,0 +1,216 @@
+#include "simcache/hierarchy.h"
+
+#include "common/check.h"
+
+namespace catdb::simcache {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
+    : config_(config),
+      llc_(std::make_unique<SetAssocCache>(config.llc)),
+      dram_(config.latency.dram, config.latency.dram_transfer) {
+  CATDB_CHECK(config_.num_cores >= 1);
+  CATDB_CHECK(config_.l1.Valid() && config_.l2.Valid() && config_.llc.Valid());
+  for (uint32_t c = 0; c < config_.num_cores; ++c) {
+    l1_.push_back(std::make_unique<SetAssocCache>(config_.l1));
+    l2_.push_back(std::make_unique<SetAssocCache>(config_.l2));
+    prefetchers_.push_back(
+        std::make_unique<StreamPrefetcher>(config_.prefetcher));
+  }
+  core_stats_.resize(config_.num_cores);
+  clos_monitors_.resize(kMaxClos);
+}
+
+AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
+                                     uint64_t now, uint64_t llc_alloc_mask,
+                                     uint32_t clos) {
+  CATDB_DCHECK(core < config_.num_cores);
+  CATDB_DCHECK(clos < kMaxClos);
+  const uint64_t line = LineOf(addr);
+  HierarchyStats& cs = core_stats_[core];
+  ClosMonitor& mon = clos_monitors_[clos];
+  AccessResult result;
+
+  // Give the prefetcher a chance to stage lines ahead of this stream. Doing
+  // this before the lookup matches hardware: the streamer trains on the
+  // demand stream regardless of hit/miss.
+  IssuePrefetches(core, line, now, llc_alloc_mask, clos);
+
+  // If the line is an in-flight prefetch that has not arrived yet, the
+  // demand access waits for the remainder of the transfer (partial latency
+  // hiding — this is what couples a prefetch-covered scan to the DRAM
+  // bandwidth).
+  uint64_t pending_wait = 0;
+  if (auto it = prefetch_ready_.find(line); it != prefetch_ready_.end()) {
+    if (it->second > now) pending_wait = it->second - now;
+    stats_.prefetch_hits += 1;
+    cs.prefetch_hits += 1;
+    prefetch_ready_.erase(it);
+  }
+
+  if (l1_[core]->Lookup(line)) {
+    stats_.l1.hits += 1;
+    cs.l1.hits += 1;
+    result.latency_cycles = config_.latency.l1_hit + pending_wait;
+    result.level = HitLevel::kL1;
+    return result;
+  }
+  stats_.l1.misses += 1;
+  cs.l1.misses += 1;
+
+  if (l2_[core]->Lookup(line)) {
+    stats_.l2.hits += 1;
+    cs.l2.hits += 1;
+    FillPrivate(core, line);
+    result.latency_cycles = config_.latency.l2_hit + pending_wait;
+    result.level = HitLevel::kL2;
+    return result;
+  }
+  stats_.l2.misses += 1;
+  cs.l2.misses += 1;
+
+  if (llc_->Lookup(line)) {
+    stats_.llc.hits += 1;
+    cs.llc.hits += 1;
+    mon.llc.hits += 1;
+    FillPrivate(core, line);
+    result.latency_cycles = config_.latency.llc_hit + pending_wait;
+    result.level = HitLevel::kLlc;
+    return result;
+  }
+  stats_.llc.misses += 1;
+  cs.llc.misses += 1;
+  mon.llc.misses += 1;
+
+  uint64_t wait = 0;
+  const uint64_t dram_latency = dram_.RequestLine(now, &wait);
+  stats_.dram_accesses += 1;
+  stats_.dram_wait_cycles += wait;
+  cs.dram_accesses += 1;
+  cs.dram_wait_cycles += wait;
+  mon.mbm_lines += 1;
+  FillFromDram(core, line, llc_alloc_mask, clos);
+  result.latency_cycles = config_.latency.llc_hit + dram_latency;
+  result.level = HitLevel::kDram;
+  return result;
+}
+
+void MemoryHierarchy::FillFromDram(uint32_t core, uint64_t line,
+                                   uint64_t llc_alloc_mask, uint32_t clos) {
+  InsertIntoLlc(line, llc_alloc_mask, clos);
+  FillPrivate(core, line);
+}
+
+void MemoryHierarchy::InsertIntoLlc(uint64_t line, uint64_t llc_alloc_mask,
+                                    uint32_t clos) {
+  const uint64_t before = llc_->ValidLineCount();
+  std::optional<EvictedLine> evicted =
+      llc_->Insert(line, llc_alloc_mask, static_cast<uint16_t>(clos));
+  // CMT occupancy accounting: a fill that was not a mere promotion adds a
+  // line to the filler's class; the victim's class loses one.
+  if (evicted.has_value()) {
+    clos_monitors_[clos].occupancy_lines += 1;
+    ClosMonitor& victim = clos_monitors_[evicted->owner];
+    CATDB_DCHECK(victim.occupancy_lines > 0);
+    victim.occupancy_lines -= 1;
+  } else if (llc_->ValidLineCount() != before) {
+    clos_monitors_[clos].occupancy_lines += 1;
+  }
+
+  if (evicted.has_value() && config_.inclusive_llc) {
+    // Inclusive LLC: a victimized line must disappear from all private
+    // caches. This is the mechanism that lets one core's streaming evict
+    // another core's hot dictionary lines out of its L2 — the "cache
+    // pollution" the paper is about.
+    for (uint32_t c = 0; c < config_.num_cores; ++c) {
+      bool invalidated = l1_[c]->Invalidate(evicted->line);
+      invalidated |= l2_[c]->Invalidate(evicted->line);
+      if (invalidated) stats_.llc_back_invalidations += 1;
+    }
+    prefetch_ready_.erase(evicted->line);
+  }
+}
+
+void MemoryHierarchy::FillPrivate(uint32_t core, uint64_t line) {
+  l2_[core]->Insert(line);
+  l1_[core]->Insert(line);
+}
+
+void MemoryHierarchy::IssuePrefetches(uint32_t core, uint64_t line,
+                                      uint64_t now, uint64_t llc_alloc_mask,
+                                      uint32_t clos) {
+  if (!config_.prefetcher.enabled) return;
+  scratch_prefetch_lines_.clear();
+  prefetchers_[core]->OnDemandAccess(line, &scratch_prefetch_lines_);
+  for (uint64_t pf : scratch_prefetch_lines_) {
+    if (llc_->Contains(pf)) {
+      // LLC-resident: the L2 streamer still stages the line into the
+      // requesting core's L2 (LLC -> L2 prefetch, no DRAM traffic), so a
+      // fully cached stream is at least as fast as a DRAM-prefetched one.
+      l2_[core]->Insert(pf);
+      continue;
+    }
+    uint64_t ready_time = 0;
+    if (!dram_.RequestPrefetchLine(now, &ready_time)) {
+      // Channel backed up: the prefetch is dropped; the demand access will
+      // fetch the line itself later (at demand priority).
+      stats_.prefetches_dropped += 1;
+      core_stats_[core].prefetches_dropped += 1;
+      continue;
+    }
+    prefetch_ready_[pf] = ready_time;
+    stats_.prefetches_issued += 1;
+    core_stats_[core].prefetches_issued += 1;
+    // Hardware LLC-miss counters (what the paper samples with Intel PCM)
+    // include prefetch-triggered fills from DRAM; mirror that so reported
+    // hit ratios / MPI are comparable. MBM likewise counts all DRAM
+    // traffic of the class.
+    stats_.llc.misses += 1;
+    core_stats_[core].llc.misses += 1;
+    clos_monitors_[clos].llc.misses += 1;
+    clos_monitors_[clos].mbm_lines += 1;
+    // Prefetches fill the LLC and the requesting core's L2 (Intel's L2
+    // streamer behaviour) and honour the core's CAT allocation mask.
+    InsertIntoLlc(pf, llc_alloc_mask, clos);
+    l2_[core]->Insert(pf);
+  }
+}
+
+void MemoryHierarchy::ResetStats() {
+  stats_ = HierarchyStats{};
+  for (auto& cs : core_stats_) cs = HierarchyStats{};
+  // Monitoring: bandwidth and hit counters reset; occupancy is cache state
+  // and persists (like real CMT).
+  for (auto& mon : clos_monitors_) {
+    mon.mbm_lines = 0;
+    mon.llc = LevelStats{};
+  }
+}
+
+void MemoryHierarchy::ResetAll() {
+  ResetStats();
+  llc_->Clear();
+  for (uint32_t c = 0; c < config_.num_cores; ++c) {
+    l1_[c]->Clear();
+    l2_[c]->Clear();
+    prefetchers_[c]->Reset();
+  }
+  dram_.Reset();
+  prefetch_ready_.clear();
+  for (auto& mon : clos_monitors_) mon.occupancy_lines = 0;
+}
+
+bool MemoryHierarchy::CheckInclusion() const {
+  if (!config_.inclusive_llc) return true;
+  std::vector<uint64_t> lines;
+  for (uint32_t c = 0; c < config_.num_cores; ++c) {
+    lines.clear();
+    l1_[c]->CollectValidLines(&lines);
+    l2_[c]->CollectValidLines(&lines);
+    for (uint64_t line : lines) {
+      if (!llc_->Contains(line)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace catdb::simcache

@@ -1,0 +1,142 @@
+#ifndef CATDB_SIMCACHE_HIERARCHY_H_
+#define CATDB_SIMCACHE_HIERARCHY_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "simcache/cache_geometry.h"
+#include "simcache/cache_stats.h"
+#include "simcache/dram.h"
+#include "simcache/prefetcher.h"
+#include "simcache/set_assoc_cache.h"
+
+namespace catdb::simcache {
+
+/// Configuration of the simulated memory hierarchy. Defaults follow the
+/// scaling rule in DESIGN.md: the paper's 20-way 55 MiB inclusive LLC maps to
+/// a 20-way 2.56 MiB LLC, so one CAT way is still 5 % of the cache and all
+/// working-set-to-LLC ratios carry over.
+struct HierarchyConfig {
+  uint32_t num_cores = 8;
+  CacheGeometry l1{/*num_sets=*/16, /*num_ways=*/8};     // 8 KiB
+  CacheGeometry l2{/*num_sets=*/64, /*num_ways=*/8};     // 32 KiB
+  CacheGeometry llc{/*num_sets=*/2048, /*num_ways=*/20}; // 2.56 MiB
+  LatencyModel latency;
+  PrefetcherConfig prefetcher;
+  /// If false, LLC evictions do not back-invalidate private caches
+  /// (exclusive-ish behaviour; exists for the ablation bench).
+  bool inclusive_llc = true;
+};
+
+/// Result of one simulated memory access.
+struct AccessResult {
+  uint64_t latency_cycles = 0;
+  HitLevel level = HitLevel::kL1;
+};
+
+/// Per-CLOS monitoring counters, modelling Intel RDT's Cache Monitoring
+/// Technology (CMT: LLC occupancy) and Memory Bandwidth Monitoring (MBM:
+/// lines transferred from DRAM), plus per-CLOS LLC hit/miss counters (what
+/// a per-group PCM sampling session would report).
+struct ClosMonitor {
+  uint64_t occupancy_lines = 0;  // CMT: lines currently resident, this CLOS
+  uint64_t mbm_lines = 0;        // MBM: DRAM line transfers, cumulative
+  LevelStats llc;                // per-CLOS LLC demand hits/misses
+
+  uint64_t occupancy_bytes() const { return occupancy_lines * kLineSize; }
+  uint64_t mbm_bytes() const { return mbm_lines * kLineSize; }
+};
+
+/// The simulated memory hierarchy: per-core L1d and L2, one shared inclusive
+/// LLC, one DRAM channel, and a per-core stream prefetcher.
+///
+/// CAT enters through the per-access `llc_alloc_mask`: the set of LLC ways
+/// the accessing core may victimize. The mask is supplied by the caller (the
+/// Machine, which tracks each core's class of service) on every access, which
+/// mirrors how the hardware consults the core's CLOS register on every fill.
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const HierarchyConfig& config);
+
+  MemoryHierarchy(const MemoryHierarchy&) = delete;
+  MemoryHierarchy& operator=(const MemoryHierarchy&) = delete;
+
+  const HierarchyConfig& config() const { return config_; }
+
+  /// Simulates one memory access by core `core` to byte address `addr` at
+  /// time `now` (in cycles). Reads and writes are timed identically
+  /// (write-allocate). `llc_alloc_mask` is the CAT capacity bitmask of the
+  /// core's current class of service, and `clos` that class itself (used as
+  /// the monitoring tag for CMT/MBM accounting).
+  AccessResult Access(uint32_t core, uint64_t addr, uint64_t now,
+                      uint64_t llc_alloc_mask, uint32_t clos = 0);
+
+  /// Maximum number of monitored classes of service.
+  static constexpr uint32_t kMaxClos = 16;
+
+  /// CMT/MBM counters for one class of service.
+  const ClosMonitor& clos_monitor(uint32_t clos) const {
+    return clos_monitors_[clos];
+  }
+
+  /// Counts `n` retired instructions towards the misses-per-instruction
+  /// metric (operators call this with their per-chunk instruction estimates).
+  void CountInstructions(uint64_t n) { stats_.instructions += n; }
+
+  /// Global statistics since construction or the last ResetStats().
+  const HierarchyStats& stats() const { return stats_; }
+
+  /// Per-core statistics.
+  const HierarchyStats& core_stats(uint32_t core) const {
+    return core_stats_[core];
+  }
+
+  /// Clears statistics counters but keeps cache contents (used to exclude
+  /// warm-up from measurements).
+  void ResetStats();
+
+  /// Empties all caches, prefetcher state, the DRAM queue and statistics.
+  void ResetAll();
+
+  SetAssocCache& llc() { return *llc_; }
+  SetAssocCache& l1(uint32_t core) { return *l1_[core]; }
+  SetAssocCache& l2(uint32_t core) { return *l2_[core]; }
+  DramChannel& dram() { return dram_; }
+
+  /// Verifies the inclusion property: every line valid in any L1/L2 is also
+  /// valid in the LLC. Returns false (and stops early) on violation. Used by
+  /// property tests.
+  bool CheckInclusion() const;
+
+ private:
+  // Books a DRAM line fetch and fills LLC/L2/L1 along the way.
+  void FillFromDram(uint32_t core, uint64_t line, uint64_t llc_alloc_mask,
+                    uint32_t clos);
+  // Inserts into the LLC honouring the allocation mask; on eviction performs
+  // inclusive back-invalidation of all private caches and updates the CMT
+  // occupancy of filler and victim.
+  void InsertIntoLlc(uint64_t line, uint64_t llc_alloc_mask, uint32_t clos);
+  void FillPrivate(uint32_t core, uint64_t line);
+  void IssuePrefetches(uint32_t core, uint64_t line, uint64_t now,
+                       uint64_t llc_alloc_mask, uint32_t clos);
+
+  HierarchyConfig config_;
+  std::vector<std::unique_ptr<SetAssocCache>> l1_;
+  std::vector<std::unique_ptr<SetAssocCache>> l2_;
+  std::unique_ptr<SetAssocCache> llc_;
+  std::vector<std::unique_ptr<StreamPrefetcher>> prefetchers_;
+  DramChannel dram_;
+  // In-flight prefetched lines: line -> cycle at which the data arrives.
+  // A demand access that lands before arrival waits for the remainder.
+  std::unordered_map<uint64_t, uint64_t> prefetch_ready_;
+  HierarchyStats stats_;
+  std::vector<HierarchyStats> core_stats_;
+  std::vector<ClosMonitor> clos_monitors_;
+  std::vector<uint64_t> scratch_prefetch_lines_;
+};
+
+}  // namespace catdb::simcache
+
+#endif  // CATDB_SIMCACHE_HIERARCHY_H_

@@ -1,0 +1,68 @@
+#include "simcache/prefetcher.h"
+
+#include "common/check.h"
+#include "simcache/cache_geometry.h"
+
+namespace catdb::simcache {
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig& config)
+    : config_(config) {
+  CATDB_CHECK(config_.num_streams >= 1);
+  CATDB_CHECK(config_.trigger_run >= 1);
+  streams_.resize(config_.num_streams);
+}
+
+void StreamPrefetcher::OnDemandAccess(uint64_t line,
+                                      std::vector<uint64_t>* out) {
+  if (!config_.enabled) return;
+
+  // Re-access of a stream head: refresh recency, nothing to prefetch.
+  for (Stream& s : streams_) {
+    if (s.valid && s.last_line == line) {
+      s.lru_stamp = ++stamp_counter_;
+      return;
+    }
+  }
+
+  // Extension of an existing ascending stream?
+  for (Stream& s : streams_) {
+    if (s.valid && line == s.last_line + 1) {
+      s.last_line = line;
+      s.run_length++;
+      s.lru_stamp = ++stamp_counter_;
+      if (s.run_length >= config_.trigger_run) {
+        if (s.next_prefetch <= line) s.next_prefetch = line + 1;
+        // Hardware streamers do not cross 4 KiB page boundaries: the next
+        // physical page is unrelated memory.
+        const uint64_t page_end = line | (kPageLines - 1);
+        uint64_t horizon = line + config_.depth;
+        if (horizon > page_end) horizon = page_end;
+        while (s.next_prefetch <= horizon) {
+          out->push_back(s.next_prefetch++);
+        }
+      }
+      return;
+    }
+  }
+
+  // New stream: replace the LRU slot.
+  Stream* victim = &streams_[0];
+  for (Stream& s : streams_) {
+    if (!s.valid) {
+      victim = &s;
+      break;
+    }
+    if (s.lru_stamp < victim->lru_stamp) victim = &s;
+  }
+  victim->valid = true;
+  victim->last_line = line;
+  victim->next_prefetch = line + 1;
+  victim->run_length = 1;
+  victim->lru_stamp = ++stamp_counter_;
+}
+
+void StreamPrefetcher::Reset() {
+  for (Stream& s : streams_) s.valid = false;
+}
+
+}  // namespace catdb::simcache

@@ -1,0 +1,51 @@
+#ifndef CATDB_SIMCACHE_PREFETCHER_H_
+#define CATDB_SIMCACHE_PREFETCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace catdb::simcache {
+
+/// Configuration of the per-core hardware stream prefetcher.
+struct PrefetcherConfig {
+  bool enabled = true;
+  /// Consecutive-line accesses needed before a stream starts prefetching.
+  uint32_t trigger_run = 2;
+  /// How many lines ahead of the demand stream to prefetch.
+  uint32_t depth = 8;
+  /// Number of concurrently tracked streams per core.
+  uint32_t num_streams = 16;
+};
+
+/// Detects ascending sequential line-address streams and emits prefetch
+/// candidates, like the L2 streamer on Intel server parts. This is what makes
+/// the column scan insensitive to the LLC allocation: its lines are staged
+/// ahead of use, so the scan is bound by memory bandwidth, not latency.
+class StreamPrefetcher {
+ public:
+  explicit StreamPrefetcher(const PrefetcherConfig& config);
+
+  /// Observes a demand access to `line` and appends line addresses that
+  /// should be prefetched to `out` (out is not cleared).
+  void OnDemandAccess(uint64_t line, std::vector<uint64_t>* out);
+
+  /// Drops all tracked streams (e.g. between experiment runs).
+  void Reset();
+
+ private:
+  struct Stream {
+    uint64_t last_line = 0;
+    uint64_t next_prefetch = 0;
+    uint32_t run_length = 0;
+    uint64_t lru_stamp = 0;
+    bool valid = false;
+  };
+
+  PrefetcherConfig config_;
+  std::vector<Stream> streams_;
+  uint64_t stamp_counter_ = 0;
+};
+
+}  // namespace catdb::simcache
+
+#endif  // CATDB_SIMCACHE_PREFETCHER_H_

@@ -1,0 +1,117 @@
+#include "simcache/set_assoc_cache.h"
+
+#include "common/check.h"
+
+namespace catdb::simcache {
+
+SetAssocCache::SetAssocCache(CacheGeometry geometry) : geometry_(geometry) {
+  CATDB_CHECK(geometry_.Valid());
+  ways_.resize(static_cast<size_t>(geometry_.num_sets) * geometry_.num_ways);
+}
+
+bool SetAssocCache::Lookup(uint64_t line) {
+  Way* ways = SetWays(geometry_.SetOf(line));
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if (ways[w].valid && ways[w].tag == line) {
+      ways[w].lru_stamp = ++stamp_counter_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SetAssocCache::Contains(uint64_t line) const {
+  const Way* ways = SetWays(geometry_.SetOf(line));
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if (ways[w].valid && ways[w].tag == line) return true;
+  }
+  return false;
+}
+
+std::optional<EvictedLine> SetAssocCache::Insert(uint64_t line,
+                                                 uint64_t alloc_mask,
+                                                 uint16_t owner) {
+  alloc_mask &= FullMask();
+  CATDB_DCHECK(alloc_mask != 0);
+  Way* ways = SetWays(geometry_.SetOf(line));
+
+  // Already present (in any way): just promote. CAT restricts allocation,
+  // not residency. The original filler keeps monitoring ownership.
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if (ways[w].valid && ways[w].tag == line) {
+      ways[w].lru_stamp = ++stamp_counter_;
+      return std::nullopt;
+    }
+  }
+
+  // Prefer an invalid way within the allocation mask.
+  int victim = -1;
+  uint64_t oldest = ~uint64_t{0};
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if ((alloc_mask >> w & 1) == 0) continue;
+    if (!ways[w].valid) {
+      victim = static_cast<int>(w);
+      oldest = 0;
+      break;
+    }
+    if (ways[w].lru_stamp < oldest) {
+      oldest = ways[w].lru_stamp;
+      victim = static_cast<int>(w);
+    }
+  }
+  CATDB_DCHECK(victim >= 0);
+
+  std::optional<EvictedLine> evicted;
+  if (ways[victim].valid) {
+    evicted = EvictedLine{ways[victim].tag, ways[victim].owner};
+  } else {
+    valid_count_ += 1;
+  }
+  ways[victim].tag = line;
+  ways[victim].valid = true;
+  ways[victim].owner = owner;
+  ways[victim].lru_stamp = ++stamp_counter_;
+  return evicted;
+}
+
+int SetAssocCache::OwnerOf(uint64_t line) const {
+  const Way* ways = SetWays(geometry_.SetOf(line));
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if (ways[w].valid && ways[w].tag == line) return ways[w].owner;
+  }
+  return -1;
+}
+
+bool SetAssocCache::Invalidate(uint64_t line) {
+  Way* ways = SetWays(geometry_.SetOf(line));
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if (ways[w].valid && ways[w].tag == line) {
+      ways[w].valid = false;
+      CATDB_DCHECK(valid_count_ > 0);
+      valid_count_ -= 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetAssocCache::Clear() {
+  for (Way& w : ways_) w.valid = false;
+  valid_count_ = 0;
+}
+
+void SetAssocCache::CollectValidLines(std::vector<uint64_t>* out) const {
+  for (const Way& w : ways_) {
+    if (w.valid) out->push_back(w.tag);
+  }
+}
+
+int SetAssocCache::WayOf(uint64_t line) const {
+  const Way* ways = SetWays(geometry_.SetOf(line));
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if (ways[w].valid && ways[w].tag == line) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+}  // namespace catdb::simcache

@@ -1,0 +1,108 @@
+#ifndef CATDB_SIMCACHE_SET_ASSOC_CACHE_H_
+#define CATDB_SIMCACHE_SET_ASSOC_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "simcache/cache_geometry.h"
+
+namespace catdb::simcache {
+
+/// A line evicted by an insert, with the owner tag it was filled under
+/// (owner = class of service for the LLC; used by cache monitoring).
+struct EvictedLine {
+  uint64_t line = 0;
+  uint16_t owner = 0;
+};
+
+/// A set-associative cache with true-LRU replacement and CAT-style
+/// *allocation* way masks.
+///
+/// The allocation mask restricts only victim selection on insert (which ways
+/// a requester may evict from); lookups hit in any way. This matches Intel
+/// Cache Allocation Technology semantics: a core restricted to mask 0x3 can
+/// still *read* lines another core placed anywhere in the cache, it just
+/// cannot displace lines outside its two ways.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(CacheGeometry geometry);
+
+  SetAssocCache(const SetAssocCache&) = delete;
+  SetAssocCache& operator=(const SetAssocCache&) = delete;
+
+  const CacheGeometry& geometry() const { return geometry_; }
+
+  /// Looks up a line address. On hit, promotes the line to MRU and returns
+  /// true.
+  bool Lookup(uint64_t line);
+
+  /// Returns true iff the line is present, without touching LRU state.
+  bool Contains(uint64_t line) const;
+
+  /// Inserts a line, evicting (if needed) the LRU line among the ways set in
+  /// `alloc_mask`. If the line is already present it is only promoted to MRU
+  /// (no second copy, no eviction). The line is tagged with `owner` (the
+  /// filling CLOS, for cache-occupancy monitoring). Returns the evicted
+  /// line, if any.
+  ///
+  /// `alloc_mask` must have at least one bit among the cache's ways; callers
+  /// (the hierarchy) guarantee this via CAT mask validation.
+  std::optional<EvictedLine> Insert(uint64_t line, uint64_t alloc_mask,
+                                    uint16_t owner = 0);
+
+  /// Convenience: insert with all ways allocatable.
+  std::optional<EvictedLine> Insert(uint64_t line) {
+    return Insert(line, FullMask());
+  }
+
+  /// Owner tag of a resident line (-1 if absent); for monitoring tests.
+  int OwnerOf(uint64_t line) const;
+
+  /// Removes the line if present. Returns true if it was present.
+  bool Invalidate(uint64_t line);
+
+  /// Removes every line (used when resizing experiments re-start cleanly).
+  void Clear();
+
+  /// Mask with one bit per way, all set.
+  uint64_t FullMask() const {
+    return geometry_.num_ways == 64 ? ~uint64_t{0}
+                                    : (uint64_t{1} << geometry_.num_ways) - 1;
+  }
+
+  /// Number of valid lines currently cached (O(1), maintained
+  /// incrementally).
+  uint64_t ValidLineCount() const { return valid_count_; }
+
+  /// Appends all valid line addresses to `out` (for inclusivity checks in
+  /// tests).
+  void CollectValidLines(std::vector<uint64_t>* out) const;
+
+  /// Returns the way index holding `line`, or -1 (for tests asserting that
+  /// allocation respects the way mask).
+  int WayOf(uint64_t line) const;
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    uint64_t lru_stamp = 0;
+    uint16_t owner = 0;
+    bool valid = false;
+  };
+
+  // Ways for set s occupy ways_[s * num_ways .. s * num_ways + num_ways).
+  Way* SetWays(uint32_t set) { return &ways_[set * geometry_.num_ways]; }
+  const Way* SetWays(uint32_t set) const {
+    return &ways_[set * geometry_.num_ways];
+  }
+
+  CacheGeometry geometry_;
+  std::vector<Way> ways_;
+  uint64_t stamp_counter_ = 0;
+  uint64_t valid_count_ = 0;
+};
+
+}  // namespace catdb::simcache
+
+#endif  // CATDB_SIMCACHE_SET_ASSOC_CACHE_H_

@@ -1,0 +1,91 @@
+#include "storage/agg_hash_table.h"
+
+#include "common/bits.h"
+
+namespace catdb::storage {
+
+AggHashTable AggHashTable::ForExpectedKeys(uint64_t expected_keys) {
+  CATDB_CHECK(expected_keys >= 1);
+  const uint64_t min_slots = expected_keys + expected_keys / 2;  // lf ~0.67
+  const uint64_t slots = NextPowerOfTwo(min_slots < 16 ? 16 : min_slots);
+  AggHashTable table;
+  table.slots_.assign(slots, Slot{});
+  table.shift_ = 64 - Log2(slots);
+  return table;
+}
+
+void AggHashTable::Upsert(uint32_t key, int32_t value, AggFunction func) {
+  CATDB_CHECK(num_entries_ < slots_.size());  // never full: probing halts
+  uint64_t slot = SlotFor(key);
+  const uint64_t mask = slots_.size() - 1;
+  for (;;) {
+    Slot& s = slots_[slot];
+    if (s.key_plus1 == 0) {
+      s.key_plus1 = key + 1;
+      s.max_value = AggInit(func, value);
+      num_entries_ += 1;
+      return;
+    }
+    if (s.key_plus1 == key + 1) {
+      s.max_value = AggCombine(func, s.max_value, value);
+      return;
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+void AggHashTable::UpsertSim(sim::ExecContext& ctx, uint32_t key,
+                             int32_t value, AggFunction func) {
+  CATDB_CHECK(num_entries_ < slots_.size());
+  uint64_t slot = SlotFor(key);
+  const uint64_t mask = slots_.size() - 1;
+  for (;;) {
+    ctx.Read(SimAddrOfSlot(slot));
+    Slot& s = slots_[slot];
+    if (s.key_plus1 == 0) {
+      ctx.Write(SimAddrOfSlot(slot));
+      s.key_plus1 = key + 1;
+      s.max_value = AggInit(func, value);
+      num_entries_ += 1;
+      return;
+    }
+    if (s.key_plus1 == key + 1) {
+      const int32_t combined = AggCombine(func, s.max_value, value);
+      if (combined != s.max_value) {
+        ctx.Write(SimAddrOfSlot(slot));
+        s.max_value = combined;
+      }
+      return;
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+bool AggHashTable::Lookup(uint32_t key, int32_t* value) const {
+  uint64_t slot = SlotFor(key);
+  const uint64_t mask = slots_.size() - 1;
+  for (uint64_t probes = 0; probes <= mask; ++probes) {
+    const Slot& s = slots_[slot];
+    if (s.key_plus1 == 0) return false;
+    if (s.key_plus1 == key + 1) {
+      *value = s.max_value;
+      return true;
+    }
+    slot = (slot + 1) & mask;
+  }
+  return false;
+}
+
+void AggHashTable::Clear() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  num_entries_ = 0;
+}
+
+void AggHashTable::AttachSim(sim::Machine* machine) {
+  CATDB_CHECK(machine != nullptr);
+  CATDB_CHECK(!attached());
+  CATDB_CHECK(!slots_.empty());
+  vbase_ = machine->AllocVirtual(SizeBytes());
+}
+
+}  // namespace catdb::storage

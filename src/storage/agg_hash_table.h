@@ -1,0 +1,120 @@
+#ifndef CATDB_STORAGE_AGG_HASH_TABLE_H_
+#define CATDB_STORAGE_AGG_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/machine.h"
+
+namespace catdb::storage {
+
+/// Aggregate functions supported by the hash aggregation. The accumulator
+/// is a 32-bit integer (SUM wraps on overflow, like unchecked integer
+/// arithmetic in a real engine's int32 column sum; COUNT counts rows).
+enum class AggFunction {
+  kMax,
+  kMin,
+  kSum,
+  kCount,
+};
+
+/// Combines `value` into `acc` according to the function.
+inline int32_t AggCombine(AggFunction func, int32_t acc, int32_t value) {
+  switch (func) {
+    case AggFunction::kMax:
+      return value > acc ? value : acc;
+    case AggFunction::kMin:
+      return value < acc ? value : acc;
+    case AggFunction::kSum:
+      return static_cast<int32_t>(static_cast<uint32_t>(acc) +
+                                  static_cast<uint32_t>(value));
+    case AggFunction::kCount:
+      return static_cast<int32_t>(static_cast<uint32_t>(acc) + 1);
+  }
+  return acc;
+}
+
+/// First accumulator value for a fresh group.
+inline int32_t AggInit(AggFunction func, int32_t value) {
+  return func == AggFunction::kCount ? 1 : value;
+}
+
+/// Open-addressing hash table for grouped MAX aggregation, keyed by dense
+/// group codes. This is the cache-sensitive structure at the heart of the
+/// paper's Query 2: worker threads keep one local table each and a merge
+/// step folds them into a global table (Section II, "hash tables").
+///
+/// Entries are 8 bytes ({code+1, max}); the table is sized at build time for
+/// an expected number of distinct keys and never grows — exceeding the
+/// capacity is a programming error (the engine sizes tables from exact
+/// group-count metadata).
+class AggHashTable {
+ public:
+  AggHashTable() = default;
+
+  /// Creates a table able to hold `expected_keys` distinct keys at a load
+  /// factor <= ~0.7.
+  static AggHashTable ForExpectedKeys(uint64_t expected_keys);
+
+  uint64_t capacity_slots() const { return slots_.size(); }
+  uint64_t SizeBytes() const { return slots_.size() * sizeof(Slot); }
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// Host-side upsert: entry[key] = max(entry[key], value).
+  void UpsertMax(uint32_t key, int32_t value) {
+    Upsert(key, value, AggFunction::kMax);
+  }
+
+  /// Simulated MAX upsert (the paper's Query 2 aggregate).
+  void UpsertMaxSim(sim::ExecContext& ctx, uint32_t key, int32_t value) {
+    UpsertSim(ctx, key, value, AggFunction::kMax);
+  }
+
+  /// Host-side upsert with an arbitrary aggregate function.
+  void Upsert(uint32_t key, int32_t value, AggFunction func);
+
+  /// Simulated upsert: charges one random read per probed slot and one
+  /// write when a new entry is claimed or the accumulator changes.
+  void UpsertSim(sim::ExecContext& ctx, uint32_t key, int32_t value,
+                 AggFunction func);
+
+  /// Host-side lookup; returns true and fills `*value` if present.
+  bool Lookup(uint32_t key, int32_t* value) const;
+
+  /// Slot inspection for the merge operator (iterate all slots).
+  bool SlotOccupied(uint64_t slot) const { return slots_[slot].key_plus1 != 0; }
+  uint32_t SlotKey(uint64_t slot) const { return slots_[slot].key_plus1 - 1; }
+  int32_t SlotValue(uint64_t slot) const { return slots_[slot].max_value; }
+  uint64_t SimAddrOfSlot(uint64_t slot) const {
+    CATDB_DCHECK(attached());
+    return vbase_ + slot * sizeof(Slot);
+  }
+
+  /// Empties the table (between query iterations) without shrinking.
+  void Clear();
+
+  void AttachSim(sim::Machine* machine);
+  bool attached() const { return vbase_ != 0; }
+
+ private:
+  struct Slot {
+    uint32_t key_plus1 = 0;  // 0 = empty
+    int32_t max_value = 0;
+  };
+
+  uint64_t SlotFor(uint32_t key) const {
+    // Fibonacci multiplicative hash spreads dense group codes over slots.
+    const uint64_t h = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ULL;
+    return h >> shift_;
+  }
+
+  std::vector<Slot> slots_;
+  uint32_t shift_ = 64;
+  uint64_t num_entries_ = 0;
+  uint64_t vbase_ = 0;
+};
+
+}  // namespace catdb::storage
+
+#endif  // CATDB_STORAGE_AGG_HASH_TABLE_H_

@@ -1,0 +1,49 @@
+#include "storage/bitpacked_vector.h"
+
+namespace catdb::storage {
+
+BitPackedVector::BitPackedVector(uint64_t size, uint32_t width)
+    : size_(size),
+      width_(width),
+      mask_(width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1) {
+  CATDB_CHECK(width >= 1 && width <= 32);
+  const uint64_t total_bits = size * width;
+  words_.assign((total_bits + 63) / 64 + 1, 0);  // +1: safe two-word reads
+}
+
+void BitPackedVector::Set(uint64_t i, uint32_t code) {
+  CATDB_DCHECK(i < size_);
+  CATDB_DCHECK((code & ~mask_) == 0);
+  const uint64_t bit = i * width_;
+  const uint64_t word = bit / 64;
+  const uint32_t offset = static_cast<uint32_t>(bit % 64);
+  words_[word] &= ~(mask_ << offset);
+  words_[word] |= static_cast<uint64_t>(code) << offset;
+  if (offset + width_ > 64) {
+    const uint32_t spill = offset + width_ - 64;
+    const uint64_t high_mask = (uint64_t{1} << spill) - 1;
+    words_[word + 1] &= ~high_mask;
+    words_[word + 1] |= static_cast<uint64_t>(code) >> (width_ - spill);
+  }
+}
+
+uint32_t BitPackedVector::Get(uint64_t i) const {
+  CATDB_DCHECK(i < size_);
+  const uint64_t bit = i * width_;
+  const uint64_t word = bit / 64;
+  const uint32_t offset = static_cast<uint32_t>(bit % 64);
+  uint64_t value = words_[word] >> offset;
+  if (offset + width_ > 64) {
+    value |= words_[word + 1] << (64 - offset);
+  }
+  return static_cast<uint32_t>(value & mask_);
+}
+
+void BitPackedVector::AttachSim(sim::Machine* machine) {
+  CATDB_CHECK(machine != nullptr);
+  CATDB_CHECK(!attached());
+  CATDB_CHECK(size_ > 0);
+  vbase_ = machine->AllocVirtual(SizeBytes());
+}
+
+}  // namespace catdb::storage

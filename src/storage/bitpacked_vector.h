@@ -1,0 +1,65 @@
+#ifndef CATDB_STORAGE_BITPACKED_VECTOR_H_
+#define CATDB_STORAGE_BITPACKED_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/machine.h"
+#include "simcache/cache_geometry.h"
+
+namespace catdb::storage {
+
+/// A fixed-width bit-packed code vector: n codes of `width` bits each,
+/// densely packed into 64-bit words. This is the compressed column format
+/// the paper's scan operates on (10^6 distinct values -> 20-bit codes).
+class BitPackedVector {
+ public:
+  BitPackedVector() = default;
+
+  /// Creates a vector of `size` zero codes of `width` bits (1..32).
+  BitPackedVector(uint64_t size, uint32_t width);
+
+  uint64_t size() const { return size_; }
+  uint32_t width() const { return width_; }
+  uint64_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Sets code `i` (host-side; used while building columns).
+  void Set(uint64_t i, uint32_t code);
+
+  /// Reads code `i` (host-side).
+  uint32_t Get(uint64_t i) const;
+
+  /// Simulated address of the byte containing the first bit of code `i`.
+  /// Scans use this to charge one read per touched cache line.
+  uint64_t SimAddrOf(uint64_t i) const {
+    CATDB_DCHECK(attached());
+    return vbase_ + (i * width_) / 8;
+  }
+
+  /// Simulated cache line index of code `i` relative to the vector start.
+  uint64_t LineIndexOf(uint64_t i) const {
+    return (i * width_) / (8 * simcache::kLineSize);
+  }
+
+  /// Random simulated read of code `i` (point accesses, e.g. projection).
+  uint32_t GetSim(sim::ExecContext& ctx, uint64_t i) const {
+    ctx.Read(SimAddrOf(i));
+    return Get(i);
+  }
+
+  void AttachSim(sim::Machine* machine);
+  bool attached() const { return vbase_ != 0; }
+  uint64_t vbase() const { return vbase_; }
+
+ private:
+  uint64_t size_ = 0;
+  uint32_t width_ = 0;
+  uint64_t mask_ = 0;
+  std::vector<uint64_t> words_;
+  uint64_t vbase_ = 0;
+};
+
+}  // namespace catdb::storage
+
+#endif  // CATDB_STORAGE_BITPACKED_VECTOR_H_

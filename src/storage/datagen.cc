@@ -1,0 +1,102 @@
+#include "storage/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace catdb::storage {
+
+std::vector<int32_t> UniformWithExactDistinct(uint64_t n, uint32_t distinct,
+                                              uint64_t seed) {
+  CATDB_CHECK(distinct >= 1);
+  CATDB_CHECK(n >= distinct);
+  Rng rng(seed);
+  std::vector<int32_t> values(n);
+  // Guarantee every value appears at least once, then shuffle those slots
+  // into the stream by drawing the remainder uniformly.
+  for (uint32_t v = 0; v < distinct; ++v) {
+    values[v] = static_cast<int32_t>(v + 1);
+  }
+  for (uint64_t i = distinct; i < n; ++i) {
+    values[i] = static_cast<int32_t>(rng.Uniform(distinct) + 1);
+  }
+  // Fisher-Yates over the first `distinct` guaranteed slots' positions so
+  // the mandatory occurrences are spread over the column.
+  for (uint32_t i = 0; i < distinct; ++i) {
+    const uint64_t j = i + rng.Uniform(n - i);
+    std::swap(values[i], values[j]);
+  }
+  return values;
+}
+
+DictColumn MakeUniformColumn(uint64_t n, uint32_t distinct, uint64_t seed) {
+  return DictColumn::Encode(UniformWithExactDistinct(n, distinct, seed));
+}
+
+DictColumn MakeUniformDomainColumn(uint64_t n, uint32_t domain_size,
+                                   uint64_t seed) {
+  CATDB_CHECK(domain_size >= 1);
+  std::vector<int32_t> domain(domain_size);
+  std::iota(domain.begin(), domain.end(), 1);
+  Rng rng(seed);
+  std::vector<uint32_t> codes(n);
+  for (auto& c : codes) c = static_cast<uint32_t>(rng.Uniform(domain_size));
+  return DictColumn::FromDictAndCodes(
+      Dictionary::FromSortedDistinct(std::move(domain)), codes);
+}
+
+RawColumn MakePrimaryKeyColumn(uint32_t n) {
+  std::vector<int32_t> keys(n);
+  std::iota(keys.begin(), keys.end(), 1);
+  return RawColumn(std::move(keys));
+}
+
+RawColumn MakeForeignKeyColumn(uint64_t n, uint32_t key_count,
+                               uint64_t seed) {
+  CATDB_CHECK(key_count >= 1);
+  Rng rng(seed);
+  std::vector<int32_t> keys(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<int32_t>(rng.Uniform(key_count) + 1);
+  }
+  return RawColumn(std::move(keys));
+}
+
+std::vector<int32_t> ZipfInts(uint64_t n, uint32_t domain, double s,
+                              uint64_t seed) {
+  CATDB_CHECK(domain >= 1);
+  CATDB_CHECK(s >= 0);
+  // Inverse-CDF sampling over the cumulative Zipf weights.
+  std::vector<double> cdf(domain);
+  double total = 0;
+  for (uint32_t k = 0; k < domain; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = total;
+  }
+  Rng rng(seed);
+  std::vector<int32_t> values(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double u = rng.NextDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    values[i] = static_cast<int32_t>(it - cdf.begin()) + 1;
+  }
+  return values;
+}
+
+DictColumn MakeZipfDomainColumn(uint64_t n, uint32_t domain, double s,
+                                uint64_t seed) {
+  std::vector<int32_t> domain_values(domain);
+  std::iota(domain_values.begin(), domain_values.end(), 1);
+  const std::vector<int32_t> values = ZipfInts(n, domain, s, seed);
+  std::vector<uint32_t> codes(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    codes[i] = static_cast<uint32_t>(values[i] - 1);
+  }
+  return DictColumn::FromDictAndCodes(
+      Dictionary::FromSortedDistinct(std::move(domain_values)), codes);
+}
+
+}  // namespace catdb::storage

@@ -1,0 +1,57 @@
+#ifndef CATDB_STORAGE_DATAGEN_H_
+#define CATDB_STORAGE_DATAGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/dict_column.h"
+#include "storage/raw_column.h"
+
+namespace catdb::storage {
+
+/// Deterministic data generators for the paper's workloads (Section III-B).
+/// All generators take an explicit seed so every experiment is reproducible.
+
+/// `n` uniform random integers in [1, distinct]. The first `distinct` rows
+/// enumerate every value once, guaranteeing the dictionary has exactly
+/// `distinct` entries (and therefore the exact dictionary size the
+/// experiment calls for). Requires n >= distinct.
+std::vector<int32_t> UniformWithExactDistinct(uint64_t n, uint32_t distinct,
+                                              uint64_t seed);
+
+/// Encodes UniformWithExactDistinct as a dictionary column.
+DictColumn MakeUniformColumn(uint64_t n, uint32_t distinct, uint64_t seed);
+
+/// Builds a column whose dictionary is exactly the domain 1..domain_size
+/// (codes 0..domain_size-1) with `n` codes drawn uniformly over the domain.
+/// Unlike MakeUniformColumn this permits domain_size > n: the dictionary
+/// array then contains values no row references — which is what the paper's
+/// "400 MiB dictionary" configuration needs at simulation scale, where the
+/// dictionary exceeds the row count. Decoding accesses are uniform over the
+/// whole dictionary array either way.
+DictColumn MakeUniformDomainColumn(uint64_t n, uint32_t domain_size,
+                                   uint64_t seed);
+
+/// Primary-key column: values 1..n in insertion order (dense, ordered keys,
+/// as produced by sequence-generated surrogate keys).
+RawColumn MakePrimaryKeyColumn(uint32_t n);
+
+/// Foreign-key column: `n` uniform draws from the key domain [1, key_count].
+RawColumn MakeForeignKeyColumn(uint64_t n, uint32_t key_count, uint64_t seed);
+
+/// `n` Zipf-distributed integers over [1, domain] with skew parameter `s`
+/// (s = 0 is uniform; s ~ 1 is classic Zipf). Section III-B varies the data
+/// distribution to study its impact on operator cache usage: skewed group
+/// keys concentrate hash-table traffic on few hot entries, shrinking the
+/// effective working set.
+std::vector<int32_t> ZipfInts(uint64_t n, uint32_t domain, double s,
+                              uint64_t seed);
+
+/// Column whose dictionary is the full domain 1..domain with Zipf-drawn
+/// codes.
+DictColumn MakeZipfDomainColumn(uint64_t n, uint32_t domain, double s,
+                                uint64_t seed);
+
+}  // namespace catdb::storage
+
+#endif  // CATDB_STORAGE_DATAGEN_H_

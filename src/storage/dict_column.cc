@@ -1,0 +1,42 @@
+#include "storage/dict_column.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace catdb::storage {
+
+DictColumn DictColumn::Encode(const std::vector<int32_t>& values) {
+  CATDB_CHECK(!values.empty());
+  DictColumn col;
+  col.dict_ = Dictionary::FromValues(values);
+  const uint32_t width = BitsFor(col.dict_.size());
+  col.codes_ = BitPackedVector(values.size(), width);
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    const int64_t code = col.dict_.CodeOf(values[i]);
+    CATDB_CHECK(code >= 0);
+    col.codes_.Set(i, static_cast<uint32_t>(code));
+  }
+  return col;
+}
+
+DictColumn DictColumn::FromDictAndCodes(Dictionary dict,
+                                        const std::vector<uint32_t>& codes) {
+  CATDB_CHECK(!codes.empty());
+  CATDB_CHECK(dict.size() >= 1);
+  DictColumn col;
+  col.dict_ = std::move(dict);
+  const uint32_t width = BitsFor(col.dict_.size());
+  col.codes_ = BitPackedVector(codes.size(), width);
+  for (uint64_t i = 0; i < codes.size(); ++i) {
+    CATDB_DCHECK(codes[i] < col.dict_.size());
+    col.codes_.Set(i, codes[i]);
+  }
+  return col;
+}
+
+void DictColumn::AttachSim(sim::Machine* machine) {
+  dict_.AttachSim(machine);
+  codes_.AttachSim(machine);
+}
+
+}  // namespace catdb::storage

@@ -1,0 +1,41 @@
+#include "storage/dictionary.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace catdb::storage {
+
+Dictionary Dictionary::FromValues(const std::vector<int32_t>& values) {
+  std::vector<int32_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return FromSortedDistinct(std::move(sorted));
+}
+
+Dictionary Dictionary::FromSortedDistinct(std::vector<int32_t> sorted) {
+  CATDB_CHECK(std::is_sorted(sorted.begin(), sorted.end()));
+  Dictionary dict;
+  dict.values_ = std::move(sorted);
+  return dict;
+}
+
+int64_t Dictionary::CodeOf(int32_t value) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  if (it == values_.end() || *it != value) return -1;
+  return it - values_.begin();
+}
+
+uint32_t Dictionary::LowerBoundCode(int32_t value) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  return static_cast<uint32_t>(it - values_.begin());
+}
+
+void Dictionary::AttachSim(sim::Machine* machine) {
+  CATDB_CHECK(machine != nullptr);
+  CATDB_CHECK(!attached());
+  CATDB_CHECK(!values_.empty());
+  vbase_ = machine->AllocVirtual(SizeBytes());
+}
+
+}  // namespace catdb::storage

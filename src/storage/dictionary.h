@@ -1,0 +1,62 @@
+#ifndef CATDB_STORAGE_DICTIONARY_H_
+#define CATDB_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace catdb::storage {
+
+/// An order-preserving dictionary mapping a sorted set of distinct int32
+/// domain values to dense codes 0..n-1 (Section II of the paper).
+///
+/// Order preservation is what lets the column scan evaluate range predicates
+/// directly on compressed codes without touching the dictionary — the reason
+/// the scan has no cache-resident working set. Decoding (e.g. during
+/// aggregation or projection) *does* access the dictionary array, which is
+/// the cache-sensitive random-access pattern the paper studies.
+class Dictionary {
+ public:
+  /// Builds a dictionary from arbitrary values (sorted + deduplicated).
+  static Dictionary FromValues(const std::vector<int32_t>& values);
+
+  /// Builds directly from an already sorted, distinct value list.
+  static Dictionary FromSortedDistinct(std::vector<int32_t> sorted);
+
+  Dictionary() = default;
+
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+  uint64_t SizeBytes() const { return values_.size() * sizeof(int32_t); }
+
+  /// Decodes without simulation cost (data generation, result checking).
+  int32_t Decode(uint32_t code) const { return values_[code]; }
+
+  /// Decodes through the simulated memory hierarchy: one random read into
+  /// the dictionary array.
+  int32_t DecodeSim(sim::ExecContext& ctx, uint32_t code) const {
+    ctx.Read(vbase_ + static_cast<uint64_t>(code) * sizeof(int32_t));
+    return values_[code];
+  }
+
+  /// Exact code of `value`, or -1 if absent (host-side binary search).
+  int64_t CodeOf(int32_t value) const;
+
+  /// Smallest code whose value is >= `value` (== size() if none). Used to
+  /// translate range predicates onto codes.
+  uint32_t LowerBoundCode(int32_t value) const;
+
+  /// Registers the dictionary's simulated address range with the machine.
+  /// Must be called before any *Sim accessor.
+  void AttachSim(sim::Machine* machine);
+  bool attached() const { return vbase_ != 0; }
+  uint64_t vbase() const { return vbase_; }
+
+ private:
+  std::vector<int32_t> values_;
+  uint64_t vbase_ = 0;
+};
+
+}  // namespace catdb::storage
+
+#endif  // CATDB_STORAGE_DICTIONARY_H_

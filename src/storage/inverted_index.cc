@@ -1,0 +1,58 @@
+#include "storage/inverted_index.h"
+
+#include "simcache/cache_geometry.h"
+
+namespace catdb::storage {
+
+InvertedIndex InvertedIndex::Build(const DictColumn& column) {
+  InvertedIndex index;
+  const uint32_t num_codes = column.dict().size();
+  index.offsets_.assign(num_codes + 1, 0);
+
+  // Counting pass.
+  for (uint64_t row = 0; row < column.size(); ++row) {
+    index.offsets_[column.GetCode(row) + 1] += 1;
+  }
+  for (uint32_t c = 0; c < num_codes; ++c) {
+    index.offsets_[c + 1] += index.offsets_[c];
+  }
+
+  // Fill pass.
+  index.rows_.resize(column.size());
+  std::vector<uint32_t> cursor(index.offsets_.begin(),
+                               index.offsets_.end() - 1);
+  for (uint64_t row = 0; row < column.size(); ++row) {
+    const uint32_t code = column.GetCode(row);
+    index.rows_[cursor[code]++] = static_cast<uint32_t>(row);
+  }
+  return index;
+}
+
+std::pair<uint32_t, uint32_t> InvertedIndex::LookupSim(
+    sim::ExecContext& ctx, uint32_t code) const {
+  CATDB_DCHECK(attached());
+  // Offset array: the [code] and [code+1] entries are adjacent; one line
+  // covers both in almost every case, so charge a single read.
+  ctx.Read(offsets_vbase_ + static_cast<uint64_t>(code) * sizeof(uint32_t));
+  const auto range = Lookup(code);
+  if (range.second > range.first) {
+    // Posting list: one read per touched cache line.
+    const uint64_t first = rows_vbase_ + uint64_t{range.first} * 4;
+    const uint64_t last = rows_vbase_ + uint64_t{range.second} * 4 - 1;
+    for (uint64_t addr = first; addr <= last; addr += simcache::kLineSize) {
+      ctx.Read(addr);
+    }
+  }
+  return range;
+}
+
+void InvertedIndex::AttachSim(sim::Machine* machine) {
+  CATDB_CHECK(machine != nullptr);
+  CATDB_CHECK(!attached());
+  CATDB_CHECK(!offsets_.empty());
+  offsets_vbase_ = machine->AllocVirtual(offsets_.size() * sizeof(uint32_t));
+  rows_vbase_ = machine->AllocVirtual(
+      rows_.empty() ? 64 : rows_.size() * sizeof(uint32_t));
+}
+
+}  // namespace catdb::storage

@@ -1,0 +1,69 @@
+#ifndef CATDB_STORAGE_INVERTED_INDEX_H_
+#define CATDB_STORAGE_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/machine.h"
+#include "storage/dict_column.h"
+
+namespace catdb::storage {
+
+/// An inverted index from a column's dictionary codes to the row ids holding
+/// each code. SAP HANA consults such indices on the primary-key columns when
+/// executing OLTP point queries (Section VI-E: "the engine accesses the
+/// inverted index of five columns that are part of a primary key").
+///
+/// Layout: a CSR-style pair of arrays — `offsets` (one entry per code, plus
+/// a sentinel) and `rows` (row ids grouped by code).
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Builds the index over a column's codes.
+  static InvertedIndex Build(const DictColumn& column);
+
+  uint32_t num_codes() const {
+    return offsets_.empty() ? 0 : static_cast<uint32_t>(offsets_.size() - 1);
+  }
+  uint64_t SizeBytes() const {
+    return offsets_.size() * sizeof(uint32_t) + rows_.size() * sizeof(uint32_t);
+  }
+
+  /// Host-side lookup: rows holding `code`, as [begin, end) into row_data().
+  std::pair<uint32_t, uint32_t> Lookup(uint32_t code) const {
+    CATDB_DCHECK(code + 1 < offsets_.size());
+    return {offsets_[code], offsets_[code + 1]};
+  }
+  const std::vector<uint32_t>& row_data() const { return rows_; }
+
+  /// Simulated lookup: charges the offset-array read plus one read per
+  /// cache line of the posting list, and returns the posting range.
+  std::pair<uint32_t, uint32_t> LookupSim(sim::ExecContext& ctx,
+                                          uint32_t code) const;
+
+  /// Simulated offsets-only probe (one random read): returns the posting
+  /// range without touching the posting list itself. Point queries use this
+  /// on all but the most selective index — the candidate set is already
+  /// tiny, so only the range bounds are needed for the intersection.
+  std::pair<uint32_t, uint32_t> ProbeOffsetsSim(sim::ExecContext& ctx,
+                                                uint32_t code) const {
+    CATDB_DCHECK(attached());
+    ctx.Read(offsets_vbase_ + static_cast<uint64_t>(code) * sizeof(uint32_t));
+    return Lookup(code);
+  }
+
+  void AttachSim(sim::Machine* machine);
+  bool attached() const { return offsets_vbase_ != 0; }
+
+ private:
+  std::vector<uint32_t> offsets_;
+  std::vector<uint32_t> rows_;
+  uint64_t offsets_vbase_ = 0;
+  uint64_t rows_vbase_ = 0;
+};
+
+}  // namespace catdb::storage
+
+#endif  // CATDB_STORAGE_INVERTED_INDEX_H_

@@ -1,0 +1,54 @@
+#ifndef CATDB_STORAGE_RAW_COLUMN_H_
+#define CATDB_STORAGE_RAW_COLUMN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/machine.h"
+
+namespace catdb::storage {
+
+/// An uncompressed int32 column. Used where the paper's algorithms work on
+/// plain key arrays (the foreign-key join reads key values, not codes).
+class RawColumn {
+ public:
+  RawColumn() = default;
+  explicit RawColumn(std::vector<int32_t> values)
+      : values_(std::move(values)) {}
+
+  uint64_t size() const { return values_.size(); }
+  uint64_t SizeBytes() const { return values_.size() * sizeof(int32_t); }
+
+  int32_t Get(uint64_t i) const { return values_[i]; }
+
+  /// Simulated address of element `i`.
+  uint64_t SimAddrOf(uint64_t i) const {
+    CATDB_DCHECK(attached());
+    return vbase_ + i * sizeof(int32_t);
+  }
+
+  /// Random simulated read of element `i`.
+  int32_t GetSim(sim::ExecContext& ctx, uint64_t i) const {
+    ctx.Read(SimAddrOf(i));
+    return Get(i);
+  }
+
+  void AttachSim(sim::Machine* machine) {
+    CATDB_CHECK(machine != nullptr);
+    CATDB_CHECK(!attached());
+    CATDB_CHECK(!values_.empty());
+    vbase_ = machine->AllocVirtual(SizeBytes());
+  }
+  bool attached() const { return vbase_ != 0; }
+  uint64_t vbase() const { return vbase_; }
+
+ private:
+  std::vector<int32_t> values_;
+  uint64_t vbase_ = 0;
+};
+
+}  // namespace catdb::storage
+
+#endif  // CATDB_STORAGE_RAW_COLUMN_H_

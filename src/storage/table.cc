@@ -1,0 +1,42 @@
+#include "storage/table.h"
+
+namespace catdb::storage {
+
+Status Table::AddColumn(const std::string& name, DictColumn column) {
+  if (columns_.count(name) != 0) {
+    return Status::AlreadyExists("column exists: " + name);
+  }
+  if (!columns_.empty() && column.size() != num_rows_) {
+    return Status::InvalidArgument("column row count mismatch for " + name);
+  }
+  num_rows_ = column.size();
+  columns_.emplace(name, std::move(column));
+  column_order_.push_back(name);
+  return Status::OK();
+}
+
+const DictColumn* Table::GetColumn(const std::string& name) const {
+  auto it = columns_.find(name);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+DictColumn* Table::GetMutableColumn(const std::string& name) {
+  auto it = columns_.find(name);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+void Table::AttachSim(sim::Machine* machine) {
+  for (auto& [name, col] : columns_) {
+    if (!col.attached()) col.AttachSim(machine);
+  }
+}
+
+uint64_t Table::SizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, col] : columns_) {
+    total += col.dict().SizeBytes() + col.codes().SizeBytes();
+  }
+  return total;
+}
+
+}  // namespace catdb::storage

@@ -1,0 +1,55 @@
+#ifndef CATDB_STORAGE_TABLE_H_
+#define CATDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/dict_column.h"
+
+namespace catdb::storage {
+
+/// A named collection of equally sized dictionary-encoded columns.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Adds a column; all columns must have the same row count.
+  Status AddColumn(const std::string& name, DictColumn column);
+
+  /// Returns the column or nullptr.
+  const DictColumn* GetColumn(const std::string& name) const;
+  DictColumn* GetMutableColumn(const std::string& name);
+
+  /// Column names in insertion order.
+  const std::vector<std::string>& column_names() const {
+    return column_order_;
+  }
+
+  /// Attaches every column to the machine's simulated address space.
+  void AttachSim(sim::Machine* machine);
+
+  /// Total simulated footprint (dictionaries + code vectors).
+  uint64_t SizeBytes() const;
+
+ private:
+  std::string name_;
+  uint64_t num_rows_ = 0;
+  std::map<std::string, DictColumn> columns_;
+  std::vector<std::string> column_order_;
+};
+
+}  // namespace catdb::storage
+
+#endif  // CATDB_STORAGE_TABLE_H_

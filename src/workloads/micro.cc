@@ -1,0 +1,53 @@
+#include "workloads/micro.h"
+
+#include "common/check.h"
+
+namespace catdb::workloads {
+
+uint32_t DictEntriesForRatio(const sim::Machine& machine, double ratio) {
+  const double llc_bytes = static_cast<double>(
+      machine.config().hierarchy.llc.CapacityBytes());
+  const double entries = ratio * llc_bytes / sizeof(int32_t);
+  CATDB_CHECK(entries >= 1);
+  return static_cast<uint32_t>(entries);
+}
+
+uint32_t PkCountForRatio(const sim::Machine& machine, double ratio) {
+  const double llc_bytes = static_cast<double>(
+      machine.config().hierarchy.llc.CapacityBytes());
+  const double keys = ratio * llc_bytes * 8;  // one bit per key
+  CATDB_CHECK(keys >= 1);
+  return static_cast<uint32_t>(keys);
+}
+
+ScanDataset MakeScanDataset(sim::Machine* machine, uint64_t rows,
+                            uint32_t distinct, uint64_t seed) {
+  ScanDataset data;
+  data.column = storage::MakeUniformDomainColumn(rows, distinct, seed);
+  data.column.AttachSim(machine);
+  return data;
+}
+
+AggDataset MakeAggDataset(sim::Machine* machine, uint64_t rows,
+                          uint32_t v_distinct, uint32_t groups,
+                          uint64_t seed) {
+  AggDataset data;
+  data.v = storage::MakeUniformDomainColumn(rows, v_distinct, seed);
+  data.g = storage::MakeUniformDomainColumn(rows, groups, seed + 1);
+  data.v.AttachSim(machine);
+  data.g.AttachSim(machine);
+  return data;
+}
+
+JoinDataset MakeJoinDataset(sim::Machine* machine, uint32_t key_count,
+                            uint64_t fk_rows, uint64_t seed) {
+  JoinDataset data;
+  data.pk = storage::MakePrimaryKeyColumn(key_count);
+  data.fk = storage::MakeForeignKeyColumn(fk_rows, key_count, seed);
+  data.key_count = key_count;
+  data.pk.AttachSim(machine);
+  data.fk.AttachSim(machine);
+  return data;
+}
+
+}  // namespace catdb::workloads

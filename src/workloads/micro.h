@@ -1,0 +1,91 @@
+#ifndef CATDB_WORKLOADS_MICRO_H_
+#define CATDB_WORKLOADS_MICRO_H_
+
+#include <cstdint>
+
+#include "sim/machine.h"
+#include "storage/datagen.h"
+#include "storage/dict_column.h"
+#include "storage/raw_column.h"
+
+namespace catdb::workloads {
+
+/// Scaled micro-benchmark datasets for the paper's Queries 1-3
+/// (Section III-B). All sizes are derived from *ratios to the simulated LLC*
+/// so the experiments transfer from the paper's 55 MiB Xeon LLC to the
+/// simulator's scaled LLC (see DESIGN.md, "Scaling rule").
+
+/// Paper dictionary scenarios, expressed as dictionary-size : LLC ratios
+/// (4, 40 and 400 MiB on the 55 MiB LLC of the paper's machine).
+inline constexpr double kDictRatioSmall = 4.0 / 55.0;    // "4 MiB"
+inline constexpr double kDictRatioMedium = 40.0 / 55.0;  // "40 MiB"
+inline constexpr double kDictRatioLarge = 400.0 / 55.0;  // "400 MiB"
+
+/// Paper group-size axis for Query 2 (10^2..10^6 groups).
+inline constexpr uint32_t kGroupSizes[] = {100, 1000, 10000, 100000, 1000000};
+
+/// Maps a paper group count onto the simulation scale. The paper's regimes
+/// are defined by the ratio of total hash-table footprint (thread-local
+/// tables + global table) to the LLC: 10^5 groups ~ the 55 MiB LLC. With
+/// our 8 B entries, ~1.5x slot slack, 4 workers + 1 global table, the same
+/// footprint:LLC ratio on the scaled 2.56 MiB LLC is reached at one third
+/// of the paper's group count (10^5 / 3 ~ 2.6 MiB of tables).
+inline constexpr uint32_t kGroupScaleDivisor = 3;
+inline constexpr uint32_t ScaledGroupCount(uint32_t paper_groups) {
+  const uint32_t scaled = paper_groups / kGroupScaleDivisor;
+  return scaled < 4 ? 4 : scaled;
+}
+
+/// Paper primary-key-count axis for Query 3 (10^6..10^9 keys on the 55 MiB
+/// LLC), expressed as bit-vector-size : LLC ratios.
+inline constexpr double kPkRatios[] = {
+    0.125 / 55.0,  // "10^6 keys": bit vector ~fits the L2
+    1.25 / 55.0,   // "10^7 keys": small fraction of the LLC
+    12.5 / 55.0,   // "10^8 keys": comparable to the LLC -> cache-sensitive
+    125.0 / 55.0,  // "10^9 keys": far exceeds the LLC
+};
+inline constexpr const char* kPkLabels[] = {"1e6", "1e7", "1e8", "1e9"};
+
+/// Distinct-value count whose 4-byte-entry dictionary is `ratio` x the LLC.
+uint32_t DictEntriesForRatio(const sim::Machine& machine, double ratio);
+
+/// Primary-key count whose bit vector is `ratio` x the LLC.
+uint32_t PkCountForRatio(const sim::Machine& machine, double ratio);
+
+/// Dataset for Query 1: one packed integer column (paper: 10^9 rows, 10^6
+/// distinct values -> 20-bit codes).
+struct ScanDataset {
+  storage::DictColumn column;
+};
+ScanDataset MakeScanDataset(sim::Machine* machine, uint64_t rows,
+                            uint32_t distinct, uint64_t seed);
+
+/// Dataset for Query 2: aggregated column V (dictionary knob) and grouping
+/// column G (group-count knob).
+struct AggDataset {
+  storage::DictColumn v;
+  storage::DictColumn g;
+};
+AggDataset MakeAggDataset(sim::Machine* machine, uint64_t rows,
+                          uint32_t v_distinct, uint32_t groups,
+                          uint64_t seed);
+
+/// Dataset for Query 3: dense ordered primary keys 1..key_count and a
+/// uniformly drawn foreign-key column.
+struct JoinDataset {
+  storage::RawColumn pk;
+  storage::RawColumn fk;
+  uint32_t key_count = 0;
+};
+JoinDataset MakeJoinDataset(sim::Machine* machine, uint32_t key_count,
+                            uint64_t fk_rows, uint64_t seed);
+
+/// Default scaled row counts (chosen so one query iteration is large enough
+/// to be cache-realistic yet cheap enough to simulate repeatedly).
+inline constexpr uint64_t kDefaultScanRows = 4u << 20;   // ~4.2 M
+inline constexpr uint64_t kDefaultAggRows = 1u << 20;    // ~1.0 M
+inline constexpr uint64_t kDefaultProbeRows = 2u << 20;  // ~2.1 M
+
+}  // namespace catdb::workloads
+
+#endif  // CATDB_WORKLOADS_MICRO_H_

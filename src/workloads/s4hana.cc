@@ -1,0 +1,79 @@
+#include "workloads/s4hana.h"
+
+#include "common/check.h"
+#include "storage/datagen.h"
+#include "workloads/micro.h"
+
+namespace catdb::workloads {
+
+std::unique_ptr<AcdocaData> MakeAcdocaData(sim::Machine* machine,
+                                           const AcdocaConfig& config) {
+  auto data = std::make_unique<AcdocaData>();
+  data->config = config;
+  const uint64_t R = config.rows;
+  uint64_t seed = config.seed;
+
+  // The five primary-key columns (company code, fiscal year, document
+  // number, line item, ledger) whose inverted indices the OLTP query probes.
+  struct KeySpec {
+    const char* name;
+    uint32_t distinct;
+  };
+  const KeySpec keys[] = {
+      {"RBUKRS", 50},                         // company code
+      {"GJAHR", 8},                           // fiscal year
+      {"BELNR", static_cast<uint32_t>(R / 8)},  // document number
+      {"DOCLN", 999},                         // line item
+      {"RLDNR", 4},                           // ledger
+  };
+  for (const KeySpec& k : keys) {
+    Status st = data->table.AddColumn(
+        k.name, storage::MakeUniformDomainColumn(R, k.distinct, ++seed));
+    CATDB_CHECK(st.ok());
+    data->key_columns.push_back(k.name);
+  }
+
+  // 13 payload columns with large dictionaries (the "biggest dictionaries
+  // of the table" projected by the modified query of Fig. 12a).
+  const uint32_t big_distinct =
+      DictEntriesForRatio(*machine, config.big_dict_llc_ratio);
+  for (int i = 1; i <= 13; ++i) {
+    const std::string name = "AMT" + std::to_string(i);
+    Status st = data->table.AddColumn(
+        name, storage::MakeUniformDomainColumn(R, big_distinct, ++seed));
+    CATDB_CHECK(st.ok());
+    data->big_columns.push_back(name);
+  }
+
+  // 6 payload columns with small dictionaries (the unmodified query's
+  // projection, Fig. 12b).
+  for (int i = 1; i <= 6; ++i) {
+    const std::string name = "CODE" + std::to_string(i);
+    Status st = data->table.AddColumn(
+        name, storage::MakeUniformDomainColumn(
+                  R, config.small_dict_entries, ++seed));
+    CATDB_CHECK(st.ok());
+    data->small_columns.push_back(name);
+  }
+
+  data->table.AttachSim(machine);
+  return data;
+}
+
+std::unique_ptr<engine::OltpQuery> MakeOltpQuery(const AcdocaData& data,
+                                                 bool big_projection,
+                                                 uint32_t num_columns,
+                                                 uint64_t seed) {
+  const auto& pool =
+      big_projection ? data.big_columns : data.small_columns;
+  CATDB_CHECK(num_columns >= 1 && num_columns <= pool.size());
+  std::vector<std::string> projection(pool.begin(),
+                                      pool.begin() + num_columns);
+  // Batch size: enough point queries per job for steady-state behaviour,
+  // small enough to interleave finely with a co-running scan.
+  constexpr uint32_t kBatch = 64;
+  return std::make_unique<engine::OltpQuery>(
+      &data.table, data.key_columns, std::move(projection), kBatch, seed);
+}
+
+}  // namespace catdb::workloads

@@ -1,0 +1,94 @@
+#include "workloads/tpch_gen.h"
+
+#include "storage/datagen.h"
+#include "workloads/micro.h"
+
+namespace catdb::workloads {
+
+std::unique_ptr<TpchData> MakeTpchData(sim::Machine* machine,
+                                       const TpchConfig& config) {
+  auto data = std::make_unique<TpchData>();
+  data->config = config;
+  const uint64_t L = config.lineitem_rows;
+  const uint64_t O = config.orders_rows;
+  uint64_t seed = config.seed;
+
+  // L_EXTENDEDPRICE: the paper measures its dictionary at ~29 MiB on SF 100,
+  // i.e. ~0.53 x the 55 MiB LLC. Preserve that ratio.
+  const uint32_t price_distinct =
+      DictEntriesForRatio(*machine, 29.0 / 55.0);
+  data->l_extendedprice =
+      storage::MakeUniformDomainColumn(L, price_distinct, ++seed);
+  data->l_quantity = storage::MakeUniformDomainColumn(L, 50, ++seed);
+  data->l_discount = storage::MakeUniformDomainColumn(L, 11, ++seed);
+  data->l_tax = storage::MakeUniformDomainColumn(L, 9, ++seed);
+  data->l_returnflag = storage::MakeUniformDomainColumn(L, 3, ++seed);
+  data->l_linestatus = storage::MakeUniformDomainColumn(L, 2, ++seed);
+  data->l_shipdate = storage::MakeUniformDomainColumn(L, 2526, ++seed);
+  data->l_shipmode = storage::MakeUniformDomainColumn(L, 7, ++seed);
+  data->l_orderkey = storage::MakeForeignKeyColumn(
+      L, static_cast<uint32_t>(O), ++seed);
+  data->l_partkey =
+      storage::MakeForeignKeyColumn(L, config.part_count, ++seed);
+  data->l_suppkey =
+      storage::MakeForeignKeyColumn(L, config.supplier_count, ++seed);
+
+  data->o_orderdate = storage::MakeUniformDomainColumn(O, 2406, ++seed);
+  data->o_orderpriority = storage::MakeUniformDomainColumn(O, 5, ++seed);
+  // O_TOTALPRICE: mid-size dictionary (~5 MiB at SF 100 ~ 0.09 x LLC).
+  data->o_totalprice = storage::MakeUniformDomainColumn(
+      O, DictEntriesForRatio(*machine, 5.0 / 55.0), ++seed);
+  data->o_orderkey_pk =
+      storage::MakePrimaryKeyColumn(static_cast<uint32_t>(O));
+  data->o_custkey =
+      storage::MakeForeignKeyColumn(O, config.customer_count, ++seed);
+
+  data->p_type = storage::MakeUniformDomainColumn(config.part_count, 150,
+                                                  ++seed);
+  data->p_brand = storage::MakeUniformDomainColumn(config.part_count, 25,
+                                                   ++seed);
+  data->s_nation = storage::MakeUniformDomainColumn(config.supplier_count,
+                                                    25, ++seed);
+  data->c_nation = storage::MakeUniformDomainColumn(config.customer_count,
+                                                    25, ++seed);
+  data->c_mktsegment = storage::MakeUniformDomainColumn(
+      config.customer_count, 5, ++seed);
+  data->p_partkey_pk = storage::MakePrimaryKeyColumn(config.part_count);
+  data->s_suppkey_pk = storage::MakePrimaryKeyColumn(config.supplier_count);
+  data->c_custkey_pk = storage::MakePrimaryKeyColumn(config.customer_count);
+
+  data->l_suppnation = storage::MakeUniformDomainColumn(L, 25, ++seed);
+  data->l_orderyear = storage::MakeUniformDomainColumn(L, 7, ++seed);
+
+  // Attach everything to the simulated address space.
+  data->l_extendedprice.AttachSim(machine);
+  data->l_quantity.AttachSim(machine);
+  data->l_discount.AttachSim(machine);
+  data->l_tax.AttachSim(machine);
+  data->l_returnflag.AttachSim(machine);
+  data->l_linestatus.AttachSim(machine);
+  data->l_shipdate.AttachSim(machine);
+  data->l_shipmode.AttachSim(machine);
+  data->l_orderkey.AttachSim(machine);
+  data->l_partkey.AttachSim(machine);
+  data->l_suppkey.AttachSim(machine);
+  data->o_orderdate.AttachSim(machine);
+  data->o_orderpriority.AttachSim(machine);
+  data->o_totalprice.AttachSim(machine);
+  data->o_orderkey_pk.AttachSim(machine);
+  data->o_custkey.AttachSim(machine);
+  data->p_type.AttachSim(machine);
+  data->p_brand.AttachSim(machine);
+  data->s_nation.AttachSim(machine);
+  data->c_nation.AttachSim(machine);
+  data->c_mktsegment.AttachSim(machine);
+  data->p_partkey_pk.AttachSim(machine);
+  data->s_suppkey_pk.AttachSim(machine);
+  data->c_custkey_pk.AttachSim(machine);
+  data->l_suppnation.AttachSim(machine);
+  data->l_orderyear.AttachSim(machine);
+
+  return data;
+}
+
+}  // namespace catdb::workloads

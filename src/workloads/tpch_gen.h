@@ -1,0 +1,77 @@
+#ifndef CATDB_WORKLOADS_TPCH_GEN_H_
+#define CATDB_WORKLOADS_TPCH_GEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/machine.h"
+#include "storage/dict_column.h"
+#include "storage/raw_column.h"
+
+namespace catdb::workloads {
+
+/// Scaled TPC-H-like dataset (Section VI-D runs TPC-H at SF 100).
+///
+/// The paper traces every TPC-H effect to working-set sizes relative to the
+/// LLC — above all the ~29 MiB dictionary of L_EXTENDEDPRICE (~0.53 x the
+/// 55 MiB LLC), which queries 1, 7, 8 and 9 decode heavily. The generator
+/// therefore preserves these *dictionary : LLC ratios* and the real
+/// benchmark's tiny dictionaries everywhere else, at simulation-friendly row
+/// counts.
+struct TpchConfig {
+  uint64_t lineitem_rows = 1u << 20;  // ~1 M
+  uint64_t orders_rows = 1u << 18;    // ~262 k (lineitem/orders ~ 4)
+  uint32_t part_count = 40000;
+  uint32_t supplier_count = 2000;
+  uint32_t customer_count = 30000;
+  uint64_t seed = 7001;
+};
+
+/// Generated columns (only those the 22 query models touch).
+struct TpchData {
+  TpchConfig config;
+
+  // lineitem
+  storage::DictColumn l_extendedprice;  // dict ~0.53 x LLC (the paper's knob)
+  storage::DictColumn l_quantity;       // 50 distinct
+  storage::DictColumn l_discount;       // 11 distinct
+  storage::DictColumn l_tax;            // 9 distinct
+  storage::DictColumn l_returnflag;     // 3 distinct
+  storage::DictColumn l_linestatus;     // 2 distinct
+  storage::DictColumn l_shipdate;       // ~2526 distinct (days)
+  storage::DictColumn l_shipmode;       // 7 distinct
+  storage::RawColumn l_orderkey;        // FK -> orders
+  storage::RawColumn l_partkey;         // FK -> part
+  storage::RawColumn l_suppkey;         // FK -> supplier
+
+  // orders
+  storage::DictColumn o_orderdate;      // ~2406 distinct
+  storage::DictColumn o_orderpriority;  // 5 distinct
+  storage::DictColumn o_totalprice;     // mid-size dict (~0.09 x LLC)
+  storage::RawColumn o_orderkey_pk;     // dense 1..orders
+  storage::RawColumn o_custkey;         // FK -> customer
+
+  // part / supplier / customer
+  storage::DictColumn p_type;    // 150 distinct
+  storage::DictColumn p_brand;   // 25 distinct
+  storage::DictColumn s_nation;  // 25 distinct
+  storage::DictColumn c_nation;  // 25 distinct
+  storage::DictColumn c_mktsegment;  // 5 distinct
+  storage::RawColumn p_partkey_pk;   // dense 1..parts
+  storage::RawColumn s_suppkey_pk;   // dense 1..suppliers
+  storage::RawColumn c_custkey_pk;   // dense 1..customers
+
+  // A 25-way "nation of the supplying nation" grouping column materialized
+  // on lineitem (stands in for the join-derived group keys of Q7/8/9).
+  storage::DictColumn l_suppnation;
+  // Order-year grouping column on lineitem (7 distinct), as in Q9.
+  storage::DictColumn l_orderyear;
+};
+
+/// Generates and attaches the dataset (one-time cost per benchmark binary).
+std::unique_ptr<TpchData> MakeTpchData(sim::Machine* machine,
+                                       const TpchConfig& config);
+
+}  // namespace catdb::workloads
+
+#endif  // CATDB_WORKLOADS_TPCH_GEN_H_

@@ -1,0 +1,186 @@
+#include "workloads/tpch_queries.h"
+
+#include "common/check.h"
+#include "engine/composite_query.h"
+#include "engine/operators/aggregation.h"
+#include "engine/operators/column_scan.h"
+#include "engine/operators/fk_join.h"
+
+namespace catdb::workloads {
+
+namespace {
+
+using engine::AggregationQuery;
+using engine::ColumnScanQuery;
+using engine::CompositeQuery;
+using engine::FkJoinQuery;
+
+std::unique_ptr<engine::Query> Scan(const storage::DictColumn* col,
+                                    uint64_t seed) {
+  return std::make_unique<ColumnScanQuery>(col, seed);
+}
+
+std::unique_ptr<engine::Query> Agg(const storage::DictColumn* v,
+                                   const storage::DictColumn* g) {
+  return std::make_unique<AggregationQuery>(v, g);
+}
+
+std::unique_ptr<engine::Query> Join(const storage::RawColumn* pk,
+                                    const storage::RawColumn* fk,
+                                    uint64_t keys) {
+  return std::make_unique<FkJoinQuery>(pk, fk, static_cast<uint32_t>(keys));
+}
+
+}  // namespace
+
+std::unique_ptr<engine::Query> MakeTpchQuery(int q, const TpchData& data,
+                                             uint64_t seed) {
+  CATDB_CHECK(q >= 1 && q <= kNumTpchQueries);
+  const TpchData& d = data;
+  const uint64_t O = d.config.orders_rows;
+  const uint32_t P = d.config.part_count;
+  const uint32_t S = d.config.supplier_count;
+  const uint32_t C = d.config.customer_count;
+
+  auto query = std::make_unique<CompositeQuery>("TPCH-Q" + std::to_string(q));
+  switch (q) {
+    case 1:
+      // Pricing summary report: filters on shipdate, aggregates
+      // extendedprice/quantity per (returnflag, linestatus). Decodes the
+      // big L_EXTENDEDPRICE dictionary -> cache-sensitive (paper: improves).
+      query->AddStage(Scan(&d.l_shipdate, seed));
+      query->AddStage(Agg(&d.l_extendedprice, &d.l_returnflag));
+      query->AddStage(Agg(&d.l_quantity, &d.l_linestatus));
+      break;
+    case 2:
+      // Minimum-cost supplier: small part/supplier tables only.
+      query->AddStage(Scan(&d.p_type, seed));
+      query->AddStage(Agg(&d.p_brand, &d.p_type));
+      break;
+    case 3:
+      // Shipping priority: customer segment filter, order join, small-dict
+      // revenue aggregate per order date.
+      query->AddStage(Scan(&d.c_mktsegment, seed));
+      query->AddStage(Join(&d.o_orderkey_pk, &d.l_orderkey, O));
+      query->AddStage(Agg(&d.o_totalprice, &d.o_orderdate));
+      break;
+    case 4:
+      // Order priority checking: date-range scan, tiny-dict aggregation.
+      query->AddStage(Scan(&d.o_orderdate, seed));
+      query->AddStage(Agg(&d.o_orderpriority, &d.o_orderpriority));
+      break;
+    case 5:
+      // Local supplier volume: join-heavy, grouped by nation; the hot
+      // dictionaries (discount, nation) are tiny.
+      query->AddStage(Join(&d.c_custkey_pk, &d.o_custkey, C));
+      query->AddStage(Join(&d.s_suppkey_pk, &d.l_suppkey, S));
+      query->AddStage(Agg(&d.l_discount, &d.l_suppnation));
+      break;
+    case 6:
+      // Forecasting revenue change: pure predicate scans, single-row result.
+      query->AddStage(Scan(&d.l_shipdate, seed));
+      query->AddStage(Scan(&d.l_discount, seed + 1));
+      query->AddStage(Scan(&d.l_quantity, seed + 2));
+      query->AddStage(Agg(&d.l_discount, &d.l_linestatus));
+      break;
+    case 7:
+      // Volume shipping: supplier/customer nation pairs; decodes
+      // L_EXTENDEDPRICE per qualifying row -> cache-sensitive.
+      query->AddStage(Join(&d.s_suppkey_pk, &d.l_suppkey, S));
+      query->AddStage(Agg(&d.l_extendedprice, &d.l_suppnation));
+      break;
+    case 8:
+      // National market share: part + supplier joins, volume per year from
+      // extendedprice -> cache-sensitive.
+      query->AddStage(Join(&d.p_partkey_pk, &d.l_partkey, P));
+      query->AddStage(Join(&d.s_suppkey_pk, &d.l_suppkey, S));
+      query->AddStage(Agg(&d.l_extendedprice, &d.l_orderyear));
+      break;
+    case 9:
+      // Product type profit: the classic big one — part and supplier joins
+      // plus profit aggregation decoding extendedprice per nation/year.
+      query->AddStage(Join(&d.p_partkey_pk, &d.l_partkey, P));
+      query->AddStage(Join(&d.s_suppkey_pk, &d.l_suppkey, S));
+      query->AddStage(Agg(&d.l_extendedprice, &d.l_suppnation));
+      query->AddStage(Agg(&d.l_quantity, &d.l_orderyear));
+      break;
+    case 10:
+      // Returned item reporting: order join, revenue grouped per customer
+      // nation; hot dictionaries small.
+      query->AddStage(Join(&d.o_orderkey_pk, &d.l_orderkey, O));
+      query->AddStage(Agg(&d.l_discount, &d.l_suppnation));
+      break;
+    case 11:
+      // Important stock identification: partsupp-scale aggregation only.
+      query->AddStage(Scan(&d.p_brand, seed));
+      query->AddStage(Agg(&d.p_type, &d.p_brand));
+      break;
+    case 12:
+      // Shipping modes and order priority: order join + tiny aggregates.
+      query->AddStage(Join(&d.o_orderkey_pk, &d.l_orderkey, O));
+      query->AddStage(Scan(&d.l_shipmode, seed));
+      query->AddStage(Agg(&d.l_discount, &d.l_shipmode));
+      break;
+    case 13:
+      // Customer distribution: customer-order join, small groups.
+      query->AddStage(Join(&d.c_custkey_pk, &d.o_custkey, C));
+      query->AddStage(Agg(&d.o_orderpriority, &d.o_orderdate));
+      break;
+    case 14:
+      // Promotion effect: part join + date scan, tiny revenue dictionary.
+      query->AddStage(Join(&d.p_partkey_pk, &d.l_partkey, P));
+      query->AddStage(Scan(&d.l_shipdate, seed));
+      query->AddStage(Agg(&d.l_discount, &d.l_linestatus));
+      break;
+    case 15:
+      // Top supplier: date-range scan + per-mode revenue (small dicts).
+      query->AddStage(Scan(&d.l_shipdate, seed));
+      query->AddStage(Agg(&d.l_quantity, &d.l_shipmode));
+      break;
+    case 16:
+      // Parts/supplier relationship: small-table aggregation.
+      query->AddStage(Scan(&d.p_type, seed));
+      query->AddStage(Agg(&d.p_brand, &d.p_type));
+      break;
+    case 17:
+      // Small-quantity-order revenue: part join + quantity aggregate.
+      query->AddStage(Join(&d.p_partkey_pk, &d.l_partkey, P));
+      query->AddStage(Agg(&d.l_quantity, &d.l_shipmode));
+      break;
+    case 18:
+      // Large volume customer: order join + quantity aggregation.
+      query->AddStage(Join(&d.o_orderkey_pk, &d.l_orderkey, O));
+      query->AddStage(Agg(&d.l_quantity, &d.l_orderyear));
+      break;
+    case 19:
+      // Discounted revenue: part join + predicate scans, tiny dicts.
+      query->AddStage(Join(&d.p_partkey_pk, &d.l_partkey, P));
+      query->AddStage(Scan(&d.l_quantity, seed));
+      query->AddStage(Agg(&d.l_discount, &d.l_shipmode));
+      break;
+    case 20:
+      // Potential part promotion: part + supplier joins, quantity agg.
+      query->AddStage(Join(&d.p_partkey_pk, &d.l_partkey, P));
+      query->AddStage(Join(&d.s_suppkey_pk, &d.l_suppkey, S));
+      query->AddStage(Agg(&d.l_quantity, &d.l_shipmode));
+      break;
+    case 21:
+      // Suppliers who kept orders waiting: supplier + order joins + scan.
+      query->AddStage(Join(&d.s_suppkey_pk, &d.l_suppkey, S));
+      query->AddStage(Join(&d.o_orderkey_pk, &d.l_orderkey, O));
+      query->AddStage(Scan(&d.l_shipdate, seed));
+      query->AddStage(Agg(&d.l_quantity, &d.l_suppnation));
+      break;
+    case 22:
+      // Global sales opportunity: customer-side aggregation with the
+      // mid-size O_TOTALPRICE dictionary.
+      query->AddStage(Scan(&d.c_mktsegment, seed));
+      query->AddStage(Agg(&d.o_totalprice, &d.o_orderpriority));
+      break;
+    default:
+      CATDB_CHECK(false);
+  }
+  return query;
+}
+
+}  // namespace catdb::workloads

@@ -1,0 +1,192 @@
+// Tests for the generalized aggregate functions, the range-predicate scan
+// variant, and the Zipf data generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/operators/aggregation.h"
+#include "engine/operators/column_scan.h"
+#include "engine/runner.h"
+#include "storage/agg_hash_table.h"
+#include "storage/datagen.h"
+
+namespace catdb {
+namespace {
+
+using storage::AggFunction;
+
+TEST(AggCombineTest, FunctionSemantics) {
+  EXPECT_EQ(AggCombine(AggFunction::kMax, 3, 7), 7);
+  EXPECT_EQ(AggCombine(AggFunction::kMax, 7, 3), 7);
+  EXPECT_EQ(AggCombine(AggFunction::kMin, 3, 7), 3);
+  EXPECT_EQ(AggCombine(AggFunction::kMin, -3, 7), -3);
+  EXPECT_EQ(AggCombine(AggFunction::kSum, 3, 7), 10);
+  EXPECT_EQ(AggCombine(AggFunction::kCount, 5, 999), 6);
+  EXPECT_EQ(AggInit(AggFunction::kCount, 999), 1);
+  EXPECT_EQ(AggInit(AggFunction::kSum, 7), 7);
+}
+
+TEST(AggCombineTest, SumWrapsLikeUncheckedInt32) {
+  const int32_t big = 0x7FFFFFFF;
+  EXPECT_EQ(AggCombine(AggFunction::kSum, big, 1),
+            std::numeric_limits<int32_t>::min());
+}
+
+// Property: every aggregate function matches a reference implementation.
+class AggFunctionPropertyTest
+    : public ::testing::TestWithParam<AggFunction> {};
+
+TEST_P(AggFunctionPropertyTest, TableMatchesReference) {
+  const AggFunction func = GetParam();
+  storage::AggHashTable table = storage::AggHashTable::ForExpectedKeys(50);
+  std::map<uint32_t, int32_t> reference;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.Uniform(50));
+    const int32_t value = static_cast<int32_t>(rng.Uniform(1000)) - 500;
+    table.Upsert(key, value, func);
+    auto it = reference.find(key);
+    if (it == reference.end()) {
+      reference[key] = AggInit(func, value);
+    } else {
+      it->second = AggCombine(func, it->second, value);
+    }
+  }
+  for (const auto& [key, expected] : reference) {
+    int32_t got = 0;
+    ASSERT_TRUE(table.Lookup(key, &got));
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Functions, AggFunctionPropertyTest,
+                         ::testing::Values(AggFunction::kMax,
+                                           AggFunction::kMin,
+                                           AggFunction::kSum,
+                                           AggFunction::kCount));
+
+// End-to-end: the parallel aggregation (locals + merge) computes the right
+// result for every function, including the COUNT-merges-by-SUM rule.
+class AggregationEndToEndTest
+    : public ::testing::TestWithParam<AggFunction> {};
+
+TEST_P(AggregationEndToEndTest, ParallelResultMatchesReference) {
+  const AggFunction func = GetParam();
+  sim::MachineConfig mc;
+  mc.hierarchy.num_cores = 4;
+  mc.hierarchy.l1 = simcache::CacheGeometry{4, 2};
+  mc.hierarchy.l2 = simcache::CacheGeometry{8, 2};
+  mc.hierarchy.llc = simcache::CacheGeometry{64, 8};
+  sim::Machine m(mc);
+
+  storage::DictColumn v = storage::MakeUniformDomainColumn(8000, 200, 41);
+  storage::DictColumn g = storage::MakeUniformDomainColumn(8000, 16, 42);
+  v.AttachSim(&m);
+  g.AttachSim(&m);
+
+  engine::AggregationQuery query(&v, &g, func);
+  query.AttachSim(&m);
+  engine::RunQueryIterations(&m, &query, {0, 1, 2, 3}, 1,
+                             engine::PolicyConfig{});
+
+  std::map<uint32_t, int32_t> reference;
+  for (uint64_t i = 0; i < v.size(); ++i) {
+    const uint32_t key = g.GetCode(i);
+    const int32_t value = v.GetValue(i);
+    auto it = reference.find(key);
+    if (it == reference.end()) {
+      reference[key] = AggInit(func, value);
+    } else {
+      it->second = AggCombine(func, it->second, value);
+    }
+  }
+  const auto& table = query.global_table();
+  ASSERT_EQ(table.num_entries(), reference.size());
+  for (const auto& [key, expected] : reference) {
+    int32_t got = 0;
+    ASSERT_TRUE(table.Lookup(key, &got));
+    EXPECT_EQ(got, expected) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Functions, AggregationEndToEndTest,
+                         ::testing::Values(AggFunction::kMax,
+                                           AggFunction::kMin,
+                                           AggFunction::kSum,
+                                           AggFunction::kCount));
+
+TEST(ColumnScanRangeTest, BetweenPredicateCountsExactly) {
+  sim::MachineConfig mc;
+  mc.hierarchy.num_cores = 1;
+  mc.hierarchy.l1 = simcache::CacheGeometry{4, 2};
+  mc.hierarchy.l2 = simcache::CacheGeometry{8, 2};
+  mc.hierarchy.llc = simcache::CacheGeometry{64, 8};
+  sim::Machine m(mc);
+  storage::DictColumn col = storage::MakeUniformDomainColumn(10000, 97, 43);
+  col.AttachSim(&m);
+
+  const uint32_t lo = 10, hi = 42;
+  uint64_t result = 0;
+  engine::ColumnScanJob job(&col, engine::RowRange{0, col.size()}, lo, hi,
+                            /*compute_result=*/true, &result);
+  sim::ExecContext ctx(&m, 0);
+  while (job.Step(ctx)) {
+  }
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    const uint32_t code = col.GetCode(i);
+    if (code >= lo && code <= hi) ++expected;
+  }
+  EXPECT_EQ(result, expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST(ZipfTest, ValuesWithinDomainAndSkewed) {
+  const auto values = storage::ZipfInts(20000, 100, 1.0, 7);
+  std::vector<uint64_t> histogram(100, 0);
+  for (int32_t v : values) {
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100);
+    histogram[v - 1] += 1;
+  }
+  // Rank 1 dominates rank 10 roughly by the Zipf ratio (10x at s=1).
+  EXPECT_GT(histogram[0], histogram[9] * 4);
+  EXPECT_GT(histogram[0], histogram[50] * 10);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniformish) {
+  const auto values = storage::ZipfInts(50000, 10, 0.0, 7);
+  std::vector<uint64_t> histogram(10, 0);
+  for (int32_t v : values) histogram[v - 1] += 1;
+  for (uint64_t count : histogram) {
+    EXPECT_NEAR(static_cast<double>(count), 5000.0, 500.0);
+  }
+}
+
+TEST(ZipfTest, ZipfColumnHasFullDomainDictionary) {
+  storage::DictColumn col = storage::MakeZipfDomainColumn(1000, 5000, 1.2, 9);
+  EXPECT_EQ(col.dict().size(), 5000u);
+  EXPECT_EQ(col.size(), 1000u);
+}
+
+TEST(ZipfTest, SkewShrinksEffectiveAggregationWorkingSet) {
+  // Sanity for the cache story: with heavy skew, most hash-table traffic
+  // hits a handful of hot groups, so the aggregation touches far fewer
+  // distinct lines. Verify via distinct codes drawn.
+  const auto uniform = storage::ZipfInts(20000, 10000, 0.0, 11);
+  const auto skewed = storage::ZipfInts(20000, 10000, 1.2, 11);
+  auto distinct = [](const std::vector<int32_t>& v) {
+    std::vector<int32_t> s = v;
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    return s.size();
+  };
+  EXPECT_LT(distinct(skewed), distinct(uniform) / 2);
+}
+
+}  // namespace
+}  // namespace catdb

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace catdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad mask");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad mask");
+}
+
+TEST(BitsTest, IsContiguousMask) {
+  EXPECT_TRUE(IsContiguousMask(0x1));
+  EXPECT_TRUE(IsContiguousMask(0x3));
+  EXPECT_TRUE(IsContiguousMask(0x6));
+  EXPECT_TRUE(IsContiguousMask(0xff0));
+  EXPECT_FALSE(IsContiguousMask(0x0));
+  EXPECT_FALSE(IsContiguousMask(0x5));
+  EXPECT_FALSE(IsContiguousMask(0x909));
+}
+
+TEST(BitsTest, BitsFor) {
+  EXPECT_EQ(BitsFor(1), 1u);
+  EXPECT_EQ(BitsFor(2), 1u);
+  EXPECT_EQ(BitsFor(3), 2u);
+  EXPECT_EQ(BitsFor(1000000), 20u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformWithinBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+}  // namespace
+}  // namespace catdb

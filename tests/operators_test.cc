@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/operators/aggregation.h"
+#include "engine/operators/column_scan.h"
+#include "engine/operators/fk_join.h"
+#include "engine/operators/index_project.h"
+#include "engine/runner.h"
+#include "storage/datagen.h"
+#include "workloads/s4hana.h"
+
+namespace catdb::engine {
+namespace {
+
+sim::MachineConfig TestMachine() {
+  sim::MachineConfig cfg;
+  cfg.hierarchy.num_cores = 4;
+  cfg.hierarchy.l1 = simcache::CacheGeometry{4, 2};
+  cfg.hierarchy.l2 = simcache::CacheGeometry{8, 2};
+  cfg.hierarchy.llc = simcache::CacheGeometry{64, 8};
+  return cfg;
+}
+
+// Runs a query for one full iteration on all machine cores.
+RunReport RunOnce(sim::Machine* m, Query* q) {
+  std::vector<uint32_t> cores;
+  for (uint32_t c = 0; c < m->num_cores(); ++c) cores.push_back(c);
+  return RunQueryIterations(m, q, cores, 1, PolicyConfig{});
+}
+
+TEST(ColumnScanTest, CountsMatchesNaiveEvaluation) {
+  sim::Machine m(TestMachine());
+  std::vector<int32_t> values;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(static_cast<int32_t>(rng.Uniform(500)) + 1);
+  }
+  storage::DictColumn col = storage::DictColumn::Encode(values);
+  col.AttachSim(&m);
+
+  ColumnScanQuery query(&col, /*seed=*/77, /*compute_results=*/true);
+  query.AttachSim(&m);
+  RunOnce(&m, &query);
+
+  // Recover the threshold the query drew and check the count.
+  // The scan counts codes > threshold; recompute over all thresholds is
+  // wasteful, so check against the result being consistent with *some*
+  // threshold and with repeatability instead: rerun with the same seed.
+  ColumnScanQuery query2(&col, /*seed=*/77, /*compute_results=*/true);
+  query2.AttachSim(&m);
+  RunOnce(&m, &query2);
+  EXPECT_EQ(query.last_result(), query2.last_result());
+
+  // Exact check with a known seed: derive the threshold like the query.
+  Rng expect_rng(77);
+  const uint32_t threshold =
+      static_cast<uint32_t>(expect_rng.Uniform(col.dict().size()));
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    if (col.GetCode(i) > threshold) ++expected;
+  }
+  EXPECT_EQ(query.last_result(), expected);
+}
+
+TEST(ColumnScanTest, JobIsAnnotatedPolluting) {
+  sim::Machine m(TestMachine());
+  storage::DictColumn col = storage::DictColumn::Encode({1, 2, 3, 4});
+  col.AttachSim(&m);
+  ColumnScanQuery query(&col, 1);
+  std::vector<std::unique_ptr<Job>> jobs;
+  query.MakePhaseJobs(0, 2, &jobs);
+  ASSERT_EQ(jobs.size(), 2u);
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job->cache_usage(), CacheUsage::kPolluting);
+  }
+}
+
+TEST(ColumnScanTest, WorkAccountingCoversAllRows) {
+  sim::Machine m(TestMachine());
+  storage::DictColumn col =
+      storage::MakeUniformDomainColumn(10000, 100, 3);
+  col.AttachSim(&m);
+  ColumnScanQuery query(&col, 1);
+  query.AttachSim(&m);
+  std::vector<std::unique_ptr<Job>> jobs;
+  query.MakePhaseJobs(0, 3, &jobs);
+  sim::ExecContext ctx(&m, 0);
+  uint64_t total = 0;
+  for (auto& job : jobs) {
+    while (job->Step(ctx)) {
+    }
+    total += job->work_done();
+  }
+  EXPECT_EQ(total, col.size());
+}
+
+TEST(AggregationTest, GlobalTableMatchesReferenceGroupByMax) {
+  sim::Machine m(TestMachine());
+  auto v_vals = storage::UniformWithExactDistinct(20000, 300, 21);
+  auto g_vals = storage::UniformWithExactDistinct(20000, 40, 22);
+  storage::DictColumn v = storage::DictColumn::Encode(v_vals);
+  storage::DictColumn g = storage::DictColumn::Encode(g_vals);
+  v.AttachSim(&m);
+  g.AttachSim(&m);
+
+  AggregationQuery query(&v, &g);
+  query.AttachSim(&m);
+  RunOnce(&m, &query);
+
+  std::map<uint32_t, int32_t> reference;  // g_code -> max(v)
+  for (uint64_t i = 0; i < v.size(); ++i) {
+    const uint32_t key = g.GetCode(i);
+    const int32_t value = v.GetValue(i);
+    auto [it, inserted] = reference.try_emplace(key, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+  const auto& table = query.global_table();
+  EXPECT_EQ(table.num_entries(), reference.size());
+  for (const auto& [key, value] : reference) {
+    int32_t got = 0;
+    ASSERT_TRUE(table.Lookup(key, &got));
+    EXPECT_EQ(got, value);
+  }
+}
+
+TEST(AggregationTest, ResultsCorrectAcrossIterations) {
+  // Iteration 2 must produce the same result as iteration 1 (tables are
+  // cleared between iterations).
+  sim::Machine m(TestMachine());
+  storage::DictColumn v = storage::MakeUniformDomainColumn(5000, 100, 31);
+  storage::DictColumn g = storage::MakeUniformDomainColumn(5000, 10, 32);
+  v.AttachSim(&m);
+  g.AttachSim(&m);
+  AggregationQuery query(&v, &g);
+  query.AttachSim(&m);
+
+  RunOnce(&m, &query);
+  const uint64_t entries_first = query.global_table().num_entries();
+  std::vector<uint32_t> cores = {0, 1, 2, 3};
+  RunQueryIterations(&m, &query, cores, 2, PolicyConfig{});
+  EXPECT_EQ(query.global_table().num_entries(), entries_first);
+}
+
+TEST(AggregationTest, JobsAreAnnotatedSensitive) {
+  sim::Machine m(TestMachine());
+  storage::DictColumn v = storage::MakeUniformDomainColumn(100, 10, 1);
+  storage::DictColumn g = storage::MakeUniformDomainColumn(100, 4, 2);
+  v.AttachSim(&m);
+  g.AttachSim(&m);
+  AggregationQuery query(&v, &g);
+  query.AttachSim(&m);
+  std::vector<std::unique_ptr<Job>> jobs;
+  query.MakePhaseJobs(0, 2, &jobs);
+  query.MakePhaseJobs(1, 2, &jobs);
+  ASSERT_EQ(jobs.size(), 3u);  // 2 locals + 1 merge
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job->cache_usage(), CacheUsage::kSensitive);
+  }
+}
+
+TEST(FkJoinTest, CountsMatchesNaiveJoin) {
+  sim::Machine m(TestMachine());
+  const uint32_t keys = 5000;
+  storage::RawColumn pk = storage::MakePrimaryKeyColumn(keys);
+  storage::RawColumn fk = storage::MakeForeignKeyColumn(20000, keys, 55);
+  pk.AttachSim(&m);
+  fk.AttachSim(&m);
+
+  FkJoinQuery query(&pk, &fk, keys);
+  query.AttachSim(&m);
+  RunOnce(&m, &query);
+
+  // Every foreign key references an existing primary key.
+  EXPECT_EQ(query.last_result(), fk.size());
+}
+
+TEST(FkJoinTest, ProbeCountsOnlySetBits) {
+  sim::Machine m(TestMachine());
+  // Bit vector with only keys 1..500 present; probes for 501..1000 miss.
+  storage::SimBitVector bits(1000);
+  for (uint64_t b = 0; b < 500; ++b) bits.Set(b);
+  bits.AttachSim(&m);
+  std::vector<int32_t> fk_vals;
+  for (int i = 0; i < 10000; ++i) fk_vals.push_back(i % 1000 + 1);
+  storage::RawColumn fk{std::move(fk_vals)};
+  fk.AttachSim(&m);
+
+  uint64_t result = 0;
+  FkJoinProbeJob job(&fk, RowRange{0, fk.size()}, &bits, &result);
+  sim::ExecContext ctx(&m, 0);
+  while (job.Step(ctx)) {
+  }
+  EXPECT_EQ(result, 5000u);
+  EXPECT_EQ(job.work_done(), fk.size());
+}
+
+TEST(FkJoinTest, AdaptiveAnnotationCarriesBitVectorSize) {
+  sim::Machine m(TestMachine());
+  const uint32_t keys = 4096;
+  storage::RawColumn pk = storage::MakePrimaryKeyColumn(keys);
+  storage::RawColumn fk = storage::MakeForeignKeyColumn(1000, keys, 5);
+  pk.AttachSim(&m);
+  fk.AttachSim(&m);
+  FkJoinQuery query(&pk, &fk, keys);
+  query.AttachSim(&m);
+  std::vector<std::unique_ptr<Job>> jobs;
+  query.MakePhaseJobs(0, 2, &jobs);
+  query.MakePhaseJobs(1, 2, &jobs);
+  ASSERT_EQ(jobs.size(), 4u);
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job->cache_usage(), CacheUsage::kAdaptive);
+    EXPECT_EQ(job->adaptive_working_set(), query.bits().SizeBytes());
+  }
+}
+
+TEST(OltpQueryTest, RunsAndCountsWork) {
+  sim::MachineConfig mc;  // default machine: the ACDOCA table needs space
+  sim::Machine m(mc);
+  workloads::AcdocaConfig cfg;
+  cfg.rows = 4096;
+  auto data = workloads::MakeAcdocaData(&m, cfg);
+  auto query = workloads::MakeOltpQuery(*data, true, 13, 77);
+  query->AttachSim(&m);
+  auto rep = RunOnce(&m, query.get());
+  EXPECT_GE(rep.streams[0].iterations, 1.0);
+  EXPECT_GT(query->WorkingSetBytes(), 0u);
+}
+
+TEST(OltpQueryTest, JobsAreAnnotatedSensitive) {
+  sim::Machine m{sim::MachineConfig{}};
+  workloads::AcdocaConfig cfg;
+  cfg.rows = 2048;
+  auto data = workloads::MakeAcdocaData(&m, cfg);
+  auto query = workloads::MakeOltpQuery(*data, false, 6, 1);
+  query->AttachSim(&m);
+  std::vector<std::unique_ptr<Job>> jobs;
+  query->MakePhaseJobs(0, 3, &jobs);
+  ASSERT_EQ(jobs.size(), 3u);
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job->cache_usage(), CacheUsage::kSensitive);
+  }
+}
+
+}  // namespace
+}  // namespace catdb::engine

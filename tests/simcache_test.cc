@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "simcache/cache_geometry.h"
+#include "simcache/dram.h"
+#include "simcache/prefetcher.h"
+#include "simcache/set_assoc_cache.h"
+
+namespace catdb::simcache {
+namespace {
+
+CacheGeometry SmallGeometry() { return CacheGeometry{16, 4}; }
+
+// Returns `n` distinct line addresses that all map to the same set.
+std::vector<uint64_t> SameSetLines(const CacheGeometry& g, uint32_t n) {
+  std::vector<uint64_t> lines;
+  const uint32_t target = g.SetOf(0);
+  for (uint64_t line = 0; lines.size() < n; ++line) {
+    if (g.SetOf(line) == target) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(CacheGeometryTest, CapacityAndValidity) {
+  CacheGeometry g{2048, 20};
+  EXPECT_TRUE(g.Valid());
+  EXPECT_EQ(g.CapacityBytes(), 2048ull * 20 * 64);
+  EXPECT_FALSE((CacheGeometry{0, 4}).Valid());
+  EXPECT_FALSE((CacheGeometry{100, 4}).Valid());  // not a power of two
+  EXPECT_FALSE((CacheGeometry{16, 0}).Valid());
+}
+
+TEST(CacheGeometryTest, SetOfInRangeAndDeterministic) {
+  CacheGeometry g{64, 8};
+  for (uint64_t line = 0; line < 10000; ++line) {
+    const uint32_t s = g.SetOf(line);
+    EXPECT_LT(s, g.num_sets);
+    EXPECT_EQ(s, g.SetOf(line));
+  }
+}
+
+TEST(CacheGeometryTest, SetOfSpreadsSequentialLines) {
+  CacheGeometry g{64, 8};
+  std::set<uint32_t> sets;
+  for (uint64_t line = 0; line < 64; ++line) sets.insert(g.SetOf(line));
+  // A sequential 64-line window should scatter over most sets.
+  EXPECT_GT(sets.size(), 40u);
+}
+
+TEST(SetAssocCacheTest, InsertThenLookupHits) {
+  SetAssocCache cache(SmallGeometry());
+  EXPECT_FALSE(cache.Lookup(7));
+  cache.Insert(7);
+  EXPECT_TRUE(cache.Lookup(7));
+  EXPECT_TRUE(cache.Contains(7));
+}
+
+TEST(SetAssocCacheTest, DoubleInsertKeepsOneCopy) {
+  SetAssocCache cache(SmallGeometry());
+  cache.Insert(7);
+  cache.Insert(7);
+  EXPECT_EQ(cache.ValidLineCount(), 1u);
+}
+
+TEST(SetAssocCacheTest, LruEvictionOrder) {
+  CacheGeometry g = SmallGeometry();
+  SetAssocCache cache(g);
+  auto lines = SameSetLines(g, 5);
+  for (int i = 0; i < 4; ++i) cache.Insert(lines[i]);
+  // Touch line 0 so line 1 becomes LRU.
+  ASSERT_TRUE(cache.Lookup(lines[0]));
+  auto evicted = cache.Insert(lines[4]);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line, lines[1]);
+  EXPECT_TRUE(cache.Contains(lines[0]));
+  EXPECT_FALSE(cache.Contains(lines[1]));
+}
+
+TEST(SetAssocCacheTest, AllocationMaskRestrictsVictimWay) {
+  CacheGeometry g = SmallGeometry();
+  SetAssocCache cache(g);
+  auto lines = SameSetLines(g, 8);
+  // Fill all four ways without a mask.
+  for (int i = 0; i < 4; ++i) cache.Insert(lines[i]);
+  // Insert with mask 0x3: victims must come from ways 0-1 only.
+  for (int i = 4; i < 8; ++i) {
+    cache.Insert(lines[i], 0x3);
+    const int way = cache.WayOf(lines[i]);
+    ASSERT_GE(way, 0);
+    EXPECT_LT(way, 2);
+  }
+}
+
+TEST(SetAssocCacheTest, MaskedInsertStillHitsOutsideMask) {
+  // CAT semantics: a line resident outside the mask is still readable and
+  // a re-insert must not duplicate or evict it.
+  CacheGeometry g = SmallGeometry();
+  SetAssocCache cache(g);
+  auto lines = SameSetLines(g, 4);
+  for (int i = 0; i < 4; ++i) cache.Insert(lines[i]);  // fills ways 0..3
+  const int way = cache.WayOf(lines[3]);
+  ASSERT_GE(way, 2);  // at least one line is outside mask 0x3
+  EXPECT_EQ(cache.Insert(lines[3], 0x3), std::nullopt);
+  EXPECT_EQ(cache.ValidLineCount(), 4u);
+}
+
+TEST(SetAssocCacheTest, InvalidateRemovesLine) {
+  SetAssocCache cache(SmallGeometry());
+  cache.Insert(7);
+  EXPECT_TRUE(cache.Invalidate(7));
+  EXPECT_FALSE(cache.Contains(7));
+  EXPECT_FALSE(cache.Invalidate(7));
+}
+
+TEST(SetAssocCacheTest, ClearEmptiesEverything) {
+  SetAssocCache cache(SmallGeometry());
+  for (uint64_t line = 0; line < 100; ++line) cache.Insert(line);
+  cache.Clear();
+  EXPECT_EQ(cache.ValidLineCount(), 0u);
+}
+
+TEST(SetAssocCacheTest, PrefersInvalidWayWithinMask) {
+  CacheGeometry g = SmallGeometry();
+  SetAssocCache cache(g);
+  auto lines = SameSetLines(g, 3);
+  cache.Insert(lines[0], 0x1);
+  // Way 1 is free: mask 0x2 must use it without evicting way 0.
+  auto evicted = cache.Insert(lines[1], 0x2);
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_TRUE(cache.Contains(lines[0]));
+  EXPECT_TRUE(cache.Contains(lines[1]));
+}
+
+TEST(StreamPrefetcherTest, TriggersAfterRunAndPrefetchesAhead) {
+  PrefetcherConfig cfg;
+  cfg.trigger_run = 2;
+  cfg.depth = 4;
+  StreamPrefetcher pf(cfg);
+  std::vector<uint64_t> out;
+  pf.OnDemandAccess(100, &out);
+  EXPECT_TRUE(out.empty());  // new stream, no trigger yet
+  pf.OnDemandAccess(101, &out);
+  // Run of 2 reached: prefetch 102..105.
+  EXPECT_EQ(out, (std::vector<uint64_t>{102, 103, 104, 105}));
+  out.clear();
+  pf.OnDemandAccess(102, &out);
+  EXPECT_EQ(out, (std::vector<uint64_t>{106}));  // window slides by one
+}
+
+TEST(StreamPrefetcherTest, RandomAccessesDoNotTrigger) {
+  StreamPrefetcher pf(PrefetcherConfig{});
+  Rng rng(3);
+  std::vector<uint64_t> out;
+  for (int i = 0; i < 200; ++i) {
+    pf.OnDemandAccess(rng.Uniform(1u << 30), &out);
+  }
+  // With 2^30 possible lines, accidental adjacency is negligible.
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamPrefetcherTest, TracksMultipleStreams) {
+  PrefetcherConfig cfg;
+  cfg.trigger_run = 2;
+  cfg.depth = 2;
+  StreamPrefetcher pf(cfg);
+  std::vector<uint64_t> out;
+  pf.OnDemandAccess(1000, &out);
+  pf.OnDemandAccess(2000, &out);
+  pf.OnDemandAccess(1001, &out);  // stream A triggers
+  pf.OnDemandAccess(2001, &out);  // stream B triggers
+  EXPECT_EQ(out, (std::vector<uint64_t>{1002, 1003, 2002, 2003}));
+}
+
+TEST(StreamPrefetcherTest, DisabledEmitsNothing) {
+  PrefetcherConfig cfg;
+  cfg.enabled = false;
+  StreamPrefetcher pf(cfg);
+  std::vector<uint64_t> out;
+  for (uint64_t line = 0; line < 100; ++line) pf.OnDemandAccess(line, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamPrefetcherTest, ResetForgetsStreams) {
+  PrefetcherConfig cfg;
+  cfg.trigger_run = 2;
+  StreamPrefetcher pf(cfg);
+  std::vector<uint64_t> out;
+  pf.OnDemandAccess(10, &out);
+  pf.Reset();
+  pf.OnDemandAccess(11, &out);  // would extend the stream if remembered
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DramChannelTest, UncontendedRequestHasNoWait) {
+  DramChannel dram(180, 24);
+  uint64_t wait = 99;
+  EXPECT_EQ(dram.RequestLine(1'000'000, &wait), 180u);
+  EXPECT_EQ(wait, 0u);
+}
+
+TEST(DramChannelTest, SaturationCausesSpillIntoFutureEpochs) {
+  DramChannel dram(180, 24);
+  const uint64_t now = 10 * DramChannel::kEpochCycles;
+  const uint32_t cap = dram.capacity_per_epoch();
+  for (uint32_t i = 0; i < cap; ++i) {
+    uint64_t wait = 1;
+    dram.RequestLine(now, &wait);
+    EXPECT_EQ(wait, 0u);
+  }
+  uint64_t wait = 0;
+  dram.RequestLine(now, &wait);  // epoch full: spills to the next epoch
+  EXPECT_EQ(wait, DramChannel::kEpochCycles);
+}
+
+TEST(DramChannelTest, OutOfOrderRequestsSeeNoPhantomWait) {
+  DramChannel dram(180, 24);
+  // A burst at t=100k must not penalize a straggler at t=50k (different,
+  // non-full epoch).
+  for (int i = 0; i < 20; ++i) dram.RequestLine(100 * 1024);
+  uint64_t wait = 99;
+  dram.RequestLine(50 * 1024, &wait);
+  EXPECT_EQ(wait, 0u);
+}
+
+TEST(DramChannelTest, StatisticsAccumulate) {
+  DramChannel dram(180, 24);
+  for (int i = 0; i < 10; ++i) dram.RequestLine(0);
+  EXPECT_EQ(dram.total_lines(), 10u);
+  dram.Reset();
+  EXPECT_EQ(dram.total_lines(), 0u);
+  EXPECT_EQ(dram.total_wait_cycles(), 0u);
+}
+
+TEST(DramChannelTest, PrefetchesRespectDemandHeadroom) {
+  DramChannel dram(180, 24);
+  const uint64_t now = 10 * DramChannel::kEpochCycles;
+  // Fill the prefetch share of the current epoch.
+  uint64_t ready = 0;
+  uint32_t accepted_in_epoch = 0;
+  while (dram.RequestPrefetchLine(now, &ready) &&
+         ready - 180 == now) {  // still landing in the current epoch
+    ++accepted_in_epoch;
+  }
+  // The prefetch share is strictly below full capacity: demand still fits.
+  EXPECT_LT(accepted_in_epoch, dram.capacity_per_epoch());
+  uint64_t wait = 99;
+  dram.RequestLine(now, &wait);
+  EXPECT_EQ(wait, 0u);  // demand headroom preserved
+}
+
+TEST(DramChannelTest, PrefetchesDroppedWhenBackedUp) {
+  DramChannel dram(180, 24);
+  const uint64_t now = 10 * DramChannel::kEpochCycles;
+  // Saturate the prefetch share far beyond the throttling horizon.
+  uint64_t ready = 0;
+  bool dropped = false;
+  for (int i = 0; i < 10000; ++i) {
+    if (!dram.RequestPrefetchLine(now, &ready)) {
+      dropped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_GT(dram.dropped_prefetches(), 0u);
+  // Demand requests are still served (possibly with wait, never dropped).
+  uint64_t wait = 0;
+  const uint64_t latency = dram.RequestLine(now, &wait);
+  EXPECT_GE(latency, 180u);
+}
+
+TEST(DramChannelTest, FarForwardJumpIsHandled) {
+  DramChannel dram(180, 24);
+  dram.RequestLine(0);
+  uint64_t wait = 99;
+  dram.RequestLine(DramChannel::kEpochCycles * DramChannel::kMaxWindow * 10,
+                   &wait);
+  EXPECT_EQ(wait, 0u);
+}
+
+// Property sweep: at every load level, aggregate service rate never exceeds
+// channel capacity.
+class DramLoadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DramLoadTest, ThroughputBoundedByCapacity) {
+  const int requesters = GetParam();
+  DramChannel dram(180, 24);
+  // Each requester issues back-to-back requests; clock advances by the
+  // returned latency.
+  std::vector<uint64_t> clocks(requesters, 0);
+  const uint64_t horizon = 200 * DramChannel::kEpochCycles;
+  uint64_t served = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < requesters; ++r) {
+      if (clocks[r] >= horizon) continue;
+      clocks[r] += dram.RequestLine(clocks[r]);
+      ++served;
+      progress = true;
+    }
+  }
+  const double max_lines = static_cast<double>(horizon) / 24 * 1.1 +
+                           requesters * dram.capacity_per_epoch();
+  EXPECT_LT(static_cast<double>(served), max_lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(Load, DramLoadTest, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace catdb::simcache

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/runner.h"
+#include "workloads/micro.h"
+#include "workloads/s4hana.h"
+#include "workloads/tpch_gen.h"
+#include "workloads/tpch_queries.h"
+
+namespace catdb::workloads {
+namespace {
+
+TEST(MicroScalingTest, DictEntriesMatchRatio) {
+  sim::Machine m{sim::MachineConfig{}};
+  const uint64_t llc = m.config().hierarchy.llc.CapacityBytes();
+  const uint32_t entries = DictEntriesForRatio(m, 0.5);
+  EXPECT_NEAR(entries * 4.0, llc * 0.5, 8.0);
+}
+
+TEST(MicroScalingTest, PkCountMatchesBitVectorRatio) {
+  sim::Machine m{sim::MachineConfig{}};
+  const uint64_t llc = m.config().hierarchy.llc.CapacityBytes();
+  const uint32_t keys = PkCountForRatio(m, 0.25);
+  EXPECT_NEAR(keys / 8.0, llc * 0.25, 16.0);
+}
+
+TEST(MicroScalingTest, ScaledGroupCount) {
+  EXPECT_EQ(ScaledGroupCount(100000), 33333u);
+  EXPECT_EQ(ScaledGroupCount(100), 33u);
+  EXPECT_EQ(ScaledGroupCount(1), 4u);  // floor
+}
+
+TEST(MicroDatasetTest, ScanDatasetAttachedAndSized) {
+  sim::Machine m{sim::MachineConfig{}};
+  auto d = MakeScanDataset(&m, 10000, 500, 1);
+  EXPECT_EQ(d.column.size(), 10000u);
+  EXPECT_EQ(d.column.dict().size(), 500u);
+  EXPECT_TRUE(d.column.attached());
+}
+
+TEST(MicroDatasetTest, AggDatasetColumnsAligned) {
+  sim::Machine m{sim::MachineConfig{}};
+  auto d = MakeAggDataset(&m, 5000, 1000, 10, 2);
+  EXPECT_EQ(d.v.size(), d.g.size());
+  EXPECT_EQ(d.g.dict().size(), 10u);
+}
+
+TEST(MicroDatasetTest, JoinDatasetKeysConsistent) {
+  sim::Machine m{sim::MachineConfig{}};
+  auto d = MakeJoinDataset(&m, 1000, 5000, 3);
+  EXPECT_EQ(d.pk.size(), 1000u);
+  EXPECT_EQ(d.fk.size(), 5000u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_GE(d.fk.Get(i), 1);
+    EXPECT_LE(d.fk.Get(i), 1000);
+  }
+}
+
+class TpchFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    machine_ = new sim::Machine{sim::MachineConfig{}};
+    TpchConfig cfg;
+    cfg.lineitem_rows = 20000;  // keep the test fast
+    cfg.orders_rows = 5000;
+    cfg.part_count = 1000;
+    cfg.supplier_count = 100;
+    cfg.customer_count = 800;
+    data_ = MakeTpchData(machine_, cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete machine_;
+  }
+  static sim::Machine* machine_;
+  static TpchData* data_;
+};
+
+sim::Machine* TpchFixture::machine_ = nullptr;
+TpchData* TpchFixture::data_ = nullptr;
+
+TEST_F(TpchFixture, GeneratorPreservesDictionaryRatios) {
+  const double llc = static_cast<double>(
+      machine_->config().hierarchy.llc.CapacityBytes());
+  const double price_ratio = data_->l_extendedprice.dict().SizeBytes() / llc;
+  EXPECT_NEAR(price_ratio, 29.0 / 55.0, 0.02);
+  EXPECT_EQ(data_->l_quantity.dict().size(), 50u);
+  EXPECT_EQ(data_->l_returnflag.dict().size(), 3u);
+  EXPECT_EQ(data_->l_suppnation.dict().size(), 25u);
+}
+
+TEST_F(TpchFixture, AllColumnsShareLineitemRowCount) {
+  EXPECT_EQ(data_->l_extendedprice.size(), 20000u);
+  EXPECT_EQ(data_->l_shipdate.size(), 20000u);
+  EXPECT_EQ(data_->l_orderkey.size(), 20000u);
+  EXPECT_EQ(data_->o_orderdate.size(), 5000u);
+}
+
+// Property: every TPC-H query model constructs, attaches, and completes one
+// full iteration.
+class TpchQueryTest : public TpchFixture,
+                      public ::testing::WithParamInterface<int> {};
+
+TEST_P(TpchQueryTest, BuildsAndRunsOneIteration) {
+  auto query = MakeTpchQuery(GetParam(), *TpchFixture::data_, 99);
+  ASSERT_NE(query, nullptr);
+  query->AttachSim(TpchFixture::machine_);
+  EXPECT_GE(query->num_phases(), 2u);
+  auto rep = engine::RunQueryIterations(TpchFixture::machine_, query.get(),
+                                        {0, 1, 2, 3}, 1,
+                                        engine::PolicyConfig{});
+  EXPECT_DOUBLE_EQ(rep.streams[0].iterations, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest,
+                         ::testing::Range(1, kNumTpchQueries + 1));
+
+TEST(S4HanaTest, AcdocaShapeMatchesSpec) {
+  sim::Machine m{sim::MachineConfig{}};
+  AcdocaConfig cfg;
+  cfg.rows = 4096;
+  auto data = MakeAcdocaData(&m, cfg);
+  EXPECT_EQ(data->key_columns.size(), 5u);
+  EXPECT_EQ(data->big_columns.size(), 13u);
+  EXPECT_EQ(data->small_columns.size(), 6u);
+  EXPECT_EQ(data->table.num_columns(), 24u);
+  EXPECT_EQ(data->table.num_rows(), 4096u);
+  // Big dictionaries really are bigger than the small ones.
+  const auto* big = data->table.GetColumn(data->big_columns[0]);
+  const auto* small = data->table.GetColumn(data->small_columns[0]);
+  ASSERT_NE(big, nullptr);
+  ASSERT_NE(small, nullptr);
+  EXPECT_GT(big->dict().SizeBytes(), small->dict().SizeBytes());
+}
+
+TEST(S4HanaTest, OltpWorkingSetGrowsWithProjectionWidth) {
+  sim::Machine m{sim::MachineConfig{}};
+  AcdocaConfig cfg;
+  cfg.rows = 4096;
+  auto data = MakeAcdocaData(&m, cfg);
+  auto q2 = MakeOltpQuery(*data, true, 2, 1);
+  auto q13 = MakeOltpQuery(*data, true, 13, 1);
+  EXPECT_GT(q13->WorkingSetBytes(), q2->WorkingSetBytes());
+}
+
+TEST(S4HanaTest, SmallProjectionHasSmallerWorkingSet) {
+  sim::Machine m{sim::MachineConfig{}};
+  AcdocaConfig cfg;
+  cfg.rows = 4096;
+  auto data = MakeAcdocaData(&m, cfg);
+  auto big = MakeOltpQuery(*data, true, 6, 1);
+  auto small = MakeOltpQuery(*data, false, 6, 1);
+  EXPECT_GT(big->WorkingSetBytes(), small->WorkingSetBytes());
+}
+
+}  // namespace
+}  // namespace catdb::workloads
