@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_coscheduling.dir/ext_coscheduling.cc.o"
+  "CMakeFiles/ext_coscheduling.dir/ext_coscheduling.cc.o.d"
+  "ext_coscheduling"
+  "ext_coscheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_coscheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

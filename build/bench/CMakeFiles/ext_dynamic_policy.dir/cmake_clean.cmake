@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic_policy.dir/ext_dynamic_policy.cc.o"
+  "CMakeFiles/ext_dynamic_policy.dir/ext_dynamic_policy.cc.o.d"
+  "ext_dynamic_policy"
+  "ext_dynamic_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

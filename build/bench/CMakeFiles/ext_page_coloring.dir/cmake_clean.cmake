@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_page_coloring.dir/ext_page_coloring.cc.o"
+  "CMakeFiles/ext_page_coloring.dir/ext_page_coloring.cc.o.d"
+  "ext_page_coloring"
+  "ext_page_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_page_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_scan_cache_size.dir/fig04_scan_cache_size.cc.o"
+  "CMakeFiles/fig04_scan_cache_size.dir/fig04_scan_cache_size.cc.o.d"
+  "fig04_scan_cache_size"
+  "fig04_scan_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_scan_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_agg_cache_size.dir/fig05_agg_cache_size.cc.o"
+  "CMakeFiles/fig05_agg_cache_size.dir/fig05_agg_cache_size.cc.o.d"
+  "fig05_agg_cache_size"
+  "fig05_agg_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_agg_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

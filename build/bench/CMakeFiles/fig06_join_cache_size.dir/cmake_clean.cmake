@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_join_cache_size.dir/fig06_join_cache_size.cc.o"
+  "CMakeFiles/fig06_join_cache_size.dir/fig06_join_cache_size.cc.o.d"
+  "fig06_join_cache_size"
+  "fig06_join_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_join_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

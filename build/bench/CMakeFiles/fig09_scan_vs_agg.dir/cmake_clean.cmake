@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scan_vs_agg.dir/fig09_scan_vs_agg.cc.o"
+  "CMakeFiles/fig09_scan_vs_agg.dir/fig09_scan_vs_agg.cc.o.d"
+  "fig09_scan_vs_agg"
+  "fig09_scan_vs_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scan_vs_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_scan_vs_agg.
+# This may be replaced when dependencies are built.

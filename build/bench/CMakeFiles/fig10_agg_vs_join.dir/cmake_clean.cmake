@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_agg_vs_join.dir/fig10_agg_vs_join.cc.o"
+  "CMakeFiles/fig10_agg_vs_join.dir/fig10_agg_vs_join.cc.o.d"
+  "fig10_agg_vs_join"
+  "fig10_agg_vs_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_agg_vs_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tpch.dir/fig11_tpch.cc.o"
+  "CMakeFiles/fig11_tpch.dir/fig11_tpch.cc.o.d"
+  "fig11_tpch"
+  "fig11_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

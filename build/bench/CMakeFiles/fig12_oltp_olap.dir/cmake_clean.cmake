@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_oltp_olap.dir/fig12_oltp_olap.cc.o"
+  "CMakeFiles/fig12_oltp_olap.dir/fig12_oltp_olap.cc.o.d"
+  "fig12_oltp_olap"
+  "fig12_oltp_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_oltp_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htap_mixed.dir/htap_mixed.cpp.o"
+  "CMakeFiles/htap_mixed.dir/htap_mixed.cpp.o.d"
+  "htap_mixed"
+  "htap_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htap_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

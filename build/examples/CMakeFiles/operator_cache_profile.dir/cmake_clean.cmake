@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_cache_profile.dir/operator_cache_profile.cpp.o"
+  "CMakeFiles/operator_cache_profile.dir/operator_cache_profile.cpp.o.d"
+  "operator_cache_profile"
+  "operator_cache_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_cache_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cat/cat_controller.cc" "src/CMakeFiles/catdb.dir/cat/cat_controller.cc.o" "gcc" "src/CMakeFiles/catdb.dir/cat/cat_controller.cc.o.d"
+  "/root/repo/src/cat/resctrl.cc" "src/CMakeFiles/catdb.dir/cat/resctrl.cc.o" "gcc" "src/CMakeFiles/catdb.dir/cat/resctrl.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/catdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/catdb.dir/common/status.cc.o.d"
+  "/root/repo/src/engine/composite_query.cc" "src/CMakeFiles/catdb.dir/engine/composite_query.cc.o" "gcc" "src/CMakeFiles/catdb.dir/engine/composite_query.cc.o.d"
+  "/root/repo/src/engine/coscheduler.cc" "src/CMakeFiles/catdb.dir/engine/coscheduler.cc.o" "gcc" "src/CMakeFiles/catdb.dir/engine/coscheduler.cc.o.d"
+  "/root/repo/src/engine/dynamic_policy.cc" "src/CMakeFiles/catdb.dir/engine/dynamic_policy.cc.o" "gcc" "src/CMakeFiles/catdb.dir/engine/dynamic_policy.cc.o.d"
+  "/root/repo/src/engine/job_scheduler.cc" "src/CMakeFiles/catdb.dir/engine/job_scheduler.cc.o" "gcc" "src/CMakeFiles/catdb.dir/engine/job_scheduler.cc.o.d"
+  "/root/repo/src/engine/operators/aggregation.cc" "src/CMakeFiles/catdb.dir/engine/operators/aggregation.cc.o" "gcc" "src/CMakeFiles/catdb.dir/engine/operators/aggregation.cc.o.d"
+  "/root/repo/src/engine/operators/column_scan.cc" "src/CMakeFiles/catdb.dir/engine/operators/column_scan.cc.o" "gcc" "src/CMakeFiles/catdb.dir/engine/operators/column_scan.cc.o.d"
+  "/root/repo/src/engine/operators/fk_join.cc" "src/CMakeFiles/catdb.dir/engine/operators/fk_join.cc.o" "gcc" "src/CMakeFiles/catdb.dir/engine/operators/fk_join.cc.o.d"
+  "/root/repo/src/engine/operators/index_project.cc" "src/CMakeFiles/catdb.dir/engine/operators/index_project.cc.o" "gcc" "src/CMakeFiles/catdb.dir/engine/operators/index_project.cc.o.d"
+  "/root/repo/src/engine/partitioning_policy.cc" "src/CMakeFiles/catdb.dir/engine/partitioning_policy.cc.o" "gcc" "src/CMakeFiles/catdb.dir/engine/partitioning_policy.cc.o.d"
+  "/root/repo/src/engine/query.cc" "src/CMakeFiles/catdb.dir/engine/query.cc.o" "gcc" "src/CMakeFiles/catdb.dir/engine/query.cc.o.d"
+  "/root/repo/src/engine/runner.cc" "src/CMakeFiles/catdb.dir/engine/runner.cc.o" "gcc" "src/CMakeFiles/catdb.dir/engine/runner.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/CMakeFiles/catdb.dir/sim/executor.cc.o" "gcc" "src/CMakeFiles/catdb.dir/sim/executor.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/catdb.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/catdb.dir/sim/machine.cc.o.d"
+  "/root/repo/src/simcache/hierarchy.cc" "src/CMakeFiles/catdb.dir/simcache/hierarchy.cc.o" "gcc" "src/CMakeFiles/catdb.dir/simcache/hierarchy.cc.o.d"
+  "/root/repo/src/simcache/prefetcher.cc" "src/CMakeFiles/catdb.dir/simcache/prefetcher.cc.o" "gcc" "src/CMakeFiles/catdb.dir/simcache/prefetcher.cc.o.d"
+  "/root/repo/src/simcache/set_assoc_cache.cc" "src/CMakeFiles/catdb.dir/simcache/set_assoc_cache.cc.o" "gcc" "src/CMakeFiles/catdb.dir/simcache/set_assoc_cache.cc.o.d"
+  "/root/repo/src/storage/agg_hash_table.cc" "src/CMakeFiles/catdb.dir/storage/agg_hash_table.cc.o" "gcc" "src/CMakeFiles/catdb.dir/storage/agg_hash_table.cc.o.d"
+  "/root/repo/src/storage/bitpacked_vector.cc" "src/CMakeFiles/catdb.dir/storage/bitpacked_vector.cc.o" "gcc" "src/CMakeFiles/catdb.dir/storage/bitpacked_vector.cc.o.d"
+  "/root/repo/src/storage/datagen.cc" "src/CMakeFiles/catdb.dir/storage/datagen.cc.o" "gcc" "src/CMakeFiles/catdb.dir/storage/datagen.cc.o.d"
+  "/root/repo/src/storage/dict_column.cc" "src/CMakeFiles/catdb.dir/storage/dict_column.cc.o" "gcc" "src/CMakeFiles/catdb.dir/storage/dict_column.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "src/CMakeFiles/catdb.dir/storage/dictionary.cc.o" "gcc" "src/CMakeFiles/catdb.dir/storage/dictionary.cc.o.d"
+  "/root/repo/src/storage/inverted_index.cc" "src/CMakeFiles/catdb.dir/storage/inverted_index.cc.o" "gcc" "src/CMakeFiles/catdb.dir/storage/inverted_index.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/catdb.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/catdb.dir/storage/table.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/catdb.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/catdb.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/s4hana.cc" "src/CMakeFiles/catdb.dir/workloads/s4hana.cc.o" "gcc" "src/CMakeFiles/catdb.dir/workloads/s4hana.cc.o.d"
+  "/root/repo/src/workloads/tpch_gen.cc" "src/CMakeFiles/catdb.dir/workloads/tpch_gen.cc.o" "gcc" "src/CMakeFiles/catdb.dir/workloads/tpch_gen.cc.o.d"
+  "/root/repo/src/workloads/tpch_queries.cc" "src/CMakeFiles/catdb.dir/workloads/tpch_queries.cc.o" "gcc" "src/CMakeFiles/catdb.dir/workloads/tpch_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregates_test.cc" "tests/CMakeFiles/catdb_tests.dir/aggregates_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/aggregates_test.cc.o.d"
+  "/root/repo/tests/cat_test.cc" "tests/CMakeFiles/catdb_tests.dir/cat_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/cat_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/catdb_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/catdb_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/hierarchy_test.cc" "tests/CMakeFiles/catdb_tests.dir/hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/hierarchy_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/catdb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/monitoring_test.cc" "tests/CMakeFiles/catdb_tests.dir/monitoring_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/monitoring_test.cc.o.d"
+  "/root/repo/tests/operators_test.cc" "tests/CMakeFiles/catdb_tests.dir/operators_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/operators_test.cc.o.d"
+  "/root/repo/tests/properties_test.cc" "tests/CMakeFiles/catdb_tests.dir/properties_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/properties_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/catdb_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/simcache_test.cc" "tests/CMakeFiles/catdb_tests.dir/simcache_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/simcache_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/catdb_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/catdb_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/catdb_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/catdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

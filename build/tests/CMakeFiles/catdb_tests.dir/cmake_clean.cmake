@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catdb_tests.dir/aggregates_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/aggregates_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/cat_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/cat_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/common_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/engine_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/engine_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/hierarchy_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/hierarchy_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/integration_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/monitoring_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/monitoring_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/operators_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/operators_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/properties_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/properties_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/sim_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/sim_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/simcache_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/simcache_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/storage_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/storage_test.cc.o.d"
+  "CMakeFiles/catdb_tests.dir/workloads_test.cc.o"
+  "CMakeFiles/catdb_tests.dir/workloads_test.cc.o.d"
+  "catdb_tests"
+  "catdb_tests.pdb"
+  "catdb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catdb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
