@@ -1,0 +1,345 @@
+// Simulator self-benchmark: measures *host* wall-clock throughput of the
+// discrete-event simulator (simulated cycles per second, simulated memory
+// accesses per second) over the fig01 (OLTP vs. OLAP scan) and fig11
+// (TPC-H Q1 vs. scan) workload shapes. The fast configuration (event-driven
+// executor + optimized memory hierarchy) is compared against the pre-change
+// baseline (the legacy O(cores)-per-step scan executor + the reference-impl
+// hierarchy, i.e. the seed implementation kept alive behind
+// HierarchyConfig::reference_impl). Both must produce bit-identical
+// simulated results before a speedup is reported. Emits BENCH_selfperf.json
+// (path overridable via argv[1]) so the repository keeps a perf trajectory
+// across PRs.
+//
+// Usage: selfperf_sim [output.json]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "engine/operators/column_scan.h"
+#include "engine/operators/index_project.h"
+#include "engine/runner.h"
+#include "sim/executor.h"
+#include "workloads/micro.h"
+#include "workloads/s4hana.h"
+#include "workloads/tpch_gen.h"
+#include "workloads/tpch_queries.h"
+
+namespace catdb {
+namespace {
+
+/// The pre-change executor, kept verbatim as the measurement baseline: every
+/// scheduling step rescans all cores (and replenishes idle ones eagerly).
+/// Lives only in this benchmark; the production executor is event-driven.
+/// The baseline measurement pairs it with a reference-impl hierarchy
+/// (HierarchyConfig::reference_impl), so the baseline leg is the whole
+/// pre-change simulator, not just the pre-change scheduler.
+class ScanExecutor {
+ public:
+  explicit ScanExecutor(sim::Machine* machine) : machine_(machine) {
+    cores_.resize(machine_->num_cores());
+  }
+
+  void Attach(uint32_t core, sim::TaskSource* source) {
+    cores_[core].source = source;
+  }
+
+  void RunUntil(uint64_t horizon) {
+    for (;;) {
+      int best = -1;
+      uint64_t best_clock = horizon;
+      for (uint32_t c = 0; c < cores_.size(); ++c) {
+        if (!Replenish(c)) continue;
+        const uint64_t clock = machine_->clock(c);
+        if (clock < best_clock) {
+          best_clock = clock;
+          best = static_cast<int>(c);
+        }
+      }
+      if (best < 0) return;
+
+      const uint32_t core = static_cast<uint32_t>(best);
+      CoreState& cs = cores_[core];
+      sim::ExecContext ctx(machine_, core);
+      const bool more = cs.current->Step(ctx);
+      if (!more) {
+        sim::Task* done = cs.current;
+        cs.current = nullptr;
+        cs.source->TaskFinished(done, core, machine_->clock(core));
+      }
+    }
+  }
+
+ private:
+  struct CoreState {
+    sim::TaskSource* source = nullptr;
+    sim::Task* current = nullptr;
+  };
+
+  bool Replenish(uint32_t core) {
+    CoreState& cs = cores_[core];
+    if (cs.current != nullptr) return true;
+    if (cs.source == nullptr) return false;
+    sim::Task* task = cs.source->NextTask(core);
+    if (task == nullptr) return false;
+    machine_->AdvanceClockTo(core, task->ready_time());
+    cs.source->TaskDispatched(task, core);
+    cs.current = task;
+    return true;
+  }
+
+  sim::Machine* machine_;
+  std::vector<CoreState> cores_;
+};
+
+/// Simulated results that must match between the two configurations — the
+/// self-benchmark refuses to report a speedup over a run that computed
+/// different physics. Scheduler counters are deliberately excluded: the
+/// event-driven executor intentionally skips dispatch charges for tasks
+/// that never run before the horizon.
+struct SimDigest {
+  std::vector<double> iterations;
+  uint64_t l1_lookups = 0;
+  uint64_t llc_hits = 0;
+  uint64_t llc_misses = 0;
+  uint64_t dram_accesses = 0;
+
+  bool operator==(const SimDigest&) const = default;
+};
+
+struct Measurement {
+  double wall_seconds = 0;
+  SimDigest digest;
+};
+
+/// One fully built measurement setup: machine, datasets, queries, stream
+/// specs. Queries carry mutable RNG state (fresh predicate parameters per
+/// iteration), so every measured run gets its own identically-seeded rig —
+/// the only way two executors can be compared on bit-identical inputs.
+struct Rig {
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<workloads::AcdocaData> acdoca;
+  std::unique_ptr<workloads::TpchData> tpch;
+  std::unique_ptr<workloads::ScanDataset> scan_data;
+  std::unique_ptr<engine::OltpQuery> oltp;
+  std::unique_ptr<engine::Query> tpch_q;
+  std::unique_ptr<engine::ColumnScanQuery> scan_q;
+  std::vector<engine::StreamSpec> specs;
+};
+
+std::unique_ptr<sim::Machine> MakeMachine(bool reference_impl) {
+  sim::MachineConfig cfg;
+  cfg.hierarchy.reference_impl = reference_impl;
+  return std::make_unique<sim::Machine>(cfg);
+}
+
+Rig MakeFig01Rig(bool reference_impl) {
+  // fig01 shape: S/4HANA OLTP point queries vs. polluting column scan.
+  Rig rig;
+  rig.machine = MakeMachine(reference_impl);
+  rig.acdoca = workloads::MakeAcdocaData(rig.machine.get(), {});
+  rig.scan_data = std::make_unique<workloads::ScanDataset>(
+      workloads::MakeScanDataset(
+          rig.machine.get(), workloads::kDefaultScanRows,
+          workloads::DictEntriesForRatio(*rig.machine,
+                                         workloads::kDictRatioSmall),
+          /*seed=*/11));
+  rig.oltp = workloads::MakeOltpQuery(*rig.acdoca, /*big_projection=*/true,
+                                      /*num_columns=*/13, /*seed=*/12);
+  rig.scan_q = std::make_unique<engine::ColumnScanQuery>(
+      &rig.scan_data->column, /*seed=*/13);
+  rig.oltp->AttachSim(rig.machine.get());
+  rig.scan_q->AttachSim(rig.machine.get());
+  rig.specs = {{rig.oltp.get(), bench::kCoresA},
+               {rig.scan_q.get(), bench::kCoresB}};
+  return rig;
+}
+
+Rig MakeFig11Rig(bool reference_impl) {
+  // fig11 shape: TPC-H Q1 (big-dictionary decode) vs. column scan.
+  Rig rig;
+  rig.machine = MakeMachine(reference_impl);
+  rig.tpch = workloads::MakeTpchData(rig.machine.get(),
+                                     workloads::TpchConfig{});
+  rig.scan_data = std::make_unique<workloads::ScanDataset>(
+      workloads::MakeScanDataset(
+          rig.machine.get(), workloads::kDefaultScanRows,
+          workloads::DictEntriesForRatio(*rig.machine,
+                                         workloads::kDictRatioSmall),
+          /*seed=*/1100));
+  rig.tpch_q = workloads::MakeTpchQuery(1, *rig.tpch, /*seed=*/1201);
+  rig.scan_q = std::make_unique<engine::ColumnScanQuery>(
+      &rig.scan_data->column, /*seed=*/1301);
+  rig.tpch_q->AttachSim(rig.machine.get());
+  rig.scan_q->AttachSim(rig.machine.get());
+  rig.specs = {{rig.tpch_q.get(), bench::kCoresA},
+               {rig.scan_q.get(), bench::kCoresB}};
+  return rig;
+}
+
+/// RunWorkload mirrored for an arbitrary executor type (the production
+/// runner is hard-wired to sim::Executor on purpose).
+template <typename ExecutorT>
+Measurement RunWith(sim::Machine* machine,
+                    const std::vector<engine::StreamSpec>& specs,
+                    uint64_t horizon, bool timed) {
+  machine->ResetForRun();
+  machine->resctrl().Reset();
+  engine::JobScheduler scheduler(machine, engine::PolicyConfig{});
+  CATDB_CHECK(scheduler.SetupGroups().ok());
+
+  ExecutorT executor(machine);
+  std::vector<std::unique_ptr<engine::QueryStream>> streams;
+  for (const engine::StreamSpec& spec : specs) {
+    streams.push_back(std::make_unique<engine::QueryStream>(
+        spec.query, spec.cores, &scheduler, spec.max_iterations));
+    for (uint32_t core : spec.cores) {
+      executor.Attach(core, streams.back().get());
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  executor.RunUntil(horizon);
+  const auto end = std::chrono::steady_clock::now();
+
+  Measurement m;
+  m.wall_seconds =
+      timed ? std::chrono::duration<double>(end - start).count() : 0;
+  for (const auto& stream : streams) {
+    m.digest.iterations.push_back(stream->Iterations());
+  }
+  const simcache::HierarchyStats& stats = machine->hierarchy().stats();
+  m.digest.l1_lookups = stats.l1.lookups();
+  m.digest.llc_hits = stats.llc.hits;
+  m.digest.llc_misses = stats.llc.misses;
+  m.digest.dram_accesses = stats.dram_accesses;
+  return m;
+}
+
+template <typename ExecutorT>
+Measurement Measure(Rig (*make_rig)(bool), bool reference_impl,
+                    uint64_t horizon) {
+  // Fresh rig per configuration: both measurements start from bit-identical
+  // machine layout and query RNG state. One short warm-up pass (page
+  // tables, allocator pools, branch predictors), then the timed pass.
+  Rig rig = make_rig(reference_impl);
+  RunWith<ExecutorT>(rig.machine.get(), rig.specs, horizon / 8,
+                     /*timed=*/false);
+  return RunWith<ExecutorT>(rig.machine.get(), rig.specs, horizon,
+                            /*timed=*/true);
+}
+
+struct WorkloadResult {
+  std::string name;
+  uint64_t horizon = 0;
+  Measurement fast;
+  Measurement scan;
+};
+
+WorkloadResult MeasureWorkload(const std::string& name,
+                               Rig (*make_rig)(bool), uint64_t horizon) {
+  WorkloadResult w;
+  w.name = name;
+  w.horizon = horizon;
+  w.fast = Measure<sim::Executor>(make_rig, /*reference_impl=*/false,
+                                  horizon);
+  w.scan = Measure<ScanExecutor>(make_rig, /*reference_impl=*/true,
+                                 horizon);
+  if (!(w.fast.digest == w.scan.digest)) {
+    std::fprintf(stderr, "digest mismatch on %s (fast vs reference):\n",
+                 name.c_str());
+    for (size_t i = 0; i < w.fast.digest.iterations.size(); ++i) {
+      std::fprintf(stderr, "  iterations[%zu]: %.6f vs %.6f\n", i,
+                   w.fast.digest.iterations[i], w.scan.digest.iterations[i]);
+    }
+    std::fprintf(stderr,
+                 "  l1_lookups: %llu vs %llu\n  llc_hits: %llu vs %llu\n"
+                 "  llc_misses: %llu vs %llu\n  dram: %llu vs %llu\n",
+                 (unsigned long long)w.fast.digest.l1_lookups,
+                 (unsigned long long)w.scan.digest.l1_lookups,
+                 (unsigned long long)w.fast.digest.llc_hits,
+                 (unsigned long long)w.scan.digest.llc_hits,
+                 (unsigned long long)w.fast.digest.llc_misses,
+                 (unsigned long long)w.scan.digest.llc_misses,
+                 (unsigned long long)w.fast.digest.dram_accesses,
+                 (unsigned long long)w.scan.digest.dram_accesses);
+  }
+  CATDB_CHECK(w.fast.digest == w.scan.digest);
+  return w;
+}
+
+void PrintRow(const WorkloadResult& w) {
+  const double cyc_fast = static_cast<double>(w.horizon) / w.fast.wall_seconds;
+  const double cyc_scan = static_cast<double>(w.horizon) / w.scan.wall_seconds;
+  const double acc_fast =
+      static_cast<double>(w.fast.digest.l1_lookups) / w.fast.wall_seconds;
+  std::printf("%-16s %12.1f %14.2f %12.1f %9.2fx\n", w.name.c_str(),
+              cyc_fast / 1e6, acc_fast / 1e6, cyc_scan / 1e6,
+              cyc_fast / cyc_scan);
+}
+
+std::string JsonEntry(const WorkloadResult& w) {
+  const double cyc_fast = static_cast<double>(w.horizon) / w.fast.wall_seconds;
+  const double cyc_scan = static_cast<double>(w.horizon) / w.scan.wall_seconds;
+  const double acc_fast =
+      static_cast<double>(w.fast.digest.l1_lookups) / w.fast.wall_seconds;
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"name\": \"%s\", \"horizon_cycles\": %llu,\n"
+      "     \"fast_event_executor\": {\"wall_seconds\": %.4f, "
+      "\"sim_cycles_per_second\": %.0f, \"sim_accesses\": %llu, "
+      "\"accesses_per_second\": %.0f},\n"
+      "     \"prechange_scan_executor\": {\"wall_seconds\": %.4f, "
+      "\"sim_cycles_per_second\": %.0f},\n"
+      "     \"speedup_vs_prechange_scan_executor\": %.3f}",
+      w.name.c_str(), static_cast<unsigned long long>(w.horizon),
+      w.fast.wall_seconds, cyc_fast,
+      static_cast<unsigned long long>(w.fast.digest.l1_lookups), acc_fast,
+      w.scan.wall_seconds, cyc_scan, cyc_fast / cyc_scan);
+  return buf;
+}
+
+}  // namespace
+}  // namespace catdb
+
+int main(int argc, char** argv) {
+  using namespace catdb;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_selfperf.json";
+  const uint64_t horizon = bench::kDefaultHorizon / 2;
+
+  std::printf("Simulator self-benchmark (host wall-clock)\n");
+  bench::PrintRule(72);
+  std::printf("%-16s %12s %14s %12s %10s\n", "workload", "Mcycles/s",
+              "Maccesses/s", "base Mcyc/s", "speedup");
+  bench::PrintRule(72);
+
+  std::vector<WorkloadResult> results;
+
+  results.push_back(MeasureWorkload("fig01_oltp_olap", MakeFig01Rig, horizon));
+  PrintRow(results.back());
+
+  results.push_back(MeasureWorkload("fig11_tpch_q1", MakeFig11Rig, horizon));
+  PrintRow(results.back());
+
+  bench::PrintRule(72);
+
+  std::string json = "{\n  \"benchmark\": \"selfperf_sim\",\n  \"workloads\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    json += JsonEntry(results[i]);
+    json += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  FILE* f = std::fopen(out_path, "w");
+  CATDB_CHECK(f != nullptr);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

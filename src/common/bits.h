@@ -46,6 +46,16 @@ inline constexpr uint32_t PopCount(uint64_t x) {
   return static_cast<uint32_t>(__builtin_popcountll(x));
 }
 
+/// Capacity bitmask with the lowest `ways` bits set. Requires
+/// 1 <= ways <= 64: a zero-way mask is invalid under Intel CAT (schemata
+/// masks must be non-empty and contiguous), and `1 << 64` is undefined
+/// behaviour. Every CAT/way mask in the tree must come from here rather
+/// than hand-rolled shifts.
+inline constexpr uint64_t MaskForWays(uint32_t ways) {
+  CATDB_DCHECK(ways >= 1 && ways <= 64);
+  return ways >= 64 ? ~uint64_t{0} : (uint64_t{1} << ways) - 1;
+}
+
 /// Returns true iff the set bits of `mask` form one contiguous run.
 /// Intel CAT requires capacity bitmasks to be contiguous.
 inline constexpr bool IsContiguousMask(uint64_t mask) {

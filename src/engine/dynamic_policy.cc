@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "cat/resctrl.h"
+#include "common/bits.h"
 #include "common/check.h"
 #include "common/units.h"
 #include "engine/job_scheduler.h"
@@ -36,14 +37,18 @@ DynamicRunReport RunWorkloadDynamic(sim::Machine* machine,
   JobScheduler scheduler(machine, PolicyConfig{});
   CATDB_CHECK(scheduler.SetupGroups().ok());
 
+  // Both masks come from the policy's validated helper: the former
+  // hand-rolled shifts were UB for a 64-way LLC and produced an all-zero
+  // (CAT-invalid) schemata mask for polluting_ways == 0.
   const uint32_t llc_ways = machine->config().hierarchy.llc.num_ways;
-  const uint64_t full_mask =
-      llc_ways >= 64 ? ~uint64_t{0} : (uint64_t{1} << llc_ways) - 1;
-  const uint64_t polluting_mask =
-      (uint64_t{1} << (config.polluting_ways < llc_ways
-                           ? config.polluting_ways
-                           : llc_ways)) -
-      1;
+  uint32_t polluting_ways = config.polluting_ways;
+  if (polluting_ways < 1) polluting_ways = 1;
+  if (polluting_ways > llc_ways) polluting_ways = llc_ways;
+  const PartitioningPolicy& mask_policy = scheduler.policy();
+  const uint64_t full_mask = mask_policy.MaskForWays(llc_ways);
+  const uint64_t polluting_mask = mask_policy.MaskForWays(polluting_ways);
+  CATDB_DCHECK(IsContiguousMask(full_mask));
+  CATDB_DCHECK(IsContiguousMask(polluting_mask));
 
   std::vector<cat::ClosId> stream_clos;
   for (size_t i = 0; i < specs.size(); ++i) {

@@ -1,5 +1,6 @@
 #include "engine/partitioning_policy.h"
 
+#include "common/bits.h"
 #include "common/check.h"
 
 namespace catdb::engine {
@@ -24,7 +25,7 @@ PartitioningPolicy::PartitioningPolicy(const PolicyConfig& config,
 
 uint64_t PartitioningPolicy::MaskForWays(uint32_t ways) const {
   CATDB_CHECK(ways >= 1 && ways <= llc_ways_);
-  return ways >= 64 ? ~uint64_t{0} : (uint64_t{1} << ways) - 1;
+  return catdb::MaskForWays(ways);
 }
 
 std::string PartitioningPolicy::GroupFor(const Job& job) const {

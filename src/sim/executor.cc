@@ -14,41 +14,74 @@ void Executor::Attach(uint32_t core, TaskSource* source) {
   cores_[core].source = source;
 }
 
-bool Executor::Replenish(uint32_t core) {
-  CoreState& cs = cores_[core];
-  if (cs.current != nullptr) return true;
-  if (cs.source == nullptr) return false;
-  Task* task = cs.source->NextTask(core);
-  if (task == nullptr) return false;
-  machine_->AdvanceClockTo(core, task->ready_time());
-  cs.source->TaskDispatched(task, core);
-  cs.current = task;
-  return true;
+void Executor::PollIdleCores() {
+  for (uint32_t c = 0; c < cores_.size(); ++c) {
+    CoreState& cs = cores_[c];
+    if (cs.current != nullptr || cs.source == nullptr) continue;
+    Task* task = cs.source->NextTask(c);
+    if (task == nullptr) continue;
+    cs.current = task;
+    cs.dispatched = false;
+    // Enqueue at the cycle the task could start; the clock itself is not
+    // advanced (and the dispatch hook not fired) until the task is actually
+    // scheduled inside the horizon.
+    const uint64_t clock = machine_->clock(c);
+    const uint64_t start = clock > task->ready_time() ? clock
+                                                      : task->ready_time();
+    ready_.emplace(start, c);
+  }
 }
 
 void Executor::RunUntil(uint64_t horizon) {
+  // Invariant: every core with a current task has exactly one heap entry,
+  // keyed on the cycle of its next Step (including pending dispatch
+  // charges once dispatched).
+  PollIdleCores();
   for (;;) {
-    // Pick the runnable core with the smallest clock (ties: lowest id).
-    int best = -1;
-    uint64_t best_clock = horizon;
-    for (uint32_t c = 0; c < cores_.size(); ++c) {
-      if (!Replenish(c)) continue;
-      const uint64_t clock = machine_->clock(c);
-      if (clock < best_clock) {
-        best_clock = clock;
-        best = static_cast<int>(c);
+    if (ready_.empty()) return;  // everything idle
+    const auto [key, core] = ready_.top();
+    if (key >= horizon) return;  // nothing runnable before the horizon
+    ready_.pop();
+
+    CoreState& cs = cores_[core];
+    CATDB_DCHECK(cs.current != nullptr);
+    if (!cs.dispatched) {
+      machine_->AdvanceClockTo(core, cs.current->ready_time());
+      cs.source->TaskDispatched(cs.current, core);
+      cs.dispatched = true;
+      const uint64_t clock = machine_->clock(core);
+      if (clock != key) {
+        // Dispatch charges (CLOS re-association) moved the clock; re-sort.
+        ready_.emplace(clock, core);
+        continue;
       }
     }
-    if (best < 0) return;  // all idle or past the horizon
 
-    const uint32_t core = static_cast<uint32_t>(best);
-    CoreState& cs = cores_[core];
-    ExecContext ctx(machine_, core);
-    const bool more = cs.current->Step(ctx);
-    if (!more) {
-      Task* done = cs.current;
-      cs.current = nullptr;
-      cs.source->TaskFinished(done, core, machine_->clock(core));
+    // Step the core until it stops being the earliest. Re-checking against
+    // the heap top instead of re-pushing every step keeps the common case —
+    // the same core staying ahead — free of heap traffic.
+    for (;;) {
+      ExecContext ctx(machine_, core);
+      const bool more = cs.current->Step(ctx);
+      const uint64_t clock = machine_->clock(core);
+      if (!more) {
+        Task* done = cs.current;
+        cs.current = nullptr;
+        cs.dispatched = false;
+        cs.source->TaskFinished(done, core, clock);
+        // A finish is the only event that can unblock other sources (phase
+        // barriers open, streams advance); hand out the released work now.
+        PollIdleCores();
+        break;
+      }
+      if (clock >= horizon) {
+        ready_.emplace(clock, core);
+        break;
+      }
+      if (!ready_.empty() && ReadyEntry(clock, core) > ready_.top()) {
+        ready_.emplace(clock, core);
+        break;
+      }
     }
   }
 }

@@ -2,6 +2,8 @@
 #define CATDB_SIM_EXECUTOR_H_
 
 #include <cstdint>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/machine.h"
@@ -30,12 +32,18 @@ class Task {
 
 /// Supplies tasks to cores and learns about their completion. Implemented by
 /// the engine's query streams.
+///
+/// Contract: a source that returns nullptr from NextTask may only start
+/// returning tasks again after some task (of any source) finished — the
+/// executor re-polls idle cores on every TaskFinished and at the start of
+/// every RunUntil call, not on every scheduling step. All sources in this
+/// repository (query streams with phase barriers, fixed task lists) satisfy
+/// this; a time-triggered source would need an explicit barrier task.
 class TaskSource {
  public:
   virtual ~TaskSource() = default;
 
   /// Returns the next task for an idle core, or nullptr if none is ready.
-  /// Called repeatedly; must be cheap.
   virtual Task* NextTask(uint32_t core) = 0;
 
   /// Notifies that `task` (previously handed out for `core`) finished at
@@ -43,7 +51,11 @@ class TaskSource {
   virtual void TaskFinished(Task* task, uint32_t core, uint64_t clock) = 0;
 
   /// Hook invoked right before a task starts running on a core (used by the
-  /// engine to apply CAT thread re-association at dispatch). Default: no-op.
+  /// engine to apply CAT thread re-association at dispatch). The executor
+  /// guarantees this fires only for tasks that actually begin a Step before
+  /// the current horizon — a task pulled from the source but still waiting
+  /// at the horizon is dispatched by the RunUntil call that first runs it.
+  /// Default: no-op.
   virtual void TaskDispatched(Task* task, uint32_t core) {
     (void)task;
     (void)core;
@@ -52,6 +64,13 @@ class TaskSource {
 
 /// Deterministic discrete-event executor: always advances the runnable core
 /// with the smallest clock. Ties break by core id, making runs reproducible.
+///
+/// Scheduling is event-driven: runnable cores live in a min-heap keyed on
+/// (clock, core id), so picking the next core is O(log cores) instead of a
+/// rescan of every core per step, and idle cores are re-polled only when a
+/// task finishes (the only event that can unblock a phase barrier). The
+/// simulated schedule — which core steps at which cycle — is identical to
+/// the naive smallest-clock scan.
 class Executor {
  public:
   explicit Executor(Machine* machine);
@@ -65,17 +84,34 @@ class Executor {
 
   /// Runs until all runnable cores have clocks >= `horizon` or everything is
   /// idle. Cores never start a new Step at or beyond the horizon, so `Run`
-  /// is suitable for fixed-duration throughput measurements.
+  /// is suitable for fixed-duration throughput measurements. Repeated calls
+  /// with increasing horizons resume seamlessly (the dynamic policy's
+  /// interval loop).
   void RunUntil(uint64_t horizon);
 
  private:
   struct CoreState {
     TaskSource* source = nullptr;
     Task* current = nullptr;
+    /// TaskDispatched has fired for `current`. Dispatch is lazy: it is
+    /// deferred until the task is first scheduled inside the horizon, so
+    /// dispatch side effects (CLOS re-association charges) land in the
+    /// interval the task actually starts in.
+    bool dispatched = false;
   };
 
-  // Tries to give an idle core work; returns true if it now has a task.
-  bool Replenish(uint32_t core);
+  /// Pulls a task for every idle core whose source has one ready, in
+  /// ascending core-id order (the order the per-step scan used to poll in),
+  /// and enqueues the core at max(clock, ready_time).
+  void PollIdleCores();
+
+  // (clock, core): std::greater turns the queue into a min-heap whose
+  // ordering — smallest clock first, ties to the lowest core id — is
+  // exactly the executor's scheduling rule.
+  using ReadyEntry = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                      std::greater<ReadyEntry>>
+      ready_;
 
   Machine* machine_;
   std::vector<CoreState> cores_;

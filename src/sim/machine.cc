@@ -40,9 +40,8 @@ uint64_t Machine::AssignPhysicalPage(uint64_t color_mask) {
     color = color_rr_++ % num_colors_;
   } else {
     // Round-robin over the set bits of the mask.
-    const uint64_t valid =
-        num_colors_ >= 64 ? ~uint64_t{0} : (uint64_t{1} << num_colors_) - 1;
-    const uint64_t usable = color_mask & valid;
+    const uint64_t usable =
+        color_mask & MaskForWays(num_colors_ < 64 ? num_colors_ : 64);
     CATDB_CHECK(usable != 0);
     uint32_t skip = color_rr_++ % PopCount(usable);
     color = 0;

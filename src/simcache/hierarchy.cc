@@ -16,6 +16,14 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
     prefetchers_.push_back(
         std::make_unique<StreamPrefetcher>(config_.prefetcher));
   }
+  if (config_.reference_impl) {
+    llc_->set_reference_mode(true);
+    for (uint32_t c = 0; c < config_.num_cores; ++c) {
+      l1_[c]->set_reference_mode(true);
+      l2_[c]->set_reference_mode(true);
+      prefetchers_[c]->set_reference_mode(true);
+    }
+  }
   core_stats_.resize(config_.num_cores);
   clos_monitors_.resize(kMaxClos);
 }
@@ -35,32 +43,56 @@ AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
   // demand stream regardless of hit/miss.
   IssuePrefetches(core, line, now, llc_alloc_mask, clos);
 
-  // If the line is an in-flight prefetch that has not arrived yet, the
-  // demand access waits for the remainder of the transfer (partial latency
-  // hiding — this is what couples a prefetch-covered scan to the DRAM
-  // bandwidth).
+  // Reference cost model: the seed probed the pending-prefetch table before
+  // the L1 lookup on every access. Keep that probe (and its cost) in
+  // reference mode, but consume the entry only on the L1-miss paths, so
+  // both implementations follow the fixed accounting semantics.
   uint64_t pending_wait = 0;
-  if (auto it = prefetch_ready_.find(line); it != prefetch_ready_.end()) {
-    if (it->second > now) pending_wait = it->second - now;
-    stats_.prefetch_hits += 1;
-    cs.prefetch_hits += 1;
-    prefetch_ready_.erase(it);
+  bool ref_pending = false;
+  if (config_.reference_impl) {
+    if (auto it = prefetch_ready_ref_.find(line);
+        it != prefetch_ready_ref_.end()) {
+      ref_pending = true;
+      if (it->second > now) pending_wait = it->second - now;
+    }
   }
 
   if (l1_[core]->Lookup(line)) {
+    // An L1 hit is served entirely by the private cache: a prefetch still
+    // in flight for the same line (possible with a non-inclusive LLC,
+    // where eviction does not scrub L1 copies or pending entries) did not
+    // supply the data, so it neither counts as a prefetch hit nor delays
+    // the access; the pending entry stays until a real consumer arrives.
     stats_.l1.hits += 1;
     cs.l1.hits += 1;
-    result.latency_cycles = config_.latency.l1_hit + pending_wait;
+    result.latency_cycles = config_.latency.l1_hit;
     result.level = HitLevel::kL1;
     return result;
   }
   stats_.l1.misses += 1;
   cs.l1.misses += 1;
 
+  // If the line is an in-flight prefetch that has not arrived yet, the
+  // demand access waits for the remainder of the transfer (partial latency
+  // hiding — this is what couples a prefetch-covered scan to the DRAM
+  // bandwidth).
+  if (config_.reference_impl) {
+    if (ref_pending) {
+      stats_.prefetch_hits += 1;
+      cs.prefetch_hits += 1;
+      prefetch_ready_ref_.erase(line);
+    }
+  } else if (uint64_t* ready = prefetch_ready_.Find(line); ready != nullptr) {
+    if (*ready > now) pending_wait = *ready - now;
+    stats_.prefetch_hits += 1;
+    cs.prefetch_hits += 1;
+    prefetch_ready_.Erase(line);
+  }
+
   if (l2_[core]->Lookup(line)) {
     stats_.l2.hits += 1;
     cs.l2.hits += 1;
-    FillPrivate(core, line);
+    FillPrivate(core, line, /*l2_resident=*/true);
     result.latency_cycles = config_.latency.l2_hit + pending_wait;
     result.level = HitLevel::kL2;
     return result;
@@ -72,7 +104,7 @@ AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
     stats_.llc.hits += 1;
     cs.llc.hits += 1;
     mon.llc.hits += 1;
-    FillPrivate(core, line);
+    FillPrivate(core, line, /*l2_resident=*/false);
     result.latency_cycles = config_.latency.llc_hit + pending_wait;
     result.level = HitLevel::kLlc;
     return result;
@@ -97,14 +129,16 @@ AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
 void MemoryHierarchy::FillFromDram(uint32_t core, uint64_t line,
                                    uint64_t llc_alloc_mask, uint32_t clos) {
   InsertIntoLlc(line, llc_alloc_mask, clos);
-  FillPrivate(core, line);
+  FillPrivate(core, line, /*l2_resident=*/false);
 }
 
 void MemoryHierarchy::InsertIntoLlc(uint64_t line, uint64_t llc_alloc_mask,
                                     uint32_t clos) {
+  // Both callers (demand DRAM fill, prefetch fill) have just established
+  // the line misses the LLC, so the already-present scan can be skipped.
   const uint64_t before = llc_->ValidLineCount();
   std::optional<EvictedLine> evicted =
-      llc_->Insert(line, llc_alloc_mask, static_cast<uint16_t>(clos));
+      llc_->InsertNew(line, llc_alloc_mask, static_cast<uint16_t>(clos));
   // CMT occupancy accounting: a fill that was not a mere promotion adds a
   // line to the filler's class; the victim's class loses one.
   if (evicted.has_value()) {
@@ -120,19 +154,44 @@ void MemoryHierarchy::InsertIntoLlc(uint64_t line, uint64_t llc_alloc_mask,
     // Inclusive LLC: a victimized line must disappear from all private
     // caches. This is the mechanism that lets one core's streaming evict
     // another core's hot dictionary lines out of its L2 — the "cache
-    // pollution" the paper is about.
-    for (uint32_t c = 0; c < config_.num_cores; ++c) {
-      bool invalidated = l1_[c]->Invalidate(evicted->line);
-      invalidated |= l2_[c]->Invalidate(evicted->line);
-      if (invalidated) stats_.llc_back_invalidations += 1;
+    // pollution" the paper is about. The fast path visits only cores whose
+    // presence bit is set (a superset of actual private holders); the
+    // reference path brute-forces every core, as the seed did. Both count
+    // the same back-invalidations: cores without a private copy contribute
+    // nothing either way.
+    if (config_.reference_impl) {
+      for (uint32_t c = 0; c < config_.num_cores; ++c) {
+        bool invalidated = l1_[c]->Invalidate(evicted->line);
+        invalidated |= l2_[c]->Invalidate(evicted->line);
+        if (invalidated) stats_.llc_back_invalidations += 1;
+      }
+      prefetch_ready_ref_.erase(evicted->line);
+    } else {
+      for (uint32_t bits = evicted->presence; bits != 0; bits &= bits - 1) {
+        const uint32_t c = static_cast<uint32_t>(__builtin_ctz(bits));
+        bool invalidated = l1_[c]->Invalidate(evicted->line);
+        invalidated |= l2_[c]->Invalidate(evicted->line);
+        if (invalidated) stats_.llc_back_invalidations += 1;
+      }
+      prefetch_ready_.Erase(evicted->line);
     }
-    prefetch_ready_.erase(evicted->line);
   }
 }
 
-void MemoryHierarchy::FillPrivate(uint32_t core, uint64_t line) {
-  l2_[core]->Insert(line);
-  l1_[core]->Insert(line);
+void MemoryHierarchy::FillPrivate(uint32_t core, uint64_t line,
+                                  bool l2_resident) {
+  if (config_.reference_impl) {
+    l2_[core]->Insert(line);
+    l1_[core]->Insert(line);
+    return;
+  }
+  // An L2 hit already promoted the line (Lookup), so re-inserting would
+  // only burn a stamp; on the LLC/DRAM paths the line is known absent from
+  // both private levels. Either way the line's presence on this core must
+  // be recorded in the LLC for targeted back-invalidation.
+  if (!l2_resident) l2_[core]->InsertNew(line);
+  l1_[core]->InsertNew(line);
+  if (config_.inclusive_llc) llc_->MarkPresent(line, core);
 }
 
 void MemoryHierarchy::IssuePrefetches(uint32_t core, uint64_t line,
@@ -147,6 +206,9 @@ void MemoryHierarchy::IssuePrefetches(uint32_t core, uint64_t line,
       // requesting core's L2 (LLC -> L2 prefetch, no DRAM traffic), so a
       // fully cached stream is at least as fast as a DRAM-prefetched one.
       l2_[core]->Insert(pf);
+      if (!config_.reference_impl && config_.inclusive_llc) {
+        llc_->MarkPresent(pf, core);
+      }
       continue;
     }
     uint64_t ready_time = 0;
@@ -157,7 +219,11 @@ void MemoryHierarchy::IssuePrefetches(uint32_t core, uint64_t line,
       core_stats_[core].prefetches_dropped += 1;
       continue;
     }
-    prefetch_ready_[pf] = ready_time;
+    if (config_.reference_impl) {
+      prefetch_ready_ref_[pf] = ready_time;
+    } else {
+      prefetch_ready_.Assign(pf, ready_time);
+    }
     stats_.prefetches_issued += 1;
     core_stats_[core].prefetches_issued += 1;
     // Hardware LLC-miss counters (what the paper samples with Intel PCM)
@@ -171,7 +237,14 @@ void MemoryHierarchy::IssuePrefetches(uint32_t core, uint64_t line,
     // Prefetches fill the LLC and the requesting core's L2 (Intel's L2
     // streamer behaviour) and honour the core's CAT allocation mask.
     InsertIntoLlc(pf, llc_alloc_mask, clos);
-    l2_[core]->Insert(pf);
+    if (config_.inclusive_llc) {
+      // The line missed the LLC, so with an inclusive LLC it cannot be in
+      // any L2 either.
+      l2_[core]->InsertNew(pf);
+      if (!config_.reference_impl) llc_->MarkPresent(pf, core);
+    } else {
+      l2_[core]->Insert(pf);
+    }
   }
 }
 
@@ -195,7 +268,8 @@ void MemoryHierarchy::ResetAll() {
     prefetchers_[c]->Reset();
   }
   dram_.Reset();
-  prefetch_ready_.clear();
+  prefetch_ready_.Clear();
+  prefetch_ready_ref_.clear();
   for (auto& mon : clos_monitors_) mon.occupancy_lines = 0;
 }
 

@@ -9,6 +9,7 @@
 #include "simcache/cache_geometry.h"
 #include "simcache/cache_stats.h"
 #include "simcache/dram.h"
+#include "simcache/line_map.h"
 #include "simcache/prefetcher.h"
 #include "simcache/set_assoc_cache.h"
 
@@ -28,6 +29,14 @@ struct HierarchyConfig {
   /// If false, LLC evictions do not back-invalidate private caches
   /// (exclusive-ish behaviour; exists for the ablation bench).
   bool inclusive_llc = true;
+  /// If true, the hierarchy and its caches/prefetchers run the seed-era
+  /// reference implementation (std::unordered_map pending-prefetch table,
+  /// brute-force back-invalidation over every private cache, no way hints,
+  /// full scans). Simulated results are bit-identical to the fast
+  /// implementation — only the host-side cost differs. The self-benchmark
+  /// uses this as its pre-change baseline, and an equivalence test pins the
+  /// two implementations against each other.
+  bool reference_impl = false;
 };
 
 /// Result of one simulated memory access.
@@ -118,7 +127,10 @@ class MemoryHierarchy {
   // inclusive back-invalidation of all private caches and updates the CMT
   // occupancy of filler and victim.
   void InsertIntoLlc(uint64_t line, uint64_t llc_alloc_mask, uint32_t clos);
-  void FillPrivate(uint32_t core, uint64_t line);
+  // Fills the line into the core's private caches. `l2_resident` tells the
+  // fast path the line was just promoted by the L2 lookup (skip the
+  // re-insert); otherwise the line is known absent from both levels.
+  void FillPrivate(uint32_t core, uint64_t line, bool l2_resident);
   void IssuePrefetches(uint32_t core, uint64_t line, uint64_t now,
                        uint64_t llc_alloc_mask, uint32_t clos);
 
@@ -130,7 +142,11 @@ class MemoryHierarchy {
   DramChannel dram_;
   // In-flight prefetched lines: line -> cycle at which the data arrives.
   // A demand access that lands before arrival waits for the remainder.
-  std::unordered_map<uint64_t, uint64_t> prefetch_ready_;
+  // Flat open-addressing table: probed on every demand L1 miss, so it must
+  // be cheap on the (overwhelmingly common) absent case. The unordered_map
+  // twin holds the same data when config_.reference_impl is set.
+  LineMap prefetch_ready_;
+  std::unordered_map<uint64_t, uint64_t> prefetch_ready_ref_;
   HierarchyStats stats_;
   std::vector<HierarchyStats> core_stats_;
   std::vector<ClosMonitor> clos_monitors_;

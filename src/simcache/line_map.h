@@ -1,0 +1,140 @@
+#ifndef CATDB_SIMCACHE_LINE_MAP_H_
+#define CATDB_SIMCACHE_LINE_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace catdb::simcache {
+
+/// Open-addressing hash map from cache-line number to a uint64_t value,
+/// built for the hierarchy's in-flight prefetch bookkeeping: the lookup is
+/// on the per-access hot path (usually a miss), entries churn quickly, and
+/// the population stays small. Linear probing over a power-of-two slot
+/// array with Fibonacci hashing; deletion uses backward shifting, so there
+/// are no tombstones and unsuccessful probes stop at the first empty slot.
+///
+/// Keys are stored biased by +1 so slot 0 means "empty"; line number
+/// ~0 (2^64 - 1) is therefore not storable — unreachable for line indices,
+/// which are byte addresses >> 6.
+class LineMap {
+ public:
+  LineMap() { Reset(kInitialSlots); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent. The
+  /// pointer is invalidated by any mutating call.
+  uint64_t* Find(uint64_t key) {
+    if (size_ == 0) return nullptr;
+    const uint64_t biased = key + 1;
+    for (size_t i = SlotOf(key);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.biased_key == biased) return &s.value;
+      if (s.biased_key == 0) return nullptr;
+    }
+  }
+
+  /// Inserts or overwrites the value for `key`.
+  void Assign(uint64_t key, uint64_t value) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) Grow();
+    const uint64_t biased = key + 1;
+    CATDB_DCHECK(biased != 0);
+    for (size_t i = SlotOf(key);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.biased_key == biased) {
+        s.value = value;
+        return;
+      }
+      if (s.biased_key == 0) {
+        s.biased_key = biased;
+        s.value = value;
+        size_ += 1;
+        return;
+      }
+    }
+  }
+
+  /// Removes `key` if present; returns true if it was.
+  bool Erase(uint64_t key) {
+    if (size_ == 0) return false;
+    const uint64_t biased = key + 1;
+    size_t i = SlotOf(key);
+    for (;; i = (i + 1) & mask_) {
+      if (slots_[i].biased_key == biased) break;
+      if (slots_[i].biased_key == 0) return false;
+    }
+    // Backward-shift deletion: pull later probe-chain members into the
+    // hole so unsuccessful lookups can keep stopping at empty slots.
+    size_t hole = i;
+    for (size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
+      const uint64_t bk = slots_[j].biased_key;
+      if (bk == 0) break;
+      const size_t home = SlotOf(bk - 1);
+      // The element at j may fill the hole iff its home position does not
+      // lie in the (cyclic) open interval (hole, j] — i.e. moving it to
+      // `hole` keeps it at or after its home slot.
+      const size_t dist_hole = (j - hole) & mask_;
+      const size_t dist_home = (j - home) & mask_;
+      if (dist_home >= dist_hole) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole] = Slot{};
+    size_ -= 1;
+    return true;
+  }
+
+  /// Removes every entry; keeps the current capacity.
+  void Clear() {
+    if (size_ == 0) return;
+    for (Slot& s : slots_) s = Slot{};
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    uint64_t biased_key = 0;  // key + 1; 0 = empty
+    uint64_t value = 0;
+  };
+
+  static constexpr size_t kInitialSlots = 64;
+
+  size_t SlotOf(uint64_t key) const {
+    // Fibonacci hashing: sequential line numbers (the common prefetch
+    // pattern) spread over the table instead of clustering.
+    return static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_) &
+           mask_;
+  }
+
+  void Reset(size_t slots) {
+    slots_.assign(slots, Slot{});
+    mask_ = slots - 1;
+    shift_ = 64;
+    while (slots > 1) {
+      slots >>= 1;
+      shift_ -= 1;
+    }
+    size_ = 0;
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    Reset(old.size() * 2);
+    for (const Slot& s : old) {
+      if (s.biased_key != 0) Assign(s.biased_key - 1, s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+  uint32_t shift_ = 64;
+};
+
+}  // namespace catdb::simcache
+
+#endif  // CATDB_SIMCACHE_LINE_MAP_H_

@@ -12,10 +12,72 @@ StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig& config)
   streams_.resize(config_.num_streams);
 }
 
+void StreamPrefetcher::ExtendStream(Stream* s, uint64_t line,
+                                    std::vector<uint64_t>* out) {
+  s->last_line = line;
+  s->run_length++;
+  s->lru_stamp = ++stamp_counter_;
+  if (s->run_length >= config_.trigger_run) {
+    if (s->next_prefetch <= line) s->next_prefetch = line + 1;
+    // Hardware streamers do not cross 4 KiB page boundaries: the next
+    // physical page is unrelated memory.
+    const uint64_t page_end = line | (kPageLines - 1);
+    uint64_t horizon = line + config_.depth;
+    if (horizon > page_end) horizon = page_end;
+    while (s->next_prefetch <= horizon) {
+      out->push_back(s->next_prefetch++);
+    }
+  }
+}
+
 void StreamPrefetcher::OnDemandAccess(uint64_t line,
                                       std::vector<uint64_t>* out) {
   if (!config_.enabled) return;
+  if (reference_mode_) {
+    OnDemandAccessReference(line, out);
+    return;
+  }
 
+  // One pass over the stream table. `last_line` values are unique among
+  // valid streams (a stream only ever adopts a last_line after a full scan
+  // found no other stream holding it), so the head-re-access match and the
+  // extension match are each unique and can be collected in the same scan
+  // as the LRU victim — the reference implementation's three separate scans
+  // resolve to the same stream. Head re-access takes priority over
+  // extension, so the extension is only applied after the scan completes.
+  Stream* extend = nullptr;
+  Stream* first_invalid = nullptr;
+  Stream* lru = nullptr;
+  for (Stream& s : streams_) {
+    if (!s.valid) {
+      if (first_invalid == nullptr) first_invalid = &s;
+      continue;
+    }
+    if (s.last_line == line) {
+      // Re-access of a stream head: refresh recency, nothing to prefetch.
+      s.lru_stamp = ++stamp_counter_;
+      return;
+    }
+    if (line == s.last_line + 1) extend = &s;
+    if (lru == nullptr || s.lru_stamp < lru->lru_stamp) lru = &s;
+  }
+
+  if (extend != nullptr) {
+    ExtendStream(extend, line, out);
+    return;
+  }
+
+  // New stream: replace the first invalid slot, else the LRU stream.
+  Stream* victim = first_invalid != nullptr ? first_invalid : lru;
+  victim->valid = true;
+  victim->last_line = line;
+  victim->next_prefetch = line + 1;
+  victim->run_length = 1;
+  victim->lru_stamp = ++stamp_counter_;
+}
+
+void StreamPrefetcher::OnDemandAccessReference(uint64_t line,
+                                               std::vector<uint64_t>* out) {
   // Re-access of a stream head: refresh recency, nothing to prefetch.
   for (Stream& s : streams_) {
     if (s.valid && s.last_line == line) {
@@ -27,20 +89,7 @@ void StreamPrefetcher::OnDemandAccess(uint64_t line,
   // Extension of an existing ascending stream?
   for (Stream& s : streams_) {
     if (s.valid && line == s.last_line + 1) {
-      s.last_line = line;
-      s.run_length++;
-      s.lru_stamp = ++stamp_counter_;
-      if (s.run_length >= config_.trigger_run) {
-        if (s.next_prefetch <= line) s.next_prefetch = line + 1;
-        // Hardware streamers do not cross 4 KiB page boundaries: the next
-        // physical page is unrelated memory.
-        const uint64_t page_end = line | (kPageLines - 1);
-        uint64_t horizon = line + config_.depth;
-        if (horizon > page_end) horizon = page_end;
-        while (s.next_prefetch <= horizon) {
-          out->push_back(s.next_prefetch++);
-        }
-      }
+      ExtendStream(&s, line, out);
       return;
     }
   }

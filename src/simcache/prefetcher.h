@@ -32,6 +32,12 @@ class StreamPrefetcher {
   /// Drops all tracked streams (e.g. between experiment runs).
   void Reset();
 
+  /// Switches to the seed-era reference implementation (separate scans for
+  /// head re-access, stream extension, and victim selection). Emits the
+  /// same prefetches; only the host-side cost differs. Used by the
+  /// self-benchmark baseline.
+  void set_reference_mode(bool on) { reference_mode_ = on; }
+
  private:
   struct Stream {
     uint64_t last_line = 0;
@@ -41,9 +47,13 @@ class StreamPrefetcher {
     bool valid = false;
   };
 
+  void OnDemandAccessReference(uint64_t line, std::vector<uint64_t>* out);
+  void ExtendStream(Stream* s, uint64_t line, std::vector<uint64_t>* out);
+
   PrefetcherConfig config_;
   std::vector<Stream> streams_;
   uint64_t stamp_counter_ = 0;
+  bool reference_mode_ = false;
 };
 
 }  // namespace catdb::simcache

@@ -7,13 +7,34 @@ namespace catdb::simcache {
 SetAssocCache::SetAssocCache(CacheGeometry geometry) : geometry_(geometry) {
   CATDB_CHECK(geometry_.Valid());
   ways_.resize(static_cast<size_t>(geometry_.num_sets) * geometry_.num_ways);
+  way_hint_.resize(geometry_.num_sets, 0);
 }
 
 bool SetAssocCache::Lookup(uint64_t line) {
-  Way* ways = SetWays(geometry_.SetOf(line));
+  const uint32_t set = geometry_.SetOf(line);
+  Way* ways = SetWays(set);
+  if (reference_mode_) {
+    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+      if (ways[w].valid && ways[w].tag == line) {
+        ways[w].lru_stamp = ++stamp_counter_;
+        return true;
+      }
+    }
+    return false;
+  }
+  // Fast path: re-access of the set's most recently touched line resolves
+  // with one tag compare instead of a scan over all ways (operators re-read
+  // their hot lines constantly). A stale hint is harmless — it fails the
+  // tag check and falls through to the scan.
+  Way& hinted = ways[way_hint_[set]];
+  if (hinted.valid && hinted.tag == line) {
+    hinted.lru_stamp = ++stamp_counter_;
+    return true;
+  }
   for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
     if (ways[w].valid && ways[w].tag == line) {
       ways[w].lru_stamp = ++stamp_counter_;
+      way_hint_[set] = static_cast<uint8_t>(w);
       return true;
     }
   }
@@ -33,45 +54,111 @@ std::optional<EvictedLine> SetAssocCache::Insert(uint64_t line,
                                                  uint16_t owner) {
   alloc_mask &= FullMask();
   CATDB_DCHECK(alloc_mask != 0);
-  Way* ways = SetWays(geometry_.SetOf(line));
+  const uint32_t set = geometry_.SetOf(line);
+  Way* ways = SetWays(set);
 
   // Already present (in any way): just promote. CAT restricts allocation,
   // not residency. The original filler keeps monitoring ownership.
+  if (!reference_mode_) {
+    Way& hinted = ways[way_hint_[set]];
+    if (hinted.valid && hinted.tag == line) {
+      hinted.lru_stamp = ++stamp_counter_;
+      return std::nullopt;
+    }
+  }
   for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
     if (ways[w].valid && ways[w].tag == line) {
       ways[w].lru_stamp = ++stamp_counter_;
+      if (!reference_mode_) way_hint_[set] = static_cast<uint8_t>(w);
       return std::nullopt;
     }
   }
 
-  // Prefer an invalid way within the allocation mask.
+  return FillVictim(set, line, alloc_mask, owner);
+}
+
+std::optional<EvictedLine> SetAssocCache::InsertNew(uint64_t line,
+                                                    uint64_t alloc_mask,
+                                                    uint16_t owner) {
+  if (reference_mode_) return Insert(line, alloc_mask, owner);
+  CATDB_DCHECK(!Contains(line));
+  alloc_mask &= FullMask();
+  CATDB_DCHECK(alloc_mask != 0);
+  return FillVictim(geometry_.SetOf(line), line, alloc_mask, owner);
+}
+
+std::optional<EvictedLine> SetAssocCache::FillVictim(uint32_t set,
+                                                     uint64_t line,
+                                                     uint64_t alloc_mask,
+                                                     uint16_t owner) {
+  Way* ways = SetWays(set);
+  // Victim selection walks only the ways set in the allocation mask
+  // (ascending, matching LRU tie-breaking by lowest way index) and stops
+  // early at the first invalid way. The reference implementation walks all
+  // ways and tests the mask per way; both pick the same victim.
   int victim = -1;
   uint64_t oldest = ~uint64_t{0};
-  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-    if ((alloc_mask >> w & 1) == 0) continue;
-    if (!ways[w].valid) {
-      victim = static_cast<int>(w);
-      oldest = 0;
-      break;
+  if (reference_mode_) {
+    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+      if ((alloc_mask >> w & 1) == 0) continue;
+      if (!ways[w].valid) {
+        victim = static_cast<int>(w);
+        break;
+      }
+      if (ways[w].lru_stamp < oldest) {
+        oldest = ways[w].lru_stamp;
+        victim = static_cast<int>(w);
+      }
     }
-    if (ways[w].lru_stamp < oldest) {
-      oldest = ways[w].lru_stamp;
-      victim = static_cast<int>(w);
+  } else {
+    for (uint64_t cand = alloc_mask; cand != 0; cand &= cand - 1) {
+      const uint32_t w = static_cast<uint32_t>(__builtin_ctzll(cand));
+      if (!ways[w].valid) {
+        victim = static_cast<int>(w);
+        break;
+      }
+      if (ways[w].lru_stamp < oldest) {
+        oldest = ways[w].lru_stamp;
+        victim = static_cast<int>(w);
+      }
     }
   }
   CATDB_DCHECK(victim >= 0);
 
   std::optional<EvictedLine> evicted;
   if (ways[victim].valid) {
-    evicted = EvictedLine{ways[victim].tag, ways[victim].owner};
+    evicted =
+        EvictedLine{ways[victim].tag, ways[victim].owner,
+                    ways[victim].presence};
   } else {
     valid_count_ += 1;
   }
   ways[victim].tag = line;
   ways[victim].valid = true;
   ways[victim].owner = owner;
+  ways[victim].presence = 0;
   ways[victim].lru_stamp = ++stamp_counter_;
+  if (!reference_mode_) way_hint_[set] = static_cast<uint8_t>(victim);
   return evicted;
+}
+
+void SetAssocCache::MarkPresent(uint64_t line, uint32_t core) {
+  const uint32_t set = geometry_.SetOf(line);
+  Way* ways = SetWays(set);
+  // The hierarchy calls this right after touching the line (Lookup, Insert),
+  // so the hint almost always resolves it with one compare.
+  Way& hinted = ways[way_hint_[set]];
+  if (hinted.valid && hinted.tag == line) {
+    hinted.presence |= uint32_t{1} << core;
+    return;
+  }
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if (ways[w].valid && ways[w].tag == line) {
+      ways[w].presence |= uint32_t{1} << core;
+      return;
+    }
+  }
+  CATDB_DCHECK(false);  // caller guarantees residency
 }
 
 int SetAssocCache::OwnerOf(uint64_t line) const {

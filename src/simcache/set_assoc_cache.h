@@ -5,15 +5,19 @@
 #include <optional>
 #include <vector>
 
+#include "common/bits.h"
 #include "simcache/cache_geometry.h"
 
 namespace catdb::simcache {
 
 /// A line evicted by an insert, with the owner tag it was filled under
-/// (owner = class of service for the LLC; used by cache monitoring).
+/// (owner = class of service for the LLC; used by cache monitoring) and the
+/// presence mask of cores that may still hold a private copy (see
+/// MarkPresent; only maintained for the LLC).
 struct EvictedLine {
   uint64_t line = 0;
   uint16_t owner = 0;
+  uint32_t presence = 0;
 };
 
 /// A set-associative cache with true-LRU replacement and CAT-style
@@ -56,6 +60,30 @@ class SetAssocCache {
     return Insert(line, FullMask());
   }
 
+  /// Insert for callers that have just established the line is absent (a
+  /// failed Lookup/Contains on this cache with no intervening insert): skips
+  /// the already-present scan and goes straight to victim selection. Picks
+  /// the same victim as Insert. In reference mode this falls back to the
+  /// full Insert so the baseline keeps the unoptimized cost profile.
+  std::optional<EvictedLine> InsertNew(uint64_t line, uint64_t alloc_mask,
+                                       uint16_t owner = 0);
+
+  std::optional<EvictedLine> InsertNew(uint64_t line) {
+    return InsertNew(line, FullMask());
+  }
+
+  /// Sets bit `core` in the presence mask of a resident line. The hierarchy
+  /// marks which cores filled a private copy of an LLC line so that
+  /// back-invalidation can visit only those cores instead of all of them.
+  /// The mask is a conservative superset: silent private evictions leave
+  /// bits stale, which only costs a no-op Invalidate later.
+  void MarkPresent(uint64_t line, uint32_t core);
+
+  /// Switches this cache to the seed-era reference implementation (no way
+  /// hint, full scans). Simulated results are identical either way; only
+  /// the host-side cost differs. Used by the self-benchmark baseline.
+  void set_reference_mode(bool on) { reference_mode_ = on; }
+
   /// Owner tag of a resident line (-1 if absent); for monitoring tests.
   int OwnerOf(uint64_t line) const;
 
@@ -66,10 +94,7 @@ class SetAssocCache {
   void Clear();
 
   /// Mask with one bit per way, all set.
-  uint64_t FullMask() const {
-    return geometry_.num_ways == 64 ? ~uint64_t{0}
-                                    : (uint64_t{1} << geometry_.num_ways) - 1;
-  }
+  uint64_t FullMask() const { return MaskForWays(geometry_.num_ways); }
 
   /// Number of valid lines currently cached (O(1), maintained
   /// incrementally).
@@ -87,9 +112,14 @@ class SetAssocCache {
   struct Way {
     uint64_t tag = 0;
     uint64_t lru_stamp = 0;
+    uint32_t presence = 0;
     uint16_t owner = 0;
     bool valid = false;
   };
+
+  // Victim selection + fill for a line known to be absent from `set`.
+  std::optional<EvictedLine> FillVictim(uint32_t set, uint64_t line,
+                                        uint64_t alloc_mask, uint16_t owner);
 
   // Ways for set s occupy ways_[s * num_ways .. s * num_ways + num_ways).
   Way* SetWays(uint32_t set) { return &ways_[set * geometry_.num_ways]; }
@@ -99,8 +129,13 @@ class SetAssocCache {
 
   CacheGeometry geometry_;
   std::vector<Way> ways_;
+  // Per-set index of the most recently hit/filled way: a one-compare fast
+  // path for Lookup on re-accessed lines. Never authoritative — always
+  // verified against tag+valid — so it may go stale on Invalidate/Clear.
+  std::vector<uint8_t> way_hint_;
   uint64_t stamp_counter_ = 0;
   uint64_t valid_count_ = 0;
+  bool reference_mode_ = false;
 };
 
 }  // namespace catdb::simcache

@@ -175,5 +175,197 @@ TEST_P(InclusionPropertyTest, InclusionHoldsUnderRandomTraffic) {
 INSTANTIATE_TEST_SUITE_P(Seeds, InclusionPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// Property: per-CLOS occupancy counters (the CMT model) track LLC line
+// ownership exactly under the full mix of fill paths — demand fills,
+// prefetch fills, promotions, evictions with owner change, and inclusive
+// back-invalidations — with each class confined to a different mask.
+class ClosOccupancyPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ClosOccupancyPropertyTest, OccupancySumTracksValidLinesExactly) {
+  HierarchyConfig cfg = TinyConfig();
+  cfg.prefetcher.enabled = true;  // prefetch fills must be accounted too
+  MemoryHierarchy h(cfg);
+  Rng rng(GetParam());
+  // Overlapping masks: classes contend for ways, so fills regularly evict
+  // lines owned by a *different* class (the owner-transfer path).
+  const uint64_t masks[] = {0x3, 0x6, 0xC, 0xF};
+  uint64_t clock = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t core = static_cast<uint32_t>(rng.Uniform(2));
+    const uint32_t clos = static_cast<uint32_t>(rng.Uniform(4));
+    uint64_t addr = rng.Uniform(1u << 15);
+    if (rng.Uniform(4) == 0) {
+      // Sequential bursts wake the stream prefetcher.
+      for (int j = 0; j < 4; ++j) {
+        clock +=
+            h.Access(core, addr + j * kLineSize, clock, masks[clos], clos)
+                .latency_cycles;
+      }
+    } else {
+      clock += h.Access(core, addr, clock, masks[clos], clos).latency_cycles;
+    }
+    if (i % 1000 == 0) {
+      uint64_t sum = 0;
+      for (uint32_t c = 0; c < MemoryHierarchy::kMaxClos; ++c) {
+        sum += h.clos_monitor(c).occupancy_lines;
+      }
+      ASSERT_EQ(sum, h.llc().ValidLineCount()) << "after access " << i;
+    }
+  }
+  uint64_t sum = 0;
+  for (uint32_t c = 0; c < MemoryHierarchy::kMaxClos; ++c) {
+    sum += h.clos_monitor(c).occupancy_lines;
+  }
+  EXPECT_EQ(sum, h.llc().ValidLineCount());
+  EXPECT_GT(h.stats().llc_back_invalidations, 0u);
+  EXPECT_GT(h.stats().prefetches_issued, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosOccupancyPropertyTest,
+                         ::testing::Values(10, 20, 30, 40));
+
+void ExpectStatsEqual(const HierarchyStats& a, const HierarchyStats& b,
+                      int at) {
+  ASSERT_EQ(a.l1.hits, b.l1.hits) << "after access " << at;
+  ASSERT_EQ(a.l1.misses, b.l1.misses) << "after access " << at;
+  ASSERT_EQ(a.l2.hits, b.l2.hits) << "after access " << at;
+  ASSERT_EQ(a.l2.misses, b.l2.misses) << "after access " << at;
+  ASSERT_EQ(a.llc.hits, b.llc.hits) << "after access " << at;
+  ASSERT_EQ(a.llc.misses, b.llc.misses) << "after access " << at;
+  ASSERT_EQ(a.dram_accesses, b.dram_accesses) << "after access " << at;
+  ASSERT_EQ(a.dram_wait_cycles, b.dram_wait_cycles) << "after access " << at;
+  ASSERT_EQ(a.prefetches_issued, b.prefetches_issued) << "after access " << at;
+  ASSERT_EQ(a.prefetches_dropped, b.prefetches_dropped)
+      << "after access " << at;
+  ASSERT_EQ(a.prefetch_hits, b.prefetch_hits) << "after access " << at;
+  ASSERT_EQ(a.llc_back_invalidations, b.llc_back_invalidations)
+      << "after access " << at;
+}
+
+class ReferenceImplEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+// The fast implementation (way hints, absent-insert paths, presence-mask
+// back-invalidation, flat pending-prefetch table, single-pass prefetcher
+// scan) must be observationally identical to the seed-era reference
+// implementation: same per-access latencies and hit levels, same statistics,
+// same occupancy. The self-benchmark relies on this equivalence when it
+// reports a speedup over the reference configuration.
+TEST_P(ReferenceImplEquivalenceTest, FastMatchesReferenceAccessForAccess) {
+  HierarchyConfig fast_cfg = TinyConfig();
+  fast_cfg.num_cores = 4;
+  fast_cfg.prefetcher.enabled = true;
+  HierarchyConfig ref_cfg = fast_cfg;
+  ref_cfg.reference_impl = true;
+  MemoryHierarchy fast(fast_cfg);
+  MemoryHierarchy ref(ref_cfg);
+
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const uint64_t masks[] = {0x3, 0x6, 0xC, 0xF};
+  uint64_t clock = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const uint32_t core = static_cast<uint32_t>(rng.Uniform(4));
+    const uint32_t clos = static_cast<uint32_t>(rng.Uniform(4));
+    uint64_t addr = rng.Uniform(1u << 15);
+    const int burst = rng.Uniform(4) == 0 ? 6 : 1;
+    for (int j = 0; j < burst; ++j) {
+      const uint64_t a = addr + static_cast<uint64_t>(j) * kLineSize;
+      const AccessResult rf = fast.Access(core, a, clock, masks[clos], clos);
+      const AccessResult rr = ref.Access(core, a, clock, masks[clos], clos);
+      ASSERT_EQ(rf.latency_cycles, rr.latency_cycles) << "access " << i;
+      ASSERT_EQ(rf.level, rr.level) << "access " << i;
+      clock += rf.latency_cycles;
+    }
+    if (i % 5000 == 0) {
+      ExpectStatsEqual(fast.stats(), ref.stats(), i);
+      ASSERT_EQ(fast.llc().ValidLineCount(), ref.llc().ValidLineCount());
+      for (uint32_t c = 0; c < MemoryHierarchy::kMaxClos; ++c) {
+        ASSERT_EQ(fast.clos_monitor(c).occupancy_lines,
+                  ref.clos_monitor(c).occupancy_lines);
+      }
+    }
+  }
+  ExpectStatsEqual(fast.stats(), ref.stats(), 30000);
+  EXPECT_TRUE(fast.CheckInclusion());
+  EXPECT_TRUE(ref.CheckInclusion());
+  EXPECT_GT(fast.stats().llc_back_invalidations, 0u);
+  EXPECT_GT(fast.stats().prefetch_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceImplEquivalenceTest,
+                         ::testing::Values(3, 7, 11, 15));
+
+TEST(HierarchyTest, ReferenceImplMatchesFastWithNonInclusiveLlc) {
+  HierarchyConfig fast_cfg = TinyConfig();
+  fast_cfg.num_cores = 2;
+  fast_cfg.prefetcher.enabled = true;
+  fast_cfg.inclusive_llc = false;
+  HierarchyConfig ref_cfg = fast_cfg;
+  ref_cfg.reference_impl = true;
+  MemoryHierarchy fast(fast_cfg);
+  MemoryHierarchy ref(ref_cfg);
+
+  Rng rng(99);
+  uint64_t clock = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t core = static_cast<uint32_t>(rng.Uniform(2));
+    const uint64_t addr = rng.Uniform(1u << 14);
+    const int burst = rng.Uniform(3) == 0 ? 5 : 1;
+    for (int j = 0; j < burst; ++j) {
+      const uint64_t a = addr + static_cast<uint64_t>(j) * kLineSize;
+      const AccessResult rf = fast.Access(core, a, clock, Full(fast));
+      const AccessResult rr = ref.Access(core, a, clock, Full(ref));
+      ASSERT_EQ(rf.latency_cycles, rr.latency_cycles) << "access " << i;
+      ASSERT_EQ(rf.level, rr.level) << "access " << i;
+      clock += rf.latency_cycles;
+    }
+  }
+  ExpectStatsEqual(fast.stats(), ref.stats(), 20000);
+}
+
+TEST(HierarchyTest, L1HitDoesNotConsumePendingPrefetch) {
+  // Regression: the pending-prefetch table used to be probed before the L1
+  // lookup, so a demand access served entirely by the L1 still counted a
+  // prefetch_hit and erased the in-flight entry. Reachable only with a
+  // non-inclusive LLC (inclusive eviction scrubs L1 copies and pending
+  // entries together).
+  HierarchyConfig cfg = TinyConfig();
+  cfg.inclusive_llc = false;
+  cfg.prefetcher.enabled = true;
+  MemoryHierarchy h(cfg);
+
+  // Load line 8 on core 0, then thrash it out of the LLC from core 1
+  // (same LLC set: stride 32 lines). Non-inclusive: core 0 keeps its
+  // L1/L2 copies.
+  const uint64_t target = 8;
+  h.Access(0, target * kLineSize, 0, Full(h));
+  uint64_t clock = 1000;
+  for (uint64_t line = target + 32; h.llc().Contains(target);
+       line += 32) {
+    clock += h.Access(1, line * kLineSize, clock, Full(h)).latency_cycles;
+  }
+  ASSERT_TRUE(h.l1(0).Contains(target));
+  ASSERT_FALSE(h.llc().Contains(target));
+
+  // Stream lines 5,6 on core 0: the second access triggers prefetches of
+  // lines 7..14, creating an in-flight entry for line 8.
+  clock += h.Access(0, 5 * kLineSize, clock, Full(h)).latency_cycles;
+  clock += h.Access(0, 6 * kLineSize, clock, Full(h)).latency_cycles;
+  ASSERT_GT(h.stats().prefetches_issued, 0u);
+  ASSERT_EQ(h.stats().prefetch_hits, 0u);
+
+  // The demand access is served by the L1: the in-flight prefetch did not
+  // supply the data, so it must not count and must not be consumed.
+  auto r = h.Access(0, target * kLineSize, clock, Full(h));
+  EXPECT_EQ(r.level, HitLevel::kL1);
+  EXPECT_EQ(h.stats().prefetch_hits, 0u);
+
+  // A real consumer — an L1-missing access to a prefetched line — still
+  // counts (line 9 was prefetched into L2, never demand-loaded).
+  auto r9 = h.Access(0, 9 * kLineSize, clock + 10000, Full(h));
+  EXPECT_EQ(r9.level, HitLevel::kL2);
+  EXPECT_EQ(h.stats().prefetch_hits, 1u);
+}
+
 }  // namespace
 }  // namespace catdb::simcache

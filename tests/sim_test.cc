@@ -182,6 +182,76 @@ TEST(ExecutorTest, IdleCoresDoNotBlockOthers) {
   EXPECT_EQ(ex.RunUntilIdle(), 20u);
 }
 
+// Source that logs TaskDispatched and charges the core's clock, the way the
+// engine's scheduler charges CLOS re-association at dispatch.
+class DispatchChargingSource : public ListSource {
+ public:
+  DispatchChargingSource(Machine* machine, uint64_t charge_cycles)
+      : machine_(machine), charge_(charge_cycles) {}
+
+  void TaskDispatched(Task* task, uint32_t core) override {
+    (void)task;
+    dispatch_clocks_.push_back(machine_->clock(core));
+    machine_->AdvanceClockTo(core, machine_->clock(core) + charge_);
+  }
+
+  std::vector<uint64_t> dispatch_clocks_;
+
+ private:
+  Machine* machine_;
+  uint64_t charge_;
+};
+
+TEST(ExecutorTest, DispatchDeferredUntilTaskRunnableWithinHorizon) {
+  // Regression: the executor used to pull-and-dispatch eagerly while
+  // scanning for the minimum clock, firing TaskDispatched (and charging
+  // re-association) for tasks whose ready time lies beyond the horizon —
+  // attributing the charge to an interval in which the task never ran.
+  Machine m(TinyMachine());
+  Executor ex(&m);
+  ListSource s0;
+  ComputeTask a(1, 10);
+  s0.Add(&a);
+  DispatchChargingSource s1(&m, /*charge_cycles=*/100);
+  ComputeTask b(1, 10);
+  b.set_ready_time(5000);
+  s1.Add(&b);
+  ex.Attach(0, &s0);
+  ex.Attach(1, &s1);
+
+  ex.RunUntil(1000);
+  // Task b cannot start before cycle 5000: no dispatch, no charge.
+  EXPECT_TRUE(s1.dispatch_clocks_.empty());
+  EXPECT_EQ(m.clock(1), 0u);
+  EXPECT_EQ(m.clock(0), 10u);  // task a ran normally
+
+  ex.RunUntil(10000);
+  // Dispatch fires in the interval the task first runs, at its ready time,
+  // and exactly once; the charge precedes the task's single 10-cycle step.
+  ASSERT_EQ(s1.dispatch_clocks_.size(), 1u);
+  EXPECT_EQ(s1.dispatch_clocks_[0], 5000u);
+  EXPECT_EQ(m.clock(1), 5110u);
+  EXPECT_EQ(s1.finished_.size(), 1u);
+}
+
+TEST(ExecutorTest, DispatchFiresOncePerTaskAcrossHorizons) {
+  // A task dispatched (and charged) in one interval must not be
+  // re-dispatched when later RunUntil calls resume it mid-flight.
+  Machine m(TinyMachine());
+  Executor ex(&m);
+  DispatchChargingSource source(&m, /*charge_cycles=*/100);
+  ComputeTask task(10, 50);  // 100 charge + 500 compute
+  source.Add(&task);
+  ex.Attach(0, &source);
+  for (uint64_t horizon = 150; horizon <= 750; horizon += 150) {
+    ex.RunUntil(horizon);
+  }
+  ASSERT_EQ(source.dispatch_clocks_.size(), 1u);
+  EXPECT_EQ(source.dispatch_clocks_[0], 0u);
+  EXPECT_EQ(m.clock(0), 600u);
+  EXPECT_EQ(source.finished_.size(), 1u);
+}
+
 TEST(MachineTest, DeterministicAcrossIdenticalRuns) {
   // Two machines fed the same access pattern produce identical statistics
   // (the basis of every reproducible experiment in this repo).

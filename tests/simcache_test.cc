@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
 #include "simcache/cache_geometry.h"
 #include "simcache/dram.h"
+#include "simcache/line_map.h"
 #include "simcache/prefetcher.h"
 #include "simcache/set_assoc_cache.h"
 
@@ -308,6 +310,95 @@ TEST_P(DramLoadTest, ThroughputBoundedByCapacity) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Load, DramLoadTest, ::testing::Values(1, 2, 4, 8));
+
+// --- LineMap ---
+
+TEST(LineMapTest, BasicInsertFindErase) {
+  LineMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);
+  map.Assign(42, 1000);
+  ASSERT_NE(map.Find(42), nullptr);
+  EXPECT_EQ(*map.Find(42), 1000u);
+  map.Assign(42, 2000);  // overwrite, not duplicate
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.Find(42), 2000u);
+  EXPECT_TRUE(map.Erase(42));
+  EXPECT_FALSE(map.Erase(42));
+  EXPECT_EQ(map.Find(42), nullptr);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(LineMapTest, KeyZeroIsStorable) {
+  LineMap map;
+  map.Assign(0, 7);
+  ASSERT_NE(map.Find(0), nullptr);
+  EXPECT_EQ(*map.Find(0), 7u);
+  EXPECT_TRUE(map.Erase(0));
+  EXPECT_EQ(map.Find(0), nullptr);
+}
+
+TEST(LineMapTest, GrowsPastInitialCapacityAndClearKeepsWorking) {
+  LineMap map;
+  for (uint64_t k = 0; k < 1000; ++k) map.Assign(k * 131, k);
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(map.Find(k * 131), nullptr) << k;
+    EXPECT_EQ(*map.Find(k * 131), k);
+  }
+  EXPECT_EQ(map.Find(7), nullptr);
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(131), nullptr);
+  map.Assign(5, 50);
+  EXPECT_EQ(*map.Find(5), 50u);
+}
+
+// Fuzz against std::unordered_map, with sequential-ish keys (the prefetch
+// pattern) to stress probe chains and backward-shift deletion.
+class LineMapFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LineMapFuzzTest, MatchesUnorderedMapReference) {
+  LineMap map;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(GetParam());
+  for (int op = 0; op < 30000; ++op) {
+    // Narrow key range => frequent re-assign/erase collisions.
+    const uint64_t key = rng.Uniform(512) + rng.Uniform(4) * 100000;
+    switch (rng.Uniform(3)) {
+      case 0: {
+        const uint64_t value = rng.Uniform(1 << 30);
+        map.Assign(key, value);
+        ref[key] = value;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(map.Erase(key), ref.erase(key) > 0);
+        break;
+      }
+      default: {
+        uint64_t* found = map.Find(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  for (const auto& [key, value] : ref) {
+    uint64_t* found = map.Find(key);
+    ASSERT_NE(found, nullptr) << key;
+    EXPECT_EQ(*found, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LineMapFuzzTest,
+                         ::testing::Values(101, 202, 303, 404));
 
 }  // namespace
 }  // namespace catdb::simcache
