@@ -7,13 +7,86 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "engine/runner.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/machine.h"
 
 namespace catdb::bench {
+
+/// Command-line options every bench binary understands:
+///   --report-out=<path>  write the JSON run report (catdb.report/v1)
+///   --trace-out=<path>   enable event tracing; write Chrome trace JSON
+struct BenchOptions {
+  std::string report_out;
+  std::string trace_out;
+};
+
+/// Parses the shared flags; exits with usage on anything unrecognized.
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) != 0) return nullptr;
+      if (arg.size() > n && arg[n] == '=') return arg.c_str() + n + 1;
+      return nullptr;
+    };
+    if (const char* v = value_of("--report-out")) {
+      opts.report_out = v;
+    } else if (const char* v = value_of("--trace-out")) {
+      opts.trace_out = v;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\n"
+                   "usage: %s [--report-out=<path>] [--trace-out=<path>]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// Turns on machine tracing when --trace-out was given (before any runs).
+inline void ApplyTraceOption(sim::Machine* machine,
+                             const BenchOptions& opts) {
+  if (!opts.trace_out.empty()) machine->EnableTracing();
+}
+
+/// Writes the report and/or the Chrome trace as requested. Call once at the
+/// end of main; prints where the artifacts went.
+inline void FinishBench(sim::Machine* machine, const BenchOptions& opts,
+                        const obs::RunReportWriter& report) {
+  if (!opts.report_out.empty()) {
+    const Status st = report.WriteFile(opts.report_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "report write failed: %s\n", st.message().c_str());
+      std::exit(1);
+    }
+    std::printf("\nreport: %s\n", opts.report_out.c_str());
+  }
+  if (!opts.trace_out.empty()) {
+    obs::EventTrace* trace = machine->trace();
+    if (trace == nullptr) {
+      std::fprintf(stderr, "trace requested but tracing was never enabled\n");
+      std::exit(1);
+    }
+    const Status st = trace->WriteChromeTraceFile(opts.trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.message().c_str());
+      std::exit(1);
+    }
+    std::printf("trace:  %s (%zu events, %llu dropped)\n",
+                opts.trace_out.c_str(), trace->size(),
+                static_cast<unsigned long long>(trace->dropped()));
+  }
+}
 
 /// Default core split: two streams of four job workers each. Isolated
 /// baselines use the same four cores as the concurrent run, so normalized
@@ -71,6 +144,18 @@ inline PairResult RunPair(sim::Machine* machine, engine::Query* a,
   r.part_a = r.part_report.streams[0].iterations;
   r.part_b = r.part_report.streams[1].iterations;
   return r;
+}
+
+/// Records one RunPair outcome into a run report: the concurrent and
+/// partitioned RunReports plus the four normalized throughputs as scalars.
+inline void AddPairResult(obs::RunReportWriter* report,
+                          const std::string& name, const PairResult& r) {
+  report->AddRun(name + "/concurrent", r.conc_report);
+  report->AddRun(name + "/partitioned", r.part_report);
+  report->AddScalar(name + "/norm_conc_a", r.norm_conc_a());
+  report->AddScalar(name + "/norm_conc_b", r.norm_conc_b());
+  report->AddScalar(name + "/norm_part_a", r.norm_part_a());
+  report->AddScalar(name + "/norm_part_b", r.norm_part_b());
 }
 
 /// Isolated warm per-iteration latency under an instance-wide cache limit

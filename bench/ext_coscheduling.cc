@@ -18,8 +18,10 @@
 
 using namespace catdb;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   sim::Machine machine{sim::MachineConfig{}};
+  bench::ApplyTraceOption(&machine, opts);
 
   auto scan_data1 = workloads::MakeScanDataset(
       &machine, workloads::kDefaultScanRows / 2,
@@ -62,12 +64,16 @@ int main() {
   const auto fifo = engine::PlanFifoRounds(batch);
   const auto aware = engine::PlanCacheAwareRounds(batch);
 
-  const uint64_t fifo_off = engine::ExecuteRounds(&machine, batch, fifo, off);
-  const uint64_t fifo_cat = engine::ExecuteRounds(&machine, batch, fifo, cat);
-  const uint64_t aware_off =
-      engine::ExecuteRounds(&machine, batch, aware, off);
-  const uint64_t aware_cat =
-      engine::ExecuteRounds(&machine, batch, aware, cat);
+  const auto fifo_off_r = engine::ExecuteRoundsReport(&machine, batch, fifo, off);
+  const auto fifo_cat_r = engine::ExecuteRoundsReport(&machine, batch, fifo, cat);
+  const auto aware_off_r =
+      engine::ExecuteRoundsReport(&machine, batch, aware, off);
+  const auto aware_cat_r =
+      engine::ExecuteRoundsReport(&machine, batch, aware, cat);
+  const uint64_t fifo_off = fifo_off_r.makespan_cycles;
+  const uint64_t fifo_cat = fifo_cat_r.makespan_cycles;
+  const uint64_t aware_off = aware_off_r.makespan_cycles;
+  const uint64_t aware_cat = aware_cat_r.makespan_cycles;
 
   std::printf("Cache-aware co-scheduling, batch makespan (Mcycles)\n");
   bench::PrintRule(58);
@@ -91,5 +97,12 @@ int main() {
       "scheduling, which is precisely the paper's argument for\n"
       "integrating CAT into the engine rather than scheduling around\n"
       "cache conflicts.\n");
+
+  obs::RunReportWriter report("ext_coscheduling");
+  report.AddRounds("fifo_shared", fifo_off_r);
+  report.AddRounds("fifo_cat", fifo_cat_r);
+  report.AddRounds("aware_shared", aware_off_r);
+  report.AddRounds("aware_cat", aware_cat_r);
+  bench::FinishBench(&machine, opts, report);
   return 0;
 }

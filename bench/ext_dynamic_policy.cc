@@ -19,8 +19,10 @@
 
 using namespace catdb;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   sim::Machine machine{sim::MachineConfig{}};
+  bench::ApplyTraceOption(&machine, opts);
   auto scan_data = workloads::MakeScanDataset(
       &machine, workloads::kDefaultScanRows,
       workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
@@ -90,5 +92,14 @@ int main() {
       "bandwidth, near-zero LLC hit ratio) within the first intervals and\n"
       "confines it, approaching the statically annotated configuration\n"
       "without any operator annotations.\n");
+
+  obs::RunReportWriter report("ext_dynamic_policy");
+  report.AddParam("horizon_cycles", bench::kDefaultHorizon);
+  report.AddScalar("iso_agg_iterations", iso_agg);
+  report.AddScalar("iso_scan_iterations", iso_scan);
+  report.AddRun("shared", shared);
+  report.AddRun("static_annotations", static_part);
+  report.AddDynamicRun("dynamic", dynamic);
+  bench::FinishBench(&machine, opts, report);
   return 0;
 }

@@ -12,8 +12,10 @@
 
 using namespace catdb;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   sim::Machine machine{sim::MachineConfig{}};
+  bench::ApplyTraceOption(&machine, opts);
 
   auto acdoca = workloads::MakeAcdocaData(&machine, {});
   auto scan_data = workloads::MakeScanDataset(
@@ -53,5 +55,13 @@ int main() {
   std::printf(
       "Paper: OLTP degrades sharply next to OLAP; partitioning recovers "
       "most of the isolated throughput without hurting the scan.\n");
+
+  obs::RunReportWriter report("fig01_headline");
+  report.AddParam("horizon_cycles", bench::kDefaultHorizon);
+  report.AddScalar("oltp_qps_isolated", qps(r.iso_a));
+  report.AddScalar("oltp_qps_concurrent", qps(r.conc_a));
+  report.AddScalar("oltp_qps_partitioned", qps(r.part_a));
+  bench::AddPairResult(&report, "oltp_vs_olap", r);
+  bench::FinishBench(&machine, opts, report);
   return 0;
 }

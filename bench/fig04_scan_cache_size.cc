@@ -13,8 +13,10 @@
 
 using namespace catdb;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   sim::Machine machine{sim::MachineConfig{}};
+  bench::ApplyTraceOption(&machine, opts);
 
   auto data = workloads::MakeScanDataset(
       &machine, workloads::kDefaultScanRows,
@@ -29,6 +31,7 @@ int main() {
               "LLC miss/instr");
   bench::PrintRule(72);
 
+  obs::RunReportWriter report("fig04_scan_cache_size");
   double full_cycles = 0;
   for (uint32_t ways : bench::kWaySweep) {
     engine::PolicyConfig cfg;
@@ -41,10 +44,14 @@ int main() {
     std::printf("%-22s %10.3f %12.3f %14.2e\n",
                 bench::WaysLabel(machine, ways).c_str(),
                 full_cycles / cycles, rep.llc_hit_ratio, rep.llc_mpi);
+    const std::string key = "ways" + std::to_string(ways);
+    report.AddScalar(key + "/norm_tput", full_cycles / cycles);
+    report.AddRun(key, rep);
   }
   bench::PrintRule(72);
   std::printf(
       "Paper: flat down to 10%% of the cache (bitmask 0x3); only the\n"
       "single-way mask 0x1 degrades the scan. LLC hit ratio stays low.\n");
+  bench::FinishBench(&machine, opts, report);
   return 0;
 }

@@ -12,8 +12,10 @@
 
 using namespace catdb;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   sim::Machine machine{sim::MachineConfig{}};
+  bench::ApplyTraceOption(&machine, opts);
 
   std::vector<workloads::JoinDataset> datasets;
   datasets.reserve(std::size(workloads::kPkRatios));
@@ -40,6 +42,7 @@ int main() {
   std::printf("\n");
   bench::PrintRule(78);
 
+  obs::RunReportWriter report("fig06_join_cache_size");
   std::vector<double> full(queries.size(), 0);
   for (uint32_t ways : bench::kWaySweep) {
     std::printf("%-22s", bench::WaysLabel(machine, ways).c_str());
@@ -48,6 +51,9 @@ int main() {
           bench::WarmIterationCycles(&machine, queries[i].get(), ways));
       if (ways == 20) full[i] = cycles;
       std::printf(" %13.3f", full[i] / cycles);
+      report.AddScalar(std::string("pk") + workloads::kPkLabels[i] +
+                           "/ways" + std::to_string(ways),
+                       full[i] / cycles);
     }
     std::printf("\n");
   }
@@ -56,5 +62,6 @@ int main() {
       "Paper: only the '1e8' configuration (bit vector comparable to the\n"
       "LLC) is cache-sensitive (drops up to 33%%, below ~60%% of the LLC);\n"
       "the others lose only 5-14%%.\n");
+  bench::FinishBench(&machine, opts, report);
   return 0;
 }

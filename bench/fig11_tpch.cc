@@ -13,8 +13,10 @@
 
 using namespace catdb;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   sim::Machine machine{sim::MachineConfig{}};
+  bench::ApplyTraceOption(&machine, opts);
 
   auto tpch = workloads::MakeTpchData(&machine, workloads::TpchConfig{});
   auto scan_data = workloads::MakeScanDataset(
@@ -32,6 +34,8 @@ int main() {
   // Use a shorter horizon per query: 22 queries x 4 runs each.
   const uint64_t horizon = bench::kDefaultHorizon / 2;
 
+  obs::RunReportWriter report("fig11_tpch");
+  report.AddParam("horizon_cycles", horizon);
   double sum_gain = 0;
   for (int q = 1; q <= workloads::kNumTpchQueries; ++q) {
     auto query = workloads::MakeTpchQuery(q, *tpch, 1200 + q);
@@ -43,6 +47,7 @@ int main() {
                                   engine::PolicyConfig{}, horizon);
     const double gain = (r.norm_part_a() / r.norm_conc_a() - 1) * 100;
     sum_gain += gain;
+    bench::AddPairResult(&report, "Q" + std::to_string(q), r);
     std::printf("%6s | %9.2f %9.2f %6.1f%% | %9.2f %9.2f | %s\n",
                 ("Q" + std::to_string(q)).c_str(), r.norm_conc_a(),
                 r.norm_part_a(), gain, r.norm_conc_b(), r.norm_part_b(),
@@ -58,5 +63,9 @@ int main() {
       "partitioning improves queries 1, 7, 8, 9 (up to +5%%) because they\n"
       "decode the large L_EXTENDEDPRICE dictionary; other queries change\n"
       "little; the scan itself sometimes gains up to +5%%.\n");
+
+  report.AddScalar("mean_gain_percent",
+                   sum_gain / workloads::kNumTpchQueries);
+  bench::FinishBench(&machine, opts, report);
   return 0;
 }

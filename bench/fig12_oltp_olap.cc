@@ -18,6 +18,7 @@ namespace {
 
 void RunCase(sim::Machine* machine, const workloads::AcdocaData& acdoca,
              const storage::DictColumn* scan_column, const char* label,
+             const std::string& report_key, obs::RunReportWriter* report,
              bool big, uint32_t columns, uint64_t seed) {
   auto oltp = workloads::MakeOltpQuery(acdoca, big, columns, seed);
   oltp->AttachSim(machine);
@@ -25,6 +26,7 @@ void RunCase(sim::Machine* machine, const workloads::AcdocaData& acdoca,
 
   const auto r = bench::RunPair(machine, oltp.get(), &scan,
                                 engine::PolicyConfig{});
+  bench::AddPairResult(report, report_key, r);
   std::printf("%-28s | %8.2f %8.2f %6.0f%% | %8.2f %8.2f | ws %.2f MiB\n",
               label, r.norm_conc_a(), r.norm_part_a(),
               (r.norm_part_a() / r.norm_conc_a() - 1) * 100,
@@ -34,8 +36,11 @@ void RunCase(sim::Machine* machine, const workloads::AcdocaData& acdoca,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   sim::Machine machine{sim::MachineConfig{}};
+  bench::ApplyTraceOption(&machine, opts);
+  obs::RunReportWriter report("fig12_oltp_olap");
 
   auto acdoca = workloads::MakeAcdocaData(&machine, {});
   auto scan_data = workloads::MakeScanDataset(
@@ -51,9 +56,9 @@ int main() {
               "OLTP conc", "part", "gain", "scan conc", "part");
   bench::PrintRule(96);
   RunCase(&machine, *acdoca, &scan_data.column,
-          "(a) 13 big-dict columns", true, 13, 1410);
+          "(a) 13 big-dict columns", "a_13big", &report, true, 13, 1410);
   RunCase(&machine, *acdoca, &scan_data.column,
-          "(b) 6 small-dict columns", false, 6, 1420);
+          "(b) 6 small-dict columns", "b_6small", &report, false, 6, 1420);
   bench::PrintRule(96);
 
   std::printf(
@@ -62,12 +67,14 @@ int main() {
   for (uint32_t k = 2; k <= 13; ++k) {
     char label[32];
     std::snprintf(label, sizeof(label), "%2u columns", k);
-    RunCase(&machine, *acdoca, &scan_data.column, label, true, k, 1430 + k);
+    RunCase(&machine, *acdoca, &scan_data.column, label,
+            "sweep/columns" + std::to_string(k), &report, true, k, 1430 + k);
   }
   bench::PrintRule(96);
   std::printf(
       "Paper: OLTP drops to 66%%/68%% (13/6 columns); partitioning regains\n"
       "+13%%/+9%%, and the gain grows with the number of projected columns\n"
       "(+8%% to +13%% from 2 to 13 columns) as the working set grows.\n");
+  bench::FinishBench(&machine, opts, report);
   return 0;
 }

@@ -29,6 +29,9 @@ class CatController {
                 uint32_t max_clos = 16);
 
   uint32_t num_ways() const { return num_ways_; }
+  uint32_t num_cores() const {
+    return static_cast<uint32_t>(core_clos_.size());
+  }
   uint32_t max_clos() const { return max_clos_; }
   uint64_t full_mask() const { return full_mask_; }
 

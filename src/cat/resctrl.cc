@@ -74,6 +74,15 @@ ResctrlFs::ResctrlFs(CatController* cat) : cat_(cat) {
   groups_[""] = Group{0};
 }
 
+uint64_t ResctrlFs::ControlPlaneCycle() const {
+  if (clocks_ == nullptr) return 0;
+  uint64_t max = 0;
+  for (uint64_t c : *clocks_) {
+    if (c > max) max = c;
+  }
+  return max;
+}
+
 Status ResctrlFs::CreateGroup(const std::string& name) {
   if (name.empty()) {
     return Status::InvalidArgument("group name must be non-empty");
@@ -85,6 +94,19 @@ Status ResctrlFs::CreateGroup(const std::string& name) {
     if (!clos_in_use_[clos]) {
       clos_in_use_[clos] = true;
       groups_[name] = Group{clos};
+      // A reused CLOS doubles as the group's monitoring id: its cumulative
+      // counters must not leak over from the group that owned it before
+      // (RMID-reuse semantics; occupancy reflects real residency and is
+      // kept).
+      if (monitor_reset_) monitor_reset_(clos);
+      if (trace_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.cycle = ControlPlaneCycle();
+        ev.kind = obs::EventKind::kGroupCreate;
+        ev.clos = clos;
+        ev.label = name;
+        trace_->Record(std::move(ev));
+      }
       // Fresh groups start with the full mask, like the kernel.
       return cat_->SetClosMask(clos, cat_->full_mask());
     }
@@ -101,10 +123,38 @@ Status ResctrlFs::RemoveGroup(const std::string& name) {
   if (it == groups_.end()) {
     return Status::NotFound("no such resource group: " + name);
   }
-  clos_in_use_[it->second.clos] = false;
+  const ClosId removed = it->second.clos;
+  clos_in_use_[removed] = false;
   groups_.erase(it);
   for (auto& [tid, group] : task_group_) {
     if (group == name) group.clear();
+  }
+  // Cores still associated with the removed CLOS fall back to the default
+  // class, like the kernel's rmdir: leaving the stale association in place
+  // would let those cores keep allocating under a mask that no group owns
+  // (and charge their traffic to a CLOS the next CreateGroup may hand out).
+  for (uint32_t core = 0; core < cat_->num_cores(); ++core) {
+    if (cat_->CoreClos(core) == removed) {
+      CATDB_CHECK(cat_->AssignCore(core, 0).ok());
+      reassociations_ += 1;
+      if (trace_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.cycle = clocks_ == nullptr ? 0 : (*clocks_)[core];
+        ev.kind = obs::EventKind::kClosReassociation;
+        ev.core = core;
+        ev.arg = 0;  // back to the default CLOS
+        ev.label = name;
+        trace_->Record(std::move(ev));
+      }
+    }
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.cycle = ControlPlaneCycle();
+    ev.kind = obs::EventKind::kGroupRemove;
+    ev.clos = removed;
+    ev.label = name;
+    trace_->Record(std::move(ev));
   }
   return Status::OK();
 }
@@ -117,7 +167,17 @@ Status ResctrlFs::WriteSchemata(const std::string& group,
   }
   Result<uint64_t> mask = ParseSchemataLine(line);
   if (!mask.ok()) return mask.status();
-  return cat_->SetClosMask(it->second.clos, mask.value());
+  const Status st = cat_->SetClosMask(it->second.clos, mask.value());
+  if (st.ok() && trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.cycle = ControlPlaneCycle();
+    ev.kind = obs::EventKind::kSchemataWrite;
+    ev.clos = it->second.clos;
+    ev.arg = mask.value();
+    ev.label = group;
+    trace_->Record(std::move(ev));
+  }
+  return st;
 }
 
 Result<std::string> ResctrlFs::ReadSchemata(const std::string& group) const {
@@ -170,6 +230,14 @@ bool ResctrlFs::OnContextSwitch(ThreadId tid, uint32_t core) {
   const Status st = cat_->AssignCore(core, clos);
   CATDB_CHECK(st.ok());
   reassociations_ += 1;
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.cycle = clocks_ == nullptr ? 0 : (*clocks_)[core];
+    ev.kind = obs::EventKind::kClosReassociation;
+    ev.core = core;
+    ev.arg = clos;
+    trace_->Record(std::move(ev));
+  }
   return true;
 }
 

@@ -2,6 +2,7 @@
 #define CATDB_CAT_RESCTRL_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 
 #include "cat/cat_controller.h"
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace catdb::cat {
 
@@ -76,10 +78,30 @@ class ResctrlFs {
   /// Restores the mount state: only the default group, no task assignments.
   void Reset();
 
+  /// Installs the hook invoked whenever a CLOS is (re)acquired by a fresh
+  /// resource group. The machine resets that CLOS's cumulative monitoring
+  /// counters through it — on real hardware a reused RMID must not inherit
+  /// the MBM history of the group that owned it before.
+  void SetMonitorResetHook(std::function<void(ClosId)> hook) {
+    monitor_reset_ = std::move(hook);
+  }
+
+  /// Binds an event trace (nullptr = untraced). `clocks` supplies the
+  /// per-core cycle stamps (the machine's clock vector; control-plane
+  /// operations with no core context are stamped with the max clock).
+  /// Recording never charges cycles, so traced runs stay cycle-identical.
+  void BindTrace(obs::EventTrace* trace,
+                 const std::vector<uint64_t>* clocks) {
+    trace_ = trace;
+    clocks_ = clocks;
+  }
+
  private:
   struct Group {
     ClosId clos = 0;
   };
+
+  uint64_t ControlPlaneCycle() const;
 
   CatController* cat_;  // not owned
   std::map<std::string, Group> groups_;
@@ -87,6 +109,9 @@ class ResctrlFs {
   std::vector<bool> clos_in_use_;
   uint64_t reassociations_ = 0;
   uint64_t skipped_ = 0;
+  std::function<void(ClosId)> monitor_reset_;
+  obs::EventTrace* trace_ = nullptr;             // not owned
+  const std::vector<uint64_t>* clocks_ = nullptr;  // not owned
 };
 
 /// Parses "L3:0=<hexmask>" (whitespace-tolerant). Exposed for tests.

@@ -1,5 +1,8 @@
 #include "engine/coscheduler.h"
 
+#include <array>
+#include <utility>
+
 #include "common/check.h"
 #include "engine/runner.h"
 
@@ -53,16 +56,26 @@ std::vector<Round> PlanFifoRounds(const std::vector<BatchItem>& batch) {
   return rounds;
 }
 
-uint64_t ExecuteRounds(sim::Machine* machine,
-                       const std::vector<BatchItem>& batch,
-                       const std::vector<Round>& rounds,
-                       const PolicyConfig& policy) {
+uint32_t RoundCoreSplit(uint32_t num_cores, size_t round_index) {
+  CATDB_CHECK(num_cores >= 2);
+  // Even counts split evenly. For odd counts the old `k * cores / 2`
+  // arithmetic always handed the extra core to the second stream; alternate
+  // it by round parity instead so neither batch position is favoured.
+  if (num_cores % 2 == 0) return num_cores / 2;
+  return round_index % 2 == 0 ? (num_cores + 1) / 2 : num_cores / 2;
+}
+
+RoundsReport ExecuteRoundsReport(sim::Machine* machine,
+                                 const std::vector<BatchItem>& batch,
+                                 const std::vector<Round>& rounds,
+                                 const PolicyConfig& policy) {
   CATDB_CHECK(machine != nullptr);
   const uint32_t cores = machine->num_cores();
   CATDB_CHECK(cores >= 2);
 
-  uint64_t makespan = 0;
-  for (const Round& round : rounds) {
+  RoundsReport out;
+  for (size_t round_index = 0; round_index < rounds.size(); ++round_index) {
+    const Round& round = rounds[round_index];
     CATDB_CHECK(round.items.size() == 1 || round.items.size() == 2);
     std::vector<StreamSpec> specs;
     if (round.items.size() == 1) {
@@ -71,15 +84,23 @@ uint64_t ExecuteRounds(sim::Machine* machine,
       for (uint32_t c = 0; c < cores; ++c) all.push_back(c);
       specs.push_back(StreamSpec{item.query, all, item.iterations});
     } else {
+      const uint32_t first = RoundCoreSplit(cores, round_index);
+      const std::array<std::pair<uint32_t, uint32_t>, 2> ranges = {
+          std::pair<uint32_t, uint32_t>{0, first},
+          std::pair<uint32_t, uint32_t>{first, cores}};
+      uint32_t covered = 0;
       for (size_t k = 0; k < 2; ++k) {
         const BatchItem& item = batch[round.items[k]];
-        std::vector<uint32_t> half;
-        for (uint32_t c = static_cast<uint32_t>(k) * cores / 2;
-             c < (static_cast<uint32_t>(k) + 1) * cores / 2; ++c) {
-          half.push_back(c);
+        std::vector<uint32_t> part;
+        for (uint32_t c = ranges[k].first; c < ranges[k].second; ++c) {
+          part.push_back(c);
         }
-        specs.push_back(StreamSpec{item.query, half, item.iterations});
+        CATDB_CHECK(!part.empty());
+        covered += static_cast<uint32_t>(part.size());
+        specs.push_back(StreamSpec{item.query, part, item.iterations});
       }
+      // Every core is used exactly once per round.
+      CATDB_CHECK(covered == cores);
     }
     // Run the round to completion (every stream reaches its iteration
     // budget) and add its duration to the makespan.
@@ -96,9 +117,20 @@ uint64_t ExecuteRounds(sim::Machine* machine,
         executor.Attach(core, streams.back().get());
       }
     }
-    makespan += executor.RunUntilIdle();
+    const uint64_t duration = executor.RunUntilIdle();
+    out.makespan_cycles += duration;
+    out.round_cycles.push_back(duration);
+    out.round_reports.push_back(
+        CollectRunReport(machine, scheduler, streams, duration));
   }
-  return makespan;
+  return out;
+}
+
+uint64_t ExecuteRounds(sim::Machine* machine,
+                       const std::vector<BatchItem>& batch,
+                       const std::vector<Round>& rounds,
+                       const PolicyConfig& policy) {
+  return ExecuteRoundsReport(machine, batch, rounds, policy).makespan_cycles;
 }
 
 }  // namespace catdb::engine

@@ -6,6 +6,7 @@
 
 #include "engine/partitioning_policy.h"
 #include "engine/query.h"
+#include "engine/runner.h"
 #include "sim/machine.h"
 
 namespace catdb::engine {
@@ -45,10 +46,31 @@ std::vector<Round> PlanCacheAwareRounds(const std::vector<BatchItem>& batch);
 /// Baseline: pair queries first-come-first-served regardless of class.
 std::vector<Round> PlanFifoRounds(const std::vector<BatchItem>& batch);
 
+/// Cores granted to the *first* item of a two-item round on a machine with
+/// `num_cores` cores (the second item gets the rest). For odd core counts
+/// the extra core alternates with the round index, so neither batch
+/// position is systematically favoured across rounds. Exposed for tests.
+uint32_t RoundCoreSplit(uint32_t num_cores, size_t round_index);
+
+/// Outcome of executing a round plan: the makespan plus one RunReport per
+/// round (hardware counters, per-stream throughput) for the run-report
+/// export.
+struct RoundsReport {
+  uint64_t makespan_cycles = 0;
+  std::vector<uint64_t> round_cycles;      // duration of each round
+  std::vector<RunReport> round_reports;    // one per round, in order
+};
+
 /// Executes the rounds back to back on the machine (two-item rounds split
-/// the cores in half) and returns the total makespan in cycles. `policy`
-/// applies within every round (pass enabled=true so mixed rounds are
-/// CAT-protected).
+/// the cores; see RoundCoreSplit) and returns the makespan plus per-round
+/// reports. `policy` applies within every round (pass enabled=true so mixed
+/// rounds are CAT-protected).
+RoundsReport ExecuteRoundsReport(sim::Machine* machine,
+                                 const std::vector<BatchItem>& batch,
+                                 const std::vector<Round>& rounds,
+                                 const PolicyConfig& policy);
+
+/// Convenience wrapper: only the total makespan in cycles.
 uint64_t ExecuteRounds(sim::Machine* machine,
                        const std::vector<BatchItem>& batch,
                        const std::vector<Round>& rounds,

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/units.h"
 #include "engine/job_scheduler.h"
+#include "obs/trace.h"
 #include "sim/executor.h"
 #include "simcache/cache_geometry.h"
 
@@ -19,6 +20,42 @@ std::string StreamGroupName(size_t index) {
 }
 
 }  // namespace
+
+DynamicClassifier::DynamicClassifier(const DynamicPolicyConfig& config,
+                                     size_t num_streams)
+    : config_(config),
+      restricted_(num_streams, false),
+      clean_streak_(num_streams, 0) {
+  CATDB_CHECK(num_streams >= 1);
+  CATDB_CHECK(config_.unrestrict_intervals >= 1);
+}
+
+DynamicClassifier::Decision DynamicClassifier::OnInterval(
+    size_t stream, double bandwidth_share, double hit_ratio) {
+  CATDB_CHECK(stream < restricted_.size());
+  const bool polluter =
+      bandwidth_share >= config_.polluter_bandwidth_share &&
+      hit_ratio < config_.polluter_hit_ratio;
+
+  Decision d;
+  if (polluter) {
+    // Restriction is immediate: one polluting interval tightens the mask.
+    clean_streak_[stream] = 0;
+    d.changed = !restricted_[stream];
+    restricted_[stream] = true;
+  } else if (restricted_[stream]) {
+    // Widening requires a streak of clean intervals: one idle interval
+    // (a stalled polluter reads as hit_ratio 1.0) must not flap the mask.
+    clean_streak_[stream] += 1;
+    if (clean_streak_[stream] >= config_.unrestrict_intervals) {
+      restricted_[stream] = false;
+      clean_streak_[stream] = 0;
+      d.changed = true;
+    }
+  }
+  d.restricted = restricted_[stream];
+  return d;
+}
 
 DynamicRunReport RunWorkloadDynamic(sim::Machine* machine,
                                     const std::vector<StreamSpec>& specs,
@@ -50,7 +87,11 @@ DynamicRunReport RunWorkloadDynamic(sim::Machine* machine,
   CATDB_DCHECK(IsContiguousMask(full_mask));
   CATDB_DCHECK(IsContiguousMask(polluting_mask));
 
+  DynamicRunReport result;
   std::vector<cat::ClosId> stream_clos;
+  obs::IntervalSampler sampler(
+      &machine->hierarchy(),
+      machine->config().hierarchy.latency.dram_transfer);
   for (size_t i = 0; i < specs.size(); ++i) {
     const std::string group = StreamGroupName(i);
     CATDB_CHECK(fs.CreateGroup(group).ok());
@@ -62,6 +103,8 @@ DynamicRunReport RunWorkloadDynamic(sim::Machine* machine,
     auto clos = fs.ClosOfGroup(group);
     CATDB_CHECK(clos.ok());
     stream_clos.push_back(clos.value());
+    sampler.Watch(clos.value(), group);
+    result.group_names.push_back(group);
   }
 
   sim::Executor executor(machine);
@@ -75,78 +118,54 @@ DynamicRunReport RunWorkloadDynamic(sim::Machine* machine,
     }
   }
 
-  DynamicRunReport result;
   result.restricted.assign(specs.size(), false);
   result.restricted_at_interval.assign(specs.size(), 0);
-
-  // Per-stream monitoring baselines for interval deltas.
-  std::vector<uint64_t> prev_mbm(specs.size(), 0);
-  std::vector<uint64_t> prev_hits(specs.size(), 0);
-  std::vector<uint64_t> prev_lookups(specs.size(), 0);
-
-  const auto& hierarchy = machine->hierarchy();
-  const double channel_lines_per_interval =
-      static_cast<double>(config.interval_cycles) /
-      machine->config().hierarchy.latency.dram_transfer;
+  DynamicClassifier classifier(config, specs.size());
 
   for (uint64_t t = config.interval_cycles;; t += config.interval_cycles) {
     const uint64_t stop = t < horizon_cycles ? t : horizon_cycles;
     executor.RunUntil(stop);
     result.intervals += 1;
 
+    // One snapshot per interval; the final interval may be shorter than
+    // interval_cycles and its bandwidth share is computed over the actual
+    // length (a full-interval denominator underestimated the share and let
+    // polluters finish their last interval unrestricted).
+    const obs::IntervalSample& sample = sampler.Sample(stop);
+
     for (size_t i = 0; i < specs.size(); ++i) {
-      const auto& mon = hierarchy.clos_monitor(stream_clos[i]);
-      const uint64_t mbm_delta = mon.mbm_lines - prev_mbm[i];
-      const uint64_t lookups_delta = mon.llc.lookups() - prev_lookups[i];
-      const uint64_t hits_delta = mon.llc.hits - prev_hits[i];
-      prev_mbm[i] = mon.mbm_lines;
-      prev_lookups[i] = mon.llc.lookups();
-      prev_hits[i] = mon.llc.hits;
-
-      const double bandwidth_share =
-          static_cast<double>(mbm_delta) / channel_lines_per_interval;
-      const double hit_ratio =
-          lookups_delta == 0
-              ? 1.0  // no LLC traffic: certainly not a polluter
-              : static_cast<double>(hits_delta) / lookups_delta;
-
-      const bool polluter =
-          bandwidth_share >= config.polluter_bandwidth_share &&
-          hit_ratio < config.polluter_hit_ratio;
-      if (polluter != result.restricted[i]) {
-        const uint64_t mask = polluter ? polluting_mask : full_mask;
+      const obs::ClosIntervalSample& cs = sample.clos[i];
+      const DynamicClassifier::Decision decision =
+          classifier.OnInterval(i, cs.bandwidth_share, cs.hit_ratio);
+      if (decision.changed) {
+        const uint64_t mask =
+            decision.restricted ? polluting_mask : full_mask;
         CATDB_CHECK(fs.WriteSchemata(StreamGroupName(i),
                                      cat::FormatSchemataLine(mask))
                         .ok());
         result.schemata_writes += 1;
-        result.restricted[i] = polluter;
-        if (polluter && result.restricted_at_interval[i] == 0) {
+        result.restricted[i] = decision.restricted;
+        if (decision.restricted && result.restricted_at_interval[i] == 0) {
           result.restricted_at_interval[i] = result.intervals;
+        }
+        if (obs::EventTrace* trace = machine->trace()) {
+          obs::TraceEvent ev;
+          ev.cycle = stop;
+          ev.kind = obs::EventKind::kRestrictionFlip;
+          ev.clos = stream_clos[i];
+          ev.arg = decision.restricted ? 1 : 0;
+          ev.arg2 = i;
+          ev.label = StreamGroupName(i);
+          trace->Record(std::move(ev));
         }
       }
     }
     if (stop >= horizon_cycles) break;
   }
 
-  result.report.sim_seconds = CyclesToSeconds(horizon_cycles);
-  for (const auto& stream : streams) {
-    StreamResult r;
-    r.query_name = stream->query()->name();
-    r.iterations = stream->Iterations();
-    r.iterations_per_second = r.iterations / result.report.sim_seconds;
-    r.iteration_end_clocks = stream->iteration_end_clocks();
-    for (uint32_t core : stream->cores()) {
-      r.stats += hierarchy.core_stats(core);
-    }
-    result.report.streams.push_back(std::move(r));
-  }
-  result.report.stats = hierarchy.stats();
-  result.report.llc_hit_ratio = result.report.stats.llc_hit_ratio();
-  result.report.llc_mpi =
-      result.report.stats.llc_misses_per_instruction();
-  result.report.group_moves = scheduler.group_moves();
-  result.report.skipped_moves = scheduler.skipped_moves();
-  result.report.clos_reassociations = machine->resctrl().reassociations();
+  result.interval_series = sampler.series();
+  result.report =
+      CollectRunReport(machine, scheduler, streams, horizon_cycles);
   return result;
 }
 

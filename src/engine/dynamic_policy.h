@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engine/runner.h"
+#include "obs/interval_sampler.h"
 
 namespace catdb::engine {
 
@@ -26,6 +27,43 @@ struct DynamicPolicyConfig {
   double polluter_hit_ratio = 0.10;
   /// Ways granted to streams classified polluting (mask 0x3 by default).
   uint32_t polluting_ways = 2;
+  /// Hysteresis: a restricted stream is widened back to the full mask only
+  /// after this many *consecutive* non-polluter intervals. Restriction
+  /// itself stays immediate (one bad interval restricts). Guards against
+  /// flapping: a polluter stalled behind the DRAM queue for one interval
+  /// (lookups_delta == 0 reads as the idle hit_ratio default of 1.0) would
+  /// otherwise be unrestricted and instantly re-restricted, burning two
+  /// schemata writes per flap.
+  uint32_t unrestrict_intervals = 2;
+};
+
+/// Per-interval classification + hysteresis state machine of the dynamic
+/// controller, factored out of the run loop so the decision logic is
+/// testable with synthetic monitoring sequences.
+class DynamicClassifier {
+ public:
+  DynamicClassifier(const DynamicPolicyConfig& config, size_t num_streams);
+
+  struct Decision {
+    bool changed = false;     // a mask write is required
+    bool restricted = false;  // the stream's state after this interval
+  };
+
+  /// Feeds one interval's monitoring deltas for `stream` and returns the
+  /// resulting state. `bandwidth_share` is the stream's share of the DRAM
+  /// channel capacity within the interval (obs::ChannelBandwidthShare over
+  /// the *actual* interval length); `hit_ratio` its demand LLC hit ratio
+  /// (1.0 when it had no LLC lookups).
+  Decision OnInterval(size_t stream, double bandwidth_share,
+                      double hit_ratio);
+
+  bool restricted(size_t stream) const { return restricted_[stream]; }
+
+ private:
+  DynamicPolicyConfig config_;
+  std::vector<bool> restricted_;
+  /// Consecutive non-polluter intervals observed while restricted.
+  std::vector<uint32_t> clean_streak_;
 };
 
 /// Outcome of a dynamic run: the usual workload report plus the
@@ -40,6 +78,14 @@ struct DynamicRunReport {
   uint32_t intervals = 0;
   /// Mask (re)programming operations performed by the controller.
   uint64_t schemata_writes = 0;
+  /// Stream resource-group names, in stream order (matches the per-CLOS
+  /// entries of each interval sample).
+  std::vector<std::string> group_names;
+  /// Per-interval monitoring time series (one entry per decision interval;
+  /// sample i's per-CLOS entries are in stream order). Replaying the
+  /// classifier over this series reproduces the restriction flips — the
+  /// consistency the observability tests pin.
+  std::vector<obs::IntervalSample> interval_series;
 };
 
 /// Runs the streams concurrently like RunWorkload, but with *no* static

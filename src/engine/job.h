@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "engine/cache_usage.h"
@@ -25,6 +26,7 @@ class Job : public sim::Task {
       : name_(std::move(name)), cuid_(cuid) {}
 
   const std::string& name() const { return name_; }
+  std::string_view label() const override { return name_; }
   CacheUsage cache_usage() const { return cuid_; }
 
   /// For kAdaptive jobs: the size of the operator's frequently accessed

@@ -2,6 +2,7 @@
 
 #include "cat/resctrl.h"
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace catdb::engine {
 
@@ -59,6 +60,15 @@ void JobScheduler::OnDispatch(Job* job, uint32_t core) {
     CATDB_CHECK(st.ok());
     machine_->ChargeReassociation(core);
     group_moves_ += 1;
+    if (obs::EventTrace* trace = machine_->trace()) {
+      obs::TraceEvent ev;
+      ev.cycle = machine_->clock(core);
+      ev.kind = obs::EventKind::kGroupMove;
+      ev.core = core;
+      ev.arg = tid;
+      ev.label = target;
+      trace->Record(std::move(ev));
+    }
   } else {
     skipped_moves_ += 1;
   }

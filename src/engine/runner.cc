@@ -88,18 +88,18 @@ double QueryStream::Iterations() const {
   return static_cast<double>(completed_) + fraction;
 }
 
-namespace {
-
-RunReport Collect(sim::Machine* machine, const JobScheduler& scheduler,
-                  const std::vector<std::unique_ptr<QueryStream>>& streams,
-                  uint64_t horizon_cycles) {
+RunReport CollectRunReport(
+    sim::Machine* machine, const JobScheduler& scheduler,
+    const std::vector<std::unique_ptr<QueryStream>>& streams,
+    uint64_t duration_cycles) {
   RunReport report;
-  report.sim_seconds = CyclesToSeconds(horizon_cycles);
+  report.sim_seconds = CyclesToSeconds(duration_cycles);
   for (const auto& stream : streams) {
     StreamResult r;
     r.query_name = stream->query()->name();
     r.iterations = stream->Iterations();
-    r.iterations_per_second = r.iterations / report.sim_seconds;
+    r.iterations_per_second =
+        report.sim_seconds > 0 ? r.iterations / report.sim_seconds : 0;
     r.iteration_end_clocks = stream->iteration_end_clocks();
     for (uint32_t core : stream->cores()) {
       r.stats += machine->hierarchy().core_stats(core);
@@ -114,8 +114,6 @@ RunReport Collect(sim::Machine* machine, const JobScheduler& scheduler,
   report.clos_reassociations = machine->resctrl().reassociations();
   return report;
 }
-
-}  // namespace
 
 RunReport RunWorkload(sim::Machine* machine,
                       const std::vector<StreamSpec>& specs,
@@ -142,7 +140,7 @@ RunReport RunWorkload(sim::Machine* machine,
   }
 
   executor.RunUntil(horizon_cycles);
-  return Collect(machine, scheduler, streams, horizon_cycles);
+  return CollectRunReport(machine, scheduler, streams, horizon_cycles);
 }
 
 RunReport RunQueryIterations(sim::Machine* machine, Query* query,
@@ -160,31 +158,13 @@ RunReport RunQueryIterations(sim::Machine* machine, Query* query,
   CATDB_CHECK(st.ok());
 
   sim::Executor executor(machine);
-  QueryStream stream(query, cores, &scheduler, iterations);
-  for (uint32_t core : cores) executor.Attach(core, &stream);
+  std::vector<std::unique_ptr<QueryStream>> streams;
+  streams.push_back(
+      std::make_unique<QueryStream>(query, cores, &scheduler, iterations));
+  for (uint32_t core : cores) executor.Attach(core, streams.back().get());
 
   const uint64_t end_clock = executor.RunUntilIdle();
-
-  std::vector<std::unique_ptr<QueryStream>> wrapper;
-  RunReport report;
-  report.sim_seconds = CyclesToSeconds(end_clock);
-  StreamResult r;
-  r.query_name = query->name();
-  r.iterations = stream.Iterations();
-  r.iterations_per_second =
-      report.sim_seconds > 0 ? r.iterations / report.sim_seconds : 0;
-  r.iteration_end_clocks = stream.iteration_end_clocks();
-  for (uint32_t core : cores) {
-    r.stats += machine->hierarchy().core_stats(core);
-  }
-  report.streams.push_back(std::move(r));
-  report.stats = machine->hierarchy().stats();
-  report.llc_hit_ratio = report.stats.llc_hit_ratio();
-  report.llc_mpi = report.stats.llc_misses_per_instruction();
-  report.group_moves = scheduler.group_moves();
-  report.skipped_moves = scheduler.skipped_moves();
-  report.clos_reassociations = machine->resctrl().reassociations();
-  return report;
+  return CollectRunReport(machine, scheduler, streams, end_clock);
 }
 
 }  // namespace catdb::engine

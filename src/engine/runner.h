@@ -93,6 +93,15 @@ struct RunReport {
   uint64_t clos_reassociations = 0;
 };
 
+/// Assembles a RunReport from finished streams: per-stream throughput over
+/// `duration_cycles`, summed per-core hardware counters, machine-wide LLC
+/// metrics, and the control-plane move/reassociation counts. Shared by
+/// RunWorkload, the dynamic controller, and the round executor.
+RunReport CollectRunReport(
+    sim::Machine* machine, const JobScheduler& scheduler,
+    const std::vector<std::unique_ptr<QueryStream>>& streams,
+    uint64_t duration_cycles);
+
 /// Runs the given streams concurrently for `horizon_cycles` of simulated
 /// time under the given partitioning policy. Resets machine state (caches,
 /// clocks, statistics, resctrl groups) first; simulated datasets persist.

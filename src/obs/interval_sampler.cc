@@ -1,0 +1,79 @@
+#include "obs/interval_sampler.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace catdb::obs {
+
+double ChannelBandwidthShare(uint64_t mbm_delta, uint64_t interval_cycles,
+                             uint64_t dram_transfer_cycles) {
+  CATDB_CHECK(dram_transfer_cycles >= 1);
+  if (interval_cycles == 0) return 0.0;
+  const double channel_lines = static_cast<double>(interval_cycles) /
+                               static_cast<double>(dram_transfer_cycles);
+  return static_cast<double>(mbm_delta) / channel_lines;
+}
+
+IntervalSampler::IntervalSampler(const simcache::MemoryHierarchy* hierarchy,
+                                 uint64_t dram_transfer_cycles)
+    : hierarchy_(hierarchy), dram_transfer_cycles_(dram_transfer_cycles) {
+  CATDB_CHECK(hierarchy_ != nullptr);
+  CATDB_CHECK(dram_transfer_cycles_ >= 1);
+}
+
+void IntervalSampler::Watch(uint32_t clos, std::string group_name) {
+  CATDB_CHECK(series_.empty());
+  CATDB_CHECK(clos < simcache::MemoryHierarchy::kMaxClos);
+  Watched w;
+  w.clos = clos;
+  w.group = std::move(group_name);
+  const simcache::ClosMonitor& mon = hierarchy_->clos_monitor(clos);
+  w.prev_mbm = mon.mbm_lines;
+  w.prev_hits = mon.llc.hits;
+  w.prev_misses = mon.llc.misses;
+  watched_.push_back(std::move(w));
+}
+
+const IntervalSample& IntervalSampler::Sample(uint64_t cycle_end) {
+  CATDB_CHECK(cycle_end >= prev_cycle_);
+  IntervalSample sample;
+  sample.cycle_begin = prev_cycle_;
+  sample.cycle_end = cycle_end;
+  const uint64_t interval = cycle_end - prev_cycle_;
+
+  for (Watched& w : watched_) {
+    const simcache::ClosMonitor& mon = hierarchy_->clos_monitor(w.clos);
+    ClosIntervalSample cs;
+    cs.clos = w.clos;
+    cs.group = w.group;
+    cs.occupancy_lines = mon.occupancy_lines;
+    cs.mbm_lines_total = mon.mbm_lines;
+    cs.mbm_lines_delta = mon.mbm_lines - w.prev_mbm;
+    cs.llc_hits_delta = mon.llc.hits - w.prev_hits;
+    cs.llc_misses_delta = mon.llc.misses - w.prev_misses;
+    const uint64_t lookups = cs.llc_hits_delta + cs.llc_misses_delta;
+    cs.hit_ratio = lookups == 0
+                       ? 1.0  // no LLC traffic: certainly not a polluter
+                       : static_cast<double>(cs.llc_hits_delta) / lookups;
+    cs.bandwidth_share = ChannelBandwidthShare(cs.mbm_lines_delta, interval,
+                                               dram_transfer_cycles_);
+    w.prev_mbm = mon.mbm_lines;
+    w.prev_hits = mon.llc.hits;
+    w.prev_misses = mon.llc.misses;
+    sample.clos.push_back(std::move(cs));
+  }
+
+  const simcache::HierarchyStats& stats = hierarchy_->stats();
+  sample.llc_delta.hits = stats.llc.hits - prev_llc_.hits;
+  sample.llc_delta.misses = stats.llc.misses - prev_llc_.misses;
+  sample.dram_accesses_delta = stats.dram_accesses - prev_dram_;
+  prev_llc_ = stats.llc;
+  prev_dram_ = stats.dram_accesses;
+  prev_cycle_ = cycle_end;
+
+  series_.push_back(std::move(sample));
+  return series_.back();
+}
+
+}  // namespace catdb::obs

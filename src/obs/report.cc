@@ -1,0 +1,233 @@
+#include "obs/report.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace catdb::obs {
+
+void AppendLevelStats(JsonWriter& w, const simcache::LevelStats& s) {
+  w.BeginObject();
+  w.KV("hits", s.hits);
+  w.KV("misses", s.misses);
+  w.KV("hit_ratio", s.hit_ratio());
+  w.EndObject();
+}
+
+void AppendHierarchyStats(JsonWriter& w, const simcache::HierarchyStats& s) {
+  w.BeginObject();
+  w.Key("l1");
+  AppendLevelStats(w, s.l1);
+  w.Key("l2");
+  AppendLevelStats(w, s.l2);
+  w.Key("llc");
+  AppendLevelStats(w, s.llc);
+  w.KV("dram_accesses", s.dram_accesses);
+  w.KV("dram_wait_cycles", s.dram_wait_cycles);
+  w.KV("prefetches_issued", s.prefetches_issued);
+  w.KV("prefetches_dropped", s.prefetches_dropped);
+  w.KV("prefetch_hits", s.prefetch_hits);
+  w.KV("llc_back_invalidations", s.llc_back_invalidations);
+  w.KV("instructions", s.instructions);
+  w.KV("llc_hit_ratio", s.llc_hit_ratio());
+  w.KV("llc_mpi", s.llc_misses_per_instruction());
+  w.EndObject();
+}
+
+void AppendRunReport(JsonWriter& w, const engine::RunReport& report) {
+  w.BeginObject();
+  w.KV("sim_seconds", report.sim_seconds);
+  w.KV("llc_hit_ratio", report.llc_hit_ratio);
+  w.KV("llc_mpi", report.llc_mpi);
+  w.KV("group_moves", report.group_moves);
+  w.KV("skipped_moves", report.skipped_moves);
+  w.KV("clos_reassociations", report.clos_reassociations);
+  w.Key("stats");
+  AppendHierarchyStats(w, report.stats);
+  w.Key("streams").BeginArray();
+  for (const engine::StreamResult& s : report.streams) {
+    w.BeginObject();
+    w.KV("query", s.query_name);
+    w.KV("iterations", s.iterations);
+    w.KV("iterations_per_second", s.iterations_per_second);
+    w.Key("stats");
+    AppendHierarchyStats(w, s.stats);
+    w.Key("iteration_end_clocks").BeginArray();
+    for (uint64_t c : s.iteration_end_clocks) w.Value(c);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+void AppendIntervalSample(JsonWriter& w, const IntervalSample& sample) {
+  w.BeginObject();
+  w.KV("cycle_begin", sample.cycle_begin);
+  w.KV("cycle_end", sample.cycle_end);
+  w.Key("llc_delta");
+  AppendLevelStats(w, sample.llc_delta);
+  w.KV("dram_accesses_delta", sample.dram_accesses_delta);
+  w.Key("clos").BeginArray();
+  for (const ClosIntervalSample& cs : sample.clos) {
+    w.BeginObject();
+    w.KV("clos", cs.clos);
+    w.KV("group", cs.group);
+    w.KV("llc_occupancy_lines", cs.occupancy_lines);
+    w.KV("mbm_lines_total", cs.mbm_lines_total);
+    w.KV("mbm_lines_delta", cs.mbm_lines_delta);
+    w.KV("llc_hits_delta", cs.llc_hits_delta);
+    w.KV("llc_misses_delta", cs.llc_misses_delta);
+    w.KV("hit_ratio", cs.hit_ratio);
+    w.KV("bandwidth_share", cs.bandwidth_share);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+void AppendDynamicRunReport(JsonWriter& w,
+                            const engine::DynamicRunReport& report) {
+  w.BeginObject();
+  w.KV("intervals", static_cast<uint64_t>(report.intervals));
+  w.KV("schemata_writes", report.schemata_writes);
+  w.Key("group_names").BeginArray();
+  for (const std::string& g : report.group_names) w.Value(g);
+  w.EndArray();
+  w.Key("restricted").BeginArray();
+  for (const bool r : report.restricted) w.Value(r);
+  w.EndArray();
+  w.Key("restricted_at_interval").BeginArray();
+  for (const uint32_t i : report.restricted_at_interval) {
+    w.Value(static_cast<uint64_t>(i));
+  }
+  w.EndArray();
+  w.Key("interval_series").BeginArray();
+  for (const IntervalSample& s : report.interval_series) {
+    AppendIntervalSample(w, s);
+  }
+  w.EndArray();
+  w.Key("report");
+  AppendRunReport(w, report.report);
+  w.EndObject();
+}
+
+void AppendRoundsReport(JsonWriter& w, const engine::RoundsReport& report) {
+  CATDB_CHECK(report.round_cycles.size() == report.round_reports.size());
+  w.BeginObject();
+  w.KV("makespan_cycles", report.makespan_cycles);
+  w.Key("rounds").BeginArray();
+  for (size_t i = 0; i < report.round_reports.size(); ++i) {
+    w.BeginObject();
+    w.KV("round", static_cast<uint64_t>(i));
+    w.KV("cycles", report.round_cycles[i]);
+    w.Key("report");
+    AppendRunReport(w, report.round_reports[i]);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+RunReportWriter::RunReportWriter(std::string benchmark)
+    : benchmark_(std::move(benchmark)) {}
+
+void RunReportWriter::AddParam(const std::string& key,
+                               const std::string& value) {
+  params_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void RunReportWriter::AddParam(const std::string& key, uint64_t value) {
+  JsonWriter w;
+  w.Value(value);
+  params_.emplace_back(key, w.str());
+}
+
+void RunReportWriter::AddParam(const std::string& key, double value) {
+  JsonWriter w;
+  w.Value(value);
+  params_.emplace_back(key, w.str());
+}
+
+void RunReportWriter::AddRun(std::string name, engine::RunReport report) {
+  Entry e;
+  e.kind = Kind::kRun;
+  e.name = std::move(name);
+  e.run = std::move(report);
+  entries_.push_back(std::move(e));
+}
+
+void RunReportWriter::AddDynamicRun(std::string name,
+                                    engine::DynamicRunReport report) {
+  Entry e;
+  e.kind = Kind::kDynamic;
+  e.name = std::move(name);
+  e.dynamic = std::move(report);
+  entries_.push_back(std::move(e));
+}
+
+void RunReportWriter::AddRounds(std::string name,
+                                engine::RoundsReport report) {
+  Entry e;
+  e.kind = Kind::kRounds;
+  e.name = std::move(name);
+  e.rounds = std::move(report);
+  entries_.push_back(std::move(e));
+}
+
+void RunReportWriter::AddScalar(std::string name, double value) {
+  Entry e;
+  e.kind = Kind::kScalar;
+  e.name = std::move(name);
+  e.scalar = value;
+  entries_.push_back(std::move(e));
+}
+
+std::string RunReportWriter::Json() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", kReportSchema);
+  w.KV("benchmark", benchmark_);
+  w.Key("params").BeginObject();
+  for (const auto& [key, value] : params_) {
+    w.Key(key).RawValue(value);
+  }
+  w.EndObject();
+  w.Key("results").BeginArray();
+  for (const Entry& e : entries_) {
+    w.BeginObject();
+    w.KV("name", e.name);
+    switch (e.kind) {
+      case Kind::kRun:
+        w.KV("kind", "run");
+        w.Key("run");
+        AppendRunReport(w, e.run);
+        break;
+      case Kind::kDynamic:
+        w.KV("kind", "dynamic");
+        w.Key("dynamic");
+        AppendDynamicRunReport(w, e.dynamic);
+        break;
+      case Kind::kRounds:
+        w.KV("kind", "rounds");
+        w.Key("rounds");
+        AppendRoundsReport(w, e.rounds);
+        break;
+      case Kind::kScalar:
+        w.KV("kind", "scalar");
+        w.KV("value", e.scalar);
+        break;
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  CATDB_CHECK(w.complete());
+  return w.str();
+}
+
+Status RunReportWriter::WriteFile(const std::string& path) const {
+  return WriteTextFile(path, Json());
+}
+
+}  // namespace catdb::obs

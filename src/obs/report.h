@@ -1,0 +1,79 @@
+#ifndef CATDB_OBS_REPORT_H_
+#define CATDB_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/coscheduler.h"
+#include "engine/dynamic_policy.h"
+#include "engine/runner.h"
+#include "obs/interval_sampler.h"
+#include "obs/json.h"
+
+namespace catdb::obs {
+
+/// Schema identifier stamped into every run report (`"schema"` key), bumped
+/// on incompatible layout changes.
+inline constexpr const char* kReportSchema = "catdb.report/v1";
+
+/// Serializers for the engine result structs, reusable by any writer that
+/// embeds them in a larger document. Each appends one JSON value at the
+/// writer's current position.
+void AppendLevelStats(JsonWriter& w, const simcache::LevelStats& s);
+void AppendHierarchyStats(JsonWriter& w, const simcache::HierarchyStats& s);
+void AppendRunReport(JsonWriter& w, const engine::RunReport& report);
+void AppendIntervalSample(JsonWriter& w, const IntervalSample& sample);
+void AppendDynamicRunReport(JsonWriter& w,
+                            const engine::DynamicRunReport& report);
+void AppendRoundsReport(JsonWriter& w, const engine::RoundsReport& report);
+
+/// Accumulates the results of one benchmark binary into a single JSON run
+/// report: `{"schema": ..., "benchmark": ..., "params": {...},
+/// "results": [{"name": ..., "kind": "run|dynamic|rounds|scalar", ...}]}`.
+/// Used by RunWorkloadDynamic/ExecuteRounds consumers and all bench/fig*
+/// binaries behind their --report-out flag.
+class RunReportWriter {
+ public:
+  explicit RunReportWriter(std::string benchmark);
+
+  /// Free-form string parameter recorded under "params" (configuration of
+  /// the run: scale factor, horizon, policy knobs, ...).
+  void AddParam(const std::string& key, const std::string& value);
+  void AddParam(const std::string& key, uint64_t value);
+  void AddParam(const std::string& key, double value);
+
+  void AddRun(std::string name, engine::RunReport report);
+  void AddDynamicRun(std::string name, engine::DynamicRunReport report);
+  void AddRounds(std::string name, engine::RoundsReport report);
+  void AddScalar(std::string name, double value);
+
+  size_t num_results() const { return entries_.size(); }
+
+  /// The full report document (always a complete, syntactically valid JSON
+  /// object).
+  std::string Json() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  enum class Kind : uint8_t { kRun, kDynamic, kRounds, kScalar };
+
+  struct Entry {
+    Kind kind;
+    std::string name;
+    engine::RunReport run;
+    engine::DynamicRunReport dynamic;
+    engine::RoundsReport rounds;
+    double scalar = 0;
+  };
+
+  std::string benchmark_;
+  std::vector<std::pair<std::string, std::string>> params_;  // pre-rendered
+  std::vector<Entry> entries_;
+};
+
+}  // namespace catdb::obs
+
+#endif  // CATDB_OBS_REPORT_H_

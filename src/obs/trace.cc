@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "obs/json.h"
+
+namespace catdb::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTaskDispatch: return "task_dispatch";
+    case EventKind::kTaskFinish: return "task_finish";
+    case EventKind::kGroupMove: return "group_move";
+    case EventKind::kClosReassociation: return "clos_reassociation";
+    case EventKind::kSchemataWrite: return "schemata_write";
+    case EventKind::kGroupCreate: return "group_create";
+    case EventKind::kGroupRemove: return "group_remove";
+    case EventKind::kRestrictionFlip: return "restriction_flip";
+  }
+  return "unknown";
+}
+
+EventTrace::EventTrace(size_t capacity) {
+  CATDB_CHECK(capacity >= 1);
+  ring_.resize(capacity);
+}
+
+void EventTrace::Record(TraceEvent ev) {
+  ring_[head_] = std::move(ev);
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) {
+    size_ += 1;
+  } else {
+    dropped_ += 1;
+  }
+}
+
+std::vector<TraceEvent> EventTrace::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void EventTrace::Clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+constexpr double kCyclesPerMicro = kCyclesPerSecond / 1e6;
+
+// Track layout: pid 0 = per-core tracks, pid 1 = per-CLOS tracks.
+constexpr int kCorePid = 0;
+constexpr int kClosPid = 1;
+
+void AppendCommon(JsonWriter& w, const char* name, const char* ph, int pid,
+                  uint32_t tid, uint64_t cycle) {
+  w.KV("name", name);
+  w.KV("ph", ph);
+  w.KV("pid", pid);
+  w.KV("tid", tid);
+  w.KV("ts", static_cast<double>(cycle) / kCyclesPerMicro);
+}
+
+void AppendArgs(JsonWriter& w, const TraceEvent& ev) {
+  w.Key("args").BeginObject();
+  w.KV("cycle", ev.cycle);
+  if (!ev.label.empty()) w.KV("label", ev.label);
+  if (ev.kind == EventKind::kSchemataWrite) {
+    w.KV("mask", ev.arg);
+  } else if (ev.kind == EventKind::kClosReassociation) {
+    w.KV("clos", ev.arg);
+  } else if (ev.kind == EventKind::kRestrictionFlip) {
+    w.KV("restricted", ev.arg != 0);
+    w.KV("stream", ev.arg2);
+  } else if (ev.arg != 0) {
+    w.KV("arg", ev.arg);
+  }
+  w.EndObject();
+}
+
+void AppendThreadName(JsonWriter& w, int pid, uint32_t tid,
+                      const std::string& name) {
+  w.BeginObject();
+  w.KV("name", "thread_name");
+  w.KV("ph", "M");
+  w.KV("pid", pid);
+  w.KV("tid", tid);
+  w.Key("args").BeginObject().KV("name", name).EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string EventTrace::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Events();
+
+  // Collect the tracks in use for metadata records.
+  std::vector<uint32_t> cores, closes;
+  for (const TraceEvent& ev : events) {
+    if (ev.core != TraceEvent::kNoTrack) cores.push_back(ev.core);
+    if (ev.clos != TraceEvent::kNoTrack) closes.push_back(ev.clos);
+  }
+  auto uniq = [](std::vector<uint32_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  uniq(cores);
+  uniq(closes);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("displayTimeUnit", "ms");
+  w.Key("otherData").BeginObject();
+  w.KV("dropped_events", dropped_);
+  w.KV("clock", "simulated cycles @ 2.2 GHz");
+  w.EndObject();
+  w.Key("traceEvents").BeginArray();
+
+  // Process/thread naming metadata so the viewer shows meaningful tracks.
+  w.BeginObject();
+  w.KV("name", "process_name").KV("ph", "M").KV("pid", kCorePid);
+  w.Key("args").BeginObject().KV("name", "cores").EndObject();
+  w.EndObject();
+  w.BeginObject();
+  w.KV("name", "process_name").KV("ph", "M").KV("pid", kClosPid);
+  w.Key("args").BeginObject().KV("name", "clos").EndObject();
+  w.EndObject();
+  for (uint32_t c : cores) {
+    AppendThreadName(w, kCorePid, c, "core " + std::to_string(c));
+  }
+  for (uint32_t c : closes) {
+    AppendThreadName(w, kClosPid, c, "clos " + std::to_string(c));
+  }
+
+  // A dispatch whose matching finish fell out of the ring would leave an
+  // unclosed B event; track open spans per core and emit B only when the
+  // span closes inside the window (Chrome tolerates unmatched E's less
+  // gracefully than missing spans).
+  std::vector<int64_t> open_span(
+      cores.empty() ? 0 : (cores.back() + 1), -1);
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    switch (ev.kind) {
+      case EventKind::kTaskDispatch: {
+        if (ev.core < open_span.size()) {
+          open_span[ev.core] = static_cast<int64_t>(i);
+        }
+        break;
+      }
+      case EventKind::kTaskFinish: {
+        const TraceEvent* begin = nullptr;
+        if (ev.core < open_span.size() && open_span[ev.core] >= 0) {
+          begin = &events[static_cast<size_t>(open_span[ev.core])];
+          open_span[ev.core] = -1;
+        }
+        if (begin == nullptr) break;  // dispatch rotated out of the ring
+        const char* name =
+            begin->label.empty() ? "task" : begin->label.c_str();
+        w.BeginObject();
+        AppendCommon(w, name, "B", kCorePid, ev.core, begin->cycle);
+        AppendArgs(w, *begin);
+        w.EndObject();
+        w.BeginObject();
+        AppendCommon(w, name, "E", kCorePid, ev.core, ev.cycle);
+        w.EndObject();
+        break;
+      }
+      case EventKind::kGroupMove:
+      case EventKind::kClosReassociation: {
+        w.BeginObject();
+        AppendCommon(w, EventKindName(ev.kind), "i", kCorePid, ev.core,
+                     ev.cycle);
+        w.KV("s", "t");
+        AppendArgs(w, ev);
+        w.EndObject();
+        break;
+      }
+      case EventKind::kSchemataWrite:
+      case EventKind::kGroupCreate:
+      case EventKind::kGroupRemove:
+      case EventKind::kRestrictionFlip: {
+        w.BeginObject();
+        AppendCommon(w, EventKindName(ev.kind), "i", kClosPid, ev.clos,
+                     ev.cycle);
+        w.KV("s", "t");
+        AppendArgs(w, ev);
+        w.EndObject();
+        break;
+      }
+    }
+  }
+
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Status EventTrace::WriteChromeTraceFile(const std::string& path) const {
+  return WriteTextFile(path, ChromeTraceJson());
+}
+
+}  // namespace catdb::obs

@@ -49,6 +49,15 @@ void Executor::RunUntil(uint64_t horizon) {
       machine_->AdvanceClockTo(core, cs.current->ready_time());
       cs.source->TaskDispatched(cs.current, core);
       cs.dispatched = true;
+      if (obs::EventTrace* trace = machine_->trace()) {
+        obs::TraceEvent ev;
+        // Post-dispatch clock: re-association charges are part of the span.
+        ev.cycle = machine_->clock(core);
+        ev.kind = obs::EventKind::kTaskDispatch;
+        ev.core = core;
+        ev.label = std::string(cs.current->label());
+        trace->Record(std::move(ev));
+      }
       const uint64_t clock = machine_->clock(core);
       if (clock != key) {
         // Dispatch charges (CLOS re-association) moved the clock; re-sort.
@@ -68,6 +77,14 @@ void Executor::RunUntil(uint64_t horizon) {
         Task* done = cs.current;
         cs.current = nullptr;
         cs.dispatched = false;
+        if (obs::EventTrace* trace = machine_->trace()) {
+          obs::TraceEvent ev;
+          ev.cycle = clock;
+          ev.kind = obs::EventKind::kTaskFinish;
+          ev.core = core;
+          ev.label = std::string(done->label());
+          trace->Record(std::move(ev));
+        }
         cs.source->TaskFinished(done, core, clock);
         // A finish is the only event that can unblock other sources (phase
         // barriers open, streams advance); hand out the released work now.

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <queue>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -21,6 +22,10 @@ class Task {
 
   /// Processes one chunk. Returns false when the task has completed.
   virtual bool Step(ExecContext& ctx) = 0;
+
+  /// Short human-readable name used as the span label in event traces;
+  /// empty = anonymous task. Must stay valid while the task lives.
+  virtual std::string_view label() const { return {}; }
 
   /// Earliest cycle at which the task may start (used for phase barriers).
   uint64_t ready_time() const { return ready_time_; }

@@ -32,6 +32,22 @@ Machine::Machine(const MachineConfig& config)
     core_scratch_.push_back(
         AllocVirtual(kScratchLines * simcache::kLineSize));
   }
+  // A resource group that reuses a CLOS must not inherit the cumulative
+  // MBM/LLC counters of the previous owner (ResctrlFs cannot reach the
+  // hierarchy itself — the machine bridges the layers).
+  resctrl_.SetMonitorResetHook([this](cat::ClosId clos) {
+    hierarchy_.ResetClosMonitorCounters(clos);
+  });
+}
+
+void Machine::EnableTracing(size_t capacity) {
+  trace_ = std::make_unique<obs::EventTrace>(capacity);
+  resctrl_.BindTrace(trace_.get(), &clocks_);
+}
+
+void Machine::DisableTracing() {
+  resctrl_.BindTrace(nullptr, nullptr);
+  trace_.reset();
 }
 
 uint64_t Machine::AssignPhysicalPage(uint64_t color_mask) {

@@ -7,6 +7,7 @@
 
 #include "cat/cat_controller.h"
 #include "cat/resctrl.h"
+#include "obs/trace.h"
 #include "simcache/hierarchy.h"
 
 namespace catdb::sim {
@@ -103,6 +104,16 @@ class Machine {
   cat::CatController& cat() { return cat_; }
   cat::ResctrlFs& resctrl() { return resctrl_; }
 
+  /// Turns on event tracing with a ring buffer of `capacity` events and
+  /// binds it to the control plane. Recording is free of simulation side
+  /// effects: a traced run is cycle-identical to an untraced one (pinned by
+  /// the determinism tests). Calling again replaces the buffer.
+  void EnableTracing(size_t capacity = 1 << 16);
+  void DisableTracing();
+
+  /// The bound event trace, or nullptr when tracing is off.
+  obs::EventTrace* trace() { return trace_.get(); }
+
   /// Charges the CLOS re-association cost to a core (called by the job
   /// scheduler when a context switch actually required an MSR write).
   void ChargeReassociation(uint32_t core) {
@@ -149,6 +160,7 @@ class Machine {
   simcache::MemoryHierarchy hierarchy_;
   cat::CatController cat_;
   cat::ResctrlFs resctrl_;
+  std::unique_ptr<obs::EventTrace> trace_;
   std::vector<uint64_t> clocks_;
   std::vector<uint64_t> core_scratch_;
   uint64_t next_vaddr_;

@@ -90,6 +90,17 @@ class MemoryHierarchy {
     return clos_monitors_[clos];
   }
 
+  /// Zeroes a CLOS's *cumulative* monitoring counters (MBM line count,
+  /// per-CLOS LLC hits/misses) when the CLOS is handed to a new resource
+  /// group. Occupancy is kept: it tracks lines actually resident in the LLC
+  /// (their eviction must still decrement it), exactly like a reused RMID on
+  /// real hardware still sees the old owner's residency drain away.
+  void ResetClosMonitorCounters(uint32_t clos) {
+    ClosMonitor& mon = clos_monitors_[clos];
+    mon.mbm_lines = 0;
+    mon.llc = LevelStats{};
+  }
+
   /// Counts `n` retired instructions towards the misses-per-instruction
   /// metric (operators call this with their per-chunk instruction estimates).
   void CountInstructions(uint64_t n) { stats_.instructions += n; }

@@ -189,6 +189,29 @@ TEST_F(ResctrlTest, CannotRemoveDefaultGroup) {
   EXPECT_FALSE(fs_.RemoveGroup("").ok());
 }
 
+TEST_F(ResctrlTest, RemoveGroupDropsCoreAssociations) {
+  ASSERT_TRUE(fs_.CreateGroup("g").ok());
+  ASSERT_TRUE(fs_.WriteSchemata("g", "L3:0=3").ok());
+  ASSERT_TRUE(fs_.AssignTask(1, "g").ok());
+  ASSERT_TRUE(fs_.OnContextSwitch(1, 3));
+  const ClosId removed = fs_.ClosOfTask(1);
+  EXPECT_EQ(cat_.CoreClos(3), removed);
+  EXPECT_EQ(cat_.CoreMask(3), 0x3u);
+
+  ASSERT_TRUE(fs_.RemoveGroup("g").ok());
+  // The core must not keep running under the freed CLOS: a later group
+  // that reuses it would silently inherit the core (and its mask).
+  EXPECT_EQ(cat_.CoreClos(3), 0u);
+  EXPECT_EQ(cat_.CoreMask(3), cat_.full_mask());
+
+  // The reused CLOS starts with no cores attached.
+  ASSERT_TRUE(fs_.CreateGroup("fresh").ok());
+  ASSERT_TRUE(fs_.WriteSchemata("fresh", "L3:0=f").ok());
+  for (uint32_t c = 0; c < cat_.num_cores(); ++c) {
+    EXPECT_EQ(cat_.CoreClos(c), 0u);
+  }
+}
+
 TEST_F(ResctrlTest, ResetRestoresMountState) {
   (void)fs_.CreateGroup("g");
   (void)fs_.AssignTask(1, "g");

@@ -15,6 +15,7 @@
 #include "engine/operators/aggregation.h"
 #include "engine/operators/column_scan.h"
 #include "engine/runner.h"
+#include "obs/trace.h"
 #include "sim/executor.h"
 #include "sim/machine.h"
 #include "workloads/micro.h"
@@ -225,8 +226,9 @@ void ExpectReportsIdentical(const engine::RunReport& a,
 // fig01-shaped golden: constructing the whole stack twice from scratch
 // (machine, datasets, queries) must reproduce the report exactly,
 // scheduler counters included.
-engine::RunReport RunOltpScanGolden() {
+engine::RunReport RunOltpScanGolden(bool traced = false) {
   sim::Machine machine{sim::MachineConfig{}};
+  if (traced) machine.EnableTracing();
   auto acdoca = workloads::MakeAcdocaData(&machine, {});
   auto scan_data = workloads::MakeScanDataset(
       &machine, 1u << 20,
@@ -251,8 +253,9 @@ TEST(DeterminismGoldenTest, OltpScanReportIdenticalAcrossFreshMachines) {
   EXPECT_GT(r1.clos_reassociations, 0u);
 }
 
-engine::DynamicRunReport RunDynamicGolden() {
+engine::DynamicRunReport RunDynamicGolden(bool traced = false) {
   sim::Machine machine{sim::MachineConfig{}};
+  if (traced) machine.EnableTracing();
   auto scan_data = workloads::MakeScanDataset(
       &machine, 1u << 20,
       workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
@@ -279,6 +282,75 @@ TEST(DeterminismGoldenTest, DynamicPolicyReportIdenticalAcrossFreshMachines) {
   EXPECT_EQ(r1.schemata_writes, r2.schemata_writes);
   EXPECT_EQ(r1.restricted, r2.restricted);
   EXPECT_EQ(r1.restricted_at_interval, r2.restricted_at_interval);
+}
+
+// --- Tracing must be observation-only -------------------------------------
+
+// Enabling the event trace must not perturb the simulation by a single
+// cycle: traced and untraced runs of the same workload produce
+// bit-identical reports.
+TEST(TracingDeterminismTest, TracedOltpScanMatchesUntraced) {
+  const engine::RunReport untraced = RunOltpScanGolden(false);
+  const engine::RunReport traced = RunOltpScanGolden(true);
+  ExpectReportsIdentical(untraced, traced);
+}
+
+TEST(TracingDeterminismTest, TracedDynamicRunMatchesUntraced) {
+  const engine::DynamicRunReport untraced = RunDynamicGolden(false);
+  const engine::DynamicRunReport traced = RunDynamicGolden(true);
+  ExpectReportsIdentical(untraced.report, traced.report);
+  EXPECT_EQ(untraced.intervals, traced.intervals);
+  EXPECT_EQ(untraced.schemata_writes, traced.schemata_writes);
+  EXPECT_EQ(untraced.restricted, traced.restricted);
+  EXPECT_EQ(untraced.restricted_at_interval, traced.restricted_at_interval);
+}
+
+// A dynamic run's restriction-flip trace must replay exactly from its
+// interval series: feeding the sampled (bandwidth share, hit ratio) pairs
+// back through a fresh classifier reproduces every flip the run recorded.
+TEST(TracingDeterminismTest, RestrictionFlipsReplayFromIntervalSeries) {
+  sim::Machine machine{sim::MachineConfig{}};
+  machine.EnableTracing();
+  auto scan_data = workloads::MakeScanDataset(
+      &machine, 1u << 20,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+      /*seed=*/51);
+  auto agg_data = workloads::MakeAggDataset(
+      &machine, 1u << 18,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+      workloads::ScaledGroupCount(100000), /*seed=*/52);
+  engine::ColumnScanQuery scan(&scan_data.column, /*seed=*/53);
+  engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
+  scan.AttachSim(&machine);
+  agg.AttachSim(&machine);
+  engine::DynamicPolicyConfig cfg;
+  cfg.interval_cycles = 1'000'000;
+  const auto r = engine::RunWorkloadDynamic(
+      &machine, {{&agg, kA}, {&scan, kB}}, 10'000'000, cfg);
+
+  std::vector<obs::TraceEvent> flips;
+  for (const obs::TraceEvent& ev : machine.trace()->Events()) {
+    if (ev.kind == obs::EventKind::kRestrictionFlip) flips.push_back(ev);
+  }
+  ASSERT_FALSE(flips.empty());
+  EXPECT_EQ(flips.size(), r.schemata_writes);
+
+  engine::DynamicClassifier replay(cfg, /*num_streams=*/2);
+  size_t next = 0;
+  for (const obs::IntervalSample& sample : r.interval_series) {
+    for (size_t i = 0; i < sample.clos.size(); ++i) {
+      const auto d = replay.OnInterval(i, sample.clos[i].bandwidth_share,
+                                       sample.clos[i].hit_ratio);
+      if (!d.changed) continue;
+      ASSERT_LT(next, flips.size());
+      EXPECT_EQ(flips[next].cycle, sample.cycle_end);
+      EXPECT_EQ(flips[next].arg2, i);
+      EXPECT_EQ(flips[next].arg, d.restricted ? 1u : 0u);
+      EXPECT_EQ(flips[next].label, r.group_names[i]);
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, flips.size());
 }
 
 }  // namespace

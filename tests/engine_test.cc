@@ -5,6 +5,7 @@
 
 #include "engine/composite_query.h"
 #include "engine/coscheduler.h"
+#include "engine/dynamic_policy.h"
 #include "engine/job_scheduler.h"
 #include "engine/operators/aggregation.h"
 #include "engine/operators/column_scan.h"
@@ -359,6 +360,106 @@ TEST(CoschedulerTest, AllPollutersPairCleanly) {
   ASSERT_EQ(rounds.size(), 2u);
   EXPECT_EQ(rounds[0].items.size(), 2u);
   EXPECT_EQ(rounds[1].items.size(), 1u);
+}
+
+TEST(CoschedulerTest, RoundCoreSplitCoversAllCoresEvenly) {
+  // Even core counts: a straight half split in every round.
+  EXPECT_EQ(RoundCoreSplit(4, 0), 2u);
+  EXPECT_EQ(RoundCoreSplit(4, 1), 2u);
+  EXPECT_EQ(RoundCoreSplit(8, 3), 4u);
+  // Odd core counts: the extra core alternates between the two streams
+  // round by round instead of always favouring the second one.
+  EXPECT_EQ(RoundCoreSplit(5, 0), 3u);
+  EXPECT_EQ(RoundCoreSplit(5, 1), 2u);
+  EXPECT_EQ(RoundCoreSplit(5, 2), 3u);
+  EXPECT_EQ(RoundCoreSplit(7, 0), 4u);
+  EXPECT_EQ(RoundCoreSplit(7, 1), 3u);
+  // Both parts are always non-empty and cover all cores.
+  for (uint32_t cores = 2; cores <= 9; ++cores) {
+    for (size_t round = 0; round < 4; ++round) {
+      const uint32_t first = RoundCoreSplit(cores, round);
+      EXPECT_GE(first, 1u);
+      EXPECT_GE(cores - first, 1u);
+    }
+  }
+}
+
+TEST(CoschedulerTest, ExecuteRoundsReportCapturesPerRoundStats) {
+  sim::Machine m(SmallMachine());
+  storage::DictColumn col = storage::MakeUniformDomainColumn(20000, 50, 9);
+  col.AttachSim(&m);
+  ColumnScanQuery q1(&col, 10);
+  ColumnScanQuery q2(&col, 11);
+  q1.AttachSim(&m);
+  q2.AttachSim(&m);
+  std::vector<BatchItem> batch = {
+      {&q1, CacheUsage::kPolluting, 2},
+      {&q2, CacheUsage::kPolluting, 2},
+  };
+  PolicyConfig cat;
+  cat.enabled = true;
+  const auto rep =
+      ExecuteRoundsReport(&m, batch, PlanCacheAwareRounds(batch), cat);
+  EXPECT_GT(rep.makespan_cycles, 0u);
+  ASSERT_EQ(rep.round_cycles.size(), rep.round_reports.size());
+  uint64_t sum = 0;
+  for (uint64_t c : rep.round_cycles) sum += c;
+  EXPECT_EQ(sum, rep.makespan_cycles);
+  for (const auto& round : rep.round_reports) {
+    EXPECT_FALSE(round.streams.empty());
+  }
+}
+
+TEST(DynamicClassifierTest, RestrictsImmediatelyWidensAfterStreak) {
+  DynamicPolicyConfig cfg;
+  cfg.unrestrict_intervals = 2;
+  DynamicClassifier classifier(cfg, /*num_streams=*/1);
+
+  // Polluter profile: high bandwidth, low hit ratio -> restrict at once.
+  auto d = classifier.OnInterval(0, 0.5, 0.05);
+  EXPECT_TRUE(d.restricted);
+  EXPECT_TRUE(d.changed);
+
+  // One clean interval is not enough to widen.
+  d = classifier.OnInterval(0, 0.01, 0.9);
+  EXPECT_TRUE(d.restricted);
+  EXPECT_FALSE(d.changed);
+  // Second consecutive clean interval widens.
+  d = classifier.OnInterval(0, 0.01, 0.9);
+  EXPECT_FALSE(d.restricted);
+  EXPECT_TRUE(d.changed);
+}
+
+TEST(DynamicClassifierTest, IdleIntervalDoesNotFlapRestriction) {
+  // The idle default (no lookups -> hit_ratio 1.0, bandwidth 0) used to
+  // widen a restricted polluter after a single quiet interval, producing
+  // restrict/widen flapping. With hysteresis the polluter stays put.
+  DynamicPolicyConfig cfg;
+  cfg.unrestrict_intervals = 2;
+  DynamicClassifier classifier(cfg, /*num_streams=*/1);
+
+  uint32_t flips = 0;
+  auto feed = [&](double bw, double hr) {
+    auto d = classifier.OnInterval(0, bw, hr);
+    if (d.changed) ++flips;
+    return d;
+  };
+  EXPECT_TRUE(feed(0.5, 0.05).restricted);  // restrict
+  // Alternate idle / polluting intervals: a classifier without hysteresis
+  // would flip twice per cycle; with the 2-interval streak it never widens.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(feed(0.0, 1.0).restricted);   // idle
+    EXPECT_TRUE(feed(0.5, 0.05).restricted);  // polluting again
+  }
+  EXPECT_EQ(flips, 1u);
+
+  // And a polluting interval resets the clean streak mid-count.
+  feed(0.0, 1.0);            // clean #1
+  feed(0.5, 0.05);           // polluter: streak resets
+  feed(0.0, 1.0);            // clean #1 again
+  auto d = feed(0.0, 1.0);   // clean #2: now it widens
+  EXPECT_FALSE(d.restricted);
+  EXPECT_TRUE(d.changed);
 }
 
 TEST(CoschedulerTest, ExecuteRoundsRunsToCompletion) {

@@ -9,6 +9,7 @@
 #include "engine/job_scheduler.h"
 #include "engine/operators/aggregation.h"
 #include "engine/operators/column_scan.h"
+#include "obs/interval_sampler.h"
 #include "simcache/hierarchy.h"
 #include "simcache/prefetcher.h"
 #include "workloads/micro.h"
@@ -268,6 +269,60 @@ TEST(DynamicPolicyTest, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(r1.report.streams[0].iterations,
                    r2.report.streams[0].iterations);
   EXPECT_EQ(r1.schemata_writes, r2.schemata_writes);
+}
+
+TEST(MonitoringApiTest, ClosReuseStartsWithFreshCounters) {
+  sim::Machine m{sim::MachineConfig{}};
+  ASSERT_TRUE(m.resctrl().CreateGroup("old").ok());
+  ASSERT_TRUE(m.resctrl().AssignTask(0, "old").ok());
+  m.resctrl().OnContextSwitch(0, 0);
+  const uint64_t addr = m.AllocVirtual(1 << 14);
+  for (uint64_t off = 0; off < (1 << 14); off += 64) {
+    m.Access(0, addr + off, false);
+  }
+  ASSERT_GT(m.MbmTotalBytes("old").value(), 0u);
+  ASSERT_TRUE(m.resctrl().RemoveGroup("old").ok());
+
+  // The new group reuses the freed CLOS. Its cumulative counters must not
+  // inherit the previous tenant's traffic...
+  ASSERT_TRUE(m.resctrl().CreateGroup("fresh").ok());
+  EXPECT_EQ(m.MbmTotalBytes("fresh").value(), 0u);
+  // ...but occupancy is a level, not a counter: the old tenant's resident
+  // lines still drain through victim accounting, so it stays non-zero.
+  EXPECT_GT(m.LlcOccupancyBytes("fresh").value(), 0u);
+}
+
+TEST(DynamicPolicyTest, FinalShortIntervalIsSampledAtActualLength) {
+  sim::Machine machine{sim::MachineConfig{}};
+  auto scan_data = workloads::MakeScanDataset(&machine, 1u << 20, 1000, 81);
+  engine::ColumnScanQuery scan(&scan_data.column, 82);
+  scan.AttachSim(&machine);
+  const std::vector<engine::StreamSpec> specs = {{&scan, {0, 1}}};
+
+  engine::DynamicPolicyConfig cfg;
+  cfg.interval_cycles = 10'000'000;
+  // A horizon that is not a multiple of the interval leaves a 40 % tail.
+  const uint64_t horizon = 2 * cfg.interval_cycles + 4'000'000;
+  auto r = engine::RunWorkloadDynamic(&machine, specs, horizon, cfg);
+
+  ASSERT_EQ(r.interval_series.size(), 3u);
+  const auto& last = r.interval_series.back();
+  EXPECT_EQ(last.cycle_end, horizon);
+  EXPECT_EQ(last.cycle_end - last.cycle_begin, 4'000'000u);
+
+  // Every sample's bandwidth share is judged against its *actual* length,
+  // so a busy short tail reads as busy instead of being diluted by a
+  // full-interval denominator.
+  const uint64_t transfer =
+      machine.config().hierarchy.latency.dram_transfer;
+  for (const auto& sample : r.interval_series) {
+    const uint64_t interval = sample.cycle_end - sample.cycle_begin;
+    for (const auto& cs : sample.clos) {
+      EXPECT_DOUBLE_EQ(cs.bandwidth_share,
+                       obs::ChannelBandwidthShare(cs.mbm_lines_delta,
+                                                  interval, transfer));
+    }
+  }
 }
 
 TEST(JobSchedulerTest, CoreGroupOverrideBypassesPolicy) {
