@@ -6,8 +6,14 @@
 //  * no prefetcher       : scan loses its latency hiding
 //  * non-inclusive LLC   : no back-invalidation, pollution cannot reach L2
 //  * adaptive-off (join) : Fig. 10b's point with the heuristic disabled
+//
+// Parallelized with the sweep harness: each ablation configuration (and
+// each leg of the adaptive-heuristic comparison) is one independent
+// simulation cell with its own machine and datasets.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "engine/operators/aggregation.h"
@@ -27,57 +33,41 @@ struct Row {
   double scan_part;
 };
 
-Row RunConfig(const char* label, const sim::MachineConfig& mc) {
-  sim::Machine machine(mc);
-  auto scan_data = workloads::MakeScanDataset(
-      &machine, workloads::kDefaultScanRows / 2,
-      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
-      31);
-  auto agg_data = workloads::MakeAggDataset(
-      &machine, workloads::kDefaultAggRows,
-      workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
-      workloads::ScaledGroupCount(100000), 32);
-  engine::ColumnScanQuery scan(&scan_data.column, 33);
-  engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
-  scan.AttachSim(&machine);
-  agg.AttachSim(&machine);
+// One cell = one machine-config ablation of the Fig. 9b sensitive point.
+auto MakeConfigCell(const char* label, sim::MachineConfig mc, Row* out) {
+  return [label, mc, out](harness::SweepCell& cell) {
+    sim::Machine& machine = cell.MakeMachine(mc);
+    auto scan_data = workloads::MakeScanDataset(
+        &machine, workloads::kDefaultScanRows / 2,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+        31);
+    auto agg_data = workloads::MakeAggDataset(
+        &machine, workloads::kDefaultAggRows,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+        workloads::ScaledGroupCount(100000), 32);
+    engine::ColumnScanQuery scan(&scan_data.column, 33);
+    engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
+    scan.AttachSim(&machine);
+    agg.AttachSim(&machine);
 
-  const auto r =
-      bench::RunPair(&machine, &agg, &scan, engine::PolicyConfig{});
-  return Row{label, r.norm_conc_a(), r.norm_part_a(), r.norm_conc_b(),
-             r.norm_part_b()};
+    const auto r =
+        bench::RunPair(&machine, &agg, &scan, engine::PolicyConfig{});
+    *out = Row{label, r.norm_conc_a(), r.norm_part_a(), r.norm_conc_b(),
+               r.norm_part_b()};
+    const std::string key = cell.name();
+    cell.report().AddScalar(key + "/agg_conc", out->agg_conc);
+    cell.report().AddScalar(key + "/agg_part", out->agg_part);
+    cell.report().AddScalar(key + "/scan_conc", out->scan_conc);
+    cell.report().AddScalar(key + "/scan_part", out->scan_part);
+  };
 }
 
-void Print(const Row& row) {
-  std::printf("%-22s | %8.2f -> %-8.2f | %8.2f -> %-8.2f\n", row.label,
-              row.agg_conc, row.agg_part, row.scan_conc, row.scan_part);
-}
-
-}  // namespace
-
-int main() {
-  std::printf(
-      "Ablation — Fig. 9b sensitive point (agg norm. conc -> part | scan)\n");
-  bench::PrintRule(72);
-
-  sim::MachineConfig base;
-  Print(RunConfig("baseline", base));
-
-  sim::MachineConfig no_prefetch = base;
-  no_prefetch.hierarchy.prefetcher.enabled = false;
-  Print(RunConfig("no prefetcher", no_prefetch));
-
-  sim::MachineConfig non_inclusive = base;
-  non_inclusive.hierarchy.inclusive_llc = false;
-  Print(RunConfig("non-inclusive LLC", non_inclusive));
-
-  bench::PrintRule(72);
-
-  // Adaptive-heuristic ablation on the Fig. 10b point: an LLC-sized bit
-  // vector makes the join cache-sensitive; the heuristic must choose the
-  // 60 % mask, not the polluting 10 % mask.
-  {
-    sim::Machine machine(base);
+// One cell = one leg of the adaptive-heuristic comparison on the Fig. 10b
+// point: an LLC-sized bit vector makes the join cache-sensitive; the
+// heuristic must choose the 60 % mask, not the polluting 10 % mask.
+auto MakeAdaptiveCell(bool force_polluting, bench::PairResult* out) {
+  return [force_polluting, out](harness::SweepCell& cell) {
+    sim::Machine& machine = cell.MakeMachine();
     const uint32_t keys =
         workloads::PkCountForRatio(machine, workloads::kPkRatios[2]);
     auto join_data = workloads::MakeJoinDataset(
@@ -91,24 +81,64 @@ int main() {
     join.AttachSim(&machine);
     agg.AttachSim(&machine);
 
-    engine::PolicyConfig heuristic;  // adaptive heuristic on (default)
-    const auto r_h = bench::RunPair(&machine, &agg, &join, heuristic);
+    engine::PolicyConfig policy;  // adaptive heuristic on by default
+    if (force_polluting) {
+      policy.adaptive_heuristic = false;
+      policy.adaptive_force_polluting = true;
+    }
+    *out = bench::RunPair(&machine, &agg, &join, policy);
+    cell.report().AddScalar(cell.name() + "/agg_part", out->norm_part_a());
+    cell.report().AddScalar(cell.name() + "/join_part", out->norm_part_b());
+  };
+}
 
-    engine::PolicyConfig forced;
-    forced.adaptive_heuristic = false;
-    forced.adaptive_force_polluting = true;
-    const auto r_f = bench::RunPair(&machine, &agg, &join, forced);
+void Print(const Row& row) {
+  std::printf("%-22s | %8.2f -> %-8.2f | %8.2f -> %-8.2f\n", row.label,
+              row.agg_conc, row.agg_part, row.scan_conc, row.scan_part);
+}
 
-    std::printf("adaptive join heuristic (Fig. 10b point, LLC-sized bit "
-                "vector):\n");
-    std::printf("  heuristic (60%% mask) : agg %.2f join %.2f (combined "
-                "%.2f)\n",
-                r_h.norm_part_a(), r_h.norm_part_b(),
-                r_h.norm_part_a() + r_h.norm_part_b());
-    std::printf("  forced 10%% mask      : agg %.2f join %.2f (combined "
-                "%.2f)\n",
-                r_f.norm_part_a(), r_f.norm_part_b(),
-                r_f.norm_part_a() + r_f.norm_part_b());
-  }
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
+
+  harness::SweepRunner runner =
+      bench::MakeSweepRunner("ablation_mechanisms", opts);
+
+  sim::MachineConfig base;
+  sim::MachineConfig no_prefetch = base;
+  no_prefetch.hierarchy.prefetcher.enabled = false;
+  sim::MachineConfig non_inclusive = base;
+  non_inclusive.hierarchy.inclusive_llc = false;
+
+  Row rows[3];
+  runner.AddCell("baseline", MakeConfigCell("baseline", base, &rows[0]));
+  runner.AddCell("no_prefetcher",
+                 MakeConfigCell("no prefetcher", no_prefetch, &rows[1]));
+  runner.AddCell("non_inclusive_llc",
+                 MakeConfigCell("non-inclusive LLC", non_inclusive,
+                                &rows[2]));
+  bench::PairResult heuristic, forced;
+  runner.AddCell("adaptive_heuristic", MakeAdaptiveCell(false, &heuristic));
+  runner.AddCell("adaptive_forced10", MakeAdaptiveCell(true, &forced));
+  runner.Run();
+
+  std::printf(
+      "Ablation — Fig. 9b sensitive point (agg norm. conc -> part | scan)\n");
+  bench::PrintRule(72);
+  for (const Row& row : rows) Print(row);
+  bench::PrintRule(72);
+
+  std::printf("adaptive join heuristic (Fig. 10b point, LLC-sized bit "
+              "vector):\n");
+  std::printf("  heuristic (60%% mask) : agg %.2f join %.2f (combined "
+              "%.2f)\n",
+              heuristic.norm_part_a(), heuristic.norm_part_b(),
+              heuristic.norm_part_a() + heuristic.norm_part_b());
+  std::printf("  forced 10%% mask      : agg %.2f join %.2f (combined "
+              "%.2f)\n",
+              forced.norm_part_a(), forced.norm_part_b(),
+              forced.norm_part_a() + forced.norm_part_b());
+  bench::FinishSweepBench(&runner, opts);
   return 0;
 }

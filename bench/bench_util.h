@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "engine/runner.h"
+#include "harness/sweep_runner.h"
+#include "harness/thread_pool.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "sim/machine.h"
@@ -22,9 +24,13 @@ namespace catdb::bench {
 /// Command-line options every bench binary understands:
 ///   --report-out=<path>  write the JSON run report (catdb.report/v1)
 ///   --trace-out=<path>   enable event tracing; write Chrome trace JSON
+///   --jobs=<n>           host threads for the parallel sweep harness
+///                        (default: CATDB_JOBS env, else hardware
+///                        concurrency; serial benches ignore it)
 struct BenchOptions {
   std::string report_out;
   std::string trace_out;
+  unsigned jobs = 0;  // resolved to >= 1 by ParseBenchArgs
 };
 
 /// Parses the shared flags; exits with usage on anything unrecognized.
@@ -42,14 +48,25 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       opts.report_out = v;
     } else if (const char* v = value_of("--trace-out")) {
       opts.trace_out = v;
+    } else if (const char* v = value_of("--jobs")) {
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "--jobs expects a positive integer, got: %s\n",
+                     v);
+        std::exit(2);
+      }
+      opts.jobs = static_cast<unsigned>(n);
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
-                   "usage: %s [--report-out=<path>] [--trace-out=<path>]\n",
+                   "usage: %s [--report-out=<path>] [--trace-out=<path>] "
+                   "[--jobs=<n>]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }
   }
+  if (opts.jobs == 0) opts.jobs = harness::ThreadPool::DefaultJobs();
   return opts;
 }
 
@@ -60,11 +77,13 @@ inline void ApplyTraceOption(sim::Machine* machine,
 }
 
 /// Writes the report and/or the Chrome trace as requested. Call once at the
-/// end of main; prints where the artifacts went.
+/// end of main; prints where the artifacts went. Records the job count the
+/// binary ran with under the report's params.
 inline void FinishBench(sim::Machine* machine, const BenchOptions& opts,
-                        const obs::RunReportWriter& report) {
+                        obs::RunReportWriter* report) {
+  report->AddParam("jobs", static_cast<uint64_t>(opts.jobs));
   if (!opts.report_out.empty()) {
-    const Status st = report.WriteFile(opts.report_out);
+    const Status st = report->WriteFile(opts.report_out);
     if (!st.ok()) {
       std::fprintf(stderr, "report write failed: %s\n", st.message().c_str());
       std::exit(1);
@@ -85,6 +104,45 @@ inline void FinishBench(sim::Machine* machine, const BenchOptions& opts,
     std::printf("trace:  %s (%zu events, %llu dropped)\n",
                 opts.trace_out.c_str(), trace->size(),
                 static_cast<unsigned long long>(trace->dropped()));
+  }
+}
+
+/// Builds the parallel sweep runner for a bench binary: cells fan out
+/// across --jobs host threads; per-cell tracing when --trace-out was given.
+inline harness::SweepRunner MakeSweepRunner(const char* benchmark,
+                                            const BenchOptions& opts) {
+  harness::SweepRunner::Options o;
+  o.jobs = opts.jobs;
+  o.tracing = !opts.trace_out.empty();
+  return harness::SweepRunner(benchmark, o);
+}
+
+/// FinishBench for SweepRunner-based benches: writes the merged report and
+/// the cell-concatenated Chrome trace. Deliberately does NOT stamp the job
+/// count into the report — a sweep bench's report (like its stdout) is
+/// byte-identical for every --jobs value, which is the harness's
+/// determinism contract (pinned by harness_test).
+inline void FinishSweepBench(harness::SweepRunner* runner,
+                             const BenchOptions& opts) {
+  if (!opts.report_out.empty()) {
+    const Status st = runner->report().WriteFile(opts.report_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "report write failed: %s\n", st.message().c_str());
+      std::exit(1);
+    }
+    std::printf("\nreport: %s\n", opts.report_out.c_str());
+  }
+  if (!opts.trace_out.empty()) {
+    const std::vector<obs::TraceEvent>& events = runner->trace_events();
+    obs::EventTrace merged(events.empty() ? 1 : events.size());
+    for (const obs::TraceEvent& ev : events) merged.Record(ev);
+    const Status st = merged.WriteChromeTraceFile(opts.trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.message().c_str());
+      std::exit(1);
+    }
+    std::printf("trace:  %s (%zu events, cell-ordered)\n",
+                opts.trace_out.c_str(), merged.size());
   }
 }
 
@@ -192,6 +250,13 @@ inline std::string WaysLabel(const sim::Machine& machine, uint32_t ways) {
 /// 20-way LLC, mirroring the paper's 5..55 MiB axis).
 inline const std::vector<uint32_t> kWaySweep = {20, 18, 16, 14, 12, 10,
                                                 8,  6,  4,  2,  1};
+
+/// Way count of the unrestricted LLC — the normalization baseline of the
+/// isolated sweeps. Sweep benches compute the full-LLC baseline explicitly
+/// against this value instead of assuming kWaySweep starts with it.
+inline uint32_t FullLlcWays(const sim::Machine& machine) {
+  return machine.config().hierarchy.llc.num_ways;
+}
 
 }  // namespace catdb::bench
 

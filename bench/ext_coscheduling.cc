@@ -7,8 +7,13 @@
 //   2. mixed pairing + CAT              (scan+agg twice, scans restricted)
 //   3. cache-aware rounds + CAT         (scans together; aggs run alone)
 // and the total makespan is compared.
+//
+// Parallelized with the sweep harness: each (plan, policy) strategy run is
+// one independent simulation cell — the round loop executes on the cell's
+// private machine with its own batch of datasets and queries.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "engine/coscheduler.h"
@@ -18,62 +23,80 @@
 
 using namespace catdb;
 
+namespace {
+
+// One cell = one strategy: builds the full batch rig, plans the rounds and
+// executes them back to back on the cell's machine.
+auto MakeStrategyCell(bool cache_aware, bool cat,
+                      engine::RoundsReport* out) {
+  return [cache_aware, cat, out](harness::SweepCell& cell) {
+    sim::Machine& machine = cell.MakeMachine();
+    auto scan_data1 = workloads::MakeScanDataset(
+        &machine, workloads::kDefaultScanRows / 2,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+        81);
+    auto scan_data2 = workloads::MakeScanDataset(
+        &machine, workloads::kDefaultScanRows / 2,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+        82);
+    auto agg_data1 = workloads::MakeAggDataset(
+        &machine, workloads::kDefaultAggRows / 2,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+        workloads::ScaledGroupCount(100000), 83);
+    auto agg_data2 = workloads::MakeAggDataset(
+        &machine, workloads::kDefaultAggRows / 2,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+        workloads::ScaledGroupCount(100000), 84);
+
+    engine::ColumnScanQuery scan1(&scan_data1.column, 85);
+    engine::ColumnScanQuery scan2(&scan_data2.column, 86);
+    engine::AggregationQuery agg1(&agg_data1.v, &agg_data1.g);
+    engine::AggregationQuery agg2(&agg_data2.v, &agg_data2.g);
+    scan1.AttachSim(&machine);
+    scan2.AttachSim(&machine);
+    agg1.AttachSim(&machine);
+    agg2.AttachSim(&machine);
+
+    // Batch submitted interleaved, as a workload manager would see it.
+    const std::vector<engine::BatchItem> batch = {
+        {&scan1, engine::CacheUsage::kPolluting, 60},
+        {&agg1, engine::CacheUsage::kSensitive, 2},
+        {&scan2, engine::CacheUsage::kPolluting, 60},
+        {&agg2, engine::CacheUsage::kSensitive, 2},
+    };
+
+    engine::PolicyConfig policy;
+    policy.enabled = cat;
+    const auto plan = cache_aware ? engine::PlanCacheAwareRounds(batch)
+                                  : engine::PlanFifoRounds(batch);
+    *out = engine::ExecuteRoundsReport(&machine, batch, plan, policy);
+    cell.report().AddRounds(cell.name(), *out);
+  };
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
-  sim::Machine machine{sim::MachineConfig{}};
-  bench::ApplyTraceOption(&machine, opts);
 
-  auto scan_data1 = workloads::MakeScanDataset(
-      &machine, workloads::kDefaultScanRows / 2,
-      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
-      81);
-  auto scan_data2 = workloads::MakeScanDataset(
-      &machine, workloads::kDefaultScanRows / 2,
-      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
-      82);
-  auto agg_data1 = workloads::MakeAggDataset(
-      &machine, workloads::kDefaultAggRows / 2,
-      workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
-      workloads::ScaledGroupCount(100000), 83);
-  auto agg_data2 = workloads::MakeAggDataset(
-      &machine, workloads::kDefaultAggRows / 2,
-      workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
-      workloads::ScaledGroupCount(100000), 84);
+  harness::SweepRunner runner =
+      bench::MakeSweepRunner("ext_coscheduling", opts);
+  engine::RoundsReport fifo_off_r, fifo_cat_r, aware_off_r, aware_cat_r;
+  runner.AddCell("fifo_shared",
+                 MakeStrategyCell(/*cache_aware=*/false, /*cat=*/false,
+                                  &fifo_off_r));
+  runner.AddCell("fifo_cat",
+                 MakeStrategyCell(/*cache_aware=*/false, /*cat=*/true,
+                                  &fifo_cat_r));
+  runner.AddCell("aware_shared",
+                 MakeStrategyCell(/*cache_aware=*/true, /*cat=*/false,
+                                  &aware_off_r));
+  runner.AddCell("aware_cat",
+                 MakeStrategyCell(/*cache_aware=*/true, /*cat=*/true,
+                                  &aware_cat_r));
+  runner.Run();
 
-  engine::ColumnScanQuery scan1(&scan_data1.column, 85);
-  engine::ColumnScanQuery scan2(&scan_data2.column, 86);
-  engine::AggregationQuery agg1(&agg_data1.v, &agg_data1.g);
-  engine::AggregationQuery agg2(&agg_data2.v, &agg_data2.g);
-  scan1.AttachSim(&machine);
-  scan2.AttachSim(&machine);
-  agg1.AttachSim(&machine);
-  agg2.AttachSim(&machine);
-
-  // Batch submitted interleaved, as a workload manager would see it.
-  const std::vector<engine::BatchItem> batch = {
-      {&scan1, engine::CacheUsage::kPolluting, 60},
-      {&agg1, engine::CacheUsage::kSensitive, 2},
-      {&scan2, engine::CacheUsage::kPolluting, 60},
-      {&agg2, engine::CacheUsage::kSensitive, 2},
-  };
-
-  engine::PolicyConfig off;
-  engine::PolicyConfig cat;
-  cat.enabled = true;
-
-  const auto fifo = engine::PlanFifoRounds(batch);
-  const auto aware = engine::PlanCacheAwareRounds(batch);
-
-  const auto fifo_off_r = engine::ExecuteRoundsReport(&machine, batch, fifo, off);
-  const auto fifo_cat_r = engine::ExecuteRoundsReport(&machine, batch, fifo, cat);
-  const auto aware_off_r =
-      engine::ExecuteRoundsReport(&machine, batch, aware, off);
-  const auto aware_cat_r =
-      engine::ExecuteRoundsReport(&machine, batch, aware, cat);
   const uint64_t fifo_off = fifo_off_r.makespan_cycles;
-  const uint64_t fifo_cat = fifo_cat_r.makespan_cycles;
-  const uint64_t aware_off = aware_off_r.makespan_cycles;
-  const uint64_t aware_cat = aware_cat_r.makespan_cycles;
 
   std::printf("Cache-aware co-scheduling, batch makespan (Mcycles)\n");
   bench::PrintRule(58);
@@ -84,9 +107,9 @@ int main(int argc, char** argv) {
                 static_cast<double>(fifo_off) / cycles);
   };
   row("FIFO pairs, shared cache", fifo_off);
-  row("cache-aware rounds, shared cache", aware_off);
-  row("FIFO pairs + CAT", fifo_cat);
-  row("cache-aware rounds + CAT", aware_cat);
+  row("cache-aware rounds, shared cache", aware_off_r.makespan_cycles);
+  row("FIFO pairs + CAT", fifo_cat_r.makespan_cycles);
+  row("cache-aware rounds + CAT", aware_cat_r.makespan_cycles);
   bench::PrintRule(58);
   std::printf(
       "\nWithout CAT, the isolation rule's protection is offset by lost\n"
@@ -98,11 +121,6 @@ int main(int argc, char** argv) {
       "integrating CAT into the engine rather than scheduling around\n"
       "cache conflicts.\n");
 
-  obs::RunReportWriter report("ext_coscheduling");
-  report.AddRounds("fifo_shared", fifo_off_r);
-  report.AddRounds("fifo_cat", fifo_cat_r);
-  report.AddRounds("aware_shared", aware_off_r);
-  report.AddRounds("aware_cat", aware_cat_r);
-  bench::FinishBench(&machine, opts, report);
+  bench::FinishSweepBench(&runner, opts);
   return 0;
 }

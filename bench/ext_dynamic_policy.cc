@@ -100,6 +100,6 @@ int main(int argc, char** argv) {
   report.AddRun("shared", shared);
   report.AddRun("static_annotations", static_part);
   report.AddDynamicRun("dynamic", dynamic);
-  bench::FinishBench(&machine, opts, report);
+  bench::FinishBench(&machine, opts, &report);
   return 0;
 }

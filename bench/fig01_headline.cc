@@ -62,6 +62,6 @@ int main(int argc, char** argv) {
   report.AddScalar("oltp_qps_concurrent", qps(r.conc_a));
   report.AddScalar("oltp_qps_partitioned", qps(r.part_a));
   bench::AddPairResult(&report, "oltp_vs_olap", r);
-  bench::FinishBench(&machine, opts, report);
+  bench::FinishBench(&machine, opts, &report);
   return 0;
 }

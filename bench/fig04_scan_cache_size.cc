@@ -2,8 +2,14 @@
 // varying LLC sizes, including the Section V-B note that mask 0x1 (one way)
 // behaves worse than 0x3. Also prints the LLC hit ratio and misses per
 // instruction the paper reports in the text (hit ratio < 0.08, MPI ~1.9e-2).
+//
+// Parallelized with the sweep harness: every way restriction is one
+// independent simulation cell with its own machine, dataset and query
+// (identically seeded), so the sweep fans out across --jobs host threads
+// and the output is byte-identical for any job count.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -13,17 +19,55 @@
 
 using namespace catdb;
 
+namespace {
+
+struct CellResult {
+  double cycles = 0;  // warm per-iteration latency at this way count
+  engine::RunReport rep;
+};
+
+// One cell = one way restriction, fully self-contained.
+auto MakeScanCell(uint32_t ways, CellResult* out) {
+  return [ways, out](harness::SweepCell& cell) {
+    sim::Machine& machine = cell.MakeMachine();
+    auto data = workloads::MakeScanDataset(
+        &machine, workloads::kDefaultScanRows,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+        /*seed=*/41);
+    engine::ColumnScanQuery scan(&data.column, /*seed=*/42);
+    scan.AttachSim(&machine);
+    engine::PolicyConfig cfg;
+    cfg.instance_ways = ways;
+    out->rep = engine::RunQueryIterations(&machine, &scan, bench::kCoresA, 3,
+                                          cfg);
+    const auto& clocks = out->rep.streams[0].iteration_end_clocks;
+    out->cycles = static_cast<double>(clocks[2] - clocks[1]);
+  };
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
-  sim::Machine machine{sim::MachineConfig{}};
-  bench::ApplyTraceOption(&machine, opts);
+  // Config-only machine for labels and the full-LLC way count; the cells
+  // build their own.
+  sim::Machine meta{sim::MachineConfig{}};
+  const uint32_t full_ways = bench::FullLlcWays(meta);
 
-  auto data = workloads::MakeScanDataset(
-      &machine, workloads::kDefaultScanRows,
-      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
-      /*seed=*/41);
-  engine::ColumnScanQuery scan(&data.column, /*seed=*/42);
-  scan.AttachSim(&machine);
+  harness::SweepRunner runner =
+      bench::MakeSweepRunner("fig04_scan_cache_size", opts);
+
+  // The full-LLC baseline is an explicit cell of its own: normalization no
+  // longer depends on kWaySweep containing (or starting with) the
+  // unrestricted entry.
+  CellResult baseline;
+  runner.AddCell("baseline", MakeScanCell(full_ways, &baseline));
+  std::vector<CellResult> results(bench::kWaySweep.size());
+  for (size_t i = 0; i < bench::kWaySweep.size(); ++i) {
+    runner.AddCell("ways" + std::to_string(bench::kWaySweep[i]),
+                   MakeScanCell(bench::kWaySweep[i], &results[i]));
+  }
+  runner.Run();
 
   std::printf("Fig. 4 — Query 1 (column scan), isolated, varying LLC size\n");
   bench::PrintRule(72);
@@ -31,27 +75,22 @@ int main(int argc, char** argv) {
               "LLC miss/instr");
   bench::PrintRule(72);
 
-  obs::RunReportWriter report("fig04_scan_cache_size");
-  double full_cycles = 0;
-  for (uint32_t ways : bench::kWaySweep) {
-    engine::PolicyConfig cfg;
-    cfg.instance_ways = ways;
-    auto rep = engine::RunQueryIterations(&machine, &scan, bench::kCoresA,
-                                          3, cfg);
-    const auto& clocks = rep.streams[0].iteration_end_clocks;
-    const double cycles = static_cast<double>(clocks[2] - clocks[1]);
-    if (ways == 20) full_cycles = cycles;
+  obs::RunReportWriter& report = runner.report();
+  for (size_t i = 0; i < bench::kWaySweep.size(); ++i) {
+    const uint32_t ways = bench::kWaySweep[i];
+    const CellResult& r = results[i];
     std::printf("%-22s %10.3f %12.3f %14.2e\n",
-                bench::WaysLabel(machine, ways).c_str(),
-                full_cycles / cycles, rep.llc_hit_ratio, rep.llc_mpi);
+                bench::WaysLabel(meta, ways).c_str(),
+                baseline.cycles / r.cycles, r.rep.llc_hit_ratio,
+                r.rep.llc_mpi);
     const std::string key = "ways" + std::to_string(ways);
-    report.AddScalar(key + "/norm_tput", full_cycles / cycles);
-    report.AddRun(key, rep);
+    report.AddScalar(key + "/norm_tput", baseline.cycles / r.cycles);
+    report.AddRun(key, r.rep);
   }
   bench::PrintRule(72);
   std::printf(
       "Paper: flat down to 10%% of the cache (bitmask 0x3); only the\n"
       "single-way mask 0x1 degrades the scan. LLC hit ratio stays low.\n");
-  bench::FinishBench(&machine, opts, report);
+  bench::FinishSweepBench(&runner, opts);
   return 0;
 }

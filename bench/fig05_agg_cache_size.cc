@@ -3,9 +3,14 @@
 // dictionary scenarios (4 / 40 / 400 MiB on a 55 MiB LLC, preserved as
 // LLC ratios here) and five group counts (10^2..10^6, mapped to simulation
 // scale via ScaledGroupCount; see DESIGN.md).
+//
+// Parallelized with the sweep harness: every (scenario, group-count) column
+// is one independent simulation cell with its own machine, dataset and
+// query; the cell computes its full-LLC baseline explicitly and then sweeps
+// the way axis. Output is byte-identical for any --jobs value.
 
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -16,72 +21,106 @@ using namespace catdb;
 
 namespace {
 
-void RunScenario(sim::Machine* machine, const char* title,
-                 const char* report_key, obs::RunReportWriter* report,
-                 double dict_ratio, uint64_t seed) {
-  const uint32_t dict_entries =
-      workloads::DictEntriesForRatio(*machine, dict_ratio);
-  std::printf("\nFig. 5 %s — dictionary %.2f MiB (%u entries)\n", title,
-              dict_entries * 4.0 / (1024 * 1024), dict_entries);
-  bench::PrintRule(78);
-  std::printf("%-22s", "cache \\ groups");
-  for (uint32_t g : workloads::kGroupSizes) std::printf(" %9.0e", (double)g);
-  std::printf("\n");
-  bench::PrintRule(78);
+struct Scenario {
+  const char* title;
+  const char* key;
+  double dict_ratio;
+  uint64_t seed;
+};
 
-  // Build one dataset + query per group count (columns are reused across
-  // the way sweep).
-  std::vector<workloads::AggDataset> datasets;
-  // Queries hold pointers into the datasets: fix the vector's capacity up
-  // front so growth never relocates them.
-  datasets.reserve(std::size(workloads::kGroupSizes));
-  std::vector<std::unique_ptr<engine::AggregationQuery>> queries;
-  for (uint32_t g : workloads::kGroupSizes) {
-    datasets.push_back(workloads::MakeAggDataset(
-        machine, workloads::kDefaultAggRows / 4, dict_entries,
-        workloads::ScaledGroupCount(g), seed++));
-    queries.push_back(std::make_unique<engine::AggregationQuery>(
-        &datasets.back().v, &datasets.back().g));
-    queries.back()->AttachSim(machine);
-  }
+constexpr Scenario kScenarios[] = {
+    {"(a) '4 MiB' dictionary", "a", workloads::kDictRatioSmall, 510},
+    {"(b) '40 MiB' dictionary", "b", workloads::kDictRatioMedium, 520},
+    {"(c) '400 MiB' dictionary", "c", workloads::kDictRatioLarge, 530},
+};
 
-  std::vector<double> full(queries.size(), 0);
-  for (uint32_t ways : bench::kWaySweep) {
-    std::printf("%-22s", bench::WaysLabel(*machine, ways).c_str());
-    for (size_t i = 0; i < queries.size(); ++i) {
-      const double cycles = static_cast<double>(
-          bench::WarmIterationCycles(machine, queries[i].get(), ways));
-      if (ways == 20) full[i] = cycles;
-      std::printf(" %9.3f", full[i] / cycles);
-      report->AddScalar(std::string(report_key) + "/groups" +
-                            std::to_string(workloads::kGroupSizes[i]) +
-                            "/ways" + std::to_string(ways),
-                        full[i] / cycles);
+constexpr size_t kNumGroups = std::size(workloads::kGroupSizes);
+
+struct ColumnResult {
+  double full_cycles = 0;    // explicit full-LLC baseline
+  std::vector<double> norm;  // normalized throughput per kWaySweep entry
+};
+
+// One cell = one (scenario, group-count) column over the whole way axis.
+auto MakeAggColumnCell(const Scenario& sc, size_t group_index,
+                       ColumnResult* out) {
+  return [&sc, group_index, out](harness::SweepCell& cell) {
+    sim::Machine& machine = cell.MakeMachine();
+    const uint32_t groups = workloads::kGroupSizes[group_index];
+    const uint32_t dict_entries =
+        workloads::DictEntriesForRatio(machine, sc.dict_ratio);
+    auto data = workloads::MakeAggDataset(
+        &machine, workloads::kDefaultAggRows / 4, dict_entries,
+        workloads::ScaledGroupCount(groups), sc.seed + group_index);
+    engine::AggregationQuery query(&data.v, &data.g);
+    query.AttachSim(&machine);
+
+    // Full-LLC baseline first, independent of the sweep axis contents.
+    const uint32_t full_ways = bench::FullLlcWays(machine);
+    out->full_cycles = static_cast<double>(
+        bench::WarmIterationCycles(&machine, &query, full_ways));
+    for (uint32_t ways : bench::kWaySweep) {
+      const double cycles =
+          ways == full_ways
+              ? out->full_cycles
+              : static_cast<double>(
+                    bench::WarmIterationCycles(&machine, &query, ways));
+      out->norm.push_back(out->full_cycles / cycles);
+      cell.report().AddScalar(std::string(sc.key) + "/groups" +
+                                  std::to_string(groups) + "/ways" +
+                                  std::to_string(ways),
+                              out->norm.back());
     }
-    std::printf("\n");
-  }
-  bench::PrintRule(78);
+  };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
-  sim::Machine machine{sim::MachineConfig{}};
-  bench::ApplyTraceOption(&machine, opts);
-  obs::RunReportWriter report("fig05_agg_cache_size");
-  RunScenario(&machine, "(a) '4 MiB' dictionary", "a", &report,
-              workloads::kDictRatioSmall, 510);
-  RunScenario(&machine, "(b) '40 MiB' dictionary", "b", &report,
-              workloads::kDictRatioMedium, 520);
-  RunScenario(&machine, "(c) '400 MiB' dictionary", "c", &report,
-              workloads::kDictRatioLarge, 530);
+  sim::Machine meta{sim::MachineConfig{}};  // labels only; cells own theirs
+
+  harness::SweepRunner runner =
+      bench::MakeSweepRunner("fig05_agg_cache_size", opts);
+  std::vector<ColumnResult> results(std::size(kScenarios) * kNumGroups);
+  for (size_t si = 0; si < std::size(kScenarios); ++si) {
+    for (size_t gi = 0; gi < kNumGroups; ++gi) {
+      runner.AddCell(std::string(kScenarios[si].key) + "/groups" +
+                         std::to_string(workloads::kGroupSizes[gi]),
+                     MakeAggColumnCell(kScenarios[si], gi,
+                                       &results[si * kNumGroups + gi]));
+    }
+  }
+  runner.Run();
+
+  for (size_t si = 0; si < std::size(kScenarios); ++si) {
+    const Scenario& sc = kScenarios[si];
+    const uint32_t dict_entries =
+        workloads::DictEntriesForRatio(meta, sc.dict_ratio);
+    std::printf("\nFig. 5 %s — dictionary %.2f MiB (%u entries)\n", sc.title,
+                dict_entries * 4.0 / (1024 * 1024), dict_entries);
+    bench::PrintRule(78);
+    std::printf("%-22s", "cache \\ groups");
+    for (uint32_t g : workloads::kGroupSizes) std::printf(" %9.0e", (double)g);
+    std::printf("\n");
+    bench::PrintRule(78);
+    for (size_t wi = 0; wi < bench::kWaySweep.size(); ++wi) {
+      std::printf("%-22s",
+                  bench::WaysLabel(meta, bench::kWaySweep[wi]).c_str());
+      for (size_t gi = 0; gi < kNumGroups; ++gi) {
+        std::printf(" %9.3f", results[si * kNumGroups + gi].norm[wi]);
+      }
+      std::printf("\n");
+    }
+    bench::PrintRule(78);
+  }
+
   std::printf(
       "\nPaper: (a) sensitive for mid group counts (strongest when the hash\n"
       "tables are comparable to the LLC), (b) sensitive for all group\n"
       "counts (the dictionary occupies most of the LLC), (c) weaker overall\n"
       "sensitivity (dictionary far exceeds the LLC), still strongest at the\n"
       "LLC-sized hash-table point.\n");
-  bench::FinishBench(&machine, opts, report);
+  bench::FinishSweepBench(&runner, opts);
   return 0;
 }

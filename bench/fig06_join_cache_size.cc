@@ -1,9 +1,13 @@
 // Reproduces Fig. 6: normalized throughput of Query 3 (foreign-key join) at
 // varying LLC sizes, for four primary-key counts whose bit vectors span the
 // paper's regimes (fits-L2 / small / comparable-to-LLC / exceeding).
+//
+// Parallelized with the sweep harness: every primary-key configuration is
+// one independent simulation cell (own machine, dataset, query) that
+// computes its full-LLC baseline explicitly and sweeps the way axis.
 
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -12,48 +16,75 @@
 
 using namespace catdb;
 
+namespace {
+
+struct ColumnResult {
+  double bits_kib = 0;       // bit-vector size, for the header
+  double full_cycles = 0;    // explicit full-LLC baseline
+  std::vector<double> norm;  // normalized throughput per kWaySweep entry
+};
+
+// One cell = one primary-key count over the whole way axis.
+auto MakeJoinColumnCell(size_t pk_index, ColumnResult* out) {
+  return [pk_index, out](harness::SweepCell& cell) {
+    sim::Machine& machine = cell.MakeMachine();
+    const uint32_t keys =
+        workloads::PkCountForRatio(machine, workloads::kPkRatios[pk_index]);
+    auto data = workloads::MakeJoinDataset(
+        &machine, keys, workloads::kDefaultProbeRows / 4, 610 + pk_index);
+    engine::FkJoinQuery query(&data.pk, &data.fk, keys);
+    query.AttachSim(&machine);
+    out->bits_kib = query.bits().SizeBytes() / 1024.0;
+
+    const uint32_t full_ways = bench::FullLlcWays(machine);
+    out->full_cycles = static_cast<double>(
+        bench::WarmIterationCycles(&machine, &query, full_ways));
+    for (uint32_t ways : bench::kWaySweep) {
+      const double cycles =
+          ways == full_ways
+              ? out->full_cycles
+              : static_cast<double>(
+                    bench::WarmIterationCycles(&machine, &query, ways));
+      out->norm.push_back(out->full_cycles / cycles);
+      cell.report().AddScalar(std::string("pk") +
+                                  workloads::kPkLabels[pk_index] + "/ways" +
+                                  std::to_string(ways),
+                              out->norm.back());
+    }
+  };
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
-  sim::Machine machine{sim::MachineConfig{}};
-  bench::ApplyTraceOption(&machine, opts);
+  sim::Machine meta{sim::MachineConfig{}};  // labels only; cells own theirs
 
-  std::vector<workloads::JoinDataset> datasets;
-  datasets.reserve(std::size(workloads::kPkRatios));
-  std::vector<std::unique_ptr<engine::FkJoinQuery>> queries;
-  for (size_t i = 0; i < std::size(workloads::kPkRatios); ++i) {
-    const uint32_t keys =
-        workloads::PkCountForRatio(machine, workloads::kPkRatios[i]);
-    datasets.push_back(workloads::MakeJoinDataset(
-        &machine, keys, workloads::kDefaultProbeRows / 4, 610 + i));
-    queries.push_back(std::make_unique<engine::FkJoinQuery>(
-        &datasets.back().pk, &datasets.back().fk, keys));
-    queries.back()->AttachSim(&machine);
+  harness::SweepRunner runner =
+      bench::MakeSweepRunner("fig06_join_cache_size", opts);
+  std::vector<ColumnResult> results(std::size(workloads::kPkRatios));
+  for (size_t i = 0; i < results.size(); ++i) {
+    runner.AddCell(std::string("pk") + workloads::kPkLabels[i],
+                   MakeJoinColumnCell(i, &results[i]));
   }
+  runner.Run();
 
   std::printf(
       "Fig. 6 — Query 3 (foreign-key join), isolated, varying LLC size\n");
   std::printf("columns: paper primary-key count (scaled bit-vector size)\n");
   bench::PrintRule(78);
   std::printf("%-22s", "cache \\ PK count");
-  for (size_t i = 0; i < queries.size(); ++i) {
+  for (size_t i = 0; i < results.size(); ++i) {
     std::printf(" %5s(%4.0fKiB)", workloads::kPkLabels[i],
-                queries[i]->bits().SizeBytes() / 1024.0);
+                results[i].bits_kib);
   }
   std::printf("\n");
   bench::PrintRule(78);
 
-  obs::RunReportWriter report("fig06_join_cache_size");
-  std::vector<double> full(queries.size(), 0);
-  for (uint32_t ways : bench::kWaySweep) {
-    std::printf("%-22s", bench::WaysLabel(machine, ways).c_str());
-    for (size_t i = 0; i < queries.size(); ++i) {
-      const double cycles = static_cast<double>(
-          bench::WarmIterationCycles(&machine, queries[i].get(), ways));
-      if (ways == 20) full[i] = cycles;
-      std::printf(" %13.3f", full[i] / cycles);
-      report.AddScalar(std::string("pk") + workloads::kPkLabels[i] +
-                           "/ways" + std::to_string(ways),
-                       full[i] / cycles);
+  for (size_t wi = 0; wi < bench::kWaySweep.size(); ++wi) {
+    std::printf("%-22s", bench::WaysLabel(meta, bench::kWaySweep[wi]).c_str());
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::printf(" %13.3f", results[i].norm[wi]);
     }
     std::printf("\n");
   }
@@ -62,6 +93,6 @@ int main(int argc, char** argv) {
       "Paper: only the '1e8' configuration (bit vector comparable to the\n"
       "LLC) is cache-sensitive (drops up to 33%%, below ~60%% of the LLC);\n"
       "the others lose only 5-14%%.\n");
-  bench::FinishBench(&machine, opts, report);
+  bench::FinishSweepBench(&runner, opts);
   return 0;
 }

@@ -2,9 +2,14 @@
 // scan) and Query 2 (aggregation) running concurrently, with and without
 // cache partitioning (scan restricted to 10 % of the LLC, aggregation gets
 // 100 %), for the three dictionary scenarios and five group counts.
+//
+// Parallelized with the sweep harness: every (scenario, group-count) pair
+// experiment is one independent simulation cell — own machine, own scan and
+// aggregation datasets, own queries — so the 15 four-run pair experiments
+// fan out across --jobs host threads with byte-identical output.
 
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -16,67 +21,97 @@ using namespace catdb;
 
 namespace {
 
-void RunScenario(sim::Machine* machine,
-                 const storage::DictColumn* scan_column, const char* title,
-                 const char* report_key, obs::RunReportWriter* report,
-                 double dict_ratio, uint64_t seed) {
-  const uint32_t dict_entries =
-      workloads::DictEntriesForRatio(*machine, dict_ratio);
-  std::printf("\nFig. 9 %s — dictionary %.2f MiB\n", title,
-              dict_entries * 4.0 / (1024 * 1024));
-  bench::PrintRule(88);
-  std::printf("%8s | %9s %9s %9s | %9s %9s %9s | %7s\n", "groups",
-              "Q2 conc", "Q2 part", "gain", "Q1 conc", "Q1 part", "gain",
-              "LLC hit");
-  bench::PrintRule(88);
+struct Scenario {
+  const char* title;
+  const char* key;
+  double dict_ratio;
+  uint64_t seed;
+};
 
-  for (uint32_t g : workloads::kGroupSizes) {
-    auto data = workloads::MakeAggDataset(
-        machine, workloads::kDefaultAggRows, dict_entries,
-        workloads::ScaledGroupCount(g), seed++);
-    engine::AggregationQuery agg(&data.v, &data.g);
-    agg.AttachSim(machine);
-    engine::ColumnScanQuery scan(scan_column, seed + 99);
+constexpr Scenario kScenarios[] = {
+    {"(a) '4 MiB' dictionary", "a", workloads::kDictRatioSmall, 910},
+    {"(b) '40 MiB' dictionary", "b", workloads::kDictRatioMedium, 920},
+    {"(c) '400 MiB' dictionary", "c", workloads::kDictRatioLarge, 930},
+};
 
-    const auto r = bench::RunPair(machine, &agg, &scan,
-                                  engine::PolicyConfig{});
-    bench::AddPairResult(
-        report, std::string(report_key) + "/groups" + std::to_string(g), r);
-    std::printf(
-        "%8.0e | %9.2f %9.2f %8.0f%% | %9.2f %9.2f %8.0f%% | "
-        "%.2f->%.2f\n",
-        static_cast<double>(g), r.norm_conc_a(), r.norm_part_a(),
-        (r.norm_part_a() / r.norm_conc_a() - 1) * 100, r.norm_conc_b(),
-        r.norm_part_b(), (r.norm_part_b() / r.norm_conc_b() - 1) * 100,
-        r.conc_report.llc_hit_ratio, r.part_report.llc_hit_ratio);
-  }
-  bench::PrintRule(88);
+constexpr size_t kNumGroups = std::size(workloads::kGroupSizes);
+
+// One cell = one (scenario, group-count) pair experiment (isolated A/B,
+// concurrent, partitioned — four runs via RunPair).
+auto MakePairCell(const Scenario& sc, size_t group_index,
+                  bench::PairResult* out) {
+  return [&sc, group_index, out](harness::SweepCell& cell) {
+    sim::Machine& machine = cell.MakeMachine();
+    const uint32_t g = workloads::kGroupSizes[group_index];
+    auto scan_data = workloads::MakeScanDataset(
+        &machine, workloads::kDefaultScanRows,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+        /*seed=*/900);
+    auto agg_data = workloads::MakeAggDataset(
+        &machine, workloads::kDefaultAggRows,
+        workloads::DictEntriesForRatio(machine, sc.dict_ratio),
+        workloads::ScaledGroupCount(g), sc.seed + group_index);
+    engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
+    agg.AttachSim(&machine);
+    engine::ColumnScanQuery scan(&scan_data.column,
+                                 sc.seed + group_index + 100);
+
+    *out = bench::RunPair(&machine, &agg, &scan, engine::PolicyConfig{});
+    bench::AddPairResult(&cell.report(),
+                         std::string(sc.key) + "/groups" + std::to_string(g),
+                         *out);
+  };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
-  sim::Machine machine{sim::MachineConfig{}};
-  bench::ApplyTraceOption(&machine, opts);
-  auto scan_data = workloads::MakeScanDataset(
-      &machine, workloads::kDefaultScanRows,
-      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
-      /*seed=*/900);
 
-  obs::RunReportWriter report("fig09_scan_vs_agg");
-  RunScenario(&machine, &scan_data.column, "(a) '4 MiB' dictionary", "a",
-              &report, workloads::kDictRatioSmall, 910);
-  RunScenario(&machine, &scan_data.column, "(b) '40 MiB' dictionary", "b",
-              &report, workloads::kDictRatioMedium, 920);
-  RunScenario(&machine, &scan_data.column, "(c) '400 MiB' dictionary", "c",
-              &report, workloads::kDictRatioLarge, 930);
+  harness::SweepRunner runner =
+      bench::MakeSweepRunner("fig09_scan_vs_agg", opts);
+  std::vector<bench::PairResult> results(std::size(kScenarios) * kNumGroups);
+  for (size_t si = 0; si < std::size(kScenarios); ++si) {
+    for (size_t gi = 0; gi < kNumGroups; ++gi) {
+      runner.AddCell(std::string(kScenarios[si].key) + "/groups" +
+                         std::to_string(workloads::kGroupSizes[gi]),
+                     MakePairCell(kScenarios[si], gi,
+                                  &results[si * kNumGroups + gi]));
+    }
+  }
+  runner.Run();
+
+  sim::Machine meta{sim::MachineConfig{}};  // labels only
+  for (size_t si = 0; si < std::size(kScenarios); ++si) {
+    const Scenario& sc = kScenarios[si];
+    const uint32_t dict_entries =
+        workloads::DictEntriesForRatio(meta, sc.dict_ratio);
+    std::printf("\nFig. 9 %s — dictionary %.2f MiB\n", sc.title,
+                dict_entries * 4.0 / (1024 * 1024));
+    bench::PrintRule(88);
+    std::printf("%8s | %9s %9s %9s | %9s %9s %9s | %7s\n", "groups",
+                "Q2 conc", "Q2 part", "gain", "Q1 conc", "Q1 part", "gain",
+                "LLC hit");
+    bench::PrintRule(88);
+    for (size_t gi = 0; gi < kNumGroups; ++gi) {
+      const uint32_t g = workloads::kGroupSizes[gi];
+      const bench::PairResult& r = results[si * kNumGroups + gi];
+      std::printf(
+          "%8.0e | %9.2f %9.2f %8.0f%% | %9.2f %9.2f %8.0f%% | "
+          "%.2f->%.2f\n",
+          static_cast<double>(g), r.norm_conc_a(), r.norm_part_a(),
+          (r.norm_part_a() / r.norm_conc_a() - 1) * 100, r.norm_conc_b(),
+          r.norm_part_b(), (r.norm_part_b() / r.norm_conc_b() - 1) * 100,
+          r.conc_report.llc_hit_ratio, r.part_report.llc_hit_ratio);
+    }
+    bench::PrintRule(88);
+  }
 
   std::printf(
       "\nPaper: partitioning helps Q2 most when its hash tables are\n"
       "comparable to the LLC (up to +20/21%% for (a)/(b)) and only 3-9%%\n"
       "for (c); the scan improves slightly as well, and no configuration\n"
       "regresses.\n");
-  bench::FinishBench(&machine, opts, report);
+  bench::FinishSweepBench(&runner, opts);
   return 0;
 }

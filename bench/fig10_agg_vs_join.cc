@@ -2,9 +2,13 @@
 // and Query 3 (foreign-key join) running concurrently, comparing two
 // partitioning schemes: join restricted to 10 % (mask 0x3) or 60 % (mask
 // 0xfff) of the LLC, while the aggregation may use 100 %.
+//
+// Parallelized with the sweep harness: every (scenario, group-count) pair
+// experiment is one independent simulation cell that runs both schemes on
+// its private machine/datasets/queries.
 
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -16,73 +20,111 @@ using namespace catdb;
 
 namespace {
 
-void RunScenario(sim::Machine* machine, const char* title,
-                 const char* report_key, obs::RunReportWriter* report,
-                 double pk_ratio, uint64_t seed) {
-  const uint32_t keys = workloads::PkCountForRatio(*machine, pk_ratio);
-  auto join_data = workloads::MakeJoinDataset(
-      machine, keys, workloads::kDefaultProbeRows / 2, seed);
-  engine::FkJoinQuery join(&join_data.pk, &join_data.fk, keys);
-  join.AttachSim(machine);
+struct Scenario {
+  const char* title;
+  const char* key;
+  double pk_ratio;
+  uint64_t seed;
+};
 
-  const uint32_t dict_entries =
-      workloads::DictEntriesForRatio(*machine, workloads::kDictRatioMedium);
+constexpr Scenario kScenarios[] = {
+    {"(a) '1e6' primary keys (bit vector << LLC)", "a",
+     workloads::kPkRatios[0], 1010},
+    {"(b) '1e8' primary keys (bit vector ~ LLC)", "b",
+     workloads::kPkRatios[2], 1020},
+};
 
-  std::printf("\nFig. 10 %s — bit vector %.0f KiB\n", title,
-              join.bits().SizeBytes() / 1024.0);
-  bench::PrintRule(92);
-  std::printf("%8s | %8s %8s %8s | %8s %8s %8s\n", "groups", "Q2 conc",
-              "Q2 @10%", "Q2 @60%", "Q3 conc", "Q3 @10%", "Q3 @60%");
-  bench::PrintRule(92);
+constexpr size_t kNumGroups = std::size(workloads::kGroupSizes);
 
-  for (uint32_t g : workloads::kGroupSizes) {
-    auto data = workloads::MakeAggDataset(
-        machine, workloads::kDefaultAggRows, dict_entries,
-        workloads::ScaledGroupCount(g), seed + g);
-    engine::AggregationQuery agg(&data.v, &data.g);
-    agg.AttachSim(machine);
+struct CellResult {
+  double bits_kib = 0;  // bit-vector size, for the scenario header
+  bench::PairResult r10;
+  bench::PairResult r60;
+};
+
+// One cell = one (scenario, group-count) point: both restriction schemes.
+auto MakeJoinPairCell(const Scenario& sc, size_t group_index,
+                      CellResult* out) {
+  return [&sc, group_index, out](harness::SweepCell& cell) {
+    sim::Machine& machine = cell.MakeMachine();
+    const uint32_t g = workloads::kGroupSizes[group_index];
+    const uint32_t keys = workloads::PkCountForRatio(machine, sc.pk_ratio);
+    auto join_data = workloads::MakeJoinDataset(
+        &machine, keys, workloads::kDefaultProbeRows / 2, sc.seed);
+    engine::FkJoinQuery join(&join_data.pk, &join_data.fk, keys);
+    join.AttachSim(&machine);
+    out->bits_kib = join.bits().SizeBytes() / 1024.0;
+
+    const uint32_t dict_entries =
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium);
+    auto agg_data = workloads::MakeAggDataset(
+        &machine, workloads::kDefaultAggRows, dict_entries,
+        workloads::ScaledGroupCount(g), sc.seed + g);
+    engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
+    agg.AttachSim(&machine);
 
     // Scheme 1: force the (adaptive) join jobs into the 10 % group.
     engine::PolicyConfig restrict10;
     restrict10.adaptive_heuristic = false;
     restrict10.adaptive_force_polluting = true;
-    const auto r10 = bench::RunPair(machine, &agg, &join, restrict10);
+    out->r10 = bench::RunPair(&machine, &agg, &join, restrict10);
 
     // Scheme 2: force them into the 60 % group (the paper's second scheme:
     // 40 % exclusive to the aggregation, 60 % shared).
     engine::PolicyConfig restrict60;
     restrict60.adaptive_heuristic = false;
     restrict60.adaptive_force_polluting = false;
-    const auto r60 = bench::RunPair(machine, &agg, &join, restrict60);
+    out->r60 = bench::RunPair(&machine, &agg, &join, restrict60);
 
     const std::string key =
-        std::string(report_key) + "/groups" + std::to_string(g);
-    bench::AddPairResult(report, key + "/restrict10", r10);
-    bench::AddPairResult(report, key + "/restrict60", r60);
-    std::printf("%8.0e | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f\n",
-                static_cast<double>(g), r10.norm_conc_a(), r10.norm_part_a(),
-                r60.norm_part_a(), r10.norm_conc_b(), r10.norm_part_b(),
-                r60.norm_part_b());
-  }
-  bench::PrintRule(92);
+        std::string(sc.key) + "/groups" + std::to_string(g);
+    bench::AddPairResult(&cell.report(), key + "/restrict10", out->r10);
+    bench::AddPairResult(&cell.report(), key + "/restrict60", out->r60);
+  };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
-  sim::Machine machine{sim::MachineConfig{}};
-  bench::ApplyTraceOption(&machine, opts);
-  obs::RunReportWriter report("fig10_agg_vs_join");
-  RunScenario(&machine, "(a) '1e6' primary keys (bit vector << LLC)", "a",
-              &report, workloads::kPkRatios[0], 1010);
-  RunScenario(&machine, "(b) '1e8' primary keys (bit vector ~ LLC)", "b",
-              &report, workloads::kPkRatios[2], 1020);
+
+  harness::SweepRunner runner =
+      bench::MakeSweepRunner("fig10_agg_vs_join", opts);
+  std::vector<CellResult> results(std::size(kScenarios) * kNumGroups);
+  for (size_t si = 0; si < std::size(kScenarios); ++si) {
+    for (size_t gi = 0; gi < kNumGroups; ++gi) {
+      runner.AddCell(std::string(kScenarios[si].key) + "/groups" +
+                         std::to_string(workloads::kGroupSizes[gi]),
+                     MakeJoinPairCell(kScenarios[si], gi,
+                                      &results[si * kNumGroups + gi]));
+    }
+  }
+  runner.Run();
+
+  for (size_t si = 0; si < std::size(kScenarios); ++si) {
+    const Scenario& sc = kScenarios[si];
+    std::printf("\nFig. 10 %s — bit vector %.0f KiB\n", sc.title,
+                results[si * kNumGroups].bits_kib);
+    bench::PrintRule(92);
+    std::printf("%8s | %8s %8s %8s | %8s %8s %8s\n", "groups", "Q2 conc",
+                "Q2 @10%", "Q2 @60%", "Q3 conc", "Q3 @10%", "Q3 @60%");
+    bench::PrintRule(92);
+    for (size_t gi = 0; gi < kNumGroups; ++gi) {
+      const CellResult& r = results[si * kNumGroups + gi];
+      std::printf("%8.0e | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f\n",
+                  static_cast<double>(workloads::kGroupSizes[gi]),
+                  r.r10.norm_conc_a(), r.r10.norm_part_a(),
+                  r.r60.norm_part_a(), r.r10.norm_conc_b(),
+                  r.r10.norm_part_b(), r.r60.norm_part_b());
+    }
+    bench::PrintRule(92);
+  }
+
   std::printf(
       "\nPaper: with a tiny bit vector (a), the 10%% restriction helps Q2 by\n"
       "up to 38%% and even Q3 slightly. With an LLC-sized bit vector (b),\n"
       "the 10%% restriction hurts Q3 by 15-31%% (net loss); restricting Q3\n"
       "to 60%% instead gives Q2 up to +9%% at ~unchanged Q3 throughput.\n");
-  bench::FinishBench(&machine, opts, report);
+  bench::FinishSweepBench(&runner, opts);
   return 0;
 }

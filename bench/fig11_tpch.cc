@@ -66,6 +66,6 @@ int main(int argc, char** argv) {
 
   report.AddScalar("mean_gain_percent",
                    sum_gain / workloads::kNumTpchQueries);
-  bench::FinishBench(&machine, opts, report);
+  bench::FinishBench(&machine, opts, &report);
   return 0;
 }

@@ -75,6 +75,6 @@ int main(int argc, char** argv) {
       "Paper: OLTP drops to 66%%/68%% (13/6 columns); partitioning regains\n"
       "+13%%/+9%%, and the gain grows with the number of projected columns\n"
       "(+8%% to +13%% from 2 to 13 columns) as the working set grows.\n");
-  bench::FinishBench(&machine, opts, report);
+  bench::FinishBench(&machine, opts, &report);
   return 0;
 }

@@ -10,17 +10,27 @@
 // (path overridable via argv[1]) so the repository keeps a perf trajectory
 // across PRs.
 //
-// Usage: selfperf_sim [output.json]
+// Second section: parallel sweep harness scaling. A fig05-style mini sweep
+// (independent aggregation cells, each with its own machine/dataset/query)
+// is executed through harness::SweepRunner at --jobs 1/2/4/N host threads;
+// the merged run report must be byte-identical across all job counts (the
+// harness's determinism contract) before a speedup is reported. Emits
+// BENCH_parallel.json (path overridable via argv[2]).
+//
+// Usage: selfperf_sim [selfperf_output.json [parallel_output.json]]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/check.h"
+#include "engine/operators/aggregation.h"
 #include "engine/operators/column_scan.h"
 #include "engine/operators/index_project.h"
 #include "engine/runner.h"
@@ -305,12 +315,141 @@ std::string JsonEntry(const WorkloadResult& w) {
   return buf;
 }
 
+// ---------------------------------------------------------------------------
+// Parallel sweep harness scaling.
+
+struct MiniColumnResult {
+  double full_cycles = 0;
+  std::vector<double> norm;
+};
+
+/// Fig05-style mini sweep: (dictionary scenario x group count) aggregation
+/// cells, each sweeping a short way axis after an explicit full-LLC
+/// baseline. Small enough to run at several job counts, large enough that
+/// per-cell machine/dataset construction is amortized like in the real
+/// sweeps.
+void AddMiniSweepCells(harness::SweepRunner* runner,
+                       std::vector<MiniColumnResult>* results) {
+  static constexpr double kRatios[] = {workloads::kDictRatioSmall,
+                                       workloads::kDictRatioMedium};
+  static constexpr uint32_t kGroups[] = {1000, 10000, 100000, 1000000};
+  static constexpr uint32_t kWays[] = {8, 2};
+  results->assign(std::size(kRatios) * std::size(kGroups),
+                  MiniColumnResult{});
+  for (size_t si = 0; si < std::size(kRatios); ++si) {
+    for (size_t gi = 0; gi < std::size(kGroups); ++gi) {
+      MiniColumnResult* out = &(*results)[si * std::size(kGroups) + gi];
+      const double ratio = kRatios[si];
+      const uint32_t groups = kGroups[gi];
+      const uint64_t seed = 7100 + si * 100 + gi;
+      runner->AddCell(
+          "s" + std::to_string(si) + "/groups" + std::to_string(groups),
+          [out, ratio, groups, seed](harness::SweepCell& cell) {
+            sim::Machine& machine = cell.MakeMachine();
+            auto data = workloads::MakeAggDataset(
+                &machine, workloads::kDefaultAggRows / 2,
+                workloads::DictEntriesForRatio(machine, ratio),
+                workloads::ScaledGroupCount(groups), seed);
+            engine::AggregationQuery query(&data.v, &data.g);
+            query.AttachSim(&machine);
+            const uint32_t full_ways = bench::FullLlcWays(machine);
+            out->full_cycles = static_cast<double>(
+                bench::WarmIterationCycles(&machine, &query, full_ways));
+            for (uint32_t ways : kWays) {
+              const double cycles = static_cast<double>(
+                  bench::WarmIterationCycles(&machine, &query, ways));
+              out->norm.push_back(out->full_cycles / cycles);
+              cell.report().AddScalar(
+                  cell.name() + "/ways" + std::to_string(ways),
+                  out->norm.back());
+            }
+          });
+    }
+  }
+}
+
+struct HarnessRun {
+  unsigned jobs = 0;
+  double wall_seconds = 0;
+};
+
+void RunParallelHarness(const char* out_path) {
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::vector<unsigned> job_counts = {1, 2, 4};
+  if (host_cores > 0 &&
+      std::find(job_counts.begin(), job_counts.end(), host_cores) ==
+          job_counts.end()) {
+    job_counts.push_back(host_cores);
+  }
+
+  std::printf("\nParallel sweep harness (host wall-clock, %u host cores)\n",
+              host_cores);
+  bench::PrintRule(56);
+  std::printf("%8s %14s %12s %16s\n", "jobs", "wall s", "speedup",
+              "report");
+  bench::PrintRule(56);
+
+  std::string ref_json;
+  std::vector<HarnessRun> runs;
+  size_t num_cells = 0;
+  for (const unsigned jobs : job_counts) {
+    harness::SweepRunner::Options options;
+    options.jobs = jobs;
+    harness::SweepRunner runner("harness_minisweep", options);
+    std::vector<MiniColumnResult> results;
+    AddMiniSweepCells(&runner, &results);
+    num_cells = runner.num_cells();
+    const auto start = std::chrono::steady_clock::now();
+    runner.Run();
+    const auto end = std::chrono::steady_clock::now();
+    const std::string json = runner.report().Json();
+    const bool identical = ref_json.empty() || json == ref_json;
+    if (ref_json.empty()) ref_json = json;
+    // A speedup only counts over bit-identical output — same contract as
+    // the executor self-benchmark above.
+    CATDB_CHECK(identical);
+    HarnessRun run;
+    run.jobs = jobs;
+    run.wall_seconds = std::chrono::duration<double>(end - start).count();
+    runs.push_back(run);
+    std::printf("%8u %14.3f %11.2fx %16s\n", jobs, run.wall_seconds,
+                runs.front().wall_seconds / run.wall_seconds,
+                identical ? "byte-identical" : "MISMATCH");
+  }
+  bench::PrintRule(56);
+
+  std::string json = "{\n  \"benchmark\": \"parallel_sweep_harness\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"host_cores\": %u,\n  \"cells\": %zu,\n"
+                "  \"reports_byte_identical\": true,\n  \"runs\": [\n",
+                host_cores, num_cells);
+  json += buf;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"jobs\": %u, \"wall_seconds\": %.4f, "
+                  "\"speedup_vs_jobs1\": %.3f}%s\n",
+                  runs[i].jobs, runs[i].wall_seconds,
+                  runs.front().wall_seconds / runs[i].wall_seconds,
+                  i + 1 < runs.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  FILE* f = std::fopen(out_path, "w");
+  CATDB_CHECK(f != nullptr);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+}
+
 }  // namespace
 }  // namespace catdb
 
 int main(int argc, char** argv) {
   using namespace catdb;
   const char* out_path = argc > 1 ? argv[1] : "BENCH_selfperf.json";
+  const char* parallel_out_path = argc > 2 ? argv[2] : "BENCH_parallel.json";
   const uint64_t horizon = bench::kDefaultHorizon / 2;
 
   std::printf("Simulator self-benchmark (host wall-clock)\n");
@@ -341,5 +480,7 @@ int main(int argc, char** argv) {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
+
+  RunParallelHarness(parallel_out_path);
   return 0;
 }

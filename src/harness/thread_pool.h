@@ -1,0 +1,80 @@
+#ifndef CATDB_HARNESS_THREAD_POOL_H_
+#define CATDB_HARNESS_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace catdb::harness {
+
+/// Fixed-size work-stealing thread pool for running independent simulation
+/// cells across host threads.
+///
+/// Each worker owns a deque: it pops its own work newest-first (good
+/// locality for nested submissions) and steals oldest-first from a victim
+/// when it runs dry; external submissions land in a shared injector queue.
+/// The pool makes no ordering promises — callers that need deterministic
+/// output gather results by index (see SweepRunner), never by completion
+/// order.
+///
+/// Tasks may submit further tasks from inside the pool (nested submit goes
+/// to the submitting worker's own deque). Wait() blocks the calling thread
+/// until every task — including nested ones — has finished, then rethrows
+/// the first exception any task raised; the remaining tasks still run to
+/// completion. Wait() must be called from outside the pool's workers.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 selects DefaultJobs().
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Callable from any thread, including pool workers.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until all submitted tasks (and their nested submissions) have
+  /// completed, then rethrows the first captured task exception, if any.
+  /// The pool stays usable afterwards.
+  void Wait();
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Host-parallelism default: the CATDB_JOBS environment variable when set
+  /// to a positive integer, otherwise std::thread::hardware_concurrency()
+  /// (minimum 1).
+  static unsigned DefaultJobs();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;
+  };
+
+  void WorkerLoop(unsigned index);
+  // Pops the next task for worker `self` (own deque back, injector front,
+  // then steal a victim's front). Caller must hold mu_.
+  bool TakeLocked(unsigned self, std::function<void()>* out);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<Worker> workers_;
+  std::deque<std::function<void()>> injector_;
+  std::vector<std::thread> threads_;
+  size_t pending_ = 0;  // submitted but not yet finished
+  bool stop_ = false;
+
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace catdb::harness
+
+#endif  // CATDB_HARNESS_THREAD_POOL_H_

@@ -175,6 +175,13 @@ void RunReportWriter::AddRounds(std::string name,
   entries_.push_back(std::move(e));
 }
 
+void RunReportWriter::MergeFrom(RunReportWriter&& shard) {
+  for (auto& param : shard.params_) params_.push_back(std::move(param));
+  for (Entry& entry : shard.entries_) entries_.push_back(std::move(entry));
+  shard.params_.clear();
+  shard.entries_.clear();
+}
+
 void RunReportWriter::AddScalar(std::string name, double value) {
   Entry e;
   e.kind = Kind::kScalar;

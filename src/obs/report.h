@@ -52,6 +52,11 @@ class RunReportWriter {
 
   size_t num_results() const { return entries_.size(); }
 
+  /// Appends another writer's params and result entries, in their original
+  /// order, to this one (the shard is left empty). The parallel sweep
+  /// harness uses this to merge per-cell report shards by cell index.
+  void MergeFrom(RunReportWriter&& shard);
+
   /// The full report document (always a complete, syntactically valid JSON
   /// object).
   std::string Json() const;
