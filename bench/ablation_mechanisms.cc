@@ -34,8 +34,9 @@ struct Row {
 };
 
 // One cell = one machine-config ablation of the Fig. 9b sensitive point.
-auto MakeConfigCell(const char* label, sim::MachineConfig mc, Row* out) {
-  return [label, mc, out](harness::SweepCell& cell) {
+auto MakeConfigCell(const char* label, sim::MachineConfig mc,
+                    uint64_t horizon, Row* out) {
+  return [label, mc, horizon, out](harness::SweepCell& cell) {
     sim::Machine& machine = cell.MakeMachine(mc);
     auto scan_data = workloads::MakeScanDataset(
         &machine, workloads::kDefaultScanRows / 2,
@@ -50,8 +51,8 @@ auto MakeConfigCell(const char* label, sim::MachineConfig mc, Row* out) {
     scan.AttachSim(&machine);
     agg.AttachSim(&machine);
 
-    const auto r =
-        bench::RunPair(&machine, &agg, &scan, engine::PolicyConfig{});
+    const auto r = bench::RunPair(&machine, &agg, &scan,
+                                  engine::PolicyConfig{}, horizon);
     *out = Row{label, r.norm_conc_a(), r.norm_part_a(), r.norm_conc_b(),
                r.norm_part_b()};
     const std::string key = cell.name();
@@ -65,8 +66,9 @@ auto MakeConfigCell(const char* label, sim::MachineConfig mc, Row* out) {
 // One cell = one leg of the adaptive-heuristic comparison on the Fig. 10b
 // point: an LLC-sized bit vector makes the join cache-sensitive; the
 // heuristic must choose the 60 % mask, not the polluting 10 % mask.
-auto MakeAdaptiveCell(bool force_polluting, bench::PairResult* out) {
-  return [force_polluting, out](harness::SweepCell& cell) {
+auto MakeAdaptiveCell(bool force_polluting, uint64_t horizon,
+                      bench::PairResult* out) {
+  return [force_polluting, horizon, out](harness::SweepCell& cell) {
     sim::Machine& machine = cell.MakeMachine();
     const uint32_t keys =
         workloads::PkCountForRatio(machine, workloads::kPkRatios[2]);
@@ -86,7 +88,7 @@ auto MakeAdaptiveCell(bool force_polluting, bench::PairResult* out) {
       policy.adaptive_heuristic = false;
       policy.adaptive_force_polluting = true;
     }
-    *out = bench::RunPair(&machine, &agg, &join, policy);
+    *out = bench::RunPair(&machine, &agg, &join, policy, horizon);
     cell.report().AddScalar(cell.name() + "/agg_part", out->norm_part_a());
     cell.report().AddScalar(cell.name() + "/join_part", out->norm_part_b());
   };
@@ -111,16 +113,23 @@ int main(int argc, char** argv) {
   sim::MachineConfig non_inclusive = base;
   non_inclusive.hierarchy.inclusive_llc = false;
 
+  // --smoke keeps every ablation cell (each is one configuration, not a
+  // sweep axis) but shortens the measurement horizon.
+  const uint64_t horizon = bench::HorizonFor(opts);
   Row rows[3];
-  runner.AddCell("baseline", MakeConfigCell("baseline", base, &rows[0]));
+  runner.AddCell("baseline",
+                 MakeConfigCell("baseline", base, horizon, &rows[0]));
   runner.AddCell("no_prefetcher",
-                 MakeConfigCell("no prefetcher", no_prefetch, &rows[1]));
+                 MakeConfigCell("no prefetcher", no_prefetch, horizon,
+                                &rows[1]));
   runner.AddCell("non_inclusive_llc",
-                 MakeConfigCell("non-inclusive LLC", non_inclusive,
+                 MakeConfigCell("non-inclusive LLC", non_inclusive, horizon,
                                 &rows[2]));
   bench::PairResult heuristic, forced;
-  runner.AddCell("adaptive_heuristic", MakeAdaptiveCell(false, &heuristic));
-  runner.AddCell("adaptive_forced10", MakeAdaptiveCell(true, &forced));
+  runner.AddCell("adaptive_heuristic",
+                 MakeAdaptiveCell(false, horizon, &heuristic));
+  runner.AddCell("adaptive_forced10",
+                 MakeAdaptiveCell(true, horizon, &forced));
   runner.Run();
 
   std::printf(

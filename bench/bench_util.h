@@ -27,10 +27,14 @@ namespace catdb::bench {
 ///   --jobs=<n>           host threads for the parallel sweep harness
 ///                        (default: CATDB_JOBS env, else hardware
 ///                        concurrency; serial benches ignore it)
+///   --smoke              CI mode: run one cell of each sweep at a short
+///                        horizon — exercises the full pipeline in seconds
+///                        (results are not meaningful as measurements)
 struct BenchOptions {
   std::string report_out;
   std::string trace_out;
   unsigned jobs = 0;  // resolved to >= 1 by ParseBenchArgs
+  bool smoke = false;
 };
 
 /// Parses the shared flags; exits with usage on anything unrecognized.
@@ -57,11 +61,13 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       opts.jobs = static_cast<unsigned>(n);
+    } else if (arg == "--smoke") {
+      opts.smoke = true;
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
                    "usage: %s [--report-out=<path>] [--trace-out=<path>] "
-                   "[--jobs=<n>]\n",
+                   "[--jobs=<n>] [--smoke]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }
@@ -155,6 +161,15 @@ inline const std::vector<uint32_t> kCoresB = {4, 5, 6, 7};
 /// Simulated-cycle horizon for throughput runs (~90 ms at 2.2 GHz; plays
 /// the role of the paper's 90 s measurement window at simulation scale).
 inline constexpr uint64_t kDefaultHorizon = 200'000'000;
+
+/// Horizon used under --smoke: long enough to cross several policy
+/// intervals, short enough for CI.
+inline constexpr uint64_t kSmokeHorizon = 20'000'000;
+
+/// The throughput horizon a bench should use given its options.
+inline uint64_t HorizonFor(const BenchOptions& opts) {
+  return opts.smoke ? kSmokeHorizon : kDefaultHorizon;
+}
 
 /// Result of the standard 2-query experiment the paper's evaluation figures
 /// are built from: both queries isolated, concurrent, and concurrent with a

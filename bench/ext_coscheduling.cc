@@ -26,10 +26,12 @@ using namespace catdb;
 namespace {
 
 // One cell = one strategy: builds the full batch rig, plans the rounds and
-// executes them back to back on the cell's machine.
-auto MakeStrategyCell(bool cache_aware, bool cat,
-                      engine::RoundsReport* out) {
-  return [cache_aware, cat, out](harness::SweepCell& cell) {
+// executes them back to back on the cell's machine. `scan_iters`/`agg_iters`
+// are the per-query iteration budgets (--smoke shrinks them).
+auto MakeStrategyCell(bool cache_aware, bool cat, uint64_t scan_iters,
+                      uint64_t agg_iters, engine::RoundsReport* out) {
+  return [cache_aware, cat, scan_iters, agg_iters,
+          out](harness::SweepCell& cell) {
     sim::Machine& machine = cell.MakeMachine();
     auto scan_data1 = workloads::MakeScanDataset(
         &machine, workloads::kDefaultScanRows / 2,
@@ -59,10 +61,10 @@ auto MakeStrategyCell(bool cache_aware, bool cat,
 
     // Batch submitted interleaved, as a workload manager would see it.
     const std::vector<engine::BatchItem> batch = {
-        {&scan1, engine::CacheUsage::kPolluting, 60},
-        {&agg1, engine::CacheUsage::kSensitive, 2},
-        {&scan2, engine::CacheUsage::kPolluting, 60},
-        {&agg2, engine::CacheUsage::kSensitive, 2},
+        {&scan1, engine::CacheUsage::kPolluting, scan_iters},
+        {&agg1, engine::CacheUsage::kSensitive, agg_iters},
+        {&scan2, engine::CacheUsage::kPolluting, scan_iters},
+        {&agg2, engine::CacheUsage::kSensitive, agg_iters},
     };
 
     engine::PolicyConfig policy;
@@ -81,19 +83,23 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner runner =
       bench::MakeSweepRunner("ext_coscheduling", opts);
+  // --smoke keeps all four strategy cells but shrinks the per-query
+  // iteration budgets (the batch, not a horizon, bounds this bench).
+  const uint64_t scan_iters = opts.smoke ? 6 : 60;
+  const uint64_t agg_iters = opts.smoke ? 1 : 2;
   engine::RoundsReport fifo_off_r, fifo_cat_r, aware_off_r, aware_cat_r;
   runner.AddCell("fifo_shared",
                  MakeStrategyCell(/*cache_aware=*/false, /*cat=*/false,
-                                  &fifo_off_r));
+                                  scan_iters, agg_iters, &fifo_off_r));
   runner.AddCell("fifo_cat",
                  MakeStrategyCell(/*cache_aware=*/false, /*cat=*/true,
-                                  &fifo_cat_r));
+                                  scan_iters, agg_iters, &fifo_cat_r));
   runner.AddCell("aware_shared",
                  MakeStrategyCell(/*cache_aware=*/true, /*cat=*/false,
-                                  &aware_off_r));
+                                  scan_iters, agg_iters, &aware_off_r));
   runner.AddCell("aware_cat",
                  MakeStrategyCell(/*cache_aware=*/true, /*cat=*/true,
-                                  &aware_cat_r));
+                                  scan_iters, agg_iters, &aware_cat_r));
   runner.Run();
 
   const uint64_t fifo_off = fifo_off_r.makespan_cycles;

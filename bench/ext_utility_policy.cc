@@ -1,0 +1,236 @@
+// Extension bench: utility-based cache allocation (src/policy/).
+//
+// Closes the paper's outlook loop end to end: instead of static operator
+// annotations, a shadow-tag profiler measures each stream's miss-rate curve
+// online and a pluggable way allocator re-programs the CAT masks every
+// interval. Five schemes are compared on two concurrent mixes (the Fig. 9b
+// scan-vs-aggregation point and the Fig. 10b aggregation-vs-join point):
+//   1. shared      : no partitioning (the concurrent baseline)
+//   2. static      : the paper's a-priori annotations, served through the
+//                    policy engine by StaticPaperAllocator
+//   3. dynamic     : threshold classifier on CMT/MBM (ext_dynamic_policy)
+//   4. lookahead   : UCP lookahead on the measured miss-rate curves
+//   5. fairness    : LFOC-style clustering (streaming vs sensitive)
+// reporting normalized throughput, per-stream slowdown vs isolated
+// execution, and the controller's schemata-write count.
+//
+// Parallelized with the sweep harness: every (mix, scheme) experiment is one
+// independent simulation cell — own machine, datasets, queries and isolated
+// baselines — so the output is byte-identical for any --jobs value.
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/dynamic_policy.h"
+#include "engine/operators/aggregation.h"
+#include "engine/operators/column_scan.h"
+#include "engine/operators/fk_join.h"
+#include "policy/policy_engine.h"
+#include "policy/way_allocator.h"
+#include "workloads/micro.h"
+
+using namespace catdb;
+
+namespace {
+
+struct Mix {
+  const char* key;
+  const char* title;
+  const char* a_label;  // stream 0 (the cache-sensitive aggregation)
+  const char* b_label;  // stream 1 (the scan / join co-runner)
+};
+
+constexpr Mix kMixes[] = {
+    {"scan_vs_agg",
+     "Fig. 9b mix: aggregation (sensitive) vs column scan (polluting)",
+     "agg", "scan"},
+    {"agg_vs_join",
+     "Fig. 10b mix: aggregation vs FK join (LLC-sized bit vector)",
+     "agg", "join"},
+};
+
+constexpr const char* kSchemes[] = {"shared", "static", "dynamic",
+                                    "lookahead", "fairness"};
+constexpr size_t kNumSchemes = std::size(kSchemes);
+
+struct SchemeResult {
+  double iso_a = 0;
+  double iso_b = 0;
+  double a = 0;
+  double b = 0;
+  uint32_t intervals = 0;         // 0 for schemes without a controller
+  uint64_t schemata_writes = 0;
+  std::vector<uint64_t> final_masks;  // allocator-driven schemes only
+};
+
+// One cell = one (mix, scheme) experiment: isolated baselines plus the
+// scheme's concurrent run, all on the cell's private machine.
+void RunSchemeCell(harness::SweepCell& cell, size_t mix, size_t scheme,
+                   uint64_t horizon, SchemeResult* out) {
+  sim::Machine& machine = cell.MakeMachine();
+
+  // Stream A is always the aggregation; stream B is the mix's co-runner.
+  std::optional<workloads::AggDataset> agg_data;
+  std::optional<workloads::ScanDataset> scan_data;
+  std::optional<workloads::JoinDataset> join_data;
+  std::optional<engine::AggregationQuery> agg;
+  std::optional<engine::ColumnScanQuery> scan;
+  std::optional<engine::FkJoinQuery> join;
+  engine::Query* qb = nullptr;
+  if (mix == 0) {
+    agg_data = workloads::MakeAggDataset(
+        &machine, workloads::kDefaultAggRows,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+        workloads::ScaledGroupCount(100000), 52);
+    scan_data = workloads::MakeScanDataset(
+        &machine, workloads::kDefaultScanRows,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+        51);
+    scan.emplace(&scan_data->column, 53);
+    scan->AttachSim(&machine);
+    qb = &*scan;
+  } else {
+    const uint32_t keys =
+        workloads::PkCountForRatio(machine, workloads::kPkRatios[2]);
+    agg_data = workloads::MakeAggDataset(
+        &machine, workloads::kDefaultAggRows,
+        workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+        workloads::ScaledGroupCount(1000), 42);
+    join_data = workloads::MakeJoinDataset(&machine, keys,
+                                           workloads::kDefaultProbeRows / 2,
+                                           41);
+    join.emplace(&join_data->pk, &join_data->fk, keys);
+    join->AttachSim(&machine);
+    qb = &*join;
+  }
+  agg.emplace(&agg_data->v, &agg_data->g);
+  agg->AttachSim(&machine);
+  engine::Query* qa = &*agg;
+
+  const engine::PolicyConfig off;
+  out->iso_a = engine::RunWorkload(&machine, {{qa, bench::kCoresA}}, horizon,
+                                   off)
+                   .streams[0]
+                   .iterations;
+  out->iso_b = engine::RunWorkload(&machine, {{qb, bench::kCoresB}}, horizon,
+                                   off)
+                   .streams[0]
+                   .iterations;
+
+  const std::vector<engine::StreamSpec> specs = {{qa, bench::kCoresA},
+                                                 {qb, bench::kCoresB}};
+  const std::string key =
+      std::string(kMixes[mix].key) + "/" + kSchemes[scheme];
+  if (scheme == 0) {  // shared
+    engine::RunReport rep = engine::RunWorkload(&machine, specs, horizon,
+                                                off);
+    out->a = rep.streams[0].iterations;
+    out->b = rep.streams[1].iterations;
+    cell.report().AddRun(key, std::move(rep));
+  } else if (scheme == 2) {  // dynamic threshold classifier
+    engine::DynamicRunReport rep = engine::RunWorkloadDynamic(
+        &machine, specs, horizon, engine::DynamicPolicyConfig{});
+    out->a = rep.report.streams[0].iterations;
+    out->b = rep.report.streams[1].iterations;
+    out->intervals = rep.intervals;
+    out->schemata_writes = rep.schemata_writes;
+    cell.report().AddDynamicRun(key, std::move(rep));
+  } else {  // allocator-driven schemes through the policy engine
+    std::unique_ptr<policy::WayAllocator> allocator;
+    if (scheme == 1) {
+      // The paper's static annotations: the co-runner is declared polluting
+      // a priori; the aggregation keeps the full cache.
+      allocator = std::make_unique<policy::StaticPaperAllocator>(
+          engine::PolicyConfig{}, std::vector<bool>{false, true});
+    } else if (scheme == 3) {
+      allocator = std::make_unique<policy::LookaheadUtilityAllocator>();
+    } else {
+      allocator = std::make_unique<policy::FairnessClusterAllocator>();
+    }
+    policy::PolicyRunReport rep = policy::RunWorkloadWithAllocator(
+        &machine, specs, horizon, allocator.get(),
+        policy::PolicyEngineConfig{});
+    out->a = rep.report.streams[0].iterations;
+    out->b = rep.report.streams[1].iterations;
+    out->intervals = rep.intervals;
+    out->schemata_writes = rep.schemata_writes;
+    out->final_masks = rep.final_masks;
+    cell.report().AddPolicyRun(key, std::move(rep));
+  }
+  cell.report().AddScalar(key + "/norm_a", out->a / out->iso_a);
+  cell.report().AddScalar(key + "/norm_b", out->b / out->iso_b);
+}
+
+std::string MasksLabel(const std::vector<uint64_t>& masks) {
+  if (masks.empty()) return "-";
+  std::string s;
+  char buf[32];
+  for (size_t i = 0; i < masks.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s0x%llx", i ? "/" : "",
+                  static_cast<unsigned long long>(masks[i]));
+    s += buf;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
+
+  harness::SweepRunner runner =
+      bench::MakeSweepRunner("ext_utility_policy", opts);
+  // --smoke: one mix, all five schemes (the comparison is the point), at
+  // the short horizon.
+  const size_t num_mixes = opts.smoke ? 1 : std::size(kMixes);
+  const uint64_t horizon = bench::HorizonFor(opts);
+  std::vector<SchemeResult> results(num_mixes * kNumSchemes);
+  for (size_t mi = 0; mi < num_mixes; ++mi) {
+    for (size_t si = 0; si < kNumSchemes; ++si) {
+      SchemeResult* out = &results[mi * kNumSchemes + si];
+      runner.AddCell(std::string(kMixes[mi].key) + "/" + kSchemes[si],
+                     [mi, si, horizon, out](harness::SweepCell& cell) {
+                       RunSchemeCell(cell, mi, si, horizon, out);
+                     });
+    }
+  }
+  runner.Run();
+
+  for (size_t mi = 0; mi < num_mixes; ++mi) {
+    const Mix& mix = kMixes[mi];
+    std::printf("\n%s\n", mix.title);
+    bench::PrintRule(86);
+    std::printf("%-11s %10s %10s %10s %10s %6s %7s  %s\n", "scheme",
+                mix.a_label, mix.b_label, "combined", "slowdown", "intvl",
+                "writes", "final masks");
+    bench::PrintRule(86);
+    for (size_t si = 0; si < kNumSchemes; ++si) {
+      const SchemeResult& r = results[mi * kNumSchemes + si];
+      const double norm_a = r.a / r.iso_a;
+      const double norm_b = r.b / r.iso_b;
+      // Worst per-stream slowdown vs isolated execution (fairness metric).
+      const double worst = norm_a < norm_b ? norm_a : norm_b;
+      std::printf("%-11s %10.2f %10.2f %10.2f %9.0f%% %6u %7llu  %s\n",
+                  kSchemes[si], norm_a, norm_b, norm_a + norm_b,
+                  (1.0 - worst) * 100.0, r.intervals,
+                  static_cast<unsigned long long>(r.schemata_writes),
+                  MasksLabel(r.final_masks).c_str());
+    }
+    bench::PrintRule(86);
+  }
+
+  std::printf(
+      "\nThe measurement-driven allocators need no annotations: the shadow\n"
+      "profiler's miss-rate curves expose the scan/join as cache-insensitive\n"
+      "and the lookahead allocator confines it like the paper's static\n"
+      "scheme does — while sizing the aggregation's partition from its\n"
+      "measured saturation point instead of a hand-picked mask. The\n"
+      "fairness allocator trades a little combined throughput for bounded\n"
+      "per-stream slowdown.\n");
+  bench::FinishSweepBench(&runner, opts);
+  return 0;
+}

@@ -62,10 +62,13 @@ int main(int argc, char** argv) {
   // unrestricted entry.
   CellResult baseline;
   runner.AddCell("baseline", MakeScanCell(full_ways, &baseline));
-  std::vector<CellResult> results(bench::kWaySweep.size());
-  for (size_t i = 0; i < bench::kWaySweep.size(); ++i) {
-    runner.AddCell("ways" + std::to_string(bench::kWaySweep[i]),
-                   MakeScanCell(bench::kWaySweep[i], &results[i]));
+  // --smoke: one restricted cell (plus the baseline) instead of the sweep.
+  const std::vector<uint32_t> sweep =
+      opts.smoke ? std::vector<uint32_t>{2} : bench::kWaySweep;
+  std::vector<CellResult> results(sweep.size());
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    runner.AddCell("ways" + std::to_string(sweep[i]),
+                   MakeScanCell(sweep[i], &results[i]));
   }
   runner.Run();
 
@@ -76,8 +79,8 @@ int main(int argc, char** argv) {
   bench::PrintRule(72);
 
   obs::RunReportWriter& report = runner.report();
-  for (size_t i = 0; i < bench::kWaySweep.size(); ++i) {
-    const uint32_t ways = bench::kWaySweep[i];
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const uint32_t ways = sweep[i];
     const CellResult& r = results[i];
     std::printf("%-22s %10.3f %12.3f %14.2e\n",
                 bench::WaysLabel(meta, ways).c_str(),

@@ -43,8 +43,9 @@ struct ColumnResult {
 
 // One cell = one (scenario, group-count) column over the whole way axis.
 auto MakeAggColumnCell(const Scenario& sc, size_t group_index,
+                       const std::vector<uint32_t>& sweep,
                        ColumnResult* out) {
-  return [&sc, group_index, out](harness::SweepCell& cell) {
+  return [&sc, group_index, &sweep, out](harness::SweepCell& cell) {
     sim::Machine& machine = cell.MakeMachine();
     const uint32_t groups = workloads::kGroupSizes[group_index];
     const uint32_t dict_entries =
@@ -59,7 +60,7 @@ auto MakeAggColumnCell(const Scenario& sc, size_t group_index,
     const uint32_t full_ways = bench::FullLlcWays(machine);
     out->full_cycles = static_cast<double>(
         bench::WarmIterationCycles(&machine, &query, full_ways));
-    for (uint32_t ways : bench::kWaySweep) {
+    for (uint32_t ways : sweep) {
       const double cycles =
           ways == full_ways
               ? out->full_cycles
@@ -82,18 +83,23 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner runner =
       bench::MakeSweepRunner("fig05_agg_cache_size", opts);
-  std::vector<ColumnResult> results(std::size(kScenarios) * kNumGroups);
-  for (size_t si = 0; si < std::size(kScenarios); ++si) {
-    for (size_t gi = 0; gi < kNumGroups; ++gi) {
+  // --smoke: one (scenario, group-count) cell over a two-point way axis.
+  const size_t num_scenarios = opts.smoke ? 1 : std::size(kScenarios);
+  const size_t num_groups = opts.smoke ? 1 : kNumGroups;
+  const std::vector<uint32_t> sweep =
+      opts.smoke ? std::vector<uint32_t>{20, 2} : bench::kWaySweep;
+  std::vector<ColumnResult> results(num_scenarios * num_groups);
+  for (size_t si = 0; si < num_scenarios; ++si) {
+    for (size_t gi = 0; gi < num_groups; ++gi) {
       runner.AddCell(std::string(kScenarios[si].key) + "/groups" +
                          std::to_string(workloads::kGroupSizes[gi]),
-                     MakeAggColumnCell(kScenarios[si], gi,
-                                       &results[si * kNumGroups + gi]));
+                     MakeAggColumnCell(kScenarios[si], gi, sweep,
+                                       &results[si * num_groups + gi]));
     }
   }
   runner.Run();
 
-  for (size_t si = 0; si < std::size(kScenarios); ++si) {
+  for (size_t si = 0; si < num_scenarios; ++si) {
     const Scenario& sc = kScenarios[si];
     const uint32_t dict_entries =
         workloads::DictEntriesForRatio(meta, sc.dict_ratio);
@@ -101,14 +107,15 @@ int main(int argc, char** argv) {
                 dict_entries * 4.0 / (1024 * 1024), dict_entries);
     bench::PrintRule(78);
     std::printf("%-22s", "cache \\ groups");
-    for (uint32_t g : workloads::kGroupSizes) std::printf(" %9.0e", (double)g);
+    for (size_t gi = 0; gi < num_groups; ++gi) {
+      std::printf(" %9.0e", (double)workloads::kGroupSizes[gi]);
+    }
     std::printf("\n");
     bench::PrintRule(78);
-    for (size_t wi = 0; wi < bench::kWaySweep.size(); ++wi) {
-      std::printf("%-22s",
-                  bench::WaysLabel(meta, bench::kWaySweep[wi]).c_str());
-      for (size_t gi = 0; gi < kNumGroups; ++gi) {
-        std::printf(" %9.3f", results[si * kNumGroups + gi].norm[wi]);
+    for (size_t wi = 0; wi < sweep.size(); ++wi) {
+      std::printf("%-22s", bench::WaysLabel(meta, sweep[wi]).c_str());
+      for (size_t gi = 0; gi < num_groups; ++gi) {
+        std::printf(" %9.3f", results[si * num_groups + gi].norm[wi]);
       }
       std::printf("\n");
     }

@@ -25,8 +25,9 @@ struct ColumnResult {
 };
 
 // One cell = one primary-key count over the whole way axis.
-auto MakeJoinColumnCell(size_t pk_index, ColumnResult* out) {
-  return [pk_index, out](harness::SweepCell& cell) {
+auto MakeJoinColumnCell(size_t pk_index, const std::vector<uint32_t>& sweep,
+                        ColumnResult* out) {
+  return [pk_index, &sweep, out](harness::SweepCell& cell) {
     sim::Machine& machine = cell.MakeMachine();
     const uint32_t keys =
         workloads::PkCountForRatio(machine, workloads::kPkRatios[pk_index]);
@@ -39,7 +40,7 @@ auto MakeJoinColumnCell(size_t pk_index, ColumnResult* out) {
     const uint32_t full_ways = bench::FullLlcWays(machine);
     out->full_cycles = static_cast<double>(
         bench::WarmIterationCycles(&machine, &query, full_ways));
-    for (uint32_t ways : bench::kWaySweep) {
+    for (uint32_t ways : sweep) {
       const double cycles =
           ways == full_ways
               ? out->full_cycles
@@ -62,10 +63,14 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner runner =
       bench::MakeSweepRunner("fig06_join_cache_size", opts);
-  std::vector<ColumnResult> results(std::size(workloads::kPkRatios));
+  // --smoke: one primary-key cell over a two-point way axis.
+  const size_t num_pks = opts.smoke ? 1 : std::size(workloads::kPkRatios);
+  const std::vector<uint32_t> sweep =
+      opts.smoke ? std::vector<uint32_t>{20, 2} : bench::kWaySweep;
+  std::vector<ColumnResult> results(num_pks);
   for (size_t i = 0; i < results.size(); ++i) {
     runner.AddCell(std::string("pk") + workloads::kPkLabels[i],
-                   MakeJoinColumnCell(i, &results[i]));
+                   MakeJoinColumnCell(i, sweep, &results[i]));
   }
   runner.Run();
 
@@ -81,8 +86,8 @@ int main(int argc, char** argv) {
   std::printf("\n");
   bench::PrintRule(78);
 
-  for (size_t wi = 0; wi < bench::kWaySweep.size(); ++wi) {
-    std::printf("%-22s", bench::WaysLabel(meta, bench::kWaySweep[wi]).c_str());
+  for (size_t wi = 0; wi < sweep.size(); ++wi) {
+    std::printf("%-22s", bench::WaysLabel(meta, sweep[wi]).c_str());
     for (size_t i = 0; i < results.size(); ++i) {
       std::printf(" %13.3f", results[i].norm[wi]);
     }

@@ -38,9 +38,9 @@ constexpr size_t kNumGroups = std::size(workloads::kGroupSizes);
 
 // One cell = one (scenario, group-count) pair experiment (isolated A/B,
 // concurrent, partitioned — four runs via RunPair).
-auto MakePairCell(const Scenario& sc, size_t group_index,
+auto MakePairCell(const Scenario& sc, size_t group_index, uint64_t horizon,
                   bench::PairResult* out) {
-  return [&sc, group_index, out](harness::SweepCell& cell) {
+  return [&sc, group_index, horizon, out](harness::SweepCell& cell) {
     sim::Machine& machine = cell.MakeMachine();
     const uint32_t g = workloads::kGroupSizes[group_index];
     auto scan_data = workloads::MakeScanDataset(
@@ -56,7 +56,8 @@ auto MakePairCell(const Scenario& sc, size_t group_index,
     engine::ColumnScanQuery scan(&scan_data.column,
                                  sc.seed + group_index + 100);
 
-    *out = bench::RunPair(&machine, &agg, &scan, engine::PolicyConfig{});
+    *out = bench::RunPair(&machine, &agg, &scan, engine::PolicyConfig{},
+                          horizon);
     bench::AddPairResult(&cell.report(),
                          std::string(sc.key) + "/groups" + std::to_string(g),
                          *out);
@@ -70,19 +71,22 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner runner =
       bench::MakeSweepRunner("fig09_scan_vs_agg", opts);
-  std::vector<bench::PairResult> results(std::size(kScenarios) * kNumGroups);
-  for (size_t si = 0; si < std::size(kScenarios); ++si) {
-    for (size_t gi = 0; gi < kNumGroups; ++gi) {
+  // --smoke: a single (scenario, group-count) cell at the short horizon.
+  const size_t num_scenarios = opts.smoke ? 1 : std::size(kScenarios);
+  const size_t num_groups = opts.smoke ? 1 : kNumGroups;
+  std::vector<bench::PairResult> results(num_scenarios * num_groups);
+  for (size_t si = 0; si < num_scenarios; ++si) {
+    for (size_t gi = 0; gi < num_groups; ++gi) {
       runner.AddCell(std::string(kScenarios[si].key) + "/groups" +
                          std::to_string(workloads::kGroupSizes[gi]),
-                     MakePairCell(kScenarios[si], gi,
-                                  &results[si * kNumGroups + gi]));
+                     MakePairCell(kScenarios[si], gi, bench::HorizonFor(opts),
+                                  &results[si * num_groups + gi]));
     }
   }
   runner.Run();
 
   sim::Machine meta{sim::MachineConfig{}};  // labels only
-  for (size_t si = 0; si < std::size(kScenarios); ++si) {
+  for (size_t si = 0; si < num_scenarios; ++si) {
     const Scenario& sc = kScenarios[si];
     const uint32_t dict_entries =
         workloads::DictEntriesForRatio(meta, sc.dict_ratio);
@@ -93,9 +97,9 @@ int main(int argc, char** argv) {
                 "Q2 conc", "Q2 part", "gain", "Q1 conc", "Q1 part", "gain",
                 "LLC hit");
     bench::PrintRule(88);
-    for (size_t gi = 0; gi < kNumGroups; ++gi) {
+    for (size_t gi = 0; gi < num_groups; ++gi) {
       const uint32_t g = workloads::kGroupSizes[gi];
-      const bench::PairResult& r = results[si * kNumGroups + gi];
+      const bench::PairResult& r = results[si * num_groups + gi];
       std::printf(
           "%8.0e | %9.2f %9.2f %8.0f%% | %9.2f %9.2f %8.0f%% | "
           "%.2f->%.2f\n",

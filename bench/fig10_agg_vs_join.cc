@@ -44,8 +44,8 @@ struct CellResult {
 
 // One cell = one (scenario, group-count) point: both restriction schemes.
 auto MakeJoinPairCell(const Scenario& sc, size_t group_index,
-                      CellResult* out) {
-  return [&sc, group_index, out](harness::SweepCell& cell) {
+                      uint64_t horizon, CellResult* out) {
+  return [&sc, group_index, horizon, out](harness::SweepCell& cell) {
     sim::Machine& machine = cell.MakeMachine();
     const uint32_t g = workloads::kGroupSizes[group_index];
     const uint32_t keys = workloads::PkCountForRatio(machine, sc.pk_ratio);
@@ -67,14 +67,14 @@ auto MakeJoinPairCell(const Scenario& sc, size_t group_index,
     engine::PolicyConfig restrict10;
     restrict10.adaptive_heuristic = false;
     restrict10.adaptive_force_polluting = true;
-    out->r10 = bench::RunPair(&machine, &agg, &join, restrict10);
+    out->r10 = bench::RunPair(&machine, &agg, &join, restrict10, horizon);
 
     // Scheme 2: force them into the 60 % group (the paper's second scheme:
     // 40 % exclusive to the aggregation, 60 % shared).
     engine::PolicyConfig restrict60;
     restrict60.adaptive_heuristic = false;
     restrict60.adaptive_force_polluting = false;
-    out->r60 = bench::RunPair(&machine, &agg, &join, restrict60);
+    out->r60 = bench::RunPair(&machine, &agg, &join, restrict60, horizon);
 
     const std::string key =
         std::string(sc.key) + "/groups" + std::to_string(g);
@@ -90,27 +90,31 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner runner =
       bench::MakeSweepRunner("fig10_agg_vs_join", opts);
-  std::vector<CellResult> results(std::size(kScenarios) * kNumGroups);
-  for (size_t si = 0; si < std::size(kScenarios); ++si) {
-    for (size_t gi = 0; gi < kNumGroups; ++gi) {
+  // --smoke: a single (scenario, group-count) cell at the short horizon.
+  const size_t num_scenarios = opts.smoke ? 1 : std::size(kScenarios);
+  const size_t num_groups = opts.smoke ? 1 : kNumGroups;
+  std::vector<CellResult> results(num_scenarios * num_groups);
+  for (size_t si = 0; si < num_scenarios; ++si) {
+    for (size_t gi = 0; gi < num_groups; ++gi) {
       runner.AddCell(std::string(kScenarios[si].key) + "/groups" +
                          std::to_string(workloads::kGroupSizes[gi]),
                      MakeJoinPairCell(kScenarios[si], gi,
-                                      &results[si * kNumGroups + gi]));
+                                      bench::HorizonFor(opts),
+                                      &results[si * num_groups + gi]));
     }
   }
   runner.Run();
 
-  for (size_t si = 0; si < std::size(kScenarios); ++si) {
+  for (size_t si = 0; si < num_scenarios; ++si) {
     const Scenario& sc = kScenarios[si];
     std::printf("\nFig. 10 %s — bit vector %.0f KiB\n", sc.title,
-                results[si * kNumGroups].bits_kib);
+                results[si * num_groups].bits_kib);
     bench::PrintRule(92);
     std::printf("%8s | %8s %8s %8s | %8s %8s %8s\n", "groups", "Q2 conc",
                 "Q2 @10%", "Q2 @60%", "Q3 conc", "Q3 @10%", "Q3 @60%");
     bench::PrintRule(92);
-    for (size_t gi = 0; gi < kNumGroups; ++gi) {
-      const CellResult& r = results[si * kNumGroups + gi];
+    for (size_t gi = 0; gi < num_groups; ++gi) {
+      const CellResult& r = results[si * num_groups + gi];
       std::printf("%8.0e | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f\n",
                   static_cast<double>(workloads::kGroupSizes[gi]),
                   r.r10.norm_conc_a(), r.r10.norm_part_a(),

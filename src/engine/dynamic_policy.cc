@@ -21,17 +21,38 @@ std::string StreamGroupName(size_t index) {
 
 }  // namespace
 
+Status ValidateDynamicPolicyConfig(const DynamicPolicyConfig& config,
+                                   uint32_t llc_ways) {
+  if (config.interval_cycles < 1) {
+    return Status::InvalidArgument(
+        "interval_cycles must be nonzero (a zero interval never advances "
+        "the executor)");
+  }
+  if (config.polluting_ways < 1 || config.polluting_ways > llc_ways) {
+    return Status::InvalidArgument(
+        "polluting_ways must be in [1, llc_ways]: a zero-way CAT mask is "
+        "invalid and an over-wide one exceeds the schemata width");
+  }
+  if (config.polluter_bandwidth_share < 0.0 ||
+      config.polluter_bandwidth_share > 1.0 ||
+      config.polluter_hit_ratio < 0.0 || config.polluter_hit_ratio > 1.0) {
+    return Status::InvalidArgument(
+        "polluter thresholds are ratios and must lie in [0, 1]");
+  }
+  return Status::OK();
+}
+
 DynamicClassifier::DynamicClassifier(const DynamicPolicyConfig& config,
                                      size_t num_streams)
     : config_(config),
       restricted_(num_streams, false),
       clean_streak_(num_streams, 0) {
   CATDB_CHECK(num_streams >= 1);
-  CATDB_CHECK(config_.unrestrict_intervals >= 1);
 }
 
 DynamicClassifier::Decision DynamicClassifier::OnInterval(
-    size_t stream, double bandwidth_share, double hit_ratio) {
+    size_t stream, double bandwidth_share, double hit_ratio,
+    uint64_t lookups) {
   CATDB_CHECK(stream < restricted_.size());
   const bool polluter =
       bandwidth_share >= config_.polluter_bandwidth_share &&
@@ -44,13 +65,24 @@ DynamicClassifier::Decision DynamicClassifier::OnInterval(
     d.changed = !restricted_[stream];
     restricted_[stream] = true;
   } else if (restricted_[stream]) {
-    // Widening requires a streak of clean intervals: one idle interval
-    // (a stalled polluter reads as hit_ratio 1.0) must not flap the mask.
-    clean_streak_[stream] += 1;
-    if (clean_streak_[stream] >= config_.unrestrict_intervals) {
-      restricted_[stream] = false;
-      clean_streak_[stream] = 0;
-      d.changed = true;
+    if (lookups == 0 && bandwidth_share > 0.0) {
+      // Ambiguous interval: the stream moved data but had no demand LLC
+      // lookups to judge (pure prefetch fills, or it stalled behind the
+      // DRAM queue and its idle hit_ratio defaults to 1.0). Not evidence
+      // of polluting, but not evidence of a clean phase either — hold the
+      // streak where it is.
+    } else {
+      // Widening requires a streak of clean intervals: one idle interval
+      // must not flap the mask. unrestrict_intervals == 0 disables the
+      // hysteresis (first clean interval widens, same as 1).
+      clean_streak_[stream] += 1;
+      const uint32_t needed =
+          config_.unrestrict_intervals > 0 ? config_.unrestrict_intervals : 1;
+      if (clean_streak_[stream] >= needed) {
+        restricted_[stream] = false;
+        clean_streak_[stream] = 0;
+        d.changed = true;
+      }
     }
   }
   d.restricted = restricted_[stream];
@@ -63,7 +95,11 @@ DynamicRunReport RunWorkloadDynamic(sim::Machine* machine,
                                     const DynamicPolicyConfig& config) {
   CATDB_CHECK(machine != nullptr);
   CATDB_CHECK(!specs.empty());
-  CATDB_CHECK(config.interval_cycles >= 1);
+  {
+    const Status st = ValidateDynamicPolicyConfig(
+        config, machine->config().hierarchy.llc.num_ways);
+    CATDB_CHECK(st.ok());
+  }
 
   machine->ResetForRun();
   machine->resctrl().Reset();
@@ -76,14 +112,13 @@ DynamicRunReport RunWorkloadDynamic(sim::Machine* machine,
 
   // Both masks come from the policy's validated helper: the former
   // hand-rolled shifts were UB for a 64-way LLC and produced an all-zero
-  // (CAT-invalid) schemata mask for polluting_ways == 0.
+  // (CAT-invalid) schemata mask for polluting_ways == 0. The way counts
+  // themselves were range-checked by ValidateDynamicPolicyConfig above.
   const uint32_t llc_ways = machine->config().hierarchy.llc.num_ways;
-  uint32_t polluting_ways = config.polluting_ways;
-  if (polluting_ways < 1) polluting_ways = 1;
-  if (polluting_ways > llc_ways) polluting_ways = llc_ways;
   const PartitioningPolicy& mask_policy = scheduler.policy();
   const uint64_t full_mask = mask_policy.MaskForWays(llc_ways);
-  const uint64_t polluting_mask = mask_policy.MaskForWays(polluting_ways);
+  const uint64_t polluting_mask =
+      mask_policy.MaskForWays(config.polluting_ways);
   CATDB_DCHECK(IsContiguousMask(full_mask));
   CATDB_DCHECK(IsContiguousMask(polluting_mask));
 
@@ -136,7 +171,8 @@ DynamicRunReport RunWorkloadDynamic(sim::Machine* machine,
     for (size_t i = 0; i < specs.size(); ++i) {
       const obs::ClosIntervalSample& cs = sample.clos[i];
       const DynamicClassifier::Decision decision =
-          classifier.OnInterval(i, cs.bandwidth_share, cs.hit_ratio);
+          classifier.OnInterval(i, cs.bandwidth_share, cs.hit_ratio,
+                                cs.llc_hits_delta + cs.llc_misses_delta);
       if (decision.changed) {
         const uint64_t mask =
             decision.restricted ? polluting_mask : full_mask;

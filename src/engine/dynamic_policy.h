@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/runner.h"
 #include "obs/interval_sampler.h"
 
@@ -33,9 +34,17 @@ struct DynamicPolicyConfig {
   /// flapping: a polluter stalled behind the DRAM queue for one interval
   /// (lookups_delta == 0 reads as the idle hit_ratio default of 1.0) would
   /// otherwise be unrestricted and instantly re-restricted, burning two
-  /// schemata writes per flap.
+  /// schemata writes per flap. 0 disables the hysteresis entirely: the
+  /// first clean interval widens immediately (same as 1).
   uint32_t unrestrict_intervals = 2;
 };
+
+/// Validates a dynamic-controller configuration against the machine's LLC
+/// width. Returns InvalidArgument instead of letting a zero interval spin
+/// the controller or an out-of-range way count produce a degenerate
+/// (empty or over-wide) CAT mask.
+Status ValidateDynamicPolicyConfig(const DynamicPolicyConfig& config,
+                                   uint32_t llc_ways);
 
 /// Per-interval classification + hysteresis state machine of the dynamic
 /// controller, factored out of the run loop so the decision logic is
@@ -53,9 +62,13 @@ class DynamicClassifier {
   /// resulting state. `bandwidth_share` is the stream's share of the DRAM
   /// channel capacity within the interval (obs::ChannelBandwidthShare over
   /// the *actual* interval length); `hit_ratio` its demand LLC hit ratio
-  /// (1.0 when it had no LLC lookups).
+  /// (1.0 when it had no LLC lookups); `lookups` the demand LLC lookups
+  /// behind that ratio. An interval that moved data without demand lookups
+  /// (lookups == 0, bandwidth_share > 0 — e.g. pure prefetch fills, or a
+  /// stream stalled behind the DRAM queue) is ambiguous: it neither counts
+  /// toward nor resets the clean streak.
   Decision OnInterval(size_t stream, double bandwidth_share,
-                      double hit_ratio);
+                      double hit_ratio, uint64_t lookups);
 
   bool restricted(size_t stream) const { return restricted_[stream]; }
 

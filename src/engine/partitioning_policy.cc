@@ -5,6 +5,34 @@
 
 namespace catdb::engine {
 
+Status ValidatePolicyConfig(const PolicyConfig& config, uint32_t llc_ways) {
+  if (llc_ways < 1) {
+    return Status::InvalidArgument("llc_ways must be at least 1");
+  }
+  if (config.enabled) {
+    if (config.polluting_ways < 1 || config.polluting_ways > llc_ways) {
+      return Status::InvalidArgument(
+          "polluting_ways must be in [1, llc_ways]: a zero-way CAT mask is "
+          "invalid and an over-wide one exceeds the schemata width");
+    }
+    if (config.shared_ways < 1 || config.shared_ways > llc_ways) {
+      return Status::InvalidArgument(
+          "shared_ways must be in [1, llc_ways]");
+    }
+  }
+  if (config.instance_ways > llc_ways) {
+    return Status::InvalidArgument(
+        "instance_ways must not exceed llc_ways (0 means all ways)");
+  }
+  if (!(config.adaptive_l2_fit >= 0.0) ||
+      !(config.adaptive_l2_fit < config.adaptive_high)) {
+    return Status::InvalidArgument(
+        "adaptive bounds must satisfy 0 <= adaptive_l2_fit < adaptive_high "
+        "(inverted bounds classify every adaptive job as polluting)");
+  }
+  return Status::OK();
+}
+
 PartitioningPolicy::PartitioningPolicy(const PolicyConfig& config,
                                        uint64_t llc_bytes, uint32_t llc_ways,
                                        uint64_t l2_bytes)
@@ -12,15 +40,11 @@ PartitioningPolicy::PartitioningPolicy(const PolicyConfig& config,
       llc_bytes_(llc_bytes),
       llc_ways_(llc_ways),
       l2_bytes_(l2_bytes) {
-  CATDB_CHECK(llc_ways_ >= 1);
-  CATDB_CHECK(config_.polluting_ways >= 1);
-  CATDB_CHECK(config_.shared_ways >= 1);
-  // The defaults (2 and 12 of 20 ways — the paper's 0x3 and 0xfff) are
-  // clamped on machines with narrower LLCs so one PolicyConfig works for
-  // any simulated geometry.
-  if (config_.polluting_ways > llc_ways_) config_.polluting_ways = llc_ways_;
-  if (config_.shared_ways > llc_ways_) config_.shared_ways = llc_ways_;
-  if (config_.instance_ways > llc_ways_) config_.instance_ways = llc_ways_;
+  // Out-of-range way counts used to be clamped here silently; an enabled
+  // scheme asking for 12 shared ways on an 8-way LLC now fails validation
+  // instead of quietly running a different partition than configured.
+  const Status st = ValidatePolicyConfig(config_, llc_ways_);
+  CATDB_CHECK(st.ok());
 }
 
 uint64_t PartitioningPolicy::MaskForWays(uint32_t ways) const {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "engine/job.h"
 
 namespace catdb::engine {
@@ -54,8 +55,19 @@ struct PolicyConfig {
   uint32_t instance_ways = 0;
 };
 
+/// Validates a partitioning configuration against the machine's LLC width.
+/// Returns InvalidArgument for configurations that would program degenerate
+/// CAT masks: a zero-way mask is invalid under CAT, an over-wide one exceeds
+/// the schemata width, and inverted adaptive bounds make the working-set
+/// heuristic classify every job the same way. The way-count bounds apply
+/// only when the scheme is enabled — a disabled config carries its (unused)
+/// defaults onto machines of any geometry.
+Status ValidatePolicyConfig(const PolicyConfig& config, uint32_t llc_ways);
+
 /// Maps a job's cache-usage annotation to a resctrl resource group according
-/// to the configured scheme.
+/// to the configured scheme. Construction requires a configuration that
+/// passes ValidatePolicyConfig for the given LLC width (checked; callers
+/// holding untrusted configs validate first and handle the Status).
 class PartitioningPolicy {
  public:
   PartitioningPolicy(const PolicyConfig& config, uint64_t llc_bytes,

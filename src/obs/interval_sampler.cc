@@ -58,6 +58,11 @@ const IntervalSample& IntervalSampler::Sample(uint64_t cycle_end) {
                        : static_cast<double>(cs.llc_hits_delta) / lookups;
     cs.bandwidth_share = ChannelBandwidthShare(cs.mbm_lines_delta, interval,
                                                dram_transfer_cycles_);
+    if (shadow_profiler_ != nullptr) {
+      simcache::MissRateCurve curve = shadow_profiler_->Curve(w.clos);
+      cs.mrc_hits_at_ways = std::move(curve.hits_at_ways);
+      cs.mrc_accesses = curve.accesses;
+    }
     w.prev_mbm = mon.mbm_lines;
     w.prev_hits = mon.llc.hits;
     w.prev_misses = mon.llc.misses;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "simcache/hierarchy.h"
+#include "simcache/shadow_profiler.h"
 
 namespace catdb::obs {
 
@@ -34,6 +35,12 @@ struct ClosIntervalSample {
   /// Share of the DRAM channel's line capacity this class consumed within
   /// the interval (the MBM-derived polluter signal).
   double bandwidth_share = 0.0;
+  /// Shadow-tag miss-rate curve snapshot at the interval end (aged
+  /// cumulative counters; empty when no profiler is attached). Index w-1
+  /// holds the demand LLC lookups the class would have hit with w ways.
+  std::vector<uint64_t> mrc_hits_at_ways;
+  /// Sampled demand lookups backing the curve (the MRC denominator).
+  uint64_t mrc_accesses = 0;
 };
 
 /// One interval snapshot: the window and its per-CLOS samples, plus the
@@ -61,6 +68,13 @@ class IntervalSampler {
   /// resource group). Must be called before the first Sample().
   void Watch(uint32_t clos, std::string group_name);
 
+  /// Binds a shadow-tag profiler (nullptr = none): every subsequent sample
+  /// carries each watched class's miss-rate curve snapshot, so MRCs flow
+  /// into run reports and traces alongside the CMT/MBM counters.
+  void AttachShadowProfiler(const simcache::ShadowTagProfiler* profiler) {
+    shadow_profiler_ = profiler;
+  }
+
   /// Takes one sample covering (previous cycle_end, `cycle_end`]. Intervals
   /// may have different lengths; the final short interval before a horizon
   /// is measured over its actual length.
@@ -79,6 +93,7 @@ class IntervalSampler {
   };
 
   const simcache::MemoryHierarchy* hierarchy_;
+  const simcache::ShadowTagProfiler* shadow_profiler_ = nullptr;
   uint64_t dram_transfer_cycles_;
   uint64_t prev_cycle_ = 0;
   simcache::LevelStats prev_llc_{};

@@ -80,6 +80,14 @@ void AppendIntervalSample(JsonWriter& w, const IntervalSample& sample) {
     w.KV("llc_misses_delta", cs.llc_misses_delta);
     w.KV("hit_ratio", cs.hit_ratio);
     w.KV("bandwidth_share", cs.bandwidth_share);
+    // Shadow-tag MRC snapshot: present only when a profiler was attached,
+    // so reports of unprofiled runs keep their pre-existing layout.
+    if (!cs.mrc_hits_at_ways.empty()) {
+      w.KV("mrc_accesses", cs.mrc_accesses);
+      w.Key("mrc_hits_at_ways").BeginArray();
+      for (uint64_t h : cs.mrc_hits_at_ways) w.Value(h);
+      w.EndArray();
+    }
     w.EndObject();
   }
   w.EndArray();
@@ -101,6 +109,28 @@ void AppendDynamicRunReport(JsonWriter& w,
   for (const uint32_t i : report.restricted_at_interval) {
     w.Value(static_cast<uint64_t>(i));
   }
+  w.EndArray();
+  w.Key("interval_series").BeginArray();
+  for (const IntervalSample& s : report.interval_series) {
+    AppendIntervalSample(w, s);
+  }
+  w.EndArray();
+  w.Key("report");
+  AppendRunReport(w, report.report);
+  w.EndObject();
+}
+
+void AppendPolicyRunReport(JsonWriter& w,
+                           const policy::PolicyRunReport& report) {
+  w.BeginObject();
+  w.KV("allocator", report.allocator_name);
+  w.KV("intervals", static_cast<uint64_t>(report.intervals));
+  w.KV("schemata_writes", report.schemata_writes);
+  w.Key("group_names").BeginArray();
+  for (const std::string& g : report.group_names) w.Value(g);
+  w.EndArray();
+  w.Key("final_masks").BeginArray();
+  for (const uint64_t m : report.final_masks) w.Value(m);
   w.EndArray();
   w.Key("interval_series").BeginArray();
   for (const IntervalSample& s : report.interval_series) {
@@ -175,6 +205,15 @@ void RunReportWriter::AddRounds(std::string name,
   entries_.push_back(std::move(e));
 }
 
+void RunReportWriter::AddPolicyRun(std::string name,
+                                   policy::PolicyRunReport report) {
+  Entry e;
+  e.kind = Kind::kPolicy;
+  e.name = std::move(name);
+  e.policy = std::move(report);
+  entries_.push_back(std::move(e));
+}
+
 void RunReportWriter::MergeFrom(RunReportWriter&& shard) {
   for (auto& param : shard.params_) params_.push_back(std::move(param));
   for (Entry& entry : shard.entries_) entries_.push_back(std::move(entry));
@@ -219,6 +258,11 @@ std::string RunReportWriter::Json() const {
         w.KV("kind", "rounds");
         w.Key("rounds");
         AppendRoundsReport(w, e.rounds);
+        break;
+      case Kind::kPolicy:
+        w.KV("kind", "policy");
+        w.Key("policy");
+        AppendPolicyRunReport(w, e.policy);
         break;
       case Kind::kScalar:
         w.KV("kind", "scalar");

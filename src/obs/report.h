@@ -12,6 +12,7 @@
 #include "engine/runner.h"
 #include "obs/interval_sampler.h"
 #include "obs/json.h"
+#include "policy/policy_engine.h"
 
 namespace catdb::obs {
 
@@ -29,6 +30,8 @@ void AppendIntervalSample(JsonWriter& w, const IntervalSample& sample);
 void AppendDynamicRunReport(JsonWriter& w,
                             const engine::DynamicRunReport& report);
 void AppendRoundsReport(JsonWriter& w, const engine::RoundsReport& report);
+void AppendPolicyRunReport(JsonWriter& w,
+                           const policy::PolicyRunReport& report);
 
 /// Accumulates the results of one benchmark binary into a single JSON run
 /// report: `{"schema": ..., "benchmark": ..., "params": {...},
@@ -48,6 +51,7 @@ class RunReportWriter {
   void AddRun(std::string name, engine::RunReport report);
   void AddDynamicRun(std::string name, engine::DynamicRunReport report);
   void AddRounds(std::string name, engine::RoundsReport report);
+  void AddPolicyRun(std::string name, policy::PolicyRunReport report);
   void AddScalar(std::string name, double value);
 
   size_t num_results() const { return entries_.size(); }
@@ -63,7 +67,7 @@ class RunReportWriter {
   Status WriteFile(const std::string& path) const;
 
  private:
-  enum class Kind : uint8_t { kRun, kDynamic, kRounds, kScalar };
+  enum class Kind : uint8_t { kRun, kDynamic, kRounds, kPolicy, kScalar };
 
   struct Entry {
     Kind kind;
@@ -71,6 +75,7 @@ class RunReportWriter {
     engine::RunReport run;
     engine::DynamicRunReport dynamic;
     engine::RoundsReport rounds;
+    policy::PolicyRunReport policy;
     double scalar = 0;
   };
 

@@ -1,0 +1,240 @@
+#include "policy/way_allocator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace catdb::policy {
+
+namespace {
+
+/// All streams keep the full cache — the fallback when the LLC has fewer
+/// ways than there are streams and disjoint partitions cannot exist.
+std::vector<uint64_t> AllFullMasks(size_t n, uint32_t llc_ways) {
+  return std::vector<uint64_t>(n, MaskForWays(llc_ways));
+}
+
+/// Stacks disjoint contiguous segments of `ways[i]` bits from bit `offset`
+/// upwards, in stream order. Requires offset + sum(ways) <= llc_ways.
+std::vector<uint64_t> StackSegments(const std::vector<uint32_t>& ways,
+                                    uint32_t offset) {
+  std::vector<uint64_t> masks(ways.size());
+  for (size_t i = 0; i < ways.size(); ++i) {
+    CATDB_DCHECK(ways[i] >= 1);
+    masks[i] = MaskForWays(ways[i]) << offset;
+    offset += ways[i];
+  }
+  return masks;
+}
+
+}  // namespace
+
+uint64_t StreamProfile::HitsAtWays(uint32_t ways) const {
+  if (ways == 0 || mrc_hits_at_ways.empty()) return 0;
+  const size_t idx = std::min<size_t>(ways, mrc_hits_at_ways.size()) - 1;
+  return mrc_hits_at_ways[idx];
+}
+
+// ---------------------------------------------------------------------------
+// StaticPaperAllocator
+
+StaticPaperAllocator::StaticPaperAllocator(const engine::PolicyConfig& config,
+                                           std::vector<bool> polluting)
+    : config_(config), polluting_(std::move(polluting)) {}
+
+std::vector<uint64_t> StaticPaperAllocator::Allocate(
+    const std::vector<StreamProfile>& streams, uint32_t llc_ways) {
+  CATDB_CHECK(llc_ways >= 1);
+  CATDB_CHECK(polluting_.size() == streams.size());
+  uint32_t polluting_ways = std::max<uint32_t>(config_.polluting_ways, 1);
+  polluting_ways = std::min(polluting_ways, llc_ways);
+  std::vector<uint64_t> masks(streams.size());
+  for (size_t i = 0; i < streams.size(); ++i) {
+    masks[i] =
+        polluting_[i] ? MaskForWays(polluting_ways) : MaskForWays(llc_ways);
+  }
+  return masks;
+}
+
+// ---------------------------------------------------------------------------
+// LookaheadUtilityAllocator
+
+LookaheadUtilityAllocator::LookaheadUtilityAllocator(
+    const LookaheadConfig& config)
+    : config_(config) {
+  CATDB_CHECK(config_.min_ways >= 1);
+}
+
+std::vector<uint64_t> LookaheadUtilityAllocator::Allocate(
+    const std::vector<StreamProfile>& streams, uint32_t llc_ways) {
+  CATDB_CHECK(llc_ways >= 1);
+  const size_t n = streams.size();
+  if (n == 0) return {};
+  if (llc_ways < n) return AllFullMasks(n, llc_ways);
+
+  // Feasible per-stream floor: the configured minimum, shrunk so the floors
+  // alone never exceed the cache.
+  const uint32_t floor_ways = std::max<uint32_t>(
+      1, std::min<uint32_t>(config_.min_ways,
+                            llc_ways / static_cast<uint32_t>(n)));
+  std::vector<uint32_t> alloc(n, floor_ways);
+  uint32_t balance = llc_ways - floor_ways * static_cast<uint32_t>(n);
+
+  // Lookahead greedy (Qureshi & Patt): each round, every stream bids its
+  // best marginal utility — extra shadow hits per added way, maximized over
+  // all extensions the balance allows (looking *ahead* past utility
+  // plateaus) — and the highest bidder wins its extension. Ties go to the
+  // smallest extension of the lowest-indexed stream, so the result is
+  // deterministic.
+  while (balance > 0) {
+    double best_mu = 0.0;
+    size_t best_i = 0;
+    uint32_t best_k = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t base = streams[i].HitsAtWays(alloc[i]);
+      for (uint32_t k = 1; k <= balance; ++k) {
+        const uint64_t gain = streams[i].HitsAtWays(alloc[i] + k) - base;
+        const double mu = static_cast<double>(gain) / k;
+        if (mu > best_mu) {
+          best_mu = mu;
+          best_i = i;
+          best_k = k;
+        }
+      }
+    }
+    if (best_k == 0) break;  // no stream gains anything from more cache
+    alloc[best_i] += best_k;
+    balance -= best_k;
+  }
+
+  // Zero-utility leftovers (cold curves, or every stream saturated): deal
+  // the remaining ways round-robin so the partition still tiles the LLC.
+  for (size_t i = 0; balance > 0; i = (i + 1) % n, --balance) {
+    alloc[i] += 1;
+  }
+
+  return StackSegments(alloc, /*offset=*/0);
+}
+
+// ---------------------------------------------------------------------------
+// FairnessClusterAllocator
+
+FairnessClusterAllocator::FairnessClusterAllocator(
+    const FairnessConfig& config)
+    : config_(config) {
+  CATDB_CHECK(config_.min_ways >= 1);
+  CATDB_CHECK(config_.shared_ways >= 1);
+  CATDB_CHECK(config_.streaming_hit_ratio >= 0.0);
+  CATDB_CHECK(config_.saturation_fraction > 0.0 &&
+              config_.saturation_fraction <= 1.0);
+}
+
+std::vector<uint64_t> FairnessClusterAllocator::Allocate(
+    const std::vector<StreamProfile>& streams, uint32_t llc_ways) {
+  CATDB_CHECK(llc_ways >= 1);
+  const size_t n = streams.size();
+  if (n == 0) return {};
+
+  // Cluster by MRC shape: a stream that would still miss nearly everything
+  // with the *whole* cache is streaming — isolated capacity is wasted on it.
+  // Cold streams (no shadow observations yet) count as sensitive: never
+  // punish a stream for not having been measured.
+  std::vector<size_t> sensitive;
+  std::vector<bool> streaming(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    const StreamProfile& p = streams[i];
+    if (p.mrc_accesses > 0) {
+      const double full_ratio =
+          static_cast<double>(p.HitsAtWays(llc_ways)) /
+          static_cast<double>(p.mrc_accesses);
+      streaming[i] = full_ratio < config_.streaming_hit_ratio;
+    }
+    if (!streaming[i]) sensitive.push_back(i);
+  }
+
+  // Degenerate clusters: with no sensitive stream there is nothing to
+  // protect (everyone keeps the full cache); with no streaming stream the
+  // isolated partitions take the whole LLC.
+  if (sensitive.empty()) return AllFullMasks(n, llc_ways);
+  const size_t ns = sensitive.size();
+  uint32_t shared_ways = 0;
+  if (sensitive.size() < n) {
+    shared_ways = std::min(config_.shared_ways, llc_ways);
+    // The isolated region must fit at least one way per sensitive stream;
+    // shrink the shared partition before giving up.
+    while (shared_ways > 1 && llc_ways - shared_ways < ns) --shared_ways;
+    if (llc_ways - shared_ways < ns) return AllFullMasks(n, llc_ways);
+  } else if (llc_ways < ns) {
+    return AllFullMasks(n, llc_ways);
+  }
+  const uint32_t avail = llc_ways - shared_ways;
+
+  // Each sensitive stream demands its saturation point: the smallest way
+  // count reaching `saturation_fraction` of its maximum shadow hits.
+  const uint32_t floor_ways = std::max<uint32_t>(
+      1, std::min<uint32_t>(config_.min_ways,
+                            avail / static_cast<uint32_t>(ns)));
+  std::vector<uint32_t> demand(ns, floor_ways);
+  for (size_t s = 0; s < ns; ++s) {
+    const StreamProfile& p = streams[sensitive[s]];
+    const uint64_t max_hits = p.HitsAtWays(llc_ways);
+    if (max_hits == 0) continue;  // unknown benefit: stay at the floor
+    const double target = config_.saturation_fraction *
+                          static_cast<double>(max_hits);
+    for (uint32_t w = 1; w <= llc_ways; ++w) {
+      if (static_cast<double>(p.HitsAtWays(w)) >= target) {
+        demand[s] = std::max(floor_ways, w);
+        break;
+      }
+    }
+  }
+
+  // Scale demands onto the isolated region: everyone starts at the floor,
+  // the remainder goes proportional to excess demand by largest remainder
+  // (integer arithmetic; ties to the lowest index). The grants always sum
+  // to `avail`, so the isolated partitions tile [shared_ways, llc_ways).
+  std::vector<uint32_t> alloc(ns, floor_ways);
+  uint32_t extra = avail - floor_ways * static_cast<uint32_t>(ns);
+  uint64_t total_weight = 0;
+  std::vector<uint64_t> weight(ns, 0);
+  for (size_t s = 0; s < ns; ++s) {
+    weight[s] = demand[s] - floor_ways;
+    total_weight += weight[s];
+  }
+  if (total_weight > 0 && extra > 0) {
+    uint32_t granted = 0;
+    std::vector<std::pair<uint64_t, size_t>> remainders;
+    for (size_t s = 0; s < ns; ++s) {
+      const uint64_t share = static_cast<uint64_t>(extra) * weight[s];
+      const uint32_t base = static_cast<uint32_t>(share / total_weight);
+      alloc[s] += base;
+      granted += base;
+      remainders.emplace_back(share % total_weight, s);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (size_t r = 0; granted < extra; ++r, ++granted) {
+      alloc[remainders[r % ns].second] += 1;
+    }
+    extra = 0;
+  }
+  // No excess demand anywhere: deal the leftover round-robin.
+  for (size_t s = 0; extra > 0; s = (s + 1) % ns, --extra) {
+    alloc[s] += 1;
+  }
+
+  std::vector<uint64_t> isolated = StackSegments(alloc, shared_ways);
+  std::vector<uint64_t> masks(n);
+  for (size_t s = 0; s < ns; ++s) masks[sensitive[s]] = isolated[s];
+  for (size_t i = 0; i < n; ++i) {
+    if (streaming[i]) masks[i] = MaskForWays(shared_ways);
+  }
+  return masks;
+}
+
+}  // namespace catdb::policy

@@ -1,0 +1,139 @@
+#ifndef CATDB_POLICY_WAY_ALLOCATOR_H_
+#define CATDB_POLICY_WAY_ALLOCATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/partitioning_policy.h"
+
+namespace catdb::policy {
+
+/// One stream's measured cache behaviour over a decision interval — the
+/// input every way allocator decides on. Produced by the policy engine from
+/// the interval sampler (CMT/MBM deltas) and the shadow-tag profiler (the
+/// miss-rate curve).
+struct StreamProfile {
+  /// Shadow-tag miss-rate curve: index w-1 holds the sampled demand LLC
+  /// lookups the stream would have hit with w ways. Empty when no profiler
+  /// observations exist yet (cold start).
+  std::vector<uint64_t> mrc_hits_at_ways;
+  /// Sampled demand lookups backing the curve (the MRC denominator).
+  uint64_t mrc_accesses = 0;
+  /// Share of the DRAM channel's line capacity consumed in the interval.
+  double bandwidth_share = 0.0;
+  /// Demand LLC hit ratio in the interval (1.0 when there were no lookups).
+  double hit_ratio = 1.0;
+  /// Unsampled demand LLC lookups in the interval.
+  uint64_t llc_lookups = 0;
+
+  /// Hits the stream would see with `ways` ways (clamped to the curve).
+  uint64_t HitsAtWays(uint32_t ways) const;
+};
+
+/// Strategy interface: turn per-stream profiles into one CAT capacity mask
+/// per stream. Every returned mask must be non-empty, contiguous, and lie
+/// within the lowest `llc_ways` bits — the Intel CAT validity rules; the
+/// policy engine DCHECKs them and the property tests enforce them for every
+/// implementation. Masks of different streams may overlap (CAT allows it;
+/// the paper's own static scheme overlaps the polluting and shared masks).
+class WayAllocator {
+ public:
+  virtual ~WayAllocator() = default;
+
+  /// Short scheme name used in reports ("static", "lookahead", ...).
+  virtual const std::string& name() const = 0;
+
+  /// One mask per entry of `streams`. `llc_ways` is the LLC associativity
+  /// (the CAT mask width). Must be deterministic: equal inputs yield equal
+  /// masks, with all ties broken by stream index.
+  virtual std::vector<uint64_t> Allocate(
+      const std::vector<StreamProfile>& streams, uint32_t llc_ways) = 0;
+};
+
+/// The paper's static scheme lifted to stream granularity: streams annotated
+/// cache-polluting share the low `polluting_ways` mask, everything else keeps
+/// the full cache (the default group's mask). Ignores the profiles — this is
+/// the a-priori-annotation baseline the measurement-driven allocators are
+/// compared against.
+class StaticPaperAllocator : public WayAllocator {
+ public:
+  /// `polluting[i]` is stream i's static annotation (the per-operator CUID
+  /// classification of Section V-B, applied per stream).
+  StaticPaperAllocator(const engine::PolicyConfig& config,
+                       std::vector<bool> polluting);
+
+  const std::string& name() const override { return name_; }
+  std::vector<uint64_t> Allocate(const std::vector<StreamProfile>& streams,
+                                 uint32_t llc_ways) override;
+
+ private:
+  engine::PolicyConfig config_;
+  std::vector<bool> polluting_;
+  std::string name_ = "static";
+};
+
+/// Tuning knobs of the lookahead allocator.
+struct LookaheadConfig {
+  /// Per-stream floor. Defaults to 2: the paper observes that a one-way
+  /// mask (0x1) degrades performance severely — streaming data thrashes the
+  /// worker's scratch lines — so the allocator never goes below two ways.
+  uint32_t min_ways = 2;
+};
+
+/// Utility-based partitioning after Qureshi & Patt's UCP lookahead
+/// algorithm: starting from the per-stream floor, repeatedly grant the
+/// stream with the highest marginal utility (extra shadow hits per added
+/// way, maximized over all feasible extensions) its best extension, until
+/// all ways are placed. The resulting way counts tile the LLC exactly; masks
+/// are disjoint contiguous segments stacked from bit 0 in stream order.
+class LookaheadUtilityAllocator : public WayAllocator {
+ public:
+  explicit LookaheadUtilityAllocator(const LookaheadConfig& config = {});
+
+  const std::string& name() const override { return name_; }
+  std::vector<uint64_t> Allocate(const std::vector<StreamProfile>& streams,
+                                 uint32_t llc_ways) override;
+
+ private:
+  LookaheadConfig config_;
+  std::string name_ = "lookahead";
+};
+
+/// Tuning knobs of the fairness-clustering allocator.
+struct FairnessConfig {
+  /// A stream whose shadow hit ratio at the *full* LLC stays below this is
+  /// streaming: more cache would not help it (an LFOC "squanderer").
+  double streaming_hit_ratio = 0.20;
+  /// Ways of the shared low partition all streaming streams are confined to.
+  uint32_t shared_ways = 2;
+  /// A sensitive stream's demand is the smallest way count reaching this
+  /// fraction of its maximum shadow hits (the saturation point of its MRC).
+  double saturation_fraction = 0.90;
+  /// Per-stream floor for isolated partitions (same rationale as
+  /// LookaheadConfig::min_ways).
+  uint32_t min_ways = 2;
+};
+
+/// LFOC-style clustering: classify streams by the *shape* of their MRC —
+/// streaming streams gain nothing from cache and share one small partition;
+/// the remaining (sensitive) streams get isolated partitions sized by their
+/// saturation points, scaled to the remaining ways by largest remainder.
+/// Optimizes fairness: no sensitive stream's working set can be thrashed by
+/// a neighbour, and squanderers cannot waste isolated capacity.
+class FairnessClusterAllocator : public WayAllocator {
+ public:
+  explicit FairnessClusterAllocator(const FairnessConfig& config = {});
+
+  const std::string& name() const override { return name_; }
+  std::vector<uint64_t> Allocate(const std::vector<StreamProfile>& streams,
+                                 uint32_t llc_ways) override;
+
+ private:
+  FairnessConfig config_;
+  std::string name_ = "fairness";
+};
+
+}  // namespace catdb::policy
+
+#endif  // CATDB_POLICY_WAY_ALLOCATOR_H_

@@ -100,6 +100,11 @@ AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
   stats_.l2.misses += 1;
   cs.l2.misses += 1;
 
+  // Shadow-tag profiling sees every demand LLC lookup, hit or miss, before
+  // the real probe — the per-CLOS auxiliary tags measure what the class
+  // *would* hit at any way allocation, independent of its current mask.
+  if (shadow_profiler_ != nullptr) shadow_profiler_->Observe(clos, line);
+
   if (llc_->Lookup(line)) {
     stats_.llc.hits += 1;
     cs.llc.hits += 1;

@@ -12,6 +12,7 @@
 #include "simcache/line_map.h"
 #include "simcache/prefetcher.h"
 #include "simcache/set_assoc_cache.h"
+#include "simcache/shadow_profiler.h"
 
 namespace catdb::simcache {
 
@@ -130,6 +131,17 @@ class MemoryHierarchy {
   /// property tests.
   bool CheckInclusion() const;
 
+  /// Binds a shadow-tag profiler (nullptr = detach). The profiler observes
+  /// every demand LLC lookup (after an L2 miss, before the real LLC is
+  /// probed) tagged with the accessing CLOS. Observation is free of
+  /// simulation side effects: profiled runs are cycle-identical to
+  /// unprofiled ones. The profiler is not owned and must outlive the
+  /// binding.
+  void AttachShadowProfiler(ShadowTagProfiler* profiler) {
+    shadow_profiler_ = profiler;
+  }
+  ShadowTagProfiler* shadow_profiler() const { return shadow_profiler_; }
+
  private:
   // Books a DRAM line fetch and fills LLC/L2/L1 along the way.
   void FillFromDram(uint32_t core, uint64_t line, uint64_t llc_alloc_mask,
@@ -162,6 +174,7 @@ class MemoryHierarchy {
   std::vector<HierarchyStats> core_stats_;
   std::vector<ClosMonitor> clos_monitors_;
   std::vector<uint64_t> scratch_prefetch_lines_;
+  ShadowTagProfiler* shadow_profiler_ = nullptr;  // not owned
 };
 
 }  // namespace catdb::simcache

@@ -1,0 +1,101 @@
+#include "simcache/shadow_profiler.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace catdb::simcache {
+
+ShadowTagProfiler::ShadowTagProfiler(const CacheGeometry& llc,
+                                     const ShadowProfilerConfig& config)
+    : num_sets_(llc.num_sets),
+      num_ways_(llc.num_ways),
+      sample_period_(config.set_sample_period),
+      max_clos_(config.max_clos) {
+  CATDB_CHECK(llc.Valid());
+  CATDB_CHECK(max_clos_ >= 1);
+  CATDB_CHECK(sample_period_ >= 1 && IsPowerOfTwo(sample_period_));
+  if (sample_period_ > num_sets_) sample_period_ = num_sets_;
+  num_sampled_sets_ = num_sets_ / sample_period_;
+  ways_.resize(static_cast<size_t>(max_clos_) * num_sampled_sets_ *
+               num_ways_);
+  stack_hits_.assign(static_cast<size_t>(max_clos_) * num_ways_, 0);
+  accesses_.assign(max_clos_, 0);
+}
+
+void ShadowTagProfiler::Observe(uint32_t clos, uint64_t line) {
+  CATDB_DCHECK(clos < max_clos_);
+  const uint32_t set = static_cast<uint32_t>(line) & (num_sets_ - 1);
+  // Sample sets at multiples of the period: set index modulo period == 0.
+  if ((set & (sample_period_ - 1)) != 0) return;
+  const uint32_t sampled_set = set / sample_period_;
+
+  accesses_[clos] += 1;
+  ShadowWay* ways = SetWays(clos, sampled_set);
+  const uint64_t tag = line;  // full line address; sets are disjoint anyway
+
+  // One pass: find the matching way (if any), the LRU victim, and — for the
+  // hit case — the hit line's LRU stack depth (number of more recently used
+  // valid lines in the set).
+  int hit_way = -1;
+  int victim = -1;
+  uint64_t victim_stamp = ~uint64_t{0};
+  for (uint32_t w = 0; w < num_ways_; ++w) {
+    if (!ways[w].valid) {
+      if (victim_stamp != 0) {
+        victim = static_cast<int>(w);
+        victim_stamp = 0;  // invalid ways beat any stamp
+      }
+      continue;
+    }
+    if (ways[w].tag == tag) hit_way = static_cast<int>(w);
+    if (ways[w].stamp < victim_stamp) {
+      victim = static_cast<int>(w);
+      victim_stamp = ways[w].stamp;
+    }
+  }
+
+  if (hit_way >= 0) {
+    uint32_t depth = 0;
+    const uint64_t hit_stamp = ways[hit_way].stamp;
+    for (uint32_t w = 0; w < num_ways_; ++w) {
+      if (ways[w].valid && ways[w].stamp > hit_stamp) depth += 1;
+    }
+    CATDB_DCHECK(depth < num_ways_);
+    stack_hits_[static_cast<size_t>(clos) * num_ways_ + depth] += 1;
+    ways[hit_way].stamp = ++stamp_counter_;
+    return;
+  }
+
+  // Shadow miss: would miss at any allocation width. Fill the LRU way.
+  CATDB_DCHECK(victim >= 0);
+  ways[victim].tag = tag;
+  ways[victim].stamp = ++stamp_counter_;
+  ways[victim].valid = true;
+}
+
+MissRateCurve ShadowTagProfiler::Curve(uint32_t clos) const {
+  CATDB_CHECK(clos < max_clos_);
+  MissRateCurve curve;
+  curve.accesses = accesses_[clos];
+  curve.hits_at_ways.resize(num_ways_);
+  uint64_t cumulative = 0;
+  for (uint32_t w = 0; w < num_ways_; ++w) {
+    cumulative += stack_hits_[static_cast<size_t>(clos) * num_ways_ + w];
+    curve.hits_at_ways[w] = cumulative;
+  }
+  return curve;
+}
+
+void ShadowTagProfiler::Age() {
+  for (uint64_t& h : stack_hits_) h /= 2;
+  for (uint64_t& a : accesses_) a /= 2;
+}
+
+void ShadowTagProfiler::Reset() {
+  for (ShadowWay& w : ways_) w = ShadowWay{};
+  stack_hits_.assign(stack_hits_.size(), 0);
+  accesses_.assign(accesses_.size(), 0);
+  stamp_counter_ = 0;
+}
+
+}  // namespace catdb::simcache

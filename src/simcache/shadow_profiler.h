@@ -1,0 +1,120 @@
+#ifndef CATDB_SIMCACHE_SHADOW_PROFILER_H_
+#define CATDB_SIMCACHE_SHADOW_PROFILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simcache/cache_geometry.h"
+
+namespace catdb::simcache {
+
+/// Configuration of the shadow-tag (UMON-style) LLC profiler.
+struct ShadowProfilerConfig {
+  /// Observe every `set_sample_period`-th LLC set (power of two). The
+  /// default 32 samples 64 of the 2048 default-geometry sets — UMON's
+  /// "dynamic set sampling" insight that a few dozen sets predict the whole
+  /// cache. Clamped to the set count on tiny geometries; 1 = every set
+  /// (exact, used by the validation tests).
+  uint32_t set_sample_period = 32;
+  /// Number of classes of service tracked (tag arrays are allocated per
+  /// CLOS; matches MemoryHierarchy::kMaxClos by default).
+  uint32_t max_clos = 16;
+};
+
+/// Per-CLOS miss-rate curve snapshot: everything an allocation policy needs
+/// to value one more (or one fewer) LLC way for this class.
+struct MissRateCurve {
+  /// hits_at_ways[w-1] = demand LLC lookups that would have *hit* had the
+  /// class owned exactly `w` ways of every set (cumulative stack-distance
+  /// histogram). Monotonically non-decreasing in w; size = LLC ways.
+  std::vector<uint64_t> hits_at_ways;
+  /// Observed (sampled) demand LLC lookups by this class.
+  uint64_t accesses = 0;
+
+  uint64_t num_points() const { return hits_at_ways.size(); }
+  /// Misses the class would suffer with `w` ways.
+  uint64_t misses_at(uint32_t ways) const {
+    return accesses - hits_at_ways[ways - 1];
+  }
+  /// Hit ratio the class would see with `w` ways (0 when never observed).
+  double hit_ratio_at(uint32_t ways) const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(hits_at_ways[ways - 1]) / accesses;
+  }
+};
+
+/// UMON-style shadow-tag profiler: per CLOS, an auxiliary true-LRU tag
+/// directory over a sampled subset of LLC sets, with one hit counter per LRU
+/// stack position. Because an access hits a w-way true-LRU cache iff its
+/// stack distance is < w, the per-position counters yield the class's full
+/// miss-rate curve — what it *would* hit with any way allocation — without
+/// ever granting it those ways (Qureshi & Patt's UMON, as used by UCP and
+/// the LFOC/Com-CAS line of CAT allocators).
+///
+/// The profiler is a pure observer: it keeps its own tags and never touches
+/// the real caches, so attaching it to a MemoryHierarchy leaves simulations
+/// cycle-identical (pinned by the policy determinism tests). Each CLOS's
+/// shadow directory sees that class's demand LLC lookups *unfiltered by CAT*
+/// — every class is profiled as if it had the whole cache to itself, which
+/// is exactly the counterfactual an allocator needs.
+class ShadowTagProfiler {
+ public:
+  ShadowTagProfiler(const CacheGeometry& llc,
+                    const ShadowProfilerConfig& config = {});
+
+  ShadowTagProfiler(const ShadowTagProfiler&) = delete;
+  ShadowTagProfiler& operator=(const ShadowTagProfiler&) = delete;
+
+  /// Observes one demand LLC lookup of `line` by class `clos`. Called by
+  /// MemoryHierarchy::Access on the demand path (after an L2 miss, before
+  /// the real LLC lookup); tests may drive it directly with synthetic
+  /// traces. Lines in unsampled sets are ignored.
+  void Observe(uint32_t clos, uint64_t line);
+
+  /// Current curve of one class (cumulative since construction, last
+  /// Reset(), or decayed by Age()).
+  MissRateCurve Curve(uint32_t clos) const;
+
+  /// Halves every counter (UCP's aging rule): past behaviour still counts,
+  /// recent behaviour counts double. Called by the policy engine once per
+  /// decision interval so the curves track phase changes.
+  void Age();
+
+  /// Clears counters and shadow tags.
+  void Reset();
+
+  uint32_t num_ways() const { return num_ways_; }
+  uint32_t num_sampled_sets() const { return num_sampled_sets_; }
+  uint32_t set_sample_period() const { return sample_period_; }
+  uint32_t max_clos() const { return max_clos_; }
+
+ private:
+  struct ShadowWay {
+    uint64_t tag = 0;
+    uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  // Shadow ways of (clos, sampled_set): one num_ways_ run inside ways_.
+  ShadowWay* SetWays(uint32_t clos, uint32_t sampled_set) {
+    return &ways_[(static_cast<size_t>(clos) * num_sampled_sets_ +
+                   sampled_set) *
+                  num_ways_];
+  }
+
+  uint32_t num_sets_;
+  uint32_t num_ways_;
+  uint32_t sample_period_;
+  uint32_t num_sampled_sets_;
+  uint32_t max_clos_;
+  std::vector<ShadowWay> ways_;
+  // stack_hits_[clos * num_ways_ + d]: hits at LRU stack distance d.
+  std::vector<uint64_t> stack_hits_;
+  std::vector<uint64_t> accesses_;  // per clos, sampled lookups
+  uint64_t stamp_counter_ = 0;
+};
+
+}  // namespace catdb::simcache
+
+#endif  // CATDB_SIMCACHE_SHADOW_PROFILER_H_

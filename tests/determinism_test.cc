@@ -340,7 +340,9 @@ TEST(TracingDeterminismTest, RestrictionFlipsReplayFromIntervalSeries) {
   for (const obs::IntervalSample& sample : r.interval_series) {
     for (size_t i = 0; i < sample.clos.size(); ++i) {
       const auto d = replay.OnInterval(i, sample.clos[i].bandwidth_share,
-                                       sample.clos[i].hit_ratio);
+                                       sample.clos[i].hit_ratio,
+                                       sample.clos[i].llc_hits_delta +
+                                           sample.clos[i].llc_misses_delta);
       if (!d.changed) continue;
       ASSERT_LT(next, flips.size());
       EXPECT_EQ(flips[next].cycle, sample.cycle_end);

@@ -147,6 +147,7 @@ TEST(JobSchedulerTest, SkipsRedundantAssignments) {
   sim::Machine m(SmallMachine());
   PolicyConfig cfg;
   cfg.enabled = true;
+  cfg.shared_ways = 5;  // SmallMachine has an 8-way LLC
   JobScheduler sched(&m, cfg);
   ASSERT_TRUE(sched.SetupGroups().ok());
 
@@ -165,6 +166,7 @@ TEST(JobSchedulerTest, DisabledSkipAlwaysCallsKernel) {
   sim::Machine m(SmallMachine());
   PolicyConfig cfg;
   cfg.enabled = true;
+  cfg.shared_ways = 5;  // SmallMachine has an 8-way LLC
   cfg.skip_redundant_assign = false;
   JobScheduler sched(&m, cfg);
   ASSERT_TRUE(sched.SetupGroups().ok());
@@ -179,6 +181,7 @@ TEST(JobSchedulerTest, DispatchCostChargedToCore) {
   sim::Machine m(SmallMachine());
   PolicyConfig cfg;
   cfg.enabled = true;
+  cfg.shared_ways = 5;  // SmallMachine has an 8-way LLC
   JobScheduler sched(&m, cfg);
   ASSERT_TRUE(sched.SetupGroups().ok());
   DummyJob polluting(CacheUsage::kPolluting);
@@ -398,6 +401,7 @@ TEST(CoschedulerTest, ExecuteRoundsReportCapturesPerRoundStats) {
   };
   PolicyConfig cat;
   cat.enabled = true;
+  cat.shared_ways = 5;  // SmallMachine has an 8-way LLC
   const auto rep =
       ExecuteRoundsReport(&m, batch, PlanCacheAwareRounds(batch), cat);
   EXPECT_GT(rep.makespan_cycles, 0u);
@@ -416,16 +420,62 @@ TEST(DynamicClassifierTest, RestrictsImmediatelyWidensAfterStreak) {
   DynamicClassifier classifier(cfg, /*num_streams=*/1);
 
   // Polluter profile: high bandwidth, low hit ratio -> restrict at once.
-  auto d = classifier.OnInterval(0, 0.5, 0.05);
+  auto d = classifier.OnInterval(0, 0.5, 0.05, 1000);
   EXPECT_TRUE(d.restricted);
   EXPECT_TRUE(d.changed);
 
   // One clean interval is not enough to widen.
-  d = classifier.OnInterval(0, 0.01, 0.9);
+  d = classifier.OnInterval(0, 0.01, 0.9, 1000);
   EXPECT_TRUE(d.restricted);
   EXPECT_FALSE(d.changed);
   // Second consecutive clean interval widens.
-  d = classifier.OnInterval(0, 0.01, 0.9);
+  d = classifier.OnInterval(0, 0.01, 0.9, 1000);
+  EXPECT_FALSE(d.restricted);
+  EXPECT_TRUE(d.changed);
+}
+
+TEST(DynamicClassifierTest, ZeroUnrestrictIntervalsWidensImmediately) {
+  // unrestrict_intervals == 0 disables the hysteresis: the first clean
+  // interval widens (same as 1). This used to abort at construction.
+  DynamicPolicyConfig cfg;
+  cfg.unrestrict_intervals = 0;
+  DynamicClassifier classifier(cfg, /*num_streams=*/1);
+
+  auto d = classifier.OnInterval(0, 0.5, 0.05, 1000);
+  EXPECT_TRUE(d.restricted);
+  d = classifier.OnInterval(0, 0.01, 0.9, 1000);
+  EXPECT_FALSE(d.restricted);
+  EXPECT_TRUE(d.changed);
+}
+
+TEST(DynamicClassifierTest, BandwidthWithoutLookupsHoldsCleanStreak) {
+  // An interval that moved data (nonzero bandwidth share) without any
+  // demand LLC lookups is ambiguous — the idle hit_ratio default of 1.0
+  // says nothing about reuse (pure prefetch fills, or a stream stalled
+  // behind the DRAM queue). It must neither advance nor reset the clean
+  // streak.
+  DynamicPolicyConfig cfg;
+  cfg.unrestrict_intervals = 2;
+  DynamicClassifier classifier(cfg, /*num_streams=*/1);
+
+  EXPECT_TRUE(classifier.OnInterval(0, 0.5, 0.05, 1000).restricted);
+  // Clean #1.
+  EXPECT_TRUE(classifier.OnInterval(0, 0.01, 0.9, 1000).restricted);
+  // Ambiguous: bandwidth but no lookups. Must not count as clean #2 ...
+  auto d = classifier.OnInterval(0, 0.5, 1.0, 0);
+  EXPECT_TRUE(d.restricted);
+  EXPECT_FALSE(d.changed);
+  // ... and must not have reset the streak either: one more clean interval
+  // completes the streak of two.
+  d = classifier.OnInterval(0, 0.01, 0.9, 1000);
+  EXPECT_FALSE(d.restricted);
+  EXPECT_TRUE(d.changed);
+
+  // A genuinely idle interval (no lookups, no bandwidth) still counts
+  // toward the streak.
+  EXPECT_TRUE(classifier.OnInterval(0, 0.5, 0.05, 1000).restricted);
+  classifier.OnInterval(0, 0.0, 1.0, 0);  // idle: clean #1
+  d = classifier.OnInterval(0, 0.0, 1.0, 0);  // idle: clean #2 -> widen
   EXPECT_FALSE(d.restricted);
   EXPECT_TRUE(d.changed);
 }
@@ -440,7 +490,8 @@ TEST(DynamicClassifierTest, IdleIntervalDoesNotFlapRestriction) {
 
   uint32_t flips = 0;
   auto feed = [&](double bw, double hr) {
-    auto d = classifier.OnInterval(0, bw, hr);
+    // Idle intervals (bw == 0) carry no lookups; active ones do.
+    auto d = classifier.OnInterval(0, bw, hr, bw > 0.0 ? 1000 : 0);
     if (d.changed) ++flips;
     return d;
   };
@@ -476,6 +527,7 @@ TEST(CoschedulerTest, ExecuteRoundsRunsToCompletion) {
   };
   PolicyConfig cat;
   cat.enabled = true;
+  cat.shared_ways = 5;  // SmallMachine has an 8-way LLC
   const uint64_t makespan =
       ExecuteRounds(&m, batch, PlanCacheAwareRounds(batch), cat);
   EXPECT_GT(makespan, 0u);

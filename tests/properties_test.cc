@@ -1,6 +1,6 @@
 // Cross-cutting property and edge-case tests: executor scheduling under
 // randomized workloads, schemata fuzzing, bit-packing boundaries, policy
-// clamping, TPC-H model structure, and cost-accounting invariants.
+// config validation, TPC-H model structure, and cost-accounting invariants.
 
 #include <gtest/gtest.h>
 
@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "engine/coscheduler.h"
+#include "engine/dynamic_policy.h"
 #include "engine/operators/column_scan.h"
 #include "engine/runner.h"
 #include "sim/executor.h"
@@ -149,18 +151,81 @@ TEST(BitPackBoundaryTest, SimAddrAdvancesWithBitOffset) {
   EXPECT_EQ(v.LineIndexOf(26), 1u);   // 520 bits -> second line
 }
 
-// --- Policy clamping ---
+// --- Policy config validation ---
 
-TEST(PolicyClampTest, WaysClampedToNarrowLlc) {
+TEST(PolicyValidationTest, RejectsOutOfRangeWaysInsteadOfClamping) {
+  // Way counts wider than the LLC used to be clamped silently — an enabled
+  // scheme asking for 12 shared ways on an 8-way LLC ran a different
+  // partition than configured. Validation now reports the mismatch.
   engine::PolicyConfig cfg;
   cfg.enabled = true;
   cfg.polluting_ways = 2;
   cfg.shared_ways = 12;  // wider than the 8-way LLC below
-  cfg.instance_ways = 30;
+  EXPECT_EQ(engine::ValidatePolicyConfig(cfg, 8).code(),
+            StatusCode::kInvalidArgument);
+  cfg.shared_ways = 8;
+  EXPECT_TRUE(engine::ValidatePolicyConfig(cfg, 8).ok());
+
+  cfg.polluting_ways = 0;  // a zero-way CAT mask is invalid
+  EXPECT_EQ(engine::ValidatePolicyConfig(cfg, 8).code(),
+            StatusCode::kInvalidArgument);
+  cfg.polluting_ways = 9;
+  EXPECT_EQ(engine::ValidatePolicyConfig(cfg, 8).code(),
+            StatusCode::kInvalidArgument);
+
+  // Disabled schemes carry their (unused) way defaults onto any geometry.
+  engine::PolicyConfig disabled;
+  EXPECT_TRUE(engine::ValidatePolicyConfig(disabled, 4).ok());
+
+  // The instance-wide restriction applies even when the scheme is off.
+  disabled.instance_ways = 30;
+  EXPECT_EQ(engine::ValidatePolicyConfig(disabled, 8).code(),
+            StatusCode::kInvalidArgument);
+  disabled.instance_ways = 8;
+  EXPECT_TRUE(engine::ValidatePolicyConfig(disabled, 8).ok());
+}
+
+TEST(PolicyValidationTest, RejectsInvertedAdaptiveBounds) {
+  engine::PolicyConfig cfg;
+  cfg.adaptive_l2_fit = 2.0;
+  cfg.adaptive_high = 0.5;  // inverted: every adaptive job -> polluting
+  EXPECT_EQ(engine::ValidatePolicyConfig(cfg, 20).code(),
+            StatusCode::kInvalidArgument);
+  cfg.adaptive_high = 2.0;
+  EXPECT_EQ(engine::ValidatePolicyConfig(cfg, 20).code(),
+            StatusCode::kInvalidArgument);  // equal bounds are still empty
+  cfg.adaptive_l2_fit = 0.5;
+  EXPECT_TRUE(engine::ValidatePolicyConfig(cfg, 20).ok());
+}
+
+TEST(PolicyValidationTest, ValidConfigStillProducesPaperMasks) {
+  engine::PolicyConfig cfg;
+  cfg.enabled = true;
+  cfg.polluting_ways = 2;
+  cfg.shared_ways = 5;
   engine::PartitioningPolicy policy(cfg, 64 * 8 * 64, 8, 32 * 1024);
-  EXPECT_EQ(policy.shared_mask(), 0xFFu);       // clamped to 8 ways
   EXPECT_EQ(policy.polluting_mask(), 0x3u);
+  EXPECT_EQ(policy.shared_mask(), 0x1Fu);
   EXPECT_EQ(policy.MaskForWays(8), 0xFFu);
+}
+
+TEST(PolicyValidationTest, DynamicConfigBounds) {
+  engine::DynamicPolicyConfig cfg;
+  EXPECT_TRUE(engine::ValidateDynamicPolicyConfig(cfg, 20).ok());
+  cfg.interval_cycles = 0;
+  EXPECT_EQ(engine::ValidateDynamicPolicyConfig(cfg, 20).code(),
+            StatusCode::kInvalidArgument);
+  cfg.interval_cycles = 1'000'000;
+  cfg.polluting_ways = 0;
+  EXPECT_EQ(engine::ValidateDynamicPolicyConfig(cfg, 20).code(),
+            StatusCode::kInvalidArgument);
+  cfg.polluting_ways = 21;
+  EXPECT_EQ(engine::ValidateDynamicPolicyConfig(cfg, 20).code(),
+            StatusCode::kInvalidArgument);
+  cfg.polluting_ways = 2;
+  cfg.polluter_bandwidth_share = 1.5;
+  EXPECT_EQ(engine::ValidateDynamicPolicyConfig(cfg, 20).code(),
+            StatusCode::kInvalidArgument);
 }
 
 // --- Dictionary property ---
