@@ -30,11 +30,18 @@ namespace catdb::bench {
 ///   --smoke              CI mode: run one cell of each sweep at a short
 ///                        horizon — exercises the full pipeline in seconds
 ///                        (results are not meaningful as measurements)
+///   --selfperf-horizon=<cycles>
+///                        override the self-benchmark's measurement horizon
+///                        (selfperf_sim only; lets CI run it short)
+/// Arguments without a leading "--" are collected as positionals (benches
+/// that take output paths, e.g. selfperf_sim, read them from there).
 struct BenchOptions {
   std::string report_out;
   std::string trace_out;
   unsigned jobs = 0;  // resolved to >= 1 by ParseBenchArgs
   bool smoke = false;
+  uint64_t selfperf_horizon = 0;  // 0 = the bench's default
+  std::vector<std::string> positional;
 };
 
 /// Parses the shared flags; exits with usage on anything unrecognized.
@@ -61,13 +68,27 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       opts.jobs = static_cast<unsigned>(n);
+    } else if (const char* v = value_of("--selfperf-horizon")) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || n == 0) {
+        std::fprintf(stderr,
+                     "--selfperf-horizon expects a positive cycle count, "
+                     "got: %s\n",
+                     v);
+        std::exit(2);
+      }
+      opts.selfperf_horizon = n;
     } else if (arg == "--smoke") {
       opts.smoke = true;
+    } else if (arg.compare(0, 2, "--") != 0) {
+      opts.positional.push_back(arg);
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
                    "usage: %s [--report-out=<path>] [--trace-out=<path>] "
-                   "[--jobs=<n>] [--smoke]\n",
+                   "[--jobs=<n>] [--selfperf-horizon=<cycles>] [--smoke] "
+                   "[positional...]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }

@@ -1,23 +1,32 @@
 // Simulator self-benchmark: measures *host* wall-clock throughput of the
 // discrete-event simulator (simulated cycles per second, simulated memory
 // accesses per second) over the fig01 (OLTP vs. OLAP scan) and fig11
-// (TPC-H Q1 vs. scan) workload shapes. The fast configuration (event-driven
-// executor + optimized memory hierarchy) is compared against the pre-change
-// baseline (the legacy O(cores)-per-step scan executor + the reference-impl
-// hierarchy, i.e. the seed implementation kept alive behind
-// HierarchyConfig::reference_impl). Both must produce bit-identical
-// simulated results before a speedup is reported. Emits BENCH_selfperf.json
-// (path overridable via argv[1]) so the repository keeps a perf trajectory
-// across PRs.
+// (TPC-H Q1 vs. scan) workload shapes. Three legs per workload:
+//   1. batched      — event-driven executor + run-granular AccessRun fast
+//                     path (MachineConfig::batched_runs, the default)
+//   2. scalar       — same executor with batched_runs off: every run
+//                     decomposes into per-line Access calls (the previous
+//                     fast path; isolates the batching speedup)
+//   3. reference    — the pre-change baseline kept verbatim: legacy
+//                     O(cores)-per-step scan executor + reference-impl
+//                     hierarchy (HierarchyConfig::reference_impl)
+// All three must produce bit-identical simulated results before a speedup
+// is reported. Emits BENCH_selfperf.json (path overridable via the first
+// positional argument) so the repository keeps a perf trajectory across
+// PRs.
 //
 // Second section: parallel sweep harness scaling. A fig05-style mini sweep
 // (independent aggregation cells, each with its own machine/dataset/query)
-// is executed through harness::SweepRunner at --jobs 1/2/4/N host threads;
+// is executed through harness::SweepRunner at --jobs 1/2/4/N host threads
+// (points exceeding the host's core count are skipped — oversubscribed
+// wall-clock is noise, not signal — and recorded as skipped in the JSON);
 // the merged run report must be byte-identical across all job counts (the
 // harness's determinism contract) before a speedup is reported. Emits
-// BENCH_parallel.json (path overridable via argv[2]).
+// BENCH_parallel.json (path overridable via the second positional
+// argument).
 //
-// Usage: selfperf_sim [selfperf_output.json [parallel_output.json]]
+// Usage: selfperf_sim [--smoke] [--selfperf-horizon=<cycles>]
+//                     [selfperf_output.json [parallel_output.json]]
 
 #include <algorithm>
 #include <chrono>
@@ -142,16 +151,23 @@ struct Rig {
   std::vector<engine::StreamSpec> specs;
 };
 
-std::unique_ptr<sim::Machine> MakeMachine(bool reference_impl) {
+/// The simulator configuration of one measurement leg.
+struct RigCfg {
+  bool reference_impl = false;
+  bool batched_runs = true;
+};
+
+std::unique_ptr<sim::Machine> MakeMachine(const RigCfg& leg) {
   sim::MachineConfig cfg;
-  cfg.hierarchy.reference_impl = reference_impl;
+  cfg.hierarchy.reference_impl = leg.reference_impl;
+  cfg.batched_runs = leg.batched_runs;
   return std::make_unique<sim::Machine>(cfg);
 }
 
-Rig MakeFig01Rig(bool reference_impl) {
+Rig MakeFig01Rig(const RigCfg& leg) {
   // fig01 shape: S/4HANA OLTP point queries vs. polluting column scan.
   Rig rig;
-  rig.machine = MakeMachine(reference_impl);
+  rig.machine = MakeMachine(leg);
   rig.acdoca = workloads::MakeAcdocaData(rig.machine.get(), {});
   rig.scan_data = std::make_unique<workloads::ScanDataset>(
       workloads::MakeScanDataset(
@@ -170,10 +186,10 @@ Rig MakeFig01Rig(bool reference_impl) {
   return rig;
 }
 
-Rig MakeFig11Rig(bool reference_impl) {
+Rig MakeFig11Rig(const RigCfg& leg) {
   // fig11 shape: TPC-H Q1 (big-dictionary decode) vs. column scan.
   Rig rig;
-  rig.machine = MakeMachine(reference_impl);
+  rig.machine = MakeMachine(leg);
   rig.tpch = workloads::MakeTpchData(rig.machine.get(),
                                      workloads::TpchConfig{});
   rig.scan_data = std::make_unique<workloads::ScanDataset>(
@@ -232,12 +248,12 @@ Measurement RunWith(sim::Machine* machine,
 }
 
 template <typename ExecutorT>
-Measurement Measure(Rig (*make_rig)(bool), bool reference_impl,
+Measurement Measure(Rig (*make_rig)(const RigCfg&), const RigCfg& leg,
                     uint64_t horizon) {
-  // Fresh rig per configuration: both measurements start from bit-identical
+  // Fresh rig per configuration: every measurement starts from bit-identical
   // machine layout and query RNG state. One short warm-up pass (page
   // tables, allocator pools, branch predictors), then the timed pass.
-  Rig rig = make_rig(reference_impl);
+  Rig rig = make_rig(leg);
   RunWith<ExecutorT>(rig.machine.get(), rig.specs, horizon / 8,
                      /*timed=*/false);
   return RunWith<ExecutorT>(rig.machine.get(), rig.specs, horizon,
@@ -247,71 +263,97 @@ Measurement Measure(Rig (*make_rig)(bool), bool reference_impl,
 struct WorkloadResult {
   std::string name;
   uint64_t horizon = 0;
-  Measurement fast;
-  Measurement scan;
+  Measurement fast;    // batched AccessRun fast path (the default config)
+  Measurement scalar;  // batched_runs off: per-line Access decomposition
+  Measurement scan;    // pre-change reference baseline
 };
 
+void ReportDigestMismatch(const std::string& name, const char* legs,
+                          const SimDigest& a, const SimDigest& b) {
+  std::fprintf(stderr, "digest mismatch on %s (%s):\n", name.c_str(), legs);
+  for (size_t i = 0; i < a.iterations.size(); ++i) {
+    std::fprintf(stderr, "  iterations[%zu]: %.6f vs %.6f\n", i,
+                 a.iterations[i], b.iterations[i]);
+  }
+  std::fprintf(stderr,
+               "  l1_lookups: %llu vs %llu\n  llc_hits: %llu vs %llu\n"
+               "  llc_misses: %llu vs %llu\n  dram: %llu vs %llu\n",
+               (unsigned long long)a.l1_lookups,
+               (unsigned long long)b.l1_lookups,
+               (unsigned long long)a.llc_hits, (unsigned long long)b.llc_hits,
+               (unsigned long long)a.llc_misses,
+               (unsigned long long)b.llc_misses,
+               (unsigned long long)a.dram_accesses,
+               (unsigned long long)b.dram_accesses);
+}
+
 WorkloadResult MeasureWorkload(const std::string& name,
-                               Rig (*make_rig)(bool), uint64_t horizon) {
+                               Rig (*make_rig)(const RigCfg&),
+                               uint64_t horizon) {
   WorkloadResult w;
   w.name = name;
   w.horizon = horizon;
-  w.fast = Measure<sim::Executor>(make_rig, /*reference_impl=*/false,
-                                  horizon);
-  w.scan = Measure<ScanExecutor>(make_rig, /*reference_impl=*/true,
-                                 horizon);
-  if (!(w.fast.digest == w.scan.digest)) {
-    std::fprintf(stderr, "digest mismatch on %s (fast vs reference):\n",
-                 name.c_str());
-    for (size_t i = 0; i < w.fast.digest.iterations.size(); ++i) {
-      std::fprintf(stderr, "  iterations[%zu]: %.6f vs %.6f\n", i,
-                   w.fast.digest.iterations[i], w.scan.digest.iterations[i]);
-    }
-    std::fprintf(stderr,
-                 "  l1_lookups: %llu vs %llu\n  llc_hits: %llu vs %llu\n"
-                 "  llc_misses: %llu vs %llu\n  dram: %llu vs %llu\n",
-                 (unsigned long long)w.fast.digest.l1_lookups,
-                 (unsigned long long)w.scan.digest.l1_lookups,
-                 (unsigned long long)w.fast.digest.llc_hits,
-                 (unsigned long long)w.scan.digest.llc_hits,
-                 (unsigned long long)w.fast.digest.llc_misses,
-                 (unsigned long long)w.scan.digest.llc_misses,
-                 (unsigned long long)w.fast.digest.dram_accesses,
-                 (unsigned long long)w.scan.digest.dram_accesses);
+  w.fast = Measure<sim::Executor>(
+      make_rig, RigCfg{/*reference_impl=*/false, /*batched_runs=*/true},
+      horizon);
+  w.scalar = Measure<sim::Executor>(
+      make_rig, RigCfg{/*reference_impl=*/false, /*batched_runs=*/false},
+      horizon);
+  w.scan = Measure<ScanExecutor>(
+      make_rig, RigCfg{/*reference_impl=*/true, /*batched_runs=*/false},
+      horizon);
+  if (!(w.fast.digest == w.scalar.digest)) {
+    ReportDigestMismatch(name, "batched vs scalar", w.fast.digest,
+                         w.scalar.digest);
   }
+  if (!(w.fast.digest == w.scan.digest)) {
+    ReportDigestMismatch(name, "batched vs reference", w.fast.digest,
+                         w.scan.digest);
+  }
+  CATDB_CHECK(w.fast.digest == w.scalar.digest);
   CATDB_CHECK(w.fast.digest == w.scan.digest);
   return w;
 }
 
 void PrintRow(const WorkloadResult& w) {
   const double cyc_fast = static_cast<double>(w.horizon) / w.fast.wall_seconds;
+  const double cyc_sclr =
+      static_cast<double>(w.horizon) / w.scalar.wall_seconds;
   const double cyc_scan = static_cast<double>(w.horizon) / w.scan.wall_seconds;
   const double acc_fast =
       static_cast<double>(w.fast.digest.l1_lookups) / w.fast.wall_seconds;
-  std::printf("%-16s %12.1f %14.2f %12.1f %9.2fx\n", w.name.c_str(),
-              cyc_fast / 1e6, acc_fast / 1e6, cyc_scan / 1e6,
+  std::printf("%-16s %12.1f %14.2f %11.2fx %11.2fx\n", w.name.c_str(),
+              cyc_fast / 1e6, acc_fast / 1e6, cyc_fast / cyc_sclr,
               cyc_fast / cyc_scan);
 }
 
 std::string JsonEntry(const WorkloadResult& w) {
   const double cyc_fast = static_cast<double>(w.horizon) / w.fast.wall_seconds;
+  const double cyc_sclr =
+      static_cast<double>(w.horizon) / w.scalar.wall_seconds;
   const double cyc_scan = static_cast<double>(w.horizon) / w.scan.wall_seconds;
   const double acc_fast =
       static_cast<double>(w.fast.digest.l1_lookups) / w.fast.wall_seconds;
-  char buf[640];
+  const double acc_sclr =
+      static_cast<double>(w.scalar.digest.l1_lookups) / w.scalar.wall_seconds;
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "    {\"name\": \"%s\", \"horizon_cycles\": %llu,\n"
       "     \"fast_event_executor\": {\"wall_seconds\": %.4f, "
       "\"sim_cycles_per_second\": %.0f, \"sim_accesses\": %llu, "
       "\"accesses_per_second\": %.0f},\n"
+      "     \"scalar_access_path\": {\"wall_seconds\": %.4f, "
+      "\"sim_cycles_per_second\": %.0f, \"accesses_per_second\": %.0f},\n"
       "     \"prechange_scan_executor\": {\"wall_seconds\": %.4f, "
       "\"sim_cycles_per_second\": %.0f},\n"
+      "     \"speedup_vs_scalar_access_path\": %.3f,\n"
       "     \"speedup_vs_prechange_scan_executor\": %.3f}",
       w.name.c_str(), static_cast<unsigned long long>(w.horizon),
       w.fast.wall_seconds, cyc_fast,
       static_cast<unsigned long long>(w.fast.digest.l1_lookups), acc_fast,
-      w.scan.wall_seconds, cyc_scan, cyc_fast / cyc_scan);
+      w.scalar.wall_seconds, cyc_sclr, acc_sclr, w.scan.wall_seconds,
+      cyc_scan, cyc_fast / cyc_sclr, cyc_fast / cyc_scan);
   return buf;
 }
 
@@ -329,16 +371,19 @@ struct MiniColumnResult {
 /// per-cell machine/dataset construction is amortized like in the real
 /// sweeps.
 void AddMiniSweepCells(harness::SweepRunner* runner,
-                       std::vector<MiniColumnResult>* results) {
+                       std::vector<MiniColumnResult>* results, bool smoke) {
   static constexpr double kRatios[] = {workloads::kDictRatioSmall,
                                        workloads::kDictRatioMedium};
   static constexpr uint32_t kGroups[] = {1000, 10000, 100000, 1000000};
   static constexpr uint32_t kWays[] = {8, 2};
-  results->assign(std::size(kRatios) * std::size(kGroups),
-                  MiniColumnResult{});
-  for (size_t si = 0; si < std::size(kRatios); ++si) {
-    for (size_t gi = 0; gi < std::size(kGroups); ++gi) {
-      MiniColumnResult* out = &(*results)[si * std::size(kGroups) + gi];
+  // Smoke mode keeps enough cells (1 ratio x 2 group counts) that the
+  // harness still fans out, but finishes in CI time.
+  const size_t n_ratios = smoke ? 1 : std::size(kRatios);
+  const size_t n_groups = smoke ? 2 : std::size(kGroups);
+  results->assign(n_ratios * n_groups, MiniColumnResult{});
+  for (size_t si = 0; si < n_ratios; ++si) {
+    for (size_t gi = 0; gi < n_groups; ++gi) {
+      MiniColumnResult* out = &(*results)[si * n_groups + gi];
       const double ratio = kRatios[si];
       const uint32_t groups = kGroups[gi];
       const uint64_t seed = 7100 + si * 100 + gi;
@@ -373,7 +418,7 @@ struct HarnessRun {
   double wall_seconds = 0;
 };
 
-void RunParallelHarness(const char* out_path) {
+void RunParallelHarness(const char* out_path, bool smoke) {
   const unsigned host_cores = std::thread::hardware_concurrency();
   std::vector<unsigned> job_counts = {1, 2, 4};
   if (host_cores > 0 &&
@@ -391,13 +436,23 @@ void RunParallelHarness(const char* out_path) {
 
   std::string ref_json;
   std::vector<HarnessRun> runs;
+  std::vector<unsigned> skipped;
   size_t num_cells = 0;
   for (const unsigned jobs : job_counts) {
+    // Oversubscribed points measure scheduler thrash, not harness scaling.
+    // When the host core count is unknown (hardware_concurrency() == 0),
+    // run everything rather than skip blind.
+    if (host_cores > 0 && jobs > host_cores) {
+      skipped.push_back(jobs);
+      std::printf("%8u %14s %12s %16s\n", jobs, "-", "-",
+                  "skipped (oversubscribed)");
+      continue;
+    }
     harness::SweepRunner::Options options;
     options.jobs = jobs;
     harness::SweepRunner runner("harness_minisweep", options);
     std::vector<MiniColumnResult> results;
-    AddMiniSweepCells(&runner, &results);
+    AddMiniSweepCells(&runner, &results, smoke);
     num_cells = runner.num_cells();
     const auto start = std::chrono::steady_clock::now();
     runner.Run();
@@ -422,9 +477,15 @@ void RunParallelHarness(const char* out_path) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "  \"host_cores\": %u,\n  \"cells\": %zu,\n"
-                "  \"reports_byte_identical\": true,\n  \"runs\": [\n",
+                "  \"reports_byte_identical\": true,\n"
+                "  \"skipped_oversubscribed\": [",
                 host_cores, num_cells);
   json += buf;
+  for (size_t i = 0; i < skipped.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%u", i > 0 ? ", " : "", skipped[i]);
+    json += buf;
+  }
+  json += "],\n  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
                   "    {\"jobs\": %u, \"wall_seconds\": %.4f, "
@@ -448,14 +509,20 @@ void RunParallelHarness(const char* out_path) {
 
 int main(int argc, char** argv) {
   using namespace catdb;
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_selfperf.json";
-  const char* parallel_out_path = argc > 2 ? argv[2] : "BENCH_parallel.json";
-  const uint64_t horizon = bench::kDefaultHorizon / 2;
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
+  const std::string out_path =
+      opts.positional.size() > 0 ? opts.positional[0] : "BENCH_selfperf.json";
+  const std::string parallel_out_path =
+      opts.positional.size() > 1 ? opts.positional[1] : "BENCH_parallel.json";
+  const uint64_t horizon =
+      opts.selfperf_horizon != 0
+          ? opts.selfperf_horizon
+          : (opts.smoke ? bench::kSmokeHorizon : bench::kDefaultHorizon / 2);
 
   std::printf("Simulator self-benchmark (host wall-clock)\n");
   bench::PrintRule(72);
-  std::printf("%-16s %12s %14s %12s %10s\n", "workload", "Mcycles/s",
-              "Maccesses/s", "base Mcyc/s", "speedup");
+  std::printf("%-16s %12s %14s %12s %11s\n", "workload", "Mcycles/s",
+              "Maccesses/s", "vs scalar", "vs refimpl");
   bench::PrintRule(72);
 
   std::vector<WorkloadResult> results;
@@ -475,12 +542,12 @@ int main(int argc, char** argv) {
   }
   json += "  ]\n}\n";
 
-  FILE* f = std::fopen(out_path, "w");
+  FILE* f = std::fopen(out_path.c_str(), "w");
   CATDB_CHECK(f != nullptr);
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
-  std::printf("wrote %s\n", out_path);
+  std::printf("wrote %s\n", out_path.c_str());
 
-  RunParallelHarness(parallel_out_path);
+  RunParallelHarness(parallel_out_path.c_str(), opts.smoke);
   return 0;
 }

@@ -1,6 +1,7 @@
 #ifndef CATDB_ENGINE_JOB_H_
 #define CATDB_ENGINE_JOB_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -50,12 +51,16 @@ class Job : public sim::Task {
   /// Touches `n` lines of the executing worker's hot scratch region (stack
   /// frames, operator state). Called once per chunk by operators; this
   /// re-used working set is what a too-narrow CAT mask (0x1) lets streaming
-  /// data thrash.
+  /// data thrash. The region is line-aligned by construction, so the touches
+  /// batch into at most two runs (one wraparound) instead of a per-line loop.
   void TouchScratch(sim::ExecContext& ctx, uint32_t n) {
     const uint64_t base = ctx.machine().CoreScratchVbase(ctx.core());
-    for (uint32_t i = 0; i < n; ++i) {
-      ctx.Read(base + scratch_cursor_ * simcache::kLineSize);
-      scratch_cursor_ = (scratch_cursor_ + 1) % sim::Machine::kScratchLines;
+    while (n > 0) {
+      const uint32_t run =
+          std::min(n, sim::Machine::kScratchLines - scratch_cursor_);
+      ctx.ReadRun(base + scratch_cursor_ * simcache::kLineSize, run);
+      scratch_cursor_ = (scratch_cursor_ + run) % sim::Machine::kScratchLines;
+      n -= run;
     }
   }
 

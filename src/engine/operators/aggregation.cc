@@ -29,19 +29,12 @@ bool AggLocalJob::Step(sim::ExecContext& ctx) {
   const storage::BitPackedVector& g_codes = g_column_->codes();
   const storage::Dictionary& v_dict = v_column_->dict();
 
+  // Sequential reads of the two packed code vectors: charge each chunk's
+  // fresh lines as one batched run per vector (vectorized read), then walk
+  // the rows host-side.
+  v_codes.ReadRunSim(ctx, cursor_, chunk_end, &last_v_line_);
+  g_codes.ReadRunSim(ctx, cursor_, chunk_end, &last_g_line_);
   for (uint64_t i = cursor_; i < chunk_end; ++i) {
-    // Sequential reads of the two packed code vectors: charge only when the
-    // row crosses into a new cache line.
-    const int64_t v_line = static_cast<int64_t>(v_codes.LineIndexOf(i));
-    if (v_line != last_v_line_) {
-      ctx.Read(v_codes.SimAddrOf(i));
-      last_v_line_ = v_line;
-    }
-    const int64_t g_line = static_cast<int64_t>(g_codes.LineIndexOf(i));
-    if (g_line != last_g_line_) {
-      ctx.Read(g_codes.SimAddrOf(i));
-      last_g_line_ = g_line;
-    }
     const uint32_t g_code = g_codes.Get(i);
     // Decode the aggregated value through the dictionary (random access).
     const int32_t value = v_dict.DecodeSim(ctx, v_codes.Get(i));
@@ -75,15 +68,15 @@ bool AggMergeJob::Step(sim::ExecContext& ctx) {
   const uint64_t end =
       std::min(local->capacity_slots(), slot_cursor_ + kSlotsPerChunk);
 
-  int64_t last_line = -1;
+  // Sequential sweep over the local table's slot array: the chunk's slot
+  // lines are one contiguous run. The per-chunk cursor used to reset, so a
+  // line straddling two chunks is (still) charged in both.
+  const uint64_t first_line =
+      local->SimAddrOfSlot(slot_cursor_) / simcache::kLineSize;
+  const uint64_t last_line =
+      local->SimAddrOfSlot(end - 1) / simcache::kLineSize;
+  ctx.ReadRun(first_line * simcache::kLineSize, last_line - first_line + 1);
   for (uint64_t slot = slot_cursor_; slot < end; ++slot) {
-    // Sequential sweep over the local table's slot array.
-    const int64_t line =
-        static_cast<int64_t>(local->SimAddrOfSlot(slot) / simcache::kLineSize);
-    if (line != last_line) {
-      ctx.Read(local->SimAddrOfSlot(slot));
-      last_line = line;
-    }
     if (local->SlotOccupied(slot)) {
       global_->UpsertSim(ctx, local->SlotKey(slot), local->SlotValue(slot),
                          func_);

@@ -35,17 +35,9 @@ bool ColumnScanJob::Step(sim::ExecContext& ctx) {
   const uint64_t chunk_end = std::min(range_.end, cursor_ + kRowsPerChunk);
   const storage::BitPackedVector& codes = column_->codes();
 
-  // Charge one read per cache line of packed codes this chunk touches.
-  const int64_t first_line = static_cast<int64_t>(codes.LineIndexOf(cursor_));
-  const int64_t last_line =
-      static_cast<int64_t>(codes.LineIndexOf(chunk_end - 1));
-  uint64_t lines = 0;
-  for (int64_t line = std::max(first_line, last_line_ + 1);
-       line <= last_line; ++line) {
-    ctx.Read(codes.vbase() + static_cast<uint64_t>(line) * simcache::kLineSize);
-    ++lines;
-  }
-  last_line_ = last_line;
+  // Charge the packed-code lines this chunk touches as one batched run
+  // (same lines, same order as the old per-line loop).
+  const uint64_t lines = codes.ReadRunSim(ctx, cursor_, chunk_end, &last_line_);
 
   ctx.Compute(lines * kCyclesPerLine);
   ctx.Instructions(lines * 16);

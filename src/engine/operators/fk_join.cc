@@ -22,13 +22,10 @@ bool FkJoinBuildJob::Step(sim::ExecContext& ctx) {
   if (cursor_ >= range_.end) return false;
   const uint64_t chunk_end = std::min(range_.end, cursor_ + kRowsPerChunk);
 
+  // The key column streams: charge the chunk's fresh key lines as one
+  // batched run up-front, then walk the rows host-side.
+  pk_column_->ReadRunSim(ctx, cursor_, chunk_end, &last_key_line_);
   for (uint64_t i = cursor_; i < chunk_end; ++i) {
-    const int64_t key_line = static_cast<int64_t>(
-        pk_column_->SimAddrOf(i) / simcache::kLineSize);
-    if (key_line != last_key_line_) {
-      ctx.Read(pk_column_->SimAddrOf(i));
-      last_key_line_ = key_line;
-    }
     const int32_t key = pk_column_->Get(i);
     const uint64_t bit = static_cast<uint64_t>(key) - 1;
     const int64_t bit_line = static_cast<int64_t>(
@@ -66,13 +63,10 @@ bool FkJoinProbeJob::Step(sim::ExecContext& ctx) {
   if (cursor_ >= range_.end) return false;
   const uint64_t chunk_end = std::min(range_.end, cursor_ + kRowsPerChunk);
 
+  // Batched read of the chunk's fresh foreign-key lines; the bit-vector
+  // probes below stay scalar (random order).
+  fk_column_->ReadRunSim(ctx, cursor_, chunk_end, &last_key_line_);
   for (uint64_t i = cursor_; i < chunk_end; ++i) {
-    const int64_t key_line = static_cast<int64_t>(
-        fk_column_->SimAddrOf(i) / simcache::kLineSize);
-    if (key_line != last_key_line_) {
-      ctx.Read(fk_column_->SimAddrOf(i));
-      last_key_line_ = key_line;
-    }
     const int32_t key = fk_column_->Get(i);
     // Random membership probe into the bit vector.
     if (bits_->TestSim(ctx, static_cast<uint64_t>(key) - 1)) ++matches_;

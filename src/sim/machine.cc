@@ -140,6 +140,48 @@ void Machine::Access(uint32_t core, uint64_t addr, bool is_write) {
   clocks_[core] += r.latency_cycles;
 }
 
+void Machine::AccessRun(uint32_t core, uint64_t addr, uint64_t n_lines,
+                        bool is_write) {
+  if (n_lines == 0) return;
+  if (!config_.batched_runs || config_.hierarchy.reference_impl) {
+    // Scalar decomposition: same lines, same order, same per-access call
+    // chain — this is the baseline leg the self-benchmark measures against
+    // and the reference-mode path (whose caches have no fast-path twins).
+    for (uint64_t i = 0; i < n_lines; ++i) {
+      Access(core, addr + i * simcache::kLineSize, is_write);
+    }
+    return;
+  }
+  (void)is_write;  // writes are timed like reads (write-allocate)
+  const cat::ClosId clos = cat_.CoreClos(core);
+  const uint64_t mask = cat_.CoreMask(core);
+  if (n_lines == 1) {
+    // Single-line runs (point reads, short tail chunks) gain nothing from
+    // run batching but would pay its per-run setup and counter flush; the
+    // scalar access chain is both cheaper and trivially result-identical.
+    const simcache::AccessResult r =
+        hierarchy_.Access(core, Translate(addr), clocks_[core], mask, clos);
+    clocks_[core] += r.latency_cycles;
+    return;
+  }
+  uint64_t now = clocks_[core];
+  uint64_t vline = addr >> simcache::kLineShift;
+  uint64_t remaining = n_lines;
+  while (remaining > 0) {
+    // Within one virtual page the physical lines are contiguous (Translate
+    // is affine in the page offset), so one translation covers the segment.
+    const uint64_t in_page =
+        simcache::kPageLines - (vline & (simcache::kPageLines - 1));
+    const uint64_t seg = remaining < in_page ? remaining : in_page;
+    const uint64_t pline =
+        simcache::LineOf(Translate(vline << simcache::kLineShift));
+    now += hierarchy_.AccessRun(core, pline, seg, now, mask, clos);
+    vline += seg;
+    remaining -= seg;
+  }
+  clocks_[core] = now;
+}
+
 Result<uint64_t> Machine::LlcOccupancyBytes(const std::string& group) const {
   Result<cat::ClosId> clos = resctrl_.ClosOfGroup(group);
   if (!clos.ok()) return clos.status();

@@ -24,6 +24,13 @@ struct MachineConfig {
   /// Cycle cost of the in-kernel IA32_PQR_ASSOC update when a context switch
   /// lands a thread with a different CLOS on a core (cheap: one MSR write).
   uint64_t pqr_write_cycles = 120;
+  /// If true (default), ExecContext::ReadRun/WriteRun use the run-granular
+  /// MemoryHierarchy::AccessRun fast path; if false, runs decompose into the
+  /// scalar per-line Access chain. Both produce bit-identical simulated
+  /// cycles, statistics and reports (pinned by tests/batched_access_test.cc
+  /// and the determinism goldens); the flag exists so the self-benchmark can
+  /// measure the batching speedup and tests can pin the equivalence.
+  bool batched_runs = true;
 };
 
 /// The simulated single-socket machine: virtual cores with cycle clocks, the
@@ -81,6 +88,18 @@ class Machine {
   /// Simulates a memory access by `core` to virtual address `addr`, charging
   /// the access latency to the core's clock.
   void Access(uint32_t core, uint64_t addr, bool is_write);
+
+  /// Simulates `n_lines` accesses to the consecutive cache lines starting at
+  /// the line holding virtual address `addr`, equivalent to (and
+  /// bit-identical with) that many scalar Access calls in ascending order.
+  /// The core's CLOS and CAT mask are resolved once, the run is segmented at
+  /// 4 KiB page boundaries (physical lines are contiguous within a page, so
+  /// translation happens once per segment), and each segment flows through
+  /// MemoryHierarchy::AccessRun. Falls back to the scalar loop when
+  /// `batched_runs` is off or the hierarchy runs the reference
+  /// implementation.
+  void AccessRun(uint32_t core, uint64_t addr, uint64_t n_lines,
+                 bool is_write);
 
   /// Charges `n` pure compute cycles to the core's clock.
   void Compute(uint32_t core, uint64_t n) { clocks_[core] += n; }
@@ -206,6 +225,19 @@ class ExecContext {
 
   /// Simulated write (timed like a read; write-allocate).
   void Write(uint64_t addr) { machine_->Access(core_, addr, true); }
+
+  /// Simulated read of `n_lines` consecutive cache lines starting at the
+  /// line holding `addr` — the batched form of a per-line Read loop, for
+  /// streaming operators (column scans, join key walks, posting lists).
+  void ReadRun(uint64_t addr, uint64_t n_lines) {
+    machine_->AccessRun(core_, addr, n_lines, false);
+  }
+
+  /// Simulated write of `n_lines` consecutive cache lines (timed like
+  /// ReadRun; write-allocate).
+  void WriteRun(uint64_t addr, uint64_t n_lines) {
+    machine_->AccessRun(core_, addr, n_lines, true);
+  }
 
   /// Charges pure compute cycles.
   void Compute(uint64_t cycles) { machine_->Compute(core_, cycles); }

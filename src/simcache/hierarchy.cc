@@ -131,6 +131,148 @@ AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
   return result;
 }
 
+uint64_t MemoryHierarchy::AccessRun(uint32_t core, uint64_t first_line,
+                                    uint64_t n_lines, uint64_t now,
+                                    uint64_t llc_alloc_mask, uint32_t clos) {
+  CATDB_DCHECK(!config_.reference_impl);
+  CATDB_DCHECK(core < config_.num_cores);
+  CATDB_DCHECK(clos < kMaxClos);
+  CATDB_DCHECK(n_lines >= 1);
+
+  SetAssocCache& l1 = *l1_[core];
+  SetAssocCache& l2 = *l2_[core];
+  SetAssocCache& llc = *llc_;
+  StreamPrefetcher& pf = *prefetchers_[core];
+  HierarchyStats& cs = core_stats_[core];
+  ClosMonitor& mon = clos_monitors_[clos];
+  const uint64_t lat_l1 = config_.latency.l1_hit;
+  const uint64_t lat_l2 = config_.latency.l2_hit;
+  const uint64_t lat_llc = config_.latency.llc_hit;
+  const bool pf_enabled = config_.prefetcher.enabled;
+  const bool inclusive = config_.inclusive_llc;
+  const uint64_t last_line = first_line + n_lines - 1;
+
+  // Pure counters are batched in locals and flushed once after the loop.
+  // Everything with ordering-sensitive side effects — LRU promotion, LLC
+  // inserts with their occupancy/back-invalidation accounting, DRAM epoch
+  // booking, the pending-prefetch table, shadow observation — stays exact
+  // per event, at the cycle `now` has advanced to for that line.
+  uint64_t n_l1_hits = 0, n_l1_misses = 0;
+  uint64_t n_l2_hits = 0, n_l2_misses = 0;
+  uint64_t n_llc_hits = 0, n_llc_misses = 0;
+  uint64_t n_pf_hits = 0, n_pf_issued = 0, n_pf_dropped = 0;
+  uint64_t n_dram = 0, n_dram_wait = 0;
+
+  const uint64_t start = now;
+  for (uint64_t line = first_line; line <= last_line; ++line) {
+    if (pf_enabled) {
+      scratch_prefetch_lines_.clear();
+      if (line == first_line) {
+        pf.BeginRun(first_line, last_line, &scratch_prefetch_lines_);
+      } else {
+        pf.OnRunAccess(line, &scratch_prefetch_lines_);
+      }
+      for (uint64_t p : scratch_prefetch_lines_) {
+        if (llc.ContainsHinted(p)) {
+          l2.Insert(p);
+          if (inclusive) llc.MarkPresentHinted(p, core);
+          continue;
+        }
+        uint64_t ready_time = 0;
+        if (!dram_.RequestPrefetchLine(now, &ready_time)) {
+          n_pf_dropped += 1;
+          continue;
+        }
+        prefetch_ready_.Assign(p, ready_time);
+        n_pf_issued += 1;
+        InsertIntoLlc(p, llc_alloc_mask, clos);
+        if (inclusive) {
+          l2.InsertNew(p);
+          llc.MarkPresentHinted(p, core);
+        } else {
+          l2.Insert(p);
+        }
+      }
+    }
+
+    if (l1.LookupHinted(line)) {
+      // L1-resident streak: the hit folds into the batched counters and one
+      // latency add; nothing else in the hierarchy moves (fast mode leaves
+      // pending prefetches untouched on L1 hits).
+      n_l1_hits += 1;
+      now += lat_l1;
+      continue;
+    }
+    n_l1_misses += 1;
+
+    uint64_t pending_wait = 0;
+    if (uint64_t* ready = prefetch_ready_.Find(line); ready != nullptr) {
+      if (*ready > now) pending_wait = *ready - now;
+      n_pf_hits += 1;
+      prefetch_ready_.Erase(line);
+    }
+
+    if (l2.LookupHinted(line)) {
+      n_l2_hits += 1;
+      FillPrivate(core, line, /*l2_resident=*/true);
+      now += lat_l2 + pending_wait;
+      continue;
+    }
+    n_l2_misses += 1;
+
+    if (shadow_profiler_ != nullptr) shadow_profiler_->Observe(clos, line);
+
+    if (llc.LookupHinted(line)) {
+      n_llc_hits += 1;
+      FillPrivate(core, line, /*l2_resident=*/false);
+      now += lat_llc + pending_wait;
+      continue;
+    }
+    n_llc_misses += 1;
+
+    uint64_t wait = 0;
+    const uint64_t dram_latency = dram_.RequestLine(now, &wait);
+    n_dram += 1;
+    n_dram_wait += wait;
+    FillFromDram(core, line, llc_alloc_mask, clos);
+    now += lat_llc + dram_latency;
+  }
+
+  // Flush groups are gated on their headline counter: an all-L1-hit run (the
+  // common case for warm operators) touches two counters instead of
+  // twenty-five.
+  stats_.l1.hits += n_l1_hits;
+  cs.l1.hits += n_l1_hits;
+  if (n_l1_misses != 0) {
+    stats_.l1.misses += n_l1_misses;
+    stats_.l2.hits += n_l2_hits;
+    stats_.l2.misses += n_l2_misses;
+    stats_.llc.hits += n_llc_hits;
+    stats_.prefetch_hits += n_pf_hits;
+    cs.l1.misses += n_l1_misses;
+    cs.l2.hits += n_l2_hits;
+    cs.l2.misses += n_l2_misses;
+    cs.llc.hits += n_llc_hits;
+    cs.prefetch_hits += n_pf_hits;
+    mon.llc.hits += n_llc_hits;
+  }
+  if ((n_llc_misses | n_pf_issued | n_pf_dropped) != 0) {
+    stats_.llc.misses += n_llc_misses + n_pf_issued;
+    stats_.prefetches_issued += n_pf_issued;
+    stats_.prefetches_dropped += n_pf_dropped;
+    stats_.dram_accesses += n_dram;
+    stats_.dram_wait_cycles += n_dram_wait;
+    cs.llc.misses += n_llc_misses + n_pf_issued;
+    cs.prefetches_issued += n_pf_issued;
+    cs.prefetches_dropped += n_pf_dropped;
+    cs.dram_accesses += n_dram;
+    cs.dram_wait_cycles += n_dram_wait;
+    mon.llc.misses += n_llc_misses + n_pf_issued;
+    mon.mbm_lines += n_llc_misses + n_pf_issued;
+  }
+  return now - start;
+}
+
 void MemoryHierarchy::FillFromDram(uint32_t core, uint64_t line,
                                    uint64_t llc_alloc_mask, uint32_t clos) {
   InsertIntoLlc(line, llc_alloc_mask, clos);

@@ -83,6 +83,21 @@ class MemoryHierarchy {
   AccessResult Access(uint32_t core, uint64_t addr, uint64_t now,
                       uint64_t llc_alloc_mask, uint32_t clos = 0);
 
+  /// Batched equivalent of `n_lines` consecutive Access calls to the
+  /// *physical* line addresses [first_line, first_line + n_lines): the CLOS
+  /// mask, per-core cache references and statistics rows are resolved once,
+  /// the prefetcher advances through a run cursor instead of a full stream
+  /// scan per line, pure counters are accumulated in locals and flushed once
+  /// at the end, and consecutive L1 hits short-circuit into a streak whose
+  /// stats/latency fold into a single update. Returns the summed latency;
+  /// `now` advances internally per line, so DRAM booking and prefetch
+  /// arrival times are cycle-identical to the scalar path (pinned by
+  /// tests/batched_access_test.cc). Not available in reference mode — the
+  /// Machine decomposes runs into scalar Access calls there.
+  uint64_t AccessRun(uint32_t core, uint64_t first_line, uint64_t n_lines,
+                     uint64_t now, uint64_t llc_alloc_mask,
+                     uint32_t clos = 0);
+
   /// Maximum number of monitored classes of service.
   static constexpr uint32_t kMaxClos = 16;
 

@@ -1,5 +1,7 @@
 #include "simcache/prefetcher.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "simcache/cache_geometry.h"
 
@@ -10,24 +12,6 @@ StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig& config)
   CATDB_CHECK(config_.num_streams >= 1);
   CATDB_CHECK(config_.trigger_run >= 1);
   streams_.resize(config_.num_streams);
-}
-
-void StreamPrefetcher::ExtendStream(Stream* s, uint64_t line,
-                                    std::vector<uint64_t>* out) {
-  s->last_line = line;
-  s->run_length++;
-  s->lru_stamp = ++stamp_counter_;
-  if (s->run_length >= config_.trigger_run) {
-    if (s->next_prefetch <= line) s->next_prefetch = line + 1;
-    // Hardware streamers do not cross 4 KiB page boundaries: the next
-    // physical page is unrelated memory.
-    const uint64_t page_end = line | (kPageLines - 1);
-    uint64_t horizon = line + config_.depth;
-    if (horizon > page_end) horizon = page_end;
-    while (s->next_prefetch <= horizon) {
-      out->push_back(s->next_prefetch++);
-    }
-  }
 }
 
 void StreamPrefetcher::OnDemandAccess(uint64_t line,
@@ -76,6 +60,67 @@ void StreamPrefetcher::OnDemandAccess(uint64_t line,
   victim->lru_stamp = ++stamp_counter_;
 }
 
+void StreamPrefetcher::BeginRun(uint64_t first_line, uint64_t last_line,
+                                std::vector<uint64_t>* out) {
+  if (!config_.enabled) return;
+  run_collisions_.clear();
+  run_collision_idx_ = 0;
+  // The first line acts exactly like OnDemandAccess — head re-access beats
+  // extension beats new-stream allocation — but its scan is fused with the
+  // collision collection: candidate heads in (first_line, last_line] are
+  // gathered in the same pass over the stream table. Whatever the first
+  // line's action, it leaves exactly one stream whose head equals
+  // first_line — the run cursor.
+  Stream* head_match = nullptr;
+  Stream* extend = nullptr;
+  Stream* first_invalid = nullptr;
+  Stream* lru = nullptr;
+  for (Stream& s : streams_) {
+    if (!s.valid) {
+      if (first_invalid == nullptr) first_invalid = &s;
+      continue;
+    }
+    if (s.last_line == first_line) {
+      head_match = &s;
+    } else if (s.last_line > first_line && s.last_line <= last_line) {
+      run_collisions_.push_back(&s);
+    }
+    if (first_line == s.last_line + 1) extend = &s;
+    if (lru == nullptr || s.lru_stamp < lru->lru_stamp) lru = &s;
+  }
+
+  if (head_match != nullptr) {
+    // Re-access of a stream head: refresh recency, nothing to prefetch.
+    head_match->lru_stamp = ++stamp_counter_;
+    run_cursor_ = head_match;
+  } else if (extend != nullptr) {
+    ExtendStream(extend, first_line, out);
+    run_cursor_ = extend;
+  } else {
+    // New stream: replace the first invalid slot, else the LRU stream. A
+    // victim whose frozen head fell inside the run range was collected as a
+    // collision candidate above; reallocation makes it the cursor instead.
+    Stream* victim = first_invalid != nullptr ? first_invalid : lru;
+    if (victim->valid && victim->last_line > first_line &&
+        victim->last_line <= last_line) {
+      run_collisions_.erase(std::find(run_collisions_.begin(),
+                                      run_collisions_.end(), victim));
+    }
+    victim->valid = true;
+    victim->last_line = first_line;
+    victim->next_prefetch = first_line + 1;
+    victim->run_length = 1;
+    victim->lru_stamp = ++stamp_counter_;
+    run_cursor_ = victim;
+  }
+  if (run_collisions_.size() > 1) {
+    std::sort(run_collisions_.begin(), run_collisions_.end(),
+              [](const Stream* a, const Stream* b) {
+                return a->last_line < b->last_line;
+              });
+  }
+}
+
 void StreamPrefetcher::OnDemandAccessReference(uint64_t line,
                                                std::vector<uint64_t>* out) {
   // Re-access of a stream head: refresh recency, nothing to prefetch.
@@ -112,6 +157,9 @@ void StreamPrefetcher::OnDemandAccessReference(uint64_t line,
 
 void StreamPrefetcher::Reset() {
   for (Stream& s : streams_) s.valid = false;
+  run_cursor_ = nullptr;
+  run_collisions_.clear();
+  run_collision_idx_ = 0;
 }
 
 }  // namespace catdb::simcache

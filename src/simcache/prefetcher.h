@@ -1,8 +1,12 @@
 #ifndef CATDB_SIMCACHE_PREFETCHER_H_
 #define CATDB_SIMCACHE_PREFETCHER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "common/check.h"
+#include "simcache/cache_geometry.h"
 
 namespace catdb::simcache {
 
@@ -29,6 +33,47 @@ class StreamPrefetcher {
   /// should be prefetched to `out` (out is not cleared).
   void OnDemandAccess(uint64_t line, std::vector<uint64_t>* out);
 
+  /// Run-granular training, for the hierarchy's batched access path. A *run*
+  /// is a strictly ascending sequence of consecutive line addresses
+  /// [first_line, last_line]. BeginRun observes `first_line` exactly like
+  /// OnDemandAccess, then prepares a cursor so each following line of the run
+  /// can be observed by OnRunAccess without rescanning the stream table.
+  ///
+  /// Bit-exactness argument: stream heads (`last_line`) are unique among
+  /// valid streams, and during a run only the cursor stream's head moves —
+  /// every other head is frozen. So the only scalar outcomes possible for a
+  /// run line are (a) head re-access of a stream whose frozen head equals the
+  /// line (collected up front, consumed in ascending order) or (b) extension
+  /// of the cursor stream. New-stream allocation cannot occur mid-run
+  /// (the cursor always matches as an extension), and a consumed collision
+  /// head becomes the new cursor — exactly what the scalar scan would pick,
+  /// including the lru_stamp counter evolution.
+  void BeginRun(uint64_t first_line, uint64_t last_line,
+                std::vector<uint64_t>* out);
+
+  /// Observes the next line of the run opened by BeginRun. `line` must be
+  /// exactly one past the previously observed run line. Emits the same
+  /// prefetch candidates, in the same order, as OnDemandAccess would.
+  /// Defined inline: this is the per-line prefetcher step of the hierarchy's
+  /// batched run loop.
+  void OnRunAccess(uint64_t line, std::vector<uint64_t>* out) {
+    if (!config_.enabled) return;
+    CATDB_DCHECK(run_cursor_ != nullptr &&
+                 line == run_cursor_->last_line + 1);
+    if (run_collision_idx_ < run_collisions_.size() &&
+        run_collisions_[run_collision_idx_]->last_line == line) {
+      // Head re-access of a frozen stream: refresh its recency and make it
+      // the cursor (scalar priority: head re-access beats extension). The
+      // next run line extends it; the abandoned cursor's head now trails
+      // the run and can never match again.
+      Stream* s = run_collisions_[run_collision_idx_++];
+      s->lru_stamp = ++stamp_counter_;
+      run_cursor_ = s;
+      return;
+    }
+    ExtendStream(run_cursor_, line, out);
+  }
+
   /// Drops all tracked streams (e.g. between experiment runs).
   void Reset();
 
@@ -48,12 +93,36 @@ class StreamPrefetcher {
   };
 
   void OnDemandAccessReference(uint64_t line, std::vector<uint64_t>* out);
-  void ExtendStream(Stream* s, uint64_t line, std::vector<uint64_t>* out);
+
+  // Inline: per-line work of every sequential stream (demand and batched).
+  void ExtendStream(Stream* s, uint64_t line, std::vector<uint64_t>* out) {
+    s->last_line = line;
+    s->run_length++;
+    s->lru_stamp = ++stamp_counter_;
+    if (s->run_length >= config_.trigger_run) {
+      if (s->next_prefetch <= line) s->next_prefetch = line + 1;
+      // Hardware streamers do not cross 4 KiB page boundaries: the next
+      // physical page is unrelated memory.
+      const uint64_t page_end = line | (kPageLines - 1);
+      uint64_t horizon = line + config_.depth;
+      if (horizon > page_end) horizon = page_end;
+      while (s->next_prefetch <= horizon) {
+        out->push_back(s->next_prefetch++);
+      }
+    }
+  }
 
   PrefetcherConfig config_;
   std::vector<Stream> streams_;
   uint64_t stamp_counter_ = 0;
   bool reference_mode_ = false;
+  // Batched-run cursor state (valid between BeginRun and the end of the
+  // run). run_collisions_ holds the frozen heads of other streams that lie
+  // inside the run's line range, ascending; run_collision_idx_ is the next
+  // unconsumed one.
+  Stream* run_cursor_ = nullptr;
+  std::vector<Stream*> run_collisions_;
+  size_t run_collision_idx_ = 0;
 };
 
 }  // namespace catdb::simcache

@@ -31,6 +31,11 @@ bool SetAssocCache::Lookup(uint64_t line) {
     hinted.lru_stamp = ++stamp_counter_;
     return true;
   }
+  return LookupScan(set, line);
+}
+
+bool SetAssocCache::LookupScan(uint32_t set, uint64_t line) {
+  Way* ways = SetWays(set);
   for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
     if (ways[w].valid && ways[w].tag == line) {
       ways[w].lru_stamp = ++stamp_counter_;

@@ -41,8 +41,33 @@ class SetAssocCache {
   /// true.
   bool Lookup(uint64_t line);
 
+  /// Lookup for the hierarchy's batched run loop: identical state evolution
+  /// to Lookup() in fast mode, but the one-compare way-hint check inlines
+  /// into the caller and only the full set scan stays out of line. Must not
+  /// be called in reference mode (the run loop never is).
+  bool LookupHinted(uint64_t line) {
+    const uint32_t set = geometry_.SetOf(line);
+    Way& hinted = ways_[static_cast<size_t>(set) * geometry_.num_ways +
+                        way_hint_[set]];
+    if (hinted.valid && hinted.tag == line) {
+      hinted.lru_stamp = ++stamp_counter_;
+      return true;
+    }
+    return LookupScan(set, line);
+  }
+
   /// Returns true iff the line is present, without touching LRU state.
   bool Contains(uint64_t line) const;
+
+  /// Contains() with an inline way-hint check first (the hint is advisory,
+  /// so reading it does not perturb any state). For the batched run loop.
+  bool ContainsHinted(uint64_t line) const {
+    const uint32_t set = geometry_.SetOf(line);
+    const Way& hinted = ways_[static_cast<size_t>(set) * geometry_.num_ways +
+                              way_hint_[set]];
+    if (hinted.valid && hinted.tag == line) return true;
+    return Contains(line);
+  }
 
   /// Inserts a line, evicting (if needed) the LRU line among the ways set in
   /// `alloc_mask`. If the line is already present it is only promoted to MRU
@@ -78,6 +103,19 @@ class SetAssocCache {
   /// The mask is a conservative superset: silent private evictions leave
   /// bits stale, which only costs a no-op Invalidate later.
   void MarkPresent(uint64_t line, uint32_t core);
+
+  /// MarkPresent() with the (almost always successful) hint compare inlined
+  /// into the caller. For the batched run loop.
+  void MarkPresentHinted(uint64_t line, uint32_t core) {
+    const uint32_t set = geometry_.SetOf(line);
+    Way& hinted = ways_[static_cast<size_t>(set) * geometry_.num_ways +
+                        way_hint_[set]];
+    if (hinted.valid && hinted.tag == line) {
+      hinted.presence |= uint32_t{1} << core;
+      return;
+    }
+    MarkPresent(line, core);
+  }
 
   /// Switches this cache to the seed-era reference implementation (no way
   /// hint, full scans). Simulated results are identical either way; only
@@ -120,6 +158,9 @@ class SetAssocCache {
   // Victim selection + fill for a line known to be absent from `set`.
   std::optional<EvictedLine> FillVictim(uint32_t set, uint64_t line,
                                         uint64_t alloc_mask, uint16_t owner);
+
+  // Full-set scan half of LookupHinted (hint already missed).
+  bool LookupScan(uint32_t set, uint64_t line);
 
   // Ways for set s occupy ways_[s * num_ways .. s * num_ways + num_ways).
   Way* SetWays(uint32_t set) { return &ways_[set * geometry_.num_ways]; }

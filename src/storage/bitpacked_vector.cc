@@ -1,5 +1,7 @@
 #include "storage/bitpacked_vector.h"
 
+#include <algorithm>
+
 namespace catdb::storage {
 
 BitPackedVector::BitPackedVector(uint64_t size, uint32_t width)
@@ -8,35 +10,51 @@ BitPackedVector::BitPackedVector(uint64_t size, uint32_t width)
       mask_(width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1) {
   CATDB_CHECK(width >= 1 && width <= 32);
   const uint64_t total_bits = size * width;
-  words_.assign((total_bits + 63) / 64 + 1, 0);  // +1: safe two-word reads
+  words_ = std::make_shared<std::vector<uint64_t>>(
+      (total_bits + 63) / 64 + 1, 0);  // +1: safe two-word reads
+  data_ = words_->data();
 }
 
 void BitPackedVector::Set(uint64_t i, uint32_t code) {
   CATDB_DCHECK(i < size_);
   CATDB_DCHECK((code & ~mask_) == 0);
+  // Published payloads are shared between machines/cells and must stay
+  // immutable; all builders finish Set calls before handing the vector out.
+  CATDB_DCHECK(words_.use_count() == 1);
+  std::vector<uint64_t>& words = *words_;
   const uint64_t bit = i * width_;
   const uint64_t word = bit / 64;
   const uint32_t offset = static_cast<uint32_t>(bit % 64);
-  words_[word] &= ~(mask_ << offset);
-  words_[word] |= static_cast<uint64_t>(code) << offset;
+  words[word] &= ~(mask_ << offset);
+  words[word] |= static_cast<uint64_t>(code) << offset;
   if (offset + width_ > 64) {
     const uint32_t spill = offset + width_ - 64;
     const uint64_t high_mask = (uint64_t{1} << spill) - 1;
-    words_[word + 1] &= ~high_mask;
-    words_[word + 1] |= static_cast<uint64_t>(code) >> (width_ - spill);
+    words[word + 1] &= ~high_mask;
+    words[word + 1] |= static_cast<uint64_t>(code) >> (width_ - spill);
   }
 }
 
-uint32_t BitPackedVector::Get(uint64_t i) const {
-  CATDB_DCHECK(i < size_);
-  const uint64_t bit = i * width_;
-  const uint64_t word = bit / 64;
-  const uint32_t offset = static_cast<uint32_t>(bit % 64);
-  uint64_t value = words_[word] >> offset;
-  if (offset + width_ > 64) {
-    value |= words_[word + 1] << (64 - offset);
+uint64_t BitPackedVector::ReadRunSim(sim::ExecContext& ctx, uint64_t row_begin,
+                                     uint64_t row_end,
+                                     int64_t* last_line) const {
+  CATDB_DCHECK(attached());
+  CATDB_DCHECK(row_begin < row_end && row_end <= size_);
+  // vbase_ is line-aligned (AllocVirtual aligns to kLineSize), so line index
+  // k of this vector is exactly the simulated line at vbase_ + k * 64 — the
+  // per-row SimAddrOf recomputation the scalar loops did is unnecessary.
+  CATDB_DCHECK((vbase_ & (simcache::kLineSize - 1)) == 0);
+  const int64_t first = static_cast<int64_t>(LineIndexOf(row_begin));
+  const int64_t last = static_cast<int64_t>(LineIndexOf(row_end - 1));
+  const int64_t begin = std::max(first, *last_line + 1);
+  uint64_t n = 0;
+  if (begin <= last) {
+    n = static_cast<uint64_t>(last - begin + 1);
+    ctx.ReadRun(vbase_ + static_cast<uint64_t>(begin) * simcache::kLineSize,
+                n);
   }
-  return static_cast<uint32_t>(value & mask_);
+  if (last > *last_line) *last_line = last;
+  return n;
 }
 
 void BitPackedVector::AttachSim(sim::Machine* machine) {

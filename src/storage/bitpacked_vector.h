@@ -2,6 +2,7 @@
 #define CATDB_STORAGE_BITPACKED_VECTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -13,6 +14,11 @@ namespace catdb::storage {
 /// A fixed-width bit-packed code vector: n codes of `width` bits each,
 /// densely packed into 64-bit words. This is the compressed column format
 /// the paper's scan operates on (10^6 distinct values -> 20-bit codes).
+///
+/// The packed words live behind a shared_ptr so copies share one immutable
+/// payload — the dataset cache hands the same build to every sweep cell and
+/// each cell's copy only adds its own simulated attachment (`vbase_`).
+/// Mutation (Set) is a build-time operation and requires unique ownership.
 class BitPackedVector {
  public:
   BitPackedVector() = default;
@@ -22,13 +28,27 @@ class BitPackedVector {
 
   uint64_t size() const { return size_; }
   uint32_t width() const { return width_; }
-  uint64_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+  uint64_t SizeBytes() const {
+    return words_ ? words_->size() * sizeof(uint64_t) : 0;
+  }
 
-  /// Sets code `i` (host-side; used while building columns).
+  /// Sets code `i` (host-side; used while building columns). Only legal
+  /// while this instance is the sole owner of the payload — published
+  /// (cached/shared) vectors are immutable.
   void Set(uint64_t i, uint32_t code);
 
   /// Reads code `i` (host-side).
-  uint32_t Get(uint64_t i) const;
+  uint32_t Get(uint64_t i) const {
+    CATDB_DCHECK(i < size_);
+    const uint64_t bit = i * width_;
+    const uint64_t word = bit / 64;
+    const uint32_t offset = static_cast<uint32_t>(bit % 64);
+    uint64_t value = data_[word] >> offset;
+    if (offset + width_ > 64) {
+      value |= data_[word + 1] << (64 - offset);
+    }
+    return static_cast<uint32_t>(value & mask_);
+  }
 
   /// Simulated address of the byte containing the first bit of code `i`.
   /// Scans use this to charge one read per touched cache line.
@@ -48,6 +68,15 @@ class BitPackedVector {
     return Get(i);
   }
 
+  /// Charges the sequential reads for rows [row_begin, row_end): every cache
+  /// line holding those rows with index greater than `*last_line` is read as
+  /// one batched run, and `*last_line` advances to the last line of the
+  /// range. The cursor protocol matches the scan/aggregation chunk loops
+  /// (a line shared by two chunks is charged once). Returns the number of
+  /// lines read.
+  uint64_t ReadRunSim(sim::ExecContext& ctx, uint64_t row_begin,
+                      uint64_t row_end, int64_t* last_line) const;
+
   void AttachSim(sim::Machine* machine);
   bool attached() const { return vbase_ != 0; }
   uint64_t vbase() const { return vbase_; }
@@ -56,7 +85,11 @@ class BitPackedVector {
   uint64_t size_ = 0;
   uint32_t width_ = 0;
   uint64_t mask_ = 0;
-  std::vector<uint64_t> words_;
+  // Shared immutable payload plus a cached raw pointer for the host-side
+  // hot path (Get in operator inner loops). The pointer stays valid in
+  // copies: they co-own the same vector.
+  std::shared_ptr<std::vector<uint64_t>> words_;
+  const uint64_t* data_ = nullptr;
   uint64_t vbase_ = 0;
 };
 

@@ -1,0 +1,93 @@
+#include "storage/dataset_cache.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "storage/datagen.h"
+
+namespace catdb::storage {
+
+DatasetCache& DatasetCache::Instance() {
+  static DatasetCache* instance = new DatasetCache();
+  return *instance;
+}
+
+template <typename T, typename Builder>
+T DatasetCache::GetOrBuild(const std::string& key, Builder&& builder) {
+  std::promise<std::shared_ptr<const void>> promise;
+  Entry entry;
+  bool is_builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_ += 1;
+      entry = it->second;
+    } else {
+      misses_ += 1;
+      is_builder = true;
+      entry = promise.get_future().share();
+      entries_.emplace(key, entry);
+    }
+  }
+  if (is_builder) {
+    // Build outside the lock: other keys stay available and waiters on
+    // this key block on the future, not the mutex.
+    try {
+      promise.set_value(std::make_shared<const T>(builder()));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return *std::static_pointer_cast<const T>(entry.get());
+}
+
+DictColumn DatasetCache::UniformDomainColumn(uint64_t n, uint32_t domain_size,
+                                             uint64_t seed) {
+  const std::string key = "uniform/" + std::to_string(n) + "/" +
+                          std::to_string(domain_size) + "/" +
+                          std::to_string(seed);
+  return GetOrBuild<DictColumn>(
+      key, [&] { return MakeUniformDomainColumn(n, domain_size, seed); });
+}
+
+DictColumn DatasetCache::ZipfDomainColumn(uint64_t n, uint32_t domain,
+                                          double s, uint64_t seed) {
+  // The skew parameter is an exact binary double in every caller; hexfloat
+  // keys it without rounding ambiguity.
+  char skew[32];
+  std::snprintf(skew, sizeof(skew), "%a", s);
+  const std::string key = "zipf/" + std::to_string(n) + "/" +
+                          std::to_string(domain) + "/" + skew + "/" +
+                          std::to_string(seed);
+  return GetOrBuild<DictColumn>(
+      key, [&] { return MakeZipfDomainColumn(n, domain, s, seed); });
+}
+
+RawColumn DatasetCache::PrimaryKeyColumn(uint32_t n) {
+  const std::string key = "pk/" + std::to_string(n);
+  return GetOrBuild<RawColumn>(key, [&] { return MakePrimaryKeyColumn(n); });
+}
+
+RawColumn DatasetCache::ForeignKeyColumn(uint64_t n, uint32_t key_count,
+                                         uint64_t seed) {
+  const std::string key = "fk/" + std::to_string(n) + "/" +
+                          std::to_string(key_count) + "/" +
+                          std::to_string(seed);
+  return GetOrBuild<RawColumn>(
+      key, [&] { return MakeForeignKeyColumn(n, key_count, seed); });
+}
+
+DatasetCache::Stats DatasetCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_};
+}
+
+void DatasetCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace catdb::storage

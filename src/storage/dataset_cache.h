@@ -1,0 +1,77 @@
+#ifndef CATDB_STORAGE_DATASET_CACHE_H_
+#define CATDB_STORAGE_DATASET_CACHE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "storage/dict_column.h"
+#include "storage/raw_column.h"
+
+namespace catdb::storage {
+
+/// Memoized dataset store: one immutable build per unique generation
+/// parameter tuple, shared between every machine/sweep cell that asks for
+/// it. Generators are deterministic in their parameters, so regenerating a
+/// column per cell only burns host time — the SweepRunner's dominant
+/// per-cell setup cost before this cache existed.
+///
+/// Getters return *copies* of the cached column, but columns carry their
+/// payload behind a shared_ptr (see BitPackedVector/RawColumn/Dictionary):
+/// a copy shares the one immutable build and only adds its own simulated
+/// attachment state, so per-cell AttachSim calls do not interfere. Cached
+/// builds are never attached.
+///
+/// Thread safety: concurrent getters for the same key block until the one
+/// builder finishes and then share its result (promise/shared_future), so a
+/// parallel sweep builds each dataset exactly once. Report-neutral by
+/// construction — the returned bytes are identical at every `--jobs`.
+class DatasetCache {
+ public:
+  /// The process-wide instance (datasets are keyed purely by generation
+  /// parameters, so one store serves every machine).
+  static DatasetCache& Instance();
+
+  DatasetCache() = default;
+  DatasetCache(const DatasetCache&) = delete;
+  DatasetCache& operator=(const DatasetCache&) = delete;
+
+  /// Memoized equivalents of the storage/datagen.h generators.
+  DictColumn UniformDomainColumn(uint64_t n, uint32_t domain_size,
+                                 uint64_t seed);
+  DictColumn ZipfDomainColumn(uint64_t n, uint32_t domain, double s,
+                              uint64_t seed);
+  RawColumn PrimaryKeyColumn(uint32_t n);
+  RawColumn ForeignKeyColumn(uint64_t n, uint32_t key_count, uint64_t seed);
+
+  struct Stats {
+    uint64_t hits = 0;    // served from an existing (or in-flight) build
+    uint64_t misses = 0;  // triggered a build
+  };
+  Stats stats() const;
+
+  /// Drops every cached build and zeroes the statistics (tests; frees the
+  /// host memory of builds no column still references).
+  void Clear();
+
+ private:
+  using Entry = std::shared_future<std::shared_ptr<const void>>;
+
+  // Returns the cached build for `key`, running `builder` exactly once per
+  // key across all threads. The builder runs outside the lock; if it
+  // throws, every waiter for that key rethrows.
+  template <typename T, typename Builder>
+  T GetOrBuild(const std::string& key, Builder&& builder);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace catdb::storage
+
+#endif  // CATDB_STORAGE_DATASET_CACHE_H_

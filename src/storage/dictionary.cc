@@ -16,25 +16,26 @@ Dictionary Dictionary::FromValues(const std::vector<int32_t>& values) {
 Dictionary Dictionary::FromSortedDistinct(std::vector<int32_t> sorted) {
   CATDB_CHECK(std::is_sorted(sorted.begin(), sorted.end()));
   Dictionary dict;
-  dict.values_ = std::move(sorted);
+  dict.values_ = std::make_shared<std::vector<int32_t>>(std::move(sorted));
+  dict.data_ = dict.values_->data();
   return dict;
 }
 
 int64_t Dictionary::CodeOf(int32_t value) const {
-  auto it = std::lower_bound(values_.begin(), values_.end(), value);
-  if (it == values_.end() || *it != value) return -1;
-  return it - values_.begin();
+  auto it = std::lower_bound(values_->begin(), values_->end(), value);
+  if (it == values_->end() || *it != value) return -1;
+  return it - values_->begin();
 }
 
 uint32_t Dictionary::LowerBoundCode(int32_t value) const {
-  auto it = std::lower_bound(values_.begin(), values_.end(), value);
-  return static_cast<uint32_t>(it - values_.begin());
+  auto it = std::lower_bound(values_->begin(), values_->end(), value);
+  return static_cast<uint32_t>(it - values_->begin());
 }
 
 void Dictionary::AttachSim(sim::Machine* machine) {
   CATDB_CHECK(machine != nullptr);
   CATDB_CHECK(!attached());
-  CATDB_CHECK(!values_.empty());
+  CATDB_CHECK(size() > 0);
   vbase_ = machine->AllocVirtual(SizeBytes());
 }
 

@@ -2,6 +2,7 @@
 #define CATDB_STORAGE_DICTIONARY_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/machine.h"
@@ -26,17 +27,19 @@ class Dictionary {
 
   Dictionary() = default;
 
-  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
-  uint64_t SizeBytes() const { return values_.size() * sizeof(int32_t); }
+  uint32_t size() const {
+    return values_ ? static_cast<uint32_t>(values_->size()) : 0;
+  }
+  uint64_t SizeBytes() const { return uint64_t{size()} * sizeof(int32_t); }
 
   /// Decodes without simulation cost (data generation, result checking).
-  int32_t Decode(uint32_t code) const { return values_[code]; }
+  int32_t Decode(uint32_t code) const { return data_[code]; }
 
   /// Decodes through the simulated memory hierarchy: one random read into
   /// the dictionary array.
   int32_t DecodeSim(sim::ExecContext& ctx, uint32_t code) const {
     ctx.Read(vbase_ + static_cast<uint64_t>(code) * sizeof(int32_t));
-    return values_[code];
+    return data_[code];
   }
 
   /// Exact code of `value`, or -1 if absent (host-side binary search).
@@ -53,7 +56,10 @@ class Dictionary {
   uint64_t vbase() const { return vbase_; }
 
  private:
-  std::vector<int32_t> values_;
+  // Shared immutable payload (see BitPackedVector): copies handed out by the
+  // dataset cache share one value array; only `vbase_` is per-instance.
+  std::shared_ptr<std::vector<int32_t>> values_;
+  const int32_t* data_ = nullptr;
   uint64_t vbase_ = 0;
 };
 

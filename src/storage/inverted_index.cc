@@ -36,12 +36,13 @@ std::pair<uint32_t, uint32_t> InvertedIndex::LookupSim(
   ctx.Read(offsets_vbase_ + static_cast<uint64_t>(code) * sizeof(uint32_t));
   const auto range = Lookup(code);
   if (range.second > range.first) {
-    // Posting list: one read per touched cache line.
+    // Posting list: one read per touched cache line, as a batched run. The
+    // start address may sit mid-line; stepping it by kLineSize touches
+    // exactly the lines LineOf(first) + k for k < n, which is what ReadRun
+    // charges.
     const uint64_t first = rows_vbase_ + uint64_t{range.first} * 4;
     const uint64_t last = rows_vbase_ + uint64_t{range.second} * 4 - 1;
-    for (uint64_t addr = first; addr <= last; addr += simcache::kLineSize) {
-      ctx.Read(addr);
-    }
+    ctx.ReadRun(first, (last - first) / simcache::kLineSize + 1);
   }
   return range;
 }

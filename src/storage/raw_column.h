@@ -1,27 +1,35 @@
 #ifndef CATDB_STORAGE_RAW_COLUMN_H_
 #define CATDB_STORAGE_RAW_COLUMN_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "sim/machine.h"
+#include "simcache/cache_geometry.h"
 
 namespace catdb::storage {
 
 /// An uncompressed int32 column. Used where the paper's algorithms work on
 /// plain key arrays (the foreign-key join reads key values, not codes).
+///
+/// The value array lives behind a shared_ptr so copies share one immutable
+/// payload (see BitPackedVector); only the simulated attachment (`vbase_`)
+/// is per-instance.
 class RawColumn {
  public:
   RawColumn() = default;
   explicit RawColumn(std::vector<int32_t> values)
-      : values_(std::move(values)) {}
+      : values_(std::make_shared<std::vector<int32_t>>(std::move(values))),
+        data_(values_->data()) {}
 
-  uint64_t size() const { return values_.size(); }
-  uint64_t SizeBytes() const { return values_.size() * sizeof(int32_t); }
+  uint64_t size() const { return values_ ? values_->size() : 0; }
+  uint64_t SizeBytes() const { return size() * sizeof(int32_t); }
 
-  int32_t Get(uint64_t i) const { return values_[i]; }
+  int32_t Get(uint64_t i) const { return data_[i]; }
 
   /// Simulated address of element `i`.
   uint64_t SimAddrOf(uint64_t i) const {
@@ -35,17 +43,45 @@ class RawColumn {
     return Get(i);
   }
 
+  /// Simulated cache line index of element `i` relative to the column start.
+  uint64_t LineIndexOf(uint64_t i) const {
+    return i * sizeof(int32_t) / simcache::kLineSize;
+  }
+
+  /// Charges the sequential reads for elements [row_begin, row_end) as one
+  /// batched run, skipping lines at or below `*last_line` and advancing the
+  /// cursor (same protocol as BitPackedVector::ReadRunSim). Returns the
+  /// number of lines read.
+  uint64_t ReadRunSim(sim::ExecContext& ctx, uint64_t row_begin,
+                      uint64_t row_end, int64_t* last_line) const {
+    CATDB_DCHECK(attached());
+    CATDB_DCHECK(row_begin < row_end && row_end <= size());
+    CATDB_DCHECK((vbase_ & (simcache::kLineSize - 1)) == 0);
+    const int64_t first = static_cast<int64_t>(LineIndexOf(row_begin));
+    const int64_t last = static_cast<int64_t>(LineIndexOf(row_end - 1));
+    const int64_t begin = std::max(first, *last_line + 1);
+    uint64_t n = 0;
+    if (begin <= last) {
+      n = static_cast<uint64_t>(last - begin + 1);
+      ctx.ReadRun(
+          vbase_ + static_cast<uint64_t>(begin) * simcache::kLineSize, n);
+    }
+    if (last > *last_line) *last_line = last;
+    return n;
+  }
+
   void AttachSim(sim::Machine* machine) {
     CATDB_CHECK(machine != nullptr);
     CATDB_CHECK(!attached());
-    CATDB_CHECK(!values_.empty());
+    CATDB_CHECK(size() > 0);
     vbase_ = machine->AllocVirtual(SizeBytes());
   }
   bool attached() const { return vbase_ != 0; }
   uint64_t vbase() const { return vbase_; }
 
  private:
-  std::vector<int32_t> values_;
+  std::shared_ptr<std::vector<int32_t>> values_;
+  const int32_t* data_ = nullptr;
   uint64_t vbase_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "workloads/micro.h"
 
 #include "common/check.h"
+#include "storage/dataset_cache.h"
 
 namespace catdb::workloads {
 
@@ -20,10 +21,16 @@ uint32_t PkCountForRatio(const sim::Machine& machine, double ratio) {
   return static_cast<uint32_t>(keys);
 }
 
+// All three dataset makers pull their columns from the process-wide
+// DatasetCache: each unique (generator, parameters) tuple is built once and
+// shared — a sweep's cells get copies sharing one immutable payload and only
+// attach them to their private machines.
+
 ScanDataset MakeScanDataset(sim::Machine* machine, uint64_t rows,
                             uint32_t distinct, uint64_t seed) {
+  storage::DatasetCache& cache = storage::DatasetCache::Instance();
   ScanDataset data;
-  data.column = storage::MakeUniformDomainColumn(rows, distinct, seed);
+  data.column = cache.UniformDomainColumn(rows, distinct, seed);
   data.column.AttachSim(machine);
   return data;
 }
@@ -31,9 +38,10 @@ ScanDataset MakeScanDataset(sim::Machine* machine, uint64_t rows,
 AggDataset MakeAggDataset(sim::Machine* machine, uint64_t rows,
                           uint32_t v_distinct, uint32_t groups,
                           uint64_t seed) {
+  storage::DatasetCache& cache = storage::DatasetCache::Instance();
   AggDataset data;
-  data.v = storage::MakeUniformDomainColumn(rows, v_distinct, seed);
-  data.g = storage::MakeUniformDomainColumn(rows, groups, seed + 1);
+  data.v = cache.UniformDomainColumn(rows, v_distinct, seed);
+  data.g = cache.UniformDomainColumn(rows, groups, seed + 1);
   data.v.AttachSim(machine);
   data.g.AttachSim(machine);
   return data;
@@ -41,9 +49,10 @@ AggDataset MakeAggDataset(sim::Machine* machine, uint64_t rows,
 
 JoinDataset MakeJoinDataset(sim::Machine* machine, uint32_t key_count,
                             uint64_t fk_rows, uint64_t seed) {
+  storage::DatasetCache& cache = storage::DatasetCache::Instance();
   JoinDataset data;
-  data.pk = storage::MakePrimaryKeyColumn(key_count);
-  data.fk = storage::MakeForeignKeyColumn(fk_rows, key_count, seed);
+  data.pk = cache.PrimaryKeyColumn(key_count);
+  data.fk = cache.ForeignKeyColumn(fk_rows, key_count, seed);
   data.key_count = key_count;
   data.pk.AttachSim(machine);
   data.fk.AttachSim(machine);

@@ -1,0 +1,237 @@
+// Equivalence pins for the run-granular access fast path: a machine with
+// batched_runs on must produce bit-identical simulated cycles, statistics
+// and monitoring counters to one decomposing every run into scalar Access
+// calls — across CAT mask regimes, prefetcher on/off, inclusive/exclusive
+// LLC, page-boundary-crossing runs and multi-core interleavings. This is
+// the contract that lets every figure bench run the batched path without
+// re-validating its numbers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/machine.h"
+#include "simcache/cache_geometry.h"
+#include "simcache/hierarchy.h"
+
+namespace catdb {
+namespace {
+
+void ExpectStatsEq(const simcache::HierarchyStats& a,
+                   const simcache::HierarchyStats& b) {
+  EXPECT_EQ(a.l1.hits, b.l1.hits);
+  EXPECT_EQ(a.l1.misses, b.l1.misses);
+  EXPECT_EQ(a.l2.hits, b.l2.hits);
+  EXPECT_EQ(a.l2.misses, b.l2.misses);
+  EXPECT_EQ(a.llc.hits, b.llc.hits);
+  EXPECT_EQ(a.llc.misses, b.llc.misses);
+  EXPECT_EQ(a.dram_accesses, b.dram_accesses);
+  EXPECT_EQ(a.dram_wait_cycles, b.dram_wait_cycles);
+  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
+  EXPECT_EQ(a.prefetches_dropped, b.prefetches_dropped);
+  EXPECT_EQ(a.prefetch_hits, b.prefetch_hits);
+  EXPECT_EQ(a.llc_back_invalidations, b.llc_back_invalidations);
+}
+
+void ExpectMachinesEq(sim::Machine& batched, sim::Machine& scalar) {
+  for (uint32_t c = 0; c < batched.num_cores(); ++c) {
+    EXPECT_EQ(batched.clock(c), scalar.clock(c)) << "core " << c;
+  }
+  ExpectStatsEq(batched.hierarchy().stats(), scalar.hierarchy().stats());
+  for (uint32_t c = 0; c < batched.num_cores(); ++c) {
+    SCOPED_TRACE(c);
+    ExpectStatsEq(batched.hierarchy().core_stats(c),
+                  scalar.hierarchy().core_stats(c));
+  }
+  for (uint32_t clos = 0; clos < 4; ++clos) {
+    const simcache::ClosMonitor& ma = batched.hierarchy().clos_monitor(clos);
+    const simcache::ClosMonitor& mb = scalar.hierarchy().clos_monitor(clos);
+    EXPECT_EQ(ma.occupancy_lines, mb.occupancy_lines) << "clos " << clos;
+    EXPECT_EQ(ma.mbm_lines, mb.mbm_lines) << "clos " << clos;
+    EXPECT_EQ(ma.llc.hits, mb.llc.hits) << "clos " << clos;
+    EXPECT_EQ(ma.llc.misses, mb.llc.misses) << "clos " << clos;
+  }
+  EXPECT_EQ(batched.hierarchy().llc().ValidLineCount(),
+            scalar.hierarchy().llc().ValidLineCount());
+  EXPECT_TRUE(batched.hierarchy().CheckInclusion());
+  EXPECT_TRUE(scalar.hierarchy().CheckInclusion());
+}
+
+// Small caches so the random traffic exercises every transition (evictions,
+// back-invalidations, DRAM queueing) within a short fuzz run. 64 LLC sets =
+// one page color, so virtual runs stay physically contiguous per page.
+sim::MachineConfig SmallMachine(bool batched, bool prefetcher,
+                                bool inclusive) {
+  sim::MachineConfig cfg;
+  cfg.hierarchy.num_cores = 4;
+  cfg.hierarchy.l1 = simcache::CacheGeometry{4, 2};
+  cfg.hierarchy.l2 = simcache::CacheGeometry{8, 2};
+  cfg.hierarchy.llc = simcache::CacheGeometry{64, 8};
+  cfg.hierarchy.prefetcher.enabled = prefetcher;
+  cfg.hierarchy.inclusive_llc = inclusive;
+  cfg.batched_runs = batched;
+  return cfg;
+}
+
+// CAT regimes the equivalence must hold under: unrestricted, a restricted
+// CLOS sharing with a full one, the pathological 1-way mask, and a mixed
+// assignment where cores of three different CLOS interleave.
+enum class MaskRegime { kFull, kRestricted, kOneWay, kMixed };
+
+void ApplyMasks(sim::Machine* m, MaskRegime regime) {
+  auto& cat = m->cat();
+  switch (regime) {
+    case MaskRegime::kFull:
+      break;
+    case MaskRegime::kRestricted:
+      ASSERT_TRUE(cat.SetClosMask(1, 0x3).ok());
+      ASSERT_TRUE(cat.AssignCore(2, 1).ok());
+      ASSERT_TRUE(cat.AssignCore(3, 1).ok());
+      break;
+    case MaskRegime::kOneWay:
+      ASSERT_TRUE(cat.SetClosMask(1, 0x1).ok());
+      ASSERT_TRUE(cat.AssignCore(2, 1).ok());
+      ASSERT_TRUE(cat.AssignCore(3, 1).ok());
+      break;
+    case MaskRegime::kMixed:
+      ASSERT_TRUE(cat.SetClosMask(1, 0x3).ok());
+      ASSERT_TRUE(cat.SetClosMask(2, 0x1C).ok());
+      ASSERT_TRUE(cat.AssignCore(1, 1).ok());
+      ASSERT_TRUE(cat.AssignCore(2, 2).ok());
+      ASSERT_TRUE(cat.AssignCore(3, 1).ok());
+      break;
+  }
+}
+
+struct Scenario {
+  bool prefetcher;
+  bool inclusive;
+  MaskRegime regime;
+  uint64_t seed;
+};
+
+// Identical deterministic traffic on both machines: random-length runs
+// (1..180 lines — well past the 64-line page, so every segment shape
+// occurs), re-streamed bases (prefetcher stream reuse), point accesses and
+// writes, interleaved across all four cores.
+void DriveTraffic(sim::Machine* m, uint64_t base, uint64_t span_lines,
+                  uint64_t seed) {
+  Rng rng(seed);
+  for (int step = 0; step < 4000; ++step) {
+    const uint32_t core = static_cast<uint32_t>(rng.Uniform(4));
+    const uint64_t max_run = 1 + rng.Uniform(180);
+    const uint64_t start = rng.Uniform(span_lines);
+    const uint64_t n =
+        std::min<uint64_t>(max_run, span_lines - start);
+    const uint64_t addr = base + start * simcache::kLineSize +
+                          rng.Uniform(simcache::kLineSize);
+    const bool write = rng.Uniform(4) == 0;
+    if (rng.Uniform(8) == 0) {
+      m->Access(core, addr, write);  // scalar point access stays scalar
+    } else {
+      m->AccessRun(core, addr, n, write);
+    }
+  }
+}
+
+class BatchedAccessEquivalenceTest
+    : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(BatchedAccessEquivalenceTest, RunsMatchScalarDecomposition) {
+  const Scenario s = GetParam();
+  sim::Machine batched(SmallMachine(true, s.prefetcher, s.inclusive));
+  sim::Machine scalar(SmallMachine(false, s.prefetcher, s.inclusive));
+  ApplyMasks(&batched, s.regime);
+  ApplyMasks(&scalar, s.regime);
+
+  // ~4x the LLC capacity so runs evict each other; same vaddr on both
+  // machines (the bump allocator is deterministic).
+  const uint64_t span_lines = 2048;
+  const uint64_t base_b = batched.AllocVirtual(span_lines * simcache::kLineSize);
+  const uint64_t base_s = scalar.AllocVirtual(span_lines * simcache::kLineSize);
+  ASSERT_EQ(base_b, base_s);
+
+  DriveTraffic(&batched, base_b, span_lines, s.seed);
+  DriveTraffic(&scalar, base_s, span_lines, s.seed);
+  ExpectMachinesEq(batched, scalar);
+  EXPECT_GT(batched.hierarchy().stats().dram_accesses, 0u);
+  if (s.prefetcher) {
+    EXPECT_GT(batched.hierarchy().stats().prefetches_issued, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, BatchedAccessEquivalenceTest,
+    ::testing::Values(
+        Scenario{true, true, MaskRegime::kFull, 101},
+        Scenario{true, true, MaskRegime::kRestricted, 202},
+        Scenario{true, true, MaskRegime::kOneWay, 303},
+        Scenario{true, true, MaskRegime::kMixed, 404},
+        Scenario{false, true, MaskRegime::kFull, 505},
+        Scenario{false, true, MaskRegime::kMixed, 606},
+        Scenario{true, false, MaskRegime::kFull, 707},
+        Scenario{true, false, MaskRegime::kMixed, 808},
+        Scenario{false, false, MaskRegime::kRestricted, 909}),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      const Scenario& s = info.param;
+      std::string name = s.prefetcher ? "Pf" : "NoPf";
+      name += s.inclusive ? "Incl" : "Excl";
+      switch (s.regime) {
+        case MaskRegime::kFull: name += "Full"; break;
+        case MaskRegime::kRestricted: name += "Restricted"; break;
+        case MaskRegime::kOneWay: name += "OneWay"; break;
+        case MaskRegime::kMixed: name += "Mixed"; break;
+      }
+      return name;
+    });
+
+// Directed shapes that the fuzz only hits probabilistically: a run exactly
+// filling a page, one line, a page-straddling pair, and a >2-page sweep,
+// each issued twice (cold then warm) so both the miss and the L1-streak
+// short-circuit legs are pinned.
+TEST(BatchedAccessDirectedTest, BoundaryShapesMatchScalar) {
+  sim::Machine batched(SmallMachine(true, true, true));
+  sim::Machine scalar(SmallMachine(false, true, true));
+  const uint64_t base_b = batched.AllocVirtual(1 << 20);
+  const uint64_t base_s = scalar.AllocVirtual(1 << 20);
+  ASSERT_EQ(base_b, base_s);
+
+  const uint64_t page = simcache::kPageBytes;
+  const struct {
+    uint64_t offset;
+    uint64_t n_lines;
+  } shapes[] = {
+      {0, simcache::kPageLines},            // exactly one page
+      {3 * simcache::kLineSize, 1},         // single line (delegated path)
+      {page - simcache::kLineSize, 2},      // straddles a page boundary
+      {page + 17, 150},                     // >2 pages, unaligned byte start
+      {0, 1},                               // re-read: L1-hot single line
+      {0, simcache::kPageLines},            // re-read: full L1-streak page
+  };
+  for (const auto& sh : shapes) {
+    batched.AccessRun(0, base_b + sh.offset, sh.n_lines, false);
+    scalar.AccessRun(0, base_s + sh.offset, sh.n_lines, false);
+    ExpectMachinesEq(batched, scalar);
+  }
+}
+
+// Writes must be timed and accounted exactly like reads on both paths.
+TEST(BatchedAccessDirectedTest, WriteRunsMatchScalar) {
+  sim::Machine batched(SmallMachine(true, true, true));
+  sim::Machine scalar(SmallMachine(false, true, true));
+  const uint64_t base_b = batched.AllocVirtual(1 << 18);
+  const uint64_t base_s = scalar.AllocVirtual(1 << 18);
+  ASSERT_EQ(base_b, base_s);
+  for (int rep = 0; rep < 3; ++rep) {
+    batched.AccessRun(1, base_b, 200, true);
+    scalar.AccessRun(1, base_s, 200, true);
+  }
+  ExpectMachinesEq(batched, scalar);
+}
+
+}  // namespace
+}  // namespace catdb

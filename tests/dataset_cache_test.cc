@@ -1,0 +1,132 @@
+// The memoized dataset store must (1) return builds identical to the
+// direct datagen generators, (2) build each unique parameter tuple exactly
+// once even under concurrent first requests (the parallel sweep's access
+// pattern), and (3) hand out copies whose payload is shared but whose
+// simulated attachment state is private. Run under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "storage/datagen.h"
+#include "storage/dataset_cache.h"
+
+namespace catdb::storage {
+namespace {
+
+void ExpectSameDictColumn(const DictColumn& a, const DictColumn& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.dict().size(), b.dict().size());
+  for (uint64_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a.GetCode(i), b.GetCode(i)) << "row " << i;
+  }
+}
+
+TEST(DatasetCacheTest, MatchesDirectGeneratorsAndCountsHits) {
+  DatasetCache cache;
+  const DictColumn direct = MakeUniformDomainColumn(1 << 14, 512, 7);
+  const DictColumn cached = cache.UniformDomainColumn(1 << 14, 512, 7);
+  ExpectSameDictColumn(direct, cached);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  const DictColumn again = cache.UniformDomainColumn(1 << 14, 512, 7);
+  ExpectSameDictColumn(direct, again);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Every parameter participates in the key: n, domain, seed.
+  cache.UniformDomainColumn(1 << 14, 512, 8);
+  cache.UniformDomainColumn(1 << 14, 256, 7);
+  cache.UniformDomainColumn(1 << 13, 512, 7);
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(DatasetCacheTest, AllGeneratorKindsMatchDirect) {
+  DatasetCache cache;
+  const DictColumn zipf = cache.ZipfDomainColumn(1 << 13, 300, 0.9, 11);
+  ExpectSameDictColumn(MakeZipfDomainColumn(1 << 13, 300, 0.9, 11), zipf);
+
+  const RawColumn pk = cache.PrimaryKeyColumn(5000);
+  const RawColumn pk_direct = MakePrimaryKeyColumn(5000);
+  ASSERT_EQ(pk.size(), pk_direct.size());
+  for (uint64_t i = 0; i < pk.size(); i += 113) {
+    EXPECT_EQ(pk.Get(i), pk_direct.Get(i));
+  }
+
+  const RawColumn fk = cache.ForeignKeyColumn(1 << 13, 5000, 13);
+  const RawColumn fk_direct = MakeForeignKeyColumn(1 << 13, 5000, 13);
+  ASSERT_EQ(fk.size(), fk_direct.size());
+  for (uint64_t i = 0; i < fk.size(); i += 113) {
+    EXPECT_EQ(fk.Get(i), fk_direct.Get(i));
+  }
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(DatasetCacheTest, ClearDropsBuildsAndZeroesStats) {
+  DatasetCache cache;
+  cache.PrimaryKeyColumn(1000);
+  cache.PrimaryKeyColumn(1000);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  cache.PrimaryKeyColumn(1000);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+// The parallel sweep's pattern: many threads racing for the same dataset on
+// a cold cache. Exactly one build may run; every thread must observe the
+// identical payload. TSan verifies the promise/shared_future handoff.
+TEST(DatasetCacheTest, ConcurrentFirstRequestsBuildOnce) {
+  DatasetCache cache;
+  constexpr int kThreads = 8;
+  std::vector<DictColumn> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &results, t] {
+      results[t] = cache.UniformDomainColumn(1 << 15, 1024, 21);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, static_cast<uint64_t>(kThreads - 1));
+  for (int t = 1; t < kThreads; ++t) {
+    ExpectSameDictColumn(results[0], results[t]);
+  }
+}
+
+// Concurrent requests for *different* keys must not serialize into wrong
+// results or cross-talk: each thread gets the build for its own seed.
+TEST(DatasetCacheTest, ConcurrentDistinctKeysStayIndependent) {
+  DatasetCache cache;
+  constexpr int kThreads = 6;
+  std::vector<RawColumn> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &results, t] {
+      results[t] =
+          cache.ForeignKeyColumn(1 << 12, 999, static_cast<uint64_t>(t));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(cache.stats().misses, static_cast<uint64_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    const RawColumn direct =
+        MakeForeignKeyColumn(1 << 12, 999, static_cast<uint64_t>(t));
+    ASSERT_EQ(results[t].size(), direct.size());
+    for (uint64_t i = 0; i < direct.size(); i += 59) {
+      EXPECT_EQ(results[t].Get(i), direct.Get(i)) << "thread " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace catdb::storage

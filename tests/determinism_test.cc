@@ -226,8 +226,11 @@ void ExpectReportsIdentical(const engine::RunReport& a,
 // fig01-shaped golden: constructing the whole stack twice from scratch
 // (machine, datasets, queries) must reproduce the report exactly,
 // scheduler counters included.
-engine::RunReport RunOltpScanGolden(bool traced = false) {
-  sim::Machine machine{sim::MachineConfig{}};
+engine::RunReport RunOltpScanGolden(bool traced = false,
+                                    bool batched_runs = true) {
+  sim::MachineConfig cfg;
+  cfg.batched_runs = batched_runs;
+  sim::Machine machine{cfg};
   if (traced) machine.EnableTracing();
   auto acdoca = workloads::MakeAcdocaData(&machine, {});
   auto scan_data = workloads::MakeScanDataset(
@@ -251,6 +254,20 @@ TEST(DeterminismGoldenTest, OltpScanReportIdenticalAcrossFreshMachines) {
   ExpectReportsIdentical(r1, r2);
   EXPECT_GT(r1.stats.dram_accesses, 0u);
   EXPECT_GT(r1.clos_reassociations, 0u);
+}
+
+// The run-granular access fast path must not move a single counter of a
+// full workload run: batched and scalar machines produce bit-identical
+// reports end to end (operators, scheduler, dynamic policy included). The
+// per-access equivalence lives in batched_access_test.cc; this golden pins
+// the whole stack.
+TEST(DeterminismGoldenTest, BatchedRunsReportIdenticalToScalarRuns) {
+  const engine::RunReport batched =
+      RunOltpScanGolden(/*traced=*/false, /*batched_runs=*/true);
+  const engine::RunReport scalar =
+      RunOltpScanGolden(/*traced=*/false, /*batched_runs=*/false);
+  ExpectReportsIdentical(batched, scalar);
+  EXPECT_GT(batched.stats.dram_accesses, 0u);
 }
 
 engine::DynamicRunReport RunDynamicGolden(bool traced = false) {
