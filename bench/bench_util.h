@@ -33,6 +33,11 @@ namespace catdb::bench {
 ///   --selfperf-horizon=<cycles>
 ///                        override the self-benchmark's measurement horizon
 ///                        (selfperf_sim only; lets CI run it short)
+///   --min-batched-ratio=<x>
+///                        fail (exit 1) if any workload's batched leg falls
+///                        below x times the scalar leg's accesses/sec
+///                        (selfperf_sim only; CI uses it to turn batched-
+///                        path regressions into a checked invariant)
 /// Arguments without a leading "--" are collected as positionals (benches
 /// that take output paths, e.g. selfperf_sim, read them from there).
 struct BenchOptions {
@@ -40,7 +45,8 @@ struct BenchOptions {
   std::string trace_out;
   unsigned jobs = 0;  // resolved to >= 1 by ParseBenchArgs
   bool smoke = false;
-  uint64_t selfperf_horizon = 0;  // 0 = the bench's default
+  uint64_t selfperf_horizon = 0;   // 0 = the bench's default
+  double min_batched_ratio = 0;    // 0 = no enforcement
   std::vector<std::string> positional;
 };
 
@@ -79,6 +85,17 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       opts.selfperf_horizon = n;
+    } else if (const char* v = value_of("--min-batched-ratio")) {
+      char* end = nullptr;
+      const double x = std::strtod(v, &end);
+      if (end == v || *end != '\0' || x <= 0) {
+        std::fprintf(stderr,
+                     "--min-batched-ratio expects a positive number, "
+                     "got: %s\n",
+                     v);
+        std::exit(2);
+      }
+      opts.min_batched_ratio = x;
     } else if (arg == "--smoke") {
       opts.smoke = true;
     } else if (arg.compare(0, 2, "--") != 0) {
@@ -87,8 +104,8 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
                    "usage: %s [--report-out=<path>] [--trace-out=<path>] "
-                   "[--jobs=<n>] [--selfperf-horizon=<cycles>] [--smoke] "
-                   "[positional...]\n",
+                   "[--jobs=<n>] [--selfperf-horizon=<cycles>] "
+                   "[--min-batched-ratio=<x>] [--smoke] [positional...]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }

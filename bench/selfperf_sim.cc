@@ -25,7 +25,18 @@
 // BENCH_parallel.json (path overridable via the second positional
 // argument).
 //
+// Third section: host-cycle breakdown. A separate profiled pass of the
+// batched leg (HostCycleBreakdown attached; template-dispatched, so the
+// *measured* legs above compile without timer reads) attributes the
+// simulator's own wall time to per-component buckets — L1/L2/LLC lookup,
+// victim fill, prefetcher, DRAM booking, pending-prefetch table, monitor
+// flush, translation, and the scalar-access chain point reads fall back
+// to. The shares land in the table, the BENCH JSON and the
+// catdb.report/v1 report (--report-out), so optimization rounds start
+// from measurement.
+//
 // Usage: selfperf_sim [--smoke] [--selfperf-horizon=<cycles>]
+//                     [--min-batched-ratio=<x>] [--report-out=<path>]
 //                     [selfperf_output.json [parallel_output.json]]
 
 #include <algorithm>
@@ -39,6 +50,8 @@
 
 #include "bench_util.h"
 #include "common/check.h"
+#include "obs/report.h"
+#include "simcache/host_profile.h"
 #include "engine/operators/aggregation.h"
 #include "engine/operators/column_scan.h"
 #include "engine/operators/index_project.h"
@@ -247,10 +260,20 @@ Measurement RunWith(sim::Machine* machine,
   return m;
 }
 
+// Timed repetitions per leg. The benchmark runs on whatever host it gets —
+// often a busy shared one — and a single timed pass can land in a slow
+// window, swinging leg-vs-leg ratios by tens of percent. Every repetition
+// re-runs the same deterministic simulation, so the minimum wall time is
+// the run least disturbed by the host and converges on the true cost. The
+// legs are interleaved round-robin (fast, scalar, reference, repeat) so a
+// multi-second slow window degrades one repetition of every leg instead of
+// every repetition of one leg.
+constexpr int kTimedReps = 3;
+
 template <typename ExecutorT>
-Measurement Measure(Rig (*make_rig)(const RigCfg&), const RigCfg& leg,
-                    uint64_t horizon) {
-  // Fresh rig per configuration: every measurement starts from bit-identical
+Measurement MeasureOnce(Rig (*make_rig)(const RigCfg&), const RigCfg& leg,
+                        uint64_t horizon) {
+  // Fresh rig per repetition: every measurement starts from bit-identical
   // machine layout and query RNG state. One short warm-up pass (page
   // tables, allocator pools, branch predictors), then the timed pass.
   Rig rig = make_rig(leg);
@@ -260,12 +283,19 @@ Measurement Measure(Rig (*make_rig)(const RigCfg&), const RigCfg& leg,
                             /*timed=*/true);
 }
 
+void KeepBest(Measurement* best, Measurement m, int rep) {
+  if (rep == 0 || m.wall_seconds < best->wall_seconds) *best = m;
+}
+
 struct WorkloadResult {
   std::string name;
   uint64_t horizon = 0;
   Measurement fast;    // batched AccessRun fast path (the default config)
   Measurement scalar;  // batched_runs off: per-line Access decomposition
   Measurement scan;    // pre-change reference baseline
+  // Host-cycle attribution from a separate profiled pass of the fast leg
+  // (never from the timed pass — profiling adds timer reads).
+  simcache::HostCycleBreakdown breakdown;
 };
 
 void ReportDigestMismatch(const std::string& name, const char* legs,
@@ -293,15 +323,26 @@ WorkloadResult MeasureWorkload(const std::string& name,
   WorkloadResult w;
   w.name = name;
   w.horizon = horizon;
-  w.fast = Measure<sim::Executor>(
-      make_rig, RigCfg{/*reference_impl=*/false, /*batched_runs=*/true},
-      horizon);
-  w.scalar = Measure<sim::Executor>(
-      make_rig, RigCfg{/*reference_impl=*/false, /*batched_runs=*/false},
-      horizon);
-  w.scan = Measure<ScanExecutor>(
-      make_rig, RigCfg{/*reference_impl=*/true, /*batched_runs=*/false},
-      horizon);
+  for (int rep = 0; rep < kTimedReps; ++rep) {
+    KeepBest(&w.fast,
+             MeasureOnce<sim::Executor>(
+                 make_rig,
+                 RigCfg{/*reference_impl=*/false, /*batched_runs=*/true},
+                 horizon),
+             rep);
+    KeepBest(&w.scalar,
+             MeasureOnce<sim::Executor>(
+                 make_rig,
+                 RigCfg{/*reference_impl=*/false, /*batched_runs=*/false},
+                 horizon),
+             rep);
+    KeepBest(&w.scan,
+             MeasureOnce<ScanExecutor>(
+                 make_rig,
+                 RigCfg{/*reference_impl=*/true, /*batched_runs=*/false},
+                 horizon),
+             rep);
+  }
   if (!(w.fast.digest == w.scalar.digest)) {
     ReportDigestMismatch(name, "batched vs scalar", w.fast.digest,
                          w.scalar.digest);
@@ -312,7 +353,36 @@ WorkloadResult MeasureWorkload(const std::string& name,
   }
   CATDB_CHECK(w.fast.digest == w.scalar.digest);
   CATDB_CHECK(w.fast.digest == w.scan.digest);
+  // Profiled pass: same fast-leg configuration, shorter horizon (shares are
+  // stable well before the full horizon), untimed — its wall clock is
+  // polluted by the timer reads by construction.
+  {
+    Rig rig = make_rig(RigCfg{/*reference_impl=*/false,
+                              /*batched_runs=*/true});
+    rig.machine->hierarchy().AttachHostProfiler(&w.breakdown);
+    RunWith<sim::Executor>(rig.machine.get(), rig.specs, horizon / 4,
+                           /*timed=*/false);
+  }
   return w;
+}
+
+void PrintBreakdown(const WorkloadResult& w) {
+  const simcache::HostCycleBreakdown& b = w.breakdown;
+  const uint64_t total = b.AttributedTotal();
+  if (total == 0) return;
+  std::printf("\n%s host-cycle breakdown (profiled pass)\n", w.name.c_str());
+  bench::PrintRule(44);
+  for (const auto& [comp, cycles] : b.Components()) {
+    if (cycles == 0) continue;
+    std::printf("  %-18s %12.1f Mcyc %5.1f%%\n", comp, cycles / 1e6,
+                100.0 * static_cast<double>(cycles) /
+                    static_cast<double>(total));
+  }
+  bench::PrintRule(44);
+  std::printf("  %-18s %12llu\n  %-18s %12llu\n  %-18s %12llu\n",
+              "runs", (unsigned long long)b.runs, "run_lines",
+              (unsigned long long)b.run_lines, "scalar_accesses",
+              (unsigned long long)b.scalar_accesses);
 }
 
 void PrintRow(const WorkloadResult& w) {
@@ -348,13 +418,30 @@ std::string JsonEntry(const WorkloadResult& w) {
       "     \"prechange_scan_executor\": {\"wall_seconds\": %.4f, "
       "\"sim_cycles_per_second\": %.0f},\n"
       "     \"speedup_vs_scalar_access_path\": %.3f,\n"
-      "     \"speedup_vs_prechange_scan_executor\": %.3f}",
+      "     \"speedup_vs_prechange_scan_executor\": %.3f,\n"
+      "     \"host_cycle_breakdown\": {",
       w.name.c_str(), static_cast<unsigned long long>(w.horizon),
       w.fast.wall_seconds, cyc_fast,
       static_cast<unsigned long long>(w.fast.digest.l1_lookups), acc_fast,
       w.scalar.wall_seconds, cyc_sclr, acc_sclr, w.scan.wall_seconds,
       cyc_scan, cyc_fast / cyc_sclr, cyc_fast / cyc_scan);
-  return buf;
+  std::string json = buf;
+  bool first = true;
+  for (const auto& [comp, cycles] : w.breakdown.Components()) {
+    std::snprintf(buf, sizeof(buf), "%s\n       \"%s\": %llu",
+                  first ? "" : ",", comp,
+                  static_cast<unsigned long long>(cycles));
+    json += buf;
+    first = false;
+  }
+  std::snprintf(buf, sizeof(buf),
+                ",\n       \"runs\": %llu, \"run_lines\": %llu, "
+                "\"scalar_accesses\": %llu}}",
+                static_cast<unsigned long long>(w.breakdown.runs),
+                static_cast<unsigned long long>(w.breakdown.run_lines),
+                static_cast<unsigned long long>(w.breakdown.scalar_accesses));
+  json += buf;
+  return json;
 }
 
 // ---------------------------------------------------------------------------
@@ -475,11 +562,17 @@ void RunParallelHarness(const char* out_path, bool smoke) {
 
   std::string json = "{\n  \"benchmark\": \"parallel_sweep_harness\",\n";
   char buf[256];
+  // A scaling claim needs at least two job-count points; on a 1-core host
+  // every multi-job point is skipped as oversubscribed, so the file carries
+  // a single jobs=1 row and must say so instead of implying a measured
+  // speedup of 1.0x was the harness's scaling ceiling.
   std::snprintf(buf, sizeof(buf),
                 "  \"host_cores\": %u,\n  \"cells\": %zu,\n"
+                "  \"conclusive\": %s,\n"
                 "  \"reports_byte_identical\": true,\n"
                 "  \"skipped_oversubscribed\": [",
-                host_cores, num_cells);
+                host_cores, num_cells,
+                runs.size() >= 2 ? "true" : "false");
   json += buf;
   for (size_t i = 0; i < skipped.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "%s%u", i > 0 ? ", " : "", skipped[i]);
@@ -535,6 +628,8 @@ int main(int argc, char** argv) {
 
   bench::PrintRule(72);
 
+  for (const WorkloadResult& w : results) PrintBreakdown(w);
+
   std::string json = "{\n  \"benchmark\": \"selfperf_sim\",\n  \"workloads\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     json += JsonEntry(results[i]);
@@ -546,8 +641,59 @@ int main(int argc, char** argv) {
   CATDB_CHECK(f != nullptr);
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
-  std::printf("wrote %s\n", out_path.c_str());
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Structured run report (catdb.report/v1): throughputs, speedups and the
+  // per-component host-cycle shares, so CI can assert the breakdown's
+  // presence and downstream tooling can track it across PRs.
+  if (!opts.report_out.empty()) {
+    obs::RunReportWriter report("selfperf_sim");
+    report.AddParam("horizon_cycles", horizon);
+    for (const WorkloadResult& w : results) {
+      const double acc_fast =
+          static_cast<double>(w.fast.digest.l1_lookups) / w.fast.wall_seconds;
+      const double acc_sclr = static_cast<double>(w.scalar.digest.l1_lookups) /
+                              w.scalar.wall_seconds;
+      report.AddScalar(w.name + "/accesses_per_second", acc_fast);
+      report.AddScalar(w.name + "/speedup_vs_scalar_access_path",
+                       w.scalar.wall_seconds / w.fast.wall_seconds);
+      report.AddScalar(w.name + "/speedup_vs_prechange_scan_executor",
+                       w.scan.wall_seconds / w.fast.wall_seconds);
+      report.AddScalar(w.name + "/scalar_accesses_per_second", acc_sclr);
+      for (const auto& [comp, cycles] : w.breakdown.Components()) {
+        report.AddScalar(w.name + "/host_cycles/" + std::string(comp),
+                         static_cast<double>(cycles));
+      }
+    }
+    const Status st = report.WriteFile(opts.report_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "report write failed: %s\n", st.message().c_str());
+      return 1;
+    }
+    std::printf("report: %s\n", opts.report_out.c_str());
+  }
 
   RunParallelHarness(parallel_out_path.c_str(), opts.smoke);
+
+  // Regression gate (--min-batched-ratio): the batched fast path must
+  // deliver at least the given multiple of the scalar path's accesses/sec.
+  // Checked after all artifacts are written so a failing run still leaves
+  // the numbers behind for diagnosis.
+  if (opts.min_batched_ratio > 0) {
+    bool ok = true;
+    for (const WorkloadResult& w : results) {
+      const double ratio = w.scalar.wall_seconds / w.fast.wall_seconds;
+      if (ratio < opts.min_batched_ratio) {
+        std::fprintf(stderr,
+                     "FAIL: %s batched/scalar ratio %.3f below required "
+                     "%.3f\n",
+                     w.name.c_str(), ratio, opts.min_batched_ratio);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("batched/scalar ratio gate passed (>= %.2f)\n",
+                opts.min_batched_ratio);
+  }
   return 0;
 }

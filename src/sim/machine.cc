@@ -1,5 +1,7 @@
 #include "sim/machine.h"
 
+#include <cstdio>
+
 #include "common/bits.h"
 #include "common/check.h"
 #include "simcache/cache_geometry.h"
@@ -14,10 +16,41 @@ constexpr uint64_t kPagePoolBits = 20;
 constexpr uint64_t kPagePoolMask = (uint64_t{1} << kPagePoolBits) - 1;
 constexpr uint64_t kPageScramble = 0x9E375;  // odd
 
+// Constructor backstop: runs ValidateConfig before any member that depends
+// on the config (notably the hierarchy, whose presence masks assume the
+// core count fits) is constructed.
+const MachineConfig& CheckedConfig(const MachineConfig& config) {
+  const Status st = Machine::ValidateConfig(config);
+  if (!st.ok()) {
+    std::fprintf(stderr, "invalid MachineConfig: %s\n", st.ToString().c_str());
+  }
+  CATDB_CHECK(st.ok());
+  return config;
+}
+
 }  // namespace
 
+Status Machine::ValidateConfig(const MachineConfig& config) {
+  const simcache::HierarchyConfig& h = config.hierarchy;
+  if (h.num_cores < 1) {
+    return Status::InvalidArgument("num_cores must be at least 1");
+  }
+  if (h.num_cores > simcache::SetAssocCache::kMaxPresenceCores) {
+    return Status::InvalidArgument(
+        "num_cores (" + std::to_string(h.num_cores) +
+        ") exceeds the presence-mask width (" +
+        std::to_string(simcache::SetAssocCache::kMaxPresenceCores) +
+        " cores): per-core presence bits would shift out of range");
+  }
+  if (!h.l1.Valid() || !h.l2.Valid() || !h.llc.Valid()) {
+    return Status::InvalidArgument(
+        "cache geometries must have power-of-two sets and 1..64 ways");
+  }
+  return Status::OK();
+}
+
 Machine::Machine(const MachineConfig& config)
-    : config_(config),
+    : config_(CheckedConfig(config)),
       hierarchy_(config.hierarchy),
       cat_(config.hierarchy.llc.num_ways, config.hierarchy.num_cores),
       resctrl_(&cat_),
@@ -134,10 +167,19 @@ uint32_t Machine::PageColorOf(uint64_t vaddr) const {
 
 void Machine::Access(uint32_t core, uint64_t addr, bool is_write) {
   (void)is_write;  // writes are timed like reads (write-allocate)
+  // Host profiling (selfperf breakdown leg only): the whole scalar access
+  // chain — CLOS resolution, translation, the hierarchy walk — books under
+  // one bucket. Unprofiled runs pay a single predictable branch.
+  simcache::HostCycleBreakdown* const hp = hierarchy_.host_profile();
+  const uint64_t t0 = hp != nullptr ? simcache::HostTimerNow() : 0;
   const cat::ClosId clos = cat_.CoreClos(core);
   const simcache::AccessResult r = hierarchy_.Access(
       core, Translate(addr), clocks_[core], cat_.CoreMask(core), clos);
   clocks_[core] += r.latency_cycles;
+  if (hp != nullptr) {
+    hp->scalar_access += simcache::HostTimerNow() - t0;
+    hp->scalar_accesses += 1;
+  }
 }
 
 void Machine::AccessRun(uint32_t core, uint64_t addr, uint64_t n_lines,
@@ -153,15 +195,21 @@ void Machine::AccessRun(uint32_t core, uint64_t addr, uint64_t n_lines,
     return;
   }
   (void)is_write;  // writes are timed like reads (write-allocate)
+  simcache::HostCycleBreakdown* const hp = hierarchy_.host_profile();
   const cat::ClosId clos = cat_.CoreClos(core);
   const uint64_t mask = cat_.CoreMask(core);
   if (n_lines == 1) {
     // Single-line runs (point reads, short tail chunks) gain nothing from
     // run batching but would pay its per-run setup and counter flush; the
     // scalar access chain is both cheaper and trivially result-identical.
+    const uint64_t t0 = hp != nullptr ? simcache::HostTimerNow() : 0;
     const simcache::AccessResult r =
         hierarchy_.Access(core, Translate(addr), clocks_[core], mask, clos);
     clocks_[core] += r.latency_cycles;
+    if (hp != nullptr) {
+      hp->scalar_access += simcache::HostTimerNow() - t0;
+      hp->scalar_accesses += 1;
+    }
     return;
   }
   uint64_t now = clocks_[core];
@@ -173,8 +221,10 @@ void Machine::AccessRun(uint32_t core, uint64_t addr, uint64_t n_lines,
     const uint64_t in_page =
         simcache::kPageLines - (vline & (simcache::kPageLines - 1));
     const uint64_t seg = remaining < in_page ? remaining : in_page;
+    const uint64_t t0 = hp != nullptr ? simcache::HostTimerNow() : 0;
     const uint64_t pline =
         simcache::LineOf(Translate(vline << simcache::kLineShift));
+    if (hp != nullptr) hp->translate += simcache::HostTimerNow() - t0;
     now += hierarchy_.AccessRun(core, pline, seg, now, mask, clos);
     vline += seg;
     remaining -= seg;

@@ -7,6 +7,7 @@
 
 #include "cat/cat_controller.h"
 #include "cat/resctrl.h"
+#include "common/status.h"
 #include "obs/trace.h"
 #include "simcache/hierarchy.h"
 
@@ -42,6 +43,14 @@ struct MachineConfig {
 /// host heap layout.
 class Machine {
  public:
+  /// Validates a MachineConfig before construction: cache geometries must be
+  /// valid and the core count must fit the hierarchy's presence-mask width
+  /// (one bit per core; a wider machine would shift presence bits out of
+  /// range — UB — during inclusive back-invalidation bookkeeping). Callers
+  /// that accept external configuration should consult this and surface the
+  /// Status; the constructor CHECKs it as a backstop.
+  static Status ValidateConfig(const MachineConfig& config);
+
   explicit Machine(const MachineConfig& config);
 
   Machine(const Machine&) = delete;

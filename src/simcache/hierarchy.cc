@@ -9,6 +9,11 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
       llc_(std::make_unique<SetAssocCache>(config.llc)),
       dram_(config.latency.dram, config.latency.dram_transfer) {
   CATDB_CHECK(config_.num_cores >= 1);
+  // Presence masks (per-way uint32_t words and EvictedLine::presence) hold
+  // one bit per core; a core index at or past the width would shift out of
+  // range (UB). Machine::ValidateConfig surfaces this as a Status before
+  // construction; this CHECK is the backstop for direct hierarchy users.
+  CATDB_CHECK(config_.num_cores <= SetAssocCache::kMaxPresenceCores);
   CATDB_CHECK(config_.l1.Valid() && config_.l2.Valid() && config_.llc.Valid());
   for (uint32_t c = 0; c < config_.num_cores; ++c) {
     l1_.push_back(std::make_unique<SetAssocCache>(config_.l1));
@@ -134,22 +139,42 @@ AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
 uint64_t MemoryHierarchy::AccessRun(uint32_t core, uint64_t first_line,
                                     uint64_t n_lines, uint64_t now,
                                     uint64_t llc_alloc_mask, uint32_t clos) {
+  // Dispatch once per run: the unprofiled instantiation contains no timer
+  // reads at all, so measured legs are unaffected by the profiling support.
+  if (host_profile_ != nullptr) {
+    return AccessRunImpl<true>(core, first_line, n_lines, now, llc_alloc_mask,
+                               clos);
+  }
+  return AccessRunImpl<false>(core, first_line, n_lines, now, llc_alloc_mask,
+                              clos);
+}
+
+template <bool kProfiled>
+uint64_t MemoryHierarchy::AccessRunImpl(uint32_t core, uint64_t first_line,
+                                        uint64_t n_lines, uint64_t now,
+                                        uint64_t llc_alloc_mask,
+                                        uint32_t clos) {
   CATDB_DCHECK(!config_.reference_impl);
   CATDB_DCHECK(core < config_.num_cores);
   CATDB_DCHECK(clos < kMaxClos);
   CATDB_DCHECK(n_lines >= 1);
 
+  // Per-run invariants, resolved once instead of per line: cache and stats
+  // row references, latencies, the decoded (pre-clamped) allocation mask,
+  // and the attached observers.
   SetAssocCache& l1 = *l1_[core];
   SetAssocCache& l2 = *l2_[core];
   SetAssocCache& llc = *llc_;
   StreamPrefetcher& pf = *prefetchers_[core];
   HierarchyStats& cs = core_stats_[core];
   ClosMonitor& mon = clos_monitors_[clos];
+  ShadowTagProfiler* const shadow = shadow_profiler_;
   const uint64_t lat_l1 = config_.latency.l1_hit;
   const uint64_t lat_l2 = config_.latency.l2_hit;
   const uint64_t lat_llc = config_.latency.llc_hit;
   const bool pf_enabled = config_.prefetcher.enabled;
   const bool inclusive = config_.inclusive_llc;
+  const uint64_t run_mask = llc_alloc_mask & llc.FullMask();
   const uint64_t last_line = first_line + n_lines - 1;
 
   // Pure counters are batched in locals and flushed once after the loop.
@@ -163,39 +188,118 @@ uint64_t MemoryHierarchy::AccessRun(uint32_t core, uint64_t first_line,
   uint64_t n_pf_hits = 0, n_pf_issued = 0, n_pf_dropped = 0;
   uint64_t n_dram = 0, n_dram_wait = 0;
 
+  // Host-cycle attribution (profiled instantiation only): each timed
+  // section brackets itself with prof_begin/prof_end into a local bucket;
+  // locals merge into *host_profile_ once at the end.
+  uint64_t c_l1 = 0, c_l2 = 0, c_llc = 0, c_fill = 0, c_pf = 0;
+  uint64_t c_dram = 0, c_pend = 0, c_shadow = 0, c_flush = 0;
+  uint64_t t_mark = 0;
+  const uint64_t t_run0 = kProfiled ? HostTimerNow() : 0;
+  const auto prof_begin = [&t_mark]() {
+    if constexpr (kProfiled) t_mark = HostTimerNow();
+  };
+  const auto prof_end = [&t_mark](uint64_t& bucket) {
+    if constexpr (kProfiled) bucket += HostTimerNow() - t_mark;
+    (void)bucket;
+  };
+
+  // Run-local pending-prefetch FIFO: the streamer runs at most `depth`
+  // lines ahead of the demand cursor, so a prefetch issued for a line
+  // *inside* this run is consumed by this same loop a few iterations later.
+  // Those entries ride in a tiny local array instead of round-tripping
+  // through the pending-prefetch hash table; entries for lines beyond the
+  // run (short runs, page-clamped horizons) go to the table as before, and
+  // leftovers are flushed to it at the end of the run. An LLC eviction of a
+  // locally pending line must scrub it (the table twin is erased inside
+  // InsertIntoLlcAt), or a later demand would see a prefetch hit the scalar
+  // path would not.
+  constexpr size_t kRunPendingCap = 16;
+  uint64_t rp_line[kRunPendingCap];
+  uint64_t rp_ready[kRunPendingCap];
+  size_t rp_n = 0;
+  const auto rp_scrub = [&](uint64_t evicted_line) {
+    for (size_t i = 0; i < rp_n; ++i) {
+      if (rp_line[i] == evicted_line) {
+        rp_line[i] = rp_line[rp_n - 1];
+        rp_ready[i] = rp_ready[rp_n - 1];
+        rp_n -= 1;
+        return;
+      }
+    }
+  };
+
   const uint64_t start = now;
   for (uint64_t line = first_line; line <= last_line; ++line) {
     if (pf_enabled) {
       scratch_prefetch_lines_.clear();
+      prof_begin();
       if (line == first_line) {
         pf.BeginRun(first_line, last_line, &scratch_prefetch_lines_);
       } else {
         pf.OnRunAccess(line, &scratch_prefetch_lines_);
       }
+      prof_end(c_pf);
       for (uint64_t p : scratch_prefetch_lines_) {
-        if (llc.ContainsHinted(p)) {
+        prof_begin();
+        const int64_t pslot = llc.FindSlotHinted(p);
+        prof_end(c_llc);
+        if (pslot >= 0) {
+          prof_begin();
           l2.Insert(p);
-          if (inclusive) llc.MarkPresentHinted(p, core);
+          if (inclusive) llc.MarkPresentAt(static_cast<size_t>(pslot), core);
+          prof_end(c_fill);
           continue;
         }
+        prof_begin();
         uint64_t ready_time = 0;
-        if (!dram_.RequestPrefetchLine(now, &ready_time)) {
+        const bool issued = dram_.RequestPrefetchLine(now, &ready_time);
+        prof_end(c_dram);
+        if (!issued) {
           n_pf_dropped += 1;
           continue;
         }
-        prefetch_ready_.Assign(p, ready_time);
+        prof_begin();
+        // With a non-inclusive LLC an eviction leaves the pending entry
+        // alive, so a line can be re-issued while an older entry (ring or
+        // table) still exists; the scalar path's Assign overwrites it, so
+        // the newer ready time must win here too. Inclusive mode cannot
+        // re-issue a pending line (entry alive implies the line is still
+        // LLC-resident, which stages instead of issuing).
+        if (!inclusive && rp_n != 0) rp_scrub(p);
+        if (p > line && p <= last_line && rp_n < kRunPendingCap) {
+          if (!inclusive) prefetch_ready_.Erase(p);
+          rp_line[rp_n] = p;
+          rp_ready[rp_n] = ready_time;
+          rp_n += 1;
+        } else {
+          prefetch_ready_.Assign(p, ready_time);
+        }
+        prof_end(c_pend);
         n_pf_issued += 1;
-        InsertIntoLlc(p, llc_alloc_mask, clos);
+        prof_begin();
+        uint64_t evicted_line = SetAssocCache::kInvalidTag;
+        const size_t slot = InsertIntoLlcAt(p, run_mask, clos, &evicted_line);
+        // Scrub only in inclusive mode, mirroring InsertIntoLlcAt: a
+        // non-inclusive eviction leaves the pending entry alive.
+        if (inclusive && evicted_line != SetAssocCache::kInvalidTag &&
+            rp_n != 0) {
+          rp_scrub(evicted_line);
+        }
         if (inclusive) {
           l2.InsertNew(p);
-          llc.MarkPresentHinted(p, core);
+          llc.MarkPresentAt(slot, core);
         } else {
           l2.Insert(p);
         }
+        prof_end(c_fill);
       }
     }
 
-    if (l1.LookupHinted(line)) {
+    prof_begin();
+    size_t l1_victim = 0;
+    const bool l1_hit = l1.LookupOrVictim(line, &l1_victim);
+    prof_end(c_l1);
+    if (l1_hit) {
       // L1-resident streak: the hit folds into the batched counters and one
       // latency add; nothing else in the hierarchy moves (fast mode leaves
       // pending prefetches untouched on L1 hits).
@@ -206,41 +310,107 @@ uint64_t MemoryHierarchy::AccessRun(uint32_t core, uint64_t first_line,
     n_l1_misses += 1;
 
     uint64_t pending_wait = 0;
-    if (uint64_t* ready = prefetch_ready_.Find(line); ready != nullptr) {
-      if (*ready > now) pending_wait = *ready - now;
+    prof_begin();
+    uint64_t ready = 0;
+    bool was_pending = false;
+    for (size_t i = 0; i < rp_n; ++i) {
+      if (rp_line[i] == line) {
+        ready = rp_ready[i];
+        rp_line[i] = rp_line[rp_n - 1];
+        rp_ready[i] = rp_ready[rp_n - 1];
+        rp_n -= 1;
+        was_pending = true;
+        break;
+      }
+    }
+    if (!was_pending) was_pending = prefetch_ready_.Take(line, &ready);
+    prof_end(c_pend);
+    if (was_pending) {
+      if (ready > now) pending_wait = ready - now;
       n_pf_hits += 1;
-      prefetch_ready_.Erase(line);
     }
 
-    if (l2.LookupHinted(line)) {
+    prof_begin();
+    size_t l2_victim = 0;
+    const bool l2_hit = l2.LookupOrVictim(line, &l2_victim);
+    prof_end(c_l2);
+    if (l2_hit) {
       n_l2_hits += 1;
-      FillPrivate(core, line, /*l2_resident=*/true);
+      prof_begin();
+      // FillPrivate with l2_resident=true, minus the LLC presence re-probe:
+      // every fast-mode L2 fill is accompanied by an LLC presence mark for
+      // this core, and inclusive eviction scrubs the L2 copy, so an L2 hit
+      // implies the bit is already set. Only the L1 fill remains, and the
+      // demand probe above already picked its victim.
+      l1.FillAt(l1_victim, line);
+      prof_end(c_fill);
       now += lat_l2 + pending_wait;
       continue;
     }
     n_l2_misses += 1;
 
-    if (shadow_profiler_ != nullptr) shadow_profiler_->Observe(clos, line);
+    if (shadow != nullptr) {
+      prof_begin();
+      shadow->Observe(clos, line);
+      prof_end(c_shadow);
+    }
 
-    if (llc.LookupHinted(line)) {
+    prof_begin();
+    const int64_t lslot = llc.LookupSlotHinted(line);
+    prof_end(c_llc);
+    if (lslot >= 0) {
       n_llc_hits += 1;
-      FillPrivate(core, line, /*l2_resident=*/false);
+      prof_begin();
+      // No LLC insert happened since the demand probes, so both precomputed
+      // victims are still the ones FillVictim would pick.
+      l2.FillAt(l2_victim, line);
+      l1.FillAt(l1_victim, line);
+      if (inclusive) llc.MarkPresentAt(static_cast<size_t>(lslot), core);
+      prof_end(c_fill);
       now += lat_llc + pending_wait;
       continue;
     }
     n_llc_misses += 1;
 
+    prof_begin();
     uint64_t wait = 0;
     const uint64_t dram_latency = dram_.RequestLine(now, &wait);
+    prof_end(c_dram);
     n_dram += 1;
     n_dram_wait += wait;
-    FillFromDram(core, line, llc_alloc_mask, clos);
+    prof_begin();
+    // The LLC insert can back-invalidate lines in this core's private
+    // caches, which would stale the precomputed victims — the private fills
+    // re-run victim selection here.
+    uint64_t evicted_line = SetAssocCache::kInvalidTag;
+    const size_t slot = InsertIntoLlcAt(line, run_mask, clos, &evicted_line);
+    if (inclusive && evicted_line != SetAssocCache::kInvalidTag &&
+        rp_n != 0) {
+      rp_scrub(evicted_line);
+    }
+    l2.InsertNew(line);
+    l1.InsertNew(line);
+    if (inclusive) llc.MarkPresentAt(slot, core);
+    prof_end(c_fill);
     now += lat_llc + dram_latency;
+  }
+
+  // Flush intra-run pending entries that were never consumed (lines past
+  // the horizon the demand cursor reached, or lines whose demand access hit
+  // L1) back to the shared table, where a later access can still claim the
+  // prefetch.
+  if (rp_n != 0) {
+    prof_begin();
+    for (size_t i = 0; i < rp_n; ++i) {
+      prefetch_ready_.Assign(rp_line[i], rp_ready[i]);
+    }
+    prof_end(c_pend);
   }
 
   // Flush groups are gated on their headline counter: an all-L1-hit run (the
   // common case for warm operators) touches two counters instead of
   // twenty-five.
+  prof_begin();
   stats_.l1.hits += n_l1_hits;
   cs.l1.hits += n_l1_hits;
   if (n_l1_misses != 0) {
@@ -270,6 +440,27 @@ uint64_t MemoryHierarchy::AccessRun(uint32_t core, uint64_t first_line,
     mon.llc.misses += n_llc_misses + n_pf_issued;
     mon.mbm_lines += n_llc_misses + n_pf_issued;
   }
+  prof_end(c_flush);
+
+  if constexpr (kProfiled) {
+    HostCycleBreakdown& hp = *host_profile_;
+    hp.l1_lookup += c_l1;
+    hp.l2_lookup += c_l2;
+    hp.llc_lookup += c_llc;
+    hp.victim_fill += c_fill;
+    hp.prefetcher += c_pf;
+    hp.dram += c_dram;
+    hp.pending_table += c_pend;
+    hp.shadow += c_shadow;
+    hp.monitor_flush += c_flush;
+    hp.runs += 1;
+    hp.run_lines += n_lines;
+    const uint64_t total = HostTimerNow() - t_run0;
+    hp.run_total += total;
+    const uint64_t attributed = c_l1 + c_l2 + c_llc + c_fill + c_pf + c_dram +
+                                c_pend + c_shadow + c_flush;
+    hp.run_other += total > attributed ? total - attributed : 0;
+  }
   return now - start;
 }
 
@@ -281,8 +472,13 @@ void MemoryHierarchy::FillFromDram(uint32_t core, uint64_t line,
 
 void MemoryHierarchy::InsertIntoLlc(uint64_t line, uint64_t llc_alloc_mask,
                                     uint32_t clos) {
-  // Both callers (demand DRAM fill, prefetch fill) have just established
-  // the line misses the LLC, so the already-present scan can be skipped.
+  if (!config_.reference_impl) {
+    InsertIntoLlcAt(line, llc_alloc_mask, clos);
+    return;
+  }
+  // Reference path: both callers (demand DRAM fill, prefetch fill) have
+  // just established the line misses the LLC, so the already-present scan
+  // can be skipped.
   const uint64_t before = llc_->ValidLineCount();
   std::optional<EvictedLine> evicted =
       llc_->InsertNew(line, llc_alloc_mask, static_cast<uint16_t>(clos));
@@ -301,28 +497,58 @@ void MemoryHierarchy::InsertIntoLlc(uint64_t line, uint64_t llc_alloc_mask,
     // Inclusive LLC: a victimized line must disappear from all private
     // caches. This is the mechanism that lets one core's streaming evict
     // another core's hot dictionary lines out of its L2 — the "cache
-    // pollution" the paper is about. The fast path visits only cores whose
-    // presence bit is set (a superset of actual private holders); the
-    // reference path brute-forces every core, as the seed did. Both count
-    // the same back-invalidations: cores without a private copy contribute
-    // nothing either way.
-    if (config_.reference_impl) {
-      for (uint32_t c = 0; c < config_.num_cores; ++c) {
-        bool invalidated = l1_[c]->Invalidate(evicted->line);
-        invalidated |= l2_[c]->Invalidate(evicted->line);
-        if (invalidated) stats_.llc_back_invalidations += 1;
-      }
-      prefetch_ready_ref_.erase(evicted->line);
-    } else {
-      for (uint32_t bits = evicted->presence; bits != 0; bits &= bits - 1) {
-        const uint32_t c = static_cast<uint32_t>(__builtin_ctz(bits));
-        bool invalidated = l1_[c]->Invalidate(evicted->line);
-        invalidated |= l2_[c]->Invalidate(evicted->line);
-        if (invalidated) stats_.llc_back_invalidations += 1;
-      }
-      prefetch_ready_.Erase(evicted->line);
+    // pollution" the paper is about. The reference path brute-forces every
+    // core, as the seed did; the fast path (InsertIntoLlcAt) visits only
+    // cores whose presence bit is set. Both count the same
+    // back-invalidations: cores without a private copy contribute nothing
+    // either way.
+    for (uint32_t c = 0; c < config_.num_cores; ++c) {
+      bool invalidated = l1_[c]->Invalidate(evicted->line);
+      invalidated |= l2_[c]->Invalidate(evicted->line);
+      if (invalidated) stats_.llc_back_invalidations += 1;
     }
+    prefetch_ready_ref_.erase(evicted->line);
   }
+}
+
+size_t MemoryHierarchy::InsertIntoLlcAt(uint64_t line, uint64_t llc_alloc_mask,
+                                        uint32_t clos,
+                                        uint64_t* evicted_line_out) {
+  CATDB_DCHECK(!config_.reference_impl);
+  // The caller has just established the line misses the LLC, so the
+  // already-present scan can be skipped; InsertNewAt always fills and
+  // reports the slot.
+  const uint64_t before = llc_->ValidLineCount();
+  size_t slot = 0;
+  std::optional<EvictedLine> evicted = llc_->InsertNewAt(
+      line, llc_alloc_mask, static_cast<uint16_t>(clos), &slot);
+  if (evicted_line_out != nullptr) {
+    *evicted_line_out =
+        evicted.has_value() ? evicted->line : SetAssocCache::kInvalidTag;
+  }
+  if (evicted.has_value()) {
+    clos_monitors_[clos].occupancy_lines += 1;
+    ClosMonitor& victim = clos_monitors_[evicted->owner];
+    CATDB_DCHECK(victim.occupancy_lines > 0);
+    victim.occupancy_lines -= 1;
+  } else if (llc_->ValidLineCount() != before) {
+    clos_monitors_[clos].occupancy_lines += 1;
+  }
+
+  if (evicted.has_value() && config_.inclusive_llc) {
+    // Targeted back-invalidation: only cores whose presence bit is set (a
+    // conservative superset of actual private holders) are visited. The
+    // private invalidations never touch the LLC, so `slot` stays valid for
+    // the caller's MarkPresentAt.
+    for (uint32_t bits = evicted->presence; bits != 0; bits &= bits - 1) {
+      const uint32_t c = static_cast<uint32_t>(__builtin_ctz(bits));
+      bool invalidated = l1_[c]->Invalidate(evicted->line);
+      invalidated |= l2_[c]->Invalidate(evicted->line);
+      if (invalidated) stats_.llc_back_invalidations += 1;
+    }
+    prefetch_ready_.Erase(evicted->line);
+  }
+  return slot;
 }
 
 void MemoryHierarchy::FillPrivate(uint32_t core, uint64_t line,

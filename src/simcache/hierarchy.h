@@ -9,6 +9,7 @@
 #include "simcache/cache_geometry.h"
 #include "simcache/cache_stats.h"
 #include "simcache/dram.h"
+#include "simcache/host_profile.h"
 #include "simcache/line_map.h"
 #include "simcache/prefetcher.h"
 #include "simcache/set_assoc_cache.h"
@@ -157,7 +158,26 @@ class MemoryHierarchy {
   }
   ShadowTagProfiler* shadow_profiler() const { return shadow_profiler_; }
 
+  /// Binds a host-cycle profiler (nullptr = detach): AccessRun attributes
+  /// the simulator's own wall time to per-component buckets (L1/L2/LLC
+  /// lookup, victim fill, prefetcher, DRAM booking, pending table, monitor
+  /// flush). Profiling is template-dispatched per run, so detached runs
+  /// compile without any timer reads and cost nothing. Simulated results
+  /// are identical either way. The profiler is not owned and must outlive
+  /// the binding.
+  void AttachHostProfiler(HostCycleBreakdown* profile) {
+    host_profile_ = profile;
+  }
+  HostCycleBreakdown* host_profile() const { return host_profile_; }
+
  private:
+  // The batched run loop behind AccessRun, compiled twice: kProfiled=false
+  // is the measured path (no timer reads anywhere); kProfiled=true times
+  // each component into *host_profile_. Both evolve simulation state
+  // identically.
+  template <bool kProfiled>
+  uint64_t AccessRunImpl(uint32_t core, uint64_t first_line, uint64_t n_lines,
+                         uint64_t now, uint64_t llc_alloc_mask, uint32_t clos);
   // Books a DRAM line fetch and fills LLC/L2/L1 along the way.
   void FillFromDram(uint32_t core, uint64_t line, uint64_t llc_alloc_mask,
                     uint32_t clos);
@@ -165,6 +185,14 @@ class MemoryHierarchy {
   // inclusive back-invalidation of all private caches and updates the CMT
   // occupancy of filler and victim.
   void InsertIntoLlc(uint64_t line, uint64_t llc_alloc_mask, uint32_t clos);
+  // Fast-mode InsertIntoLlc that returns the filled line's SoA slot in the
+  // LLC, so run-loop callers can mark presence with a single store. When
+  // `evicted_line_out` is non-null it receives the evicted line address
+  // (SetAssocCache::kInvalidTag if nothing was evicted) — the run loop
+  // scrubs its run-local pending-prefetch FIFO with it.
+  size_t InsertIntoLlcAt(uint64_t line, uint64_t llc_alloc_mask,
+                         uint32_t clos,
+                         uint64_t* evicted_line_out = nullptr);
   // Fills the line into the core's private caches. `l2_resident` tells the
   // fast path the line was just promoted by the L2 lookup (skip the
   // re-insert); otherwise the line is known absent from both levels.
@@ -190,6 +218,7 @@ class MemoryHierarchy {
   std::vector<ClosMonitor> clos_monitors_;
   std::vector<uint64_t> scratch_prefetch_lines_;
   ShadowTagProfiler* shadow_profiler_ = nullptr;  // not owned
+  HostCycleBreakdown* host_profile_ = nullptr;    // not owned
 };
 
 }  // namespace catdb::simcache

@@ -61,13 +61,51 @@ class LineMap {
   bool Erase(uint64_t key) {
     if (size_ == 0) return false;
     const uint64_t biased = key + 1;
-    size_t i = SlotOf(key);
-    for (;; i = (i + 1) & mask_) {
-      if (slots_[i].biased_key == biased) break;
+    for (size_t i = SlotOf(key);; i = (i + 1) & mask_) {
+      if (slots_[i].biased_key == biased) {
+        EraseAt(i);
+        return true;
+      }
       if (slots_[i].biased_key == 0) return false;
     }
-    // Backward-shift deletion: pull later probe-chain members into the
-    // hole so unsuccessful lookups can keep stopping at empty slots.
+  }
+
+  /// Removes `key` if present, storing its value in `*value` first: the
+  /// find-then-erase pattern of the hierarchy's pending-prefetch consume in
+  /// one probe chain instead of two. Returns true if the key was present;
+  /// `*value` is untouched otherwise.
+  bool Take(uint64_t key, uint64_t* value) {
+    if (size_ == 0) return false;
+    const uint64_t biased = key + 1;
+    for (size_t i = SlotOf(key);; i = (i + 1) & mask_) {
+      if (slots_[i].biased_key == biased) {
+        *value = slots_[i].value;
+        EraseAt(i);
+        return true;
+      }
+      if (slots_[i].biased_key == 0) return false;
+    }
+  }
+
+  /// Removes every entry; keeps the current capacity.
+  void Clear() {
+    if (size_ == 0) return;
+    for (Slot& s : slots_) s = Slot{};
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    uint64_t biased_key = 0;  // key + 1; 0 = empty
+    uint64_t value = 0;
+  };
+
+  static constexpr size_t kInitialSlots = 64;
+
+  // Empties slot `i` by backward-shift deletion: pull later probe-chain
+  // members into the hole so unsuccessful lookups can keep stopping at
+  // empty slots.
+  void EraseAt(size_t i) {
     size_t hole = i;
     for (size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
       const uint64_t bk = slots_[j].biased_key;
@@ -85,23 +123,7 @@ class LineMap {
     }
     slots_[hole] = Slot{};
     size_ -= 1;
-    return true;
   }
-
-  /// Removes every entry; keeps the current capacity.
-  void Clear() {
-    if (size_ == 0) return;
-    for (Slot& s : slots_) s = Slot{};
-    size_ = 0;
-  }
-
- private:
-  struct Slot {
-    uint64_t biased_key = 0;  // key + 1; 0 = empty
-    uint64_t value = 0;
-  };
-
-  static constexpr size_t kInitialSlots = 64;
 
   size_t SlotOf(uint64_t key) const {
     // Fibonacci hashing: sequential line numbers (the common prefetch

@@ -6,14 +6,42 @@ namespace catdb::simcache {
 
 SetAssocCache::SetAssocCache(CacheGeometry geometry) : geometry_(geometry) {
   CATDB_CHECK(geometry_.Valid());
-  ways_.resize(static_cast<size_t>(geometry_.num_sets) * geometry_.num_ways);
-  way_hint_.resize(geometry_.num_sets, 0);
+  CATDB_CHECK(geometry_.num_ways <= 255);  // way_hint_ element width
+  const size_t n = SetBaseIndex(geometry_, geometry_.num_sets);
+  tags_.assign(n, kInvalidTag);
+  lru_stamps_.assign(n, 0);
+  presence_.assign(n, 0);
+  owners_.assign(n, 0);
+  way_hint_.assign(geometry_.num_sets, 0);
+}
+
+void SetAssocCache::set_reference_mode(bool on) {
+  if (on == reference_mode_) return;
+  // Only an empty cache may switch layouts; the hierarchy flips the mode
+  // right after construction, before any access.
+  CATDB_CHECK(valid_count_ == 0);
+  reference_mode_ = on;
+  const size_t n = SetBaseIndex(geometry_, geometry_.num_sets);
+  if (on) {
+    // Free the SoA arrays; reference mode runs entirely on the AoS copy.
+    tags_ = std::vector<uint64_t>();
+    lru_stamps_ = std::vector<uint64_t>();
+    presence_ = std::vector<uint32_t>();
+    owners_ = std::vector<uint16_t>();
+    ref_ways_.assign(n, Way{});
+  } else {
+    ref_ways_ = std::vector<Way>();
+    tags_.assign(n, kInvalidTag);
+    lru_stamps_.assign(n, 0);
+    presence_.assign(n, 0);
+    owners_.assign(n, 0);
+  }
 }
 
 bool SetAssocCache::Lookup(uint64_t line) {
   const uint32_t set = geometry_.SetOf(line);
-  Way* ways = SetWays(set);
   if (reference_mode_) {
+    Way* ways = RefSetWays(set);
     for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
       if (ways[w].valid && ways[w].tag == line) {
         ways[w].lru_stamp = ++stamp_counter_;
@@ -26,115 +54,62 @@ bool SetAssocCache::Lookup(uint64_t line) {
   // with one tag compare instead of a scan over all ways (operators re-read
   // their hot lines constantly). A stale hint is harmless — it fails the
   // tag check and falls through to the scan.
-  Way& hinted = ways[way_hint_[set]];
-  if (hinted.valid && hinted.tag == line) {
-    hinted.lru_stamp = ++stamp_counter_;
+  const size_t hint = SetBase(set) + way_hint_[set];
+  if (tags_[hint] == line) {
+    lru_stamps_[hint] = ++stamp_counter_;
     return true;
   }
-  return LookupScan(set, line);
-}
-
-bool SetAssocCache::LookupScan(uint32_t set, uint64_t line) {
-  Way* ways = SetWays(set);
-  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-    if (ways[w].valid && ways[w].tag == line) {
-      ways[w].lru_stamp = ++stamp_counter_;
-      way_hint_[set] = static_cast<uint8_t>(w);
-      return true;
-    }
-  }
-  return false;
+  return LookupScan(set, line) >= 0;
 }
 
 bool SetAssocCache::Contains(uint64_t line) const {
-  const Way* ways = SetWays(geometry_.SetOf(line));
-  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-    if (ways[w].valid && ways[w].tag == line) return true;
+  const uint32_t set = geometry_.SetOf(line);
+  if (reference_mode_) {
+    const Way* ways = RefSetWays(set);
+    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+      if (ways[w].valid && ways[w].tag == line) return true;
+    }
+    return false;
   }
-  return false;
+  return FindSlot(set, line) >= 0;
 }
 
-std::optional<EvictedLine> SetAssocCache::Insert(uint64_t line,
-                                                 uint64_t alloc_mask,
-                                                 uint16_t owner) {
-  alloc_mask &= FullMask();
-  CATDB_DCHECK(alloc_mask != 0);
-  const uint32_t set = geometry_.SetOf(line);
-  Way* ways = SetWays(set);
-
-  // Already present (in any way): just promote. CAT restricts allocation,
-  // not residency. The original filler keeps monitoring ownership.
-  if (!reference_mode_) {
-    Way& hinted = ways[way_hint_[set]];
-    if (hinted.valid && hinted.tag == line) {
-      hinted.lru_stamp = ++stamp_counter_;
-      return std::nullopt;
-    }
-  }
+std::optional<EvictedLine> SetAssocCache::InsertReference(uint32_t set,
+                                                          uint64_t line,
+                                                          uint64_t alloc_mask,
+                                                          uint16_t owner) {
+  Way* ways = RefSetWays(set);
   for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
     if (ways[w].valid && ways[w].tag == line) {
       ways[w].lru_stamp = ++stamp_counter_;
-      if (!reference_mode_) way_hint_[set] = static_cast<uint8_t>(w);
       return std::nullopt;
     }
   }
-
-  return FillVictim(set, line, alloc_mask, owner);
+  return FillVictimReference(set, line, alloc_mask, owner);
 }
 
-std::optional<EvictedLine> SetAssocCache::InsertNew(uint64_t line,
-                                                    uint64_t alloc_mask,
-                                                    uint16_t owner) {
-  if (reference_mode_) return Insert(line, alloc_mask, owner);
-  CATDB_DCHECK(!Contains(line));
-  alloc_mask &= FullMask();
-  CATDB_DCHECK(alloc_mask != 0);
-  return FillVictim(geometry_.SetOf(line), line, alloc_mask, owner);
-}
-
-std::optional<EvictedLine> SetAssocCache::FillVictim(uint32_t set,
-                                                     uint64_t line,
-                                                     uint64_t alloc_mask,
-                                                     uint16_t owner) {
-  Way* ways = SetWays(set);
-  // Victim selection walks only the ways set in the allocation mask
-  // (ascending, matching LRU tie-breaking by lowest way index) and stops
-  // early at the first invalid way. The reference implementation walks all
-  // ways and tests the mask per way; both pick the same victim.
+std::optional<EvictedLine> SetAssocCache::FillVictimReference(
+    uint32_t set, uint64_t line, uint64_t alloc_mask, uint16_t owner) {
+  Way* ways = RefSetWays(set);
   int victim = -1;
   uint64_t oldest = ~uint64_t{0};
-  if (reference_mode_) {
-    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-      if ((alloc_mask >> w & 1) == 0) continue;
-      if (!ways[w].valid) {
-        victim = static_cast<int>(w);
-        break;
-      }
-      if (ways[w].lru_stamp < oldest) {
-        oldest = ways[w].lru_stamp;
-        victim = static_cast<int>(w);
-      }
+  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+    if ((alloc_mask >> w & 1) == 0) continue;
+    if (!ways[w].valid) {
+      victim = static_cast<int>(w);
+      break;
     }
-  } else {
-    for (uint64_t cand = alloc_mask; cand != 0; cand &= cand - 1) {
-      const uint32_t w = static_cast<uint32_t>(__builtin_ctzll(cand));
-      if (!ways[w].valid) {
-        victim = static_cast<int>(w);
-        break;
-      }
-      if (ways[w].lru_stamp < oldest) {
-        oldest = ways[w].lru_stamp;
-        victim = static_cast<int>(w);
-      }
+    if (ways[w].lru_stamp < oldest) {
+      oldest = ways[w].lru_stamp;
+      victim = static_cast<int>(w);
     }
   }
   CATDB_DCHECK(victim >= 0);
 
   std::optional<EvictedLine> evicted;
   if (ways[victim].valid) {
-    evicted =
-        EvictedLine{ways[victim].tag, ways[victim].owner,
-                    ways[victim].presence};
+    evicted = EvictedLine{ways[victim].tag, ways[victim].owner,
+                          ways[victim].presence};
   } else {
     valid_count_ += 1;
   }
@@ -143,39 +118,50 @@ std::optional<EvictedLine> SetAssocCache::FillVictim(uint32_t set,
   ways[victim].owner = owner;
   ways[victim].presence = 0;
   ways[victim].lru_stamp = ++stamp_counter_;
-  if (!reference_mode_) way_hint_[set] = static_cast<uint8_t>(victim);
   return evicted;
 }
 
 void SetAssocCache::MarkPresent(uint64_t line, uint32_t core) {
+  CATDB_DCHECK(core < kMaxPresenceCores);
   const uint32_t set = geometry_.SetOf(line);
-  Way* ways = SetWays(set);
-  // The hierarchy calls this right after touching the line (Lookup, Insert),
-  // so the hint almost always resolves it with one compare.
-  Way& hinted = ways[way_hint_[set]];
-  if (hinted.valid && hinted.tag == line) {
-    hinted.presence |= uint32_t{1} << core;
+  if (reference_mode_) {
+    Way* ways = RefSetWays(set);
+    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+      if (ways[w].valid && ways[w].tag == line) {
+        ways[w].presence |= uint32_t{1} << core;
+        return;
+      }
+    }
+    CATDB_DCHECK(false);  // caller guarantees residency
     return;
   }
-  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-    if (ways[w].valid && ways[w].tag == line) {
-      ways[w].presence |= uint32_t{1} << core;
-      return;
-    }
+  // The hierarchy calls this right after touching the line (Lookup, Insert),
+  // so the hint almost always resolves it with one compare.
+  const size_t hint = SetBase(set) + way_hint_[set];
+  if (tags_[hint] == line) {
+    presence_[hint] |= uint32_t{1} << core;
+    return;
   }
-  CATDB_DCHECK(false);  // caller guarantees residency
+  const int64_t slot = FindSlot(set, line);
+  CATDB_DCHECK(slot >= 0);  // caller guarantees residency
+  if (slot >= 0) presence_[static_cast<size_t>(slot)] |= uint32_t{1} << core;
 }
 
 int SetAssocCache::OwnerOf(uint64_t line) const {
-  const Way* ways = SetWays(geometry_.SetOf(line));
-  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-    if (ways[w].valid && ways[w].tag == line) return ways[w].owner;
+  const uint32_t set = geometry_.SetOf(line);
+  if (reference_mode_) {
+    const Way* ways = RefSetWays(set);
+    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+      if (ways[w].valid && ways[w].tag == line) return ways[w].owner;
+    }
+    return -1;
   }
-  return -1;
+  const int64_t slot = FindSlot(set, line);
+  return slot < 0 ? -1 : owners_[static_cast<size_t>(slot)];
 }
 
-bool SetAssocCache::Invalidate(uint64_t line) {
-  Way* ways = SetWays(geometry_.SetOf(line));
+bool SetAssocCache::InvalidateReference(uint64_t line) {
+  Way* ways = RefSetWays(geometry_.SetOf(line));
   for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
     if (ways[w].valid && ways[w].tag == line) {
       ways[w].valid = false;
@@ -188,22 +174,38 @@ bool SetAssocCache::Invalidate(uint64_t line) {
 }
 
 void SetAssocCache::Clear() {
-  for (Way& w : ways_) w.valid = false;
+  if (reference_mode_) {
+    for (Way& w : ref_ways_) w.valid = false;
+  } else {
+    for (uint64_t& t : tags_) t = kInvalidTag;
+  }
   valid_count_ = 0;
 }
 
 void SetAssocCache::CollectValidLines(std::vector<uint64_t>* out) const {
-  for (const Way& w : ways_) {
-    if (w.valid) out->push_back(w.tag);
+  if (reference_mode_) {
+    for (const Way& w : ref_ways_) {
+      if (w.valid) out->push_back(w.tag);
+    }
+    return;
+  }
+  for (const uint64_t t : tags_) {
+    if (t != kInvalidTag) out->push_back(t);
   }
 }
 
 int SetAssocCache::WayOf(uint64_t line) const {
-  const Way* ways = SetWays(geometry_.SetOf(line));
-  for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-    if (ways[w].valid && ways[w].tag == line) return static_cast<int>(w);
+  const uint32_t set = geometry_.SetOf(line);
+  if (reference_mode_) {
+    const Way* ways = RefSetWays(set);
+    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+      if (ways[w].valid && ways[w].tag == line) return static_cast<int>(w);
+    }
+    return -1;
   }
-  return -1;
+  const int64_t slot = FindSlot(set, line);
+  return slot < 0 ? -1
+                  : static_cast<int>(static_cast<size_t>(slot) - SetBase(set));
 }
 
 }  // namespace catdb::simcache

