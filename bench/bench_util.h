@@ -5,13 +5,17 @@
 // regenerates one figure/table of the paper (see DESIGN.md experiment index)
 // and prints a paper-style table of normalized throughputs.
 
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "engine/runner.h"
 #include "harness/sweep_runner.h"
 #include "harness/thread_pool.h"
@@ -50,6 +54,48 @@ struct BenchOptions {
   std::vector<std::string> positional;
 };
 
+/// Strict numeric flag parsers. All three require the full string to parse,
+/// reject range errors (errno == ERANGE) instead of accepting the silently
+/// clamped value — `--jobs=99999999999999999999` must fail, not run with
+/// LONG_MAX — and enforce positivity. Exposed (rather than folded into
+/// ParseBenchArgs) so tests can exercise them without exiting the process.
+inline bool ParsePositiveUnsigned(const char* s, unsigned* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || n <= 0 ||
+      n > static_cast<long long>(std::numeric_limits<unsigned>::max())) {
+    return false;
+  }
+  *out = static_cast<unsigned>(n);
+  return true;
+}
+
+inline bool ParsePositiveU64(const char* s, uint64_t* out) {
+  // strtoull parses a leading '-' by wrapping modulo 2^64; reject it first.
+  if (s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || n == 0) return false;
+  *out = n;
+  return true;
+}
+
+inline bool ParsePositiveDouble(const char* s, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(s, &end);
+  // ERANGE covers both overflow (HUGE_VAL) and underflow; the finiteness
+  // check additionally rejects literal "inf"/"nan" spellings.
+  if (end == s || *end != '\0' || errno == ERANGE || !std::isfinite(x) ||
+      x <= 0) {
+    return false;
+  }
+  *out = x;
+  return true;
+}
+
 /// Parses the shared flags; exits with usage on anything unrecognized.
 inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   BenchOptions opts;
@@ -66,36 +112,28 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
     } else if (const char* v = value_of("--trace-out")) {
       opts.trace_out = v;
     } else if (const char* v = value_of("--jobs")) {
-      char* end = nullptr;
-      const long n = std::strtol(v, &end, 10);
-      if (end == v || *end != '\0' || n <= 0) {
-        std::fprintf(stderr, "--jobs expects a positive integer, got: %s\n",
+      if (!ParsePositiveUnsigned(v, &opts.jobs)) {
+        std::fprintf(stderr,
+                     "--jobs expects a positive integer in range, got: %s\n",
                      v);
         std::exit(2);
       }
-      opts.jobs = static_cast<unsigned>(n);
     } else if (const char* v = value_of("--selfperf-horizon")) {
-      char* end = nullptr;
-      const unsigned long long n = std::strtoull(v, &end, 10);
-      if (end == v || *end != '\0' || n == 0) {
+      if (!ParsePositiveU64(v, &opts.selfperf_horizon)) {
         std::fprintf(stderr,
-                     "--selfperf-horizon expects a positive cycle count, "
-                     "got: %s\n",
+                     "--selfperf-horizon expects a positive cycle count in "
+                     "range, got: %s\n",
                      v);
         std::exit(2);
       }
-      opts.selfperf_horizon = n;
     } else if (const char* v = value_of("--min-batched-ratio")) {
-      char* end = nullptr;
-      const double x = std::strtod(v, &end);
-      if (end == v || *end != '\0' || x <= 0) {
+      if (!ParsePositiveDouble(v, &opts.min_batched_ratio)) {
         std::fprintf(stderr,
-                     "--min-batched-ratio expects a positive number, "
+                     "--min-batched-ratio expects a positive finite number, "
                      "got: %s\n",
                      v);
         std::exit(2);
       }
-      opts.min_batched_ratio = x;
     } else if (arg == "--smoke") {
       opts.smoke = true;
     } else if (arg.compare(0, 2, "--") != 0) {
@@ -222,10 +260,28 @@ struct PairResult {
   engine::RunReport conc_report;
   engine::RunReport part_report;
 
-  double norm_conc_a() const { return conc_a / iso_a; }
-  double norm_conc_b() const { return conc_b / iso_b; }
-  double norm_part_a() const { return part_a / iso_a; }
-  double norm_part_b() const { return part_b / iso_b; }
+  double norm_conc_a() const { return Normalized(conc_a, iso_a, "A"); }
+  double norm_conc_b() const { return Normalized(conc_b, iso_b, "B"); }
+  double norm_part_a() const { return Normalized(part_a, iso_a, "A"); }
+  double norm_part_b() const { return Normalized(part_b, iso_b, "B"); }
+
+ private:
+  /// Guarded normalization: a zero-iteration isolated baseline (possible at
+  /// --smoke horizons with heavy queries) would divide to inf/NaN, which
+  /// JsonWriter serializes as null — silent report corruption. Fail loudly
+  /// instead.
+  static double Normalized(double concurrent, double isolated,
+                           const char* which) {
+    if (!(isolated > 0)) {
+      std::fprintf(stderr,
+                   "bench error: isolated baseline %s finished 0 iterations "
+                   "(horizon too short); cannot normalize — rerun with a "
+                   "longer horizon\n",
+                   which);
+      std::exit(1);
+    }
+    return concurrent / isolated;
+  }
 };
 
 /// Runs the A/B pair in all four configurations. `partitioned` is the
@@ -281,6 +337,10 @@ inline uint64_t WarmIterationCycles(sim::Machine* machine,
   auto rep =
       engine::RunQueryIterations(machine, query, kCoresA, iterations, cfg);
   const auto& clocks = rep.streams[0].iteration_end_clocks;
+  CATDB_CHECK(!clocks.empty());
+  // A single iteration has no warm predecessor: its cycles run from 0, so
+  // the subtraction below would index out of bounds — return it directly.
+  if (clocks.size() == 1) return clocks[0];
   return clocks.back() - clocks[clocks.size() - 2];
 }
 

@@ -49,8 +49,9 @@ Status JobScheduler::SetupGroups() {
 void JobScheduler::OnDispatch(Job* job, uint32_t core) {
   cat::ResctrlFs& fs = machine_->resctrl();
   const cat::ThreadId tid = core;  // one job-worker thread per core
-  const std::string target = core_has_override_[core]
-                                 ? core_group_override_[core]
+  const std::string target =
+      job_group_resolver_ ? job_group_resolver_(*job, core)
+      : core_has_override_[core] ? core_group_override_[core]
                                  : policy_.GroupFor(*job);
 
   const bool same_group = fs.GroupOfTask(tid) == target;

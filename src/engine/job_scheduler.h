@@ -2,6 +2,7 @@
 #define CATDB_ENGINE_JOB_SCHEDULER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,16 @@ class JobScheduler {
   /// group) rather than per operator class.
   void SetCoreGroupOverride(uint32_t core, std::string group);
 
+  /// Resolves the target resource group per *job* (highest precedence,
+  /// checked before core overrides and the CUID policy). The serving tier
+  /// uses this to route each tenant's queries into its cluster's group —
+  /// tenants migrate between groups as the clustering evolves, which a
+  /// per-core override cannot express. Pass nullptr to clear.
+  using JobGroupResolver = std::function<std::string(const Job&, uint32_t)>;
+  void SetJobGroupResolver(JobGroupResolver resolver) {
+    job_group_resolver_ = std::move(resolver);
+  }
+
   const PartitioningPolicy& policy() const { return policy_; }
 
   /// Kernel interactions performed (tasks-file writes) vs. avoided by the
@@ -55,6 +66,7 @@ class JobScheduler {
   PartitioningPolicy policy_;
   std::vector<std::string> core_group_override_;  // indexed by core; ""+flag
   std::vector<bool> core_has_override_;
+  JobGroupResolver job_group_resolver_;
   uint64_t group_moves_ = 0;
   uint64_t skipped_moves_ = 0;
 };

@@ -142,6 +142,76 @@ void AppendPolicyRunReport(JsonWriter& w,
   w.EndObject();
 }
 
+void AppendLatencySummary(JsonWriter& w, const serve::LatencySummary& s) {
+  w.BeginObject();
+  w.KV("count", s.count);
+  w.KV("p50", s.p50);
+  w.KV("p95", s.p95);
+  w.KV("p99", s.p99);
+  w.KV("max", s.max);
+  w.KV("mean", s.mean);
+  w.EndObject();
+}
+
+void AppendServingReport(JsonWriter& w,
+                         const serve::ServingRunReport& report) {
+  w.BeginObject();
+  w.KV("policy", report.policy);
+  w.KV("horizon_cycles", report.horizon_cycles);
+  w.KV("arrivals", report.arrivals);
+  w.KV("admitted", report.admitted);
+  w.KV("completed", report.completed);
+  w.KV("rejected", report.rejected);
+  w.KV("in_flight_at_horizon", report.in_flight_at_horizon);
+  w.KV("max_queue_depth", report.max_queue_depth);
+  w.KV("intervals", report.intervals);
+  w.KV("schemata_writes", report.schemata_writes);
+  w.KV("group_moves", report.group_moves);
+  w.KV("num_clusters", static_cast<uint64_t>(report.num_clusters));
+  w.Key("cluster_of_tenant").BeginArray();
+  for (uint32_t c : report.cluster_of_tenant) {
+    w.Value(static_cast<uint64_t>(c));
+  }
+  w.EndArray();
+  w.Key("cluster_masks").BeginArray();
+  for (const uint64_t m : report.cluster_masks) w.Value(m);
+  w.EndArray();
+  w.Key("latency");
+  AppendLatencySummary(w, report.latency);
+  w.Key("queue_wait");
+  AppendLatencySummary(w, report.queue_wait);
+  w.Key("classes").BeginArray();
+  for (size_t c = 0; c < report.class_names.size(); ++c) {
+    w.BeginObject();
+    w.KV("name", report.class_names[c]);
+    w.KV("completed", report.class_completed[c]);
+    w.KV("rejected", report.class_rejected[c]);
+    w.Key("latency");
+    AppendLatencySummary(w, report.class_latency[c]);
+    // Log2 latency histogram, trimmed to the occupied prefix (bucket b =
+    // samples with latency in [2^b, 2^(b+1))).
+    size_t used = report.class_histogram[c].size();
+    while (used > 0 && report.class_histogram[c][used - 1] == 0) --used;
+    w.Key("latency_log2_histogram").BeginArray();
+    for (size_t b = 0; b < used; ++b) w.Value(report.class_histogram[c][b]);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("tenants").BeginArray();
+  for (size_t t = 0; t < report.tenant_latency.size(); ++t) {
+    w.BeginObject();
+    w.KV("tenant", static_cast<uint64_t>(t));
+    w.KV("rejected", report.tenant_rejected[t]);
+    w.Key("latency");
+    AppendLatencySummary(w, report.tenant_latency[t]);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KV("llc_hit_ratio", report.llc_hit_ratio);
+  w.EndObject();
+}
+
 void AppendRoundsReport(JsonWriter& w, const engine::RoundsReport& report) {
   CATDB_CHECK(report.round_cycles.size() == report.round_reports.size());
   w.BeginObject();
@@ -214,6 +284,15 @@ void RunReportWriter::AddPolicyRun(std::string name,
   entries_.push_back(std::move(e));
 }
 
+void RunReportWriter::AddServingRun(std::string name,
+                                    serve::ServingRunReport report) {
+  Entry e;
+  e.kind = Kind::kServing;
+  e.name = std::move(name);
+  e.serving = std::move(report);
+  entries_.push_back(std::move(e));
+}
+
 void RunReportWriter::MergeFrom(RunReportWriter&& shard) {
   for (auto& param : shard.params_) params_.push_back(std::move(param));
   for (Entry& entry : shard.entries_) entries_.push_back(std::move(entry));
@@ -263,6 +342,11 @@ std::string RunReportWriter::Json() const {
         w.KV("kind", "policy");
         w.Key("policy");
         AppendPolicyRunReport(w, e.policy);
+        break;
+      case Kind::kServing:
+        w.KV("kind", "serving");
+        w.Key("serving");
+        AppendServingReport(w, e.serving);
         break;
       case Kind::kScalar:
         w.KV("kind", "scalar");

@@ -13,6 +13,7 @@
 #include "obs/interval_sampler.h"
 #include "obs/json.h"
 #include "policy/policy_engine.h"
+#include "serve/serving_engine.h"
 
 namespace catdb::obs {
 
@@ -32,6 +33,8 @@ void AppendDynamicRunReport(JsonWriter& w,
 void AppendRoundsReport(JsonWriter& w, const engine::RoundsReport& report);
 void AppendPolicyRunReport(JsonWriter& w,
                            const policy::PolicyRunReport& report);
+void AppendLatencySummary(JsonWriter& w, const serve::LatencySummary& s);
+void AppendServingReport(JsonWriter& w, const serve::ServingRunReport& report);
 
 /// Accumulates the results of one benchmark binary into a single JSON run
 /// report: `{"schema": ..., "benchmark": ..., "params": {...},
@@ -52,6 +55,7 @@ class RunReportWriter {
   void AddDynamicRun(std::string name, engine::DynamicRunReport report);
   void AddRounds(std::string name, engine::RoundsReport report);
   void AddPolicyRun(std::string name, policy::PolicyRunReport report);
+  void AddServingRun(std::string name, serve::ServingRunReport report);
   void AddScalar(std::string name, double value);
 
   size_t num_results() const { return entries_.size(); }
@@ -67,7 +71,14 @@ class RunReportWriter {
   Status WriteFile(const std::string& path) const;
 
  private:
-  enum class Kind : uint8_t { kRun, kDynamic, kRounds, kPolicy, kScalar };
+  enum class Kind : uint8_t {
+    kRun,
+    kDynamic,
+    kRounds,
+    kPolicy,
+    kServing,
+    kScalar,
+  };
 
   struct Entry {
     Kind kind;
@@ -76,6 +87,7 @@ class RunReportWriter {
     engine::DynamicRunReport dynamic;
     engine::RoundsReport rounds;
     policy::PolicyRunReport policy;
+    serve::ServingRunReport serving;
     double scalar = 0;
   };
 

@@ -237,4 +237,201 @@ std::vector<uint64_t> FairnessClusterAllocator::Allocate(
   return masks;
 }
 
+// ---------------------------------------------------------------------------
+// ClusteredWayAllocator
+
+namespace {
+
+/// A stream's MRC feature vector: the hit *ratio* at every way count, so
+/// streams of different volumes but equal curve shape are close. Cold
+/// streams (no shadow observations) are the zero vector — they gravitate
+/// into one cluster instead of distorting measured ones.
+std::vector<double> MrcFeature(const StreamProfile& p, uint32_t llc_ways) {
+  std::vector<double> f(llc_ways, 0.0);
+  if (p.mrc_accesses == 0) return f;
+  const double denom = static_cast<double>(p.mrc_accesses);
+  for (uint32_t w = 1; w <= llc_ways; ++w) {
+    f[w - 1] = static_cast<double>(p.HitsAtWays(w)) / denom;
+  }
+  return f;
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+/// Index of the centroid nearest to `f` (ties to the lowest index).
+size_t NearestCentroid(const std::vector<double>& f,
+                       const std::vector<std::vector<double>>& centroids) {
+  size_t best = 0;
+  double best_d = SquaredDistance(f, centroids[0]);
+  for (size_t c = 1; c < centroids.size(); ++c) {
+    const double d = SquaredDistance(f, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ClusteredWayAllocator::ClusteredWayAllocator(const ClusterConfig& config)
+    : config_(config) {
+  CATDB_CHECK(config_.max_clusters >= 1);
+  CATDB_CHECK(config_.active_fraction > 0.0 &&
+              config_.active_fraction <= 1.0);
+  if (config_.grouping == ClusterGrouping::kRoundRobin) name_ = "lookahead";
+}
+
+std::vector<uint64_t> ClusteredWayAllocator::Allocate(
+    const std::vector<StreamProfile>& streams, uint32_t llc_ways) {
+  CATDB_CHECK(llc_ways >= 1);
+  const size_t n = streams.size();
+  cluster_of_stream_.clear();
+  cluster_masks_.clear();
+  if (n == 0) return {};
+
+  const size_t k = std::min<size_t>(config_.max_clusters, n);
+  std::vector<uint32_t> assign(n, 0);
+  if (config_.grouping == ClusterGrouping::kRoundRobin) {
+    for (size_t i = 0; i < n; ++i) assign[i] = static_cast<uint32_t>(i % k);
+    return FinishAllocation(streams, llc_ways, k, assign);
+  }
+
+  std::vector<std::vector<double>> features(n);
+  for (size_t i = 0; i < n; ++i) features[i] = MrcFeature(streams[i], llc_ways);
+
+  // Farthest-first seeding from stream 0: deterministic, and it spreads the
+  // initial centroids across the occupied region of MRC space.
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(features[0]);
+  while (centroids.size() < k) {
+    size_t far_i = 0;
+    double far_d = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = SquaredDistance(features[i], centroids[0]);
+      for (size_t c = 1; c < centroids.size(); ++c) {
+        d = std::min(d, SquaredDistance(features[i], centroids[c]));
+      }
+      if (d > far_d) {  // strict: ties keep the lowest index
+        far_d = d;
+        far_i = i;
+      }
+    }
+    centroids.push_back(features[far_i]);
+  }
+
+  // Lloyd refinement for a fixed number of rounds.
+  for (uint32_t round = 0; round < config_.kmeans_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      assign[i] = static_cast<uint32_t>(NearestCentroid(features[i], centroids));
+    }
+    std::vector<size_t> count(k, 0);
+    std::vector<std::vector<double>> sums(
+        k, std::vector<double>(llc_ways, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      count[assign[i]] += 1;
+      for (uint32_t w = 0; w < llc_ways; ++w) {
+        sums[assign[i]][w] += features[i][w];
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (count[c] == 0) {
+        // Reseed an emptied cluster with the stream farthest from its own
+        // centroid, so k stays effective.
+        size_t far_i = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double d = SquaredDistance(features[i], centroids[assign[i]]);
+          if (d > far_d) {
+            far_d = d;
+            far_i = i;
+          }
+        }
+        centroids[c] = features[far_i];
+        continue;
+      }
+      for (uint32_t w = 0; w < llc_ways; ++w) {
+        sums[c][w] /= static_cast<double>(count[c]);
+      }
+      centroids[c] = std::move(sums[c]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    assign[i] = static_cast<uint32_t>(NearestCentroid(features[i], centroids));
+  }
+  return FinishAllocation(streams, llc_ways, k, assign);
+}
+
+std::vector<uint64_t> ClusteredWayAllocator::FinishAllocation(
+    const std::vector<StreamProfile>& streams, uint32_t llc_ways, size_t k,
+    const std::vector<uint32_t>& assign) {
+  const size_t n = streams.size();
+  // Compact away empty clusters (dense ids in stream order), then pool each
+  // cluster's members into one profile: the cluster's aggregate MRC under
+  // fair-share division of the partition among its members.
+  std::vector<int> dense(k, -1);
+  size_t num_clusters = 0;
+  cluster_of_stream_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (dense[assign[i]] < 0) {
+      dense[assign[i]] = static_cast<int>(num_clusters++);
+    }
+    cluster_of_stream_[i] = static_cast<uint32_t>(dense[assign[i]]);
+  }
+  std::vector<size_t> members(num_clusters, 0);
+  for (size_t i = 0; i < n; ++i) members[cluster_of_stream_[i]] += 1;
+
+  std::vector<StreamProfile> pooled(num_clusters);
+  for (StreamProfile& p : pooled) {
+    p.mrc_hits_at_ways.assign(llc_ways, 0);
+    p.hit_ratio = 0.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = cluster_of_stream_[i];
+    StreamProfile& p = pooled[c];
+    // The cluster's partition is shared by its concurrently active members,
+    // so its aggregate curve at w ways is the members' hits at their fair
+    // share w/m of it — summing hits at the full w would keep a single
+    // member's saturation point and starve large clusters. Linear
+    // interpolation between the bracketing integer shares keeps the
+    // marginal utility smooth for the lookahead sizer.
+    const double m = std::max(
+        1.0, static_cast<double>(members[c]) * config_.active_fraction);
+    for (uint32_t w = 1; w <= llc_ways; ++w) {
+      const double share = static_cast<double>(w) / m;
+      const uint32_t lo = static_cast<uint32_t>(share);
+      const double frac = share - lo;
+      const double hits_lo = static_cast<double>(streams[i].HitsAtWays(lo));
+      const double hits_hi =
+          static_cast<double>(streams[i].HitsAtWays(lo + 1));
+      p.mrc_hits_at_ways[w - 1] +=
+          static_cast<uint64_t>(hits_lo + frac * (hits_hi - hits_lo));
+    }
+    p.mrc_accesses += streams[i].mrc_accesses;
+    p.bandwidth_share += streams[i].bandwidth_share;
+    p.llc_lookups += streams[i].llc_lookups;
+  }
+  for (StreamProfile& p : pooled) {
+    // All-zero pooled curves mean the cluster is cold; drop the curve so the
+    // lookahead sizing treats it as unknown-benefit rather than zero-benefit.
+    if (p.mrc_accesses == 0) p.mrc_hits_at_ways.clear();
+  }
+
+  LookaheadUtilityAllocator sizer(config_.lookahead);
+  cluster_masks_ = sizer.Allocate(pooled, llc_ways);
+
+  std::vector<uint64_t> masks(n);
+  for (size_t i = 0; i < n; ++i) masks[i] = cluster_masks_[cluster_of_stream_[i]];
+  return masks;
+}
+
 }  // namespace catdb::policy

@@ -134,6 +134,75 @@ class FairnessClusterAllocator : public WayAllocator {
   std::string name_ = "fairness";
 };
 
+/// How ClusteredWayAllocator groups streams into clusters.
+enum class ClusterGrouping {
+  /// k-means over normalized MRC shapes (the LFOC generalization).
+  kMrcSimilarity,
+  /// stream i -> cluster i % k, ignoring the curves. Isolates the value of
+  /// similarity grouping: same pooling and UCP sizing, blind placement.
+  kRoundRobin,
+};
+
+/// Tuning knobs of the MRC-similarity clustering allocator.
+struct ClusterConfig {
+  ClusterGrouping grouping = ClusterGrouping::kMrcSimilarity;
+  /// Upper bound on clusters (and therefore on resource groups / CLOS the
+  /// scheme consumes). Must be >= 1 and should leave room for the default
+  /// group: with 16 hardware CLOS, at most 15 clusters are programmable.
+  uint32_t max_clusters = 8;
+  /// Fixed k-means refinement rounds (fixed, not convergence-driven, so the
+  /// cost is bounded and the outcome deterministic).
+  uint32_t kmeans_rounds = 8;
+  /// Fraction of streams expected to be concurrently active. Pooled cluster
+  /// curves divide the partition among the cluster's *active* members
+  /// (max(1, members * active_fraction)), not all of them. 1.0 models the
+  /// paper's closed system (every stream always running); an open serving
+  /// tier with many mostly-idle tenants sets cores / num_tenants, otherwise
+  /// large clusters look insatiable and the sizer starves everyone else.
+  double active_fraction = 1.0;
+  /// How each cluster's way budget is sized once members are pooled.
+  LookaheadConfig lookahead;
+};
+
+/// LFOC generalized from the two hard-wired classes (streaming vs sensitive)
+/// to k-way clustering over shadow-tag MRC snapshots: streams whose
+/// miss-rate curves have similar *shape* share one partition, and the
+/// partitions are sized against each cluster's pooled curve with UCP
+/// lookahead. This is how far-more-tenants-than-CLOS is served: 64 tenants
+/// collapse onto <= max_clusters resource groups while the per-tenant curves
+/// still drive the sizing. Deterministic: farthest-first seeding from stream
+/// 0, fixed refinement rounds, all ties to the lowest index.
+class ClusteredWayAllocator : public WayAllocator {
+ public:
+  explicit ClusteredWayAllocator(const ClusterConfig& config = {});
+
+  const std::string& name() const override { return name_; }
+  std::vector<uint64_t> Allocate(const std::vector<StreamProfile>& streams,
+                                 uint32_t llc_ways) override;
+
+  /// Post-Allocate introspection for the serving engine: which cluster each
+  /// stream landed in, and the mask each cluster was granted. Cluster ids
+  /// are dense in [0, num_clusters()).
+  const std::vector<uint32_t>& cluster_of_stream() const {
+    return cluster_of_stream_;
+  }
+  const std::vector<uint64_t>& cluster_masks() const { return cluster_masks_; }
+  size_t num_clusters() const { return cluster_masks_.size(); }
+
+ private:
+  // Shared tail of Allocate: compacts `assign` to dense cluster ids, pools
+  // member MRCs per cluster, sizes the clusters with UCP lookahead, and maps
+  // cluster masks back onto streams.
+  std::vector<uint64_t> FinishAllocation(
+      const std::vector<StreamProfile>& streams, uint32_t llc_ways, size_t k,
+      const std::vector<uint32_t>& assign);
+
+  ClusterConfig config_;
+  std::string name_ = "mrc_cluster";
+  std::vector<uint32_t> cluster_of_stream_;
+  std::vector<uint64_t> cluster_masks_;
+};
+
 }  // namespace catdb::policy
 
 #endif  // CATDB_POLICY_WAY_ALLOCATOR_H_

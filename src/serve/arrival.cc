@@ -1,0 +1,85 @@
+#include "serve/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace catdb::serve {
+
+namespace {
+
+/// Exponential draw by inverse CDF, floored at one cycle so every gap
+/// advances time (a zero gap could otherwise loop forever at tiny means).
+/// NextDouble() is in [0, 1), so 1-u is in (0, 1] and the log is finite.
+uint64_t ExponentialCycles(Rng& rng, uint64_t mean_cycles) {
+  const double u = rng.NextDouble();
+  const double gap = -static_cast<double>(mean_cycles) * std::log(1.0 - u);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(gap));
+}
+
+}  // namespace
+
+std::vector<uint64_t> GenerateArrivalCycles(const ArrivalConfig& config,
+                                            uint64_t horizon_cycles,
+                                            uint64_t seed) {
+  CATDB_CHECK(config.mean_interarrival_cycles >= 1);
+  std::vector<uint64_t> arrivals;
+  Rng rng(seed);
+
+  if (config.kind == ArrivalKind::kPoisson) {
+    uint64_t t = ExponentialCycles(rng, config.mean_interarrival_cycles);
+    while (t < horizon_cycles) {
+      arrivals.push_back(t);
+      t += ExponentialCycles(rng, config.mean_interarrival_cycles);
+    }
+    return arrivals;
+  }
+
+  CATDB_CHECK(config.mean_on_cycles >= 1 && config.mean_off_cycles >= 1);
+  // ON-OFF: walk alternating periods; arrivals accumulate only inside ON
+  // windows. The first period is ON, so every tenant is active from cycle 0
+  // (staggered phases come from the per-tenant seeds drawing different
+  // period lengths).
+  uint64_t period_start = 0;
+  bool on = true;
+  while (period_start < horizon_cycles) {
+    const uint64_t period = ExponentialCycles(
+        rng, on ? config.mean_on_cycles : config.mean_off_cycles);
+    const uint64_t period_end =
+        std::min(horizon_cycles, period_start + period);
+    if (on) {
+      uint64_t t = period_start +
+                   ExponentialCycles(rng, config.mean_interarrival_cycles);
+      while (t < period_end) {
+        arrivals.push_back(t);
+        t += ExponentialCycles(rng, config.mean_interarrival_cycles);
+      }
+    }
+    period_start = period_start + period;
+    on = !on;
+  }
+  return arrivals;
+}
+
+std::vector<Arrival> MergeArrivals(
+    const std::vector<std::vector<uint64_t>>& per_tenant) {
+  std::vector<Arrival> merged;
+  size_t total = 0;
+  for (const auto& t : per_tenant) total += t.size();
+  merged.reserve(total);
+  for (uint32_t tenant = 0; tenant < per_tenant.size(); ++tenant) {
+    for (uint64_t cycle : per_tenant[tenant]) {
+      merged.push_back(Arrival{cycle, tenant});
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     if (a.cycle != b.cycle) return a.cycle < b.cycle;
+                     return a.tenant < b.tenant;
+                   });
+  return merged;
+}
+
+}  // namespace catdb::serve

@@ -1,0 +1,54 @@
+#ifndef CATDB_SERVE_ARRIVAL_H_
+#define CATDB_SERVE_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace catdb::serve {
+
+/// Shape of one tenant's open-arrival process.
+enum class ArrivalKind {
+  /// Memoryless arrivals: exponential interarrival gaps.
+  kPoisson,
+  /// Bursty ON-OFF (interrupted Poisson) arrivals: exponentially distributed
+  /// ON periods with Poisson arrivals inside them, alternating with silent
+  /// exponentially distributed OFF periods. Same tail pressure knob as the
+  /// classic MMPP burst model, with two parameters instead of four.
+  kOnOff,
+};
+
+/// Parameters of one tenant's arrival process. All times are in simulated
+/// cycles.
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Mean gap between arrivals while the source is ON (for kPoisson the
+  /// source is always ON, so this is 1/lambda of the whole process).
+  uint64_t mean_interarrival_cycles = 1'000'000;
+  /// kOnOff only: mean lengths of the ON and OFF periods.
+  uint64_t mean_on_cycles = 10'000'000;
+  uint64_t mean_off_cycles = 10'000'000;
+};
+
+/// One admitted-or-not query arrival: when, and from which tenant.
+struct Arrival {
+  uint64_t cycle = 0;
+  uint32_t tenant = 0;
+};
+
+/// Generates one tenant's arrival instants in [0, horizon_cycles),
+/// deterministically from `seed` (seed the per-tenant generators with
+/// distinct values — e.g. hash(run_seed, tenant) — so the merged trace is
+/// independent of how many tenants exist and of the host thread count).
+std::vector<uint64_t> GenerateArrivalCycles(const ArrivalConfig& config,
+                                            uint64_t horizon_cycles,
+                                            uint64_t seed);
+
+/// Merges per-tenant arrival traces (index = tenant id) into one
+/// time-ordered sequence; simultaneous arrivals order by tenant id, so the
+/// merge is a deterministic function of its inputs.
+std::vector<Arrival> MergeArrivals(
+    const std::vector<std::vector<uint64_t>>& per_tenant);
+
+}  // namespace catdb::serve
+
+#endif  // CATDB_SERVE_ARRIVAL_H_

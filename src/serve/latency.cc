@@ -1,0 +1,83 @@
+#include "serve/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace catdb::serve {
+
+uint64_t PercentileSorted(const std::vector<uint64_t>& sorted, double pct) {
+  CATDB_CHECK(!sorted.empty());
+  CATDB_CHECK(pct > 0.0 && pct <= 100.0);
+  const double n = static_cast<double>(sorted.size());
+  size_t rank = static_cast<size_t>(std::ceil(pct / 100.0 * n));
+  rank = std::max<size_t>(1, std::min<size_t>(rank, sorted.size()));
+  return sorted[rank - 1];
+}
+
+LatencySummary Summarize(std::vector<uint64_t> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.p50 = PercentileSorted(samples, 50.0);
+  s.p95 = PercentileSorted(samples, 95.0);
+  s.p99 = PercentileSorted(samples, 99.0);
+  s.max = samples.back();
+  uint64_t sum = 0;
+  for (uint64_t v : samples) sum += v;
+  s.mean = static_cast<double>(sum) / static_cast<double>(s.count);
+  return s;
+}
+
+LatencyRecorder::LatencyRecorder(size_t num_tenants, size_t num_classes)
+    : tenant_latency_(num_tenants),
+      class_latency_(num_classes),
+      class_histogram_(num_classes,
+                       std::vector<uint64_t>(kHistogramBuckets, 0)),
+      tenant_rejected_(num_tenants, 0),
+      class_rejected_(num_classes, 0) {}
+
+void LatencyRecorder::RecordCompletion(uint32_t tenant, uint32_t class_id,
+                                       uint64_t queue_wait_cycles,
+                                       uint64_t latency_cycles) {
+  CATDB_DCHECK(tenant < tenant_latency_.size());
+  CATDB_DCHECK(class_id < class_latency_.size());
+  latency_.push_back(latency_cycles);
+  queue_wait_.push_back(queue_wait_cycles);
+  tenant_latency_[tenant].push_back(latency_cycles);
+  class_latency_[class_id].push_back(latency_cycles);
+  size_t bucket = 0;
+  while (bucket + 1 < kHistogramBuckets &&
+         latency_cycles >= (uint64_t{1} << (bucket + 1))) {
+    ++bucket;
+  }
+  class_histogram_[class_id][bucket] += 1;
+}
+
+void LatencyRecorder::RecordRejection(uint32_t tenant, uint32_t class_id) {
+  CATDB_DCHECK(tenant < tenant_rejected_.size());
+  CATDB_DCHECK(class_id < class_rejected_.size());
+  tenant_rejected_[tenant] += 1;
+  class_rejected_[class_id] += 1;
+  rejected_total_ += 1;
+}
+
+LatencySummary LatencyRecorder::OverallLatency() const {
+  return Summarize(latency_);
+}
+
+LatencySummary LatencyRecorder::OverallQueueWait() const {
+  return Summarize(queue_wait_);
+}
+
+LatencySummary LatencyRecorder::TenantLatency(uint32_t tenant) const {
+  return Summarize(tenant_latency_[tenant]);
+}
+
+LatencySummary LatencyRecorder::ClassLatency(uint32_t class_id) const {
+  return Summarize(class_latency_[class_id]);
+}
+
+}  // namespace catdb::serve

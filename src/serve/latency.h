@@ -1,0 +1,76 @@
+#ifndef CATDB_SERVE_LATENCY_H_
+#define CATDB_SERVE_LATENCY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace catdb::serve {
+
+/// Tail-latency digest of one sample population (cycles). Percentiles use
+/// the nearest-rank definition (ceil(p/100 * n)-th smallest sample), so every
+/// reported value is an actual observation — no interpolation, and exact
+/// checks against a sorted reference are possible in tests.
+struct LatencySummary {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+};
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample vector.
+uint64_t PercentileSorted(const std::vector<uint64_t>& sorted, double pct);
+
+/// Digests `samples` (unsorted; taken by value and sorted internally). An
+/// empty population yields the all-zero summary.
+LatencySummary Summarize(std::vector<uint64_t> samples);
+
+/// Collects per-query latency observations for one serving run: end-to-end
+/// latency (finish - arrival) and queue wait (dispatch - arrival), sliced
+/// per tenant and per class, plus per-class log2 latency histograms and
+/// admission-rejection counts.
+class LatencyRecorder {
+ public:
+  /// Histograms bucket by floor(log2(latency)): bucket b holds samples in
+  /// [2^b, 2^(b+1)), bucket 0 also holds latency 0; 2^47 cycles (~ a day of
+  /// simulated time at any plausible clock) caps the range.
+  static constexpr size_t kHistogramBuckets = 48;
+
+  LatencyRecorder(size_t num_tenants, size_t num_classes);
+
+  void RecordCompletion(uint32_t tenant, uint32_t class_id,
+                        uint64_t queue_wait_cycles, uint64_t latency_cycles);
+  void RecordRejection(uint32_t tenant, uint32_t class_id);
+
+  uint64_t completed() const { return latency_.size(); }
+  uint64_t rejected() const { return rejected_total_; }
+  uint64_t class_completed(uint32_t c) const {
+    return class_latency_[c].size();
+  }
+  uint64_t class_rejected(uint32_t c) const { return class_rejected_[c]; }
+  uint64_t tenant_rejected(uint32_t t) const { return tenant_rejected_[t]; }
+
+  LatencySummary OverallLatency() const;
+  LatencySummary OverallQueueWait() const;
+  LatencySummary TenantLatency(uint32_t tenant) const;
+  LatencySummary ClassLatency(uint32_t class_id) const;
+  const std::vector<uint64_t>& ClassHistogram(uint32_t class_id) const {
+    return class_histogram_[class_id];
+  }
+
+ private:
+  std::vector<uint64_t> latency_;
+  std::vector<uint64_t> queue_wait_;
+  std::vector<std::vector<uint64_t>> tenant_latency_;
+  std::vector<std::vector<uint64_t>> class_latency_;
+  std::vector<std::vector<uint64_t>> class_histogram_;
+  std::vector<uint64_t> tenant_rejected_;
+  std::vector<uint64_t> class_rejected_;
+  uint64_t rejected_total_ = 0;
+};
+
+}  // namespace catdb::serve
+
+#endif  // CATDB_SERVE_LATENCY_H_

@@ -1,0 +1,69 @@
+#include "serve/request.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "simcache/cache_geometry.h"
+
+namespace catdb::serve {
+
+namespace {
+/// Lines per Step chunk: small enough that the discrete-event interleaving
+/// across cores stays fine-grained (matches the operators' chunking).
+constexpr uint64_t kChunkLines = 256;
+}  // namespace
+
+RequestJob::RequestJob(const RequestClass& klass, uint32_t tenant,
+                       uint32_t class_id, uint64_t private_vbase,
+                       uint64_t shared_vbase, uint64_t shared_region_lines,
+                       uint64_t stream_offset_lines)
+    : engine::Job(klass.name, klass.cuid),
+      klass_(klass),
+      tenant_(tenant),
+      class_id_(class_id),
+      private_vbase_(private_vbase),
+      shared_vbase_(shared_vbase),
+      shared_region_lines_(shared_region_lines),
+      stream_offset_lines_(stream_offset_lines) {
+  CATDB_CHECK(klass_.private_lines == 0 || private_vbase_ != 0);
+  CATDB_CHECK(klass_.stream_lines == 0 || shared_region_lines_ > 0);
+}
+
+bool RequestJob::Step(sim::ExecContext& ctx) {
+  const uint64_t private_total = klass_.private_lines * klass_.passes;
+  const uint64_t total = private_total + klass_.stream_lines;
+  uint64_t budget = std::min(kChunkLines, total - done_lines_);
+  uint64_t chunk_lines = 0;
+
+  while (budget > 0 && done_lines_ < private_total) {
+    // Cyclic walk over the private working set; runs break at the region's
+    // wrap-around boundary.
+    const uint64_t pos = done_lines_ % klass_.private_lines;
+    const uint64_t run = std::min(budget, klass_.private_lines - pos);
+    ctx.ReadRun(private_vbase_ + pos * simcache::kLineSize, run);
+    done_lines_ += run;
+    chunk_lines += run;
+    budget -= run;
+  }
+  while (budget > 0 && done_lines_ < total) {
+    // One streaming pass through the shared region, starting at the
+    // request's own offset (modulo the region).
+    const uint64_t streamed = done_lines_ - private_total;
+    const uint64_t pos =
+        (stream_offset_lines_ + streamed) % shared_region_lines_;
+    const uint64_t run = std::min(budget, shared_region_lines_ - pos);
+    ctx.ReadRun(shared_vbase_ + pos * simcache::kLineSize, run);
+    done_lines_ += run;
+    chunk_lines += run;
+    budget -= run;
+  }
+
+  // Per-chunk operator state: hot scratch touches, compute, instructions.
+  TouchScratch(ctx, 4);
+  ctx.Compute(chunk_lines * klass_.compute_per_line);
+  ctx.Instructions(chunk_lines * 4 + 16);
+  AddWork(chunk_lines);
+  return done_lines_ < total;
+}
+
+}  // namespace catdb::serve

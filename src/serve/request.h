@@ -1,0 +1,74 @@
+#ifndef CATDB_SERVE_REQUEST_H_
+#define CATDB_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/cache_usage.h"
+#include "engine/job.h"
+#include "sim/machine.h"
+
+namespace catdb::serve {
+
+/// A query class: the work shape one request of this class performs. Classes
+/// model the paper's operator taxonomy at request granularity — a
+/// cache-sensitive point/aggregation query re-reads a per-tenant working set,
+/// a polluting scan streams once through a large shared region.
+struct RequestClass {
+  std::string name;
+  engine::CacheUsage cuid = engine::CacheUsage::kSensitive;
+  /// Lines of the tenant's private working set read per pass (the re-used,
+  /// cacheable part). The tenant's private region is exactly this large.
+  uint64_t private_lines = 0;
+  /// Passes over the private working set (re-use factor; > 1 makes the
+  /// class benefit from cache residency).
+  uint32_t passes = 1;
+  /// Lines streamed once from the shared region (no re-use: pollution).
+  uint64_t stream_lines = 0;
+  /// Pure compute cycles charged per line touched.
+  uint32_t compute_per_line = 2;
+};
+
+/// One in-flight query: a resumable job touching its tenant's private region
+/// and/or the shared streaming region in bounded chunks, carrying the
+/// serving-layer identity (tenant, class) and the per-request cycle stamps
+/// (arrival / dispatch / finish) the latency recorder consumes.
+class RequestJob : public engine::Job {
+ public:
+  /// `stream_offset_lines` decorrelates concurrent scans: each request
+  /// starts its pass through the shared region at its own offset.
+  RequestJob(const RequestClass& klass, uint32_t tenant, uint32_t class_id,
+             uint64_t private_vbase, uint64_t shared_vbase,
+             uint64_t shared_region_lines, uint64_t stream_offset_lines);
+
+  bool Step(sim::ExecContext& ctx) override;
+
+  uint32_t tenant() const { return tenant_; }
+  uint32_t class_id() const { return class_id_; }
+
+  uint64_t arrival_cycle() const { return arrival_cycle_; }
+  uint64_t dispatch_cycle() const { return dispatch_cycle_; }
+  uint64_t finish_cycle() const { return finish_cycle_; }
+  void set_arrival_cycle(uint64_t c) { arrival_cycle_ = c; }
+  void set_dispatch_cycle(uint64_t c) { dispatch_cycle_ = c; }
+  void set_finish_cycle(uint64_t c) { finish_cycle_ = c; }
+
+ private:
+  const RequestClass& klass_;
+  uint32_t tenant_;
+  uint32_t class_id_;
+  uint64_t private_vbase_;
+  uint64_t shared_vbase_;
+  uint64_t shared_region_lines_;
+  uint64_t stream_offset_lines_;
+  /// Progress: lines already touched, over the whole request
+  /// (passes * private_lines first, then stream_lines).
+  uint64_t done_lines_ = 0;
+  uint64_t arrival_cycle_ = 0;
+  uint64_t dispatch_cycle_ = 0;
+  uint64_t finish_cycle_ = 0;
+};
+
+}  // namespace catdb::serve
+
+#endif  // CATDB_SERVE_REQUEST_H_

@@ -1,0 +1,122 @@
+#ifndef CATDB_SERVE_SERVING_ENGINE_H_
+#define CATDB_SERVE_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/arrival.h"
+#include "serve/latency.h"
+#include "serve/request.h"
+#include "sim/machine.h"
+#include "simcache/shadow_profiler.h"
+
+namespace catdb::serve {
+
+/// Partitioning policy under which a serving run executes.
+enum class ServePolicyKind {
+  /// No partitioning: every query runs in the default group (full LLC).
+  kShared,
+  /// The paper's static scheme at class granularity: polluting-annotated
+  /// classes are confined to the low polluting-ways mask, everyone else
+  /// keeps the full cache. Annotation-driven, measurement-free.
+  kStatic,
+  /// UCP lookahead sizing over round-robin tenant clusters: the measurement
+  /// loop runs, but tenants land in clusters blindly (isolates the value of
+  /// similarity grouping in the next policy).
+  kLookahead,
+  /// The full online loop: k-means MRC-similarity clustering of tenants over
+  /// their shadow-tag curves, pooled per-cluster MRCs sized with UCP
+  /// lookahead. Serves far more tenants than hardware CLOS.
+  kMrcCluster,
+};
+
+/// Report name of a policy ("shared", "static", "lookahead", "mrc_cluster").
+const char* ServePolicyName(ServePolicyKind policy);
+
+/// One tenant: its query class and its arrival process.
+struct TenantSpec {
+  uint32_t class_id = 0;
+  ArrivalConfig arrival;
+};
+
+/// Configuration of one serving run.
+struct ServeConfig {
+  std::vector<RequestClass> classes;
+  std::vector<TenantSpec> tenants;
+  /// Cores that serve queries (every listed core runs one worker).
+  std::vector<uint32_t> cores;
+  uint64_t horizon_cycles = 0;
+  /// Admission bound on the *waiting* queue (in-service queries excluded).
+  /// An arrival finding the queue full is rejected, counted, and never
+  /// simulated — bounded queueing, the open-system analogue of load
+  /// shedding. 0 = queries are only admitted straight into an idle worker.
+  size_t queue_capacity = 64;
+  /// Decision-interval length for the measured policies (kLookahead,
+  /// kMrcCluster): each interval the shadow profiles are snapshotted, the
+  /// clustering re-runs, and the cluster schemata are re-programmed.
+  uint64_t interval_cycles = 10'000'000;
+  /// Cluster budget for the measured policies (resource groups consumed;
+  /// must leave one CLOS for the default group).
+  uint32_t max_clusters = 8;
+  /// Lines of the shared region streamed by polluting classes.
+  uint64_t shared_region_lines = 1 << 15;
+  /// Seeds the arrival processes and stream offsets (per-tenant generators
+  /// derive their own seeds from it).
+  uint64_t seed = 42;
+  simcache::ShadowProfilerConfig profiler;
+};
+
+/// Everything one serving run reports.
+struct ServingRunReport {
+  std::string policy;
+  uint64_t horizon_cycles = 0;
+
+  // Admission accounting.
+  uint64_t arrivals = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  /// Admitted but not completed when the horizon cut the run.
+  uint64_t in_flight_at_horizon = 0;
+  uint64_t max_queue_depth = 0;
+
+  // Control-plane activity.
+  uint64_t intervals = 0;
+  uint64_t schemata_writes = 0;
+  uint64_t group_moves = 0;
+  /// Clusters in use after the final interval (measured policies only).
+  uint32_t num_clusters = 0;
+  /// Final cluster of each tenant (empty for unmeasured policies).
+  std::vector<uint32_t> cluster_of_tenant;
+  /// Final capacity mask of each cluster (measured policies only).
+  std::vector<uint64_t> cluster_masks;
+
+  // Latency digests (cycles).
+  LatencySummary latency;
+  LatencySummary queue_wait;
+  std::vector<std::string> class_names;
+  std::vector<LatencySummary> class_latency;
+  std::vector<uint64_t> class_completed;
+  std::vector<uint64_t> class_rejected;
+  std::vector<std::vector<uint64_t>> class_histogram;
+  std::vector<LatencySummary> tenant_latency;
+  std::vector<uint64_t> tenant_rejected;
+
+  double llc_hit_ratio = 0.0;
+};
+
+/// Runs one open-arrival serving experiment under `policy`: generates the
+/// arrival trace from `config.seed`, admits queries through the bounded
+/// queue, executes them on `config.cores` via the discrete-event executor
+/// and the JobScheduler, drives the measured policies' interval loop, and
+/// digests per-query latencies. Deterministic: equal (machine config,
+/// ServeConfig, policy) yield byte-identical reports on any host and at any
+/// sweep-harness `--jobs` value.
+ServingRunReport ServeWorkload(sim::Machine* machine,
+                               const ServeConfig& config,
+                               ServePolicyKind policy);
+
+}  // namespace catdb::serve
+
+#endif  // CATDB_SERVE_SERVING_ENGINE_H_

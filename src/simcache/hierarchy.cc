@@ -31,6 +31,7 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
   }
   core_stats_.resize(config_.num_cores);
   clos_monitors_.resize(kMaxClos);
+  profile_tags_.assign(config_.num_cores, kProfileTagClos);
 }
 
 AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
@@ -108,7 +109,10 @@ AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
   // Shadow-tag profiling sees every demand LLC lookup, hit or miss, before
   // the real probe — the per-CLOS auxiliary tags measure what the class
   // *would* hit at any way allocation, independent of its current mask.
-  if (shadow_profiler_ != nullptr) shadow_profiler_->Observe(clos, line);
+  if (shadow_profiler_ != nullptr) {
+    const uint32_t tag = profile_tags_[core];
+    shadow_profiler_->Observe(tag == kProfileTagClos ? clos : tag, line);
+  }
 
   if (llc_->Lookup(line)) {
     stats_.llc.hits += 1;
@@ -169,6 +173,8 @@ uint64_t MemoryHierarchy::AccessRunImpl(uint32_t core, uint64_t first_line,
   HierarchyStats& cs = core_stats_[core];
   ClosMonitor& mon = clos_monitors_[clos];
   ShadowTagProfiler* const shadow = shadow_profiler_;
+  const uint32_t shadow_tag =
+      profile_tags_[core] == kProfileTagClos ? clos : profile_tags_[core];
   const uint64_t lat_l1 = config_.latency.l1_hit;
   const uint64_t lat_l2 = config_.latency.l2_hit;
   const uint64_t lat_llc = config_.latency.llc_hit;
@@ -351,7 +357,7 @@ uint64_t MemoryHierarchy::AccessRunImpl(uint32_t core, uint64_t first_line,
 
     if (shadow != nullptr) {
       prof_begin();
-      shadow->Observe(clos, line);
+      shadow->Observe(shadow_tag, line);
       prof_end(c_shadow);
     }
 
@@ -644,6 +650,7 @@ void MemoryHierarchy::ResetAll() {
   prefetch_ready_.Clear();
   prefetch_ready_ref_.clear();
   for (auto& mon : clos_monitors_) mon.occupancy_lines = 0;
+  profile_tags_.assign(config_.num_cores, kProfileTagClos);
 }
 
 bool MemoryHierarchy::CheckInclusion() const {

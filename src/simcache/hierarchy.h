@@ -158,6 +158,20 @@ class MemoryHierarchy {
   }
   ShadowTagProfiler* shadow_profiler() const { return shadow_profiler_; }
 
+  /// Sentinel for SetShadowProfileTag: observations from the core use its
+  /// CLOS as the profiler tag (the default behaviour).
+  static constexpr uint32_t kProfileTagClos = UINT32_MAX;
+
+  /// Overrides the shadow-profiler tag for observations issued by `core`.
+  /// The serving tier uses this to profile per-tenant miss-rate curves even
+  /// when many tenants share one CLOS under clustering: the profiler is
+  /// sized with `max_clos = num_tenants` and the engine retags each core at
+  /// dispatch. Pass kProfileTagClos to restore CLOS tagging. Observation
+  /// only — simulated timing is unaffected.
+  void SetShadowProfileTag(uint32_t core, uint32_t tag) {
+    profile_tags_[core] = tag;
+  }
+
   /// Binds a host-cycle profiler (nullptr = detach): AccessRun attributes
   /// the simulator's own wall time to per-component buckets (L1/L2/LLC
   /// lookup, victim fill, prefetcher, DRAM booking, pending table, monitor
@@ -217,6 +231,8 @@ class MemoryHierarchy {
   std::vector<HierarchyStats> core_stats_;
   std::vector<ClosMonitor> clos_monitors_;
   std::vector<uint64_t> scratch_prefetch_lines_;
+  // Per-core shadow-profiler tag override (kProfileTagClos = use the CLOS).
+  std::vector<uint32_t> profile_tags_;
   ShadowTagProfiler* shadow_profiler_ = nullptr;  // not owned
   HostCycleBreakdown* host_profile_ = nullptr;    // not owned
 };

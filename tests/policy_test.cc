@@ -201,6 +201,27 @@ TEST_P(AllocatorPropertyTest, EveryAllocatorYieldsValidCatMasks) {
     policy::FairnessClusterAllocator fc;
     ExpectValidMasks(fc.Allocate(profiles, llc_ways), n, llc_ways,
                      "fairness " + context);
+
+    for (const auto grouping : {policy::ClusterGrouping::kMrcSimilarity,
+                                policy::ClusterGrouping::kRoundRobin}) {
+      policy::ClusterConfig cc;
+      cc.grouping = grouping;
+      cc.max_clusters = 1 + rng.Uniform(4);
+      cc.active_fraction = rng.Uniform(2) == 0 ? 1.0 : 0.25;
+      policy::ClusteredWayAllocator cl(cc);
+      const auto cl_masks = cl.Allocate(profiles, llc_ways);
+      ExpectValidMasks(cl_masks, n, llc_ways, "cluster " + context);
+      // Introspection invariants: every stream maps to a dense cluster id
+      // whose mask is exactly the stream's mask, and k never exceeds the cap.
+      ASSERT_EQ(cl.cluster_of_stream().size(), n) << "cluster " << context;
+      EXPECT_LE(cl.num_clusters(), cc.max_clusters) << "cluster " << context;
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t c = cl.cluster_of_stream()[i];
+        ASSERT_LT(c, cl.num_clusters()) << "cluster " << context;
+        EXPECT_EQ(cl.cluster_masks()[c], cl_masks[i])
+            << "cluster " << context << " stream " << i;
+      }
+    }
   }
 }
 

@@ -1,0 +1,310 @@
+// Tests for the open-system serving tier (src/serve/): exact nearest-rank
+// percentiles against a sorted reference, arrival-trace determinism and
+// merge ordering, byte-identical serving reports across repeated runs (the
+// contract behind --jobs-independent sweep output), and bounded-admission
+// overload behaviour.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "serve/arrival.h"
+#include "serve/latency.h"
+#include "serve/serving_engine.h"
+#include "sim/machine.h"
+
+namespace catdb {
+namespace {
+
+// --- Percentiles: exact nearest-rank checks against a sorted reference ---
+
+uint64_t ReferenceNearestRank(const std::vector<uint64_t>& sorted,
+                              double pct) {
+  const size_t n = sorted.size();
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+TEST(LatencyTest, PercentileSortedMatchesNearestRankReference) {
+  Rng rng(31);
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = 1 + rng.Uniform(200);
+    std::vector<uint64_t> samples(n);
+    for (auto& s : samples) s = rng.Uniform(1'000'000);
+    std::sort(samples.begin(), samples.end());
+    for (const double pct : {1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+      EXPECT_EQ(serve::PercentileSorted(samples, pct),
+                ReferenceNearestRank(samples, pct))
+          << "n=" << n << " pct=" << pct;
+    }
+  }
+}
+
+TEST(LatencyTest, PercentileIsAnActualObservation) {
+  // Nearest rank never interpolates: with samples {10, 1000}, p50 must be
+  // exactly 10 (rank ceil(0.5*2)=1), not 505.
+  EXPECT_EQ(serve::PercentileSorted({10, 1000}, 50.0), 10u);
+  EXPECT_EQ(serve::PercentileSorted({10, 1000}, 51.0), 1000u);
+  EXPECT_EQ(serve::PercentileSorted({7}, 99.0), 7u);
+}
+
+TEST(LatencyTest, SummarizeMatchesSortedReference) {
+  Rng rng(77);
+  std::vector<uint64_t> samples(137);
+  uint64_t sum = 0;
+  for (auto& s : samples) {
+    s = rng.Uniform(500'000);
+    sum += s;
+  }
+  const auto summary = serve::Summarize(samples);
+  std::sort(samples.begin(), samples.end());
+  EXPECT_EQ(summary.count, samples.size());
+  EXPECT_EQ(summary.p50, ReferenceNearestRank(samples, 50.0));
+  EXPECT_EQ(summary.p95, ReferenceNearestRank(samples, 95.0));
+  EXPECT_EQ(summary.p99, ReferenceNearestRank(samples, 99.0));
+  EXPECT_EQ(summary.max, samples.back());
+  EXPECT_DOUBLE_EQ(summary.mean,
+                   static_cast<double>(sum) / samples.size());
+}
+
+TEST(LatencyTest, EmptyPopulationDigestsToZero) {
+  const auto summary = serve::Summarize({});
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_EQ(summary.p50, 0u);
+  EXPECT_EQ(summary.p99, 0u);
+  EXPECT_EQ(summary.max, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+}
+
+TEST(LatencyTest, RecorderSlicesByTenantAndClass) {
+  serve::LatencyRecorder rec(/*num_tenants=*/2, /*num_classes=*/2);
+  rec.RecordCompletion(/*tenant=*/0, /*class_id=*/0, 5, 100);
+  rec.RecordCompletion(0, 1, 6, 200);
+  rec.RecordCompletion(1, 0, 7, 400);
+  rec.RecordRejection(1, 1);
+
+  EXPECT_EQ(rec.completed(), 3u);
+  EXPECT_EQ(rec.rejected(), 1u);
+  EXPECT_EQ(rec.class_completed(0), 2u);
+  EXPECT_EQ(rec.class_completed(1), 1u);
+  EXPECT_EQ(rec.class_rejected(1), 1u);
+  EXPECT_EQ(rec.tenant_rejected(1), 1u);
+  EXPECT_EQ(rec.TenantLatency(0).count, 2u);
+  EXPECT_EQ(rec.ClassLatency(0).max, 400u);
+  EXPECT_EQ(rec.OverallQueueWait().max, 7u);
+  // log2 histogram: 100 -> bucket 6, 400 -> bucket 8.
+  EXPECT_EQ(rec.ClassHistogram(0)[6], 1u);
+  EXPECT_EQ(rec.ClassHistogram(0)[8], 1u);
+}
+
+// --- Arrival generation: determinism, bounds, merge ordering ---
+
+TEST(ArrivalTest, TracesAreDeterministicInConfigAndSeed) {
+  serve::ArrivalConfig cfg;
+  cfg.kind = serve::ArrivalKind::kOnOff;
+  cfg.mean_interarrival_cycles = 10'000;
+  cfg.mean_on_cycles = 100'000;
+  cfg.mean_off_cycles = 100'000;
+
+  const auto a = serve::GenerateArrivalCycles(cfg, 5'000'000, 99);
+  const auto b = serve::GenerateArrivalCycles(cfg, 5'000'000, 99);
+  const auto c = serve::GenerateArrivalCycles(cfg, 5'000'000, 100);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // different seed, different trace
+  ASSERT_FALSE(a.empty());
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_LT(a.back(), 5'000'000u);
+}
+
+TEST(ArrivalTest, PoissonRateMatchesConfiguredMean) {
+  serve::ArrivalConfig cfg;
+  cfg.kind = serve::ArrivalKind::kPoisson;
+  cfg.mean_interarrival_cycles = 10'000;
+  const uint64_t horizon = 50'000'000;
+  const auto trace = serve::GenerateArrivalCycles(cfg, horizon, 7);
+  // Expect ~5000 arrivals; a 10% band is ~7 sigma, so this cannot flake.
+  EXPECT_GT(trace.size(), 4500u);
+  EXPECT_LT(trace.size(), 5500u);
+}
+
+TEST(ArrivalTest, MergeOrdersByCycleThenTenant) {
+  // Tenant 1 and 2 tie at cycle 50: tenant order breaks the tie. The merge
+  // must be a pure function of its inputs for --jobs independence.
+  const std::vector<std::vector<uint64_t>> per_tenant = {
+      {10, 90}, {50}, {50, 60}};
+  const auto merged = serve::MergeArrivals(per_tenant);
+  ASSERT_EQ(merged.size(), 5u);
+  const std::vector<std::pair<uint64_t, uint32_t>> want = {
+      {10, 0}, {50, 1}, {50, 2}, {60, 2}, {90, 0}};
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(merged[i].cycle, want[i].first) << "entry " << i;
+    EXPECT_EQ(merged[i].tenant, want[i].second) << "entry " << i;
+  }
+}
+
+// --- Serving runs: determinism and admission control ---
+
+sim::MachineConfig ServeMachine() {
+  sim::MachineConfig cfg;
+  cfg.hierarchy.num_cores = 4;
+  cfg.hierarchy.l1 = simcache::CacheGeometry{4, 2};
+  cfg.hierarchy.l2 = simcache::CacheGeometry{8, 2};
+  cfg.hierarchy.llc = simcache::CacheGeometry{64, 8};
+  return cfg;
+}
+
+serve::ServeConfig TinyServeConfig() {
+  serve::ServeConfig cfg;
+  cfg.classes.resize(2);
+  cfg.classes[0] = {"hot", engine::CacheUsage::kSensitive,
+                    /*private_lines=*/64, /*passes=*/4, /*stream_lines=*/0,
+                    /*compute_per_line=*/2};
+  cfg.classes[1] = {"scan", engine::CacheUsage::kPolluting, 0, 1,
+                    /*stream_lines=*/256, 2};
+  for (uint32_t t = 0; t < 6; ++t) {
+    serve::TenantSpec spec;
+    spec.class_id = t % 2;
+    if (t % 2 == 0) {
+      spec.arrival.kind = serve::ArrivalKind::kPoisson;
+      spec.arrival.mean_interarrival_cycles = 60'000;
+    } else {
+      spec.arrival.kind = serve::ArrivalKind::kOnOff;
+      spec.arrival.mean_interarrival_cycles = 30'000;
+      spec.arrival.mean_on_cycles = 100'000;
+      spec.arrival.mean_off_cycles = 100'000;
+    }
+    cfg.tenants.push_back(spec);
+  }
+  cfg.cores = {0, 1};
+  cfg.horizon_cycles = 2'000'000;
+  cfg.queue_capacity = 16;
+  cfg.interval_cycles = 250'000;
+  cfg.max_clusters = 2;
+  cfg.shared_region_lines = 1 << 10;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::string SerializedReport(const serve::ServingRunReport& report) {
+  obs::JsonWriter w;
+  obs::AppendServingReport(w, report);
+  EXPECT_TRUE(w.complete());
+  return w.str();
+}
+
+TEST(ServingEngineTest, AccountingIsConsistentAcrossPolicies) {
+  for (const auto policy :
+       {serve::ServePolicyKind::kShared, serve::ServePolicyKind::kStatic,
+        serve::ServePolicyKind::kLookahead,
+        serve::ServePolicyKind::kMrcCluster}) {
+    sim::Machine m(ServeMachine());
+    const auto config = TinyServeConfig();
+    const auto report = serve::ServeWorkload(&m, config, policy);
+    const std::string ctx = report.policy;
+
+    EXPECT_GT(report.arrivals, 0u) << ctx;
+    EXPECT_EQ(report.arrivals, report.admitted + report.rejected) << ctx;
+    EXPECT_EQ(report.admitted,
+              report.completed + report.in_flight_at_horizon)
+        << ctx;
+    EXPECT_EQ(report.latency.count, report.completed) << ctx;
+    EXPECT_EQ(report.queue_wait.count, report.completed) << ctx;
+    EXPECT_LE(report.max_queue_depth, config.queue_capacity) << ctx;
+    uint64_t class_total = 0;
+    for (const auto c : report.class_completed) class_total += c;
+    EXPECT_EQ(class_total, report.completed) << ctx;
+
+    const bool measured = policy == serve::ServePolicyKind::kLookahead ||
+                          policy == serve::ServePolicyKind::kMrcCluster;
+    if (measured) {
+      EXPECT_GT(report.num_clusters, 0u) << ctx;
+      EXPECT_LE(report.num_clusters, config.max_clusters) << ctx;
+      EXPECT_EQ(report.cluster_of_tenant.size(), config.tenants.size())
+          << ctx;
+      EXPECT_EQ(report.cluster_masks.size(), report.num_clusters) << ctx;
+      for (const uint32_t c : report.cluster_of_tenant) {
+        EXPECT_LT(c, report.num_clusters) << ctx;
+      }
+    } else {
+      EXPECT_TRUE(report.cluster_of_tenant.empty()) << ctx;
+    }
+  }
+}
+
+TEST(ServingEngineTest, RepeatedRunsYieldByteIdenticalReports) {
+  // The sweep harness's --jobs independence reduces to exactly this: one
+  // (machine config, ServeConfig, policy) triple must serialize to the same
+  // bytes no matter when or where the cell executes.
+  for (const auto policy : {serve::ServePolicyKind::kShared,
+                            serve::ServePolicyKind::kMrcCluster}) {
+    sim::Machine m1(ServeMachine());
+    sim::Machine m2(ServeMachine());
+    const auto config = TinyServeConfig();
+    const auto r1 = serve::ServeWorkload(&m1, config, policy);
+    const auto r2 = serve::ServeWorkload(&m2, config, policy);
+    EXPECT_EQ(SerializedReport(r1), SerializedReport(r2))
+        << serve::ServePolicyName(policy);
+  }
+}
+
+TEST(ServingEngineTest, SeedChangesTheWorkload) {
+  sim::Machine m1(ServeMachine());
+  sim::Machine m2(ServeMachine());
+  auto config = TinyServeConfig();
+  const auto r1 =
+      serve::ServeWorkload(&m1, config, serve::ServePolicyKind::kShared);
+  config.seed = 8;
+  const auto r2 =
+      serve::ServeWorkload(&m2, config, serve::ServePolicyKind::kShared);
+  EXPECT_NE(SerializedReport(r1), SerializedReport(r2));
+}
+
+TEST(ServingEngineTest, OverloadShedsAtTheAdmissionBound) {
+  // Arrivals every ~2K cycles against two cores of multi-hundred-Kcycle
+  // service times: the queue must fill, shed, and never exceed its bound.
+  sim::Machine m(ServeMachine());
+  auto config = TinyServeConfig();
+  config.queue_capacity = 2;
+  for (auto& tenant : config.tenants) {
+    tenant.arrival.kind = serve::ArrivalKind::kPoisson;
+    tenant.arrival.mean_interarrival_cycles = 2'000;
+  }
+  const auto report =
+      serve::ServeWorkload(&m, config, serve::ServePolicyKind::kShared);
+
+  EXPECT_GT(report.rejected, 0u);
+  EXPECT_GT(report.completed, 0u);
+  EXPECT_EQ(report.arrivals, report.admitted + report.rejected);
+  EXPECT_LE(report.max_queue_depth, config.queue_capacity);
+  uint64_t tenant_rejected = 0;
+  for (const auto r : report.tenant_rejected) tenant_rejected += r;
+  EXPECT_EQ(tenant_rejected, report.rejected);
+}
+
+TEST(ServingEngineTest, ZeroCapacityAdmitsOnlyIntoIdleWorkers) {
+  sim::Machine m(ServeMachine());
+  auto config = TinyServeConfig();
+  config.queue_capacity = 0;
+  for (auto& tenant : config.tenants) {
+    tenant.arrival.kind = serve::ArrivalKind::kPoisson;
+    tenant.arrival.mean_interarrival_cycles = 5'000;
+  }
+  const auto report =
+      serve::ServeWorkload(&m, config, serve::ServePolicyKind::kShared);
+  EXPECT_EQ(report.max_queue_depth, 0u);
+  EXPECT_GT(report.rejected, 0u);
+  EXPECT_GT(report.completed, 0u);
+}
+
+}  // namespace
+}  // namespace catdb

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""CI validator for catdb.report/v1 artifacts.
+
+Rejects the silent-corruption modes a plain `json.tool` round-trip lets
+through:
+  * JsonWriter serializes non-finite doubles (inf/NaN from a divide-by-zero
+    upstream) as `null` — a syntactically valid report with a poisoned
+    scalar. Any `null`, `NaN`, `Infinity` or `-Infinity` anywhere in the
+    document fails the check.
+  * A report that ran zero cells ("results": []) is vacuous and fails.
+  * A wrong or missing schema tag fails, so consumers never parse a layout
+    they do not understand.
+
+Usage: check_report.py <report.json> [<report.json> ...]
+"""
+
+import json
+import sys
+
+SCHEMA = "catdb.report/v1"
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def reject_constant(token):
+    # json.load calls this for the bare tokens NaN/Infinity/-Infinity, which
+    # the Python parser would otherwise happily accept.
+    raise ValueError(f"non-finite JSON constant {token!r}")
+
+
+def find_null(value, path):
+    """Returns the JSON path of the first null in `value`, or None."""
+    if value is None:
+        return path
+    if isinstance(value, dict):
+        for k, v in value.items():
+            found = find_null(v, f"{path}.{k}")
+            if found:
+                return found
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            found = find_null(v, f"{path}[{i}]")
+            if found:
+                return found
+    return None
+
+
+def check(path):
+    try:
+        with open(path) as f:
+            report = json.load(f, parse_constant=reject_constant)
+    except ValueError as e:
+        fail(f"{path}: {e}")
+    if report.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {report.get('schema')!r}, want {SCHEMA!r}")
+    results = report.get("results")
+    if not isinstance(results, list) or not results:
+        fail(f"{path}: no results")
+    null_path = find_null(report, "$")
+    if null_path:
+        fail(f"{path}: null at {null_path} (a non-finite double upstream?)")
+    print(f"ok: {path} ({len(results)} results)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail(f"usage: {sys.argv[0]} <report.json> [...]")
+    for path in sys.argv[1:]:
+        check(path)
+
+
+if __name__ == "__main__":
+    main()
