@@ -156,11 +156,11 @@ serve::ServeConfig MakeConfig(double load, size_t num_tenants,
   return config;
 }
 
-void RunServeCell(harness::SweepCell& cell, const std::string& key,
-                  double load, size_t num_tenants, uint64_t horizon,
-                  uint64_t seed, serve::ServePolicyKind policy,
-                  CellResult* out) {
-  sim::Machine& machine = cell.MakeMachine();
+void RunServeCell(harness::SweepCell& cell, const sim::MachineConfig& mc,
+                  const std::string& key, double load, size_t num_tenants,
+                  uint64_t horizon, uint64_t seed,
+                  serve::ServePolicyKind policy, CellResult* out) {
+  sim::Machine& machine = cell.MakeMachine(mc);
   const serve::ServeConfig config =
       MakeConfig(load, num_tenants, horizon, seed);
   serve::ServingRunReport rep = serve::ServeWorkload(&machine, config, policy);
@@ -204,6 +204,10 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner runner = bench::MakeSweepRunner("ext_serving_tail",
                                                        opts);
+  // --sim-threads reaches each cell's machine config: cells simulate on
+  // sim_threads host threads apiece (ParseBenchArgs already rejected
+  // jobs x sim-threads combinations that oversubscribe the host).
+  const sim::MachineConfig machine_config = bench::MachineConfigFor(opts);
   std::vector<CellResult> results(loads.size() * kNumPolicies);
   for (size_t li = 0; li < loads.size(); ++li) {
     for (size_t pi = 0; pi < kNumPolicies; ++pi) {
@@ -214,10 +218,10 @@ int main(int argc, char** argv) {
       // Same seed for every policy at a load: identical arrival traces.
       const uint64_t seed = 9000 + li;
       const serve::ServePolicyKind policy = kPolicies[pi];
-      runner.AddCell(key, [key, load, num_tenants, horizon, seed, policy,
-                           out](harness::SweepCell& cell) {
-        RunServeCell(cell, key, load, num_tenants, horizon, seed, policy,
-                     out);
+      runner.AddCell(key, [machine_config, key, load, num_tenants, horizon,
+                           seed, policy, out](harness::SweepCell& cell) {
+        RunServeCell(cell, machine_config, key, load, num_tenants, horizon,
+                     seed, policy, out);
       });
     }
   }

@@ -56,6 +56,7 @@
 #include "engine/operators/column_scan.h"
 #include "engine/operators/index_project.h"
 #include "engine/runner.h"
+#include "sim/epoch_executor.h"
 #include "sim/executor.h"
 #include "workloads/micro.h"
 #include "workloads/s4hana.h"
@@ -99,6 +100,7 @@ class ScanExecutor {
       CoreState& cs = cores_[core];
       sim::ExecContext ctx(machine_, core);
       const bool more = cs.current->Step(ctx);
+      cs.current->CreditWork(ctx.TakeWorkDelta());
       if (!more) {
         sim::Task* done = cs.current;
         cs.current = nullptr;
@@ -168,12 +170,14 @@ struct Rig {
 struct RigCfg {
   bool reference_impl = false;
   bool batched_runs = true;
+  uint32_t sim_threads = 1;  // >= 2 selects the epoch executor
 };
 
 std::unique_ptr<sim::Machine> MakeMachine(const RigCfg& leg) {
   sim::MachineConfig cfg;
   cfg.hierarchy.reference_impl = leg.reference_impl;
   cfg.batched_runs = leg.batched_runs;
+  cfg.sim_threads = leg.sim_threads;
   return std::make_unique<sim::Machine>(cfg);
 }
 
@@ -505,14 +509,32 @@ struct HarnessRun {
   double wall_seconds = 0;
 };
 
-void RunParallelHarness(const char* out_path, bool smoke) {
-  const unsigned host_cores = std::thread::hardware_concurrency();
-  std::vector<unsigned> job_counts = {1, 2, 4};
+/// Outcome of one scaling sweep (harness --jobs or executor --sim-threads):
+/// the measured points, the points skipped as oversubscribed, and whether
+/// the sweep produced enough points to support a scaling claim at all. A
+/// 1-core container skips every multi-thread point, and the JSON must say
+/// "inconclusive" instead of implying the measured 1.0x was a ceiling.
+struct HarnessScaling {
+  size_t cells = 0;
+  std::vector<HarnessRun> runs;
+  std::vector<unsigned> skipped;
+  bool conclusive() const { return runs.size() >= 2; }
+};
+
+/// Thread counts every host-parallelism sweep visits: 1/2/4 plus the host's
+/// own core count. Points above the core count are skipped by the callers
+/// (oversubscribed wall-clock measures timeslicing, not scaling).
+std::vector<unsigned> SweepThreadCounts(unsigned host_cores) {
+  std::vector<unsigned> counts = {1, 2, 4};
   if (host_cores > 0 &&
-      std::find(job_counts.begin(), job_counts.end(), host_cores) ==
-          job_counts.end()) {
-    job_counts.push_back(host_cores);
+      std::find(counts.begin(), counts.end(), host_cores) == counts.end()) {
+    counts.push_back(host_cores);
   }
+  return counts;
+}
+
+HarnessScaling RunParallelHarness(unsigned host_cores, bool smoke) {
+  const std::vector<unsigned> job_counts = SweepThreadCounts(host_cores);
 
   std::printf("\nParallel sweep harness (host wall-clock, %u host cores)\n",
               host_cores);
@@ -522,15 +544,13 @@ void RunParallelHarness(const char* out_path, bool smoke) {
   bench::PrintRule(56);
 
   std::string ref_json;
-  std::vector<HarnessRun> runs;
-  std::vector<unsigned> skipped;
-  size_t num_cells = 0;
+  HarnessScaling out;
   for (const unsigned jobs : job_counts) {
     // Oversubscribed points measure scheduler thrash, not harness scaling.
     // When the host core count is unknown (hardware_concurrency() == 0),
     // run everything rather than skip blind.
     if (host_cores > 0 && jobs > host_cores) {
-      skipped.push_back(jobs);
+      out.skipped.push_back(jobs);
       std::printf("%8u %14s %12s %16s\n", jobs, "-", "-",
                   "skipped (oversubscribed)");
       continue;
@@ -540,7 +560,7 @@ void RunParallelHarness(const char* out_path, bool smoke) {
     harness::SweepRunner runner("harness_minisweep", options);
     std::vector<MiniColumnResult> results;
     AddMiniSweepCells(&runner, &results, smoke);
-    num_cells = runner.num_cells();
+    out.cells = runner.num_cells();
     const auto start = std::chrono::steady_clock::now();
     runner.Run();
     const auto end = std::chrono::steady_clock::now();
@@ -553,42 +573,217 @@ void RunParallelHarness(const char* out_path, bool smoke) {
     HarnessRun run;
     run.jobs = jobs;
     run.wall_seconds = std::chrono::duration<double>(end - start).count();
-    runs.push_back(run);
+    out.runs.push_back(run);
     std::printf("%8u %14.3f %11.2fx %16s\n", jobs, run.wall_seconds,
-                runs.front().wall_seconds / run.wall_seconds,
+                out.runs.front().wall_seconds / run.wall_seconds,
                 identical ? "byte-identical" : "MISMATCH");
   }
   bench::PrintRule(56);
+  return out;
+}
 
-  std::string json = "{\n  \"benchmark\": \"parallel_sweep_harness\",\n";
-  char buf[256];
-  // A scaling claim needs at least two job-count points; on a 1-core host
-  // every multi-job point is skipped as oversubscribed, so the file carries
-  // a single jobs=1 row and must say so instead of implying a measured
-  // speedup of 1.0x was the harness's scaling ceiling.
-  std::snprintf(buf, sizeof(buf),
-                "  \"host_cores\": %u,\n  \"cells\": %zu,\n"
-                "  \"conclusive\": %s,\n"
-                "  \"reports_byte_identical\": true,\n"
-                "  \"skipped_oversubscribed\": [",
-                host_cores, num_cells,
-                runs.size() >= 2 ? "true" : "false");
-  json += buf;
+// ---------------------------------------------------------------------------
+// Intra-cell scaling: the epoch executor at several --sim-threads values.
+
+struct SimThreadsRun {
+  unsigned sim_threads = 0;
+  double wall_seconds = 0;
+};
+
+struct SimThreadsWorkload {
+  std::string name;
+  uint64_t horizon = 0;
+  std::vector<SimThreadsRun> runs;  // runs.front() is the serial oracle
+  std::vector<unsigned> skipped;    // oversubscribed thread counts
+};
+
+/// Sweeps one workload across sim-thread counts. Every parallel point must
+/// reproduce the serial leg's digest bit-for-bit before its wall clock
+/// counts — the epoch executor's whole claim is "same simulation, less
+/// wall time", so a digest divergence aborts the benchmark rather than
+/// reporting a speedup over different physics.
+SimThreadsWorkload MeasureSimThreads(const std::string& name,
+                                     Rig (*make_rig)(const RigCfg&),
+                                     uint64_t horizon,
+                                     const std::vector<unsigned>& counts,
+                                     unsigned host_cores) {
+  SimThreadsWorkload w;
+  w.name = name;
+  w.horizon = horizon;
+  std::vector<unsigned> measured;
+  for (const unsigned t : counts) {
+    // sim-threads = total host threads simulating the cell; above the core
+    // count the lanes timeslice and the measurement is noise.
+    if (t > 1 && host_cores > 0 && t > host_cores) {
+      w.skipped.push_back(t);
+      continue;
+    }
+    measured.push_back(t);
+  }
+  std::vector<Measurement> best(measured.size());
+  SimDigest serial_digest;
+  for (int rep = 0; rep < kTimedReps; ++rep) {
+    for (size_t i = 0; i < measured.size(); ++i) {
+      const unsigned t = measured[i];
+      const RigCfg leg{/*reference_impl=*/false, /*batched_runs=*/true,
+                       /*sim_threads=*/t};
+      const Measurement m =
+          t == 1 ? MeasureOnce<sim::Executor>(make_rig, leg, horizon)
+                 : MeasureOnce<sim::EpochExecutor>(make_rig, leg, horizon);
+      if (rep == 0 && i == 0) serial_digest = m.digest;
+      if (!(m.digest == serial_digest)) {
+        const std::string legs =
+            "sim-threads " + std::to_string(t) + " vs serial";
+        ReportDigestMismatch(name, legs.c_str(), serial_digest, m.digest);
+      }
+      CATDB_CHECK(m.digest == serial_digest);
+      KeepBest(&best[i], m, rep);
+    }
+  }
+  for (size_t i = 0; i < measured.size(); ++i) {
+    w.runs.push_back(SimThreadsRun{measured[i], best[i].wall_seconds});
+  }
+  // Skipped counts still get one untimed differential pass: oversubscribing
+  // the host invalidates the wall clock, not the simulation, and the digest
+  // gate must hold on every host — CI containers are often 1-core, and
+  // "sim-threads diverged from the serial digest" has to fail there too.
+  for (const unsigned t : w.skipped) {
+    // MeasureOnce (not a bare run): the digest is only comparable when the
+    // rig went through the same warm-up pass as the measured legs — the
+    // warm-up advances the queries' RNG state.
+    const Measurement m = MeasureOnce<sim::EpochExecutor>(
+        make_rig,
+        RigCfg{/*reference_impl=*/false, /*batched_runs=*/true,
+               /*sim_threads=*/t},
+        horizon);
+    if (!(m.digest == serial_digest)) {
+      const std::string legs =
+          "sim-threads " + std::to_string(t) + " (oversubscribed) vs serial";
+      ReportDigestMismatch(name, legs.c_str(), serial_digest, m.digest);
+    }
+    CATDB_CHECK(m.digest == serial_digest);
+  }
+  return w;
+}
+
+struct SimThreadsScaling {
+  std::vector<SimThreadsWorkload> workloads;
+  bool conclusive() const {
+    for (const SimThreadsWorkload& w : workloads) {
+      if (w.runs.size() < 2) return false;
+    }
+    return !workloads.empty();
+  }
+};
+
+SimThreadsScaling RunSimThreadsSweep(unsigned host_cores, uint64_t horizon) {
+  const std::vector<unsigned> counts = SweepThreadCounts(host_cores);
+  SimThreadsScaling out;
+  std::printf(
+      "\nIntra-cell parallel simulation (epoch executor, %u host cores)\n",
+      host_cores);
+  bench::PrintRule(64);
+  std::printf("%-16s %12s %10s %9s %11s\n", "workload", "sim-threads",
+              "wall s", "speedup", "eff/thread");
+  bench::PrintRule(64);
+  out.workloads.push_back(MeasureSimThreads("fig01_oltp_olap", MakeFig01Rig,
+                                            horizon, counts, host_cores));
+  out.workloads.push_back(MeasureSimThreads("fig11_tpch_q1", MakeFig11Rig,
+                                            horizon, counts, host_cores));
+  for (const SimThreadsWorkload& w : out.workloads) {
+    for (const SimThreadsRun& r : w.runs) {
+      const double speedup = w.runs.front().wall_seconds / r.wall_seconds;
+      std::printf("%-16s %12u %10.3f %8.2fx %10.1f%%\n", w.name.c_str(),
+                  r.sim_threads, r.wall_seconds, speedup,
+                  100.0 * speedup / r.sim_threads);
+    }
+    for (const unsigned t : w.skipped) {
+      // Untimed differential pass only: digest verified, wall clock not
+      // reported (oversubscribed timing is timeslicing noise).
+      std::printf("%-16s %12u %10s %9s %11s\n", w.name.c_str(), t,
+                  "digest-ok", "skipped", "(oversub.)");
+    }
+  }
+  bench::PrintRule(64);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_parallel.json: both scaling sections plus the verdict consumers
+// need first — how many cores the numbers come from and whether they are
+// conclusive at all.
+
+void AppendSkipped(std::string* json, const std::vector<unsigned>& skipped) {
+  char buf[32];
   for (size_t i = 0; i < skipped.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "%s%u", i > 0 ? ", " : "", skipped[i]);
-    json += buf;
+    *json += buf;
   }
-  json += "],\n  \"runs\": [\n";
-  for (size_t i = 0; i < runs.size(); ++i) {
+}
+
+void WriteParallelJson(const char* out_path, unsigned host_cores,
+                       const HarnessScaling& h, const SimThreadsScaling& s) {
+  const bool conclusive = h.conclusive() && s.conclusive();
+  std::string json = "{\n  \"benchmark\": \"parallel_selfperf\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"host_cores\": %u,\n  \"conclusive\": %s,\n",
+                host_cores, conclusive ? "true" : "false");
+  json += buf;
+
+  // Section 1: sweep-cell fan-out (--jobs, PR-3 harness).
+  std::snprintf(buf, sizeof(buf),
+                "  \"sweep_harness\": {\n"
+                "    \"conclusive\": %s,\n    \"cells\": %zu,\n"
+                "    \"reports_byte_identical\": true,\n"
+                "    \"skipped_oversubscribed\": [",
+                h.conclusive() ? "true" : "false", h.cells);
+  json += buf;
+  AppendSkipped(&json, h.skipped);
+  json += "],\n    \"runs\": [\n";
+  for (size_t i = 0; i < h.runs.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
-                  "    {\"jobs\": %u, \"wall_seconds\": %.4f, "
+                  "      {\"jobs\": %u, \"wall_seconds\": %.4f, "
                   "\"speedup_vs_jobs1\": %.3f}%s\n",
-                  runs[i].jobs, runs[i].wall_seconds,
-                  runs.front().wall_seconds / runs[i].wall_seconds,
-                  i + 1 < runs.size() ? "," : "");
+                  h.runs[i].jobs, h.runs[i].wall_seconds,
+                  h.runs.front().wall_seconds / h.runs[i].wall_seconds,
+                  i + 1 < h.runs.size() ? "," : "");
     json += buf;
   }
-  json += "  ]\n}\n";
+  json += "    ]\n  },\n";
+
+  // Section 2: intra-cell epoch executor (--sim-threads).
+  std::snprintf(buf, sizeof(buf),
+                "  \"sim_threads\": {\n    \"conclusive\": %s,\n"
+                "    \"digests_byte_identical\": true,\n"
+                "    \"workloads\": [\n",
+                s.conclusive() ? "true" : "false");
+  json += buf;
+  for (size_t wi = 0; wi < s.workloads.size(); ++wi) {
+    const SimThreadsWorkload& w = s.workloads[wi];
+    std::snprintf(buf, sizeof(buf),
+                  "      {\"name\": \"%s\", \"horizon_cycles\": %llu,\n"
+                  "       \"skipped_oversubscribed\": [",
+                  w.name.c_str(), static_cast<unsigned long long>(w.horizon));
+    json += buf;
+    AppendSkipped(&json, w.skipped);
+    json += "],\n       \"runs\": [\n";
+    for (size_t i = 0; i < w.runs.size(); ++i) {
+      const double speedup = w.runs.front().wall_seconds /
+                             w.runs[i].wall_seconds;
+      std::snprintf(buf, sizeof(buf),
+                    "        {\"sim_threads\": %u, \"wall_seconds\": %.4f, "
+                    "\"speedup_vs_serial\": %.3f, "
+                    "\"per_thread_efficiency\": %.3f}%s\n",
+                    w.runs[i].sim_threads, w.runs[i].wall_seconds, speedup,
+                    speedup / w.runs[i].sim_threads,
+                    i + 1 < w.runs.size() ? "," : "");
+      json += buf;
+    }
+    json += "       ]}";
+    json += wi + 1 < s.workloads.size() ? ",\n" : "\n";
+  }
+  json += "    ]\n  }\n}\n";
 
   FILE* f = std::fopen(out_path, "w");
   CATDB_CHECK(f != nullptr);
@@ -673,7 +868,16 @@ int main(int argc, char** argv) {
     std::printf("report: %s\n", opts.report_out.c_str());
   }
 
-  RunParallelHarness(parallel_out_path.c_str(), opts.smoke);
+  // Host-parallelism scaling, both axes: sweep-cell fan-out (--jobs) and
+  // intra-cell epoch execution (--sim-threads). Both gate on bit-identical
+  // output before reporting any speedup.
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  const SimThreadsScaling sim_scaling =
+      RunSimThreadsSweep(host_cores, horizon);
+  const HarnessScaling harness_scaling =
+      RunParallelHarness(host_cores, opts.smoke);
+  WriteParallelJson(parallel_out_path.c_str(), host_cores, harness_scaling,
+                    sim_scaling);
 
   // Regression gate (--min-batched-ratio): the batched fast path must
   // deliver at least the given multiple of the scalar path's accesses/sec.

@@ -38,15 +38,15 @@ class Job : public sim::Task {
     adaptive_working_set_ = bytes;
   }
 
-  /// Work units (typically rows) completed so far; used for fractional
-  /// iteration accounting when a measurement horizon truncates a query.
-  uint64_t work_done() const { return work_done_; }
-
   bool finished() const { return finished_; }
   void set_finished() { finished_ = true; }
 
  protected:
-  void AddWork(uint64_t units) { work_done_ += units; }
+  /// Reports `units` of completed work (typically rows) for fractional
+  /// iteration accounting. Routed through the context so the executor can
+  /// defer the credit until the Step is applied to the machine (replay time
+  /// under the epoch executor); read it back via sim::Task::work_done().
+  void AddWork(sim::ExecContext& ctx, uint64_t units) { ctx.AddWork(units); }
 
   /// Touches `n` lines of the executing worker's hot scratch region (stack
   /// frames, operator state). Called once per chunk by operators; this
@@ -68,7 +68,6 @@ class Job : public sim::Task {
   std::string name_;
   CacheUsage cuid_;
   uint64_t adaptive_working_set_ = 0;
-  uint64_t work_done_ = 0;
   uint32_t scratch_cursor_ = 0;
   bool finished_ = false;
 };

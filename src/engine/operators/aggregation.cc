@@ -46,7 +46,7 @@ bool AggLocalJob::Step(sim::ExecContext& ctx) {
   ctx.Instructions((chunk_end - cursor_) * 24);
   TouchScratch(ctx, 1);
 
-  AddWork(chunk_end - cursor_);
+  AddWork(ctx, chunk_end - cursor_);
   cursor_ = chunk_end;
   return cursor_ < range_.end;
 }
@@ -84,7 +84,7 @@ bool AggMergeJob::Step(sim::ExecContext& ctx) {
     }
   }
   ctx.Instructions((end - slot_cursor_) * 4);
-  AddWork(end - slot_cursor_);
+  AddWork(ctx, end - slot_cursor_);
 
   slot_cursor_ = end;
   if (slot_cursor_ >= local->capacity_slots()) {

@@ -1,6 +1,7 @@
 #include "engine/operators/fk_join.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 #include "simcache/cache_geometry.h"
@@ -40,7 +41,7 @@ bool FkJoinBuildJob::Step(sim::ExecContext& ctx) {
   ctx.Instructions((chunk_end - cursor_) * 6);
   TouchScratch(ctx, 1);
 
-  AddWork(chunk_end - cursor_);
+  AddWork(ctx, chunk_end - cursor_);
   cursor_ = chunk_end;
   return cursor_ < range_.end;
 }
@@ -75,10 +76,15 @@ bool FkJoinProbeJob::Step(sim::ExecContext& ctx) {
   ctx.Instructions((chunk_end - cursor_) * 8);
   TouchScratch(ctx, 1);
 
-  AddWork(chunk_end - cursor_);
+  AddWork(ctx, chunk_end - cursor_);
   cursor_ = chunk_end;
   if (cursor_ >= range_.end) {
-    if (result_sink_ != nullptr) *result_sink_ += matches_;
+    if (result_sink_ != nullptr) {
+      // Atomic fold of the partial count (see ColumnScanJob::Step): probe
+      // jobs may finish concurrently on parallel simulation lanes.
+      std::atomic_ref<uint64_t>(*result_sink_)
+          .fetch_add(matches_, std::memory_order_relaxed);
+    }
     return false;
   }
   return true;

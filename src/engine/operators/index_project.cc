@@ -50,7 +50,7 @@ bool OltpBatchJob::Step(sim::ExecContext& ctx) {
     ctx.Instructions(40 + 12 * projection_->size());
   }
   TouchScratch(ctx, 1);
-  AddWork(chunk_end - cursor_);
+  AddWork(ctx, chunk_end - cursor_);
   cursor_ = chunk_end;
   return cursor_ < target_rows_.size();
 }

@@ -62,7 +62,7 @@ bool RequestJob::Step(sim::ExecContext& ctx) {
   TouchScratch(ctx, 4);
   ctx.Compute(chunk_lines * klass_.compute_per_line);
   ctx.Instructions(chunk_lines * 4 + 16);
-  AddWork(chunk_lines);
+  AddWork(ctx, chunk_lines);
   return done_lines_ < total;
 }
 

@@ -1,0 +1,198 @@
+#include "sim/epoch_executor.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "simcache/host_profile.h"
+
+namespace catdb::sim {
+
+namespace {
+/// Steps a lane records per lock acquisition (bounded by queue space): large
+/// enough to amortise the mutex, small enough that the applier sees fresh
+/// chunks quickly after a phase barrier opens.
+constexpr uint32_t kRecordBatch = 16;
+}  // namespace
+
+EpochExecutor::EpochExecutor(Machine* machine, uint32_t sim_threads)
+    : Executor(machine),
+      channels_(machine->num_cores()),
+      pool_((sim_threads == 0 ? machine->config().sim_threads
+                              : sim_threads) -
+            1) {
+  const uint32_t threads =
+      sim_threads == 0 ? machine->config().sim_threads : sim_threads;
+  CATDB_CHECK(threads >= 2);
+  const uint32_t n_lanes = threads - 1;
+  CATDB_CHECK(n_lanes <= machine->num_cores());
+  lanes_.reserve(n_lanes);
+  for (uint32_t l = 0; l < n_lanes; ++l) {
+    lanes_.push_back(std::make_unique<Lane>());
+    for (uint32_t c = l; c < machine->num_cores(); c += n_lanes) {
+      lanes_[l]->cores.push_back(c);
+    }
+  }
+  for (uint32_t l = 0; l < n_lanes; ++l) {
+    pool_.Submit([this, l] { LaneLoop(l); });
+  }
+}
+
+EpochExecutor::~EpochExecutor() {
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lk(lane->mu);
+      lane->stop = true;
+    }
+    lane->work_cv.notify_all();
+  }
+  pool_.Wait();
+  // Lanes are joined: fold their record-time counters into the host
+  // profile (if one is attached) single-threadedly. Profiled selfperf legs
+  // read the breakdown after the executor is destroyed.
+  if (simcache::HostCycleBreakdown* hp =
+          machine()->hierarchy().host_profile()) {
+    for (const auto& lane : lanes_) hp->staging += lane->staging_cycles;
+  }
+}
+
+void EpochExecutor::ResumeLanes() {
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lk(lane->mu);
+      lane->pause = false;
+    }
+    lane->work_cv.notify_all();
+  }
+}
+
+void EpochExecutor::ParkLanes() {
+  for (auto& lane : lanes_) {
+    std::unique_lock<std::mutex> lk(lane->mu);
+    lane->pause = true;
+    // A lane mid-batch finishes recording, publishes its chunks, re-checks
+    // `pause` and parks; a lane already waiting is parked by definition.
+    lane->data_cv.wait(lk, [&lane] { return lane->parked; });
+  }
+}
+
+void EpochExecutor::RunUntil(uint64_t horizon) {
+  ResumeLanes();
+  Executor::RunUntil(horizon);
+  ParkLanes();
+}
+
+void EpochExecutor::OnTaskAssigned(uint32_t core, Task* task) {
+  Lane& lane = LaneOf(core);
+  {
+    std::lock_guard<std::mutex> lk(lane.mu);
+    CoreChannel& ch = channels_[core];
+    CATDB_DCHECK(ch.task == nullptr && ch.chunks.empty());
+    ch.task = task;
+  }
+  lane.work_cv.notify_all();
+}
+
+bool EpochExecutor::StepTask(Task* task, uint32_t core) {
+  Lane& lane = LaneOf(core);
+  StagedChunk chunk;
+  {
+    std::unique_lock<std::mutex> lk(lane.mu);
+    CoreChannel& ch = channels_[core];
+    if (ch.chunks.empty()) {
+      // The epoch barrier from the applier's side: wait for the lane to
+      // stage this core's next chunk. Attributed to the host profile so an
+      // under-provisioned lane count shows up in the breakdown.
+      simcache::HostCycleBreakdown* const hp =
+          machine()->hierarchy().host_profile();
+      const uint64_t t0 = hp != nullptr ? simcache::HostTimerNow() : 0;
+      lane.data_cv.wait(lk, [&ch] { return !ch.chunks.empty(); });
+      if (hp != nullptr) hp->barrier_wait += simcache::HostTimerNow() - t0;
+    }
+    chunk = std::move(ch.chunks.front());
+    ch.chunks.pop_front();
+  }
+  // Freed queue space (or, for the last chunk, a channel going idle): let
+  // the lane top the queue back up while we replay.
+  lane.work_cv.notify_all();
+  ApplyStagedChunk(machine(), core, chunk);
+  task->CreditWork(chunk.work_delta);
+  return !chunk.last;
+}
+
+bool EpochExecutor::PickCoreLocked(Lane& lane, uint32_t* core_out) {
+  for (size_t i = 0; i < lane.cores.size(); ++i) {
+    const size_t idx = (lane.next_core + i) % lane.cores.size();
+    const uint32_t core = lane.cores[idx];
+    const CoreChannel& ch = channels_[core];
+    if (ch.task != nullptr && ch.chunks.size() < kEpochChunkDepth) {
+      lane.next_core = (idx + 1) % lane.cores.size();
+      *core_out = core;
+      return true;
+    }
+  }
+  return false;
+}
+
+void EpochExecutor::LaneLoop(uint32_t lane_id) {
+  Lane& lane = *lanes_[lane_id];
+  std::vector<StagedChunk> batch;
+  for (;;) {
+    uint32_t core = 0;
+    Task* task = nullptr;
+    uint32_t budget = 0;
+    {
+      std::unique_lock<std::mutex> lk(lane.mu);
+      for (;;) {
+        if (lane.stop) return;
+        if (!lane.pause && PickCoreLocked(lane, &core)) break;
+        if (!lane.parked) {
+          lane.parked = true;
+          lane.data_cv.notify_all();
+        }
+        lane.work_cv.wait(lk);
+      }
+      lane.parked = false;
+      CoreChannel& ch = channels_[core];
+      task = ch.task;
+      const size_t space = kEpochChunkDepth - ch.chunks.size();
+      budget = space < kRecordBatch ? static_cast<uint32_t>(space)
+                                    : kRecordBatch;
+    }
+    // Record outside the lock: Steps in record mode touch only the task's
+    // own state (plus commutative atomics), never the shared machine.
+    simcache::HostCycleBreakdown* const hp =
+        machine()->hierarchy().host_profile();
+    const uint64_t t0 = hp != nullptr ? simcache::HostTimerNow() : 0;
+    batch.clear();
+    bool last = false;
+    for (uint32_t i = 0; i < budget && !last; ++i) {
+      StagedChunk chunk;
+      ExecContext ctx(machine(), core, &chunk);
+      last = !task->Step(ctx);
+      chunk.work_delta = ctx.TakeWorkDelta();
+      chunk.last = last;
+      batch.push_back(std::move(chunk));
+    }
+    if (hp != nullptr) lane.staging_cycles += simcache::HostTimerNow() - t0;
+    {
+      std::lock_guard<std::mutex> lk(lane.mu);
+      CoreChannel& ch = channels_[core];
+      for (StagedChunk& c : batch) ch.chunks.push_back(std::move(c));
+      // The tail chunk staged: drop the task so the lane never re-Steps a
+      // finished task. The applier re-arms the channel via OnTaskAssigned
+      // only after it replayed the tail and the source handed out new work.
+      if (last) ch.task = nullptr;
+    }
+    lane.data_cv.notify_all();
+  }
+}
+
+std::unique_ptr<Executor> MakeExecutor(Machine* machine) {
+  CATDB_CHECK(machine != nullptr);
+  if (machine->config().sim_threads > 1) {
+    return std::make_unique<EpochExecutor>(machine);
+  }
+  return std::make_unique<Executor>(machine);
+}
+
+}  // namespace catdb::sim

@@ -1,0 +1,111 @@
+#ifndef CATDB_SIM_EPOCH_EXECUTOR_H_
+#define CATDB_SIM_EPOCH_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "harness/thread_pool.h"
+#include "sim/executor.h"
+#include "sim/machine.h"
+
+namespace catdb::sim {
+
+/// Parallel single-cell executor: N-1 recording lanes run task Steps ahead
+/// of the canonical schedule on host threads, staging every machine
+/// operation into bounded per-core chunk queues; the applier thread (the
+/// caller of RunUntil) runs the *unchanged* serial scheduling loop, where
+/// "stepping" a core means replaying its next staged chunk against the
+/// shared machine. All cache, DRAM, CAT, monitor, trace and scheduler side
+/// effects therefore land in exactly the serial (cycle, core) order, and
+/// reports/traces are byte-identical to sim_threads=1 (pinned by
+/// tests/parallel_sim_test.cc).
+///
+/// The bounded queue depth is the epoch: a lane may run at most
+/// kEpochChunkDepth Steps ahead of the applier before it blocks — the
+/// backpressure is the epoch barrier. A literal fixed-cycle barrier cannot
+/// be exact here (inclusive back-invalidation gives zero lookahead, and
+/// LLC/DRAM latency feeds back into core clocks and thus the canonical
+/// order); decoupling the timing-independent task logic from the timing
+/// instead makes the window a pure performance knob.
+///
+/// Requirements on tasks (all engine jobs satisfy them):
+///  * Step() must not read the core clock (ExecContext::now() CHECK-fails
+///    in record mode) or any mutable machine state;
+///  * host-visible shared state touched by concurrently recorded Steps
+///    (e.g. the join bit vector, result sinks) must be commutative and
+///    data-race-free (atomic OR/add).
+class EpochExecutor : public Executor {
+ public:
+  /// Steps a lane may run ahead of the applier per core.
+  static constexpr size_t kEpochChunkDepth = 64;
+
+  /// `sim_threads` == 0 reads machine->config().sim_threads. The resolved
+  /// value is the *total* host thread count (applier + lanes) and must be
+  /// >= 2; use MakeExecutor to fall back to the serial Executor at 1.
+  explicit EpochExecutor(Machine* machine, uint32_t sim_threads = 0);
+  ~EpochExecutor() override;
+
+  uint32_t num_lanes() const { return static_cast<uint32_t>(lanes_.size()); }
+
+  /// Resumes the recording lanes, runs the shared scheduling loop, then
+  /// parks the lanes again. Lanes only ever touch tasks inside this
+  /// bracket, so after RunUntil returns the caller owns all task and
+  /// source state exclusively (report collection, stream destruction) —
+  /// staged-but-unapplied chunks are kept and replay on the next call.
+  void RunUntil(uint64_t horizon) override;
+
+ protected:
+  bool StepTask(Task* task, uint32_t core) override;
+  void OnTaskAssigned(uint32_t core, Task* task) override;
+
+ private:
+  /// Per-core staging channel. Guarded by the owning lane's mutex.
+  struct CoreChannel {
+    Task* task = nullptr;  // task being recorded; null = idle / tail staged
+    std::deque<StagedChunk> chunks;  // recorded, not yet replayed
+  };
+
+  /// One recording lane: owns cores c with c % num_lanes() == id.
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable work_cv;  // lane waits for a task or for space
+    std::condition_variable data_cv;  // applier waits for chunks / parking
+    std::vector<uint32_t> cores;
+    size_t next_core = 0;  // rotation cursor for fair recording
+    uint64_t staging_cycles = 0;  // host-profile: record time (lane-local)
+    bool stop = false;
+    /// Lanes record only while a RunUntil call is in flight. `pause` is the
+    /// applier's request; `parked` is the lane's acknowledgement that it is
+    /// waiting and holds no task reference.
+    bool pause = true;
+    bool parked = false;
+  };
+
+  void LaneLoop(uint32_t lane_id);
+  /// Clears `pause` and wakes every lane (RunUntil entry).
+  void ResumeLanes();
+  /// Sets `pause` and blocks until every lane is parked (RunUntil exit).
+  void ParkLanes();
+  /// First channel (rotating from lane.next_core) with a task to record and
+  /// queue space; returns false if none. Caller holds lane.mu.
+  bool PickCoreLocked(Lane& lane, uint32_t* core_out);
+
+  Lane& LaneOf(uint32_t core) { return *lanes_[core % lanes_.size()]; }
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<CoreChannel> channels_;  // indexed by core
+  harness::ThreadPool pool_;
+};
+
+/// Builds the executor a machine's configuration asks for: the serial
+/// Executor at sim_threads == 1 (the differential oracle), the epoch
+/// executor otherwise. All engine run loops construct through this.
+std::unique_ptr<Executor> MakeExecutor(Machine* machine);
+
+}  // namespace catdb::sim
+
+#endif  // CATDB_SIM_EPOCH_EXECUTOR_H_

@@ -22,6 +22,7 @@ void Executor::PollIdleCores() {
     if (task == nullptr) continue;
     cs.current = task;
     cs.dispatched = false;
+    OnTaskAssigned(c, task);
     // Enqueue at the cycle the task could start; the clock itself is not
     // advanced (and the dispatch hook not fired) until the task is actually
     // scheduled inside the horizon.
@@ -70,8 +71,7 @@ void Executor::RunUntil(uint64_t horizon) {
     // the heap top instead of re-pushing every step keeps the common case —
     // the same core staying ahead — free of heap traffic.
     for (;;) {
-      ExecContext ctx(machine_, core);
-      const bool more = cs.current->Step(ctx);
+      const bool more = StepTask(cs.current, core);
       const uint64_t clock = machine_->clock(core);
       if (!more) {
         Task* done = cs.current;
@@ -101,6 +101,13 @@ void Executor::RunUntil(uint64_t horizon) {
       }
     }
   }
+}
+
+bool Executor::StepTask(Task* task, uint32_t core) {
+  ExecContext ctx(machine_, core);
+  const bool more = task->Step(ctx);
+  task->CreditWork(ctx.TakeWorkDelta());
+  return more;
 }
 
 uint64_t Executor::RunUntilIdle() {

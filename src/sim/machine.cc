@@ -46,6 +46,16 @@ Status Machine::ValidateConfig(const MachineConfig& config) {
     return Status::InvalidArgument(
         "cache geometries must have power-of-two sets and 1..64 ways");
   }
+  if (config.sim_threads < 1) {
+    return Status::InvalidArgument(
+        "sim_threads must be at least 1 (1 = serial executor)");
+  }
+  if (config.sim_threads > 1 && config.sim_threads - 1 > h.num_cores) {
+    return Status::InvalidArgument(
+        "sim_threads (" + std::to_string(config.sim_threads) +
+        ") exceeds num_cores+1 (" + std::to_string(h.num_cores + 1) +
+        "): more recording lanes than simulated cores cannot be used");
+  }
   return Status::OK();
 }
 
@@ -196,8 +206,13 @@ void Machine::AccessRun(uint32_t core, uint64_t addr, uint64_t n_lines,
   }
   (void)is_write;  // writes are timed like reads (write-allocate)
   simcache::HostCycleBreakdown* const hp = hierarchy_.host_profile();
+  // The CLOS/mask decode is charged to run_setup: it is per-run fixed cost
+  // paid before any line is simulated, same bucket as the hierarchy's own
+  // run prologue.
+  const uint64_t t_decode = hp != nullptr ? simcache::HostTimerNow() : 0;
   const cat::ClosId clos = cat_.CoreClos(core);
   const uint64_t mask = cat_.CoreMask(core);
+  if (hp != nullptr) hp->run_setup += simcache::HostTimerNow() - t_decode;
   if (n_lines == 1) {
     // Single-line runs (point reads, short tail chunks) gain nothing from
     // run batching but would pay its per-run setup and counter flush; the

@@ -234,6 +234,11 @@ uint64_t MemoryHierarchy::AccessRunImpl(uint32_t core, uint64_t first_line,
     }
   };
 
+  // Everything up to here — reference binding, mask decode, loop-state and
+  // run-FIFO setup — is the per-run fixed cost; attribute it separately so
+  // short runs' overhead is visible (run_setup), not folded into run_other.
+  const uint64_t c_setup = kProfiled ? HostTimerNow() - t_run0 : 0;
+
   const uint64_t start = now;
   for (uint64_t line = first_line; line <= last_line; ++line) {
     if (pf_enabled) {
@@ -459,12 +464,13 @@ uint64_t MemoryHierarchy::AccessRunImpl(uint32_t core, uint64_t first_line,
     hp.pending_table += c_pend;
     hp.shadow += c_shadow;
     hp.monitor_flush += c_flush;
+    hp.run_setup += c_setup;
     hp.runs += 1;
     hp.run_lines += n_lines;
     const uint64_t total = HostTimerNow() - t_run0;
     hp.run_total += total;
     const uint64_t attributed = c_l1 + c_l2 + c_llc + c_fill + c_pf + c_dram +
-                                c_pend + c_shadow + c_flush;
+                                c_pend + c_shadow + c_flush + c_setup;
     hp.run_other += total > attributed ? total - attributed : 0;
   }
   return now - start;

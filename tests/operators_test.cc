@@ -93,6 +93,7 @@ TEST(ColumnScanTest, WorkAccountingCoversAllRows) {
   for (auto& job : jobs) {
     while (job->Step(ctx)) {
     }
+    job->CreditWork(ctx.TakeWorkDelta());
     total += job->work_done();
   }
   EXPECT_EQ(total, col.size());
@@ -194,6 +195,7 @@ TEST(FkJoinTest, ProbeCountsOnlySetBits) {
   sim::ExecContext ctx(&m, 0);
   while (job.Step(ctx)) {
   }
+  job.CreditWork(ctx.TakeWorkDelta());
   EXPECT_EQ(result, 5000u);
   EXPECT_EQ(job.work_done(), fk.size());
 }

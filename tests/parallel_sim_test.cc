@@ -1,0 +1,393 @@
+// Goldens for the epoch-barriered parallel executor (sim/epoch_executor.*).
+// The contract under test is absolute: at any --sim-threads value the
+// simulation must produce byte-identical catdb.report/v1 documents and
+// Chrome traces — parallelism is a wall-clock optimization, never an
+// accuracy trade. Pinned here on fig01-, fig11- and serving-shaped
+// workloads, by executor-equivalence fuzzing, by a lane-heavy stress mix
+// (the TSan CI job runs this file), and on the bench-side guard that
+// refuses jobs x sim-threads oversubscription.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "engine/operators/aggregation.h"
+#include "engine/operators/column_scan.h"
+#include "engine/operators/fk_join.h"
+#include "engine/runner.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "serve/serving_engine.h"
+#include "sim/epoch_executor.h"
+#include "sim/executor.h"
+#include "sim/machine.h"
+#include "workloads/micro.h"
+#include "workloads/s4hana.h"
+#include "workloads/tpch_gen.h"
+#include "workloads/tpch_queries.h"
+
+namespace catdb {
+namespace {
+
+const std::vector<uint32_t> kA = {0, 1, 2, 3};
+const std::vector<uint32_t> kB = {4, 5, 6, 7};
+
+/// Serialized outputs of one full workload run: the catdb.report/v1
+/// document plus the Chrome trace. Byte equality of this pair is the
+/// acceptance gate of the epoch executor.
+struct GoldenOutput {
+  std::string report_json;
+  std::string trace_json;
+};
+
+sim::MachineConfig ConfigWithThreads(uint32_t sim_threads) {
+  sim::MachineConfig cfg;
+  cfg.sim_threads = sim_threads;
+  return cfg;
+}
+
+// --- fig01-shaped: OLTP vs. column scan under the static policy ----------
+
+GoldenOutput RunFig01(uint32_t sim_threads) {
+  sim::Machine machine{ConfigWithThreads(sim_threads)};
+  machine.EnableTracing();
+  auto acdoca = workloads::MakeAcdocaData(&machine, {});
+  auto scan_data = workloads::MakeScanDataset(
+      &machine, 1u << 20,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+      /*seed=*/41);
+  auto oltp = workloads::MakeOltpQuery(*acdoca, /*big_projection=*/true,
+                                       /*num_columns=*/13, /*seed=*/42);
+  engine::ColumnScanQuery scan(&scan_data.column, /*seed=*/43);
+  oltp->AttachSim(&machine);
+  scan.AttachSim(&machine);
+  engine::PolicyConfig on;
+  on.enabled = true;
+  engine::RunReport report = engine::RunWorkload(
+      &machine, {{oltp.get(), kA}, {&scan, kB}}, 6'000'000, on);
+
+  obs::RunReportWriter w("parallel_sim_test");
+  w.AddRun("fig01_oltp_scan", std::move(report));
+  return {w.Json(), machine.trace()->ChromeTraceJson()};
+}
+
+class Fig01ParallelGoldenTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Fig01ParallelGoldenTest, ReportAndTraceMatchSerialByteForByte) {
+  const GoldenOutput serial = RunFig01(1);
+  const GoldenOutput parallel = RunFig01(GetParam());
+  EXPECT_EQ(serial.report_json, parallel.report_json);
+  EXPECT_EQ(serial.trace_json, parallel.trace_json);
+  EXPECT_NE(serial.trace_json.find("\"traceEvents\""), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(SimThreads, Fig01ParallelGoldenTest,
+                         ::testing::Values(2u, 3u, 4u));
+
+// --- fig11-shaped: TPC-H Q1 decode vs. column scan ------------------------
+
+GoldenOutput RunFig11(uint32_t sim_threads) {
+  sim::Machine machine{ConfigWithThreads(sim_threads)};
+  machine.EnableTracing();
+  auto tpch = workloads::MakeTpchData(&machine, workloads::TpchConfig{});
+  auto scan_data = workloads::MakeScanDataset(
+      &machine, 1u << 20,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+      /*seed=*/1100);
+  auto q1 = workloads::MakeTpchQuery(1, *tpch, /*seed=*/1201);
+  engine::ColumnScanQuery scan(&scan_data.column, /*seed=*/1301);
+  q1->AttachSim(&machine);
+  scan.AttachSim(&machine);
+  engine::PolicyConfig on;
+  on.enabled = true;
+  engine::RunReport report = engine::RunWorkload(
+      &machine, {{q1.get(), kA}, {&scan, kB}}, 4'000'000, on);
+
+  obs::RunReportWriter w("parallel_sim_test");
+  w.AddRun("fig11_tpch_q1", std::move(report));
+  return {w.Json(), machine.trace()->ChromeTraceJson()};
+}
+
+TEST(Fig11ParallelGoldenTest, ReportAndTraceMatchSerialByteForByte) {
+  const GoldenOutput serial = RunFig11(1);
+  for (const uint32_t t : {2u, 3u, 4u}) {
+    const GoldenOutput parallel = RunFig11(t);
+    EXPECT_EQ(serial.report_json, parallel.report_json) << "sim_threads " << t;
+    EXPECT_EQ(serial.trace_json, parallel.trace_json) << "sim_threads " << t;
+  }
+}
+
+// --- Serving-shaped: open arrivals through the bounded queue --------------
+
+serve::ServeConfig SmokeServeConfig() {
+  serve::ServeConfig cfg;
+  cfg.classes.resize(2);
+  cfg.classes[0] = {"hot", engine::CacheUsage::kSensitive,
+                    /*private_lines=*/64, /*passes=*/4, /*stream_lines=*/0,
+                    /*compute_per_line=*/2};
+  cfg.classes[1] = {"scan", engine::CacheUsage::kPolluting, 0, 1,
+                    /*stream_lines=*/256, 2};
+  for (uint32_t t = 0; t < 6; ++t) {
+    serve::TenantSpec spec;
+    spec.class_id = t % 2;
+    spec.arrival.kind = serve::ArrivalKind::kPoisson;
+    spec.arrival.mean_interarrival_cycles = 40'000;
+    cfg.tenants.push_back(spec);
+  }
+  cfg.cores = {0, 1, 2, 3};
+  cfg.horizon_cycles = 2'000'000;
+  cfg.queue_capacity = 16;
+  cfg.interval_cycles = 250'000;
+  cfg.max_clusters = 2;
+  cfg.shared_region_lines = 1 << 10;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::string SerializedServingReport(const serve::ServingRunReport& report) {
+  obs::JsonWriter w;
+  obs::AppendServingReport(w, report);
+  EXPECT_TRUE(w.complete());
+  return w.str();
+}
+
+TEST(ServingParallelGoldenTest, ReportAndTraceMatchSerialByteForByte) {
+  for (const auto policy : {serve::ServePolicyKind::kShared,
+                            serve::ServePolicyKind::kMrcCluster}) {
+    sim::Machine serial{ConfigWithThreads(1)};
+    serial.EnableTracing();
+    const auto base =
+        serve::ServeWorkload(&serial, SmokeServeConfig(), policy);
+    const std::string base_json = SerializedServingReport(base);
+    EXPECT_GT(base.completed, 0u);
+    for (const uint32_t t : {2u, 3u, 4u}) {
+      sim::Machine machine{ConfigWithThreads(t)};
+      machine.EnableTracing();
+      const auto report =
+          serve::ServeWorkload(&machine, SmokeServeConfig(), policy);
+      EXPECT_EQ(base_json, SerializedServingReport(report))
+          << serve::ServePolicyName(policy) << " sim_threads " << t;
+      EXPECT_EQ(serial.trace()->ChromeTraceJson(),
+                machine.trace()->ChromeTraceJson())
+          << serve::ServePolicyName(policy) << " sim_threads " << t;
+    }
+  }
+}
+
+// --- Executor-equivalence fuzz --------------------------------------------
+
+// Like determinism_test's MemTask but record-compatible: Step never reads
+// the core clock (ExecContext::now() CHECK-fails while a lane is
+// recording), so ordering is observed from the applier side instead, via
+// TaskFinished completions.
+class RecordableMemTask : public sim::Task {
+ public:
+  RecordableMemTask(uint64_t base, uint64_t span_bytes, uint64_t seed, int id)
+      : base_(base), span_(span_bytes), rng_(seed),
+        steps_(1 + rng_.Uniform(12)), id_(id) {}
+
+  int id() const { return id_; }
+
+  bool Step(sim::ExecContext& ctx) override {
+    const uint64_t reads = 1 + rng_.Uniform(4);
+    for (uint64_t i = 0; i < reads; ++i) {
+      ctx.Read(base_ + rng_.Uniform(span_));
+    }
+    ctx.Compute(1 + rng_.Uniform(50));
+    return --steps_ > 0;
+  }
+
+ private:
+  uint64_t base_;
+  uint64_t span_;
+  Rng rng_;
+  uint64_t steps_;
+  int id_;
+};
+
+// (task id, core, completion clock) — TaskFinished runs on the applier
+// thread in canonical order, so this log is comparable across executors.
+using Completion = std::tuple<int, uint32_t, uint64_t>;
+
+class FuzzSource : public sim::TaskSource {
+ public:
+  explicit FuzzSource(std::vector<Completion>* log) : log_(log) {}
+  sim::Task* NextTask(uint32_t) override {
+    if (next_ >= tasks_.size()) return nullptr;
+    return tasks_[next_++].get();
+  }
+  void TaskFinished(sim::Task* task, uint32_t core, uint64_t clock) override {
+    log_->emplace_back(static_cast<RecordableMemTask*>(task)->id(), core,
+                       clock);
+  }
+  std::vector<std::unique_ptr<RecordableMemTask>> tasks_;
+
+ private:
+  std::vector<Completion>* log_;
+  size_t next_ = 0;
+};
+
+sim::MachineConfig FuzzMachine() {
+  sim::MachineConfig cfg;
+  cfg.hierarchy.num_cores = 4;
+  cfg.hierarchy.l1 = simcache::CacheGeometry{4, 2};
+  cfg.hierarchy.l2 = simcache::CacheGeometry{8, 2};
+  cfg.hierarchy.llc = simcache::CacheGeometry{64, 8};
+  return cfg;
+}
+
+// Runs the fuzz rig in several resume-exercising horizon segments (chunks
+// staged before a horizon stop must replay correctly after resume).
+std::vector<Completion> RunFuzz(uint64_t seed, uint32_t sim_threads,
+                                std::vector<uint64_t>* clocks,
+                                uint64_t* dram) {
+  sim::Machine m(FuzzMachine());
+  const uint64_t span = 1 << 14;
+  const uint64_t base = m.AllocVirtual(span);
+  std::vector<Completion> log;
+  std::vector<FuzzSource> sources;
+  sources.reserve(4);
+  for (int i = 0; i < 4; ++i) sources.emplace_back(&log);
+  Rng rng(seed);
+  for (int t = 0; t < 32; ++t) {
+    const uint32_t core = static_cast<uint32_t>(rng.Uniform(4));
+    auto task =
+        std::make_unique<RecordableMemTask>(base, span, seed * 1000 + t, t);
+    if (rng.Uniform(3) == 0) {
+      task->set_ready_time(rng.Uniform(4000));
+    }
+    sources[core].tasks_.push_back(std::move(task));
+  }
+  std::unique_ptr<sim::Executor> ex;
+  if (sim_threads <= 1) {
+    ex = std::make_unique<sim::Executor>(&m);
+  } else {
+    ex = std::make_unique<sim::EpochExecutor>(&m, sim_threads);
+  }
+  for (uint32_t c = 0; c < 4; ++c) ex->Attach(c, &sources[c]);
+  for (uint64_t h = 500; h <= 4000; h += 700) ex->RunUntil(h);
+  ex->RunUntilIdle();
+  for (uint32_t c = 0; c < 4; ++c) clocks->push_back(m.clock(c));
+  *dram = m.hierarchy().stats().dram_accesses;
+  return log;
+}
+
+class EpochEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EpochEquivalenceTest, MatchesSerialExecutorAtEveryThreadCount) {
+  std::vector<uint64_t> clocks_serial;
+  uint64_t dram_serial = 0;
+  const auto log_serial =
+      RunFuzz(GetParam(), 1, &clocks_serial, &dram_serial);
+  EXPECT_GT(dram_serial, 0u);
+  for (const uint32_t t : {2u, 3u, 5u}) {
+    std::vector<uint64_t> clocks;
+    uint64_t dram = 0;
+    const auto log = RunFuzz(GetParam(), t, &clocks, &dram);
+    EXPECT_EQ(log_serial, log) << "sim_threads " << t;
+    EXPECT_EQ(clocks_serial, clocks) << "sim_threads " << t;
+    EXPECT_EQ(dram_serial, dram) << "sim_threads " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpochEquivalenceTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+// --- Lane-contention stress (the TSan target) -----------------------------
+
+engine::RunReport RunStressMix(uint32_t sim_threads) {
+  sim::Machine machine{ConfigWithThreads(sim_threads)};
+  auto scan_data = workloads::MakeScanDataset(
+      &machine, 1u << 20,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
+      /*seed=*/61);
+  auto agg_data = workloads::MakeAggDataset(
+      &machine, 1u << 18,
+      workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium),
+      workloads::ScaledGroupCount(100000), /*seed=*/62);
+  auto join_data = workloads::MakeJoinDataset(
+      &machine, workloads::PkCountForRatio(machine, workloads::kPkRatios[1]),
+      1u << 20, /*seed=*/63);
+  engine::ColumnScanQuery scan(&scan_data.column, /*seed=*/64);
+  engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
+  engine::FkJoinQuery join(&join_data.pk, &join_data.fk,
+                           join_data.key_count);
+  scan.AttachSim(&machine);
+  agg.AttachSim(&machine);
+  join.AttachSim(&machine);
+  engine::PolicyConfig on;
+  on.enabled = true;
+  return engine::RunWorkload(
+      &machine,
+      {{&join, {0, 1, 2}}, {&agg, {3, 4, 5}}, {&scan, {6, 7}}},
+      4'000'000, on);
+}
+
+void ExpectReportsIdentical(const engine::RunReport& a,
+                            const engine::RunReport& b) {
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  for (size_t i = 0; i < a.streams.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.streams[i].iterations, b.streams[i].iterations);
+    EXPECT_EQ(a.streams[i].iteration_end_clocks,
+              b.streams[i].iteration_end_clocks);
+  }
+  EXPECT_EQ(a.stats.l1.hits, b.stats.l1.hits);
+  EXPECT_EQ(a.stats.l2.misses, b.stats.l2.misses);
+  EXPECT_EQ(a.stats.llc.hits, b.stats.llc.hits);
+  EXPECT_EQ(a.stats.llc.misses, b.stats.llc.misses);
+  EXPECT_EQ(a.stats.dram_accesses, b.stats.dram_accesses);
+  EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+  EXPECT_EQ(a.group_moves, b.group_moves);
+  EXPECT_EQ(a.clos_reassociations, b.clos_reassociations);
+}
+
+// Three streams across eight cores on three lanes: phase barriers
+// (fk_join), the scratch-heavy aggregation, and a streaming scan all record
+// concurrently. Repeated so TSan sees many lane lifecycles; every repeat
+// must still land on the serial report.
+TEST(EpochStressTest, RepeatedParallelRunsMatchSerialReport) {
+  const engine::RunReport serial = RunStressMix(1);
+  EXPECT_GT(serial.stats.dram_accesses, 0u);
+  for (int rep = 0; rep < 3; ++rep) {
+    const engine::RunReport parallel = RunStressMix(4);
+    ExpectReportsIdentical(serial, parallel);
+  }
+}
+
+// --- Bench-side oversubscription guard ------------------------------------
+
+TEST(ValidateParallelismTest, AcceptsSerialAndSingleAxisParallelism) {
+  EXPECT_TRUE(bench::ValidateParallelism(1, 1, 1).ok());
+  // One axis may use every host core.
+  EXPECT_TRUE(bench::ValidateParallelism(8, 1, 8).ok());
+  EXPECT_TRUE(bench::ValidateParallelism(1, 8, 8).ok());
+  // Combining is fine while the product fits the host.
+  EXPECT_TRUE(bench::ValidateParallelism(2, 4, 8).ok());
+}
+
+TEST(ValidateParallelismTest, RejectsZeroSimThreads) {
+  const Status s = bench::ValidateParallelism(1, 0, 8);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("sim-threads"), std::string::npos);
+}
+
+TEST(ValidateParallelismTest, RejectsJobsTimesThreadsOversubscription) {
+  const Status s = bench::ValidateParallelism(4, 4, 8);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("oversubscribe"), std::string::npos);
+  // Oversubscribing a *single* axis stays allowed (timeslicing one axis is
+  // a user's informed choice; the guard only rejects the compounding).
+  EXPECT_TRUE(bench::ValidateParallelism(16, 1, 8).ok());
+  EXPECT_TRUE(bench::ValidateParallelism(1, 16, 8).ok());
+}
+
+}  // namespace
+}  // namespace catdb

@@ -7,9 +7,13 @@ Checks three files:
   2. the selfperf summary JSON (first positional output): every workload
      entry must embed a host_cycle_breakdown object with the full component
      set and self-consistent counters;
-  3. the parallel-harness JSON (second positional output): must carry the
-     `conclusive` flag (single-job hosts produce inconclusive scaling data,
-     and consumers must be able to tell).
+  3. the parallel-scaling JSON (second positional output): must carry
+     `host_cores` and the top-level `conclusive` flag plus both scaling
+     sections (`sweep_harness` for --jobs, `sim_threads` for the epoch
+     executor), each with its own `conclusive` flag and an explicit
+     `skipped_oversubscribed` annotation. Single-core hosts produce
+     inconclusive scaling data; that is reported as a WARNING, never a
+     silent pass.
 
 Usage: check_selfperf_report.py <report.json> <selfperf.json> <parallel.json>
 """
@@ -29,6 +33,9 @@ BREAKDOWN_COMPONENTS = [
     "monitor_flush",
     "translate",
     "scalar_access",
+    "run_setup",
+    "staging",
+    "barrier_wait",
     "run_other",
 ]
 
@@ -80,12 +87,49 @@ def check_selfperf(path):
     print(f"ok: {path} embeds complete host_cycle_breakdown objects")
 
 
+def check_scaling_section(path, name, section):
+    """A scaling section must say whether it is conclusive and which points
+    it skipped as oversubscribed — a single-row section with neither flag
+    reads like a measured 1.0x ceiling."""
+    if not isinstance(section, dict):
+        fail(f"{path}: missing `{name}` section")
+    if not isinstance(section.get("conclusive"), bool):
+        fail(f"{path}: {name} missing boolean `conclusive` flag")
+
+
 def check_parallel(path):
     with open(path) as f:
         doc = json.load(f)
+    if not isinstance(doc.get("host_cores"), int):
+        fail(f"{path}: missing integer `host_cores`")
     if not isinstance(doc.get("conclusive"), bool):
         fail(f"{path}: missing boolean `conclusive` flag")
-    print(f"ok: {path} conclusive={doc['conclusive']}")
+    harness = doc.get("sweep_harness")
+    check_scaling_section(path, "sweep_harness", harness)
+    if not isinstance(harness.get("skipped_oversubscribed"), list):
+        fail(f"{path}: sweep_harness missing `skipped_oversubscribed` list")
+    if harness.get("reports_byte_identical") is not True:
+        fail(f"{path}: sweep_harness reports not byte-identical")
+    sim = doc.get("sim_threads")
+    check_scaling_section(path, "sim_threads", sim)
+    if sim.get("digests_byte_identical") is not True:
+        fail(f"{path}: sim_threads digests not byte-identical")
+    workloads = sim.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        fail(f"{path}: sim_threads has no workloads")
+    for w in workloads:
+        if not isinstance(w.get("skipped_oversubscribed"), list):
+            fail(f"{path}: sim_threads workload {w.get('name')!r} missing "
+                 "`skipped_oversubscribed` list")
+        if not isinstance(w.get("runs"), list) or not w["runs"]:
+            fail(f"{path}: sim_threads workload {w.get('name')!r} has no runs")
+    for name in ("sweep_harness", "sim_threads"):
+        if not doc[name]["conclusive"]:
+            print(f"WARNING: {path}: `{name}` scaling is inconclusive "
+                  f"(host_cores={doc['host_cores']}; oversubscribed points "
+                  "skipped) — numbers are not a scaling measurement")
+    print(f"ok: {path} host_cores={doc['host_cores']} "
+          f"conclusive={doc['conclusive']}")
 
 
 def main(argv):
