@@ -19,235 +19,65 @@
 // the hardware CLOS limit (16): the clustered policies serve them through
 // max_clusters resource groups, which is the point of clustering.
 //
-// Every (load, policy) pair is one independent sweep cell — own machine,
-// own arrival trace (same seed across policies at equal load, so policies
-// face the identical workload) — and the report is byte-identical for any
-// --jobs value.
+// The experiment itself is the builtin serving scenario (src/plan/): this
+// main executes it through the generic scenario executor — the same code
+// path bench/scenario_runner takes with scenarios/ext_serving_tail.json —
+// and keeps only the paper-style stdout tables. Every (load, policy) pair
+// is one independent sweep cell — own machine, own arrival trace (same
+// seed across policies at equal load, so policies face the identical
+// workload) — and the report is byte-identical for any --jobs value.
 
 #include <cstdio>
-#include <string>
-#include <vector>
 
 #include "bench_util.h"
-#include "serve/serving_engine.h"
+#include "plan/builtin_scenarios.h"
+#include "plan/scenario_exec.h"
 
 using namespace catdb;
-
-namespace {
-
-// Request classes: the paper's operator taxonomy at request granularity.
-// point/agg/report re-read private working sets of increasing size (cache
-// sensitive, decreasing re-use); scan streams through the shared region
-// once (polluting).
-std::vector<serve::RequestClass> MakeClasses() {
-  std::vector<serve::RequestClass> classes(4);
-  classes[0] = {"point", engine::CacheUsage::kSensitive,
-                /*private_lines=*/512, /*passes=*/8, /*stream_lines=*/0,
-                /*compute_per_line=*/4};
-  classes[1] = {"agg", engine::CacheUsage::kSensitive, 2048, 4, 0, 4};
-  classes[2] = {"report", engine::CacheUsage::kSensitive, 8192, 2, 0, 2};
-  classes[3] = {"scan", engine::CacheUsage::kPolluting, 0, 1, 16384, 2};
-  return classes;
-}
-
-// Per-class memory cycles per line, calibrated against uncontended p50
-// latencies on the simulated hierarchy (cache-resident point re-reads pay
-// ~16, the all-miss scan stream ~33). Only used to translate a target
-// utilization into per-tenant arrival rates — the simulation measures the
-// real latencies.
-constexpr uint32_t kMemCyclesPerLine[] = {16, 19, 23, 33};
-
-uint64_t EstimatedServiceCycles(const serve::RequestClass& c,
-                                size_t class_id) {
-  const uint64_t lines =
-      static_cast<uint64_t>(c.passes) * c.private_lines + c.stream_lines;
-  return lines * (c.compute_per_line + kMemCyclesPerLine[class_id]);
-}
-
-constexpr serve::ServePolicyKind kPolicies[] = {
-    serve::ServePolicyKind::kShared,
-    serve::ServePolicyKind::kStatic,
-    serve::ServePolicyKind::kLookahead,
-    serve::ServePolicyKind::kMrcCluster,
-};
-constexpr size_t kNumPolicies = std::size(kPolicies);
-
-// Offered load = target utilization of the serving cores at *uncontended*
-// service times. Under 64-tenant contention the effective capacity is well
-// below nominal, so the tail-latency knee sits around 0.25-0.40: the grid
-// brackets it tightly and adds two overload points.
-constexpr double kLoads[] = {0.20, 0.25, 0.30, 0.40, 0.55};
-constexpr double kSmokeLoads[] = {0.30, 0.60};
-
-/// p99 SLO (cycles): ~8.5x the heaviest class's uncontended latency
-/// (~590 Kcycles for one scan). A policy "sustains" a load when p99 meets
-/// the SLO and it sheds < 1% of arrivals.
-constexpr uint64_t kSloP99Cycles = 5'000'000;
-constexpr double kMaxRejectedRatio = 0.01;
-
-struct CellResult {
-  uint64_t arrivals = 0;
-  uint64_t completed = 0;
-  uint64_t rejected = 0;
-  uint64_t max_queue_depth = 0;
-  uint64_t p50 = 0;
-  uint64_t p95 = 0;
-  uint64_t p99 = 0;
-  uint32_t num_clusters = 0;
-  double llc_hit_ratio = 0;
-
-  double rejected_ratio() const {
-    return arrivals == 0 ? 0.0
-                         : static_cast<double>(rejected) / arrivals;
-  }
-  bool MeetsSlo() const {
-    return completed > 0 && p99 <= kSloP99Cycles &&
-           rejected_ratio() <= kMaxRejectedRatio;
-  }
-};
-
-serve::ServeConfig MakeConfig(double load, size_t num_tenants,
-                              uint64_t horizon, uint64_t seed) {
-  serve::ServeConfig config;
-  config.classes = MakeClasses();
-  config.horizon_cycles = horizon;
-  config.seed = seed;
-  config.max_clusters = 4;
-  // 3.2x the LLC (40960 lines): scans are genuinely streaming — confining
-  // them costs them nothing, which is the polluting-class premise. Each
-  // request reads a 16384-line window at its own offset.
-  config.shared_region_lines = 1 << 17;
-
-  const size_t num_classes = config.classes.size();
-  const size_t cores = 8;
-  for (uint32_t core = 0; core < cores; ++core) config.cores.push_back(core);
-
-  // Classes are dealt with a fixed scrambled period-16 pattern (4 of each):
-  // shares stay exactly equal, but tenant order does not align with class
-  // order — the round-robin policy's cluster assignment (tenant index
-  // modulo k) lands every class in every cluster instead of accidentally
-  // building class-pure clusters. Arrival shapes alternate within each
-  // class so every class sees both smooth and bursty tenants.
-  static constexpr uint32_t kClassDeal[16] = {0, 2, 1, 3, 2, 0, 3, 1,
-                                              1, 3, 0, 2, 3, 1, 2, 0};
-  for (size_t t = 0; t < num_tenants; ++t) {
-    serve::TenantSpec spec;
-    spec.class_id = kClassDeal[t % 16] % static_cast<uint32_t>(num_classes);
-    const uint64_t est =
-        EstimatedServiceCycles(config.classes[spec.class_id], spec.class_id);
-    const uint64_t interarrival = static_cast<uint64_t>(
-        static_cast<double>(est) * num_tenants / (cores * load));
-    if ((t / num_classes) % 2 == 0) {
-      spec.arrival.kind = serve::ArrivalKind::kPoisson;
-      spec.arrival.mean_interarrival_cycles = interarrival;
-    } else {
-      // Same average rate at 50% duty cycle: double the in-burst rate.
-      // Burst periods are absolute (not rate-scaled) so every tenant
-      // alternates ON/OFF many times per horizon — rate-scaled periods of
-      // the heavy classes would exceed the horizon and leave tenants
-      // pinned ON or OFF for a whole run.
-      spec.arrival.kind = serve::ArrivalKind::kOnOff;
-      spec.arrival.mean_interarrival_cycles = interarrival / 2;
-      spec.arrival.mean_on_cycles = 2'000'000;
-      spec.arrival.mean_off_cycles = 2'000'000;
-    }
-    config.tenants.push_back(spec);
-  }
-  return config;
-}
-
-void RunServeCell(harness::SweepCell& cell, const sim::MachineConfig& mc,
-                  const std::string& key, double load, size_t num_tenants,
-                  uint64_t horizon, uint64_t seed,
-                  serve::ServePolicyKind policy, CellResult* out) {
-  sim::Machine& machine = cell.MakeMachine(mc);
-  const serve::ServeConfig config =
-      MakeConfig(load, num_tenants, horizon, seed);
-  serve::ServingRunReport rep = serve::ServeWorkload(&machine, config, policy);
-
-  out->arrivals = rep.arrivals;
-  out->completed = rep.completed;
-  out->rejected = rep.rejected;
-  out->max_queue_depth = rep.max_queue_depth;
-  out->p50 = rep.latency.p50;
-  out->p95 = rep.latency.p95;
-  out->p99 = rep.latency.p99;
-  out->num_clusters = rep.num_clusters;
-  out->llc_hit_ratio = rep.llc_hit_ratio;
-
-  cell.report().AddScalar(key + "/p50", static_cast<double>(rep.latency.p50));
-  cell.report().AddScalar(key + "/p95", static_cast<double>(rep.latency.p95));
-  cell.report().AddScalar(key + "/p99", static_cast<double>(rep.latency.p99));
-  cell.report().AddScalar(key + "/rejected_ratio", out->rejected_ratio());
-  cell.report().AddServingRun(key, std::move(rep));
-}
-
-std::string LoadKey(double load) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "load%.2f", load);
-  return buf;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
 
-  // --smoke: fewer tenants, two loads (one under, one over the knee), the
-  // short horizon. Full: 64 tenants = 4x the 16-CLOS hardware limit.
-  const size_t num_tenants = opts.smoke ? 16 : 64;
-  const uint64_t horizon = opts.smoke ? bench::kSmokeHorizon : 60'000'000;
-  const std::vector<double> loads =
-      opts.smoke ? std::vector<double>(std::begin(kSmokeLoads),
-                                       std::end(kSmokeLoads))
-                 : std::vector<double>(std::begin(kLoads), std::end(kLoads));
-
-  harness::SweepRunner runner = bench::MakeSweepRunner("ext_serving_tail",
-                                                       opts);
+  plan::ExecOptions exec;
+  exec.jobs = opts.jobs;
+  exec.smoke = opts.smoke;
+  exec.tracing = !opts.trace_out.empty();
   // --sim-threads reaches each cell's machine config: cells simulate on
   // sim_threads host threads apiece (ParseBenchArgs already rejected
   // jobs x sim-threads combinations that oversubscribe the host).
-  const sim::MachineConfig machine_config = bench::MachineConfigFor(opts);
-  std::vector<CellResult> results(loads.size() * kNumPolicies);
-  for (size_t li = 0; li < loads.size(); ++li) {
-    for (size_t pi = 0; pi < kNumPolicies; ++pi) {
-      const std::string key =
-          LoadKey(loads[li]) + "/" + serve::ServePolicyName(kPolicies[pi]);
-      CellResult* out = &results[li * kNumPolicies + pi];
-      const double load = loads[li];
-      // Same seed for every policy at a load: identical arrival traces.
-      const uint64_t seed = 9000 + li;
-      const serve::ServePolicyKind policy = kPolicies[pi];
-      runner.AddCell(key, [machine_config, key, load, num_tenants, horizon,
-                           seed, policy, out](harness::SweepCell& cell) {
-        RunServeCell(cell, machine_config, key, load, num_tenants, horizon,
-                     seed, policy, out);
-      });
-    }
-  }
-  runner.Run();
-  runner.report().AddParam("tenants", static_cast<uint64_t>(num_tenants));
-  runner.report().AddParam("horizon_cycles", horizon);
-  runner.report().AddParam("slo_p99_cycles", kSloP99Cycles);
+  exec.machine_config = bench::MachineConfigFor(opts);
+
+  const plan::Scenario scenario = plan::ServingMixScenario();
+  plan::ScenarioRunResult result;
+  const Status st = plan::RunScenario(scenario, exec, &result);
+  CATDB_CHECK(st.ok());
+  const plan::ServingOutcome& out = result.serving;
+  const plan::ServingSweepSpec& spec = scenario.serving;
+  const size_t num_policies = spec.policies.size();
+  const double slo = static_cast<double>(spec.slo_p99_cycles);
+  const double max_rejected = spec.max_rejected_ratio.value();
 
   std::printf("\nOpen-system serving: %zu tenants, %zu classes, p99 SLO %.2f "
               "Mcycles\n",
-              num_tenants, MakeClasses().size(), kSloP99Cycles / 1e6);
-  for (size_t li = 0; li < loads.size(); ++li) {
-    std::printf("\noffered load %.2f\n", loads[li]);
+              static_cast<size_t>(out.tenants), spec.classes.size(),
+              slo / 1e6);
+  for (size_t li = 0; li < out.loads.size(); ++li) {
+    std::printf("\noffered load %.2f\n", out.loads[li].value());
     bench::PrintRule(86);
     std::printf("%-12s %8s %8s %7s %9s %9s %9s %5s %5s\n", "policy", "arrive",
                 "done", "rej%", "p50(Kc)", "p95(Kc)", "p99(Kc)", "clus",
                 "slo");
     bench::PrintRule(86);
-    for (size_t pi = 0; pi < kNumPolicies; ++pi) {
-      const CellResult& r = results[li * kNumPolicies + pi];
+    for (size_t pi = 0; pi < num_policies; ++pi) {
+      const size_t ci = li * num_policies + pi;
+      const plan::ServingOutcome::Cell& r = out.cells[ci];
       std::printf("%-12s %8llu %8llu %6.2f%% %9.1f %9.1f %9.1f %5u %5s\n",
-                  serve::ServePolicyName(kPolicies[pi]),
+                  spec.policies[pi].c_str(),
                   static_cast<unsigned long long>(r.arrivals),
                   static_cast<unsigned long long>(r.completed),
                   r.rejected_ratio() * 100.0, r.p50 / 1e3, r.p95 / 1e3,
-                  r.p99 / 1e3, r.num_clusters, r.MeetsSlo() ? "ok" : "MISS");
+                  r.p99 / 1e3, r.num_clusters,
+                  out.meets_slo[ci] ? "ok" : "MISS");
     }
     bench::PrintRule(86);
   }
@@ -255,20 +85,11 @@ int main(int argc, char** argv) {
   // Sustained load: the highest offered load whose run met the SLO. The
   // summary scalar feeds plotting; 0 means the policy met it nowhere.
   std::printf("\nsustained load at p99 <= %.2f Mcycles (rejections < %.0f%%)\n",
-              kSloP99Cycles / 1e6, kMaxRejectedRatio * 100.0);
+              slo / 1e6, max_rejected * 100.0);
   bench::PrintRule(52);
-  for (size_t pi = 0; pi < kNumPolicies; ++pi) {
-    double sustained = 0;
-    for (size_t li = 0; li < loads.size(); ++li) {
-      if (results[li * kNumPolicies + pi].MeetsSlo()) {
-        sustained = loads[li];
-      }
-    }
-    std::printf("%-12s %.2f\n", serve::ServePolicyName(kPolicies[pi]),
-                sustained);
-    runner.report().AddScalar(
-        std::string("sustained_load/") + serve::ServePolicyName(kPolicies[pi]),
-        sustained);
+  for (size_t pi = 0; pi < num_policies; ++pi) {
+    std::printf("%-12s %.2f\n", spec.policies[pi].c_str(),
+                out.sustained[pi]);
   }
   bench::PrintRule(52);
 
@@ -279,7 +100,7 @@ int main(int argc, char** argv) {
       "sized for their active members' combined benefit. The round-robin\n"
       "'lookahead' row isolates what similarity grouping adds over blind\n"
       "clustering: same measurement loop, same sizer, class-mixed clusters.\n",
-      num_tenants);
-  bench::FinishSweepBench(&runner, opts);
+      static_cast<size_t>(out.tenants));
+  bench::FinishSweepBench(&*result.runner, opts);
   return 0;
 }

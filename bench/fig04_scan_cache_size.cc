@@ -3,97 +3,55 @@
 // behaves worse than 0x3. Also prints the LLC hit ratio and misses per
 // instruction the paper reports in the text (hit ratio < 0.08, MPI ~1.9e-2).
 //
-// Parallelized with the sweep harness: every way restriction is one
-// independent simulation cell with its own machine, dataset and query
-// (identically seeded), so the sweep fans out across --jobs host threads
-// and the output is byte-identical for any job count.
+// The experiment itself is the builtin fig04 scenario (src/plan/): this
+// main executes it through the generic scenario executor — the same code
+// path bench/scenario_runner takes with scenarios/fig04_scan_cache_size.json
+// — and keeps only the paper-style stdout table. Every way restriction is
+// one independent simulation cell, so the sweep fans out across --jobs host
+// threads and the report is byte-identical for any job count.
 
 #include <cstdio>
-#include <string>
-#include <vector>
 
 #include "bench_util.h"
-#include "engine/operators/column_scan.h"
-#include "engine/runner.h"
-#include "workloads/micro.h"
+#include "plan/builtin_scenarios.h"
+#include "plan/scenario_exec.h"
 
 using namespace catdb;
 
-namespace {
-
-struct CellResult {
-  double cycles = 0;  // warm per-iteration latency at this way count
-  engine::RunReport rep;
-};
-
-// One cell = one way restriction, fully self-contained.
-auto MakeScanCell(uint32_t ways, CellResult* out) {
-  return [ways, out](harness::SweepCell& cell) {
-    sim::Machine& machine = cell.MakeMachine();
-    auto data = workloads::MakeScanDataset(
-        &machine, workloads::kDefaultScanRows,
-        workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
-        /*seed=*/41);
-    engine::ColumnScanQuery scan(&data.column, /*seed=*/42);
-    scan.AttachSim(&machine);
-    engine::PolicyConfig cfg;
-    cfg.instance_ways = ways;
-    out->rep = engine::RunQueryIterations(&machine, &scan, bench::kCoresA, 3,
-                                          cfg);
-    const auto& clocks = out->rep.streams[0].iteration_end_clocks;
-    out->cycles = static_cast<double>(clocks[2] - clocks[1]);
-  };
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
-  // Config-only machine for labels and the full-LLC way count; the cells
-  // build their own.
+  // Config-only machine for the cache-size labels; the cells build their
+  // own.
   sim::Machine meta{sim::MachineConfig{}};
-  const uint32_t full_ways = bench::FullLlcWays(meta);
 
-  harness::SweepRunner runner =
-      bench::MakeSweepRunner("fig04_scan_cache_size", opts);
+  plan::ExecOptions exec;
+  exec.jobs = opts.jobs;
+  exec.smoke = opts.smoke;
+  exec.tracing = !opts.trace_out.empty();
+  exec.machine_config = bench::MachineConfigFor(opts);
 
-  // The full-LLC baseline is an explicit cell of its own: normalization no
-  // longer depends on kWaySweep containing (or starting with) the
-  // unrestricted entry.
-  CellResult baseline;
-  runner.AddCell("baseline", MakeScanCell(full_ways, &baseline));
-  // --smoke: one restricted cell (plus the baseline) instead of the sweep.
-  const std::vector<uint32_t> sweep =
-      opts.smoke ? std::vector<uint32_t>{2} : bench::kWaySweep;
-  std::vector<CellResult> results(sweep.size());
-  for (size_t i = 0; i < sweep.size(); ++i) {
-    runner.AddCell("ways" + std::to_string(sweep[i]),
-                   MakeScanCell(sweep[i], &results[i]));
-  }
-  runner.Run();
+  plan::ScenarioRunResult result;
+  const Status st =
+      plan::RunScenario(plan::Fig04Scenario(), exec, &result);
+  CATDB_CHECK(st.ok());
+  const plan::LatencyOutcome& out = result.latency;
 
   std::printf("Fig. 4 — Query 1 (column scan), isolated, varying LLC size\n");
   bench::PrintRule(72);
   std::printf("%-22s %10s %12s %14s\n", "cache", "norm.tput", "LLC hit",
               "LLC miss/instr");
   bench::PrintRule(72);
-
-  obs::RunReportWriter& report = runner.report();
-  for (size_t i = 0; i < sweep.size(); ++i) {
-    const uint32_t ways = sweep[i];
-    const CellResult& r = results[i];
+  for (size_t i = 0; i < out.ways.size(); ++i) {
+    const plan::LatencyOutcome::Cell& r = out.cells[i];
     std::printf("%-22s %10.3f %12.3f %14.2e\n",
-                bench::WaysLabel(meta, ways).c_str(),
-                baseline.cycles / r.cycles, r.rep.llc_hit_ratio,
+                bench::WaysLabel(meta, out.ways[i]).c_str(),
+                out.baseline_cycles / r.cycles, r.rep.llc_hit_ratio,
                 r.rep.llc_mpi);
-    const std::string key = "ways" + std::to_string(ways);
-    report.AddScalar(key + "/norm_tput", baseline.cycles / r.cycles);
-    report.AddRun(key, r.rep);
   }
   bench::PrintRule(72);
   std::printf(
       "Paper: flat down to 10%% of the cache (bitmask 0x3); only the\n"
       "single-way mask 0x1 degrades the scan. LLC hit ratio stays low.\n");
-  bench::FinishSweepBench(&runner, opts);
+  bench::FinishSweepBench(&*result.runner, opts);
   return 0;
 }

@@ -7,7 +7,9 @@
 // Parallelized with the sweep harness: every (scenario, group-count) column
 // is one independent simulation cell with its own machine, dataset and
 // query; the cell computes its full-LLC baseline explicitly and then sweeps
-// the way axis. Output is byte-identical for any --jobs value.
+// the way axis. Output is byte-identical for any --jobs value. Datasets are
+// built through the plan subsystem's declarative seam (plan::BuildDataset),
+// the same constructor scenario files use.
 
 #include <cstdio>
 #include <string>
@@ -15,6 +17,7 @@
 
 #include "bench_util.h"
 #include "engine/operators/aggregation.h"
+#include "plan/dataset.h"
 #include "workloads/micro.h"
 
 using namespace catdb;
@@ -24,14 +27,14 @@ namespace {
 struct Scenario {
   const char* title;
   const char* key;
-  double dict_ratio;
+  plan::Fraction dict_ratio;  // value() is bit-identical to kDictRatio*
   uint64_t seed;
 };
 
 constexpr Scenario kScenarios[] = {
-    {"(a) '4 MiB' dictionary", "a", workloads::kDictRatioSmall, 510},
-    {"(b) '40 MiB' dictionary", "b", workloads::kDictRatioMedium, 520},
-    {"(c) '400 MiB' dictionary", "c", workloads::kDictRatioLarge, 530},
+    {"(a) '4 MiB' dictionary", "a", {4, 55}, 510},
+    {"(b) '40 MiB' dictionary", "b", {40, 55}, 520},
+    {"(c) '400 MiB' dictionary", "c", {400, 55}, 530},
 };
 
 constexpr size_t kNumGroups = std::size(workloads::kGroupSizes);
@@ -48,12 +51,17 @@ auto MakeAggColumnCell(const Scenario& sc, size_t group_index,
   return [&sc, group_index, &sweep, out](harness::SweepCell& cell) {
     sim::Machine& machine = cell.MakeMachine();
     const uint32_t groups = workloads::kGroupSizes[group_index];
-    const uint32_t dict_entries =
-        workloads::DictEntriesForRatio(machine, sc.dict_ratio);
-    auto data = workloads::MakeAggDataset(
-        &machine, workloads::kDefaultAggRows / 4, dict_entries,
-        workloads::ScaledGroupCount(groups), sc.seed + group_index);
-    engine::AggregationQuery query(&data.v, &data.g);
+    plan::DatasetSpec spec;
+    spec.name = "agg";
+    spec.type = plan::DatasetType::kAgg;
+    spec.rows = workloads::kDefaultAggRows / 4;
+    spec.seed = sc.seed + group_index;
+    spec.has_dict_ratio = true;
+    spec.dict_ratio = sc.dict_ratio;
+    spec.has_paper_groups = true;
+    spec.paper_groups = groups;
+    const plan::BuiltDataset data = plan::BuildDataset(&machine, spec);
+    engine::AggregationQuery query(&data.agg->v, &data.agg->g);
     query.AttachSim(&machine);
 
     // Full-LLC baseline first, independent of the sweep axis contents.
@@ -102,7 +110,7 @@ int main(int argc, char** argv) {
   for (size_t si = 0; si < num_scenarios; ++si) {
     const Scenario& sc = kScenarios[si];
     const uint32_t dict_entries =
-        workloads::DictEntriesForRatio(meta, sc.dict_ratio);
+        workloads::DictEntriesForRatio(meta, sc.dict_ratio.value());
     std::printf("\nFig. 5 %s — dictionary %.2f MiB (%u entries)\n", sc.title,
                 dict_entries * 4.0 / (1024 * 1024), dict_entries);
     bench::PrintRule(78);

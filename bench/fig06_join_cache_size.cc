@@ -5,6 +5,8 @@
 // Parallelized with the sweep harness: every primary-key configuration is
 // one independent simulation cell (own machine, dataset, query) that
 // computes its full-LLC baseline explicitly and sweeps the way axis.
+// Datasets are built through the plan subsystem's declarative seam
+// (plan::BuildDataset), the same constructor scenario files use.
 
 #include <cstdio>
 #include <string>
@@ -12,11 +14,23 @@
 
 #include "bench_util.h"
 #include "engine/operators/fk_join.h"
+#include "plan/dataset.h"
 #include "workloads/micro.h"
 
 using namespace catdb;
 
 namespace {
+
+// workloads::kPkRatios as exact fractions: each paper ratio has an exactly
+// representable numerator (0.125, 1.25, 12.5, 125.0 over 55), so the reduced
+// fraction's IEEE division yields the bit-identical double.
+constexpr plan::Fraction kPkFractions[] = {
+    {1, 440},  // 0.125 / 55 — "10^6 keys"
+    {1, 44},   // 1.25  / 55 — "10^7 keys"
+    {5, 22},   // 12.5  / 55 — "10^8 keys"
+    {25, 11},  // 125.0 / 55 — "10^9 keys"
+};
+static_assert(std::size(kPkFractions) == std::size(workloads::kPkRatios));
 
 struct ColumnResult {
   double bits_kib = 0;       // bit-vector size, for the header
@@ -29,11 +43,16 @@ auto MakeJoinColumnCell(size_t pk_index, const std::vector<uint32_t>& sweep,
                         ColumnResult* out) {
   return [pk_index, &sweep, out](harness::SweepCell& cell) {
     sim::Machine& machine = cell.MakeMachine();
-    const uint32_t keys =
-        workloads::PkCountForRatio(machine, workloads::kPkRatios[pk_index]);
-    auto data = workloads::MakeJoinDataset(
-        &machine, keys, workloads::kDefaultProbeRows / 4, 610 + pk_index);
-    engine::FkJoinQuery query(&data.pk, &data.fk, keys);
+    plan::DatasetSpec spec;
+    spec.name = "join";
+    spec.type = plan::DatasetType::kJoin;
+    spec.rows = workloads::kDefaultProbeRows / 4;
+    spec.seed = 610 + pk_index;
+    spec.has_pk_ratio = true;
+    spec.pk_ratio = kPkFractions[pk_index];
+    const plan::BuiltDataset data = plan::BuildDataset(&machine, spec);
+    engine::FkJoinQuery query(&data.join->pk, &data.join->fk,
+                              data.join->key_count);
     query.AttachSim(&machine);
     out->bits_kib = query.bits().SizeBytes() / 1024.0;
 

@@ -3,91 +3,61 @@
 // cache partitioning (scan restricted to 10 % of the LLC, aggregation gets
 // 100 %), for the three dictionary scenarios and five group counts.
 //
-// Parallelized with the sweep harness: every (scenario, group-count) pair
-// experiment is one independent simulation cell — own machine, own scan and
-// aggregation datasets, own queries — so the 15 four-run pair experiments
-// fan out across --jobs host threads with byte-identical output.
+// The experiment itself is the builtin fig09 scenario (src/plan/): this
+// main executes it through the generic scenario executor — the same code
+// path bench/scenario_runner takes with scenarios/fig09_scan_vs_agg.json —
+// and keeps only the paper-style stdout tables. Every (scenario,
+// group-count) pair experiment is one independent simulation cell, so the
+// 15 four-run pair experiments fan out across --jobs host threads with
+// byte-identical output.
 
 #include <cstdio>
-#include <string>
-#include <vector>
 
 #include "bench_util.h"
-#include "engine/operators/aggregation.h"
-#include "engine/operators/column_scan.h"
+#include "plan/builtin_scenarios.h"
+#include "plan/scenario_exec.h"
 #include "workloads/micro.h"
 
 using namespace catdb;
 
 namespace {
 
-struct Scenario {
+struct DictTitle {
   const char* title;
-  const char* key;
   double dict_ratio;
-  uint64_t seed;
 };
 
-constexpr Scenario kScenarios[] = {
-    {"(a) '4 MiB' dictionary", "a", workloads::kDictRatioSmall, 910},
-    {"(b) '40 MiB' dictionary", "b", workloads::kDictRatioMedium, 920},
-    {"(c) '400 MiB' dictionary", "c", workloads::kDictRatioLarge, 930},
+constexpr DictTitle kScenarios[] = {
+    {"(a) '4 MiB' dictionary", workloads::kDictRatioSmall},
+    {"(b) '40 MiB' dictionary", workloads::kDictRatioMedium},
+    {"(c) '400 MiB' dictionary", workloads::kDictRatioLarge},
 };
 
 constexpr size_t kNumGroups = std::size(workloads::kGroupSizes);
-
-// One cell = one (scenario, group-count) pair experiment (isolated A/B,
-// concurrent, partitioned — four runs via RunPair).
-auto MakePairCell(const Scenario& sc, size_t group_index, uint64_t horizon,
-                  bench::PairResult* out) {
-  return [&sc, group_index, horizon, out](harness::SweepCell& cell) {
-    sim::Machine& machine = cell.MakeMachine();
-    const uint32_t g = workloads::kGroupSizes[group_index];
-    auto scan_data = workloads::MakeScanDataset(
-        &machine, workloads::kDefaultScanRows,
-        workloads::DictEntriesForRatio(machine, workloads::kDictRatioSmall),
-        /*seed=*/900);
-    auto agg_data = workloads::MakeAggDataset(
-        &machine, workloads::kDefaultAggRows,
-        workloads::DictEntriesForRatio(machine, sc.dict_ratio),
-        workloads::ScaledGroupCount(g), sc.seed + group_index);
-    engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
-    agg.AttachSim(&machine);
-    engine::ColumnScanQuery scan(&scan_data.column,
-                                 sc.seed + group_index + 100);
-
-    *out = bench::RunPair(&machine, &agg, &scan, engine::PolicyConfig{},
-                          horizon);
-    bench::AddPairResult(&cell.report(),
-                         std::string(sc.key) + "/groups" + std::to_string(g),
-                         *out);
-  };
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
 
-  harness::SweepRunner runner =
-      bench::MakeSweepRunner("fig09_scan_vs_agg", opts);
-  // --smoke: a single (scenario, group-count) cell at the short horizon.
+  plan::ExecOptions exec;
+  exec.jobs = opts.jobs;
+  exec.smoke = opts.smoke;
+  exec.tracing = !opts.trace_out.empty();
+  exec.machine_config = bench::MachineConfigFor(opts);
+
+  plan::ScenarioRunResult result;
+  const Status st =
+      plan::RunScenario(plan::Fig09Scenario(), exec, &result);
+  CATDB_CHECK(st.ok());
+  // --smoke ran a single (scenario, group-count) cell at the short horizon.
   const size_t num_scenarios = opts.smoke ? 1 : std::size(kScenarios);
   const size_t num_groups = opts.smoke ? 1 : kNumGroups;
-  std::vector<bench::PairResult> results(num_scenarios * num_groups);
-  for (size_t si = 0; si < num_scenarios; ++si) {
-    for (size_t gi = 0; gi < num_groups; ++gi) {
-      runner.AddCell(std::string(kScenarios[si].key) + "/groups" +
-                         std::to_string(workloads::kGroupSizes[gi]),
-                     MakePairCell(kScenarios[si], gi, bench::HorizonFor(opts),
-                                  &results[si * num_groups + gi]));
-    }
-  }
-  runner.Run();
+  const std::vector<bench::PairResult>& results = result.pair.results;
 
   sim::Machine meta{sim::MachineConfig{}};  // labels only
   for (size_t si = 0; si < num_scenarios; ++si) {
-    const Scenario& sc = kScenarios[si];
+    const DictTitle& sc = kScenarios[si];
     const uint32_t dict_entries =
         workloads::DictEntriesForRatio(meta, sc.dict_ratio);
     std::printf("\nFig. 9 %s — dictionary %.2f MiB\n", sc.title,
@@ -116,6 +86,6 @@ int main(int argc, char** argv) {
       "comparable to the LLC (up to +20/21%% for (a)/(b)) and only 3-9%%\n"
       "for (c); the scan improves slightly as well, and no configuration\n"
       "regresses.\n");
-  bench::FinishSweepBench(&runner, opts);
+  bench::FinishSweepBench(&*result.runner, opts);
   return 0;
 }

@@ -5,7 +5,9 @@
 //
 // Parallelized with the sweep harness: every (scenario, group-count) pair
 // experiment is one independent simulation cell that runs both schemes on
-// its private machine/datasets/queries.
+// its private machine/datasets/queries. Datasets are built through the plan
+// subsystem's declarative seam (plan::BuildDataset), the same constructor
+// scenario files use.
 
 #include <cstdio>
 #include <string>
@@ -14,6 +16,7 @@
 #include "bench_util.h"
 #include "engine/operators/aggregation.h"
 #include "engine/operators/fk_join.h"
+#include "plan/dataset.h"
 #include "workloads/micro.h"
 
 using namespace catdb;
@@ -23,15 +26,13 @@ namespace {
 struct Scenario {
   const char* title;
   const char* key;
-  double pk_ratio;
+  plan::Fraction pk_ratio;  // value() is bit-identical to kPkRatios[i]
   uint64_t seed;
 };
 
 constexpr Scenario kScenarios[] = {
-    {"(a) '1e6' primary keys (bit vector << LLC)", "a",
-     workloads::kPkRatios[0], 1010},
-    {"(b) '1e8' primary keys (bit vector ~ LLC)", "b",
-     workloads::kPkRatios[2], 1020},
+    {"(a) '1e6' primary keys (bit vector << LLC)", "a", {1, 440}, 1010},
+    {"(b) '1e8' primary keys (bit vector ~ LLC)", "b", {5, 22}, 1020},
 };
 
 constexpr size_t kNumGroups = std::size(workloads::kGroupSizes);
@@ -48,19 +49,32 @@ auto MakeJoinPairCell(const Scenario& sc, size_t group_index,
   return [&sc, group_index, horizon, out](harness::SweepCell& cell) {
     sim::Machine& machine = cell.MakeMachine();
     const uint32_t g = workloads::kGroupSizes[group_index];
-    const uint32_t keys = workloads::PkCountForRatio(machine, sc.pk_ratio);
-    auto join_data = workloads::MakeJoinDataset(
-        &machine, keys, workloads::kDefaultProbeRows / 2, sc.seed);
-    engine::FkJoinQuery join(&join_data.pk, &join_data.fk, keys);
+    plan::DatasetSpec join_spec;
+    join_spec.name = "join";
+    join_spec.type = plan::DatasetType::kJoin;
+    join_spec.rows = workloads::kDefaultProbeRows / 2;
+    join_spec.seed = sc.seed;
+    join_spec.has_pk_ratio = true;
+    join_spec.pk_ratio = sc.pk_ratio;
+    const plan::BuiltDataset join_data = plan::BuildDataset(&machine,
+                                                            join_spec);
+    engine::FkJoinQuery join(&join_data.join->pk, &join_data.join->fk,
+                             join_data.join->key_count);
     join.AttachSim(&machine);
     out->bits_kib = join.bits().SizeBytes() / 1024.0;
 
-    const uint32_t dict_entries =
-        workloads::DictEntriesForRatio(machine, workloads::kDictRatioMedium);
-    auto agg_data = workloads::MakeAggDataset(
-        &machine, workloads::kDefaultAggRows, dict_entries,
-        workloads::ScaledGroupCount(g), sc.seed + g);
-    engine::AggregationQuery agg(&agg_data.v, &agg_data.g);
+    plan::DatasetSpec agg_spec;
+    agg_spec.name = "agg";
+    agg_spec.type = plan::DatasetType::kAgg;
+    agg_spec.rows = workloads::kDefaultAggRows;
+    agg_spec.seed = sc.seed + g;
+    agg_spec.has_dict_ratio = true;
+    agg_spec.dict_ratio = {40, 55};  // kDictRatioMedium
+    agg_spec.has_paper_groups = true;
+    agg_spec.paper_groups = g;
+    const plan::BuiltDataset agg_data = plan::BuildDataset(&machine,
+                                                           agg_spec);
+    engine::AggregationQuery agg(&agg_data.agg->v, &agg_data.agg->g);
     agg.AttachSim(&machine);
 
     // Scheme 1: force the (adaptive) join jobs into the 10 % group.

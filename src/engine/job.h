@@ -29,6 +29,10 @@ class Job : public sim::Task {
   const std::string& name() const { return name_; }
   std::string_view label() const override { return name_; }
   CacheUsage cache_usage() const { return cuid_; }
+  /// Overrides the operator's intrinsic annotation. Used by the plan layer
+  /// when a plan node carries an explicit CUID; must be called before the
+  /// job is handed to the executor (the policy reads it at dispatch).
+  void set_cache_usage(CacheUsage cuid) { cuid_ = cuid; }
 
   /// For kAdaptive jobs: the size of the operator's frequently accessed
   /// structure (the join's bit vector). The partitioning policy compares it

@@ -10,16 +10,18 @@ namespace catdb::engine {
 
 ColumnScanJob::ColumnScanJob(const storage::DictColumn* column,
                              RowRange range, uint32_t threshold_code,
-                             bool compute_result, uint64_t* result_sink)
+                             bool compute_result, uint64_t* result_sink,
+                             uint64_t rows_per_chunk)
     : ColumnScanJob(column, range,
                     threshold_code == ~uint32_t{0} ? ~uint32_t{0}
                                                    : threshold_code + 1,
-                    ~uint32_t{0}, compute_result, result_sink) {}
+                    ~uint32_t{0}, compute_result, result_sink,
+                    rows_per_chunk) {}
 
 ColumnScanJob::ColumnScanJob(const storage::DictColumn* column,
                              RowRange range, uint32_t lo_code,
                              uint32_t hi_code, bool compute_result,
-                             uint64_t* result_sink)
+                             uint64_t* result_sink, uint64_t rows_per_chunk)
     : Job("column_scan", CacheUsage::kPolluting),
       column_(column),
       range_(range),
@@ -27,13 +29,15 @@ ColumnScanJob::ColumnScanJob(const storage::DictColumn* column,
       lo_code_(lo_code),
       hi_code_(hi_code),
       compute_result_(compute_result),
-      result_sink_(result_sink) {
+      result_sink_(result_sink),
+      rows_per_chunk_(rows_per_chunk) {
   CATDB_CHECK(column_ != nullptr);
+  CATDB_CHECK(rows_per_chunk_ > 0);
 }
 
 bool ColumnScanJob::Step(sim::ExecContext& ctx) {
   if (cursor_ >= range_.end) return false;
-  const uint64_t chunk_end = std::min(range_.end, cursor_ + kRowsPerChunk);
+  const uint64_t chunk_end = std::min(range_.end, cursor_ + rows_per_chunk_);
   const storage::BitPackedVector& codes = column_->codes();
 
   // Charge the packed-code lines this chunk touches as one batched run
@@ -68,11 +72,13 @@ bool ColumnScanJob::Step(sim::ExecContext& ctx) {
 }
 
 ColumnScanQuery::ColumnScanQuery(const storage::DictColumn* column,
-                                 uint64_t seed, bool compute_results)
+                                 uint64_t seed, bool compute_results,
+                                 uint64_t rows_per_chunk)
     : Query("Q1/column_scan"),
       column_(column),
       rng_(seed),
-      compute_results_(compute_results) {
+      compute_results_(compute_results),
+      rows_per_chunk_(rows_per_chunk) {
   CATDB_CHECK(column_ != nullptr);
 }
 
@@ -87,7 +93,8 @@ void ColumnScanQuery::MakePhaseJobs(uint32_t phase, uint32_t num_workers,
       static_cast<uint32_t>(rng_.Uniform(column_->dict().size()));
   for (const RowRange& range : PartitionRows(column_->size(), num_workers)) {
     out->push_back(std::make_unique<ColumnScanJob>(
-        column_, range, threshold, compute_results_, &result_));
+        column_, range, threshold, compute_results_, &result_,
+        rows_per_chunk_));
   }
 }
 

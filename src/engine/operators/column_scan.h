@@ -25,16 +25,19 @@ class ColumnScanJob : public Job {
   /// `threshold_code`: predicate translated onto codes; counts codes >
   /// threshold_code. When `compute_result` is false the (host-side) counting
   /// is skipped for simulation speed; the simulated access trace is
-  /// identical.
+  /// identical. `rows_per_chunk` sets the resumption granularity (the plan
+  /// layer makes it a per-node knob); the default keeps historic behavior.
   ColumnScanJob(const storage::DictColumn* column, RowRange range,
                 uint32_t threshold_code, bool compute_result,
-                uint64_t* result_sink);
+                uint64_t* result_sink,
+                uint64_t rows_per_chunk = kRowsPerChunk);
 
   /// Range-predicate variant: counts codes with lo_code <= code <= hi_code
   /// (a BETWEEN predicate mapped onto the order-preserving code domain).
   ColumnScanJob(const storage::DictColumn* column, RowRange range,
                 uint32_t lo_code, uint32_t hi_code, bool compute_result,
-                uint64_t* result_sink);
+                uint64_t* result_sink,
+                uint64_t rows_per_chunk = kRowsPerChunk);
 
   bool Step(sim::ExecContext& ctx) override;
 
@@ -51,6 +54,7 @@ class ColumnScanJob : public Job {
   uint32_t hi_code_;
   bool compute_result_;
   uint64_t* result_sink_;
+  uint64_t rows_per_chunk_;
   uint64_t matches_ = 0;
   // Last charged line index (relative to the code vector); avoids
   // double-charging a line shared by two chunks.
@@ -63,7 +67,8 @@ class ColumnScanJob : public Job {
 class ColumnScanQuery : public Query {
  public:
   ColumnScanQuery(const storage::DictColumn* column, uint64_t seed,
-                  bool compute_results = false);
+                  bool compute_results = false,
+                  uint64_t rows_per_chunk = ColumnScanJob::kRowsPerChunk);
 
   uint32_t num_phases() const override { return 1; }
   void MakePhaseJobs(uint32_t phase, uint32_t num_workers,
@@ -79,6 +84,7 @@ class ColumnScanQuery : public Query {
   const storage::DictColumn* column_;
   Rng rng_;
   bool compute_results_;
+  uint64_t rows_per_chunk_;
   uint64_t result_ = 0;
 };
 

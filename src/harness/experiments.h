@@ -1,0 +1,152 @@
+#ifndef CATDB_HARNESS_EXPERIMENTS_H_
+#define CATDB_HARNESS_EXPERIMENTS_H_
+
+// Shared building blocks of the paper's evaluation experiments, factored out
+// of bench/bench_util.h so that both the hand-coded figure benches and the
+// scenario executor (src/plan/scenario_exec.h) run the *same* code paths:
+//  * the standard core split and measurement horizons,
+//  * the isolated cache-size sweep primitive (WarmIterationCycles),
+//  * the four-run A/B pair experiment (RunPair / AddPairResult).
+// Byte-identical reports between a hand-coded bench and its scenario-file
+// port reduce to both sides calling these helpers with equal inputs.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "engine/partitioning_policy.h"
+#include "engine/runner.h"
+#include "obs/report.h"
+#include "sim/machine.h"
+
+namespace catdb::harness {
+
+/// Default core split: two streams of four job workers each. Isolated
+/// baselines use the same four cores as the concurrent run, so normalized
+/// throughput isolates cache/bandwidth interference (DESIGN.md §4.6).
+inline const std::vector<uint32_t> kCoresA = {0, 1, 2, 3};
+inline const std::vector<uint32_t> kCoresB = {4, 5, 6, 7};
+
+/// Simulated-cycle horizon for throughput runs (~90 ms at 2.2 GHz; plays
+/// the role of the paper's 90 s measurement window at simulation scale).
+inline constexpr uint64_t kDefaultHorizon = 200'000'000;
+
+/// Horizon used under --smoke: long enough to cross several policy
+/// intervals, short enough for CI.
+inline constexpr uint64_t kSmokeHorizon = 20'000'000;
+
+/// The cache-size axis used by the isolated sweeps (as a fraction of the
+/// 20-way LLC, mirroring the paper's 5..55 MiB axis).
+inline const std::vector<uint32_t> kWaySweep = {20, 18, 16, 14, 12, 10,
+                                                8,  6,  4,  2,  1};
+
+/// Way count of the unrestricted LLC — the normalization baseline of the
+/// isolated sweeps. Sweep benches compute the full-LLC baseline explicitly
+/// against this value instead of assuming kWaySweep starts with it.
+inline uint32_t FullLlcWays(const sim::Machine& machine) {
+  return machine.config().hierarchy.llc.num_ways;
+}
+
+/// Result of the standard 2-query experiment the paper's evaluation figures
+/// are built from: both queries isolated, concurrent, and concurrent with a
+/// given partitioning policy.
+struct PairResult {
+  double iso_a = 0;      // iterations, query A isolated
+  double iso_b = 0;      // iterations, query B isolated
+  double conc_a = 0;     // iterations, A when co-running (no partitioning)
+  double conc_b = 0;
+  double part_a = 0;     // iterations, A when co-running with partitioning
+  double part_b = 0;
+  engine::RunReport conc_report;
+  engine::RunReport part_report;
+
+  double norm_conc_a() const { return Normalized(conc_a, iso_a, "A"); }
+  double norm_conc_b() const { return Normalized(conc_b, iso_b, "B"); }
+  double norm_part_a() const { return Normalized(part_a, iso_a, "A"); }
+  double norm_part_b() const { return Normalized(part_b, iso_b, "B"); }
+
+ private:
+  /// Guarded normalization: a zero-iteration isolated baseline (possible at
+  /// --smoke horizons with heavy queries) would divide to inf/NaN, which
+  /// JsonWriter serializes as null — silent report corruption. Fail loudly
+  /// instead.
+  static double Normalized(double concurrent, double isolated,
+                           const char* which) {
+    if (!(isolated > 0)) {
+      std::fprintf(stderr,
+                   "bench error: isolated baseline %s finished 0 iterations "
+                   "(horizon too short); cannot normalize — rerun with a "
+                   "longer horizon\n",
+                   which);
+      std::exit(1);
+    }
+    return concurrent / isolated;
+  }
+};
+
+/// Runs the A/B pair in all four configurations. `partitioned` is the
+/// policy used for the partitioned run ('enabled' is forced on); isolated
+/// and concurrent baselines run with partitioning disabled.
+inline PairResult RunPair(sim::Machine* machine, engine::Query* a,
+                          engine::Query* b,
+                          const engine::PolicyConfig& partitioned,
+                          uint64_t horizon = kDefaultHorizon) {
+  engine::PolicyConfig off;
+  engine::PolicyConfig on = partitioned;
+  on.enabled = true;
+
+  PairResult r;
+  r.iso_a = engine::RunWorkload(machine, {{a, kCoresA}}, horizon, off)
+                .streams[0]
+                .iterations;
+  r.iso_b = engine::RunWorkload(machine, {{b, kCoresB}}, horizon, off)
+                .streams[0]
+                .iterations;
+  r.conc_report = engine::RunWorkload(
+      machine, {{a, kCoresA}, {b, kCoresB}}, horizon, off);
+  r.conc_a = r.conc_report.streams[0].iterations;
+  r.conc_b = r.conc_report.streams[1].iterations;
+  r.part_report = engine::RunWorkload(
+      machine, {{a, kCoresA}, {b, kCoresB}}, horizon, on);
+  r.part_a = r.part_report.streams[0].iterations;
+  r.part_b = r.part_report.streams[1].iterations;
+  return r;
+}
+
+/// Records one RunPair outcome into a run report: the concurrent and
+/// partitioned RunReports plus the four normalized throughputs as scalars.
+inline void AddPairResult(obs::RunReportWriter* report,
+                          const std::string& name, const PairResult& r) {
+  report->AddRun(name + "/concurrent", r.conc_report);
+  report->AddRun(name + "/partitioned", r.part_report);
+  report->AddScalar(name + "/norm_conc_a", r.norm_conc_a());
+  report->AddScalar(name + "/norm_conc_b", r.norm_conc_b());
+  report->AddScalar(name + "/norm_part_a", r.norm_part_a());
+  report->AddScalar(name + "/norm_part_b", r.norm_part_b());
+}
+
+/// Isolated warm per-iteration latency under an instance-wide cache limit
+/// (the measurement method of Figures 4-6: "we limit the size of the
+/// available LLC ... and measure end-to-end response time"). Runs
+/// `iterations` and returns the cycles of the last iteration.
+inline uint64_t WarmIterationCycles(sim::Machine* machine,
+                                    engine::Query* query, uint32_t ways,
+                                    uint64_t iterations = 3) {
+  engine::PolicyConfig cfg;
+  cfg.instance_ways = ways;
+  auto rep =
+      engine::RunQueryIterations(machine, query, kCoresA, iterations, cfg);
+  const auto& clocks = rep.streams[0].iteration_end_clocks;
+  CATDB_CHECK(!clocks.empty());
+  // A single iteration has no warm predecessor: its cycles run from 0, so
+  // the subtraction below would index out of bounds — return it directly.
+  if (clocks.size() == 1) return clocks[0];
+  return clocks.back() - clocks[clocks.size() - 2];
+}
+
+}  // namespace catdb::harness
+
+#endif  // CATDB_HARNESS_EXPERIMENTS_H_

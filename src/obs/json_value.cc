@@ -1,0 +1,491 @@
+#include "obs/json_value.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace catdb::obs {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Int(uint64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = static_cast<double>(value);
+  v.is_uint64_ = true;
+  v.uint64_ = value;
+  if (value <= static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    v.is_int64_ = true;
+    v.int64_ = static_cast<int64_t>(value);
+  }
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t value) {
+  if (value >= 0) return Int(static_cast<uint64_t>(value));
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = static_cast<double>(value);
+  v.is_int64_ = true;
+  v.int64_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Double(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(
+    std::vector<std::pair<std::string, JsonValue>> ms) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(ms);
+  return v;
+}
+
+namespace {
+
+/// Nesting bound: scenario files are shallow; a hostile 1 MB of '[' must
+/// not overflow the parser's (recursive) stack.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    SkipWhitespace();
+    Status st = ParseValue(out, 0);
+    if (!st.ok()) return st;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the JSON value");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Status::InvalidArgument("JSON parse error at line " +
+                                   std::to_string(line) + ":" +
+                                   std::to_string(col) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool Consume(const char* literal) {
+    size_t n = 0;
+    while (literal[n] != '\0') ++n;
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (AtEnd()) return Error("unexpected end of input");
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+        if (!Consume("true")) return Error("invalid literal");
+        *out = JsonValue::Bool(true);
+        return Status::OK();
+      case 'f':
+        if (!Consume("false")) return Error("invalid literal");
+        *out = JsonValue::Bool(false);
+        return Status::OK();
+      case 'n':
+        if (!Consume("null")) return Error("invalid literal");
+        *out = JsonValue::Null();
+        return Status::OK();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Error("expected object key");
+      std::string key;
+      Status st = ParseString(&key);
+      if (!st.ok()) return st;
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') return Error("expected ':'");
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      st = ParseValue(&value, depth + 1);
+      if (!st.ok()) return st;
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      Status st = ParseValue(&value, depth + 1);
+      if (!st.ok()) return st;
+      out->array_.push_back(std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Error("raw control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (AtEnd()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape digit");
+            }
+          }
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            return Error("surrogate \\u escapes are not supported");
+          }
+          // UTF-8 encode the BMP code point.
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      return Error("invalid number");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+      if (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        return Error("leading zero in number");
+      }
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    bool integral = true;
+    if (!AtEnd() && Peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error("digit expected after decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error("digit expected in exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      if (token[0] == '-') {
+        char* end = nullptr;
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno != ERANGE && end == token.c_str() + token.size()) {
+          *out = JsonValue::Int(static_cast<int64_t>(v));
+          return Status::OK();
+        }
+      } else {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno != ERANGE && end == token.c_str() + token.size()) {
+          *out = JsonValue::Int(static_cast<uint64_t>(v));
+          return Status::OK();
+        }
+      }
+      // Integer literal outside 64-bit range: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d)) {
+      return Error("number out of range");
+    }
+    *out = JsonValue::Double(d);
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Status JsonParse(const std::string& text, JsonValue* out) {
+  *out = JsonValue();
+  JsonParser parser(text);
+  return parser.Parse(out);
+}
+
+namespace {
+
+void AppendNumber(const JsonValue& v, std::string* out) {
+  char buf[40];
+  if (v.is_uint64()) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v.uint64_value()));
+  } else if (v.is_int64()) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v.int64_value()));
+  } else if (!std::isfinite(v.number())) {
+    std::snprintf(buf, sizeof(buf), "null");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v.number());
+  }
+  out->append(buf);
+}
+
+void AppendPretty(const JsonValue& v, int indent, int depth,
+                  std::string* out) {
+  const std::string pad(static_cast<size_t>(indent) * (depth + 1), ' ');
+  const std::string closing(static_cast<size_t>(indent) * depth, ' ');
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      out->append("null");
+      break;
+    case JsonValue::Kind::kBool:
+      out->append(v.bool_value() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber:
+      AppendNumber(v, out);
+      break;
+    case JsonValue::Kind::kString:
+      out->push_back('"');
+      out->append(JsonEscape(v.string_value()));
+      out->push_back('"');
+      break;
+    case JsonValue::Kind::kArray: {
+      if (v.array().empty()) {
+        out->append("[]");
+        break;
+      }
+      // Arrays of scalars stay on one line (sweep axes, fraction pairs);
+      // arrays holding any container get one element per line.
+      bool scalar_only = true;
+      for (const JsonValue& item : v.array()) {
+        if (item.is_array() || item.is_object()) {
+          scalar_only = false;
+          break;
+        }
+      }
+      if (scalar_only) {
+        out->push_back('[');
+        for (size_t i = 0; i < v.array().size(); ++i) {
+          if (i > 0) out->append(", ");
+          AppendPretty(v.array()[i], indent, depth, out);
+        }
+        out->push_back(']');
+        break;
+      }
+      out->append("[\n");
+      for (size_t i = 0; i < v.array().size(); ++i) {
+        out->append(pad);
+        AppendPretty(v.array()[i], indent, depth + 1, out);
+        if (i + 1 < v.array().size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      out->append(closing);
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      if (v.members().empty()) {
+        out->append("{}");
+        break;
+      }
+      out->append("{\n");
+      for (size_t i = 0; i < v.members().size(); ++i) {
+        out->append(pad);
+        out->push_back('"');
+        out->append(JsonEscape(v.members()[i].first));
+        out->append("\": ");
+        AppendPretty(v.members()[i].second, indent, depth + 1, out);
+        if (i + 1 < v.members().size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      out->append(closing);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonPretty(const JsonValue& value, int indent) {
+  std::string out;
+  AppendPretty(value, indent, 0, &out);
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace catdb::obs

@@ -1,0 +1,109 @@
+#ifndef CATDB_OBS_JSON_VALUE_H_
+#define CATDB_OBS_JSON_VALUE_H_
+
+// In-memory JSON document tree plus a strict recursive-descent parser.
+//
+// JsonWriter (json.h) covers the write side of the observability layer; this
+// is the read side, added for the scenario-file subsystem (src/plan/): the
+// plan layer parses checked-in scenario JSON into a JsonValue tree and then
+// walks the tree with path-tracked accessors so every validation error names
+// the exact JSON path it occurred at.
+//
+// Design points:
+//  * Object members preserve file order (a vector of pairs, not a map) —
+//    serialization round-trips are stable and duplicate keys are detectable.
+//  * Numbers keep exact 64-bit integer fidelity when the literal is an
+//    integer in range (seeds and row counts do not survive a double).
+//  * Strict: no comments, no trailing commas, no NaN/Infinity, UTF-8 passed
+//    through verbatim, \u escapes limited to the BMP (enough for our ASCII
+//    schema files).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace catdb::obs {
+
+/// One JSON value. A plain tagged struct (not a variant) so walking code
+/// stays simple; only the active members for `kind` are meaningful.
+class JsonValue {
+ public:
+  enum class Kind : uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  /// Every number as a double (exact for integers up to 2^53).
+  double number() const { return number_; }
+  /// True when the literal was an integer representable as uint64_t /
+  /// int64_t respectively (negative integers set only the int64 flag).
+  bool is_uint64() const { return is_uint64_; }
+  bool is_int64() const { return is_int64_; }
+  uint64_t uint64_value() const { return uint64_; }
+  int64_t int64_value() const { return int64_; }
+
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* Find(const std::string& key) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(uint64_t v);
+  static JsonValue Int(int64_t v);
+  static JsonValue Double(double v);
+  static JsonValue Str(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> ms);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  bool is_uint64_ = false;
+  bool is_int64_ = false;
+  uint64_t uint64_ = 0;
+  int64_t int64_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses `text` (one complete JSON value, surrounded only by whitespace)
+/// into `*out`. On error returns InvalidArgument with a message carrying
+/// line:column of the offending character.
+Status JsonParse(const std::string& text, JsonValue* out);
+
+/// Pretty-prints `value` with `indent` spaces per nesting level and a
+/// trailing newline — the format of checked-in scenario files. Integers
+/// render exactly (%llu / %lld), other numbers as %.17g (non-finite values
+/// as null, matching JsonWriter).
+std::string JsonPretty(const JsonValue& value, int indent = 2);
+
+}  // namespace catdb::obs
+
+#endif  // CATDB_OBS_JSON_VALUE_H_

@@ -293,6 +293,14 @@ void RunReportWriter::AddServingRun(std::string name,
   entries_.push_back(std::move(e));
 }
 
+void RunReportWriter::AddScenario(std::string name, ScenarioSummary summary) {
+  Entry e;
+  e.kind = Kind::kScenario;
+  e.name = std::move(name);
+  e.scenario = std::move(summary);
+  entries_.push_back(std::move(e));
+}
+
 void RunReportWriter::MergeFrom(RunReportWriter&& shard) {
   for (auto& param : shard.params_) params_.push_back(std::move(param));
   for (Entry& entry : shard.entries_) entries_.push_back(std::move(entry));
@@ -347,6 +355,17 @@ std::string RunReportWriter::Json() const {
         w.KV("kind", "serving");
         w.Key("serving");
         AppendServingReport(w, e.serving);
+        break;
+      case Kind::kScenario:
+        w.KV("kind", "scenario");
+        w.Key("scenario").BeginObject();
+        w.KV("scenario", e.scenario.scenario);
+        w.KV("sweep_kind", e.scenario.sweep_kind);
+        w.KV("datasets", e.scenario.num_datasets);
+        w.KV("plans", e.scenario.num_plans);
+        w.KV("cells", e.scenario.num_cells);
+        w.KV("digest", e.scenario.digest);
+        w.EndObject();
         break;
       case Kind::kScalar:
         w.KV("kind", "scalar");

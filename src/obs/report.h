@@ -36,6 +36,19 @@ void AppendPolicyRunReport(JsonWriter& w,
 void AppendLatencySummary(JsonWriter& w, const serve::LatencySummary& s);
 void AppendServingReport(JsonWriter& w, const serve::ServingRunReport& report);
 
+/// Summary of the scenario file (src/plan/) a report was produced from:
+/// recorded as a `"kind": "scenario"` result entry so a report is traceable
+/// to the exact scenario description (the digest fingerprints the canonical
+/// serialized text).
+struct ScenarioSummary {
+  std::string scenario;    // scenario/benchmark name
+  std::string sweep_kind;  // "latency_sweep" | "pair_sweep" | "serving_sweep"
+  uint64_t num_datasets = 0;
+  uint64_t num_plans = 0;
+  uint64_t num_cells = 0;  // full (non-smoke) cell count of the sweep
+  std::string digest;      // "fnv1a:<16 hex>" of the canonical scenario text
+};
+
 /// Accumulates the results of one benchmark binary into a single JSON run
 /// report: `{"schema": ..., "benchmark": ..., "params": {...},
 /// "results": [{"name": ..., "kind": "run|dynamic|rounds|scalar", ...}]}`.
@@ -56,6 +69,7 @@ class RunReportWriter {
   void AddRounds(std::string name, engine::RoundsReport report);
   void AddPolicyRun(std::string name, policy::PolicyRunReport report);
   void AddServingRun(std::string name, serve::ServingRunReport report);
+  void AddScenario(std::string name, ScenarioSummary summary);
   void AddScalar(std::string name, double value);
 
   size_t num_results() const { return entries_.size(); }
@@ -77,6 +91,7 @@ class RunReportWriter {
     kRounds,
     kPolicy,
     kServing,
+    kScenario,
     kScalar,
   };
 
@@ -88,6 +103,7 @@ class RunReportWriter {
     engine::RoundsReport rounds;
     policy::PolicyRunReport policy;
     serve::ServingRunReport serving;
+    ScenarioSummary scenario;
     double scalar = 0;
   };
 

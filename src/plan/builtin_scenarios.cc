@@ -1,0 +1,204 @@
+#include "plan/builtin_scenarios.h"
+
+#include <cstddef>
+#include <string>
+
+#include "common/check.h"
+#include "harness/experiments.h"
+#include "workloads/micro.h"
+
+namespace catdb::plan {
+
+namespace {
+
+/// The dictionary scenarios of Fig. 9: exact-fraction spellings of
+/// workloads::kDictRatioSmall/Medium/Large (4.0/55.0 etc. — IEEE division
+/// of the pair reproduces the identical double).
+struct DictScenario {
+  const char* key;
+  Fraction ratio;
+  uint64_t seed;
+};
+
+constexpr DictScenario kFig09Scenarios[] = {
+    {"a", {4, 55}, 910},
+    {"b", {40, 55}, 920},
+    {"c", {400, 55}, 930},
+};
+
+PlanNode ScanNode(std::string dataset, uint64_t seed) {
+  PlanNode node;
+  node.id = "scan";
+  node.op = OpKind::kScan;
+  node.dataset = std::move(dataset);
+  node.seed = seed;
+  return node;
+}
+
+}  // namespace
+
+Scenario Fig04Scenario() {
+  Scenario s;
+  s.benchmark = "fig04_scan_cache_size";
+  s.kind = SweepKind::kLatency;
+
+  DatasetSpec scan;
+  scan.name = "scan_small";
+  scan.type = DatasetType::kScan;
+  scan.rows = workloads::kDefaultScanRows;
+  scan.seed = 41;
+  scan.has_dict_ratio = true;
+  scan.dict_ratio = {4, 55};  // workloads::kDictRatioSmall
+  s.datasets.push_back(scan);
+
+  Plan q1;
+  q1.name = "q1";
+  q1.query = "Q1/column_scan";
+  q1.nodes.push_back(ScanNode("scan_small", /*seed=*/42));
+  s.plans.push_back(q1);
+
+  s.latency.plan = "q1";
+  s.latency.iterations = 3;
+  s.latency.ways = harness::kWaySweep;
+  s.latency.smoke_ways = {2};
+  return s;
+}
+
+Scenario Fig09Scenario() {
+  Scenario s;
+  s.benchmark = "fig09_scan_vs_agg";
+  s.kind = SweepKind::kPair;
+
+  // One shared scan dataset description; every cell builds its own copy.
+  DatasetSpec scan;
+  scan.name = "scan_q1";
+  scan.type = DatasetType::kScan;
+  scan.rows = workloads::kDefaultScanRows;
+  scan.seed = 900;
+  scan.has_dict_ratio = true;
+  scan.dict_ratio = {4, 55};
+  s.datasets.push_back(scan);
+
+  for (const DictScenario& sc : kFig09Scenarios) {
+    for (size_t gi = 0; gi < std::size(workloads::kGroupSizes); ++gi) {
+      const uint32_t g = workloads::kGroupSizes[gi];
+      const std::string suffix =
+          std::string(sc.key) + "/groups" + std::to_string(g);
+
+      DatasetSpec agg;
+      agg.name = "agg/" + suffix;
+      agg.type = DatasetType::kAgg;
+      agg.rows = workloads::kDefaultAggRows;
+      agg.seed = sc.seed + gi;
+      agg.has_dict_ratio = true;
+      agg.dict_ratio = sc.ratio;
+      agg.has_paper_groups = true;
+      agg.paper_groups = g;
+      s.datasets.push_back(agg);
+
+      Plan agg_plan;
+      agg_plan.name = "agg/" + suffix;
+      agg_plan.query = "Q2/aggregation";
+      PlanNode agg_node;
+      agg_node.id = "agg";
+      agg_node.op = OpKind::kAggregate;
+      agg_node.dataset = "agg/" + suffix;
+      agg_plan.nodes.push_back(agg_node);
+      s.plans.push_back(agg_plan);
+
+      Plan scan_plan;
+      scan_plan.name = "scan/" + suffix;
+      scan_plan.query = "Q1/column_scan";
+      scan_plan.nodes.push_back(ScanNode("scan_q1", sc.seed + gi + 100));
+      s.plans.push_back(scan_plan);
+
+      PairCellSpec cell;
+      cell.name = suffix;
+      cell.datasets = {"scan_q1", "agg/" + suffix};
+      cell.a = "agg/" + suffix;
+      cell.b = "scan/" + suffix;
+      s.pair.cells.push_back(cell);
+    }
+  }
+  s.pair.horizon = harness::kDefaultHorizon;
+  s.pair.smoke_horizon = harness::kSmokeHorizon;
+  s.pair.smoke_cells = 1;
+  return s;
+}
+
+Scenario ServingMixScenario() {
+  Scenario s;
+  s.benchmark = "ext_serving_tail";
+  s.kind = SweepKind::kServing;
+  ServingSweepSpec& sv = s.serving;
+
+  // Request classes: the paper's operator taxonomy at request granularity
+  // (ext_serving_tail's MakeClasses plus its per-class calibrated memory
+  // cycles per line).
+  auto add_class = [&sv](const char* name, CuidAnnotation cuid,
+                         uint64_t private_lines, uint32_t passes,
+                         uint64_t stream_lines, uint32_t compute_per_line,
+                         uint32_t mem_cycles_per_line) {
+    ServeClassSpec c;
+    c.name = name;
+    c.cuid = cuid;
+    c.private_lines = private_lines;
+    c.passes = passes;
+    c.stream_lines = stream_lines;
+    c.compute_per_line = compute_per_line;
+    c.mem_cycles_per_line = mem_cycles_per_line;
+    sv.classes.push_back(c);
+  };
+  add_class("point", CuidAnnotation::kSensitive, 512, 8, 0, 4, 16);
+  add_class("agg", CuidAnnotation::kSensitive, 2048, 4, 0, 4, 19);
+  add_class("report", CuidAnnotation::kSensitive, 8192, 2, 0, 2, 23);
+  add_class("scan", CuidAnnotation::kPolluting, 0, 1, 16384, 2, 33);
+
+  // Fixed scrambled period-16 class deal (4 of each class): equal shares,
+  // but tenant order does not align with class order.
+  sv.class_deal = {0, 2, 1, 3, 2, 0, 3, 1, 1, 3, 0, 2, 3, 1, 2, 0};
+  sv.cores = 8;
+  sv.tenants = 64;
+  sv.smoke_tenants = 16;
+  sv.horizon = 60'000'000;
+  sv.smoke_horizon = harness::kSmokeHorizon;
+  sv.loads = {{20, 100}, {25, 100}, {30, 100}, {40, 100}, {55, 100}};
+  sv.smoke_loads = {{30, 100}, {60, 100}};
+  sv.policies = {"shared", "static", "lookahead", "mrc_cluster"};
+  sv.seed_base = 9000;
+  sv.max_clusters = 4;
+  sv.shared_region_lines = 1 << 17;
+  sv.burst_on_cycles = 2'000'000;
+  sv.burst_off_cycles = 2'000'000;
+  sv.slo_p99_cycles = 5'000'000;
+  sv.max_rejected_ratio = {1, 100};
+  return s;
+}
+
+std::vector<std::string> BuiltinScenarioNames() {
+  return {"fig04_scan_cache_size", "fig09_scan_vs_agg", "ext_serving_tail"};
+}
+
+Status BuiltinScenario(const std::string& name, Scenario* out) {
+  if (name == "fig04_scan_cache_size") {
+    *out = Fig04Scenario();
+  } else if (name == "fig09_scan_vs_agg") {
+    *out = Fig09Scenario();
+  } else if (name == "ext_serving_tail") {
+    *out = ServingMixScenario();
+  } else {
+    std::string names;
+    for (const std::string& n : BuiltinScenarioNames()) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    return Status::NotFound("unknown builtin scenario '" + name +
+                            "' (available: " + names + ")");
+  }
+  // Builtins must satisfy their own validator.
+  const Status st = ValidateScenario(*out);
+  CATDB_CHECK(st.ok());
+  return Status::OK();
+}
+
+}  // namespace catdb::plan

@@ -1,0 +1,38 @@
+#ifndef CATDB_PLAN_BUILTIN_SCENARIOS_H_
+#define CATDB_PLAN_BUILTIN_SCENARIOS_H_
+
+// Builtin scenario descriptions — the figure benches ported to the scenario
+// subsystem. The refactored bench mains (bench/fig04_scan_cache_size,
+// bench/fig09_scan_vs_agg, bench/ext_serving_tail) execute these through
+// RunScenario, and `scenario_runner --dump-builtin=<name>` serializes them
+// to the canonical text checked in under scenarios/ — so the checked-in
+// JSON, the builtin, and the hand bench are provably one description.
+
+#include <string>
+#include <vector>
+
+#include "plan/scenario.h"
+
+namespace catdb::plan {
+
+/// Fig. 4: isolated column scan, LLC way sweep (latency_sweep).
+Scenario Fig04Scenario();
+
+/// Fig. 9 (a,b,c): scan vs aggregation pair experiments across three
+/// dictionary scenarios and five group counts (pair_sweep).
+Scenario Fig09Scenario();
+
+/// Extension bench: open-system serving mix across load levels and the four
+/// partitioning policies (serving_sweep).
+Scenario ServingMixScenario();
+
+/// Names accepted by BuiltinScenario, in listing order.
+std::vector<std::string> BuiltinScenarioNames();
+
+/// Looks up a builtin by its benchmark name ("fig04_scan_cache_size",
+/// "fig09_scan_vs_agg", "ext_serving_tail"). NotFound on anything else.
+Status BuiltinScenario(const std::string& name, Scenario* out);
+
+}  // namespace catdb::plan
+
+#endif  // CATDB_PLAN_BUILTIN_SCENARIOS_H_

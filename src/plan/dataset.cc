@@ -1,0 +1,260 @@
+#include "plan/dataset.h"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace catdb::plan {
+
+namespace {
+
+struct TypeName {
+  DatasetType type;
+  const char* name;
+};
+
+constexpr TypeName kTypeNames[] = {
+    {DatasetType::kScan, "scan"},
+    {DatasetType::kAgg, "agg"},
+    {DatasetType::kJoin, "join"},
+    {DatasetType::kAcdoca, "acdoca"},
+};
+
+}  // namespace
+
+const char* DatasetTypeName(DatasetType type) {
+  for (const TypeName& e : kTypeNames) {
+    if (e.type == type) return e.name;
+  }
+  return "?";
+}
+
+Status DatasetTypeFromName(const std::string& name, const std::string& path,
+                           DatasetType* out) {
+  for (const TypeName& e : kTypeNames) {
+    if (name == e.name) {
+      *out = e.type;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument(path + ": unknown dataset type '" + name +
+                                 "' (expected scan|agg|join|acdoca)");
+}
+
+Status ValidateDatasetSpec(const DatasetSpec& spec, const std::string& path) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument(JoinPath(path, "name") +
+                                   ": must be nonempty");
+  }
+  if (spec.rows == 0) {
+    return Status::InvalidArgument(JoinPath(path, "rows") +
+                                   ": must be at least 1");
+  }
+  auto exactly_one = [&](bool a, uint64_t b, const char* ka,
+                         const char* kb) -> Status {
+    if (a == (b != 0)) {
+      return Status::InvalidArgument(path + ": exactly one of '" +
+                                     std::string(ka) + "' and '" + kb +
+                                     "' must be given");
+    }
+    return Status::OK();
+  };
+  const bool dict_sized =
+      spec.type == DatasetType::kScan || spec.type == DatasetType::kAgg;
+  if (dict_sized) {
+    CATDB_RETURN_IF_ERROR(exactly_one(spec.has_dict_ratio, spec.distinct,
+                                      "dict_ratio", "distinct"));
+    if (spec.distinct > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument(JoinPath(path, "distinct") +
+                                     ": does not fit in 32 bits");
+    }
+  }
+  if (spec.type == DatasetType::kAgg) {
+    CATDB_RETURN_IF_ERROR(exactly_one(spec.has_paper_groups, spec.groups,
+                                      "paper_groups", "groups"));
+    if (spec.paper_groups > std::numeric_limits<uint32_t>::max() ||
+        spec.groups > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument(path +
+                                     ": group count does not fit in 32 bits");
+    }
+  }
+  if (spec.type == DatasetType::kJoin) {
+    CATDB_RETURN_IF_ERROR(
+        exactly_one(spec.has_pk_ratio, spec.keys, "pk_ratio", "keys"));
+    if (spec.keys > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument(JoinPath(path, "keys") +
+                                     ": does not fit in 32 bits");
+    }
+  }
+  if (spec.has_small_dict_entries &&
+      (spec.small_dict_entries == 0 ||
+       spec.small_dict_entries > std::numeric_limits<uint32_t>::max())) {
+    return Status::InvalidArgument(JoinPath(path, "small_dict_entries") +
+                                   ": must be a positive 32-bit count");
+  }
+  return Status::OK();
+}
+
+Status DatasetFromJson(const obs::JsonValue& v, const std::string& path,
+                       DatasetSpec* out) {
+  *out = DatasetSpec{};
+  std::string type_name;
+  CATDB_RETURN_IF_ERROR(GetString(v, path, "type", &type_name));
+  CATDB_RETURN_IF_ERROR(
+      DatasetTypeFromName(type_name, JoinPath(path, "type"), &out->type));
+
+  switch (out->type) {
+    case DatasetType::kScan:
+      CATDB_RETURN_IF_ERROR(CheckKeys(
+          v, path, {"name", "type", "rows", "seed", "dict_ratio", "distinct"}));
+      break;
+    case DatasetType::kAgg:
+      CATDB_RETURN_IF_ERROR(CheckKeys(
+          v, path, {"name", "type", "rows", "seed", "dict_ratio", "distinct",
+                    "paper_groups", "groups"}));
+      break;
+    case DatasetType::kJoin:
+      CATDB_RETURN_IF_ERROR(CheckKeys(
+          v, path, {"name", "type", "rows", "seed", "pk_ratio", "keys"}));
+      break;
+    case DatasetType::kAcdoca:
+      CATDB_RETURN_IF_ERROR(CheckKeys(
+          v, path, {"name", "type", "rows", "seed", "big_dict_ratio",
+                    "small_dict_entries"}));
+      break;
+  }
+
+  CATDB_RETURN_IF_ERROR(GetString(v, path, "name", &out->name));
+  CATDB_RETURN_IF_ERROR(GetU64(v, path, "rows", &out->rows));
+  CATDB_RETURN_IF_ERROR(GetU64(v, path, "seed", &out->seed));
+  if (v.Find("dict_ratio") != nullptr) {
+    CATDB_RETURN_IF_ERROR(GetFraction(v, path, "dict_ratio", &out->dict_ratio));
+    out->has_dict_ratio = true;
+  }
+  if (v.Find("distinct") != nullptr) {
+    CATDB_RETURN_IF_ERROR(GetU64(v, path, "distinct", &out->distinct));
+  }
+  if (v.Find("paper_groups") != nullptr) {
+    CATDB_RETURN_IF_ERROR(GetU64(v, path, "paper_groups", &out->paper_groups));
+    out->has_paper_groups = true;
+  }
+  if (v.Find("groups") != nullptr) {
+    CATDB_RETURN_IF_ERROR(GetU64(v, path, "groups", &out->groups));
+  }
+  if (v.Find("pk_ratio") != nullptr) {
+    CATDB_RETURN_IF_ERROR(GetFraction(v, path, "pk_ratio", &out->pk_ratio));
+    out->has_pk_ratio = true;
+  }
+  if (v.Find("keys") != nullptr) {
+    CATDB_RETURN_IF_ERROR(GetU64(v, path, "keys", &out->keys));
+  }
+  if (v.Find("big_dict_ratio") != nullptr) {
+    CATDB_RETURN_IF_ERROR(
+        GetFraction(v, path, "big_dict_ratio", &out->big_dict_ratio));
+    out->has_big_dict_ratio = true;
+  }
+  if (v.Find("small_dict_entries") != nullptr) {
+    CATDB_RETURN_IF_ERROR(
+        GetU64(v, path, "small_dict_entries", &out->small_dict_entries));
+    out->has_small_dict_entries = true;
+  }
+  return ValidateDatasetSpec(*out, path);
+}
+
+obs::JsonValue DatasetToJson(const DatasetSpec& spec) {
+  std::vector<std::pair<std::string, obs::JsonValue>> m;
+  m.emplace_back("name", obs::JsonValue::Str(spec.name));
+  m.emplace_back("type", obs::JsonValue::Str(DatasetTypeName(spec.type)));
+  m.emplace_back("rows", obs::JsonValue::Int(spec.rows));
+  m.emplace_back("seed", obs::JsonValue::Int(spec.seed));
+  auto fraction = [](const Fraction& f) {
+    return obs::JsonValue::Array(
+        {obs::JsonValue::Int(f.num), obs::JsonValue::Int(f.den)});
+  };
+  if (spec.has_dict_ratio) {
+    m.emplace_back("dict_ratio", fraction(spec.dict_ratio));
+  } else if (spec.distinct != 0) {
+    m.emplace_back("distinct", obs::JsonValue::Int(spec.distinct));
+  }
+  if (spec.type == DatasetType::kAgg) {
+    if (spec.has_paper_groups) {
+      m.emplace_back("paper_groups", obs::JsonValue::Int(spec.paper_groups));
+    } else {
+      m.emplace_back("groups", obs::JsonValue::Int(spec.groups));
+    }
+  }
+  if (spec.has_pk_ratio) {
+    m.emplace_back("pk_ratio", fraction(spec.pk_ratio));
+  } else if (spec.keys != 0) {
+    m.emplace_back("keys", obs::JsonValue::Int(spec.keys));
+  }
+  if (spec.has_big_dict_ratio) {
+    m.emplace_back("big_dict_ratio", fraction(spec.big_dict_ratio));
+  }
+  if (spec.has_small_dict_entries) {
+    m.emplace_back("small_dict_entries",
+                   obs::JsonValue::Int(spec.small_dict_entries));
+  }
+  return obs::JsonValue::Object(std::move(m));
+}
+
+BuiltDataset BuildDataset(sim::Machine* machine, const DatasetSpec& spec) {
+  CATDB_CHECK(ValidateDatasetSpec(spec, "$").ok());
+  BuiltDataset out;
+  switch (spec.type) {
+    case DatasetType::kScan: {
+      const uint32_t distinct =
+          spec.has_dict_ratio
+              ? workloads::DictEntriesForRatio(*machine,
+                                               spec.dict_ratio.value())
+              : static_cast<uint32_t>(spec.distinct);
+      out.scan = std::make_unique<workloads::ScanDataset>(
+          workloads::MakeScanDataset(machine, spec.rows, distinct, spec.seed));
+      break;
+    }
+    case DatasetType::kAgg: {
+      const uint32_t distinct =
+          spec.has_dict_ratio
+              ? workloads::DictEntriesForRatio(*machine,
+                                               spec.dict_ratio.value())
+              : static_cast<uint32_t>(spec.distinct);
+      const uint32_t groups =
+          spec.has_paper_groups
+              ? workloads::ScaledGroupCount(
+                    static_cast<uint32_t>(spec.paper_groups))
+              : static_cast<uint32_t>(spec.groups);
+      out.agg = std::make_unique<workloads::AggDataset>(
+          workloads::MakeAggDataset(machine, spec.rows, distinct, groups,
+                                    spec.seed));
+      break;
+    }
+    case DatasetType::kJoin: {
+      const uint32_t keys =
+          spec.has_pk_ratio
+              ? workloads::PkCountForRatio(*machine, spec.pk_ratio.value())
+              : static_cast<uint32_t>(spec.keys);
+      out.join = std::make_unique<workloads::JoinDataset>(
+          workloads::MakeJoinDataset(machine, keys, spec.rows, spec.seed));
+      break;
+    }
+    case DatasetType::kAcdoca: {
+      workloads::AcdocaConfig cfg;
+      cfg.rows = spec.rows;
+      cfg.seed = spec.seed;
+      if (spec.has_big_dict_ratio) {
+        cfg.big_dict_llc_ratio = spec.big_dict_ratio.value();
+      }
+      if (spec.has_small_dict_entries) {
+        cfg.small_dict_entries =
+            static_cast<uint32_t>(spec.small_dict_entries);
+      }
+      out.acdoca = workloads::MakeAcdocaData(machine, cfg);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace catdb::plan

@@ -1,0 +1,224 @@
+#ifndef CATDB_PLAN_JSON_UTIL_H_
+#define CATDB_PLAN_JSON_UTIL_H_
+
+// Path-tracked field extractors over obs::JsonValue, shared by the plan and
+// scenario parsers. Every error names the exact JSON path of the offending
+// field ("$.plans[3].nodes[0].rows_per_chunk: ..."), matching the satellite
+// requirement that validation never silently defaults: unknown keys are
+// rejected by CheckKeys, required fields by the non-Opt getters.
+
+#include <cstdint>
+#include <initializer_list>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json_value.h"
+
+namespace catdb::plan {
+
+/// "$.plans[3]" style path concatenation.
+inline std::string JoinPath(const std::string& path, const std::string& key) {
+  return path + "." + key;
+}
+inline std::string IndexPath(const std::string& path, size_t index) {
+  return path + "[" + std::to_string(index) + "]";
+}
+
+/// Requires `v` to be an object whose keys are all in `allowed`. Duplicate
+/// keys are also rejected (the parser preserves them).
+inline Status CheckKeys(const obs::JsonValue& v, const std::string& path,
+                        std::initializer_list<const char*> allowed) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument(path + ": expected an object");
+  }
+  for (size_t i = 0; i < v.members().size(); ++i) {
+    const std::string& key = v.members()[i].first;
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument(JoinPath(path, key) + ": unknown key");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (v.members()[j].first == key) {
+        return Status::InvalidArgument(JoinPath(path, key) +
+                                       ": duplicate key");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+inline Status RequireField(const obs::JsonValue& obj, const std::string& path,
+                           const char* key, const obs::JsonValue** out) {
+  if (!obj.is_object()) {
+    return Status::InvalidArgument(path + ": expected an object");
+  }
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument(JoinPath(path, key) +
+                                   ": required field is missing");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+inline Status GetString(const obs::JsonValue& obj, const std::string& path,
+                        const char* key, std::string* out) {
+  const obs::JsonValue* v = nullptr;
+  CATDB_RETURN_IF_ERROR(RequireField(obj, path, key, &v));
+  if (!v->is_string()) {
+    return Status::InvalidArgument(JoinPath(path, key) +
+                                   ": expected a string");
+  }
+  *out = v->string_value();
+  return Status::OK();
+}
+
+inline Status GetU64(const obs::JsonValue& obj, const std::string& path,
+                     const char* key, uint64_t* out) {
+  const obs::JsonValue* v = nullptr;
+  CATDB_RETURN_IF_ERROR(RequireField(obj, path, key, &v));
+  if (!v->is_number() || !v->is_uint64()) {
+    return Status::InvalidArgument(
+        JoinPath(path, key) + ": expected a non-negative integer");
+  }
+  *out = v->uint64_value();
+  return Status::OK();
+}
+
+inline Status GetU32(const obs::JsonValue& obj, const std::string& path,
+                     const char* key, uint32_t* out) {
+  uint64_t v = 0;
+  CATDB_RETURN_IF_ERROR(GetU64(obj, path, key, &v));
+  if (v > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(JoinPath(path, key) +
+                                   ": value does not fit in 32 bits");
+  }
+  *out = static_cast<uint32_t>(v);
+  return Status::OK();
+}
+
+inline Status GetBool(const obs::JsonValue& obj, const std::string& path,
+                      const char* key, bool* out) {
+  const obs::JsonValue* v = nullptr;
+  CATDB_RETURN_IF_ERROR(RequireField(obj, path, key, &v));
+  if (!v->is_bool()) {
+    return Status::InvalidArgument(JoinPath(path, key) +
+                                   ": expected true or false");
+  }
+  *out = v->bool_value();
+  return Status::OK();
+}
+
+inline Status GetDouble(const obs::JsonValue& obj, const std::string& path,
+                        const char* key, double* out) {
+  const obs::JsonValue* v = nullptr;
+  CATDB_RETURN_IF_ERROR(RequireField(obj, path, key, &v));
+  if (!v->is_number()) {
+    return Status::InvalidArgument(JoinPath(path, key) +
+                                   ": expected a number");
+  }
+  *out = v->number();
+  return Status::OK();
+}
+
+/// Exact rational: num / den. Serialized as a two-element integer array so
+/// scenario files carry dataset ratios without decimal rounding; value() is
+/// bit-identical to the same ratio written as a double expression (IEEE
+/// division is correctly rounded).
+struct Fraction {
+  uint64_t num = 0;
+  uint64_t den = 1;
+  double value() const {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+};
+
+inline Status GetFraction(const obs::JsonValue& obj, const std::string& path,
+                          const char* key, Fraction* out) {
+  const obs::JsonValue* v = nullptr;
+  CATDB_RETURN_IF_ERROR(RequireField(obj, path, key, &v));
+  const std::string p = JoinPath(path, key);
+  if (!v->is_array() || v->array().size() != 2 ||
+      !v->array()[0].is_uint64() || !v->array()[1].is_uint64()) {
+    return Status::InvalidArgument(
+        p + ": expected a [numerator, denominator] integer pair");
+  }
+  out->num = v->array()[0].uint64_value();
+  out->den = v->array()[1].uint64_value();
+  if (out->den == 0) {
+    return Status::InvalidArgument(p + ": denominator must be nonzero");
+  }
+  return Status::OK();
+}
+
+inline Status GetStringArray(const obs::JsonValue& obj,
+                             const std::string& path, const char* key,
+                             std::vector<std::string>* out) {
+  const obs::JsonValue* v = nullptr;
+  CATDB_RETURN_IF_ERROR(RequireField(obj, path, key, &v));
+  const std::string p = JoinPath(path, key);
+  if (!v->is_array()) {
+    return Status::InvalidArgument(p + ": expected an array of strings");
+  }
+  out->clear();
+  for (size_t i = 0; i < v->array().size(); ++i) {
+    if (!v->array()[i].is_string()) {
+      return Status::InvalidArgument(IndexPath(p, i) +
+                                     ": expected a string");
+    }
+    out->push_back(v->array()[i].string_value());
+  }
+  return Status::OK();
+}
+
+inline Status GetU32Array(const obs::JsonValue& obj, const std::string& path,
+                          const char* key, std::vector<uint32_t>* out) {
+  const obs::JsonValue* v = nullptr;
+  CATDB_RETURN_IF_ERROR(RequireField(obj, path, key, &v));
+  const std::string p = JoinPath(path, key);
+  if (!v->is_array()) {
+    return Status::InvalidArgument(p + ": expected an array of integers");
+  }
+  out->clear();
+  for (size_t i = 0; i < v->array().size(); ++i) {
+    const obs::JsonValue& item = v->array()[i];
+    if (!item.is_uint64() ||
+        item.uint64_value() > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument(
+          IndexPath(p, i) + ": expected a non-negative 32-bit integer");
+    }
+    out->push_back(static_cast<uint32_t>(item.uint64_value()));
+  }
+  return Status::OK();
+}
+
+inline Status GetU64Array(const obs::JsonValue& obj, const std::string& path,
+                          const char* key, std::vector<uint64_t>* out) {
+  const obs::JsonValue* v = nullptr;
+  CATDB_RETURN_IF_ERROR(RequireField(obj, path, key, &v));
+  const std::string p = JoinPath(path, key);
+  if (!v->is_array()) {
+    return Status::InvalidArgument(p + ": expected an array of integers");
+  }
+  out->clear();
+  for (size_t i = 0; i < v->array().size(); ++i) {
+    if (!v->array()[i].is_uint64()) {
+      return Status::InvalidArgument(
+          IndexPath(p, i) + ": expected a non-negative integer");
+    }
+    out->push_back(v->array()[i].uint64_value());
+  }
+  return Status::OK();
+}
+
+}  // namespace catdb::plan
+
+#endif  // CATDB_PLAN_JSON_UTIL_H_

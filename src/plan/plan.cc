@@ -1,0 +1,444 @@
+#include "plan/plan.h"
+
+#include <utility>
+
+namespace catdb::plan {
+
+namespace {
+
+struct OpName {
+  OpKind op;
+  const char* name;
+};
+
+constexpr OpName kOpNames[] = {
+    {OpKind::kScan, "scan"},
+    {OpKind::kFilter, "filter"},
+    {OpKind::kProject, "project"},
+    {OpKind::kAggregate, "aggregate"},
+    {OpKind::kHashJoin, "hash_join"},
+    {OpKind::kIndexProbe, "index_probe"},
+    {OpKind::kScratchTouch, "scratch_touch"},
+};
+
+struct CuidName {
+  CuidAnnotation cuid;
+  const char* name;
+};
+
+constexpr CuidName kCuidNames[] = {
+    {CuidAnnotation::kDefault, "default"},
+    {CuidAnnotation::kPolluting, "polluting"},
+    {CuidAnnotation::kSensitive, "sensitive"},
+    {CuidAnnotation::kAdaptive, "adaptive"},
+};
+
+constexpr const char* kAggFuncs[] = {"max", "min", "sum", "count"};
+
+bool IsStreamingKind(OpKind op) {
+  return op == OpKind::kScan || op == OpKind::kFilter ||
+         op == OpKind::kProject;
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind op) {
+  for (const OpName& e : kOpNames) {
+    if (e.op == op) return e.name;
+  }
+  return "?";
+}
+
+Status OpKindFromName(const std::string& name, const std::string& path,
+                      OpKind* out) {
+  for (const OpName& e : kOpNames) {
+    if (name == e.name) {
+      *out = e.op;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument(
+      path + ": unknown op '" + name +
+      "' (expected scan|filter|project|aggregate|hash_join|index_probe|"
+      "scratch_touch)");
+}
+
+const char* CuidAnnotationName(CuidAnnotation cuid) {
+  for (const CuidName& e : kCuidNames) {
+    if (e.cuid == cuid) return e.name;
+  }
+  return "?";
+}
+
+Status CuidAnnotationFromName(const std::string& name, const std::string& path,
+                              CuidAnnotation* out) {
+  for (const CuidName& e : kCuidNames) {
+    if (name == e.name) {
+      *out = e.cuid;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument(
+      path + ": unknown cuid '" + name +
+      "' (expected default|polluting|sensitive|adaptive)");
+}
+
+Status TopoOrder(const Plan& plan, const std::string& path,
+                 std::vector<size_t>* order) {
+  const size_t n = plan.nodes.size();
+  // id -> index (ids are validated unique before / by ValidatePlan; on
+  // duplicates the first wins here, the validator reports the real error).
+  auto index_of = [&](const std::string& id) -> int64_t {
+    for (size_t i = 0; i < n; ++i) {
+      if (plan.nodes[i].id == id) return static_cast<int64_t>(i);
+    }
+    return -1;
+  };
+
+  std::vector<std::vector<size_t>> downstream(n);
+  std::vector<size_t> indegree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const PlanNode& node = plan.nodes[i];
+    for (size_t k = 0; k < node.inputs.size(); ++k) {
+      const int64_t src = index_of(node.inputs[k]);
+      if (src < 0) {
+        return Status::InvalidArgument(
+            IndexPath(JoinPath(IndexPath(JoinPath(path, "nodes"), i),
+                               "inputs"),
+                      k) +
+            ": references unknown node id '" + node.inputs[k] + "'");
+      }
+      downstream[static_cast<size_t>(src)].push_back(i);
+      ++indegree[i];
+    }
+  }
+
+  order->clear();
+  // Kahn's algorithm; the ready set is scanned in declaration order each
+  // round, so the order is deterministic and respects the file order among
+  // independent nodes.
+  std::vector<bool> emitted(n, false);
+  while (order->size() < n) {
+    bool progress = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (emitted[i] || indegree[i] != 0) continue;
+      emitted[i] = true;
+      order->push_back(i);
+      for (size_t d : downstream[i]) --indegree[d];
+      progress = true;
+    }
+    if (!progress) {
+      return Status::InvalidArgument(JoinPath(path, "nodes") +
+                                     ": plan contains a cycle");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidatePlan(const Plan& plan, const std::string& path) {
+  if (plan.name.empty()) {
+    return Status::InvalidArgument(JoinPath(path, "name") +
+                                   ": must be nonempty");
+  }
+  if (plan.query.empty()) {
+    return Status::InvalidArgument(JoinPath(path, "query") +
+                                   ": must be nonempty");
+  }
+  if (plan.nodes.empty()) {
+    return Status::InvalidArgument(JoinPath(path, "nodes") +
+                                   ": plan needs at least one node");
+  }
+  const std::string nodes_path = JoinPath(path, "nodes");
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    const std::string np = IndexPath(nodes_path, i);
+    if (node.id.empty()) {
+      return Status::InvalidArgument(JoinPath(np, "id") +
+                                     ": must be nonempty");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (plan.nodes[j].id == node.id) {
+        return Status::InvalidArgument(JoinPath(np, "id") + ": duplicate id '" +
+                                       node.id + "'");
+      }
+    }
+    if (node.op == OpKind::kScratchTouch) {
+      if (!node.dataset.empty()) {
+        return Status::InvalidArgument(
+            JoinPath(np, "dataset") + ": scratch_touch takes no dataset");
+      }
+    } else if (node.dataset.empty()) {
+      return Status::InvalidArgument(JoinPath(np, "dataset") +
+                                     ": required field is missing");
+    }
+    if (node.rows_per_chunk != 0) {
+      if (!IsStreamingKind(node.op)) {
+        return Status::InvalidArgument(
+            JoinPath(np, "rows_per_chunk") + ": only scan/filter/project " +
+            "nodes take a chunking override (op is " + OpKindName(node.op) +
+            ")");
+      }
+      if (node.rows_per_chunk < kMinRowsPerChunk ||
+          node.rows_per_chunk > kMaxRowsPerChunk) {
+        return Status::InvalidArgument(
+            JoinPath(np, "rows_per_chunk") + ": " +
+            std::to_string(node.rows_per_chunk) + " is out of range [" +
+            std::to_string(kMinRowsPerChunk) + ", " +
+            std::to_string(kMaxRowsPerChunk) + "]");
+      }
+    }
+    switch (node.op) {
+      case OpKind::kScan:
+        break;
+      case OpKind::kFilter: {
+        if (node.lo_fraction.value() > node.hi_fraction.value()) {
+          return Status::InvalidArgument(
+              JoinPath(np, "lo_fraction") +
+              ": must not exceed hi_fraction");
+        }
+        if (node.hi_fraction.value() > 1.0) {
+          return Status::InvalidArgument(JoinPath(np, "hi_fraction") +
+                                         ": must be at most 1");
+        }
+        break;
+      }
+      case OpKind::kProject:
+        break;
+      case OpKind::kAggregate: {
+        bool known = false;
+        for (const char* f : kAggFuncs) {
+          if (node.agg_func == f) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) {
+          return Status::InvalidArgument(
+              JoinPath(np, "func") + ": unknown aggregate function '" +
+              node.agg_func + "' (expected max|min|sum|count)");
+        }
+        break;
+      }
+      case OpKind::kHashJoin:
+        break;
+      case OpKind::kIndexProbe:
+        if (node.num_columns == 0) {
+          return Status::InvalidArgument(JoinPath(np, "num_columns") +
+                                         ": must be at least 1");
+        }
+        break;
+      case OpKind::kScratchTouch:
+        if (node.lines_per_chunk == 0) {
+          return Status::InvalidArgument(JoinPath(np, "lines_per_chunk") +
+                                         ": must be at least 1");
+        }
+        if (node.chunks == 0) {
+          return Status::InvalidArgument(JoinPath(np, "chunks") +
+                                         ": must be at least 1");
+        }
+        break;
+    }
+  }
+  std::vector<size_t> order;
+  return TopoOrder(plan, path, &order);
+}
+
+namespace {
+
+Status NodeFromJson(const obs::JsonValue& v, const std::string& np,
+                    PlanNode* out) {
+  std::string op_name;
+  CATDB_RETURN_IF_ERROR(GetString(v, np, "op", &op_name));
+  CATDB_RETURN_IF_ERROR(
+      OpKindFromName(op_name, JoinPath(np, "op"), &out->op));
+
+  // Allowed keys depend on the kind; everything else is rejected.
+  switch (out->op) {
+    case OpKind::kScan:
+      CATDB_RETURN_IF_ERROR(CheckKeys(
+          v, np, {"id", "op", "cuid", "dataset", "inputs", "rows_per_chunk",
+                  "seed"}));
+      break;
+    case OpKind::kFilter:
+      CATDB_RETURN_IF_ERROR(CheckKeys(
+          v, np, {"id", "op", "cuid", "dataset", "inputs", "rows_per_chunk",
+                  "lo_fraction", "hi_fraction"}));
+      break;
+    case OpKind::kProject:
+      CATDB_RETURN_IF_ERROR(CheckKeys(
+          v, np,
+          {"id", "op", "cuid", "dataset", "inputs", "rows_per_chunk"}));
+      break;
+    case OpKind::kAggregate:
+      CATDB_RETURN_IF_ERROR(
+          CheckKeys(v, np, {"id", "op", "cuid", "dataset", "inputs", "func"}));
+      break;
+    case OpKind::kHashJoin:
+      CATDB_RETURN_IF_ERROR(
+          CheckKeys(v, np, {"id", "op", "cuid", "dataset", "inputs"}));
+      break;
+    case OpKind::kIndexProbe:
+      CATDB_RETURN_IF_ERROR(CheckKeys(
+          v, np, {"id", "op", "cuid", "dataset", "inputs", "big_projection",
+                  "num_columns", "seed"}));
+      break;
+    case OpKind::kScratchTouch:
+      CATDB_RETURN_IF_ERROR(CheckKeys(
+          v, np, {"id", "op", "cuid", "inputs", "lines_per_chunk", "chunks",
+                  "compute_per_line"}));
+      break;
+  }
+
+  CATDB_RETURN_IF_ERROR(GetString(v, np, "id", &out->id));
+  // The CUID annotation is deliberately required ("missing CUIDs" is a
+  // validation error per the subsystem spec): a plan author must state
+  // whether a node keeps the operator default or overrides it.
+  std::string cuid_name;
+  CATDB_RETURN_IF_ERROR(GetString(v, np, "cuid", &cuid_name));
+  CATDB_RETURN_IF_ERROR(
+      CuidAnnotationFromName(cuid_name, JoinPath(np, "cuid"), &out->cuid));
+  if (out->op != OpKind::kScratchTouch) {
+    CATDB_RETURN_IF_ERROR(GetString(v, np, "dataset", &out->dataset));
+  }
+  if (v.Find("inputs") != nullptr) {
+    CATDB_RETURN_IF_ERROR(GetStringArray(v, np, "inputs", &out->inputs));
+  }
+  if (v.Find("rows_per_chunk") != nullptr) {
+    CATDB_RETURN_IF_ERROR(
+        GetU64(v, np, "rows_per_chunk", &out->rows_per_chunk));
+  }
+
+  switch (out->op) {
+    case OpKind::kScan:
+      CATDB_RETURN_IF_ERROR(GetU64(v, np, "seed", &out->seed));
+      break;
+    case OpKind::kFilter:
+      CATDB_RETURN_IF_ERROR(
+          GetFraction(v, np, "lo_fraction", &out->lo_fraction));
+      CATDB_RETURN_IF_ERROR(
+          GetFraction(v, np, "hi_fraction", &out->hi_fraction));
+      break;
+    case OpKind::kProject:
+      break;
+    case OpKind::kAggregate:
+      if (v.Find("func") != nullptr) {
+        CATDB_RETURN_IF_ERROR(GetString(v, np, "func", &out->agg_func));
+      }
+      break;
+    case OpKind::kHashJoin:
+      break;
+    case OpKind::kIndexProbe:
+      CATDB_RETURN_IF_ERROR(
+          GetBool(v, np, "big_projection", &out->big_projection));
+      CATDB_RETURN_IF_ERROR(GetU32(v, np, "num_columns", &out->num_columns));
+      CATDB_RETURN_IF_ERROR(GetU64(v, np, "seed", &out->seed));
+      break;
+    case OpKind::kScratchTouch:
+      CATDB_RETURN_IF_ERROR(
+          GetU64(v, np, "lines_per_chunk", &out->lines_per_chunk));
+      CATDB_RETURN_IF_ERROR(GetU64(v, np, "chunks", &out->chunks));
+      CATDB_RETURN_IF_ERROR(
+          GetU32(v, np, "compute_per_line", &out->compute_per_line));
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PlanFromJson(const obs::JsonValue& v, const std::string& path,
+                    Plan* out) {
+  *out = Plan{};
+  CATDB_RETURN_IF_ERROR(CheckKeys(v, path, {"name", "query", "nodes"}));
+  CATDB_RETURN_IF_ERROR(GetString(v, path, "name", &out->name));
+  CATDB_RETURN_IF_ERROR(GetString(v, path, "query", &out->query));
+  const obs::JsonValue* nodes = nullptr;
+  CATDB_RETURN_IF_ERROR(RequireField(v, path, "nodes", &nodes));
+  const std::string nodes_path = JoinPath(path, "nodes");
+  if (!nodes->is_array()) {
+    return Status::InvalidArgument(nodes_path + ": expected an array");
+  }
+  for (size_t i = 0; i < nodes->array().size(); ++i) {
+    PlanNode node;
+    CATDB_RETURN_IF_ERROR(
+        NodeFromJson(nodes->array()[i], IndexPath(nodes_path, i), &node));
+    out->nodes.push_back(std::move(node));
+  }
+  return ValidatePlan(*out, path);
+}
+
+namespace {
+
+obs::JsonValue FractionToJson(const Fraction& f) {
+  return obs::JsonValue::Array(
+      {obs::JsonValue::Int(f.num), obs::JsonValue::Int(f.den)});
+}
+
+obs::JsonValue NodeToJson(const PlanNode& node) {
+  std::vector<std::pair<std::string, obs::JsonValue>> m;
+  m.emplace_back("id", obs::JsonValue::Str(node.id));
+  m.emplace_back("op", obs::JsonValue::Str(OpKindName(node.op)));
+  m.emplace_back("cuid",
+                 obs::JsonValue::Str(CuidAnnotationName(node.cuid)));
+  if (node.op != OpKind::kScratchTouch) {
+    m.emplace_back("dataset", obs::JsonValue::Str(node.dataset));
+  }
+  if (!node.inputs.empty()) {
+    std::vector<obs::JsonValue> inputs;
+    for (const std::string& in : node.inputs) {
+      inputs.push_back(obs::JsonValue::Str(in));
+    }
+    m.emplace_back("inputs", obs::JsonValue::Array(std::move(inputs)));
+  }
+  if (node.rows_per_chunk != 0) {
+    m.emplace_back("rows_per_chunk", obs::JsonValue::Int(node.rows_per_chunk));
+  }
+  switch (node.op) {
+    case OpKind::kScan:
+      m.emplace_back("seed", obs::JsonValue::Int(node.seed));
+      break;
+    case OpKind::kFilter:
+      m.emplace_back("lo_fraction", FractionToJson(node.lo_fraction));
+      m.emplace_back("hi_fraction", FractionToJson(node.hi_fraction));
+      break;
+    case OpKind::kProject:
+      break;
+    case OpKind::kAggregate:
+      if (node.agg_func != "max") {
+        m.emplace_back("func", obs::JsonValue::Str(node.agg_func));
+      }
+      break;
+    case OpKind::kHashJoin:
+      break;
+    case OpKind::kIndexProbe:
+      m.emplace_back("big_projection",
+                     obs::JsonValue::Bool(node.big_projection));
+      m.emplace_back("num_columns", obs::JsonValue::Int(
+                                        static_cast<uint64_t>(node.num_columns)));
+      m.emplace_back("seed", obs::JsonValue::Int(node.seed));
+      break;
+    case OpKind::kScratchTouch:
+      m.emplace_back("lines_per_chunk",
+                     obs::JsonValue::Int(node.lines_per_chunk));
+      m.emplace_back("chunks", obs::JsonValue::Int(node.chunks));
+      m.emplace_back("compute_per_line",
+                     obs::JsonValue::Int(
+                         static_cast<uint64_t>(node.compute_per_line)));
+      break;
+  }
+  return obs::JsonValue::Object(std::move(m));
+}
+
+}  // namespace
+
+obs::JsonValue PlanToJson(const Plan& plan) {
+  std::vector<std::pair<std::string, obs::JsonValue>> m;
+  m.emplace_back("name", obs::JsonValue::Str(plan.name));
+  m.emplace_back("query", obs::JsonValue::Str(plan.query));
+  std::vector<obs::JsonValue> nodes;
+  for (const PlanNode& node : plan.nodes) nodes.push_back(NodeToJson(node));
+  m.emplace_back("nodes", obs::JsonValue::Array(std::move(nodes)));
+  return obs::JsonValue::Object(std::move(m));
+}
+
+}  // namespace catdb::plan

@@ -1,0 +1,119 @@
+#ifndef CATDB_PLAN_PLAN_H_
+#define CATDB_PLAN_PLAN_H_
+
+// Operator-DAG representation of a query as plain data (ROADMAP open item 3).
+// A Plan is a list of nodes — scan / filter / project / aggregate /
+// hash_join / index_probe / scratch_touch — each carrying its CUID
+// annotation and chunking parameters. Plans come from checked-in scenario
+// JSON or from the seeded generator (plan_gen.h) and are lowered onto the
+// existing engine operators by PlanQuery (plan_query.h).
+//
+// Validation is strict (satellite 2): unknown keys, missing CUIDs, cyclic
+// `inputs` edges, and out-of-range chunk sizes are Status errors whose
+// messages name the JSON path; nothing silently defaults.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json_value.h"
+#include "plan/json_util.h"
+
+namespace catdb::plan {
+
+enum class OpKind : uint8_t {
+  kScan,          // ColumnScanQuery: fresh random ">" predicate per iteration
+  kFilter,        // ColumnScanJob BETWEEN jobs with a fixed code range
+  kProject,       // dictionary-decoding projection (plan_ops.h)
+  kAggregate,     // AggregationQuery (two-phase hash aggregation)
+  kHashJoin,      // FkJoinQuery (bit-vector semijoin + probe)
+  kIndexProbe,    // OLTP-style indexed point reads (s4hana workload)
+  kScratchTouch,  // synthetic private-working-set operator (plan_ops.h)
+};
+
+const char* OpKindName(OpKind op);
+Status OpKindFromName(const std::string& name, const std::string& path,
+                      OpKind* out);
+
+/// Per-node cache-usage annotation. kDefault keeps the operator's intrinsic
+/// CUID (the paper's per-operator defaults); the others override it via
+/// Job::set_cache_usage, which is how a plan expresses per-phase apportioning
+/// experiments.
+enum class CuidAnnotation : uint8_t {
+  kDefault,
+  kPolluting,
+  kSensitive,
+  kAdaptive,
+};
+
+const char* CuidAnnotationName(CuidAnnotation cuid);
+Status CuidAnnotationFromName(const std::string& name, const std::string& path,
+                              CuidAnnotation* out);
+
+/// Bounds for the per-node chunking override (0 = operator default).
+inline constexpr uint64_t kMinRowsPerChunk = 16;
+inline constexpr uint64_t kMaxRowsPerChunk = 1u << 20;
+
+/// One operator node, as plain data. Only the fields for `op` are
+/// meaningful; the parser rejects fields that do not belong to the kind.
+struct PlanNode {
+  std::string id;
+  OpKind op = OpKind::kScan;
+  CuidAnnotation cuid = CuidAnnotation::kDefault;
+  /// Dataset name (resolved against the scenario's datasets); required for
+  /// every kind except scratch_touch, where it must be absent.
+  std::string dataset;
+  /// Upstream node ids. Plans execute as phase pipelines in topological
+  /// order, so `inputs` encode ordering (and are checked acyclic).
+  std::vector<std::string> inputs;
+  /// Chunking override for streaming kinds (scan/filter/project); 0 keeps
+  /// the operator default.
+  uint64_t rows_per_chunk = 0;
+
+  // scan, index_probe:
+  uint64_t seed = 0;
+  // filter: BETWEEN predicate as exact fractions of the code domain.
+  Fraction lo_fraction;
+  Fraction hi_fraction;
+  // aggregate:
+  std::string agg_func = "max";
+  // index_probe:
+  bool big_projection = false;
+  uint32_t num_columns = 0;
+  // scratch_touch:
+  uint64_t lines_per_chunk = 0;
+  uint64_t chunks = 0;
+  uint32_t compute_per_line = 0;
+};
+
+/// A named operator DAG. `query` is the engine-visible query name (what
+/// RunReport streams carry, e.g. "Q1/column_scan").
+struct Plan {
+  std::string name;
+  std::string query;
+  std::vector<PlanNode> nodes;
+};
+
+/// Kahn topological order over the `inputs` edges. Fails (naming `path`)
+/// on an unknown input id or a cycle. Deterministic: ready nodes are taken
+/// in declaration order.
+Status TopoOrder(const Plan& plan, const std::string& path,
+                 std::vector<size_t>* order);
+
+/// Full structural validation: nonempty unique ids, per-kind field rules,
+/// chunk-size bounds, acyclicity. `path` prefixes every error message.
+Status ValidatePlan(const Plan& plan, const std::string& path);
+
+/// Parses one plan object (strict; validates). `path` is the JSON path of
+/// `v` for error messages, e.g. "$.plans[3]".
+Status PlanFromJson(const obs::JsonValue& v, const std::string& path,
+                    Plan* out);
+
+/// Serializes a plan to a JsonValue tree. Optional fields render only when
+/// they differ from their defaults, so parse -> serialize -> parse is stable.
+obs::JsonValue PlanToJson(const Plan& plan);
+
+}  // namespace catdb::plan
+
+#endif  // CATDB_PLAN_PLAN_H_

@@ -1,0 +1,39 @@
+#ifndef CATDB_PLAN_PLAN_GEN_H_
+#define CATDB_PLAN_PLAN_GEN_H_
+
+// Seeded random plan generator for the differential fuzz harness (fuzz.h).
+// Every generated case is fully machine-independent (explicit distinct /
+// group / key counts, never LLC-ratio-derived sizes) and deterministic:
+// equal seeds yield byte-identical cases across processes and platforms
+// (the generator draws only from common/rng.h).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/partitioning_policy.h"
+#include "plan/dataset.h"
+#include "plan/plan.h"
+
+namespace catdb::plan {
+
+/// One generated fuzz case: the datasets it needs (built fresh for every
+/// executor regime), a validated plan over them, and the partitioning
+/// policy variant the runs execute under.
+struct GeneratedCase {
+  std::vector<DatasetSpec> datasets;
+  Plan plan;
+  engine::PolicyConfig policy;
+  std::string policy_label;  // "off" | "ways<N>" | "partitioned"
+  uint64_t iterations = 2;
+};
+
+/// Generates case number `index`, consuming randomness from `*rng` (the
+/// caller seeds one Rng and draws all cases from it in index order). The
+/// returned plan is CHECK-validated.
+GeneratedCase GeneratePlanCase(Rng* rng, size_t index);
+
+}  // namespace catdb::plan
+
+#endif  // CATDB_PLAN_PLAN_GEN_H_

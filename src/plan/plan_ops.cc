@@ -1,0 +1,67 @@
+#include "plan/plan_ops.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace catdb::plan {
+
+ProjectJob::ProjectJob(const storage::DictColumn* column,
+                       engine::RowRange range, uint64_t rows_per_chunk)
+    : Job("project", engine::CacheUsage::kSensitive),
+      column_(column),
+      range_(range),
+      cursor_(range.begin),
+      rows_per_chunk_(rows_per_chunk) {
+  CATDB_CHECK(column_ != nullptr);
+  CATDB_CHECK(rows_per_chunk_ > 0);
+}
+
+bool ProjectJob::Step(sim::ExecContext& ctx) {
+  if (cursor_ >= range_.end) return false;
+  const uint64_t chunk_end = std::min(range_.end, cursor_ + rows_per_chunk_);
+  const storage::BitPackedVector& codes = column_->codes();
+
+  // Stream the packed codes of the chunk as one batched run, then decode
+  // every row through the dictionary (a dependent random read each) — the
+  // projection's re-used working set.
+  codes.ReadRunSim(ctx, cursor_, chunk_end, &last_line_);
+  for (uint64_t i = cursor_; i < chunk_end; ++i) {
+    column_->dict().DecodeSim(ctx, codes.Get(i));
+  }
+
+  const uint64_t rows = chunk_end - cursor_;
+  ctx.Compute(rows * 2);
+  ctx.Instructions(rows * 8);
+  TouchScratch(ctx, 2);
+
+  AddWork(ctx, rows);
+  cursor_ = chunk_end;
+  return cursor_ < range_.end;
+}
+
+ScratchTouchJob::ScratchTouchJob(engine::CacheUsage cuid,
+                                 uint64_t lines_per_chunk, uint64_t chunks,
+                                 uint32_t compute_per_line)
+    : Job("scratch_touch", cuid),
+      lines_per_chunk_(lines_per_chunk),
+      chunks_left_(chunks),
+      compute_per_line_(compute_per_line) {
+  CATDB_CHECK(lines_per_chunk_ > 0);
+  CATDB_CHECK(lines_per_chunk_ <=
+              std::numeric_limits<uint32_t>::max());
+  CATDB_CHECK(chunks_left_ > 0);
+}
+
+bool ScratchTouchJob::Step(sim::ExecContext& ctx) {
+  if (chunks_left_ == 0) return false;
+  TouchScratch(ctx, static_cast<uint32_t>(lines_per_chunk_));
+  ctx.Compute(lines_per_chunk_ * compute_per_line_);
+  ctx.Instructions(lines_per_chunk_ * 4);
+  AddWork(ctx, 1);
+  --chunks_left_;
+  return chunks_left_ > 0;
+}
+
+}  // namespace catdb::plan

@@ -1,0 +1,231 @@
+#include "plan/plan_query.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "engine/operators/aggregation.h"
+#include "engine/operators/column_scan.h"
+#include "engine/operators/fk_join.h"
+#include "engine/row_partition.h"
+#include "plan/plan_ops.h"
+#include "workloads/s4hana.h"
+
+namespace catdb::plan {
+
+namespace {
+
+storage::AggFunction AggFunctionOf(const std::string& name) {
+  if (name == "min") return storage::AggFunction::kMin;
+  if (name == "sum") return storage::AggFunction::kSum;
+  if (name == "count") return storage::AggFunction::kCount;
+  CATDB_CHECK(name == "max");  // ValidatePlan rejected everything else
+  return storage::AggFunction::kMax;
+}
+
+engine::CacheUsage CacheUsageOf(CuidAnnotation cuid) {
+  switch (cuid) {
+    case CuidAnnotation::kPolluting:
+      return engine::CacheUsage::kPolluting;
+    case CuidAnnotation::kSensitive:
+      return engine::CacheUsage::kSensitive;
+    case CuidAnnotation::kAdaptive:
+      return engine::CacheUsage::kAdaptive;
+    case CuidAnnotation::kDefault:
+      break;
+  }
+  CATDB_CHECK(false);  // callers skip kDefault
+  return engine::CacheUsage::kSensitive;
+}
+
+Status DatasetTypeError(const PlanNode& node, const char* want) {
+  return Status::InvalidArgument("plan node '" + node.id + "' (" +
+                                 OpKindName(node.op) + ") needs a dataset of "
+                                 "type " +
+                                 want + "; '" + node.dataset +
+                                 "' has a different type");
+}
+
+}  // namespace
+
+PlanQuery::PlanQuery(Plan plan) : Query(plan.query), plan_(std::move(plan)) {}
+
+Status PlanQuery::Create(
+    const Plan& plan,
+    const std::map<std::string, const BuiltDataset*>& datasets,
+    std::unique_ptr<PlanQuery>* out) {
+  CATDB_RETURN_IF_ERROR(ValidatePlan(plan, "$"));
+  std::vector<size_t> order;
+  CATDB_RETURN_IF_ERROR(TopoOrder(plan, "$", &order));
+
+  std::unique_ptr<PlanQuery> q(new PlanQuery(plan));
+  for (size_t node_index : order) {
+    const PlanNode& node = q->plan_.nodes[node_index];
+    Stage stage;
+    stage.node_index = node_index;
+
+    const BuiltDataset* ds = nullptr;
+    if (node.op != OpKind::kScratchTouch) {
+      auto it = datasets.find(node.dataset);
+      if (it == datasets.end()) {
+        return Status::InvalidArgument("plan node '" + node.id +
+                                       "' references unknown dataset '" +
+                                       node.dataset + "'");
+      }
+      ds = it->second;
+    }
+
+    switch (node.op) {
+      case OpKind::kScan: {
+        if (ds->scan == nullptr) return DatasetTypeError(node, "scan");
+        const uint64_t rpc = node.rows_per_chunk != 0
+                                 ? node.rows_per_chunk
+                                 : engine::ColumnScanJob::kRowsPerChunk;
+        stage.delegate = std::make_unique<engine::ColumnScanQuery>(
+            &ds->scan->column, node.seed, /*compute_results=*/false, rpc);
+        break;
+      }
+      case OpKind::kFilter:
+      case OpKind::kProject: {
+        if (ds->scan == nullptr) return DatasetTypeError(node, "scan");
+        stage.column = &ds->scan->column;
+        break;
+      }
+      case OpKind::kAggregate: {
+        if (ds->agg == nullptr) return DatasetTypeError(node, "agg");
+        stage.delegate = std::make_unique<engine::AggregationQuery>(
+            &ds->agg->v, &ds->agg->g, AggFunctionOf(node.agg_func));
+        break;
+      }
+      case OpKind::kHashJoin: {
+        if (ds->join == nullptr) return DatasetTypeError(node, "join");
+        stage.delegate = std::make_unique<engine::FkJoinQuery>(
+            &ds->join->pk, &ds->join->fk, ds->join->key_count);
+        break;
+      }
+      case OpKind::kIndexProbe: {
+        if (ds->acdoca == nullptr) return DatasetTypeError(node, "acdoca");
+        stage.delegate = workloads::MakeOltpQuery(
+            *ds->acdoca, node.big_projection, node.num_columns, node.seed);
+        break;
+      }
+      case OpKind::kScratchTouch:
+        break;
+    }
+    stage.num_phases =
+        stage.delegate != nullptr ? stage.delegate->num_phases() : 1;
+    q->stages_.push_back(std::move(stage));
+  }
+  *out = std::move(q);
+  return Status::OK();
+}
+
+uint32_t PlanQuery::num_phases() const {
+  uint32_t total = 0;
+  for (const Stage& stage : stages_) total += stage.num_phases;
+  return total;
+}
+
+void PlanQuery::MakePhaseJobs(
+    uint32_t phase, uint32_t num_workers,
+    std::vector<std::unique_ptr<engine::Job>>* out) {
+  // Resolve the global phase to (stage, stage-local phase).
+  size_t si = 0;
+  uint32_t local = phase;
+  while (si < stages_.size() && local >= stages_[si].num_phases) {
+    local -= stages_[si].num_phases;
+    ++si;
+  }
+  CATDB_CHECK(si < stages_.size());
+  Stage& stage = stages_[si];
+  const PlanNode& node = node_of(stage);
+
+  const size_t before = out->size();
+  if (stage.delegate != nullptr) {
+    stage.delegate->MakePhaseJobs(local, num_workers, out);
+  } else {
+    switch (node.op) {
+      case OpKind::kFilter: {
+        // Fixed BETWEEN predicate mapped onto the code domain. Unlike the
+        // scan's per-iteration random parameter this is deterministic data,
+        // so no RNG is involved.
+        const uint64_t d = stage.column->dict().size();
+        const uint32_t lo =
+            static_cast<uint32_t>(node.lo_fraction.value() *
+                                  static_cast<double>(d));
+        const uint32_t hi = static_cast<uint32_t>(std::min<uint64_t>(
+            d - 1, static_cast<uint64_t>(node.hi_fraction.value() *
+                                         static_cast<double>(d))));
+        const uint64_t rpc = node.rows_per_chunk != 0
+                                 ? node.rows_per_chunk
+                                 : engine::ColumnScanJob::kRowsPerChunk;
+        for (const engine::RowRange& range :
+             engine::PartitionRows(stage.column->size(), num_workers)) {
+          out->push_back(std::make_unique<engine::ColumnScanJob>(
+              stage.column, range, lo, hi, /*compute_result=*/false,
+              /*result_sink=*/nullptr, rpc));
+        }
+        break;
+      }
+      case OpKind::kProject: {
+        const uint64_t rpc = node.rows_per_chunk != 0
+                                 ? node.rows_per_chunk
+                                 : ProjectJob::kDefaultRowsPerChunk;
+        for (const engine::RowRange& range :
+             engine::PartitionRows(stage.column->size(), num_workers)) {
+          out->push_back(
+              std::make_unique<ProjectJob>(stage.column, range, rpc));
+        }
+        break;
+      }
+      case OpKind::kScratchTouch: {
+        const engine::CacheUsage cuid =
+            node.cuid == CuidAnnotation::kDefault
+                ? engine::CacheUsage::kSensitive
+                : CacheUsageOf(node.cuid);
+        out->push_back(std::make_unique<ScratchTouchJob>(
+            cuid, node.lines_per_chunk, node.chunks, node.compute_per_line));
+        break;
+      }
+      default:
+        CATDB_CHECK(false);  // delegated kinds handled above
+    }
+  }
+
+  // Apply the CUID override to every job this stage emitted (the
+  // scratch_touch path above already baked it into the constructor, but
+  // set_cache_usage is idempotent).
+  if (node.cuid != CuidAnnotation::kDefault) {
+    const engine::CacheUsage cuid = CacheUsageOf(node.cuid);
+    for (size_t i = before; i < out->size(); ++i) {
+      (*out)[i]->set_cache_usage(cuid);
+    }
+  }
+}
+
+uint64_t PlanQuery::TotalWorkPerIteration() const {
+  uint64_t total = 0;
+  for (const Stage& stage : stages_) {
+    if (stage.delegate != nullptr) {
+      total += stage.delegate->TotalWorkPerIteration();
+    } else if (stage.column != nullptr) {
+      total += stage.column->size();
+    } else {
+      total += node_of(stage).chunks;
+    }
+  }
+  return total;
+}
+
+void PlanQuery::AttachSim(sim::Machine* machine) {
+  for (Stage& stage : stages_) {
+    if (stage.delegate != nullptr) {
+      stage.delegate->AttachSim(machine);
+    } else if (stage.column != nullptr) {
+      CATDB_CHECK(stage.column->attached());
+    }
+  }
+  (void)machine;
+}
+
+}  // namespace catdb::plan

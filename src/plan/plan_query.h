@@ -1,0 +1,75 @@
+#ifndef CATDB_PLAN_PLAN_QUERY_H_
+#define CATDB_PLAN_PLAN_QUERY_H_
+
+// PlanQuery: the generic driver lowering an operator DAG (plan.h) onto the
+// existing engine primitives. Each plan node becomes a *stage*; stages run
+// in topological order as consecutive job phases of one engine::Query, so a
+// plan registers with the scheduler / serving tier exactly like the
+// hand-coded queries (resumable jobs, phase barriers, iteration accounting).
+//
+// Lowering rules:
+//  * scan / aggregate / hash_join / index_probe delegate to the existing
+//    operator queries (ColumnScanQuery, AggregationQuery, FkJoinQuery,
+//    OltpQuery) — a single-node plan is *behaviorally identical* to the
+//    hand-coded query, which is what makes the scenario ports byte-identical.
+//  * filter / project / scratch_touch build their jobs directly (fixed-range
+//    ColumnScanJob, ProjectJob, ScratchTouchJob).
+//  * a node's CUID annotation (when not "default") overrides the intrinsic
+//    annotation of every job the stage emits.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query.h"
+#include "plan/dataset.h"
+#include "plan/plan.h"
+
+namespace catdb::plan {
+
+class PlanQuery : public engine::Query {
+ public:
+  /// Lowers `plan` against `datasets` (name -> built dataset; the catalog
+  /// must outlive the query). Validates the plan and checks that every node
+  /// references a dataset of the right type:
+  ///   scan/filter/project -> scan, aggregate -> agg, hash_join -> join,
+  ///   index_probe -> acdoca.
+  static Status Create(const Plan& plan,
+                       const std::map<std::string, const BuiltDataset*>& datasets,
+                       std::unique_ptr<PlanQuery>* out);
+
+  uint32_t num_phases() const override;
+  void MakePhaseJobs(uint32_t phase, uint32_t num_workers,
+                     std::vector<std::unique_ptr<engine::Job>>* out) override;
+  uint64_t TotalWorkPerIteration() const override;
+  void AttachSim(sim::Machine* machine) override;
+
+  const Plan& plan() const { return plan_; }
+
+ private:
+  struct Stage {
+    // Index into plan_.nodes (stages are stored in topological order).
+    size_t node_index = 0;
+    // Set for delegated kinds (scan/aggregate/hash_join/index_probe).
+    std::unique_ptr<engine::Query> delegate;
+    // Set for filter/project: the column the stage streams.
+    const storage::DictColumn* column = nullptr;
+    uint32_t num_phases = 1;
+  };
+
+  explicit PlanQuery(Plan plan);
+
+  const PlanNode& node_of(const Stage& stage) const {
+    return plan_.nodes[stage.node_index];
+  }
+
+  Plan plan_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace catdb::plan
+
+#endif  // CATDB_PLAN_PLAN_QUERY_H_

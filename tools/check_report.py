@@ -10,6 +10,11 @@ through:
   * A report that ran zero cells ("results": []) is vacuous and fails.
   * A wrong or missing schema tag fails, so consumers never parse a layout
     they do not understand.
+  * `"kind": "scenario"` result entries (emitted by scenario-file runs) must
+    carry a complete summary object — scenario name, sweep kind, positive
+    dataset/plan/cell counts, and an `fnv1a:`-prefixed 16-hex-digit digest of
+    the canonical scenario text — so a truncated or hand-edited section
+    cannot masquerade as a scenario provenance stamp.
 
 Scaling artifacts (BENCH_parallel.json: a top-level `benchmark` name plus
 `conclusive` flags instead of a schema tag) are validated too: the same
@@ -21,9 +26,13 @@ Usage: check_report.py <report.json> [<report.json> ...]
 """
 
 import json
+import re
 import sys
 
 SCHEMA = "catdb.report/v1"
+
+SWEEP_KINDS = ("latency_sweep", "pair_sweep", "serving_sweep")
+DIGEST_RE = re.compile(r"^fnv1a:[0-9a-f]{16}$")
 
 
 def fail(msg):
@@ -84,6 +93,28 @@ def check_scaling(path, doc):
     print(f"ok: {path} (scaling artifact, conclusive={doc['conclusive']})")
 
 
+def check_scenario_entry(path, i, entry):
+    where = f"{path}: results[{i}]"
+    summary = entry.get("scenario")
+    if not isinstance(summary, dict):
+        fail(f"{where}: scenario entry without a `scenario` object")
+    for key in ("scenario", "sweep_kind", "digest"):
+        if not isinstance(summary.get(key), str) or not summary[key]:
+            fail(f"{where}: scenario.{key} must be a nonempty string")
+    if summary["sweep_kind"] not in SWEEP_KINDS:
+        fail(f"{where}: scenario.sweep_kind is {summary['sweep_kind']!r}, "
+             f"want one of {SWEEP_KINDS}")
+    # A serving sweep has no datasets/plans, so those may be 0; a scenario
+    # that ran zero cells is vacuous.
+    for key, lo in (("datasets", 0), ("plans", 0), ("cells", 1)):
+        n = summary.get(key)
+        if not isinstance(n, int) or isinstance(n, bool) or n < lo:
+            fail(f"{where}: scenario.{key} must be an integer >= {lo}")
+    if not DIGEST_RE.match(summary["digest"]):
+        fail(f"{where}: scenario.digest {summary['digest']!r} does not match "
+             f"fnv1a:<16 hex digits>")
+
+
 def check(path):
     try:
         with open(path) as f:
@@ -102,7 +133,13 @@ def check(path):
     results = report.get("results")
     if not isinstance(results, list) or not results:
         fail(f"{path}: no results")
-    print(f"ok: {path} ({len(results)} results)")
+    scenarios = 0
+    for i, entry in enumerate(results):
+        if isinstance(entry, dict) and entry.get("kind") == "scenario":
+            check_scenario_entry(path, i, entry)
+            scenarios += 1
+    suffix = f", {scenarios} scenario section(s)" if scenarios else ""
+    print(f"ok: {path} ({len(results)} results{suffix})")
 
 
 def main():

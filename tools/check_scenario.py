@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""CI validator for the checked-in catdb.scenario/v1 files (scenarios/).
+
+Structural checks mirroring the strict C++ parser (src/plan/scenario.cc) so
+an editing mistake fails in CI before any binary runs:
+  * schema tag must be exactly catdb.scenario/v1
+  * `kind` selects exactly one sweep section; the section must be present
+    and no other sweep section may appear
+  * datasets/plans must be nonempty arrays of objects with unique names
+  * every plan-node dataset reference must resolve
+  * ratio fields ("dict_ratio", "pk_ratio", ...) must be [num, den] integer
+    pairs with a nonzero denominator (exact-fraction rule: doubles never
+    appear in scenario files)
+
+The C++ parser remains the authority (scenario_runner refuses anything it
+cannot validate); this script exists so `git push` feedback arrives in
+seconds, and so non-C++ tooling has a reference for the format.
+
+Usage: check_scenario.py <scenario.json> [...]
+"""
+
+import json
+import sys
+
+SCHEMA = "catdb.scenario/v1"
+KIND_SECTIONS = {
+    "latency_sweep": "latency_sweep",
+    "pair_sweep": "pair_sweep",
+    "serving_sweep": "serving_sweep",
+}
+FRACTION_KEYS = ("dict_ratio", "pk_ratio", "big_dict_ratio",
+                 "max_rejected_ratio")
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fractions(value, path):
+    """Every known ratio key must hold a [num, den] integer pair (den != 0);
+    `loads`/`smoke_loads` are arrays of such pairs."""
+    def is_pair(v):
+        return (isinstance(v, list) and len(v) == 2 and
+                all(isinstance(x, int) and not isinstance(x, bool)
+                    for x in v))
+
+    if isinstance(value, dict):
+        for k, v in value.items():
+            p = f"{path}.{k}"
+            if k in FRACTION_KEYS:
+                if not is_pair(v) or v[1] == 0:
+                    fail(f"{p}: expected a [numerator, denominator] integer "
+                         f"pair with nonzero denominator")
+            elif k in ("loads", "smoke_loads"):
+                if not isinstance(v, list) or not v:
+                    fail(f"{p}: expected a nonempty array")
+                for i, e in enumerate(v):
+                    if not is_pair(e) or e[1] == 0:
+                        fail(f"{p}[{i}]: expected a [numerator, denominator] "
+                             f"integer pair with nonzero denominator")
+            else:
+                check_fractions(v, p)
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            check_fractions(v, f"{path}[{i}]")
+
+
+def named_objects(doc, path, key):
+    """`datasets`/`plans` arrays: may be empty (a serving sweep has
+    neither), but every entry needs a unique nonempty name."""
+    items = doc.get(key)
+    if not isinstance(items, list):
+        fail(f"{path}.{key}: expected an array")
+    names = []
+    for i, item in enumerate(items):
+        if not isinstance(item, dict):
+            fail(f"{path}.{key}[{i}]: expected an object")
+        name = item.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{path}.{key}[{i}].name: expected a nonempty string")
+        if name in names:
+            fail(f"{path}.{key}[{i}].name: duplicate name {name!r}")
+        names.append(name)
+    return items, names
+
+
+def check(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except ValueError as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("benchmark"), str) or not doc["benchmark"]:
+        fail(f"{path}: $.benchmark must be a nonempty string")
+
+    kind = doc.get("kind")
+    if kind not in KIND_SECTIONS:
+        fail(f"{path}: $.kind is {kind!r}, want one of "
+             f"{sorted(KIND_SECTIONS)}")
+    section = KIND_SECTIONS[kind]
+    if not isinstance(doc.get(section), dict):
+        fail(f"{path}: $.{section} section missing for kind {kind!r}")
+    for other in KIND_SECTIONS.values():
+        if other != section and other in doc:
+            fail(f"{path}: $.{other} present but kind is {kind!r}")
+
+    datasets, dataset_names = named_objects(doc, f"{path}: $", "datasets")
+    plans, _ = named_objects(doc, f"{path}: $", "plans")
+    for pi, plan in enumerate(plans):
+        nodes = plan.get("nodes")
+        if not isinstance(nodes, list) or not nodes:
+            fail(f"{path}: $.plans[{pi}].nodes: expected a nonempty array")
+        for ni, node in enumerate(nodes):
+            ds = node.get("dataset")
+            if ds is not None and ds not in dataset_names:
+                fail(f"{path}: $.plans[{pi}].nodes[{ni}].dataset: references "
+                     f"unknown dataset {ds!r}")
+
+    check_fractions(doc, "$")
+    print(f"ok: {path} ({kind}, {len(datasets)} datasets, "
+          f"{len(plans)} plans)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail(f"usage: {sys.argv[0]} <scenario.json> [...]")
+    for path in sys.argv[1:]:
+        check(path)
+
+
+if __name__ == "__main__":
+    main()
