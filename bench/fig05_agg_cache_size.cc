@@ -4,84 +4,37 @@
 // LLC ratios here) and five group counts (10^2..10^6, mapped to simulation
 // scale via ScaledGroupCount; see DESIGN.md).
 //
-// Parallelized with the sweep harness: every (scenario, group-count) column
-// is one independent simulation cell with its own machine, dataset and
-// query; the cell computes its full-LLC baseline explicitly and then sweeps
-// the way axis. Output is byte-identical for any --jobs value. Datasets are
-// built through the plan subsystem's declarative seam (plan::BuildDataset),
-// the same constructor scenario files use.
+// The experiment itself is the builtin fig05 scenario (src/plan/): this
+// main executes it through the generic scenario executor — the same code
+// path bench/scenario_runner takes with scenarios/fig05_agg_cache_size.json
+// — and keeps only the paper-style stdout tables. Every (scenario,
+// group-count) column is one independent simulation cell, so the sweep fans
+// out across --jobs host threads and the report is byte-identical for any
+// job count.
 
 #include <cstdio>
-#include <string>
-#include <vector>
 
 #include "bench_util.h"
-#include "engine/operators/aggregation.h"
-#include "plan/dataset.h"
+#include "plan/builtin_scenarios.h"
+#include "plan/scenario_exec.h"
 #include "workloads/micro.h"
 
 using namespace catdb;
 
 namespace {
 
-struct Scenario {
+struct ScenarioHeader {
   const char* title;
-  const char* key;
   plan::Fraction dict_ratio;  // value() is bit-identical to kDictRatio*
-  uint64_t seed;
 };
 
-constexpr Scenario kScenarios[] = {
-    {"(a) '4 MiB' dictionary", "a", {4, 55}, 510},
-    {"(b) '40 MiB' dictionary", "b", {40, 55}, 520},
-    {"(c) '400 MiB' dictionary", "c", {400, 55}, 530},
+constexpr ScenarioHeader kScenarios[] = {
+    {"(a) '4 MiB' dictionary", {4, 55}},
+    {"(b) '40 MiB' dictionary", {40, 55}},
+    {"(c) '400 MiB' dictionary", {400, 55}},
 };
 
 constexpr size_t kNumGroups = std::size(workloads::kGroupSizes);
-
-struct ColumnResult {
-  double full_cycles = 0;    // explicit full-LLC baseline
-  std::vector<double> norm;  // normalized throughput per kWaySweep entry
-};
-
-// One cell = one (scenario, group-count) column over the whole way axis.
-auto MakeAggColumnCell(const Scenario& sc, size_t group_index,
-                       const std::vector<uint32_t>& sweep,
-                       ColumnResult* out) {
-  return [&sc, group_index, &sweep, out](harness::SweepCell& cell) {
-    sim::Machine& machine = cell.MakeMachine();
-    const uint32_t groups = workloads::kGroupSizes[group_index];
-    plan::DatasetSpec spec;
-    spec.name = "agg";
-    spec.type = plan::DatasetType::kAgg;
-    spec.rows = workloads::kDefaultAggRows / 4;
-    spec.seed = sc.seed + group_index;
-    spec.has_dict_ratio = true;
-    spec.dict_ratio = sc.dict_ratio;
-    spec.has_paper_groups = true;
-    spec.paper_groups = groups;
-    const plan::BuiltDataset data = plan::BuildDataset(&machine, spec);
-    engine::AggregationQuery query(&data.agg->v, &data.agg->g);
-    query.AttachSim(&machine);
-
-    // Full-LLC baseline first, independent of the sweep axis contents.
-    const uint32_t full_ways = bench::FullLlcWays(machine);
-    out->full_cycles = static_cast<double>(
-        bench::WarmIterationCycles(&machine, &query, full_ways));
-    for (uint32_t ways : sweep) {
-      const double cycles =
-          ways == full_ways
-              ? out->full_cycles
-              : static_cast<double>(
-                    bench::WarmIterationCycles(&machine, &query, ways));
-      out->norm.push_back(out->full_cycles / cycles);
-      cell.report().AddScalar(std::string(sc.key) + "/groups" +
-                                  std::to_string(groups) + "/ways" +
-                                  std::to_string(ways),
-                              out->norm.back());
-    }
-  };
-}
 
 }  // namespace
 
@@ -89,26 +42,23 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   sim::Machine meta{sim::MachineConfig{}};  // labels only; cells own theirs
 
-  harness::SweepRunner runner =
-      bench::MakeSweepRunner("fig05_agg_cache_size", opts);
-  // --smoke: one (scenario, group-count) cell over a two-point way axis.
+  plan::ExecOptions exec;
+  exec.jobs = opts.jobs;
+  exec.smoke = opts.smoke;
+  exec.tracing = !opts.trace_out.empty();
+  exec.machine_config = bench::MachineConfigFor(opts);
+
+  plan::ScenarioRunResult result;
+  const Status st =
+      plan::RunScenario(plan::Fig05Scenario(), exec, &result);
+  CATDB_CHECK(st.ok());
+  const plan::LatencyOutcome& out = result.latency;
+
+  // --smoke ran one (scenario, group-count) cell over a two-point way axis.
   const size_t num_scenarios = opts.smoke ? 1 : std::size(kScenarios);
   const size_t num_groups = opts.smoke ? 1 : kNumGroups;
-  const std::vector<uint32_t> sweep =
-      opts.smoke ? std::vector<uint32_t>{20, 2} : bench::kWaySweep;
-  std::vector<ColumnResult> results(num_scenarios * num_groups);
   for (size_t si = 0; si < num_scenarios; ++si) {
-    for (size_t gi = 0; gi < num_groups; ++gi) {
-      runner.AddCell(std::string(kScenarios[si].key) + "/groups" +
-                         std::to_string(workloads::kGroupSizes[gi]),
-                     MakeAggColumnCell(kScenarios[si], gi, sweep,
-                                       &results[si * num_groups + gi]));
-    }
-  }
-  runner.Run();
-
-  for (size_t si = 0; si < num_scenarios; ++si) {
-    const Scenario& sc = kScenarios[si];
+    const ScenarioHeader& sc = kScenarios[si];
     const uint32_t dict_entries =
         workloads::DictEntriesForRatio(meta, sc.dict_ratio.value());
     std::printf("\nFig. 5 %s — dictionary %.2f MiB (%u entries)\n", sc.title,
@@ -120,10 +70,10 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     bench::PrintRule(78);
-    for (size_t wi = 0; wi < sweep.size(); ++wi) {
-      std::printf("%-22s", bench::WaysLabel(meta, sweep[wi]).c_str());
+    for (size_t wi = 0; wi < out.ways.size(); ++wi) {
+      std::printf("%-22s", bench::WaysLabel(meta, out.ways[wi]).c_str());
       for (size_t gi = 0; gi < num_groups; ++gi) {
-        std::printf(" %9.3f", results[si * num_groups + gi].norm[wi]);
+        std::printf(" %9.3f", out.columns[si * num_groups + gi].norm[wi]);
       }
       std::printf("\n");
     }
@@ -136,6 +86,6 @@ int main(int argc, char** argv) {
       "counts (the dictionary occupies most of the LLC), (c) weaker overall\n"
       "sensitivity (dictionary far exceeds the LLC), still strongest at the\n"
       "LLC-sized hash-table point.\n");
-  bench::FinishSweepBench(&runner, opts);
+  bench::FinishSweepBench(&*result.runner, opts);
   return 0;
 }

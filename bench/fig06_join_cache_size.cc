@@ -2,113 +2,66 @@
 // varying LLC sizes, for four primary-key counts whose bit vectors span the
 // paper's regimes (fits-L2 / small / comparable-to-LLC / exceeding).
 //
-// Parallelized with the sweep harness: every primary-key configuration is
-// one independent simulation cell (own machine, dataset, query) that
-// computes its full-LLC baseline explicitly and sweeps the way axis.
-// Datasets are built through the plan subsystem's declarative seam
-// (plan::BuildDataset), the same constructor scenario files use.
+// The experiment itself is the builtin fig06 scenario (src/plan/): this
+// main executes it through the generic scenario executor — the same code
+// path bench/scenario_runner takes with
+// scenarios/fig06_join_cache_size.json — and keeps only the paper-style
+// stdout table. Every primary-key configuration is one independent
+// simulation cell, so the sweep fans out across --jobs host threads and the
+// report is byte-identical for any job count.
 
 #include <cstdio>
-#include <string>
 #include <vector>
 
 #include "bench_util.h"
-#include "engine/operators/fk_join.h"
-#include "plan/dataset.h"
+#include "plan/builtin_scenarios.h"
+#include "plan/scenario_exec.h"
+#include "storage/sim_bitvector.h"
 #include "workloads/micro.h"
 
 using namespace catdb;
-
-namespace {
-
-// workloads::kPkRatios as exact fractions: each paper ratio has an exactly
-// representable numerator (0.125, 1.25, 12.5, 125.0 over 55), so the reduced
-// fraction's IEEE division yields the bit-identical double.
-constexpr plan::Fraction kPkFractions[] = {
-    {1, 440},  // 0.125 / 55 — "10^6 keys"
-    {1, 44},   // 1.25  / 55 — "10^7 keys"
-    {5, 22},   // 12.5  / 55 — "10^8 keys"
-    {25, 11},  // 125.0 / 55 — "10^9 keys"
-};
-static_assert(std::size(kPkFractions) == std::size(workloads::kPkRatios));
-
-struct ColumnResult {
-  double bits_kib = 0;       // bit-vector size, for the header
-  double full_cycles = 0;    // explicit full-LLC baseline
-  std::vector<double> norm;  // normalized throughput per kWaySweep entry
-};
-
-// One cell = one primary-key count over the whole way axis.
-auto MakeJoinColumnCell(size_t pk_index, const std::vector<uint32_t>& sweep,
-                        ColumnResult* out) {
-  return [pk_index, &sweep, out](harness::SweepCell& cell) {
-    sim::Machine& machine = cell.MakeMachine();
-    plan::DatasetSpec spec;
-    spec.name = "join";
-    spec.type = plan::DatasetType::kJoin;
-    spec.rows = workloads::kDefaultProbeRows / 4;
-    spec.seed = 610 + pk_index;
-    spec.has_pk_ratio = true;
-    spec.pk_ratio = kPkFractions[pk_index];
-    const plan::BuiltDataset data = plan::BuildDataset(&machine, spec);
-    engine::FkJoinQuery query(&data.join->pk, &data.join->fk,
-                              data.join->key_count);
-    query.AttachSim(&machine);
-    out->bits_kib = query.bits().SizeBytes() / 1024.0;
-
-    const uint32_t full_ways = bench::FullLlcWays(machine);
-    out->full_cycles = static_cast<double>(
-        bench::WarmIterationCycles(&machine, &query, full_ways));
-    for (uint32_t ways : sweep) {
-      const double cycles =
-          ways == full_ways
-              ? out->full_cycles
-              : static_cast<double>(
-                    bench::WarmIterationCycles(&machine, &query, ways));
-      out->norm.push_back(out->full_cycles / cycles);
-      cell.report().AddScalar(std::string("pk") +
-                                  workloads::kPkLabels[pk_index] + "/ways" +
-                                  std::to_string(ways),
-                              out->norm.back());
-    }
-  };
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   sim::Machine meta{sim::MachineConfig{}};  // labels only; cells own theirs
 
-  harness::SweepRunner runner =
-      bench::MakeSweepRunner("fig06_join_cache_size", opts);
-  // --smoke: one primary-key cell over a two-point way axis.
-  const size_t num_pks = opts.smoke ? 1 : std::size(workloads::kPkRatios);
-  const std::vector<uint32_t> sweep =
-      opts.smoke ? std::vector<uint32_t>{20, 2} : bench::kWaySweep;
-  std::vector<ColumnResult> results(num_pks);
-  for (size_t i = 0; i < results.size(); ++i) {
-    runner.AddCell(std::string("pk") + workloads::kPkLabels[i],
-                   MakeJoinColumnCell(i, sweep, &results[i]));
+  plan::ExecOptions exec;
+  exec.jobs = opts.jobs;
+  exec.smoke = opts.smoke;
+  exec.tracing = !opts.trace_out.empty();
+  exec.machine_config = bench::MachineConfigFor(opts);
+
+  plan::ScenarioRunResult result;
+  const Status st =
+      plan::RunScenario(plan::Fig06Scenario(), exec, &result);
+  CATDB_CHECK(st.ok());
+  const plan::LatencyOutcome& out = result.latency;
+
+  // Bit-vector sizes for the header, derived from the same machine config
+  // the cells build (PkCountForRatio is config-deterministic, so this
+  // matches the key count of each cell's dataset).
+  std::vector<double> bits_kib;
+  for (size_t i = 0; i < out.columns.size(); ++i) {
+    const uint32_t keys =
+        workloads::PkCountForRatio(meta, workloads::kPkRatios[i]);
+    bits_kib.push_back(storage::SimBitVector(keys).SizeBytes() / 1024.0);
   }
-  runner.Run();
 
   std::printf(
       "Fig. 6 — Query 3 (foreign-key join), isolated, varying LLC size\n");
   std::printf("columns: paper primary-key count (scaled bit-vector size)\n");
   bench::PrintRule(78);
   std::printf("%-22s", "cache \\ PK count");
-  for (size_t i = 0; i < results.size(); ++i) {
-    std::printf(" %5s(%4.0fKiB)", workloads::kPkLabels[i],
-                results[i].bits_kib);
+  for (size_t i = 0; i < out.columns.size(); ++i) {
+    std::printf(" %5s(%4.0fKiB)", workloads::kPkLabels[i], bits_kib[i]);
   }
   std::printf("\n");
   bench::PrintRule(78);
 
-  for (size_t wi = 0; wi < sweep.size(); ++wi) {
-    std::printf("%-22s", bench::WaysLabel(meta, sweep[wi]).c_str());
-    for (size_t i = 0; i < results.size(); ++i) {
-      std::printf(" %13.3f", results[i].norm[wi]);
+  for (size_t wi = 0; wi < out.ways.size(); ++wi) {
+    std::printf("%-22s", bench::WaysLabel(meta, out.ways[wi]).c_str());
+    for (size_t i = 0; i < out.columns.size(); ++i) {
+      std::printf(" %13.3f", out.columns[i].norm[wi]);
     }
     std::printf("\n");
   }
@@ -117,6 +70,6 @@ int main(int argc, char** argv) {
       "Paper: only the '1e8' configuration (bit vector comparable to the\n"
       "LLC) is cache-sensitive (drops up to 33%%, below ~60%% of the LLC);\n"
       "the others lose only 5-14%%.\n");
-  bench::FinishSweepBench(&runner, opts);
+  bench::FinishSweepBench(&*result.runner, opts);
   return 0;
 }

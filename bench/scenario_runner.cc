@@ -11,7 +11,7 @@
 //                                         in as exactly this output)
 //   scenario_runner --fuzz                differential plan fuzzing: execute
 //                                         --plans=<n> seeded random plans
-//                                         (--fuzz-seed=<s>) under all four
+//                                         (--fuzz-seed=<s>) under all five
 //                                         executor regimes and fail if any
 //                                         report digest diverges
 //

@@ -1,16 +1,20 @@
 // Simulator self-benchmark: measures *host* wall-clock throughput of the
 // discrete-event simulator (simulated cycles per second, simulated memory
 // accesses per second) over the fig01 (OLTP vs. OLAP scan) and fig11
-// (TPC-H Q1 vs. scan) workload shapes. Three legs per workload:
+// (TPC-H Q1 vs. scan) workload shapes. Four legs per workload:
 //   1. batched      — event-driven executor + run-granular AccessRun fast
 //                     path (MachineConfig::batched_runs, the default)
 //   2. scalar       — same executor with batched_runs off: every run
 //                     decomposes into per-line Access calls (the previous
 //                     fast path; isolates the batching speedup)
-//   3. reference    — the pre-change baseline kept verbatim: legacy
+//   3. simd_off     — batched config with way_scan demoted to the scalar
+//                     probes (HierarchyConfig::simd = false, the
+//                     CATDB_NO_SIMD semantics); isolates the vectorized
+//                     way-search contribution within one binary
+//   4. reference    — the pre-change baseline kept verbatim: legacy
 //                     O(cores)-per-step scan executor + reference-impl
 //                     hierarchy (HierarchyConfig::reference_impl)
-// All three must produce bit-identical simulated results before a speedup
+// All four must produce bit-identical simulated results before a speedup
 // is reported. Emits BENCH_selfperf.json (path overridable via the first
 // positional argument) so the repository keeps a perf trajectory across
 // PRs.
@@ -171,11 +175,13 @@ struct RigCfg {
   bool reference_impl = false;
   bool batched_runs = true;
   uint32_t sim_threads = 1;  // >= 2 selects the epoch executor
+  bool simd = true;          // false = scalar way_scan probes (oracle leg)
 };
 
 std::unique_ptr<sim::Machine> MakeMachine(const RigCfg& leg) {
   sim::MachineConfig cfg;
   cfg.hierarchy.reference_impl = leg.reference_impl;
+  cfg.hierarchy.simd = leg.simd;
   cfg.batched_runs = leg.batched_runs;
   cfg.sim_threads = leg.sim_threads;
   return std::make_unique<sim::Machine>(cfg);
@@ -268,11 +274,13 @@ Measurement RunWith(sim::Machine* machine,
 // often a busy shared one — and a single timed pass can land in a slow
 // window, swinging leg-vs-leg ratios by tens of percent. Every repetition
 // re-runs the same deterministic simulation, so the minimum wall time is
-// the run least disturbed by the host and converges on the true cost. The
-// legs are interleaved round-robin (fast, scalar, reference, repeat) so a
-// multi-second slow window degrades one repetition of every leg instead of
-// every repetition of one leg.
-constexpr int kTimedReps = 3;
+// the run least disturbed by the host and converges on the true cost; five
+// repetitions (up from three) give each leg more draws against hosts whose
+// CPU budget arrives in bursts shorter than a whole repetition round. The
+// legs are interleaved round-robin (fast, scalar, SIMD-off, reference,
+// repeat) so a multi-second slow window degrades one repetition of every
+// leg instead of every repetition of one leg.
+constexpr int kTimedReps = 5;
 
 template <typename ExecutorT>
 Measurement MeasureOnce(Rig (*make_rig)(const RigCfg&), const RigCfg& leg,
@@ -294,9 +302,10 @@ void KeepBest(Measurement* best, Measurement m, int rep) {
 struct WorkloadResult {
   std::string name;
   uint64_t horizon = 0;
-  Measurement fast;    // batched AccessRun fast path (the default config)
-  Measurement scalar;  // batched_runs off: per-line Access decomposition
-  Measurement scan;    // pre-change reference baseline
+  Measurement fast;      // batched AccessRun fast path (the default config)
+  Measurement scalar;    // batched_runs off: per-line Access decomposition
+  Measurement simd_off;  // fast config with way_scan demoted to scalar
+  Measurement scan;      // pre-change reference baseline
   // Host-cycle attribution from a separate profiled pass of the fast leg
   // (never from the timed pass — profiling adds timer reads).
   simcache::HostCycleBreakdown breakdown;
@@ -340,6 +349,13 @@ WorkloadResult MeasureWorkload(const std::string& name,
                  RigCfg{/*reference_impl=*/false, /*batched_runs=*/false},
                  horizon),
              rep);
+    KeepBest(&w.simd_off,
+             MeasureOnce<sim::Executor>(
+                 make_rig,
+                 RigCfg{/*reference_impl=*/false, /*batched_runs=*/true,
+                        /*sim_threads=*/1, /*simd=*/false},
+                 horizon),
+             rep);
     KeepBest(&w.scan,
              MeasureOnce<ScanExecutor>(
                  make_rig,
@@ -351,23 +367,33 @@ WorkloadResult MeasureWorkload(const std::string& name,
     ReportDigestMismatch(name, "batched vs scalar", w.fast.digest,
                          w.scalar.digest);
   }
+  if (!(w.fast.digest == w.simd_off.digest)) {
+    ReportDigestMismatch(name, "batched vs simd-off", w.fast.digest,
+                         w.simd_off.digest);
+  }
   if (!(w.fast.digest == w.scan.digest)) {
     ReportDigestMismatch(name, "batched vs reference", w.fast.digest,
                          w.scan.digest);
   }
   CATDB_CHECK(w.fast.digest == w.scalar.digest);
+  CATDB_CHECK(w.fast.digest == w.simd_off.digest);
   CATDB_CHECK(w.fast.digest == w.scan.digest);
-  // Profiled pass: same fast-leg configuration, shorter horizon (shares are
-  // stable well before the full horizon), untimed — its wall clock is
-  // polluted by the timer reads by construction.
-  {
-    Rig rig = make_rig(RigCfg{/*reference_impl=*/false,
-                              /*batched_runs=*/true});
-    rig.machine->hierarchy().AttachHostProfiler(&w.breakdown);
-    RunWith<sim::Executor>(rig.machine.get(), rig.specs, horizon / 4,
-                           /*timed=*/false);
-  }
   return w;
+}
+
+// Profiled pass: same fast-leg configuration, shorter horizon (shares are
+// stable well before the full horizon), untimed — its wall clock is
+// polluted by the timer reads by construction. Runs after *all* workloads'
+// timed legs: on hosts whose CPU budget arrives in bursts, a heavyweight
+// untimed pass sandwiched between timed sections would drain the budget the
+// next workload's repetitions need.
+void ProfileWorkload(WorkloadResult* w, Rig (*make_rig)(const RigCfg&),
+                     uint64_t horizon) {
+  Rig rig = make_rig(RigCfg{/*reference_impl=*/false,
+                            /*batched_runs=*/true});
+  rig.machine->hierarchy().AttachHostProfiler(&w->breakdown);
+  RunWith<sim::Executor>(rig.machine.get(), rig.specs, horizon / 4,
+                         /*timed=*/false);
 }
 
 void PrintBreakdown(const WorkloadResult& w) {
@@ -393,24 +419,31 @@ void PrintRow(const WorkloadResult& w) {
   const double cyc_fast = static_cast<double>(w.horizon) / w.fast.wall_seconds;
   const double cyc_sclr =
       static_cast<double>(w.horizon) / w.scalar.wall_seconds;
+  const double cyc_nosimd =
+      static_cast<double>(w.horizon) / w.simd_off.wall_seconds;
   const double cyc_scan = static_cast<double>(w.horizon) / w.scan.wall_seconds;
   const double acc_fast =
       static_cast<double>(w.fast.digest.l1_lookups) / w.fast.wall_seconds;
-  std::printf("%-16s %12.1f %14.2f %11.2fx %11.2fx\n", w.name.c_str(),
+  std::printf("%-16s %12.1f %14.2f %11.2fx %11.2fx %11.2fx\n", w.name.c_str(),
               cyc_fast / 1e6, acc_fast / 1e6, cyc_fast / cyc_sclr,
-              cyc_fast / cyc_scan);
+              cyc_fast / cyc_nosimd, cyc_fast / cyc_scan);
 }
 
 std::string JsonEntry(const WorkloadResult& w) {
   const double cyc_fast = static_cast<double>(w.horizon) / w.fast.wall_seconds;
   const double cyc_sclr =
       static_cast<double>(w.horizon) / w.scalar.wall_seconds;
+  const double cyc_nosimd =
+      static_cast<double>(w.horizon) / w.simd_off.wall_seconds;
   const double cyc_scan = static_cast<double>(w.horizon) / w.scan.wall_seconds;
   const double acc_fast =
       static_cast<double>(w.fast.digest.l1_lookups) / w.fast.wall_seconds;
   const double acc_sclr =
       static_cast<double>(w.scalar.digest.l1_lookups) / w.scalar.wall_seconds;
-  char buf[1024];
+  const double acc_nosimd = static_cast<double>(
+                                w.simd_off.digest.l1_lookups) /
+                            w.simd_off.wall_seconds;
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "    {\"name\": \"%s\", \"horizon_cycles\": %llu,\n"
@@ -419,16 +452,20 @@ std::string JsonEntry(const WorkloadResult& w) {
       "\"accesses_per_second\": %.0f},\n"
       "     \"scalar_access_path\": {\"wall_seconds\": %.4f, "
       "\"sim_cycles_per_second\": %.0f, \"accesses_per_second\": %.0f},\n"
+      "     \"simd_off_way_scan\": {\"wall_seconds\": %.4f, "
+      "\"sim_cycles_per_second\": %.0f, \"accesses_per_second\": %.0f},\n"
       "     \"prechange_scan_executor\": {\"wall_seconds\": %.4f, "
       "\"sim_cycles_per_second\": %.0f},\n"
       "     \"speedup_vs_scalar_access_path\": %.3f,\n"
+      "     \"speedup_vs_simd_off\": %.3f,\n"
       "     \"speedup_vs_prechange_scan_executor\": %.3f,\n"
       "     \"host_cycle_breakdown\": {",
       w.name.c_str(), static_cast<unsigned long long>(w.horizon),
       w.fast.wall_seconds, cyc_fast,
       static_cast<unsigned long long>(w.fast.digest.l1_lookups), acc_fast,
-      w.scalar.wall_seconds, cyc_sclr, acc_sclr, w.scan.wall_seconds,
-      cyc_scan, cyc_fast / cyc_sclr, cyc_fast / cyc_scan);
+      w.scalar.wall_seconds, cyc_sclr, acc_sclr, w.simd_off.wall_seconds,
+      cyc_nosimd, acc_nosimd, w.scan.wall_seconds, cyc_scan,
+      cyc_fast / cyc_sclr, cyc_fast / cyc_nosimd, cyc_fast / cyc_scan);
   std::string json = buf;
   bool first = true;
   for (const auto& [comp, cycles] : w.breakdown.Components()) {
@@ -439,8 +476,10 @@ std::string JsonEntry(const WorkloadResult& w) {
     first = false;
   }
   std::snprintf(buf, sizeof(buf),
-                ",\n       \"runs\": %llu, \"run_lines\": %llu, "
+                ",\n       \"attributed_total\": %llu,\n"
+                "       \"runs\": %llu, \"run_lines\": %llu, "
                 "\"scalar_accesses\": %llu}}",
+                static_cast<unsigned long long>(w.breakdown.AttributedTotal()),
                 static_cast<unsigned long long>(w.breakdown.runs),
                 static_cast<unsigned long long>(w.breakdown.run_lines),
                 static_cast<unsigned long long>(w.breakdown.scalar_accesses));
@@ -808,10 +847,10 @@ int main(int argc, char** argv) {
           : (opts.smoke ? bench::kSmokeHorizon : bench::kDefaultHorizon / 2);
 
   std::printf("Simulator self-benchmark (host wall-clock)\n");
-  bench::PrintRule(72);
-  std::printf("%-16s %12s %14s %12s %11s\n", "workload", "Mcycles/s",
-              "Maccesses/s", "vs scalar", "vs refimpl");
-  bench::PrintRule(72);
+  bench::PrintRule(84);
+  std::printf("%-16s %12s %14s %12s %11s %11s\n", "workload", "Mcycles/s",
+              "Maccesses/s", "vs scalar", "vs nosimd", "vs refimpl");
+  bench::PrintRule(84);
 
   std::vector<WorkloadResult> results;
 
@@ -821,8 +860,10 @@ int main(int argc, char** argv) {
   results.push_back(MeasureWorkload("fig11_tpch_q1", MakeFig11Rig, horizon));
   PrintRow(results.back());
 
-  bench::PrintRule(72);
+  bench::PrintRule(84);
 
+  ProfileWorkload(&results[0], MakeFig01Rig, horizon);
+  ProfileWorkload(&results[1], MakeFig11Rig, horizon);
   for (const WorkloadResult& w : results) PrintBreakdown(w);
 
   std::string json = "{\n  \"benchmark\": \"selfperf_sim\",\n  \"workloads\": [\n";
@@ -849,12 +890,18 @@ int main(int argc, char** argv) {
           static_cast<double>(w.fast.digest.l1_lookups) / w.fast.wall_seconds;
       const double acc_sclr = static_cast<double>(w.scalar.digest.l1_lookups) /
                               w.scalar.wall_seconds;
+      const double acc_nosimd = static_cast<double>(
+                                    w.simd_off.digest.l1_lookups) /
+                                w.simd_off.wall_seconds;
       report.AddScalar(w.name + "/accesses_per_second", acc_fast);
       report.AddScalar(w.name + "/speedup_vs_scalar_access_path",
                        w.scalar.wall_seconds / w.fast.wall_seconds);
+      report.AddScalar(w.name + "/speedup_vs_simd_off",
+                       w.simd_off.wall_seconds / w.fast.wall_seconds);
       report.AddScalar(w.name + "/speedup_vs_prechange_scan_executor",
                        w.scan.wall_seconds / w.fast.wall_seconds);
       report.AddScalar(w.name + "/scalar_accesses_per_second", acc_sclr);
+      report.AddScalar(w.name + "/simd_off_accesses_per_second", acc_nosimd);
       for (const auto& [comp, cycles] : w.breakdown.Components()) {
         report.AddScalar(w.name + "/host_cycles/" + std::string(comp),
                          static_cast<double>(cycles));

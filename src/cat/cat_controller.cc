@@ -40,6 +40,7 @@ Status CatController::SetClosMask(ClosId clos, uint64_t mask) {
   CATDB_RETURN_IF_ERROR(ValidateMask(mask));
   clos_masks_[clos] = mask;
   mask_writes_ += 1;
+  generation_ += 1;
   return Status::OK();
 }
 
@@ -59,6 +60,7 @@ Status CatController::AssignCore(uint32_t core, ClosId clos) {
   }
   core_clos_[core] = clos;
   core_assignments_ += 1;
+  generation_ += 1;
   return Status::OK();
 }
 
@@ -76,6 +78,7 @@ void CatController::Reset() {
   core_clos_.assign(core_clos_.size(), 0);
   mask_writes_ = 0;
   core_assignments_ = 0;
+  generation_ += 1;
 }
 
 }  // namespace catdb::cat

@@ -58,6 +58,13 @@ class CatController {
   uint64_t mask_writes() const { return mask_writes_; }
   uint64_t core_assignments() const { return core_assignments_; }
 
+  /// Monotonic counter bumped by every successful SetClosMask / AssignCore
+  /// (and by Reset). A cached (core -> clos, mask) snapshot is valid exactly
+  /// while the generation it was taken under is still current, which lets
+  /// the simulator's point-access fast path skip the CoreClos/CoreMask
+  /// lookups on the overwhelmingly common no-reconfiguration case.
+  uint64_t generation() const { return generation_; }
+
   /// Restores the reset state: all cores in CLOS 0, all masks full.
   void Reset();
 
@@ -69,6 +76,7 @@ class CatController {
   std::vector<ClosId> core_clos_;
   uint64_t mask_writes_ = 0;
   uint64_t core_assignments_ = 0;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace catdb::cat

@@ -64,6 +64,108 @@ Scenario Fig04Scenario() {
   return s;
 }
 
+Scenario Fig05Scenario() {
+  Scenario s;
+  s.benchmark = "fig05_agg_cache_size";
+  s.kind = SweepKind::kLatency;
+
+  // The three dictionary scenarios of Fig. 5 (4/40/400 MiB on a 55 MiB
+  // LLC) at the hand bench's seeds, crossed with the five paper group
+  // counts: one column cell per combination, smoke = the first.
+  constexpr DictScenario kFig05Scenarios[] = {
+      {"a", {4, 55}, 510},
+      {"b", {40, 55}, 520},
+      {"c", {400, 55}, 530},
+  };
+  for (const DictScenario& sc : kFig05Scenarios) {
+    for (size_t gi = 0; gi < std::size(workloads::kGroupSizes); ++gi) {
+      const uint32_t g = workloads::kGroupSizes[gi];
+      const std::string suffix =
+          std::string(sc.key) + "/groups" + std::to_string(g);
+
+      DatasetSpec agg;
+      agg.name = "agg/" + suffix;
+      agg.type = DatasetType::kAgg;
+      agg.rows = workloads::kDefaultAggRows / 4;
+      agg.seed = sc.seed + gi;
+      agg.has_dict_ratio = true;
+      agg.dict_ratio = sc.ratio;
+      agg.has_paper_groups = true;
+      agg.paper_groups = g;
+      s.datasets.push_back(agg);
+
+      Plan q2;
+      q2.name = "q2/" + suffix;
+      q2.query = "Q2/aggregation";
+      PlanNode agg_node;
+      agg_node.id = "agg";
+      agg_node.op = OpKind::kAggregate;
+      agg_node.dataset = "agg/" + suffix;
+      q2.nodes.push_back(agg_node);
+      s.plans.push_back(q2);
+
+      LatencyCellSpec cell;
+      cell.name = suffix;
+      cell.datasets = {"agg/" + suffix};
+      cell.plan = "q2/" + suffix;
+      s.latency.cells.push_back(cell);
+    }
+  }
+  s.latency.ways = harness::kWaySweep;
+  s.latency.smoke_ways = {20, 2};
+  s.latency.smoke_cells = 1;
+  return s;
+}
+
+Scenario Fig06Scenario() {
+  Scenario s;
+  s.benchmark = "fig06_join_cache_size";
+  s.kind = SweepKind::kLatency;
+
+  // workloads::kPkRatios as exact fractions: each paper ratio has an
+  // exactly representable numerator (0.125, 1.25, 12.5, 125.0 over 55), so
+  // the reduced fraction's IEEE division yields the bit-identical double.
+  constexpr Fraction kPkFractions[] = {
+      {1, 440},  // 0.125 / 55 — "10^6 keys"
+      {1, 44},   // 1.25  / 55 — "10^7 keys"
+      {5, 22},   // 12.5  / 55 — "10^8 keys"
+      {25, 11},  // 125.0 / 55 — "10^9 keys"
+  };
+  static_assert(std::size(kPkFractions) == std::size(workloads::kPkRatios));
+  for (size_t i = 0; i < std::size(kPkFractions); ++i) {
+    const std::string label = workloads::kPkLabels[i];
+
+    DatasetSpec join;
+    join.name = "join/pk" + label;
+    join.type = DatasetType::kJoin;
+    join.rows = workloads::kDefaultProbeRows / 4;
+    join.seed = 610 + i;
+    join.has_pk_ratio = true;
+    join.pk_ratio = kPkFractions[i];
+    s.datasets.push_back(join);
+
+    Plan q3;
+    q3.name = "q3/pk" + label;
+    q3.query = "Q3/fk_join";
+    PlanNode join_node;
+    join_node.id = "join";
+    join_node.op = OpKind::kHashJoin;
+    join_node.dataset = "join/pk" + label;
+    q3.nodes.push_back(join_node);
+    s.plans.push_back(q3);
+
+    LatencyCellSpec cell;
+    cell.name = "pk" + label;
+    cell.datasets = {"join/pk" + label};
+    cell.plan = "q3/pk" + label;
+    s.latency.cells.push_back(cell);
+  }
+  s.latency.ways = harness::kWaySweep;
+  s.latency.smoke_ways = {20, 2};
+  s.latency.smoke_cells = 1;
+  return s;
+}
+
 Scenario Fig09Scenario() {
   Scenario s;
   s.benchmark = "fig09_scan_vs_agg";
@@ -176,12 +278,17 @@ Scenario ServingMixScenario() {
 }
 
 std::vector<std::string> BuiltinScenarioNames() {
-  return {"fig04_scan_cache_size", "fig09_scan_vs_agg", "ext_serving_tail"};
+  return {"fig04_scan_cache_size", "fig05_agg_cache_size",
+          "fig06_join_cache_size", "fig09_scan_vs_agg", "ext_serving_tail"};
 }
 
 Status BuiltinScenario(const std::string& name, Scenario* out) {
   if (name == "fig04_scan_cache_size") {
     *out = Fig04Scenario();
+  } else if (name == "fig05_agg_cache_size") {
+    *out = Fig05Scenario();
+  } else if (name == "fig06_join_cache_size") {
+    *out = Fig06Scenario();
   } else if (name == "fig09_scan_vs_agg") {
     *out = Fig09Scenario();
   } else if (name == "ext_serving_tail") {

@@ -3,6 +3,7 @@
 
 // Builtin scenario descriptions — the figure benches ported to the scenario
 // subsystem. The refactored bench mains (bench/fig04_scan_cache_size,
+// bench/fig05_agg_cache_size, bench/fig06_join_cache_size,
 // bench/fig09_scan_vs_agg, bench/ext_serving_tail) execute these through
 // RunScenario, and `scenario_runner --dump-builtin=<name>` serializes them
 // to the canonical text checked in under scenarios/ — so the checked-in
@@ -17,6 +18,14 @@ namespace catdb::plan {
 
 /// Fig. 4: isolated column scan, LLC way sweep (latency_sweep).
 Scenario Fig04Scenario();
+
+/// Fig. 5 (a,b,c): isolated aggregation across three dictionary scenarios
+/// and five group counts, LLC way sweep (latency_sweep, cell mode).
+Scenario Fig05Scenario();
+
+/// Fig. 6: isolated foreign-key join across four primary-key counts, LLC
+/// way sweep (latency_sweep, cell mode).
+Scenario Fig06Scenario();
 
 /// Fig. 9 (a,b,c): scan vs aggregation pair experiments across three
 /// dictionary scenarios and five group counts (pair_sweep).

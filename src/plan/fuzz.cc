@@ -16,7 +16,7 @@ namespace catdb::plan {
 namespace {
 
 constexpr const char* kRegimeNames[kNumFuzzRegimes] = {
-    "default", "reference", "scalar", "simthreads2"};
+    "default", "reference", "scalar", "simthreads2", "nosimd"};
 
 /// Digest of one regime's outcome: the serialized run report of the
 /// completed iterations. Identical digests across regimes mean identical
@@ -55,6 +55,9 @@ sim::MachineConfig FuzzRegimeConfig(size_t regime) {
       break;
     case 3:
       cfg.sim_threads = 2;
+      break;
+    case 4:
+      cfg.hierarchy.simd = false;
       break;
     default:
       CATDB_CHECK(false);

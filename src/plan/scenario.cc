@@ -158,14 +158,74 @@ Status ValidateScenario(const Scenario& scenario) {
   switch (scenario.kind) {
     case SweepKind::kLatency: {
       const LatencySweepSpec& s = scenario.latency;
-      if (!has_plan(s.plan)) {
-        return Status::InvalidArgument(
-            "$.latency_sweep.plan: references unknown plan '" + s.plan + "'");
-      }
-      if (s.iterations < 2) {
-        return Status::InvalidArgument(
-            "$.latency_sweep.iterations: need at least 2 (warm latency is "
-            "the delta of the last two iteration end clocks)");
+      if (s.cells.empty()) {
+        // Single-plan mode.
+        if (!has_plan(s.plan)) {
+          return Status::InvalidArgument(
+              "$.latency_sweep.plan: references unknown plan '" + s.plan +
+              "'");
+        }
+        if (s.iterations < 2) {
+          return Status::InvalidArgument(
+              "$.latency_sweep.iterations: need at least 2 (warm latency is "
+              "the delta of the last two iteration end clocks)");
+        }
+      } else {
+        if (!s.plan.empty()) {
+          return Status::InvalidArgument(
+              "$.latency_sweep: 'plan' and 'cells' are mutually exclusive");
+        }
+        if (s.smoke_cells == 0 || s.smoke_cells > s.cells.size()) {
+          return Status::InvalidArgument(
+              "$.latency_sweep.smoke_cells: must be in [1, number of "
+              "cells]");
+        }
+        std::set<std::string> cell_names;
+        for (size_t i = 0; i < s.cells.size(); ++i) {
+          const LatencyCellSpec& cell = s.cells[i];
+          const std::string path = IndexPath("$.latency_sweep.cells", i);
+          if (cell.name.empty()) {
+            return Status::InvalidArgument(JoinPath(path, "name") +
+                                           ": must be nonempty");
+          }
+          if (!cell_names.insert(cell.name).second) {
+            return Status::InvalidArgument(JoinPath(path, "name") +
+                                           ": duplicate cell name '" +
+                                           cell.name + "'");
+          }
+          for (size_t d = 0; d < cell.datasets.size(); ++d) {
+            if (dataset_names.count(cell.datasets[d]) == 0) {
+              return Status::InvalidArgument(
+                  IndexPath(JoinPath(path, "datasets"), d) +
+                  ": references unknown dataset '" + cell.datasets[d] + "'");
+            }
+          }
+          if (!has_plan(cell.plan)) {
+            return Status::InvalidArgument(JoinPath(path, "plan") +
+                                           ": references unknown plan '" +
+                                           cell.plan + "'");
+          }
+          // Every dataset the plan touches must be built by this cell.
+          for (const Plan& plan : scenario.plans) {
+            if (plan.name != cell.plan) continue;
+            for (const PlanNode& node : plan.nodes) {
+              if (node.op == OpKind::kScratchTouch) continue;
+              bool in_cell = false;
+              for (const std::string& d : cell.datasets) {
+                if (d == node.dataset) {
+                  in_cell = true;
+                  break;
+                }
+              }
+              if (!in_cell) {
+                return Status::InvalidArgument(
+                    JoinPath(path, "datasets") + ": plan '" + cell.plan +
+                    "' needs dataset '" + node.dataset +
+                    "', which the cell does not build");
+              }
+            }
+          }
+        }
       }
       if (s.ways.empty() || s.smoke_ways.empty()) {
         return Status::InvalidArgument(
@@ -348,10 +408,35 @@ namespace {
 
 Status LatencyFromJson(const obs::JsonValue& v, const std::string& path,
                        LatencySweepSpec* out) {
-  CATDB_RETURN_IF_ERROR(
-      CheckKeys(v, path, {"plan", "iterations", "ways", "smoke_ways"}));
-  CATDB_RETURN_IF_ERROR(GetString(v, path, "plan", &out->plan));
-  CATDB_RETURN_IF_ERROR(GetU64(v, path, "iterations", &out->iterations));
+  // Cell mode and single-plan mode have disjoint key sets, so a mixed file
+  // fails key checking with the offending key named.
+  if (v.Find("cells") != nullptr) {
+    CATDB_RETURN_IF_ERROR(CheckKeys(
+        v, path, {"ways", "smoke_ways", "smoke_cells", "cells"}));
+    CATDB_RETURN_IF_ERROR(GetU64(v, path, "smoke_cells", &out->smoke_cells));
+    const obs::JsonValue* cells = nullptr;
+    CATDB_RETURN_IF_ERROR(RequireField(v, path, "cells", &cells));
+    const std::string cells_path = JoinPath(path, "cells");
+    if (!cells->is_array()) {
+      return Status::InvalidArgument(cells_path + ": expected an array");
+    }
+    for (size_t i = 0; i < cells->array().size(); ++i) {
+      const obs::JsonValue& cv = cells->array()[i];
+      const std::string cp = IndexPath(cells_path, i);
+      LatencyCellSpec cell;
+      CATDB_RETURN_IF_ERROR(CheckKeys(cv, cp, {"name", "datasets", "plan"}));
+      CATDB_RETURN_IF_ERROR(GetString(cv, cp, "name", &cell.name));
+      CATDB_RETURN_IF_ERROR(
+          GetStringArray(cv, cp, "datasets", &cell.datasets));
+      CATDB_RETURN_IF_ERROR(GetString(cv, cp, "plan", &cell.plan));
+      out->cells.push_back(std::move(cell));
+    }
+  } else {
+    CATDB_RETURN_IF_ERROR(
+        CheckKeys(v, path, {"plan", "iterations", "ways", "smoke_ways"}));
+    CATDB_RETURN_IF_ERROR(GetString(v, path, "plan", &out->plan));
+    CATDB_RETURN_IF_ERROR(GetU64(v, path, "iterations", &out->iterations));
+  }
   CATDB_RETURN_IF_ERROR(GetU32Array(v, path, "ways", &out->ways));
   CATDB_RETURN_IF_ERROR(GetU32Array(v, path, "smoke_ways", &out->smoke_ways));
   return Status::OK();
@@ -548,10 +633,24 @@ namespace {
 
 obs::JsonValue LatencyToJson(const LatencySweepSpec& s) {
   std::vector<std::pair<std::string, obs::JsonValue>> m;
-  m.emplace_back("plan", obs::JsonValue::Str(s.plan));
-  m.emplace_back("iterations", obs::JsonValue::Int(s.iterations));
+  if (s.cells.empty()) {
+    m.emplace_back("plan", obs::JsonValue::Str(s.plan));
+    m.emplace_back("iterations", obs::JsonValue::Int(s.iterations));
+  }
   m.emplace_back("ways", U32ArrayToJson(s.ways));
   m.emplace_back("smoke_ways", U32ArrayToJson(s.smoke_ways));
+  if (!s.cells.empty()) {
+    m.emplace_back("smoke_cells", obs::JsonValue::Int(s.smoke_cells));
+    std::vector<obs::JsonValue> cells;
+    for (const LatencyCellSpec& cell : s.cells) {
+      std::vector<std::pair<std::string, obs::JsonValue>> cm;
+      cm.emplace_back("name", obs::JsonValue::Str(cell.name));
+      cm.emplace_back("datasets", StringArrayToJson(cell.datasets));
+      cm.emplace_back("plan", obs::JsonValue::Str(cell.plan));
+      cells.push_back(obs::JsonValue::Object(std::move(cm)));
+    }
+    m.emplace_back("cells", obs::JsonValue::Array(std::move(cells)));
+  }
   return obs::JsonValue::Object(std::move(m));
 }
 

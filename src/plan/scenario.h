@@ -41,11 +41,31 @@ enum class SweepKind : uint8_t {
 
 const char* SweepKindName(SweepKind kind);  // JSON spelling, "latency_sweep"
 
+/// One column of a multi-cell latency sweep (fig05/fig06 shape): its own
+/// datasets and plan, executed as a warm-iteration way sweep on one machine
+/// with an explicit in-cell full-LLC baseline.
+struct LatencyCellSpec {
+  std::string name;  // runner cell name and report-key prefix
+  /// Datasets built in this cell, in listed order (order is part of the
+  /// simulated allocation sequence and therefore of byte-identity).
+  std::vector<std::string> datasets;
+  std::string plan;
+};
+
 struct LatencySweepSpec {
-  std::string plan;     // plan name to sweep
+  /// Single-plan mode (fig04 shape): every way restriction is its own cell
+  /// running `plan` for `iterations` on a fresh machine. Empty when `cells`
+  /// is used.
+  std::string plan;
   uint64_t iterations = 3;
   std::vector<uint32_t> ways;        // full axis
   std::vector<uint32_t> smoke_ways;  // --smoke axis
+  /// Cell mode (fig05/fig06 shape): each entry is one independent column
+  /// cell sweeping WarmIterationCycles over the way axis. Exactly one of
+  /// `plan` and `cells` is set.
+  std::vector<LatencyCellSpec> cells;
+  /// Number of cells run under --smoke (prefix of `cells`); cell mode only.
+  uint64_t smoke_cells = 1;
 };
 
 /// Optional partitioning-policy override for the pair sweep's partitioned

@@ -66,9 +66,58 @@ std::vector<std::string> AllDatasetNames(const Scenario& scenario) {
   return names;
 }
 
+/// Cell-mode latency sweep (fig05/fig06 shape): every scenario cell is one
+/// independent column — own machine, datasets and plan — that computes its
+/// full-LLC baseline explicitly and then sweeps the way axis with
+/// WarmIterationCycles on the same (warm) machine, exactly like the
+/// hand-coded column cells.
+void RunLatencyCells(const Scenario& scenario, const ExecOptions& opts,
+                     harness::SweepRunner* runner, LatencyOutcome* out) {
+  const LatencySweepSpec& spec = scenario.latency;
+  out->ways = opts.smoke ? spec.smoke_ways : spec.ways;
+  const size_t num_cells = opts.smoke ? static_cast<size_t>(spec.smoke_cells)
+                                      : spec.cells.size();
+  out->columns.resize(num_cells);
+  for (size_t ci = 0; ci < num_cells; ++ci) {
+    const LatencyCellSpec* cs = &spec.cells[ci];
+    LatencyOutcome::ColumnCell* col = &out->columns[ci];
+    col->name = cs->name;
+    const std::vector<uint32_t>* ways = &out->ways;
+    runner->AddCell(cs->name, [&scenario, cs, ways,
+                               col](harness::SweepCell& cell) {
+      sim::Machine& machine = cell.MakeMachine();
+      CellWorkload wl;
+      wl.Build(&machine, scenario, cs->datasets);
+      const Plan* plan = FindPlan(scenario, cs->plan);
+      CATDB_CHECK(plan != nullptr);
+      std::unique_ptr<PlanQuery> q = wl.Lower(&machine, *plan);
+
+      // Full-LLC baseline first, independent of the sweep axis contents.
+      const uint32_t full_ways = harness::FullLlcWays(machine);
+      col->full_cycles = static_cast<double>(
+          harness::WarmIterationCycles(&machine, q.get(), full_ways));
+      for (const uint32_t w : *ways) {
+        const double cycles =
+            w == full_ways
+                ? col->full_cycles
+                : static_cast<double>(
+                      harness::WarmIterationCycles(&machine, q.get(), w));
+        col->norm.push_back(col->full_cycles / cycles);
+        cell.report().AddScalar(cs->name + "/ways" + std::to_string(w),
+                                col->norm.back());
+      }
+    });
+  }
+  runner->Run();
+}
+
 void RunLatency(const Scenario& scenario, const ExecOptions& opts,
                 harness::SweepRunner* runner, LatencyOutcome* out) {
   const LatencySweepSpec& spec = scenario.latency;
+  if (!spec.cells.empty()) {
+    RunLatencyCells(scenario, opts, runner, out);
+    return;
+  }
   const Plan* plan = FindPlan(scenario, spec.plan);
   CATDB_CHECK(plan != nullptr);
 
@@ -336,8 +385,12 @@ void AddScenarioSection(obs::RunReportWriter* report,
   s.num_plans = scenario.plans.size();
   switch (scenario.kind) {
     case SweepKind::kLatency:
-      // Sweep entries plus the explicit full-LLC baseline cell.
-      s.num_cells = scenario.latency.ways.size() + 1;
+      // Single-plan mode: sweep entries plus the explicit full-LLC baseline
+      // cell. Cell mode: one runner cell per scenario cell (each cell's
+      // baseline is internal).
+      s.num_cells = scenario.latency.cells.empty()
+                        ? scenario.latency.ways.size() + 1
+                        : scenario.latency.cells.size();
       break;
     case SweepKind::kPair:
       s.num_cells = scenario.pair.cells.size();

@@ -38,8 +38,10 @@ struct ExecOptions {
   sim::MachineConfig machine_config;
 };
 
-/// Latency sweep: one entry per way restriction (the baseline cell is
-/// separate), in the order of the swept axis.
+/// Latency sweep. Single-plan mode fills `cells` (one entry per way
+/// restriction; the baseline cell is separate). Cell mode fills `columns`
+/// (one entry per scenario cell actually run, in scenario order; each with
+/// its own in-cell full-LLC baseline).
 struct LatencyOutcome {
   std::vector<uint32_t> ways;  // the axis actually run (smoke or full)
   double baseline_cycles = 0;  // warm iteration at the full LLC
@@ -48,6 +50,12 @@ struct LatencyOutcome {
     engine::RunReport rep;
   };
   std::vector<Cell> cells;  // parallel to `ways`
+  struct ColumnCell {
+    std::string name;
+    double full_cycles = 0;    // in-cell full-LLC baseline
+    std::vector<double> norm;  // normalized throughput, parallel to `ways`
+  };
+  std::vector<ColumnCell> columns;
 };
 
 /// Pair sweep: one PairResult per cell actually run (smoke prefix or all),

@@ -71,6 +71,7 @@ Machine::Machine(const MachineConfig& config)
                     ? llc_sets / static_cast<uint32_t>(simcache::kPageLines)
                     : 1;
   color_page_counter_.assign(num_colors_, 0);
+  access_ctx_.resize(config.hierarchy.num_cores);
   for (uint32_t c = 0; c < config.hierarchy.num_cores; ++c) {
     core_scratch_.push_back(
         AllocVirtual(kScratchLines * simcache::kLineSize));
@@ -175,11 +176,47 @@ uint32_t Machine::PageColorOf(uint64_t vaddr) const {
   return static_cast<uint32_t>(ppage % num_colors_);
 }
 
+void Machine::PointAccess(uint32_t core, uint64_t addr) {
+  // Host profiling (selfperf breakdown leg only): the whole point chain —
+  // memo validation, translation, the hierarchy walk — books under one
+  // bucket, like the scalar chain it replaces. Unprofiled runs pay a single
+  // predictable branch.
+  simcache::HostCycleBreakdown* const hp = hierarchy_.host_profile();
+  const uint64_t t0 = hp != nullptr ? simcache::HostTimerNow() : 0;
+  AccessContext& ctx = access_ctx_[core];
+  if (ctx.cat_gen != cat_.generation()) {
+    ctx.clos = cat_.CoreClos(core);
+    ctx.mask = cat_.CoreMask(core);
+    ctx.cat_gen = cat_.generation();
+  }
+  const uint64_t vpage = addr >> simcache::kPageShift;
+  if (ctx.vpage != vpage) {
+    // Page mappings are immutable once assigned (MapRange only fills empty
+    // entries), so a translated page base never goes stale.
+    ctx.pline_base =
+        simcache::LineOf(Translate(vpage << simcache::kPageShift));
+    ctx.vpage = vpage;
+  }
+  const uint64_t pline =
+      ctx.pline_base +
+      ((addr & (simcache::kPageBytes - 1)) >> simcache::kLineShift);
+  const simcache::AccessResult r = hierarchy_.AccessPoint(
+      core, pline, clocks_[core], ctx.mask, ctx.clos);
+  clocks_[core] += r.latency_cycles;
+  if (hp != nullptr) {
+    hp->scalar_access += simcache::HostTimerNow() - t0;
+    hp->scalar_accesses += 1;
+  }
+}
+
 void Machine::Access(uint32_t core, uint64_t addr, bool is_write) {
   (void)is_write;  // writes are timed like reads (write-allocate)
-  // Host profiling (selfperf breakdown leg only): the whole scalar access
-  // chain — CLOS resolution, translation, the hierarchy walk — books under
-  // one bucket. Unprofiled runs pay a single predictable branch.
+  if (!config_.hierarchy.reference_impl) {
+    PointAccess(core, addr);
+    return;
+  }
+  // Reference mode keeps the unmemoized chain: per-access CLOS resolution,
+  // full translation, the hierarchy's reference walk.
   simcache::HostCycleBreakdown* const hp = hierarchy_.host_profile();
   const uint64_t t0 = hp != nullptr ? simcache::HostTimerNow() : 0;
   const cat::ClosId clos = cat_.CoreClos(core);
@@ -205,6 +242,13 @@ void Machine::AccessRun(uint32_t core, uint64_t addr, uint64_t n_lines,
     return;
   }
   (void)is_write;  // writes are timed like reads (write-allocate)
+  if (n_lines == 1) {
+    // Single-line runs (point reads, short tail chunks) gain nothing from
+    // run batching but would pay its per-run setup and counter flush; the
+    // point-access chain is both cheaper and trivially result-identical.
+    PointAccess(core, addr);
+    return;
+  }
   simcache::HostCycleBreakdown* const hp = hierarchy_.host_profile();
   // The CLOS/mask decode is charged to run_setup: it is per-run fixed cost
   // paid before any line is simulated, same bucket as the hierarchy's own
@@ -213,20 +257,6 @@ void Machine::AccessRun(uint32_t core, uint64_t addr, uint64_t n_lines,
   const cat::ClosId clos = cat_.CoreClos(core);
   const uint64_t mask = cat_.CoreMask(core);
   if (hp != nullptr) hp->run_setup += simcache::HostTimerNow() - t_decode;
-  if (n_lines == 1) {
-    // Single-line runs (point reads, short tail chunks) gain nothing from
-    // run batching but would pay its per-run setup and counter flush; the
-    // scalar access chain is both cheaper and trivially result-identical.
-    const uint64_t t0 = hp != nullptr ? simcache::HostTimerNow() : 0;
-    const simcache::AccessResult r =
-        hierarchy_.Access(core, Translate(addr), clocks_[core], mask, clos);
-    clocks_[core] += r.latency_cycles;
-    if (hp != nullptr) {
-      hp->scalar_access += simcache::HostTimerNow() - t0;
-      hp->scalar_accesses += 1;
-    }
-    return;
-  }
   uint64_t now = clocks_[core];
   uint64_t vline = addr >> simcache::kLineShift;
   uint64_t remaining = n_lines;

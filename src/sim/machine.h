@@ -205,6 +205,25 @@ class Machine {
   static constexpr uint32_t kScratchLines = 16;
 
  private:
+  // Per-core memo for the point-access fast path (fast mode only): the CLOS
+  // and CAT mask snapshot (valid while the CAT generation is unchanged) and
+  // the physical line base of the last-touched virtual page (valid forever:
+  // page mappings are immutable once assigned). Re-validating is two
+  // compares, so the hot exit of a point access needs neither the
+  // out-of-line CoreClos/CoreMask pair nor a page-table walk.
+  struct AccessContext {
+    uint64_t vpage = ~uint64_t{0};
+    uint64_t pline_base = 0;
+    uint64_t cat_gen = ~uint64_t{0};
+    uint64_t mask = 0;
+    uint32_t clos = 0;
+  };
+
+  // The point-access chain behind Access and single-line AccessRun calls in
+  // fast mode: memoized CLOS/mask/translation feeding the hierarchy's
+  // inline AccessPoint. Bit-identical to the unmemoized scalar chain.
+  void PointAccess(uint32_t core, uint64_t addr);
+
   // Assigns a fresh physical page of one of the colors in `color_mask`
   // (0 = any color, round-robin). Physical page numbers within each color
   // class are dealt in a pseudo-random (but deterministic) order so equally
@@ -220,6 +239,7 @@ class Machine {
   std::unique_ptr<obs::EventTrace> trace_;
   std::vector<uint64_t> clocks_;
   std::vector<uint64_t> core_scratch_;
+  std::vector<AccessContext> access_ctx_;
   uint64_t next_vaddr_;
   uint32_t num_colors_ = 1;
   // page_table_[vpage] = physical page number (+1; 0 = unmapped).

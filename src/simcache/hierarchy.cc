@@ -29,6 +29,17 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
       prefetchers_[c]->set_reference_mode(true);
     }
   }
+  // Per-machine SIMD resolution (rather than reading the process default at
+  // every probe): differential regimes build SIMD-on and SIMD-off machines
+  // in one process, so the level must be instance state.
+  const SimdLevel simd =
+      config_.simd ? DefaultSimdLevel() : SimdLevel::kScalar;
+  llc_->set_simd_level(simd);
+  for (uint32_t c = 0; c < config_.num_cores; ++c) {
+    l1_[c]->set_simd_level(simd);
+    l2_[c]->set_simd_level(simd);
+    prefetchers_[c]->set_simd_level(simd);
+  }
   core_stats_.resize(config_.num_cores);
   clos_monitors_.resize(kMaxClos);
   profile_tags_.assign(config_.num_cores, kProfileTagClos);
@@ -40,6 +51,12 @@ AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
   CATDB_DCHECK(core < config_.num_cores);
   CATDB_DCHECK(clos < kMaxClos);
   const uint64_t line = LineOf(addr);
+  // Fast mode shares the point-access path (inline L1-hit exit), so the two
+  // public entries cannot drift apart. Only the reference cost model stays
+  // here.
+  if (!config_.reference_impl) {
+    return AccessPoint(core, line, now, llc_alloc_mask, clos);
+  }
   HierarchyStats& cs = core_stats_[core];
   ClosMonitor& mon = clos_monitors_[clos];
   AccessResult result;
@@ -50,17 +67,15 @@ AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
   IssuePrefetches(core, line, now, llc_alloc_mask, clos);
 
   // Reference cost model: the seed probed the pending-prefetch table before
-  // the L1 lookup on every access. Keep that probe (and its cost) in
-  // reference mode, but consume the entry only on the L1-miss paths, so
-  // both implementations follow the fixed accounting semantics.
+  // the L1 lookup on every access. Keep that probe (and its cost), but
+  // consume the entry only on the L1-miss paths, so both implementations
+  // follow the fixed accounting semantics.
   uint64_t pending_wait = 0;
   bool ref_pending = false;
-  if (config_.reference_impl) {
-    if (auto it = prefetch_ready_ref_.find(line);
-        it != prefetch_ready_ref_.end()) {
-      ref_pending = true;
-      if (it->second > now) pending_wait = it->second - now;
-    }
+  if (auto it = prefetch_ready_ref_.find(line);
+      it != prefetch_ready_ref_.end()) {
+    ref_pending = true;
+    if (it->second > now) pending_wait = it->second - now;
   }
 
   if (l1_[core]->Lookup(line)) {
@@ -82,17 +97,10 @@ AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
   // demand access waits for the remainder of the transfer (partial latency
   // hiding — this is what couples a prefetch-covered scan to the DRAM
   // bandwidth).
-  if (config_.reference_impl) {
-    if (ref_pending) {
-      stats_.prefetch_hits += 1;
-      cs.prefetch_hits += 1;
-      prefetch_ready_ref_.erase(line);
-    }
-  } else if (uint64_t* ready = prefetch_ready_.Find(line); ready != nullptr) {
-    if (*ready > now) pending_wait = *ready - now;
+  if (ref_pending) {
     stats_.prefetch_hits += 1;
     cs.prefetch_hits += 1;
-    prefetch_ready_.Erase(line);
+    prefetch_ready_ref_.erase(line);
   }
 
   if (l2_[core]->Lookup(line)) {
@@ -135,6 +143,105 @@ AccessResult MemoryHierarchy::Access(uint32_t core, uint64_t addr,
   cs.dram_wait_cycles += wait;
   mon.mbm_lines += 1;
   FillFromDram(core, line, llc_alloc_mask, clos);
+  result.latency_cycles = config_.latency.llc_hit + dram_latency;
+  result.level = HitLevel::kDram;
+  return result;
+}
+
+AccessResult MemoryHierarchy::AccessPointMiss(uint32_t core, uint64_t line,
+                                              uint64_t now,
+                                              uint64_t llc_alloc_mask,
+                                              uint32_t clos,
+                                              size_t l1_victim) {
+  SetAssocCache& l1 = *l1_[core];
+  SetAssocCache& l2 = *l2_[core];
+  HierarchyStats& cs = core_stats_[core];
+  ClosMonitor& mon = clos_monitors_[clos];
+  AccessResult result;
+  stats_.l1.misses += 1;
+  cs.l1.misses += 1;
+
+  // If the line is an in-flight prefetch that has not arrived yet, the
+  // demand access waits for the remainder of the transfer (partial latency
+  // hiding — this is what couples a prefetch-covered scan to the DRAM
+  // bandwidth). Fast mode probes the pending table only after an L1 miss;
+  // Take consumes the entry in the same probe chain that found it.
+  uint64_t pending_wait = 0;
+  uint64_t ready = 0;
+  if (prefetch_ready_.Take(line, &ready)) {
+    if (ready > now) pending_wait = ready - now;
+    stats_.prefetch_hits += 1;
+    cs.prefetch_hits += 1;
+  }
+
+  // From here the point path follows the run loop's victim-reuse
+  // discipline: each private probe precomputes the slot its later fill
+  // would pick, so a fill is a single store burst (FillAt) instead of a
+  // second set scan, and LLC presence marks reuse the probe's slot.
+  size_t l2_victim = 0;
+  if (l2.LookupOrVictim(line, &l2_victim)) {
+    stats_.l2.hits += 1;
+    cs.l2.hits += 1;
+    // FillPrivate with l2_resident=true, minus the LLC presence re-probe
+    // (see the run loop's L2-hit path for why the bit is already set).
+    l1.FillAt(l1_victim, line);
+    result.latency_cycles = config_.latency.l2_hit + pending_wait;
+    result.level = HitLevel::kL2;
+    return result;
+  }
+  stats_.l2.misses += 1;
+  cs.l2.misses += 1;
+
+  if (shadow_profiler_ != nullptr) {
+    const uint32_t tag = profile_tags_[core];
+    shadow_profiler_->Observe(tag == kProfileTagClos ? clos : tag, line);
+  }
+
+  const int64_t lslot = llc_->LookupSlotHinted(line);
+  if (lslot >= 0) {
+    stats_.llc.hits += 1;
+    cs.llc.hits += 1;
+    mon.llc.hits += 1;
+    // No LLC insert since the demand probes: both precomputed victims
+    // stand.
+    l2.FillAt(l2_victim, line);
+    l1.FillAt(l1_victim, line);
+    if (config_.inclusive_llc) {
+      llc_->MarkPresentAt(static_cast<size_t>(lslot), core);
+    }
+    result.latency_cycles = config_.latency.llc_hit + pending_wait;
+    result.level = HitLevel::kLlc;
+    return result;
+  }
+  stats_.llc.misses += 1;
+  cs.llc.misses += 1;
+  mon.llc.misses += 1;
+
+  uint64_t wait = 0;
+  const uint64_t dram_latency = dram_.RequestLine(now, &wait);
+  stats_.dram_accesses += 1;
+  stats_.dram_wait_cycles += wait;
+  cs.dram_accesses += 1;
+  cs.dram_wait_cycles += wait;
+  mon.mbm_lines += 1;
+  uint64_t evicted_line = SetAssocCache::kInvalidTag;
+  uint32_t evicted_presence = 0;
+  const size_t slot =
+      InsertIntoLlcAt(line, llc_alloc_mask, clos, &evicted_line,
+                      &evicted_presence);
+  // The LLC insert back-invalidates private copies of the evicted line on
+  // cores whose presence bit is set; only then could this core's
+  // precomputed victims be stale (the invalidated slot may now be the
+  // first-empty way the scalar re-scan would pick).
+  if (config_.inclusive_llc && evicted_line != SetAssocCache::kInvalidTag &&
+      ((evicted_presence >> core) & 1u) != 0) {
+    l2.InsertNew(line);
+    l1.InsertNew(line);
+  } else {
+    l2.FillAt(l2_victim, line);
+    l1.FillAt(l1_victim, line);
+  }
+  if (config_.inclusive_llc) llc_->MarkPresentAt(slot, core);
   result.latency_cycles = config_.latency.llc_hit + dram_latency;
   result.level = HitLevel::kDram;
   return result;
@@ -390,17 +497,27 @@ uint64_t MemoryHierarchy::AccessRunImpl(uint32_t core, uint64_t first_line,
     n_dram += 1;
     n_dram_wait += wait;
     prof_begin();
-    // The LLC insert can back-invalidate lines in this core's private
-    // caches, which would stale the precomputed victims — the private fills
-    // re-run victim selection here.
     uint64_t evicted_line = SetAssocCache::kInvalidTag;
-    const size_t slot = InsertIntoLlcAt(line, run_mask, clos, &evicted_line);
+    uint32_t evicted_presence = 0;
+    const size_t slot = InsertIntoLlcAt(line, run_mask, clos, &evicted_line,
+                                        &evicted_presence);
     if (inclusive && evicted_line != SetAssocCache::kInvalidTag &&
         rp_n != 0) {
       rp_scrub(evicted_line);
     }
-    l2.InsertNew(line);
-    l1.InsertNew(line);
+    // The LLC insert back-invalidates private copies of the evicted line on
+    // cores whose presence bit is set; only then could this core's
+    // precomputed victims be stale (the invalidated slot may now be the
+    // first-empty way the scalar re-scan would pick) — re-run victim
+    // selection in that case, reuse the demand probes' victims otherwise.
+    if (inclusive && evicted_line != SetAssocCache::kInvalidTag &&
+        ((evicted_presence >> core) & 1u) != 0) {
+      l2.InsertNew(line);
+      l1.InsertNew(line);
+    } else {
+      l2.FillAt(l2_victim, line);
+      l1.FillAt(l1_victim, line);
+    }
     if (inclusive) llc.MarkPresentAt(slot, core);
     prof_end(c_fill);
     now += lat_llc + dram_latency;
@@ -525,7 +642,8 @@ void MemoryHierarchy::InsertIntoLlc(uint64_t line, uint64_t llc_alloc_mask,
 
 size_t MemoryHierarchy::InsertIntoLlcAt(uint64_t line, uint64_t llc_alloc_mask,
                                         uint32_t clos,
-                                        uint64_t* evicted_line_out) {
+                                        uint64_t* evicted_line_out,
+                                        uint32_t* evicted_presence_out) {
   CATDB_DCHECK(!config_.reference_impl);
   // The caller has just established the line misses the LLC, so the
   // already-present scan can be skipped; InsertNewAt always fills and
@@ -537,6 +655,9 @@ size_t MemoryHierarchy::InsertIntoLlcAt(uint64_t line, uint64_t llc_alloc_mask,
   if (evicted_line_out != nullptr) {
     *evicted_line_out =
         evicted.has_value() ? evicted->line : SetAssocCache::kInvalidTag;
+  }
+  if (evicted_presence_out != nullptr) {
+    *evicted_presence_out = evicted.has_value() ? evicted->presence : 0;
   }
   if (evicted.has_value()) {
     clos_monitors_[clos].occupancy_lines += 1;
@@ -585,14 +706,29 @@ void MemoryHierarchy::IssuePrefetches(uint32_t core, uint64_t line,
   if (!config_.prefetcher.enabled) return;
   scratch_prefetch_lines_.clear();
   prefetchers_[core]->OnDemandAccess(line, &scratch_prefetch_lines_);
+  if (!scratch_prefetch_lines_.empty()) {
+    EmitStagedPrefetches(core, now, llc_alloc_mask, clos);
+  }
+}
+
+void MemoryHierarchy::EmitStagedPrefetches(uint32_t core, uint64_t now,
+                                           uint64_t llc_alloc_mask,
+                                           uint32_t clos) {
+  const bool ref = config_.reference_impl;
   for (uint64_t pf : scratch_prefetch_lines_) {
-    if (llc_->Contains(pf)) {
+    // Fast mode keeps the slot of the LLC probe / insert so the presence
+    // mark is a single store instead of a re-probe (the run loop's
+    // prefetch-insert discipline); the reference path keeps the seed's
+    // Contains + MarkPresent probes.
+    const int64_t pslot = ref ? (llc_->Contains(pf) ? 0 : -1)
+                              : llc_->FindSlotHinted(pf);
+    if (pslot >= 0) {
       // LLC-resident: the L2 streamer still stages the line into the
       // requesting core's L2 (LLC -> L2 prefetch, no DRAM traffic), so a
       // fully cached stream is at least as fast as a DRAM-prefetched one.
       l2_[core]->Insert(pf);
-      if (!config_.reference_impl && config_.inclusive_llc) {
-        llc_->MarkPresent(pf, core);
+      if (!ref && config_.inclusive_llc) {
+        llc_->MarkPresentAt(static_cast<size_t>(pslot), core);
       }
       continue;
     }
@@ -604,7 +740,7 @@ void MemoryHierarchy::IssuePrefetches(uint32_t core, uint64_t line,
       core_stats_[core].prefetches_dropped += 1;
       continue;
     }
-    if (config_.reference_impl) {
+    if (ref) {
       prefetch_ready_ref_[pf] = ready_time;
     } else {
       prefetch_ready_.Assign(pf, ready_time);
@@ -621,12 +757,21 @@ void MemoryHierarchy::IssuePrefetches(uint32_t core, uint64_t line,
     clos_monitors_[clos].mbm_lines += 1;
     // Prefetches fill the LLC and the requesting core's L2 (Intel's L2
     // streamer behaviour) and honour the core's CAT allocation mask.
-    InsertIntoLlc(pf, llc_alloc_mask, clos);
+    if (ref) {
+      InsertIntoLlc(pf, llc_alloc_mask, clos);
+      if (config_.inclusive_llc) {
+        l2_[core]->InsertNew(pf);
+      } else {
+        l2_[core]->Insert(pf);
+      }
+      continue;
+    }
+    const size_t slot = InsertIntoLlcAt(pf, llc_alloc_mask, clos);
     if (config_.inclusive_llc) {
       // The line missed the LLC, so with an inclusive LLC it cannot be in
       // any L2 either.
       l2_[core]->InsertNew(pf);
-      if (!config_.reference_impl) llc_->MarkPresent(pf, core);
+      llc_->MarkPresentAt(slot, core);
     } else {
       l2_[core]->Insert(pf);
     }

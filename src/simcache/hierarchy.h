@@ -39,6 +39,14 @@ struct HierarchyConfig {
   /// uses this as its pre-change baseline, and an equivalence test pins the
   /// two implementations against each other.
   bool reference_impl = false;
+  /// If true (default), the fast-layout caches probe their SoA tag/stamp
+  /// arrays through the way_scan SIMD primitives at the best level the host
+  /// supports (SSE2 baseline, AVX2 when detected; demoted process-wide by
+  /// the CATDB_NO_SIMD environment variable). If false, the caches use the
+  /// scalar probes — the differential oracle the nosimd fuzz regime and the
+  /// selfperf simd_off leg run against. Simulated results are identical
+  /// either way.
+  bool simd = true;
 };
 
 /// Result of one simulated memory access.
@@ -83,6 +91,41 @@ class MemoryHierarchy {
   /// the monitoring tag for CMT/MBM accounting).
   AccessResult Access(uint32_t core, uint64_t addr, uint64_t now,
                       uint64_t llc_alloc_mask, uint32_t clos = 0);
+
+  /// Point-access fast path: Access() for a caller that already holds the
+  /// *line* number (not the byte address). Fast mode only — reference mode
+  /// goes through Access(). Defined inline so the dominant outcome, an L1
+  /// hit on a warm line, runs entirely within the caller: prefetcher
+  /// training (out of line only when the streamer actually stages lines),
+  /// the one-compare L1 way-hint probe, and the hit bookkeeping. Everything
+  /// past an L1 miss is the out-of-line AccessPointMiss tail, which is the
+  /// scalar Access tail verbatim — state evolution is bit-identical to
+  /// Access() on every path.
+  AccessResult AccessPoint(uint32_t core, uint64_t line, uint64_t now,
+                           uint64_t llc_alloc_mask, uint32_t clos = 0) {
+    CATDB_DCHECK(!config_.reference_impl);
+    CATDB_DCHECK(core < config_.num_cores);
+    CATDB_DCHECK(clos < kMaxClos);
+    // Train the streamer before the lookup (hardware trains on the demand
+    // stream regardless of hit/miss). The common case stages nothing and
+    // stays inline.
+    if (config_.prefetcher.enabled) {
+      scratch_prefetch_lines_.clear();
+      prefetchers_[core]->OnDemandAccess(line, &scratch_prefetch_lines_);
+      if (!scratch_prefetch_lines_.empty()) {
+        EmitStagedPrefetches(core, now, llc_alloc_mask, clos);
+      }
+    }
+    size_t l1_victim = 0;
+    if (l1_[core]->LookupOrVictim(line, &l1_victim)) {
+      // Fast mode leaves pending prefetches untouched on L1 hits (see
+      // Access); nothing else in the hierarchy moves.
+      stats_.l1.hits += 1;
+      core_stats_[core].l1.hits += 1;
+      return AccessResult{config_.latency.l1_hit, HitLevel::kL1};
+    }
+    return AccessPointMiss(core, line, now, llc_alloc_mask, clos, l1_victim);
+  }
 
   /// Batched equivalent of `n_lines` consecutive Access calls to the
   /// *physical* line addresses [first_line, first_line + n_lines): the CLOS
@@ -203,16 +246,34 @@ class MemoryHierarchy {
   // LLC, so run-loop callers can mark presence with a single store. When
   // `evicted_line_out` is non-null it receives the evicted line address
   // (SetAssocCache::kInvalidTag if nothing was evicted) — the run loop
-  // scrubs its run-local pending-prefetch FIFO with it.
+  // scrubs its run-local pending-prefetch FIFO with it. When
+  // `evicted_presence_out` is non-null it receives the evicted line's core
+  // presence mask (0 if nothing was evicted) — demand fills use it to tell
+  // whether back-invalidation could have touched the accessing core's
+  // private caches, which decides whether precomputed private victims are
+  // still valid.
   size_t InsertIntoLlcAt(uint64_t line, uint64_t llc_alloc_mask,
                          uint32_t clos,
-                         uint64_t* evicted_line_out = nullptr);
+                         uint64_t* evicted_line_out = nullptr,
+                         uint32_t* evicted_presence_out = nullptr);
   // Fills the line into the core's private caches. `l2_resident` tells the
   // fast path the line was just promoted by the L2 lookup (skip the
   // re-insert); otherwise the line is known absent from both levels.
   void FillPrivate(uint32_t core, uint64_t line, bool l2_resident);
   void IssuePrefetches(uint32_t core, uint64_t line, uint64_t now,
                        uint64_t llc_alloc_mask, uint32_t clos);
+  // Emits the lines the streamer staged in scratch_prefetch_lines_ (both
+  // modes): LLC-resident lines go straight to the core's L2; the rest book a
+  // DRAM prefetch, enter the pending table and fill LLC + L2.
+  void EmitStagedPrefetches(uint32_t core, uint64_t now,
+                            uint64_t llc_alloc_mask, uint32_t clos);
+  // Out-of-line tail of AccessPoint past an L1 miss: pending-table consume,
+  // L2 / shadow / LLC / DRAM — the fast-mode Access tail with the run
+  // loop's victim-reuse discipline. `l1_victim` is the victim slot the
+  // inline L1 probe precomputed on its miss.
+  AccessResult AccessPointMiss(uint32_t core, uint64_t line, uint64_t now,
+                               uint64_t llc_alloc_mask, uint32_t clos,
+                               size_t l1_victim);
 
   HierarchyConfig config_;
   std::vector<std::unique_ptr<SetAssocCache>> l1_;

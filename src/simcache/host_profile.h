@@ -8,12 +8,28 @@
 
 namespace catdb::simcache {
 
-/// Reads the host's timestamp counter. On x86 this is rdtsc — a few cycles,
-/// monotonic enough for aggregated attribution over millions of events.
-/// Elsewhere it falls back to steady_clock, so "cycles" means nanoseconds
-/// there; the breakdown is consumed as *shares*, which are unit-agnostic.
+/// Architecture gate for the hardware timestamp counter. Defined (to 1)
+/// exactly when the target has rdtsc; everything else — any non-x86 target,
+/// or an exotic x86 toolchain without the builtin — takes the portable
+/// steady_clock fallback below. Kept as an explicit macro (rather than an
+/// inline defined() test) so other profiling code can agree with
+/// HostTimerNow about the timer's nature, e.g. when converting cycle shares
+/// to wall time.
+#if !defined(CATDB_HAVE_RDTSC)
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CATDB_HAVE_RDTSC 1
+#endif
+#endif
+
+/// Reads the host's timestamp counter. With CATDB_HAVE_RDTSC this is rdtsc —
+/// a few cycles, monotonic enough for aggregated attribution over millions
+/// of events. Elsewhere it falls back to steady_clock, so "cycles" means
+/// nanoseconds there; the breakdown is consumed as *shares*, which are
+/// unit-agnostic, so the fallback changes resolution and overhead but not
+/// the meaning of any derived metric.
 inline uint64_t HostTimerNow() {
-#if defined(__x86_64__) || defined(__i386__)
+#if defined(CATDB_HAVE_RDTSC)
   return __builtin_ia32_rdtsc();
 #else
   return static_cast<uint64_t>(

@@ -2,6 +2,7 @@
 #define CATDB_SIMCACHE_LINE_MAP_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -11,9 +12,21 @@ namespace catdb::simcache {
 /// Open-addressing hash map from cache-line number to a uint64_t value,
 /// built for the hierarchy's in-flight prefetch bookkeeping: the lookup is
 /// on the per-access hot path (usually a miss), entries churn quickly, and
-/// the population stays small. Linear probing over a power-of-two slot
-/// array with Fibonacci hashing; deletion uses backward shifting, so there
-/// are no tombstones and unsuccessful probes stop at the first empty slot.
+/// the population stays small.
+///
+/// Layout: Robin-Hood linear probing over a power-of-two slot array with
+/// Fibonacci hashing and a hard displacement bound. Insertion keeps every
+/// probe chain sorted by displacement (an arriving key that is further from
+/// its home slot than the resident "robs" the slot and the resident moves
+/// on), which gives the property the hot path needs: an unsuccessful lookup
+/// can stop as soon as it meets a slot whose resident is closer to home
+/// than the probe is long — no full-chain walk, no tombstones. Deletion
+/// backward-shifts the chain, which preserves the invariant. If an insert
+/// would ever displace past kMaxDisplacement the table grows and the insert
+/// restarts, so probe lengths are bounded by construction, not by luck.
+/// The table is semantically an unordered map — iteration order is never
+/// exposed — so the layout cannot perturb bit-identical simulation results
+/// (pinned by the property tests against a reference map model).
 ///
 /// Keys are stored biased by +1 so slot 0 means "empty"; line number
 /// ~0 (2^64 - 1) is therefore not storable — unreachable for line indices,
@@ -30,44 +43,72 @@ class LineMap {
   uint64_t* Find(uint64_t key) {
     if (size_ == 0) return nullptr;
     const uint64_t biased = key + 1;
-    for (size_t i = SlotOf(key);; i = (i + 1) & mask_) {
+    size_t dist = 0;
+    for (size_t i = SlotOf(key);; i = (i + 1) & mask_, ++dist) {
       Slot& s = slots_[i];
       if (s.biased_key == biased) return &s.value;
-      if (s.biased_key == 0) return nullptr;
+      // Empty slot, or a resident closer to home than this probe is long:
+      // the Robin-Hood invariant says the key cannot live further down.
+      if (s.biased_key == 0 || DisplacementOf(s.biased_key, i) < dist) {
+        return nullptr;
+      }
     }
   }
 
   /// Inserts or overwrites the value for `key`.
   void Assign(uint64_t key, uint64_t value) {
     if ((size_ + 1) * 4 > slots_.size() * 3) Grow();
-    const uint64_t biased = key + 1;
-    CATDB_DCHECK(biased != 0);
-    for (size_t i = SlotOf(key);; i = (i + 1) & mask_) {
+    uint64_t bk = key + 1;
+    CATDB_DCHECK(bk != 0);
+    uint64_t val = value;
+    size_t dist = 0;
+    size_t i = SlotOf(bk - 1);
+    for (;;) {
       Slot& s = slots_[i];
-      if (s.biased_key == biased) {
-        s.value = value;
+      if (s.biased_key == bk) {
+        // Only reachable before the first swap: a present key is met before
+        // any slot the probe could rob (residents ahead of it sit at or
+        // above the probe distance), and a robbed resident's key is unique
+        // in the table, so it can never meet its own duplicate.
+        s.value = val;
         return;
       }
       if (s.biased_key == 0) {
-        s.biased_key = biased;
-        s.value = value;
+        s.biased_key = bk;
+        s.value = val;
         size_ += 1;
         return;
       }
+      if (dist > kMaxDisplacement) {
+        // Displacement bound hit. The table is a complete map minus the one
+        // in-flight element (the original key, or the resident the last
+        // swap displaced — either way absent from the table): grow, which
+        // rehashes every resident, and re-place the in-flight element in
+        // the roomier table.
+        Grow();
+        i = SlotOf(bk - 1);
+        dist = 0;
+        continue;
+      }
+      const size_t resident_dist = DisplacementOf(s.biased_key, i);
+      if (resident_dist < dist) {
+        // Rob the slot: the closer-to-home resident moves on, keeping every
+        // chain sorted by displacement.
+        std::swap(s.biased_key, bk);
+        std::swap(s.value, val);
+        dist = resident_dist;
+      }
+      i = (i + 1) & mask_;
+      ++dist;
     }
   }
 
   /// Removes `key` if present; returns true if it was.
   bool Erase(uint64_t key) {
-    if (size_ == 0) return false;
-    const uint64_t biased = key + 1;
-    for (size_t i = SlotOf(key);; i = (i + 1) & mask_) {
-      if (slots_[i].biased_key == biased) {
-        EraseAt(i);
-        return true;
-      }
-      if (slots_[i].biased_key == 0) return false;
-    }
+    const size_t i = FindSlotIndex(key);
+    if (i == kNone) return false;
+    EraseAt(i);
+    return true;
   }
 
   /// Removes `key` if present, storing its value in `*value` first: the
@@ -75,16 +116,11 @@ class LineMap {
   /// one probe chain instead of two. Returns true if the key was present;
   /// `*value` is untouched otherwise.
   bool Take(uint64_t key, uint64_t* value) {
-    if (size_ == 0) return false;
-    const uint64_t biased = key + 1;
-    for (size_t i = SlotOf(key);; i = (i + 1) & mask_) {
-      if (slots_[i].biased_key == biased) {
-        *value = slots_[i].value;
-        EraseAt(i);
-        return true;
-      }
-      if (slots_[i].biased_key == 0) return false;
-    }
+    const size_t i = FindSlotIndex(key);
+    if (i == kNone) return false;
+    *value = slots_[i].value;
+    EraseAt(i);
+    return true;
   }
 
   /// Removes every entry; keeps the current capacity.
@@ -101,25 +137,44 @@ class LineMap {
   };
 
   static constexpr size_t kInitialSlots = 64;
+  static constexpr size_t kNone = ~size_t{0};
+  // Hard probe-length bound. At the 3/4 load factor Robin-Hood displacements
+  // concentrate near the mean probe length (~2), so 32 is effectively
+  // unreachable except under adversarial key clustering — where growing is
+  // the right response anyway.
+  static constexpr size_t kMaxDisplacement = 32;
+
+  // Probe distance of the resident of slot `i` from its home slot.
+  size_t DisplacementOf(uint64_t biased_key, size_t i) const {
+    return (i - SlotOf(biased_key - 1)) & mask_;
+  }
+
+  // Slot index holding `key`, or kNone. Shares the early-exit rule with
+  // Find.
+  size_t FindSlotIndex(uint64_t key) const {
+    if (size_ == 0) return kNone;
+    const uint64_t biased = key + 1;
+    size_t dist = 0;
+    for (size_t i = SlotOf(key);; i = (i + 1) & mask_, ++dist) {
+      const Slot& s = slots_[i];
+      if (s.biased_key == biased) return i;
+      if (s.biased_key == 0 || DisplacementOf(s.biased_key, i) < dist) {
+        return kNone;
+      }
+    }
+  }
 
   // Empties slot `i` by backward-shift deletion: pull later probe-chain
-  // members into the hole so unsuccessful lookups can keep stopping at
-  // empty slots.
+  // members one slot toward their home until a chain break (empty slot or a
+  // resident already at home). Keeps displacement-sorted chains sorted and
+  // leaves no tombstones.
   void EraseAt(size_t i) {
     size_t hole = i;
     for (size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
-      const uint64_t bk = slots_[j].biased_key;
-      if (bk == 0) break;
-      const size_t home = SlotOf(bk - 1);
-      // The element at j may fill the hole iff its home position does not
-      // lie in the (cyclic) open interval (hole, j] — i.e. moving it to
-      // `hole` keeps it at or after its home slot.
-      const size_t dist_hole = (j - hole) & mask_;
-      const size_t dist_home = (j - home) & mask_;
-      if (dist_home >= dist_hole) {
-        slots_[hole] = slots_[j];
-        hole = j;
-      }
+      Slot& s = slots_[j];
+      if (s.biased_key == 0 || DisplacementOf(s.biased_key, j) == 0) break;
+      slots_[hole] = s;
+      hole = j;
     }
     slots_[hole] = Slot{};
     size_ -= 1;

@@ -11,53 +11,10 @@ StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig& config)
     : config_(config) {
   CATDB_CHECK(config_.num_streams >= 1);
   CATDB_CHECK(config_.trigger_run >= 1);
-  streams_.resize(config_.num_streams);
-}
-
-void StreamPrefetcher::OnDemandAccess(uint64_t line,
-                                      std::vector<uint64_t>* out) {
-  if (!config_.enabled) return;
-  if (reference_mode_) {
-    OnDemandAccessReference(line, out);
-    return;
-  }
-
-  // One pass over the stream table. `last_line` values are unique among
-  // valid streams (a stream only ever adopts a last_line after a full scan
-  // found no other stream holding it), so the head-re-access match and the
-  // extension match are each unique and can be collected in the same scan
-  // as the LRU victim — the reference implementation's three separate scans
-  // resolve to the same stream. Head re-access takes priority over
-  // extension, so the extension is only applied after the scan completes.
-  Stream* extend = nullptr;
-  Stream* first_invalid = nullptr;
-  Stream* lru = nullptr;
-  for (Stream& s : streams_) {
-    if (!s.valid) {
-      if (first_invalid == nullptr) first_invalid = &s;
-      continue;
-    }
-    if (s.last_line == line) {
-      // Re-access of a stream head: refresh recency, nothing to prefetch.
-      s.lru_stamp = ++stamp_counter_;
-      return;
-    }
-    if (line == s.last_line + 1) extend = &s;
-    if (lru == nullptr || s.lru_stamp < lru->lru_stamp) lru = &s;
-  }
-
-  if (extend != nullptr) {
-    ExtendStream(extend, line, out);
-    return;
-  }
-
-  // New stream: replace the first invalid slot, else the LRU stream.
-  Stream* victim = first_invalid != nullptr ? first_invalid : lru;
-  victim->valid = true;
-  victim->last_line = line;
-  victim->next_prefetch = line + 1;
-  victim->run_length = 1;
-  victim->lru_stamp = ++stamp_counter_;
+  heads_.assign(config_.num_streams, kNoStream);
+  stamps_.assign(config_.num_streams, 0);
+  next_prefetch_.assign(config_.num_streams, 0);
+  run_length_.assign(config_.num_streams, 0);
 }
 
 void StreamPrefetcher::BeginRun(uint64_t first_line, uint64_t last_line,
@@ -68,96 +25,103 @@ void StreamPrefetcher::BeginRun(uint64_t first_line, uint64_t last_line,
   // The first line acts exactly like OnDemandAccess — head re-access beats
   // extension beats new-stream allocation — but its scan is fused with the
   // collision collection: candidate heads in (first_line, last_line] are
-  // gathered in the same pass over the stream table. Whatever the first
-  // line's action, it leaves exactly one stream whose head equals
-  // first_line — the run cursor.
-  Stream* head_match = nullptr;
-  Stream* extend = nullptr;
-  Stream* first_invalid = nullptr;
-  Stream* lru = nullptr;
-  for (Stream& s : streams_) {
-    if (!s.valid) {
-      if (first_invalid == nullptr) first_invalid = &s;
+  // gathered in the same pass over the head run. A run happens once per
+  // many lines, so this stays a scalar fused walk rather than four probes.
+  // Whatever the first line's action, it leaves exactly one stream whose
+  // head equals first_line — the run cursor.
+  const uint32_t n = config_.num_streams;
+  int head_match = -1;
+  int extend = -1;
+  int first_free = -1;
+  int lru = -1;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t head = heads_[i];
+    if (head == kNoStream) {
+      if (first_free < 0) first_free = static_cast<int>(i);
       continue;
     }
-    if (s.last_line == first_line) {
-      head_match = &s;
-    } else if (s.last_line > first_line && s.last_line <= last_line) {
-      run_collisions_.push_back(&s);
+    if (head == first_line) {
+      head_match = static_cast<int>(i);
+    } else if (head > first_line && head <= last_line) {
+      run_collisions_.push_back(i);
     }
-    if (first_line == s.last_line + 1) extend = &s;
-    if (lru == nullptr || s.lru_stamp < lru->lru_stamp) lru = &s;
+    if (first_line == head + 1) extend = static_cast<int>(i);
+    if (lru < 0 || stamps_[i] < stamps_[static_cast<uint32_t>(lru)]) {
+      lru = static_cast<int>(i);
+    }
   }
 
-  if (head_match != nullptr) {
+  if (head_match >= 0) {
     // Re-access of a stream head: refresh recency, nothing to prefetch.
-    head_match->lru_stamp = ++stamp_counter_;
+    stamps_[static_cast<uint32_t>(head_match)] = ++stamp_counter_;
     run_cursor_ = head_match;
-  } else if (extend != nullptr) {
-    ExtendStream(extend, first_line, out);
+  } else if (extend >= 0) {
+    ExtendStream(static_cast<uint32_t>(extend), first_line, out);
     run_cursor_ = extend;
   } else {
-    // New stream: replace the first invalid slot, else the LRU stream. A
+    // New stream: claim the first free slot, else evict the LRU stream. A
     // victim whose frozen head fell inside the run range was collected as a
     // collision candidate above; reallocation makes it the cursor instead.
-    Stream* victim = first_invalid != nullptr ? first_invalid : lru;
-    if (victim->valid && victim->last_line > first_line &&
-        victim->last_line <= last_line) {
+    const uint32_t victim =
+        static_cast<uint32_t>(first_free >= 0 ? first_free : lru);
+    if (heads_[victim] != kNoStream && heads_[victim] > first_line &&
+        heads_[victim] <= last_line) {
       run_collisions_.erase(std::find(run_collisions_.begin(),
                                       run_collisions_.end(), victim));
     }
-    victim->valid = true;
-    victim->last_line = first_line;
-    victim->next_prefetch = first_line + 1;
-    victim->run_length = 1;
-    victim->lru_stamp = ++stamp_counter_;
-    run_cursor_ = victim;
+    heads_[victim] = first_line;
+    next_prefetch_[victim] = first_line + 1;
+    run_length_[victim] = 1;
+    stamps_[victim] = ++stamp_counter_;
+    run_cursor_ = static_cast<int>(victim);
   }
   if (run_collisions_.size() > 1) {
     std::sort(run_collisions_.begin(), run_collisions_.end(),
-              [](const Stream* a, const Stream* b) {
-                return a->last_line < b->last_line;
+              [this](uint32_t a, uint32_t b) {
+                return heads_[a] < heads_[b];
               });
   }
 }
 
 void StreamPrefetcher::OnDemandAccessReference(uint64_t line,
                                                std::vector<uint64_t>* out) {
+  const uint32_t n = config_.num_streams;
   // Re-access of a stream head: refresh recency, nothing to prefetch.
-  for (Stream& s : streams_) {
-    if (s.valid && s.last_line == line) {
-      s.lru_stamp = ++stamp_counter_;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (heads_[i] != kNoStream && heads_[i] == line) {
+      stamps_[i] = ++stamp_counter_;
       return;
     }
   }
 
-  // Extension of an existing ascending stream?
-  for (Stream& s : streams_) {
-    if (s.valid && line == s.last_line + 1) {
-      ExtendStream(&s, line, out);
+  // Extension of an existing ascending stream? The explicit live guard
+  // matters: a free slot's all-ones head plus one wraps to line 0.
+  for (uint32_t i = 0; i < n; ++i) {
+    if (heads_[i] != kNoStream && line == heads_[i] + 1) {
+      ExtendStream(i, line, out);
       return;
     }
   }
 
-  // New stream: replace the LRU slot.
-  Stream* victim = &streams_[0];
-  for (Stream& s : streams_) {
-    if (!s.valid) {
-      victim = &s;
+  // New stream: replace the first free slot, else the LRU slot.
+  uint32_t victim = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (heads_[i] == kNoStream) {
+      victim = i;
       break;
     }
-    if (s.lru_stamp < victim->lru_stamp) victim = &s;
+    if (stamps_[i] < stamps_[victim]) victim = i;
   }
-  victim->valid = true;
-  victim->last_line = line;
-  victim->next_prefetch = line + 1;
-  victim->run_length = 1;
-  victim->lru_stamp = ++stamp_counter_;
+  heads_[victim] = line;
+  next_prefetch_[victim] = line + 1;
+  run_length_[victim] = 1;
+  stamps_[victim] = ++stamp_counter_;
 }
 
 void StreamPrefetcher::Reset() {
-  for (Stream& s : streams_) s.valid = false;
-  run_cursor_ = nullptr;
+  std::fill(heads_.begin(), heads_.end(), kNoStream);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  run_cursor_ = -1;
   run_collisions_.clear();
   run_collision_idx_ = 0;
 }

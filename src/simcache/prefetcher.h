@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "simcache/cache_geometry.h"
+#include "simcache/way_scan.h"
 
 namespace catdb::simcache {
 
@@ -25,13 +26,71 @@ struct PrefetcherConfig {
 /// candidates, like the L2 streamer on Intel server parts. This is what makes
 /// the column scan insensitive to the LLC allocation: its lines are staged
 /// ahead of use, so the scan is bound by memory bandwidth, not latency.
+///
+/// Storage is struct-of-arrays: the stream heads live in one dense uint64_t
+/// run with an all-ones sentinel marking free slots, so the per-access
+/// questions — "is this line a stream head?", "is line-1 a stream head?",
+/// "is there a free slot?" — are each a way_scan::FindWay probe over the
+/// head run, SIMD-dispatched like the cache's way search, and LRU victim
+/// selection is a MinStampWay over the parallel stamp array. Stamps, next-
+/// prefetch pointers, and run lengths sit in their own arrays, touched only
+/// for the single stream an access resolves to. The seed-era behaviour
+/// (separate scalar scans over per-stream structs) is retained behind
+/// set_reference_mode for the self-benchmark baseline.
 class StreamPrefetcher {
  public:
+  /// Sentinel head marking a free stream slot. Line addresses are byte
+  /// addresses >> 6 and never reach the all-ones pattern (the same argument
+  /// as the cache's invalid-tag sentinel), so a head probe for a real line
+  /// can never land on a free slot.
+  static constexpr uint64_t kNoStream = ~uint64_t{0};
+
   explicit StreamPrefetcher(const PrefetcherConfig& config);
 
   /// Observes a demand access to `line` and appends line addresses that
-  /// should be prefetched to `out` (out is not cleared).
-  void OnDemandAccess(uint64_t line, std::vector<uint64_t>* out);
+  /// should be prefetched to `out` (out is not cleared). Inline: this is the
+  /// prefetcher step of every scalar point access.
+  ///
+  /// Heads are unique among live streams (a stream only adopts a head after
+  /// a full scan found no other stream holding it), so each probe's first
+  /// match is the only match, and probe order — head re-access, then
+  /// extension, then new-stream allocation — reproduces the priority of the
+  /// seed's single struct walk exactly.
+  void OnDemandAccess(uint64_t line, std::vector<uint64_t>* out) {
+    if (!config_.enabled) return;
+    if (reference_mode_) {
+      OnDemandAccessReference(line, out);
+      return;
+    }
+    const uint32_t n = config_.num_streams;
+    const int head = way_scan::FindWay(heads_.data(), n, line, simd_);
+    if (head >= 0) {
+      // Re-access of a stream head: refresh recency, nothing to prefetch.
+      stamps_[static_cast<uint32_t>(head)] = ++stamp_counter_;
+      return;
+    }
+    if (line != 0) {  // line 0 has no predecessor (and ~0 marks free slots)
+      const int extend = way_scan::FindWay(heads_.data(), n, line - 1, simd_);
+      if (extend >= 0) {
+        ExtendStream(static_cast<uint32_t>(extend), line, out);
+        return;
+      }
+    }
+    // New stream: claim the first free slot, else evict the LRU stream. No
+    // free slot means every slot is live, so the unguarded stamp minimum is
+    // the minimum over live streams; first occurrence matches the seed's
+    // tie-break (stamps are unique while live, but Reset leaves equal
+    // zeros).
+    const int free_slot = way_scan::FindWay(heads_.data(), n, kNoStream,
+                                            simd_);
+    const uint32_t victim = static_cast<uint32_t>(
+        free_slot >= 0 ? free_slot
+                       : way_scan::MinStampWay(stamps_.data(), n, simd_));
+    heads_[victim] = line;
+    next_prefetch_[victim] = line + 1;
+    run_length_[victim] = 1;
+    stamps_[victim] = ++stamp_counter_;
+  }
 
   /// Run-granular training, for the hierarchy's batched access path. A *run*
   /// is a strictly ascending sequence of consecutive line addresses
@@ -39,15 +98,15 @@ class StreamPrefetcher {
   /// OnDemandAccess, then prepares a cursor so each following line of the run
   /// can be observed by OnRunAccess without rescanning the stream table.
   ///
-  /// Bit-exactness argument: stream heads (`last_line`) are unique among
-  /// valid streams, and during a run only the cursor stream's head moves —
-  /// every other head is frozen. So the only scalar outcomes possible for a
-  /// run line are (a) head re-access of a stream whose frozen head equals the
-  /// line (collected up front, consumed in ascending order) or (b) extension
-  /// of the cursor stream. New-stream allocation cannot occur mid-run
-  /// (the cursor always matches as an extension), and a consumed collision
-  /// head becomes the new cursor — exactly what the scalar scan would pick,
-  /// including the lru_stamp counter evolution.
+  /// Bit-exactness argument: stream heads are unique among live streams, and
+  /// during a run only the cursor stream's head moves — every other head is
+  /// frozen. So the only scalar outcomes possible for a run line are (a)
+  /// head re-access of a stream whose frozen head equals the line (collected
+  /// up front, consumed in ascending order) or (b) extension of the cursor
+  /// stream. New-stream allocation cannot occur mid-run (the cursor always
+  /// matches as an extension), and a consumed collision head becomes the new
+  /// cursor — exactly what the scalar scan would pick, including the
+  /// lru_stamp counter evolution.
   void BeginRun(uint64_t first_line, uint64_t last_line,
                 std::vector<uint64_t>* out);
 
@@ -58,20 +117,20 @@ class StreamPrefetcher {
   /// batched run loop.
   void OnRunAccess(uint64_t line, std::vector<uint64_t>* out) {
     if (!config_.enabled) return;
-    CATDB_DCHECK(run_cursor_ != nullptr &&
-                 line == run_cursor_->last_line + 1);
+    CATDB_DCHECK(run_cursor_ >= 0 &&
+                 line == heads_[static_cast<uint32_t>(run_cursor_)] + 1);
     if (run_collision_idx_ < run_collisions_.size() &&
-        run_collisions_[run_collision_idx_]->last_line == line) {
+        heads_[run_collisions_[run_collision_idx_]] == line) {
       // Head re-access of a frozen stream: refresh its recency and make it
       // the cursor (scalar priority: head re-access beats extension). The
       // next run line extends it; the abandoned cursor's head now trails
       // the run and can never match again.
-      Stream* s = run_collisions_[run_collision_idx_++];
-      s->lru_stamp = ++stamp_counter_;
-      run_cursor_ = s;
+      const uint32_t s = run_collisions_[run_collision_idx_++];
+      stamps_[s] = ++stamp_counter_;
+      run_cursor_ = static_cast<int>(s);
       return;
     }
-    ExtendStream(run_cursor_, line, out);
+    ExtendStream(static_cast<uint32_t>(run_cursor_), line, out);
   }
 
   /// Drops all tracked streams (e.g. between experiment runs).
@@ -83,45 +142,48 @@ class StreamPrefetcher {
   /// self-benchmark baseline.
   void set_reference_mode(bool on) { reference_mode_ = on; }
 
- private:
-  struct Stream {
-    uint64_t last_line = 0;
-    uint64_t next_prefetch = 0;
-    uint32_t run_length = 0;
-    uint64_t lru_stamp = 0;
-    bool valid = false;
-  };
+  /// SIMD dispatch level for the head probes; the hierarchy sets it
+  /// alongside the caches' level (HierarchyConfig::simd / CATDB_NO_SIMD
+  /// semantics). A host-cost knob, never a semantics knob.
+  void set_simd_level(SimdLevel level) { simd_ = level; }
 
+ private:
   void OnDemandAccessReference(uint64_t line, std::vector<uint64_t>* out);
 
   // Inline: per-line work of every sequential stream (demand and batched).
-  void ExtendStream(Stream* s, uint64_t line, std::vector<uint64_t>* out) {
-    s->last_line = line;
-    s->run_length++;
-    s->lru_stamp = ++stamp_counter_;
-    if (s->run_length >= config_.trigger_run) {
-      if (s->next_prefetch <= line) s->next_prefetch = line + 1;
+  void ExtendStream(uint32_t s, uint64_t line, std::vector<uint64_t>* out) {
+    heads_[s] = line;
+    run_length_[s]++;
+    stamps_[s] = ++stamp_counter_;
+    if (run_length_[s] >= config_.trigger_run) {
+      if (next_prefetch_[s] <= line) next_prefetch_[s] = line + 1;
       // Hardware streamers do not cross 4 KiB page boundaries: the next
       // physical page is unrelated memory.
       const uint64_t page_end = line | (kPageLines - 1);
       uint64_t horizon = line + config_.depth;
       if (horizon > page_end) horizon = page_end;
-      while (s->next_prefetch <= horizon) {
-        out->push_back(s->next_prefetch++);
+      while (next_prefetch_[s] <= horizon) {
+        out->push_back(next_prefetch_[s]++);
       }
     }
   }
 
   PrefetcherConfig config_;
-  std::vector<Stream> streams_;
+  // SoA stream table; slot i is live iff heads_[i] != kNoStream. heads_ is
+  // the probe target; the other arrays are touched per resolved stream only.
+  std::vector<uint64_t> heads_;
+  std::vector<uint64_t> stamps_;
+  std::vector<uint64_t> next_prefetch_;
+  std::vector<uint32_t> run_length_;
   uint64_t stamp_counter_ = 0;
   bool reference_mode_ = false;
+  SimdLevel simd_ = SimdLevel::kScalar;
   // Batched-run cursor state (valid between BeginRun and the end of the
-  // run). run_collisions_ holds the frozen heads of other streams that lie
-  // inside the run's line range, ascending; run_collision_idx_ is the next
+  // run): the cursor stream's slot, the slots of other streams whose frozen
+  // heads lie inside the run's line range (ascending by head), and the next
   // unconsumed one.
-  Stream* run_cursor_ = nullptr;
-  std::vector<Stream*> run_collisions_;
+  int run_cursor_ = -1;
+  std::vector<uint32_t> run_collisions_;
   size_t run_collision_idx_ = 0;
 };
 

@@ -8,6 +8,7 @@
 #include "common/bits.h"
 #include "common/check.h"
 #include "simcache/cache_geometry.h"
+#include "simcache/way_scan.h"
 
 namespace catdb::simcache {
 
@@ -103,6 +104,29 @@ class SetAssocCache {
     if (tags_[hint] == line) {
       lru_stamps_[hint] = ++stamp_counter_;
       return true;
+    }
+    if (simd_ != SimdLevel::kScalar) {
+      // Vectorized form of the fused pass below: one hit+first-empty scan
+      // over the tag run, then a lowest-stamp scan only when the set is
+      // full. Picks the identical victim — first empty way if any (the
+      // fused pass records the first invalid slot), else the first
+      // occurrence of the minimum stamp (all slots valid at that point, so
+      // the min over valid slots is the min over all slots).
+      const uint32_t n = geometry_.num_ways;
+      int empty = -1;
+      const int hit =
+          way_scan::FindWayOrEmpty(&tags_[base], n, line, simd_, &empty);
+      if (hit >= 0) {
+        lru_stamps_[base + static_cast<uint32_t>(hit)] = ++stamp_counter_;
+        way_hint_[set] = static_cast<uint8_t>(hit);
+        return true;
+      }
+      *victim_slot =
+          base + static_cast<uint32_t>(
+                     empty >= 0
+                         ? empty
+                         : way_scan::MinStampWay(&lru_stamps_[base], n, simd_));
+      return false;
     }
     // One pass plays both roles: the lookup scan (a hole cannot end it —
     // the line may sit in a later way) and FillVictim's full-mask victim
@@ -274,6 +298,16 @@ class SetAssocCache {
   /// switch (the hierarchy configures the mode right after construction).
   void set_reference_mode(bool on);
 
+  /// Selects the SIMD dispatch level for way search (fast layout only; the
+  /// reference AoS layout is always scalar). Constructed at
+  /// DefaultSimdLevel(), i.e. the best the host supports unless CATDB_NO_SIMD
+  /// demotes the process to scalar; the hierarchy overrides it per machine
+  /// so differential regimes can pit SIMD-on against SIMD-off in one
+  /// process. Every level computes identical results — this is a host-cost
+  /// knob, never a semantics knob.
+  void set_simd_level(SimdLevel level) { simd_ = level; }
+  SimdLevel simd_level() const { return simd_; }
+
   /// Owner tag of a resident line (-1 if absent); for monitoring tests.
   int OwnerOf(uint64_t line) const;
 
@@ -339,18 +373,30 @@ class SetAssocCache {
     // (ascending, matching LRU tie-breaking by lowest way index) and stops
     // early at the first empty way; only the hot tag/stamp arrays are read.
     // The reference implementation walks all ways and tests the mask per
-    // way; both pick the same victim.
+    // way; both pick the same victim. The full-mask case (every private
+    // cache, plus unrestricted LLC fills) takes the vectorized decomposition
+    // — first empty way, else first occurrence of the lowest stamp — which
+    // selects the identical victim; partial CAT masks keep the scalar
+    // bit-walk, whose mask gather SIMD cannot beat at <= 20 ways.
     int victim = -1;
-    uint64_t oldest = ~uint64_t{0};
-    for (uint64_t cand = alloc_mask; cand != 0; cand &= cand - 1) {
-      const uint32_t w = static_cast<uint32_t>(__builtin_ctzll(cand));
-      if (tags_[base + w] == kInvalidTag) {
-        victim = static_cast<int>(w);
-        break;
+    if (simd_ != SimdLevel::kScalar && alloc_mask == FullMask()) {
+      const uint32_t n = geometry_.num_ways;
+      victim = way_scan::FindWay(&tags_[base], n, kInvalidTag, simd_);
+      if (victim < 0) {
+        victim = way_scan::MinStampWay(&lru_stamps_[base], n, simd_);
       }
-      if (lru_stamps_[base + w] < oldest) {
-        oldest = lru_stamps_[base + w];
-        victim = static_cast<int>(w);
+    } else {
+      uint64_t oldest = ~uint64_t{0};
+      for (uint64_t cand = alloc_mask; cand != 0; cand &= cand - 1) {
+        const uint32_t w = static_cast<uint32_t>(__builtin_ctzll(cand));
+        if (tags_[base + w] == kInvalidTag) {
+          victim = static_cast<int>(w);
+          break;
+        }
+        if (lru_stamps_[base + w] < oldest) {
+          oldest = lru_stamps_[base + w];
+          victim = static_cast<int>(w);
+        }
       }
     }
     CATDB_DCHECK(victim >= 0);
@@ -395,17 +441,16 @@ class SetAssocCache {
   }
   // Full-set scan half of FindSlotHinted (no promotion). Empty ways hold
   // kInvalidTag, which never equals a real line address, so matching is one
-  // tag compare per way over a dense array. The scan is written as a
-  // branchless match-mask reduction rather than an early-exit loop: the hot
-  // callers (the LLC probe before a prefetch insert, back-invalidation of
-  // private caches) miss far more often than they hit, an early exit saves
-  // nothing on a miss, and the branch-free form vectorizes.
+  // tag compare per way over a dense array, dispatched through the way_scan
+  // SIMD primitives (2 or 4 ways per compare; scalar when simd_ is off).
+  // The hot callers (the LLC probe before a prefetch insert,
+  // back-invalidation of private caches) miss far more often than they hit,
+  // so the match-mask form beats an early-exit scalar loop on both counts.
   int64_t FindSlot(uint32_t set, uint64_t line) const {
     const size_t base = SetBase(set);
-    for (uint32_t w = 0; w < geometry_.num_ways; ++w) {
-      if (tags_[base + w] == line) return static_cast<int64_t>(base + w);
-    }
-    return -1;
+    const int w = way_scan::FindWay(&tags_[base], geometry_.num_ways, line,
+                                    simd_);
+    return w < 0 ? -1 : static_cast<int64_t>(base + static_cast<uint32_t>(w));
   }
 
   size_t SetBase(uint32_t set) const { return SetBaseIndex(geometry_, set); }
@@ -435,6 +480,8 @@ class SetAssocCache {
   uint64_t stamp_counter_ = 0;
   uint64_t valid_count_ = 0;
   bool reference_mode_ = false;
+  // Way-search dispatch level; see set_simd_level.
+  SimdLevel simd_ = DefaultSimdLevel();
 };
 
 }  // namespace catdb::simcache

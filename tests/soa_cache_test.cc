@@ -14,6 +14,7 @@
 #include "sim/machine.h"
 #include "simcache/cache_geometry.h"
 #include "simcache/set_assoc_cache.h"
+#include "simcache/way_scan.h"
 
 namespace catdb::simcache {
 namespace {
@@ -282,6 +283,143 @@ TEST(MachineValidateConfigTest, RejectsInvalidGeometries) {
   config.hierarchy.l2 = CacheGeometry{100, 4};  // sets not a power of two
   EXPECT_FALSE(sim::Machine::ValidateConfig(config).ok());
 }
+
+// ---------------------------------------------------------------------------
+// SIMD way-scan kernel equivalence.
+//
+// The vector kernels must return exactly what the scalar oracles return for
+// every way count the simulator can configure (1..20 — every L1/L2/LLC
+// associativity plus all the odd-tail positions of the 2- and 4-wide
+// loops) under adversarial tag patterns:
+//   - tags equal to the kEmptyTag sentinel (~0) and its neighbour, so a
+//     "hit on the sentinel value" is distinguished from "empty way";
+//   - tags agreeing with the needle in exactly one 32-bit half — SSE2/AVX2
+//     have no 64-bit equality compare, so the kernels fold a 32-bit lane
+//     compare with its pair-swapped self, and a half-match is precisely
+//     the input that an incorrect fold would misreport as a full match.
+// The kernels are exercised directly (not through the dispatcher) so the
+// dispatch thresholds cannot silently route everything to the scalar loop.
+
+#if CATDB_WAY_SCAN_X86
+
+TEST(WayScanEquivalenceTest, FindScansMatchScalarAtAllWayCounts) {
+  using namespace way_scan;
+  const bool avx2 = DetectSimdLevel() == SimdLevel::kAvx2;
+  Rng rng(0x5EED);
+  const uint64_t needles[] = {0, 1, kEmptyTag, kEmptyTag - 1,
+                              0xABCDEF0123456789ull};
+  uint64_t tags[20];
+  for (uint32_t n = 1; n <= 20; ++n) {
+    for (int iter = 0; iter < 3000; ++iter) {
+      const uint64_t needle = needles[rng.Next() % std::size(needles)];
+      const uint64_t lo = needle & 0xFFFFFFFFu;
+      const uint64_t hi = needle & ~uint64_t{0xFFFFFFFFu};
+      for (uint32_t w = 0; w < n; ++w) {
+        switch (rng.Next() % 8) {
+          case 0: tags[w] = needle; break;
+          case 1: tags[w] = kEmptyTag; break;
+          case 2: tags[w] = kEmptyTag - 1; break;
+          case 3: tags[w] = hi | (lo ^ 1); break;  // high half matches only
+          case 4: tags[w] = (hi ^ (uint64_t{1} << 32)) | lo; break;  // low only
+          case 5: tags[w] = ~needle; break;
+          default: tags[w] = rng.Next(); break;
+        }
+      }
+      int want_empty = -2;
+      const int want = FindWayOrEmptyScalar(tags, n, needle, &want_empty);
+      // The fused scan's hit index is by contract the plain scan's result.
+      ASSERT_EQ(FindWayScalar(tags, n, needle), want);
+      ASSERT_EQ(FindWaySse2(tags, n, needle), want)
+          << "n=" << n << " iter=" << iter;
+      int got_empty = -2;
+      ASSERT_EQ(FindWayOrEmptySse2(tags, n, needle, &got_empty), want)
+          << "n=" << n << " iter=" << iter;
+      // first_empty is specified only on a miss; on a hit the vector
+      // kernels may skip an empty sharing the hit's vector step.
+      if (want < 0) {
+        ASSERT_EQ(got_empty, want_empty) << "n=" << n << " iter=" << iter;
+      }
+      if (avx2) {
+        ASSERT_EQ(FindWayAvx2(tags, n, needle),
+                  FindWayScalar(tags, n, needle))
+            << "n=" << n << " iter=" << iter;
+        got_empty = -2;
+        ASSERT_EQ(FindWayOrEmptyAvx2(tags, n, needle, &got_empty), want)
+            << "n=" << n << " iter=" << iter;
+        if (want < 0) {
+          ASSERT_EQ(got_empty, want_empty) << "n=" << n << " iter=" << iter;
+        }
+      }
+    }
+  }
+}
+
+// Min-stamp (LRU victim) scans: first occurrence of the minimum, including
+// forced duplicate stamps (the all-invalid corner where the tie-break to
+// the lowest way index is what keeps victim choice deterministic).
+TEST(WayScanEquivalenceTest, MinStampMatchesScalarAtAllWayCounts) {
+  using namespace way_scan;
+  const bool avx2 = DetectSimdLevel() == SimdLevel::kAvx2;
+  Rng rng(0xA11C);
+  uint64_t stamps[20];
+  for (uint32_t n = 1; n <= 20; ++n) {
+    for (int iter = 0; iter < 3000; ++iter) {
+      // Alternate wide-range stamps (unique in practice, like the live LRU
+      // counter) with a tiny value range that forces duplicates.
+      const bool dup = (iter & 1) != 0;
+      for (uint32_t w = 0; w < n; ++w) {
+        stamps[w] = dup ? rng.Next() % 3
+                        : rng.Next() >> 1;  // keep below 2^63 (SSE2 contract)
+      }
+      const int want = MinStampWayScalar(stamps, n);
+      if (n >= 2) {
+        ASSERT_EQ(MinStampWaySse2(stamps, n), want)
+            << "n=" << n << " iter=" << iter;
+      }
+      if (avx2 && n >= 4) {
+        ASSERT_EQ(MinStampWayAvx2(stamps, n), want)
+            << "n=" << n << " iter=" << iter;
+      }
+    }
+  }
+}
+
+// The dispatcher must agree with the scalar oracle at every level and way
+// count regardless of where the tuned thresholds sit.
+TEST(WayScanEquivalenceTest, DispatcherMatchesScalarAtEveryLevel) {
+  using namespace way_scan;
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar, SimdLevel::kSse2};
+  if (DetectSimdLevel() == SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  Rng rng(0xD15C);
+  uint64_t tags[20];
+  uint64_t stamps[20];
+  for (uint32_t n = 1; n <= 20; ++n) {
+    for (int iter = 0; iter < 500; ++iter) {
+      const uint64_t needle = rng.Next() % 4;
+      for (uint32_t w = 0; w < n; ++w) {
+        const uint64_t r = rng.Next();
+        tags[w] = (r & 8) != 0 ? kEmptyTag : r % 4;
+        stamps[w] = rng.Next() >> 1;  // stamps stay below 2^63
+      }
+      int want_empty = -2;
+      const int want = FindWayOrEmptyScalar(tags, n, needle, &want_empty);
+      for (const SimdLevel level : levels) {
+        ASSERT_EQ(FindWay(tags, n, needle, level),
+                  FindWayScalar(tags, n, needle))
+            << "n=" << n << " level=" << static_cast<int>(level);
+        int got_empty = -2;
+        ASSERT_EQ(FindWayOrEmpty(tags, n, needle, level, &got_empty), want)
+            << "n=" << n << " level=" << static_cast<int>(level);
+        ASSERT_EQ(got_empty, want_empty)
+            << "n=" << n << " level=" << static_cast<int>(level);
+        ASSERT_EQ(MinStampWay(stamps, n, level), MinStampWayScalar(stamps, n))
+            << "n=" << n << " level=" << static_cast<int>(level);
+      }
+    }
+  }
+}
+
+#endif  // CATDB_WAY_SCAN_X86
 
 }  // namespace
 }  // namespace catdb::simcache

@@ -15,7 +15,21 @@ Checks three files:
      inconclusive scaling data; that is reported as a WARNING, never a
      silent pass.
 
+Every `host_cycle_breakdown` must additionally be self-consistent: all
+buckets non-negative, and their sum no larger than the emitted
+`attributed_total` (a bucket overflowing past the total means a timer
+wrapped or a component was double-counted).
+
+With --baseline=<BENCH_selfperf.json> the checker also acts as a
+throughput-regression gate: each workload's fast-leg
+`accesses_per_second` must be at least --min-ratio (default 0.5) times
+the baseline file's value for the same workload. CI runs this against
+the checked-in BENCH_selfperf.json with a loose ratio — CI hosts are
+slower and noisier than the bench host, so the gate is sized to catch a
+broken fast path (order-of-magnitude regressions), not small drift.
+
 Usage: check_selfperf_report.py <report.json> <selfperf.json> <parallel.json>
+           [--baseline=<bench.json>] [--min-ratio=<x>]
 """
 
 import json
@@ -78,13 +92,56 @@ def check_selfperf(path):
         b = entry.get("host_cycle_breakdown")
         if not isinstance(b, dict):
             fail(f"{path}: {w} missing host_cycle_breakdown")
+        bucket_sum = 0
         for comp in BREAKDOWN_COMPONENTS:
-            if not isinstance(b.get(comp), int):
+            v = b.get(comp)
+            if not isinstance(v, int):
                 fail(f"{path}: {w} breakdown missing component {comp}")
+            if v < 0:
+                fail(f"{path}: {w} breakdown bucket {comp} is negative ({v})")
+            bucket_sum += v
+        total = b.get("attributed_total")
+        if not isinstance(total, int) or total < 0:
+            fail(f"{path}: {w} breakdown missing `attributed_total`")
+        if bucket_sum > total:
+            fail(f"{path}: {w} breakdown buckets sum to {bucket_sum} > "
+                 f"attributed_total {total} (timer wrap or double count)")
         for counter in ("runs", "run_lines", "scalar_accesses"):
             if not isinstance(b.get(counter), int) or b[counter] <= 0:
                 fail(f"{path}: {w} breakdown counter {counter} not positive")
     print(f"ok: {path} embeds complete host_cycle_breakdown objects")
+
+
+def check_baseline(path, baseline_path, min_ratio):
+    """Fast-leg accesses_per_second must hold at least min_ratio x the
+    checked-in baseline's, per workload."""
+    with open(path) as f:
+        doc = json.load(f)
+    with open(baseline_path) as f:
+        base = json.load(f)
+    by_name = {e.get("name"): e for e in doc.get("workloads", [])}
+    base_by_name = {e.get("name"): e for e in base.get("workloads", [])}
+    for w in WORKLOADS:
+        entry = by_name.get(w)
+        base_entry = base_by_name.get(w)
+        if entry is None or base_entry is None:
+            fail(f"baseline gate: workload {w} missing from "
+                 f"{path if entry is None else baseline_path}")
+        cur = entry.get("fast_event_executor", {}).get("accesses_per_second")
+        ref = base_entry.get("fast_event_executor", {}).get(
+            "accesses_per_second")
+        if not isinstance(cur, (int, float)) or cur <= 0:
+            fail(f"{path}: {w} has no positive fast-leg accesses_per_second")
+        if not isinstance(ref, (int, float)) or ref <= 0:
+            fail(f"{baseline_path}: {w} has no positive fast-leg "
+                 "accesses_per_second")
+        ratio = cur / ref
+        if ratio < min_ratio:
+            fail(f"{path}: {w} fast-leg accesses_per_second {cur:.0f} is "
+                 f"{ratio:.3f}x the baseline {ref:.0f} "
+                 f"(gate: >= {min_ratio}x of {baseline_path})")
+        print(f"ok: {w} fast leg {cur:.0f} acc/s = {ratio:.2f}x baseline "
+              f"(gate {min_ratio}x)")
 
 
 def check_scaling_section(path, name, section):
@@ -133,11 +190,29 @@ def check_parallel(path):
 
 
 def main(argv):
-    if len(argv) != 4:
-        fail(f"usage: {argv[0]} <report.json> <selfperf.json> <parallel.json>")
-    check_report(argv[1])
-    check_selfperf(argv[2])
-    check_parallel(argv[3])
+    baseline = None
+    min_ratio = 0.5
+    positional = []
+    for arg in argv[1:]:
+        if arg.startswith("--baseline="):
+            baseline = arg[len("--baseline="):]
+        elif arg.startswith("--min-ratio="):
+            try:
+                min_ratio = float(arg[len("--min-ratio="):])
+            except ValueError:
+                fail(f"--min-ratio expects a number, got {arg!r}")
+            if min_ratio <= 0:
+                fail("--min-ratio must be positive")
+        else:
+            positional.append(arg)
+    if len(positional) != 3:
+        fail(f"usage: {argv[0]} <report.json> <selfperf.json> <parallel.json>"
+             " [--baseline=<bench.json>] [--min-ratio=<x>]")
+    check_report(positional[0])
+    check_selfperf(positional[1])
+    check_parallel(positional[2])
+    if baseline is not None:
+        check_baseline(positional[1], baseline, min_ratio)
     print("selfperf artifacts OK")
 
 
